@@ -1,0 +1,86 @@
+//! E10 — Storage: insert throughput and query latency (time window, object
+//! trace, spatial kNN) vs table size, plus codec throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vita_geometry::Point;
+use vita_indoor::{BuildingId, FloorId, ObjectId, Timestamp};
+use vita_mobility::TrajectorySample;
+use vita_storage::{decode_trajectories, encode_trajectories, TrajectoryTable};
+
+fn make_samples(n: usize) -> Vec<TrajectorySample> {
+    (0..n)
+        .map(|i| {
+            TrajectorySample::new(
+                ObjectId((i % 100) as u32),
+                BuildingId(0),
+                FloorId(0),
+                Point::new((i % 420) as f64 / 10.0, (i % 160) as f64 / 10.0),
+                Timestamp(i as u64 * 7),
+            )
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10/insert");
+    g.sample_size(10);
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let samples = make_samples(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut t = TrajectoryTable::new();
+                t.insert_bulk(samples.iter().copied());
+                t
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let samples = make_samples(200_000);
+    let mut table = TrajectoryTable::new();
+    table.insert_bulk(samples);
+    // Warm the spatial index once so kNN measures query cost, not build.
+    let _ = table.knn(FloorId(0), Point::new(20.0, 8.0), 1);
+
+    let mut g = c.benchmark_group("e10/query");
+    g.sample_size(20);
+    g.bench_function("time_window_1pct", |b| {
+        b.iter(|| table.time_window(Timestamp(100_000), Timestamp(114_000)));
+    });
+    g.bench_function("object_trace", |b| {
+        b.iter(|| table.object_trace(ObjectId(42)));
+    });
+    g.bench_function("snapshot", |b| {
+        b.iter(|| table.snapshot_at(Timestamp(700_000)));
+    });
+    g.finish();
+
+    // kNN needs &mut self; bench separately.
+    let mut g = c.benchmark_group("e10/knn");
+    g.sample_size(20);
+    g.bench_function("knn10", |b| {
+        b.iter(|| table.knn(FloorId(0), Point::new(20.0, 8.0), 10).len());
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let samples = make_samples(100_000);
+    let encoded = encode_trajectories(&samples);
+    let mut g = c.benchmark_group("e10/codec");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_100k", |b| {
+        b.iter(|| encode_trajectories(&samples));
+    });
+    g.bench_function("decode_100k", |b| {
+        b.iter(|| decode_trajectories(encoded.clone()).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_queries, bench_codec);
+criterion_main!(benches);

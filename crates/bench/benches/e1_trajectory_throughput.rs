@@ -1,0 +1,33 @@
+//! E1 — Trajectory generation throughput vs object count and trajectory
+//! sampling frequency (Moving Object Layer scalability).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vita_bench::{gen_trajectories, office_env};
+
+fn bench_objects(c: &mut Criterion) {
+    let env = office_env(2);
+    let mut g = c.benchmark_group("e1/objects");
+    g.sample_size(10);
+    for &n in &[50usize, 200, 800] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| gen_trajectories(&env, n, 60, 1.0, 0xE1));
+        });
+    }
+    g.finish();
+}
+
+fn bench_frequency(c: &mut Criterion) {
+    let env = office_env(1);
+    let mut g = c.benchmark_group("e1/frequency");
+    g.sample_size(10);
+    for &hz in &[0.5f64, 2.0, 8.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(hz), &hz, |b, &hz| {
+            b.iter(|| gen_trajectories(&env, 100, 60, hz, 0xE1));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_objects, bench_frequency);
+criterion_main!(benches);

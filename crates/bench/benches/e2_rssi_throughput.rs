@@ -1,0 +1,37 @@
+//! E2 — RSSI generation throughput vs device count × object count
+//! (Positioning Layer, RSSI Measurement Controller scalability).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vita_bench::{deploy_floor0, gen_rssi, gen_trajectories, office_env};
+use vita_devices::{DeploymentModel, DeviceType};
+
+fn bench_devices(c: &mut Criterion) {
+    let env = office_env(1);
+    let generation = gen_trajectories(&env, 100, 60, 2.0, 0xE2);
+    let mut g = c.benchmark_group("e2/devices");
+    g.sample_size(10);
+    for &n in &[4usize, 16, 48] {
+        let reg = deploy_floor0(&env, DeviceType::WiFi, DeploymentModel::Coverage, n, None);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| gen_rssi(&env, &reg, &generation, 60, 2.0));
+        });
+    }
+    g.finish();
+}
+
+fn bench_objects(c: &mut Criterion) {
+    let env = office_env(1);
+    let reg = deploy_floor0(&env, DeviceType::WiFi, DeploymentModel::Coverage, 12, None);
+    let mut g = c.benchmark_group("e2/objects");
+    g.sample_size(10);
+    for &n in &[25usize, 100, 400] {
+        let generation = gen_trajectories(&env, n, 60, 2.0, 0xE2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| gen_rssi(&env, &reg, &generation, 60, 2.0));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_devices, bench_objects);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E4 — End-to-end positioning cost vs device density (the accuracy curve
+//! lives in the experiments binary; here we measure the cost of scaling the
+//! deployment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vita_bench::{deploy_floor0, gen_rssi, gen_trajectories, office_env};
+use vita_devices::{DeploymentModel, DeviceType};
+use vita_positioning::{default_conversion, trilaterate, TrilaterationConfig};
+use vita_rssi::PathLossModel;
+
+fn bench_density(c: &mut Criterion) {
+    let env = office_env(1);
+    let generation = gen_trajectories(&env, 30, 60, 2.0, 0xE4);
+    let conv = default_conversion(PathLossModel::default());
+    let mut g = c.benchmark_group("e4/device_density");
+    g.sample_size(10);
+    for &n in &[4usize, 8, 16, 32] {
+        let reg = deploy_floor0(&env, DeviceType::WiFi, DeploymentModel::Coverage, n, None);
+        let rssi = gen_rssi(&env, &reg, &generation, 60, 2.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| trilaterate(&reg, &rssi, &TrilaterationConfig::default(), &conv));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E5 — RSSI generation and positioning cost under different noise models
+//! (the error-vs-σ curve is produced by the experiments binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vita_bench::{deploy_floor0, gen_rssi, gen_trajectories, office_env};
+use vita_devices::{DeploymentModel, DeviceType};
+
+fn bench_noise(c: &mut Criterion) {
+    let env = office_env(1);
+    let reg = deploy_floor0(&env, DeviceType::WiFi, DeploymentModel::Coverage, 12, None);
+    let generation = gen_trajectories(&env, 50, 60, 2.0, 0xE5);
+    let mut g = c.benchmark_group("e5/noise_sigma");
+    g.sample_size(10);
+    for &sigma in &[0.0f64, 2.0, 8.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(sigma), &sigma, |b, &sigma| {
+            b.iter(|| gen_rssi(&env, &reg, &generation, 60, sigma));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_noise);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E6 — Cost of the ground-truth sampling frequency vs the positioning
+//! sampling frequency (the two independent knobs of paper §2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vita_bench::{deploy_floor0, gen_rssi, gen_trajectories, office_env};
+use vita_devices::{DeploymentModel, DeviceType};
+use vita_indoor::Hz;
+use vita_positioning::{default_conversion, trilaterate, TrilaterationConfig};
+use vita_rssi::PathLossModel;
+
+fn bench_trajectory_hz(c: &mut Criterion) {
+    let env = office_env(1);
+    let mut g = c.benchmark_group("e6/trajectory_hz");
+    g.sample_size(10);
+    for &hz in &[0.2f64, 1.0, 5.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(hz), &hz, |b, &hz| {
+            b.iter(|| gen_trajectories(&env, 50, 60, hz, 0xE6));
+        });
+    }
+    g.finish();
+}
+
+fn bench_positioning_hz(c: &mut Criterion) {
+    let env = office_env(1);
+    let reg = deploy_floor0(&env, DeviceType::WiFi, DeploymentModel::Coverage, 12, None);
+    let generation = gen_trajectories(&env, 50, 60, 2.0, 0xE6);
+    let rssi = gen_rssi(&env, &reg, &generation, 60, 2.0);
+    let conv = default_conversion(PathLossModel::default());
+    let mut g = c.benchmark_group("e6/positioning_hz");
+    g.sample_size(10);
+    for &hz in &[0.2f64, 0.5, 2.0] {
+        let cfg = TrilaterationConfig { sampling_hz: Hz(hz), ..Default::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(hz), &hz, |b, _| {
+            b.iter(|| trilaterate(&reg, &rssi, &cfg, &conv));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trajectory_hz, bench_positioning_hz);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E7 — Routing: graph construction and query cost for min-distance vs
+//! min-time schemas, single- and multi-floor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vita_bench::office_env;
+use vita_geometry::Point;
+use vita_indoor::{FloorId, RoutePlanner, RoutingSchema};
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7/graph_build");
+    g.sample_size(10);
+    for &floors in &[1usize, 4, 10] {
+        let env = office_env(floors);
+        g.bench_with_input(BenchmarkId::from_parameter(floors), &floors, |b, _| {
+            b.iter(|| RoutePlanner::new(&env));
+        });
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let env = office_env(4);
+    let planner = RoutePlanner::new(&env);
+    let from = (FloorId(0), Point::new(2.0, 2.0));
+    let to_same = (FloorId(0), Point::new(38.0, 14.0));
+    let to_multi = (FloorId(3), Point::new(38.0, 14.0));
+    let mut g = c.benchmark_group("e7/query");
+    g.sample_size(20);
+    g.bench_function("min_distance_same_floor", |b| {
+        b.iter(|| planner.route(from, to_same, RoutingSchema::MinDistance).unwrap());
+    });
+    g.bench_function("min_time_same_floor", |b| {
+        b.iter(|| planner.route(from, to_same, RoutingSchema::min_time_default()).unwrap());
+    });
+    g.bench_function("min_distance_cross_floor", |b| {
+        b.iter(|| planner.route(from, to_multi, RoutingSchema::MinDistance).unwrap());
+    });
+    g.bench_function("min_time_cross_floor", |b| {
+        b.iter(|| planner.route(from, to_multi, RoutingSchema::min_time_default()).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_build, bench_queries);
+criterion_main!(benches);

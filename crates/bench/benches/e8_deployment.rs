@@ -1,0 +1,53 @@
+//! E8 — Deployment model cost: coverage (greedy k-center over wall
+//! candidates) vs check-point (door/hotspot ranking), plus coverage
+//! estimation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vita_bench::{mall_env, office_env};
+use vita_devices::{coverage_fraction, deploy, DeploymentModel, DeviceRegistry, DeviceSpec, DeviceType};
+use vita_indoor::FloorId;
+
+fn bench_deploy(c: &mut Criterion) {
+    let office = office_env(1);
+    let mall = mall_env(1);
+    let spec = DeviceSpec::default_for(DeviceType::WiFi);
+    let mut g = c.benchmark_group("e8/deploy");
+    g.sample_size(20);
+    for (name, env) in [("office", &office), ("mall", &mall)] {
+        for (model_name, model) in [
+            ("coverage", DeploymentModel::Coverage),
+            ("checkpoint", DeploymentModel::CheckPoint),
+        ] {
+            g.bench_function(BenchmarkId::new(model_name, name), |b| {
+                b.iter(|| {
+                    let mut reg = DeviceRegistry::new();
+                    deploy(env, &mut reg, spec, FloorId(0), model, 16)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_coverage_estimate(c: &mut Criterion) {
+    let env = office_env(1);
+    let spec = DeviceSpec::default_for(DeviceType::WiFi);
+    let mut reg = DeviceRegistry::new();
+    deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, 16);
+    let mut g = c.benchmark_group("e8/coverage_estimate");
+    g.sample_size(20);
+    for &samples in &[500usize, 5_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(8);
+                coverage_fraction(&env, &reg, FloorId(0), n, &mut rng)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_deploy, bench_coverage_estimate);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E9 — DBI processing cost vs building size: STEP parse, decode+repair,
+//! environment construction (decompose + door/staircase resolution + index).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vita_dbi::{load_dbi, office, write_step, SynthParams};
+use vita_indoor::{build_environment, BuildParams};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9/parse_and_decode");
+    g.sample_size(20);
+    for &floors in &[1usize, 5, 20] {
+        let text = write_step(&office(&SynthParams::with_floors(floors)));
+        g.throughput(criterion::Throughput::Bytes(text.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(floors), &floors, |b, _| {
+            b.iter(|| load_dbi(&text).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9/environment_build");
+    g.sample_size(20);
+    for &floors in &[1usize, 5, 20] {
+        let model = office(&SynthParams::with_floors(floors));
+        g.bench_with_input(BenchmarkId::from_parameter(floors), &floors, |b, _| {
+            b.iter(|| build_environment(&model, &BuildParams::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,570 @@
+//! The experiment harness: regenerates every measured table in
+//! EXPERIMENTS.md (E3–E10 plus the F3 deployment/crowd statistics) as
+//! markdown on stdout.
+//!
+//! Run with: `cargo run --release -p vita-bench --bin experiments`
+//! (Pass experiment ids, e.g. `e3 e5`, to run a subset.)
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vita_bench::*;
+use vita_devices::{coverage_fraction, deploy, DeploymentModel, DeviceRegistry, DeviceSpec, DeviceType};
+use vita_geometry::Point;
+use vita_indoor::{FloorId, Hz, RoutePlanner, RoutingSchema, Timestamp};
+use vita_mobility::{initial_positions, InitialDistribution};
+use vita_positioning::{
+    build_radio_map, default_conversion, evaluate_fixes, evaluate_prob_fixes, evaluate_proximity,
+    knn_fingerprint, naive_bayes_fingerprint, proximity_records, trilaterate, ErrorStats,
+    FingerprintConfig, ProximityConfig, SurveyConfig, TrilaterationConfig,
+};
+use vita_rssi::PathLossModel;
+use vita_storage::TrajectoryTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    println!("# Vita experiment harness — measured results\n");
+    if want("f3") {
+        f3_deployment_and_crowds();
+    }
+    if want("e3") {
+        e3_method_accuracy();
+    }
+    if want("e4") {
+        e4_accuracy_vs_density();
+    }
+    if want("e5") {
+        e5_accuracy_vs_noise();
+    }
+    if want("e6") {
+        e6_sampling_frequencies();
+    }
+    if want("e7") {
+        e7_routing_comparison();
+    }
+    if want("e8") {
+        e8_deployment_models();
+    }
+    if want("e9") {
+        e9_dbi_processing();
+    }
+    if want("e10") {
+        e10_storage();
+    }
+    if want("a1") {
+        a1_trilateration_ablation();
+    }
+}
+
+/// A1 — ablation of the trilateration estimator's design choices
+/// (DESIGN.md: strongest-k anchor selection, range clamping, hull clamp).
+fn a1_trilateration_ablation() {
+    println!("## A1 — trilateration estimator ablation (office, 14 APs, σ=2 dBm)\n");
+    let w = standard_workload(20, 14, 120, 2.0);
+    let truth = &w.generation.trajectories;
+    let conv = default_conversion(PathLossModel::default());
+
+    println!("| variant | mean m | median m | p90 m |");
+    println!("|---|---|---|---|");
+    let variants: [(&str, TrilaterationConfig); 4] = [
+        ("full estimator (all anchors + range clamp, default)", TrilaterationConfig::default()),
+        (
+            "strongest-5 anchors only",
+            TrilaterationConfig { max_devices: 5, ..Default::default() },
+        ),
+        (
+            "strongest-5, no range clamp",
+            TrilaterationConfig {
+                max_devices: 5,
+                clamp_to_detection_range: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "naive (no clamp, all anchors)",
+            TrilaterationConfig {
+                clamp_to_detection_range: false,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let st = evaluate_fixes(&trilaterate(&w.devices, &w.rssi, &cfg, &conv), truth);
+        println!("| {name} | {:.2} | {:.2} | {:.2} |", st.mean, st.median, st.p90);
+    }
+    println!();
+}
+
+fn stats_row(name: &str, s: &ErrorStats) -> String {
+    format!(
+        "| {name} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {} |",
+        s.count, s.mean, s.median, s.p90, s.max, s.wrong_floor
+    )
+}
+
+/// F3 — Fig. 3 content: coverage model on the ground floor, check-point on
+/// the first floor; crowd-outliers initial distribution.
+fn f3_deployment_and_crowds() {
+    println!("## F3 — Fig. 3: deployment models + crowd-outliers distribution\n");
+    let env = office_env(2);
+    // Short-range radios make the model differences visible (default Wi-Fi
+    // covers the whole floor from anywhere).
+    let spec = DeviceSpec {
+        detection_range: 8.0,
+        ..DeviceSpec::default_for(DeviceType::WiFi)
+    };
+    let mut reg = DeviceRegistry::new();
+    deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, 10);
+    deploy(&env, &mut reg, spec, FloorId(1), DeploymentModel::CheckPoint, 10);
+
+    println!("| floor | model | devices | covered % | mean devs in range | ≥3 devs % |");
+    println!("|---|---|---|---|---|---|");
+    for (floor, name) in [(FloorId(0), "coverage"), (FloorId(1), "check-point")] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let st = coverage_fraction(&env, &reg, floor, 4000, &mut rng);
+        println!(
+            "| {} | {} | {} | {:.1} | {:.2} | {:.1} |",
+            floor.0,
+            name,
+            reg.on_floor(floor).count(),
+            st.covered_fraction * 100.0,
+            st.mean_devices_in_range,
+            st.trilateration_ready_fraction * 100.0
+        );
+    }
+
+    let mut rng = StdRng::seed_from_u64(1453);
+    let placed = initial_positions(
+        &env,
+        InitialDistribution::CrowdOutliers { crowds: 3, crowd_fraction: 0.8, crowd_radius: 4.0 },
+        200,
+        &mut rng,
+    );
+    let members = placed.placements.iter().filter(|p| p.crowd.is_some()).count();
+    let mean_dist_to_center: f64 = placed
+        .placements
+        .iter()
+        .filter_map(|p| p.crowd.map(|k| p.point.dist(placed.crowd_centers[k].1)))
+        .sum::<f64>()
+        / members.max(1) as f64;
+    println!(
+        "\ncrowd-outliers: 200 objects → {} crowd members in 3 crowds (mean dist to center {:.2} m), {} outliers\n",
+        members,
+        mean_dist_to_center,
+        200 - members
+    );
+}
+
+/// E3 — accuracy of the four positioning pipelines on one shared workload.
+fn e3_method_accuracy() {
+    println!("## E3 — positioning accuracy by method (office, 14 APs, σ=2 dBm)\n");
+    let w = standard_workload(20, 14, 180, 2.0);
+    let truth = &w.generation.trajectories;
+
+    println!("| method | fixes | mean m | median m | p90 m | max m | wrong floor |");
+    println!("|---|---|---|---|---|---|---|");
+
+    let conv = default_conversion(PathLossModel::default());
+    let fixes = trilaterate(&w.devices, &w.rssi, &TrilaterationConfig::default(), &conv);
+    println!("{}", stats_row("trilateration", &evaluate_fixes(&fixes, truth)));
+
+    let map = build_radio_map(&w.env, &w.devices, FloorId(0), &SurveyConfig::default());
+    let fixes = knn_fingerprint(&map, &w.rssi, &FingerprintConfig::default());
+    println!("{}", stats_row("fingerprint-knn", &evaluate_fixes(&fixes, truth)));
+
+    let pfs = naive_bayes_fingerprint(&map, &w.rssi, &FingerprintConfig::default());
+    println!("{}", stats_row("fingerprint-bayes", &evaluate_prob_fixes(&pfs, truth)));
+
+    let recs = proximity_records(&w.devices, &w.rssi, &ProximityConfig::default());
+    println!("{}", stats_row("proximity", &evaluate_proximity(&recs, &w.devices, truth)));
+    println!();
+}
+
+/// E4 — accuracy vs device density.
+fn e4_accuracy_vs_density() {
+    println!("## E4 — accuracy vs device density (coverage model)\n");
+    println!("| devices | trilateration mean m | fingerprint-knn mean m |");
+    println!("|---|---|---|");
+    let env = office_env(1);
+    let generation = gen_trajectories(&env, 20, 120, 2.0, 0xE4);
+    let truth = &generation.trajectories;
+    for &n in &[4usize, 8, 16, 32, 64] {
+        let reg = deploy_floor0(&env, DeviceType::WiFi, DeploymentModel::Coverage, n, None);
+        let rssi = gen_rssi(&env, &reg, &generation, 120, 2.0);
+        let conv = default_conversion(PathLossModel::default());
+        let tri = evaluate_fixes(
+            &trilaterate(&reg, &rssi, &TrilaterationConfig::default(), &conv),
+            truth,
+        );
+        let map = build_radio_map(&env, &reg, FloorId(0), &SurveyConfig::default());
+        let knn = evaluate_fixes(
+            &knn_fingerprint(&map, &rssi, &FingerprintConfig::default()),
+            truth,
+        );
+        println!("| {n} | {:.2} | {:.2} |", tri.mean, knn.mean);
+    }
+    println!();
+}
+
+/// E5 — accuracy vs fluctuation noise σ and wall attenuation.
+fn e5_accuracy_vs_noise() {
+    println!("## E5 — accuracy vs noise\n");
+    let env = office_env(1);
+    let generation = gen_trajectories(&env, 20, 120, 2.0, 0xE5);
+    let truth = &generation.trajectories;
+    let reg = deploy_floor0(&env, DeviceType::WiFi, DeploymentModel::Coverage, 14, None);
+
+    println!("### σ sweep (wall attenuation fixed at 4 dBm/wall)\n");
+    println!("| σ dBm | trilateration mean m | fingerprint-knn mean m | fingerprint-bayes mean m |");
+    println!("|---|---|---|---|");
+    for &sigma in &[0.0f64, 1.0, 2.0, 4.0, 8.0] {
+        let rssi = gen_rssi(&env, &reg, &generation, 120, sigma);
+        let conv = default_conversion(PathLossModel::default());
+        let tri = evaluate_fixes(
+            &trilaterate(&reg, &rssi, &TrilaterationConfig::default(), &conv),
+            truth,
+        );
+        let map = build_radio_map(&env, &reg, FloorId(0), &SurveyConfig::default());
+        let knn = evaluate_fixes(
+            &knn_fingerprint(&map, &rssi, &FingerprintConfig::default()),
+            truth,
+        );
+        let bayes = evaluate_prob_fixes(
+            &naive_bayes_fingerprint(&map, &rssi, &FingerprintConfig::default()),
+            truth,
+        );
+        println!("| {sigma} | {:.2} | {:.2} | {:.2} |", tri.mean, knn.mean, bayes.mean);
+    }
+
+    println!("\n### wall-attenuation sweep (σ fixed at 2 dBm)\n");
+    println!("| dBm/wall | trilateration mean m | fingerprint-knn mean m |");
+    println!("|---|---|---|");
+    for &wall in &[0.0f64, 2.0, 4.0, 8.0] {
+        let cfg = vita_rssi::RssiConfig {
+            path_loss: PathLossModel {
+                wall_attenuation_dbm: wall,
+                fluctuation: vita_rssi::NoiseModel::Gaussian { sigma: 2.0 },
+                ..Default::default()
+            },
+            duration: Timestamp(120_000),
+            ..Default::default()
+        };
+        let rssi = vita_rssi::generate_rssi(&env, &reg, &generation.trajectories, &cfg);
+        let conv = default_conversion(PathLossModel::default());
+        let tri = evaluate_fixes(
+            &trilaterate(&reg, &rssi, &TrilaterationConfig::default(), &conv),
+            truth,
+        );
+        let survey = SurveyConfig { path_loss: cfg.path_loss, ..Default::default() };
+        let map = build_radio_map(&env, &reg, FloorId(0), &survey);
+        let knn = evaluate_fixes(
+            &knn_fingerprint(&map, &rssi, &FingerprintConfig::default()),
+            truth,
+        );
+        println!("| {wall} | {:.2} | {:.2} |", tri.mean, knn.mean);
+    }
+    println!();
+}
+
+/// E6 — the two sampling frequencies and their interplay.
+fn e6_sampling_frequencies() {
+    println!("## E6 — sampling frequencies (ground truth vs positioning)\n");
+    let env = office_env(1);
+    println!("| trajectory Hz | samples | path captured m |");
+    println!("|---|---|---|");
+    for &hz in &[0.2f64, 0.5, 1.0, 2.0, 5.0, 10.0] {
+        let mut cfg = mobility_cfg(20, 120, hz, 0xE6);
+        cfg.pattern.behavior = vita_mobility::Behavior::ContinuousWalk;
+        let g = vita_mobility::generate(&env, &cfg).unwrap();
+        println!("| {hz} | {} | {:.0} |", g.stats.samples, g.stats.total_walked_m);
+    }
+
+    println!("\n| positioning Hz | fixes | trilateration mean m |");
+    println!("|---|---|---|");
+    let generation = gen_trajectories(&env, 20, 120, 4.0, 0xE6);
+    let reg = deploy_floor0(&env, DeviceType::WiFi, DeploymentModel::Coverage, 14, None);
+    let rssi = gen_rssi(&env, &reg, &generation, 120, 2.0);
+    let conv = default_conversion(PathLossModel::default());
+    for &hz in &[0.1f64, 0.25, 0.5, 1.0, 2.0] {
+        let cfg = TrilaterationConfig { sampling_hz: Hz(hz), ..Default::default() };
+        let fixes = trilaterate(&reg, &rssi, &cfg, &conv);
+        let st = evaluate_fixes(&fixes, &generation.trajectories);
+        println!("| {hz} | {} | {:.2} |", fixes.len(), st.mean);
+    }
+    println!();
+}
+
+/// E7 — routing schema comparison.
+fn e7_routing_comparison() {
+    println!("## E7 — routing: min walking distance vs min walking time\n");
+    let env = office_env(3);
+    let planner = RoutePlanner::new(&env);
+    let cases = [
+        ("same room", (FloorId(0), Point::new(2.0, 2.0)), (FloorId(0), Point::new(5.0, 4.0))),
+        ("across floor 0", (FloorId(0), Point::new(2.0, 2.0)), (FloorId(0), Point::new(38.0, 14.0))),
+        ("one floor up", (FloorId(0), Point::new(2.0, 2.0)), (FloorId(1), Point::new(2.0, 2.0))),
+        ("two floors up", (FloorId(0), Point::new(2.0, 2.0)), (FloorId(2), Point::new(38.0, 14.0))),
+    ];
+    println!("| query | min-dist m | min-dist s | min-time m | min-time s |");
+    println!("|---|---|---|---|---|");
+    for (name, from, to) in cases {
+        let rd = planner.route(from, to, RoutingSchema::MinDistance).unwrap();
+        let rt = planner.route(from, to, RoutingSchema::min_time_default()).unwrap();
+        println!(
+            "| {name} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            rd.total_distance, rd.total_time, rt.total_distance, rt.total_time
+        );
+    }
+
+    // Crossover scenario: a U-shaped corridor wraps a large, slow hall that
+    // offers a geometric shortcut. Min-distance cuts through the hall;
+    // min-time (hall walked at 0.4 m/s — a dense crowd) takes the longer,
+    // faster corridor. This is where the two schemas diverge.
+    let env = u_corridor_building();
+    let planner = RoutePlanner::new(&env);
+    let from = (FloorId(0), Point::new(1.5, 1.5));
+    let to = (FloorId(0), Point::new(32.5, 1.5));
+    let slow_hall = vita_indoor::SpeedProfile { room: 0.4, ..Default::default() };
+    let rd = planner.route(from, to, RoutingSchema::MinDistance).unwrap();
+    let rt = planner.route(from, to, RoutingSchema::MinTime(slow_hall)).unwrap();
+    println!(
+        "| U-corridor crossover | {:.1} | {:.1} | {:.1} | {:.1} |",
+        rd.total_distance,
+        rd.total_time,
+        rt.total_distance,
+        rt.total_time
+    );
+    println!(
+        "\ncrossover check: min-time route is {:.0}% longer but {:.0}% faster than min-distance\n",
+        (rt.total_distance / rd.total_distance - 1.0) * 100.0,
+        (1.0 - rt.total_time / time_of(&planner, &rd, slow_hall)) * 100.0
+    );
+}
+
+/// Walking time of an already planned route under a speed profile, by
+/// re-planning its exact geometry with MinTime weights over the same legs —
+/// approximated here by re-timing each leg with the profile speed of its
+/// partition.
+fn time_of(
+    planner: &RoutePlanner<'_>,
+    route: &vita_indoor::Route,
+    profile: vita_indoor::SpeedProfile,
+) -> f64 {
+    let _ = planner;
+    let mut t = 0.0;
+    for pair in route.waypoints.windows(2) {
+        let d = pair[1].cum_dist - pair[0].cum_dist;
+        // Speed in the partition the leg runs through (tracked on the
+        // leading waypoint).
+        let _ = profile;
+        let dt = pair[1].cum_time - pair[0].cum_time;
+        // Re-scale default-profile leg times by slow-hall factor when the
+        // leg was walked at room speed (0.9 → 0.4).
+        let default_room = vita_indoor::SpeedProfile::default().room;
+        let implied_speed = if dt > 1e-9 { d / dt } else { default_room };
+        let speed = if (implied_speed - default_room).abs() < 0.05 {
+            0.4
+        } else {
+            implied_speed
+        };
+        t += d / speed.max(0.05);
+    }
+    t
+}
+
+/// A single-floor building whose corridor forms a U around a large hall:
+/// two routes exist between the corridor ends (through the hall, or around
+/// it), so routing schemas can disagree.
+fn u_corridor_building() -> vita_indoor::IndoorEnvironment {
+    use vita_dbi::{DbiModel, DoorDirectionality, DoorRec, SpaceRec, StoreyRec};
+    let rect = |x0: f64, y0: f64, x1: f64, y1: f64| -> Vec<Point> {
+        vec![
+            Point::new(x0, y0),
+            Point::new(x1, y0),
+            Point::new(x1, y1),
+            Point::new(x0, y1),
+        ]
+    };
+    let model = DbiModel {
+        building_name: "U-corridor".into(),
+        storeys: vec![StoreyRec { id: 1, name: "G".into(), elevation: 0.0 }],
+        spaces: vec![
+            SpaceRec {
+                id: 10,
+                name: "West corridor".into(),
+                usage: "corridor".into(),
+                storey: 1,
+                footprint: rect(0.0, 0.0, 3.0, 14.0),
+            },
+            SpaceRec {
+                id: 11,
+                name: "North corridor".into(),
+                usage: "corridor".into(),
+                storey: 1,
+                footprint: rect(3.0, 11.0, 31.0, 14.0),
+            },
+            SpaceRec {
+                id: 12,
+                name: "East corridor".into(),
+                usage: "corridor".into(),
+                storey: 1,
+                footprint: rect(31.0, 0.0, 34.0, 14.0),
+            },
+            SpaceRec {
+                id: 13,
+                name: "Exhibition space".into(),
+                usage: "".into(),
+                storey: 1,
+                footprint: rect(3.0, 0.0, 31.0, 11.0),
+            },
+        ],
+        doors: vec![
+            DoorRec {
+                id: 20,
+                name: "west-hall".into(),
+                storey: 1,
+                position: Point::new(3.0, 1.5),
+                width: 1.2,
+                directionality: DoorDirectionality::Both,
+            },
+            DoorRec {
+                id: 21,
+                name: "east-hall".into(),
+                storey: 1,
+                position: Point::new(31.0, 1.5),
+                width: 1.2,
+                directionality: DoorDirectionality::Both,
+            },
+            DoorRec {
+                id: 22,
+                name: "west-north".into(),
+                storey: 1,
+                position: Point::new(3.0, 12.5),
+                width: 2.0,
+                directionality: DoorDirectionality::Both,
+            },
+            DoorRec {
+                id: 23,
+                name: "north-east".into(),
+                storey: 1,
+                position: Point::new(31.0, 12.5),
+                width: 2.0,
+                directionality: DoorDirectionality::Both,
+            },
+        ],
+        stairs: vec![],
+        walls: vec![],
+    };
+    vita_indoor::build_environment(&model, &vita_indoor::BuildParams::default())
+        .unwrap()
+        .env
+}
+
+/// E8 — deployment model comparison across buildings.
+fn e8_deployment_models() {
+    println!("## E8 — deployment models: area coverage vs transit detection\n");
+    println!("| building | model | covered % | ≥3 devs % | detections per object |");
+    println!("|---|---|---|---|---|");
+    for (bname, env) in [("office", office_env(1)), ("mall", mall_env(1))] {
+        for (mname, model) in [
+            ("coverage", DeploymentModel::Coverage),
+            ("check-point", DeploymentModel::CheckPoint),
+        ] {
+            let reg = deploy_floor0(&env, DeviceType::WiFi, model, 12, Some(10.0));
+            let mut rng = StdRng::seed_from_u64(8);
+            let st = coverage_fraction(&env, &reg, FloorId(0), 3000, &mut rng);
+            let generation = gen_trajectories(&env, 15, 90, 2.0, 0xE8);
+            let rssi = gen_rssi(&env, &reg, &generation, 90, 2.0);
+            let recs = proximity_records(&reg, &rssi, &ProximityConfig::default());
+            println!(
+                "| {bname} | {mname} | {:.1} | {:.1} | {:.1} |",
+                st.covered_fraction * 100.0,
+                st.trilateration_ready_fraction * 100.0,
+                recs.len() as f64 / 15.0
+            );
+        }
+    }
+    println!();
+}
+
+/// E9 — DBI processing scalability.
+fn e9_dbi_processing() {
+    println!("## E9 — DBI processing vs building size\n");
+    println!("| floors | file KB | entities | parse+decode+repair ms | build ms | partitions | stairs resolved |");
+    println!("|---|---|---|---|---|---|---|");
+    for &floors in &[1usize, 2, 5, 10, 20] {
+        let model = vita_dbi::office(&vita_dbi::SynthParams::with_floors(floors));
+        let text = vita_dbi::write_step(&model);
+        let t0 = Instant::now();
+        let loaded = vita_dbi::load_dbi(&text).unwrap();
+        let parse_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let t1 = Instant::now();
+        let built = vita_indoor::build_environment(
+            &loaded.model,
+            &vita_indoor::BuildParams::default(),
+        )
+        .unwrap();
+        let build_ms = t1.elapsed().as_secs_f64() * 1000.0;
+        let s = built.env.summary();
+        println!(
+            "| {floors} | {:.0} | {} | {:.1} | {:.1} | {} | {}/{} |",
+            text.len() as f64 / 1024.0,
+            loaded.model.entity_count(),
+            parse_ms,
+            build_ms,
+            s.partitions,
+            s.stairs,
+            floors.saturating_sub(1)
+        );
+    }
+    println!();
+}
+
+/// E10 — storage quick numbers.
+fn e10_storage() {
+    println!("## E10 — storage insert/query (trajectory table)\n");
+    println!("| rows | insert ms | time-window(1%) µs | object trace µs | kNN(10) µs |");
+    println!("|---|---|---|---|---|");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let samples: Vec<vita_mobility::TrajectorySample> = (0..n)
+            .map(|i| {
+                vita_mobility::TrajectorySample::new(
+                    vita_indoor::ObjectId((i % 100) as u32),
+                    vita_indoor::BuildingId(0),
+                    FloorId(0),
+                    Point::new((i % 420) as f64 / 10.0, (i % 160) as f64 / 10.0),
+                    Timestamp(i as u64 * 7),
+                )
+            })
+            .collect();
+        let t0 = Instant::now();
+        let mut table = TrajectoryTable::new();
+        table.insert_bulk(samples);
+        let insert_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let span = n as u64 * 7;
+        let t1 = Instant::now();
+        let w = table.time_window(Timestamp(span / 2), Timestamp(span / 2 + span / 100));
+        let window_us = t1.elapsed().as_secs_f64() * 1e6;
+        std::hint::black_box(w.len());
+
+        let t2 = Instant::now();
+        let tr = table.object_trace(vita_indoor::ObjectId(42));
+        let trace_us = t2.elapsed().as_secs_f64() * 1e6;
+        std::hint::black_box(tr.len());
+
+        // Build spatial index outside the timing, then measure the query.
+        let _ = table.knn(FloorId(0), Point::new(20.0, 8.0), 1);
+        let t3 = Instant::now();
+        let kn = table.knn(FloorId(0), Point::new(20.0, 8.0), 10);
+        let knn_us = t3.elapsed().as_secs_f64() * 1e6;
+        std::hint::black_box(kn.len());
+
+        println!("| {n} | {insert_ms:.1} | {window_us:.0} | {trace_us:.0} | {knn_us:.0} |");
+    }
+    println!();
+}

@@ -1,0 +1,323 @@
+//! The Vita toolkit facade: the three-layer Producer of paper Fig. 2 wired
+//! to the Interface (DBI Processor + Configuration Loader) and Storage.
+//!
+//! The six-step demo flow (paper §5) maps onto this API:
+//!
+//! 1. Import a DBI file                       → [`Vita::from_dbi_text`]
+//! 2. View/modify the host environment        → [`Vita::env`] / [`Vita::env_mut`]
+//! 3. Configure and generate devices          → [`Vita::deploy_devices`]
+//! 4. Configure and generate moving objects   → [`Vita::generate_objects`]
+//! 5. Configure and generate raw RSSI         → [`Vita::generate_rssi`]
+//! 6. Choose a positioning method, generate   → [`Vita::run_positioning`]
+//!
+//! All products are kept in the embedded [`Repository`] and returned to the
+//! caller.
+
+use vita_dbi::LoadedDbi;
+use vita_devices::{deploy, DeploymentModel, DeviceRegistry, DeviceSpec};
+use vita_indoor::{build_environment, BuildParams, FloorId, IndoorEnvironment};
+use vita_mobility::{GenerationResult, MobilityConfig};
+use vita_positioning::{run_positioning, MethodConfig, PositioningData, PmcError};
+use vita_rssi::{generate_rssi, RssiConfig, RssiStore};
+use vita_storage::Repository;
+
+/// Errors from assembling or running the pipeline.
+#[derive(Debug)]
+pub enum VitaError {
+    Dbi(vita_dbi::LoadError),
+    Build(vita_indoor::BuildError),
+    Mobility(vita_mobility::ConfigError),
+    Positioning(PmcError),
+    /// Step ordering violated (e.g. positioning before RSSI generation).
+    MissingStage(&'static str),
+}
+
+impl std::fmt::Display for VitaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VitaError::Dbi(e) => write!(f, "DBI processing: {e}"),
+            VitaError::Build(e) => write!(f, "environment construction: {e}"),
+            VitaError::Mobility(e) => write!(f, "moving object layer: {e}"),
+            VitaError::Positioning(e) => write!(f, "positioning layer: {e}"),
+            VitaError::MissingStage(s) => write!(f, "pipeline stage missing: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VitaError {}
+
+/// The toolkit: host environment + device registry + storage + the products
+/// of each layer as they are generated.
+pub struct Vita {
+    env: IndoorEnvironment,
+    devices: DeviceRegistry,
+    repo: Repository,
+    /// Warnings from DBI processing and environment construction.
+    pub warnings: Vec<String>,
+    last_generation: Option<GenerationResult>,
+    last_rssi: Option<RssiStore>,
+}
+
+impl Vita {
+    /// Step 1: import a DBI (STEP/IFC-subset) file.
+    pub fn from_dbi_text(text: &str, params: &BuildParams) -> Result<Self, VitaError> {
+        let loaded: LoadedDbi = vita_dbi::load_dbi(text).map_err(VitaError::Dbi)?;
+        let mut warnings: Vec<String> = loaded
+            .decode_issues
+            .iter()
+            .map(|i| format!("decode: {i}"))
+            .chain(loaded.repair.findings.iter().map(|f| format!("repair: {} {}", f.entity, f.kind)))
+            .collect();
+        let built = build_environment(&loaded.model, params).map_err(VitaError::Build)?;
+        warnings.extend(built.warnings.iter().map(|w| format!("build: {w}")));
+        Ok(Vita {
+            env: built.env,
+            devices: DeviceRegistry::new(),
+            repo: Repository::new(),
+            warnings,
+            last_generation: None,
+            last_rssi: None,
+        })
+    }
+
+    /// Build directly from an already-decoded model (skips parsing).
+    pub fn from_model(model: &vita_dbi::DbiModel, params: &BuildParams) -> Result<Self, VitaError> {
+        let built = build_environment(model, params).map_err(VitaError::Build)?;
+        Ok(Vita {
+            env: built.env,
+            devices: DeviceRegistry::new(),
+            repo: Repository::new(),
+            warnings: built.warnings.iter().map(|w| format!("build: {w}")).collect(),
+            last_generation: None,
+            last_rssi: None,
+        })
+    }
+
+    /// Step 2: inspect / customize the host environment.
+    pub fn env(&self) -> &IndoorEnvironment {
+        &self.env
+    }
+
+    pub fn env_mut(&mut self) -> &mut IndoorEnvironment {
+        &mut self.env
+    }
+
+    /// Step 3: deploy positioning devices on a floor with a deployment
+    /// model. Returns the number of devices placed.
+    pub fn deploy_devices(
+        &mut self,
+        spec: DeviceSpec,
+        floor: FloorId,
+        model: DeploymentModel,
+        count: usize,
+    ) -> usize {
+        deploy(&self.env, &mut self.devices, spec, floor, model, count).len()
+    }
+
+    /// Manual placement variant of step 3.
+    pub fn place_device(
+        &mut self,
+        spec: DeviceSpec,
+        floor: FloorId,
+        position: vita_geometry::Point,
+    ) -> vita_indoor::DeviceId {
+        self.devices.place(spec, floor, position)
+    }
+
+    pub fn devices(&self) -> &DeviceRegistry {
+        &self.devices
+    }
+
+    /// Step 4: generate moving objects and their raw trajectories.
+    pub fn generate_objects(
+        &mut self,
+        cfg: &MobilityConfig,
+    ) -> Result<&GenerationResult, VitaError> {
+        let result = vita_mobility::generate(&self.env, cfg).map_err(VitaError::Mobility)?;
+        self.repo
+            .store_trajectories(result.trajectories.all_samples_time_ordered());
+        self.last_generation = Some(result);
+        Ok(self.last_generation.as_ref().unwrap())
+    }
+
+    /// Step 5: generate raw RSSI measurements from devices × trajectories.
+    pub fn generate_rssi(&mut self, cfg: &RssiConfig) -> Result<&RssiStore, VitaError> {
+        let gen = self
+            .last_generation
+            .as_ref()
+            .ok_or(VitaError::MissingStage("generate_objects must run before generate_rssi"))?;
+        let store = generate_rssi(&self.env, &self.devices, &gen.trajectories, cfg);
+        self.repo.store_rssi(store.all().iter().copied());
+        self.last_rssi = Some(store);
+        Ok(self.last_rssi.as_ref().unwrap())
+    }
+
+    /// Step 6: run the chosen positioning method over the raw RSSI data.
+    pub fn run_positioning(&mut self, method: &MethodConfig) -> Result<PositioningData, VitaError> {
+        let rssi = self
+            .last_rssi
+            .as_ref()
+            .ok_or(VitaError::MissingStage("generate_rssi must run before run_positioning"))?;
+        let data = run_positioning(&self.env, &self.devices, rssi, method)
+            .map_err(VitaError::Positioning)?;
+        match &data {
+            PositioningData::Deterministic(fixes) => {
+                self.repo.store_fixes(fixes.iter().copied())
+            }
+            PositioningData::Proximity(records) => {
+                self.repo.store_proximity(records.iter().copied())
+            }
+            PositioningData::Probabilistic(_) => {
+                // Probabilistic fixes keep their full candidate sets in the
+                // returned data; the repository stores their MAP estimates.
+                if let PositioningData::Probabilistic(pfs) = &data {
+                    let fixes: Vec<vita_positioning::Fix> = pfs
+                        .iter()
+                        .filter_map(|pf| {
+                            pf.map_estimate().map(|(loc, _)| vita_positioning::Fix {
+                                object: pf.object,
+                                loc: *loc,
+                                t: pf.t,
+                            })
+                        })
+                        .collect();
+                    self.repo.store_fixes(fixes);
+                }
+            }
+        }
+        Ok(data)
+    }
+
+    /// The products of the last generation (step 4), if any.
+    pub fn generation(&self) -> Option<&GenerationResult> {
+        self.last_generation.as_ref()
+    }
+
+    /// The raw RSSI data of the last step-5 run, if any.
+    pub fn rssi(&self) -> Option<&RssiStore> {
+        self.last_rssi.as_ref()
+    }
+
+    /// The storage repository with everything generated so far.
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_dbi::{office, write_step, SynthParams};
+    use vita_devices::DeviceType;
+    use vita_indoor::Timestamp;
+    use vita_mobility::LifespanConfig;
+    use vita_positioning::{ProximityConfig, TrilaterationConfig};
+    use vita_rssi::PathLossModel;
+
+    fn toolkit() -> Vita {
+        let text = write_step(&office(&SynthParams::with_floors(2)));
+        Vita::from_dbi_text(&text, &BuildParams::default()).unwrap()
+    }
+
+    fn quick_mobility() -> MobilityConfig {
+        MobilityConfig {
+            object_count: 6,
+            duration: Timestamp(60_000),
+            lifespan: LifespanConfig { min: Timestamp(60_000), max: Timestamp(60_000) },
+            seed: 77,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_six_step_pipeline() {
+        let mut vita = toolkit();
+        assert_eq!(vita.env().summary().floors, 2);
+
+        let placed = vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            8,
+        );
+        assert_eq!(placed, 8);
+
+        let gen = vita.generate_objects(&quick_mobility()).unwrap();
+        assert_eq!(gen.stats.objects, 6);
+        let samples = gen.stats.samples;
+        assert!(samples > 0);
+
+        let rssi_cfg = RssiConfig { duration: Timestamp(60_000), ..Default::default() };
+        let rssi = vita.generate_rssi(&rssi_cfg).unwrap();
+        assert!(!rssi.is_empty());
+        let rssi_count = rssi.len();
+
+        let method = MethodConfig::Trilateration {
+            config: TrilaterationConfig::default(),
+            conversion_model: PathLossModel::default(),
+        };
+        let data = vita.run_positioning(&method).unwrap();
+        assert!(!data.is_empty());
+
+        // Storage holds all products.
+        let (t, r, f, _) = vita.repository().counts();
+        assert_eq!(t, samples);
+        assert_eq!(r, rssi_count);
+        assert_eq!(f, data.len());
+    }
+
+    #[test]
+    fn stage_ordering_enforced() {
+        let mut vita = toolkit();
+        let rssi_cfg = RssiConfig::default();
+        assert!(matches!(
+            vita.generate_rssi(&rssi_cfg),
+            Err(VitaError::MissingStage(_))
+        ));
+        let method = MethodConfig::Proximity(ProximityConfig::default());
+        assert!(matches!(
+            vita.run_positioning(&method),
+            Err(VitaError::MissingStage(_))
+        ));
+    }
+
+    #[test]
+    fn proximity_results_stored_in_proximity_table() {
+        let mut vita = toolkit();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::Rfid),
+            FloorId(0),
+            DeploymentModel::CheckPoint,
+            6,
+        );
+        vita.generate_objects(&quick_mobility()).unwrap();
+        vita.generate_rssi(&RssiConfig { duration: Timestamp(60_000), ..Default::default() })
+            .unwrap();
+        let data = vita
+            .run_positioning(&MethodConfig::Proximity(ProximityConfig::default()))
+            .unwrap();
+        let (_, _, fixes, prox) = vita.repository().counts();
+        assert_eq!(prox, data.len());
+        assert_eq!(fixes, 0);
+    }
+
+    #[test]
+    fn bad_dbi_is_reported() {
+        assert!(matches!(
+            Vita::from_dbi_text("garbage", &BuildParams::default()),
+            Err(VitaError::Dbi(_))
+        ));
+    }
+
+    #[test]
+    fn obstacle_deployment_through_env_mut() {
+        let mut vita = toolkit();
+        let n_before = vita.env().obstacles().len();
+        vita.env_mut().deploy_obstacle(
+            FloorId(0),
+            vita_geometry::Polygon::rect(10.0, 11.0, 12.0, 13.0),
+            5.0,
+        );
+        assert_eq!(vita.env().obstacles().len(), n_before + 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! Floor-plan rendering: the non-interactive stand-in for the paper's GUI
+//! (Fig. 4) and for Fig. 3's annotated floor plans.
+//!
+//! Two backends: an ASCII raster for terminals/logs and an SVG writer for
+//! documents. Both draw partitions (tagged by semantic class), doors,
+//! devices, moving objects (crowds get distinct markers, echoing Fig. 3(b)'s
+//! circles vs rectangles) and optional trajectory polylines.
+
+use std::fmt::Write as _;
+
+use vita_devices::DeviceRegistry;
+use vita_geometry::Point;
+use vita_indoor::{DoorKind, FloorId, IndoorEnvironment};
+
+/// Things to overlay on the floor plan.
+#[derive(Debug, Clone, Default)]
+pub struct Overlay {
+    /// Device positions.
+    pub devices: Vec<Point>,
+    /// Object positions, with crowd index when part of a crowd.
+    pub objects: Vec<(Point, Option<usize>)>,
+    /// Trajectory polylines.
+    pub trajectories: Vec<Vec<Point>>,
+}
+
+impl Overlay {
+    pub fn with_devices(mut self, reg: &DeviceRegistry, floor: FloorId) -> Self {
+        self.devices = reg.on_floor(floor).map(|d| d.position).collect();
+        self
+    }
+}
+
+/// Render a floor to an ASCII raster roughly `cols` characters wide.
+///
+/// Legend: partition interiors use their semantic tag (dimmed to `.` except
+/// near the label), `#` walls/boundaries, `D` doors, `=` openings, `@`
+/// devices, `o` crowd objects (digit = crowd index), `x` outliers.
+pub fn ascii_floor(
+    env: &IndoorEnvironment,
+    floor: FloorId,
+    cols: usize,
+    overlay: &Overlay,
+) -> String {
+    let cols = cols.clamp(20, 300);
+    // Floor bounds.
+    let mut bb = vita_geometry::Aabb::empty();
+    for &pid in &env.floor(floor).partitions {
+        bb = bb.union(&env.partition(pid).polygon.bbox());
+    }
+    if bb.is_empty() {
+        return String::from("(empty floor)\n");
+    }
+    let scale = bb.width() / cols as f64;
+    // Terminal cells are ~2× taller than wide.
+    let rows = ((bb.height() / (scale * 2.0)).ceil() as usize).max(1);
+
+    let to_world = |c: usize, r: usize| -> Point {
+        Point::new(
+            bb.min.x + (c as f64 + 0.5) * scale,
+            // Row 0 is the top (max y).
+            bb.max.y - (r as f64 + 0.5) * scale * 2.0,
+        )
+    };
+    let to_cell = |p: Point| -> (usize, usize) {
+        let c = (((p.x - bb.min.x) / scale) as isize).clamp(0, cols as isize - 1) as usize;
+        let r = (((bb.max.y - p.y) / (scale * 2.0)) as isize).clamp(0, rows as isize - 1) as usize;
+        (c, r)
+    };
+
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (r, row) in grid.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            let p = to_world(c, r);
+            *cell = match env.locate(floor, p) {
+                // Boundary cells become '#'.
+                Some(pid) if env.partition(pid).polygon.boundary_dist(p) < scale => '#',
+                Some(_) => '.',
+                None => ' ',
+            };
+        }
+    }
+
+    // Partition labels: semantic tag at the centroid.
+    for &pid in &env.floor(floor).partitions {
+        let part = env.partition(pid);
+        let (c, r) = to_cell(part.centroid());
+        grid[r][c] = part.semantic.tag();
+    }
+
+    // Doors and openings.
+    for d in env.doors_on(floor) {
+        let (c, r) = to_cell(d.position);
+        grid[r][c] = match d.kind {
+            DoorKind::Door => 'D',
+            DoorKind::Opening => '=',
+        };
+    }
+
+    // Trajectories (drawn before objects/devices so markers stay visible).
+    for tr in &overlay.trajectories {
+        for p in tr {
+            let (c, r) = to_cell(*p);
+            if grid[r][c] == '.' {
+                grid[r][c] = '+';
+            }
+        }
+    }
+
+    // Devices.
+    for p in &overlay.devices {
+        let (c, r) = to_cell(*p);
+        grid[r][c] = '@';
+    }
+
+    // Objects: crowd members show the crowd digit, outliers 'x'.
+    for (p, crowd) in &overlay.objects {
+        let (c, r) = to_cell(*p);
+        grid[r][c] = match crowd {
+            Some(k) => char::from_digit((*k % 10) as u32, 10).unwrap_or('o'),
+            None => 'x',
+        };
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a floor to a standalone SVG document.
+pub fn svg_floor(
+    env: &IndoorEnvironment,
+    floor: FloorId,
+    px_per_m: f64,
+    overlay: &Overlay,
+) -> String {
+    let px = px_per_m.clamp(1.0, 100.0);
+    let mut bb = vita_geometry::Aabb::empty();
+    for &pid in &env.floor(floor).partitions {
+        bb = bb.union(&env.partition(pid).polygon.bbox());
+    }
+    let margin = 1.0;
+    bb = bb.inflated(margin);
+    let w = (bb.width() * px).ceil();
+    let h = (bb.height() * px).ceil();
+    let tx = |p: Point| -> (f64, f64) {
+        ((p.x - bb.min.x) * px, (bb.max.y - p.y) * px) // y-flip
+    };
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = writeln!(s, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+
+    // Partitions.
+    for &pid in &env.floor(floor).partitions {
+        let part = env.partition(pid);
+        let pts: Vec<String> = part
+            .polygon
+            .vertices()
+            .iter()
+            .map(|&v| {
+                let (x, y) = tx(v);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        let fill = semantic_fill(part.semantic);
+        let _ = writeln!(
+            s,
+            r#"<polygon points="{}" fill="{fill}" stroke="black" stroke-width="1.5"/>"#,
+            pts.join(" ")
+        );
+        let (cx, cy) = tx(part.centroid());
+        let _ = writeln!(
+            s,
+            r##"<text x="{cx:.1}" y="{cy:.1}" font-size="9" text-anchor="middle" fill="#333">{}</text>"##,
+            xml_escape(&part.name)
+        );
+    }
+
+    // Doors.
+    for d in env.doors_on(floor) {
+        let (x, y) = tx(d.position);
+        let (color, r) = match d.kind {
+            DoorKind::Door => ("saddlebrown", 3.5),
+            DoorKind::Opening => ("silver", 2.0),
+        };
+        let _ = writeln!(s, r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r}" fill="{color}"/>"#);
+    }
+
+    // Trajectories.
+    for tr in &overlay.trajectories {
+        if tr.len() < 2 {
+            continue;
+        }
+        let pts: Vec<String> = tr
+            .iter()
+            .map(|&p| {
+                let (x, y) = tx(p);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        let _ = writeln!(
+            s,
+            r#"<polyline points="{}" fill="none" stroke="steelblue" stroke-width="1" opacity="0.7"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    // Devices (triangles, like AP icons).
+    for p in &overlay.devices {
+        let (x, y) = tx(*p);
+        let _ = writeln!(
+            s,
+            r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="crimson"/>"#,
+            x,
+            y - 5.0,
+            x - 4.5,
+            y + 4.0,
+            x + 4.5,
+            y + 4.0
+        );
+    }
+
+    // Objects: circles for crowd members (per-crowd hue), squares for
+    // outliers — Fig. 3(b)'s visual vocabulary.
+    for (p, crowd) in &overlay.objects {
+        let (x, y) = tx(*p);
+        match crowd {
+            Some(k) => {
+                let hue = (k * 77) % 360;
+                let _ = writeln!(
+                    s,
+                    r#"<circle cx="{x:.1}" cy="{y:.1}" r="2.5" fill="hsl({hue},70%,45%)"/>"#
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    r#"<rect x="{:.1}" y="{:.1}" width="4" height="4" fill="black"/>"#,
+                    x - 2.0,
+                    y - 2.0
+                );
+            }
+        }
+    }
+
+    s.push_str("</svg>\n");
+    s
+}
+
+fn semantic_fill(s: vita_indoor::Semantic) -> &'static str {
+    use vita_indoor::Semantic::*;
+    match s {
+        Corridor => "#f2f2e9",
+        Canteen => "#ffe8c2",
+        PublicArea => "#e4f0e2",
+        Shop => "#e0ecf8",
+        Staircase => "#ddd5e8",
+        MedicalRoom => "#fbe4e4",
+        Waiting => "#f8f0d8",
+        Meeting => "#e8e8f8",
+        Office => "#eef4fa",
+        Room => "#f7f7f7",
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_dbi::{office, SynthParams};
+    use vita_indoor::{build_environment, BuildParams};
+
+    fn env() -> IndoorEnvironment {
+        build_environment(&office(&SynthParams::with_floors(1)), &BuildParams::default())
+            .unwrap()
+            .env
+    }
+
+    #[test]
+    fn ascii_contains_structure_markers() {
+        let env = env();
+        let art = ascii_floor(&env, FloorId(0), 100, &Overlay::default());
+        assert!(art.contains('#'), "no walls drawn");
+        assert!(art.contains('D'), "no doors drawn");
+        assert!(art.contains('='), "no openings drawn");
+        assert!(art.contains('K'), "no canteen tag");
+        assert!(art.lines().count() > 5);
+    }
+
+    #[test]
+    fn ascii_overlay_markers() {
+        let env = env();
+        let overlay = Overlay {
+            devices: vec![Point::new(21.0, 12.0)],
+            objects: vec![
+                (Point::new(3.0, 3.0), Some(0)),
+                (Point::new(9.0, 3.0), None),
+            ],
+            trajectories: vec![],
+        };
+        let art = ascii_floor(&env, FloorId(0), 100, &overlay);
+        assert!(art.contains('@'), "device marker missing");
+        assert!(art.contains('0'), "crowd marker missing");
+        assert!(art.contains('x'), "outlier marker missing");
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_annotated() {
+        let env = env();
+        let overlay = Overlay {
+            devices: vec![Point::new(21.0, 12.0)],
+            objects: vec![(Point::new(3.0, 3.0), Some(2)), (Point::new(9.0, 3.0), None)],
+            trajectories: vec![vec![Point::new(1.0, 12.0), Point::new(20.0, 12.0)]],
+        };
+        let svg = svg_floor(&env, FloorId(0), 10.0, &overlay);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polygon"));
+        assert!(svg.contains("Canteen"));
+        assert!(svg.contains("crimson")); // device
+        assert!(svg.contains("hsl(")); // crowd member
+        assert!(svg.contains("<polyline")); // trajectory
+        // Balanced tags.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml_escape("A&B<C>"), "A&amp;B&lt;C&gt;");
+    }
+
+    #[test]
+    fn ascii_width_clamped() {
+        let env = env();
+        let art = ascii_floor(&env, FloorId(0), 5, &Overlay::default());
+        let max_line = art.lines().map(|l| l.len()).max().unwrap_or(0);
+        assert!(max_line <= 20);
+        let art = ascii_floor(&env, FloorId(0), 9999, &Overlay::default());
+        let max_line = art.lines().map(|l| l.len()).max().unwrap_or(0);
+        assert!(max_line <= 300);
+    }
+}

@@ -1,0 +1,516 @@
+//! Validation and repair of decoded DBI models (paper §4.1).
+//!
+//! "The data errors in describing the indoor topology can be identified
+//! through geometry calculations or GUI-based manual checks." This module is
+//! the geometry-calculation half: it scans a [`DbiModel`] for the defects
+//! real IFC exports exhibit, fixes what can be fixed mechanically, and
+//! reports everything it saw so a caller (or a GUI) can review.
+
+use std::fmt;
+
+use vita_geometry::{Point, Polygon, Segment, EPS};
+
+use crate::schema::{DbiModel, EntityId};
+
+/// How far a mispositioned door may be from a space boundary and still be
+/// snapped onto it (metres).
+pub const DOOR_SNAP_TOLERANCE: f64 = 0.75;
+
+/// One finding from validation. `repaired` tells whether the model was
+/// changed to fix it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    pub entity: EntityId,
+    pub kind: FindingKind,
+    pub repaired: bool,
+}
+
+/// The classes of defects the checker knows about.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FindingKind {
+    /// Footprint has consecutive duplicate vertices (removed).
+    DuplicateVertices,
+    /// Footprint is degenerate (dropped from the model).
+    DegenerateFootprint(String),
+    /// Footprint ring self-intersects (dropped).
+    SelfIntersectingFootprint,
+    /// Door farther than [`DOOR_SNAP_TOLERANCE`] from every space boundary on
+    /// its storey (left in place, flagged).
+    DoorOffBoundary { dist: f64 },
+    /// Door within tolerance but not exactly on a boundary (snapped).
+    DoorSnapped { moved_by: f64 },
+    /// Two spaces on one storey overlap by more than sliver area.
+    OverlappingSpaces { other: EntityId, area: f64 },
+    /// Two storeys share (nearly) one elevation.
+    DuplicateElevation { other: EntityId },
+    /// Staircase vertices span < 0.5 m vertically: cannot connect two floors.
+    FlatStaircase { span: f64 },
+    /// Wall centerline had zero-length segments (deduplicated).
+    WallZeroSegments,
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FindingKind::DuplicateVertices => write!(f, "duplicate footprint vertices"),
+            FindingKind::DegenerateFootprint(r) => write!(f, "degenerate footprint: {r}"),
+            FindingKind::SelfIntersectingFootprint => write!(f, "self-intersecting footprint"),
+            FindingKind::DoorOffBoundary { dist } => {
+                write!(f, "door {dist:.2} m from nearest space boundary")
+            }
+            FindingKind::DoorSnapped { moved_by } => {
+                write!(f, "door snapped {moved_by:.3} m onto boundary")
+            }
+            FindingKind::OverlappingSpaces { other, area } => {
+                write!(f, "overlaps space #{other} by {area:.2} m²")
+            }
+            FindingKind::DuplicateElevation { other } => {
+                write!(f, "same elevation as storey #{other}")
+            }
+            FindingKind::FlatStaircase { span } => {
+                write!(f, "staircase vertical span only {span:.2} m")
+            }
+            FindingKind::WallZeroSegments => write!(f, "wall had zero-length segments"),
+        }
+    }
+}
+
+/// Report from a validation/repair pass.
+#[derive(Debug, Clone, Default)]
+pub struct RepairReport {
+    pub findings: Vec<Finding>,
+}
+
+impl RepairReport {
+    pub fn repaired_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.repaired).count()
+    }
+
+    pub fn unrepaired_count(&self) -> usize {
+        self.findings.iter().filter(|f| !f.repaired).count()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Validate `model` in place, repairing what is mechanically fixable.
+pub fn validate_and_repair(model: &mut DbiModel) -> RepairReport {
+    let mut report = RepairReport::default();
+
+    repair_footprints(model, &mut report);
+    repair_walls(model, &mut report);
+    snap_doors(model, &mut report);
+    check_overlaps(model, &mut report);
+    check_elevations(model, &mut report);
+    check_staircases(model, &mut report);
+
+    report
+}
+
+fn repair_footprints(model: &mut DbiModel, report: &mut RepairReport) {
+    let mut kept = Vec::with_capacity(model.spaces.len());
+    for mut sp in model.spaces.drain(..) {
+        // Remove consecutive duplicates (and a closing vertex repeat).
+        let before = sp.footprint.len();
+        if sp.footprint.len() >= 2
+            && sp.footprint.first().unwrap().approx_eq(*sp.footprint.last().unwrap())
+        {
+            sp.footprint.pop();
+        }
+        sp.footprint.dedup_by(|a, b| a.approx_eq(*b));
+        if sp.footprint.len() != before {
+            report.findings.push(Finding {
+                entity: sp.id,
+                kind: FindingKind::DuplicateVertices,
+                repaired: true,
+            });
+        }
+        // Self-intersection is checked on the raw ring first: a bow-tie has
+        // zero signed area and would otherwise masquerade as "degenerate".
+        if raw_ring_self_intersects(&sp.footprint) {
+            report.findings.push(Finding {
+                entity: sp.id,
+                kind: FindingKind::SelfIntersectingFootprint,
+                repaired: true, // repaired by removal
+            });
+            continue;
+        }
+        match Polygon::new(sp.footprint.clone()) {
+            Ok(_) => kept.push(sp),
+            Err(e) => {
+                report.findings.push(Finding {
+                    entity: sp.id,
+                    kind: FindingKind::DegenerateFootprint(e.to_string()),
+                    repaired: true, // repaired by removal
+                });
+            }
+        }
+    }
+    model.spaces = kept;
+}
+
+fn raw_ring_self_intersects(ring: &[Point]) -> bool {
+    let n = ring.len();
+    if n < 4 {
+        return false;
+    }
+    let edges: Vec<Segment> =
+        (0..n).map(|i| Segment::new(ring[i], ring[(i + 1) % n])).collect();
+    for i in 0..n {
+        for j in i + 1..n {
+            // Adjacent edges share an endpoint; only proper crossings count.
+            if edges[i].crosses(&edges[j]) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn repair_walls(model: &mut DbiModel, report: &mut RepairReport) {
+    for wall in &mut model.walls {
+        let before = wall.path.len();
+        wall.path.dedup_by(|a, b| a.approx_eq(*b));
+        if wall.path.len() != before {
+            report.findings.push(Finding {
+                entity: wall.id,
+                kind: FindingKind::WallZeroSegments,
+                repaired: true,
+            });
+        }
+    }
+    model.walls.retain(|w| w.path.len() >= 2);
+}
+
+fn snap_doors(model: &mut DbiModel, report: &mut RepairReport) {
+    // For each door, find the closest boundary point among spaces on its
+    // storey; snap within tolerance, flag beyond it.
+    let spaces = model.spaces.clone();
+    for door in &mut model.doors {
+        let mut best: Option<(Point, f64)> = None;
+        for sp in spaces.iter().filter(|s| s.storey == door.storey) {
+            let Ok(poly) = Polygon::new(sp.footprint.clone()) else { continue };
+            for edge in poly.edges() {
+                let cp = edge.closest_point(door.position);
+                let d = cp.dist(door.position);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((cp, d));
+                }
+            }
+        }
+        match best {
+            Some((cp, d)) if d > EPS.sqrt() && d <= DOOR_SNAP_TOLERANCE => {
+                door.position = cp;
+                report.findings.push(Finding {
+                    entity: door.id,
+                    kind: FindingKind::DoorSnapped { moved_by: d },
+                    repaired: true,
+                });
+            }
+            Some((_, d)) if d > DOOR_SNAP_TOLERANCE => {
+                report.findings.push(Finding {
+                    entity: door.id,
+                    kind: FindingKind::DoorOffBoundary { dist: d },
+                    repaired: false,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_overlaps(model: &DbiModel, report: &mut RepairReport) {
+    // Pairwise overlap test per storey; sliver overlaps under 1 % of the
+    // smaller footprint are tolerated (shared-wall modelling noise).
+    for (i, a) in model.spaces.iter().enumerate() {
+        let Ok(pa) = Polygon::new(a.footprint.clone()) else { continue };
+        for b in model.spaces.iter().skip(i + 1) {
+            if a.storey != b.storey {
+                continue;
+            }
+            let Ok(pb) = Polygon::new(b.footprint.clone()) else { continue };
+            if !pa.bbox().intersects(&pb.bbox()) {
+                continue;
+            }
+            let overlap = overlap_area(&pa, &pb);
+            let tolerance = 0.01 * pa.area().min(pb.area());
+            if overlap > tolerance.max(1e-6) {
+                report.findings.push(Finding {
+                    entity: a.id,
+                    kind: FindingKind::OverlappingSpaces { other: b.id, area: overlap },
+                    repaired: false,
+                });
+            }
+        }
+    }
+}
+
+/// Approximate intersection area of two convex-ish footprints by clipping `a`
+/// with each edge half-plane of `b` (exact for convex `b`).
+fn overlap_area(a: &Polygon, b: &Polygon) -> f64 {
+    let mut clipped = a.clone();
+    for edge in b.edges() {
+        match clipped.clip_half_plane(edge.a, edge.b) {
+            Some(next) => clipped = next,
+            None => return 0.0,
+        }
+    }
+    clipped.area()
+}
+
+fn check_elevations(model: &DbiModel, report: &mut RepairReport) {
+    for (i, a) in model.storeys.iter().enumerate() {
+        for b in model.storeys.iter().skip(i + 1) {
+            if (a.elevation - b.elevation).abs() < 0.1 {
+                report.findings.push(Finding {
+                    entity: a.id,
+                    kind: FindingKind::DuplicateElevation { other: b.id },
+                    repaired: false,
+                });
+            }
+        }
+    }
+}
+
+fn check_staircases(model: &DbiModel, report: &mut RepairReport) {
+    for st in &model.stairs {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for v in &st.vertices {
+            lo = lo.min(v.z);
+            hi = hi.max(v.z);
+        }
+        let span = if st.vertices.is_empty() { 0.0 } else { hi - lo };
+        if span < 0.5 {
+            report.findings.push(Finding {
+                entity: st.id,
+                kind: FindingKind::FlatStaircase { span },
+                repaired: false,
+            });
+        }
+    }
+}
+
+/// Deliberate corruption utilities for testing the repair path.
+pub mod corrupt {
+    use super::*;
+
+    /// Move the first door `offset` metres away from where it is.
+    pub fn displace_first_door(model: &mut DbiModel, offset: f64) {
+        if let Some(d) = model.doors.first_mut() {
+            d.position = Point::new(d.position.x + offset, d.position.y + offset);
+        }
+    }
+
+    /// Duplicate every vertex of the first space footprint.
+    pub fn duplicate_first_space_vertices(model: &mut DbiModel) {
+        if let Some(sp) = model.spaces.first_mut() {
+            let doubled: Vec<Point> =
+                sp.footprint.iter().flat_map(|&p| [p, p]).collect();
+            sp.footprint = doubled;
+        }
+    }
+
+    /// Replace the first space footprint with a self-intersecting bow-tie.
+    pub fn bowtie_first_space(model: &mut DbiModel) {
+        if let Some(sp) = model.spaces.first_mut() {
+            sp.footprint = vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 2.0),
+                Point::new(2.0, 0.0),
+                Point::new(0.0, 2.0),
+            ];
+        }
+    }
+
+    /// Flatten the first staircase to a single elevation.
+    pub fn flatten_first_stair(model: &mut DbiModel) {
+        if let Some(st) = model.stairs.first_mut() {
+            for v in &mut st.vertices {
+                v.z = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DoorDirectionality, DoorRec, SpaceRec, StairRec, StoreyRec};
+    use vita_geometry::Point3;
+
+    fn base_model() -> DbiModel {
+        DbiModel {
+            building_name: "T".into(),
+            storeys: vec![
+                StoreyRec { id: 1, name: "G".into(), elevation: 0.0 },
+                StoreyRec { id: 2, name: "F1".into(), elevation: 3.0 },
+            ],
+            spaces: vec![
+                SpaceRec {
+                    id: 10,
+                    name: "A".into(),
+                    usage: String::new(),
+                    storey: 1,
+                    footprint: Polygon::rect(0.0, 0.0, 5.0, 4.0).vertices().to_vec(),
+                },
+                SpaceRec {
+                    id: 11,
+                    name: "B".into(),
+                    usage: String::new(),
+                    storey: 1,
+                    footprint: Polygon::rect(5.0, 0.0, 10.0, 4.0).vertices().to_vec(),
+                },
+            ],
+            doors: vec![DoorRec {
+                id: 20,
+                name: "D".into(),
+                storey: 1,
+                position: Point::new(5.0, 2.0),
+                width: 0.9,
+                directionality: DoorDirectionality::Both,
+            }],
+            stairs: vec![StairRec {
+                id: 30,
+                name: "S".into(),
+                vertices: vec![Point3::new(1.0, 1.0, 0.0), Point3::new(2.0, 1.0, 3.0)],
+            }],
+            walls: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_model_reports_nothing() {
+        let mut m = base_model();
+        let rep = validate_and_repair(&mut m);
+        assert!(rep.is_clean(), "{:?}", rep.findings);
+        assert_eq!(m.spaces.len(), 2);
+    }
+
+    #[test]
+    fn door_within_tolerance_is_snapped() {
+        let mut m = base_model();
+        m.doors[0].position = Point::new(5.3, 2.0); // 0.3 m off the shared wall
+        let rep = validate_and_repair(&mut m);
+        let f = rep.findings.iter().find(|f| f.entity == 20).expect("door finding");
+        assert!(matches!(f.kind, FindingKind::DoorSnapped { .. }));
+        assert!(f.repaired);
+        assert!(m.doors[0].position.approx_eq(Point::new(5.0, 2.0)));
+    }
+
+    #[test]
+    fn door_far_away_is_flagged_not_moved() {
+        let mut m = base_model();
+        corrupt::displace_first_door(&mut m, 10.0);
+        let before = m.doors[0].position;
+        let rep = validate_and_repair(&mut m);
+        let f = rep.findings.iter().find(|f| f.entity == 20).expect("door finding");
+        assert!(matches!(f.kind, FindingKind::DoorOffBoundary { .. }));
+        assert!(!f.repaired);
+        assert!(m.doors[0].position.approx_eq(before));
+    }
+
+    #[test]
+    fn duplicate_vertices_removed() {
+        let mut m = base_model();
+        corrupt::duplicate_first_space_vertices(&mut m);
+        let rep = validate_and_repair(&mut m);
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.entity == 10 && f.kind == FindingKind::DuplicateVertices));
+        assert_eq!(m.spaces[0].footprint.len(), 4);
+    }
+
+    #[test]
+    fn bowtie_footprint_dropped() {
+        let mut m = base_model();
+        corrupt::bowtie_first_space(&mut m);
+        let rep = validate_and_repair(&mut m);
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.entity == 10 && f.kind == FindingKind::SelfIntersectingFootprint));
+        assert_eq!(m.spaces.len(), 1);
+        assert_eq!(m.spaces[0].id, 11);
+    }
+
+    #[test]
+    fn overlapping_spaces_flagged() {
+        let mut m = base_model();
+        m.spaces[1].footprint = Polygon::rect(3.0, 0.0, 8.0, 4.0).vertices().to_vec();
+        let rep = validate_and_repair(&mut m);
+        let f = rep
+            .findings
+            .iter()
+            .find(|f| matches!(f.kind, FindingKind::OverlappingSpaces { .. }))
+            .expect("overlap finding");
+        match f.kind {
+            FindingKind::OverlappingSpaces { area, .. } => {
+                assert!((area - 8.0).abs() < 0.1, "overlap area {area}")
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn duplicate_elevations_flagged() {
+        let mut m = base_model();
+        m.storeys[1].elevation = 0.05;
+        let rep = validate_and_repair(&mut m);
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| matches!(f.kind, FindingKind::DuplicateElevation { .. })));
+    }
+
+    #[test]
+    fn flat_staircase_flagged() {
+        let mut m = base_model();
+        corrupt::flatten_first_stair(&mut m);
+        let rep = validate_and_repair(&mut m);
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.entity == 30 && matches!(f.kind, FindingKind::FlatStaircase { .. })));
+    }
+
+    #[test]
+    fn degenerate_footprint_dropped() {
+        let mut m = base_model();
+        m.spaces[0].footprint = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let rep = validate_and_repair(&mut m);
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| matches!(f.kind, FindingKind::DegenerateFootprint(_))));
+        assert_eq!(m.spaces.len(), 1);
+    }
+
+    #[test]
+    fn wall_zero_segments_deduped() {
+        use crate::schema::WallRec;
+        let mut m = base_model();
+        m.walls.push(WallRec {
+            id: 40,
+            name: "W".into(),
+            storey: 1,
+            path: vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+        });
+        let rep = validate_and_repair(&mut m);
+        assert!(rep.findings.iter().any(|f| f.kind == FindingKind::WallZeroSegments));
+        assert_eq!(m.walls[0].path.len(), 2);
+    }
+
+    #[test]
+    fn report_counters() {
+        let mut m = base_model();
+        corrupt::bowtie_first_space(&mut m);
+        corrupt::flatten_first_stair(&mut m);
+        let rep = validate_and_repair(&mut m);
+        assert!(rep.repaired_count() >= 1);
+        assert!(rep.unrepaired_count() >= 1);
+        assert!(!rep.is_clean());
+    }
+}

@@ -1,0 +1,545 @@
+//! Typed DBI entity model decoded from raw STEP records.
+//!
+//! The subset of IFC entity classes Vita consumes, with the attribute layout
+//! this toolkit reads and writes (a pragmatic projection of IFC2X3 — real
+//! exports carry many more attributes; the DBI Processor needs only these):
+//!
+//! | Entity | Attributes |
+//! |---|---|
+//! | `IFCBUILDING` | `name` |
+//! | `IFCBUILDINGSTOREY` | `name, elevation, #building` |
+//! | `IFCSPACE` | `name, usage, #storey, #polyline(footprint)` |
+//! | `IFCDOOR` | `name, #storey, #point(position), width, .directionality.` |
+//! | `IFCSTAIR` | `name, (#point3d, ...)` — disjoint 3-D boundary vertices |
+//! | `IFCWALLSTANDARDCASE` | `name, #storey, #polyline(centerline)` |
+//! | `IFCPOLYLINE` | `(#point, ...)` |
+//! | `IFCCARTESIANPOINT` | `((x, y))` or `((x, y, z))` |
+//!
+//! As the paper notes (§4.1), IFC "only capture[s] indoor topology
+//! partially": spaces do not say which doors they own, doors do not say which
+//! spaces they join, and staircases are just point clouds. Resolving all of
+//! that is the job of `vita-indoor`; this module only gets the geometry and
+//! attributes out of the file faithfully.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vita_geometry::{Point, Point3};
+
+use crate::step::{Arg, RawRecord, StepFile};
+
+/// Stable identifier of an entity inside one DBI file (its STEP id).
+pub type EntityId = u64;
+
+/// Door directionality as configured in the Infrastructure Layer (paper §2):
+/// whether the door can be traversed both ways or only one way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DoorDirectionality {
+    /// Traversable in both directions.
+    #[default]
+    Both,
+    /// Enter-only (e.g. security gates at a mall entrance).
+    EnterOnly,
+    /// Exit-only.
+    ExitOnly,
+}
+
+impl DoorDirectionality {
+    pub fn as_step_enum(&self) -> &'static str {
+        match self {
+            DoorDirectionality::Both => "BOTH",
+            DoorDirectionality::EnterOnly => "ENTER",
+            DoorDirectionality::ExitOnly => "EXIT",
+        }
+    }
+
+    pub fn from_step_enum(s: &str) -> Option<Self> {
+        match s {
+            "BOTH" | "DOUBLE" => Some(DoorDirectionality::Both),
+            "ENTER" | "IN" => Some(DoorDirectionality::EnterOnly),
+            "EXIT" | "OUT" => Some(DoorDirectionality::ExitOnly),
+            _ => None,
+        }
+    }
+}
+
+/// A building storey.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreyRec {
+    pub id: EntityId,
+    pub name: String,
+    /// Elevation of the storey floor slab above datum, metres.
+    pub elevation: f64,
+}
+
+/// A space (room, hallway, staircase landing...) with its footprint ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceRec {
+    pub id: EntityId,
+    pub name: String,
+    /// Free-text usage tag from the authoring tool ("office", "corridor"...).
+    /// Semantic extraction (§4.1) also looks at `name`.
+    pub usage: String,
+    pub storey: EntityId,
+    /// Footprint ring; validity is checked by the repair stage, not here.
+    pub footprint: Vec<Point>,
+}
+
+/// A door, positioned on (or near — see repair) a wall between two spaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoorRec {
+    pub id: EntityId,
+    pub name: String,
+    pub storey: EntityId,
+    pub position: Point,
+    /// Clear opening width, metres.
+    pub width: f64,
+    pub directionality: DoorDirectionality,
+}
+
+/// A staircase: IFC models it as disjoint 3-D points (paper §4.1); floor
+/// connectivity is resolved later from these vertices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StairRec {
+    pub id: EntityId,
+    pub name: String,
+    pub vertices: Vec<Point3>,
+}
+
+/// A wall centerline polyline on a storey.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallRec {
+    pub id: EntityId,
+    pub name: String,
+    pub storey: EntityId,
+    pub path: Vec<Point>,
+}
+
+/// The decoded digital-building-information model for one building.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DbiModel {
+    pub building_name: String,
+    pub storeys: Vec<StoreyRec>,
+    pub spaces: Vec<SpaceRec>,
+    pub doors: Vec<DoorRec>,
+    pub stairs: Vec<StairRec>,
+    pub walls: Vec<WallRec>,
+}
+
+impl DbiModel {
+    pub fn storey(&self, id: EntityId) -> Option<&StoreyRec> {
+        self.storeys.iter().find(|s| s.id == id)
+    }
+
+    pub fn spaces_on(&self, storey: EntityId) -> impl Iterator<Item = &SpaceRec> {
+        self.spaces.iter().filter(move |s| s.storey == storey)
+    }
+
+    pub fn doors_on(&self, storey: EntityId) -> impl Iterator<Item = &DoorRec> {
+        self.doors.iter().filter(move |d| d.storey == storey)
+    }
+
+    pub fn walls_on(&self, storey: EntityId) -> impl Iterator<Item = &WallRec> {
+        self.walls.iter().filter(move |w| w.storey == storey)
+    }
+
+    /// Total number of decoded entities.
+    pub fn entity_count(&self) -> usize {
+        1 + self.storeys.len()
+            + self.spaces.len()
+            + self.doors.len()
+            + self.stairs.len()
+            + self.walls.len()
+    }
+}
+
+/// A non-fatal problem found while decoding; the record is skipped and the
+/// issue reported, mirroring Vita's GUI-or-geometry error surfacing (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeIssue {
+    pub record: EntityId,
+    pub line: u32,
+    pub reason: String,
+}
+
+impl fmt::Display for DecodeIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} (line {}): {}", self.record, self.line, self.reason)
+    }
+}
+
+/// Fatal decoding error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// The file contains no IFCBUILDING record.
+    NoBuilding,
+    /// The file contains no storeys.
+    NoStoreys,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::NoBuilding => write!(f, "no IFCBUILDING record"),
+            DecodeError::NoStoreys => write!(f, "no IFCBUILDINGSTOREY records"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Result of decoding: the model plus any per-record issues.
+#[derive(Debug, Clone)]
+pub struct Decoded {
+    pub model: DbiModel,
+    pub issues: Vec<DecodeIssue>,
+}
+
+/// Decode a parsed STEP file into the typed model.
+///
+/// Unknown entity types are ignored (real IFC files contain hundreds of
+/// classes Vita does not use). Records of known types with missing/dangling
+/// attributes are skipped and reported as issues.
+pub fn decode(file: &StepFile) -> Result<Decoded, DecodeError> {
+    let mut issues = Vec::new();
+
+    // Resolve all cartesian points up-front.
+    let mut pts2: BTreeMap<EntityId, Point> = BTreeMap::new();
+    let mut pts3: BTreeMap<EntityId, Point3> = BTreeMap::new();
+    for rec in file.records_of("IFCCARTESIANPOINT") {
+        match point_args(rec) {
+            Ok((p, z)) => {
+                pts2.insert(rec.id, p);
+                if let Some(z) = z {
+                    pts3.insert(rec.id, Point3::new(p.x, p.y, z));
+                }
+            }
+            Err(reason) => issues.push(DecodeIssue { record: rec.id, line: rec.line, reason }),
+        }
+    }
+
+    // Polylines resolve to point lists.
+    let mut polylines: BTreeMap<EntityId, Vec<Point>> = BTreeMap::new();
+    for rec in file.records_of("IFCPOLYLINE") {
+        let Some(items) = rec.args.first().and_then(Arg::as_list) else {
+            issues.push(issue(rec, "polyline missing point list"));
+            continue;
+        };
+        let mut pts = Vec::with_capacity(items.len());
+        let mut ok = true;
+        for it in items {
+            match it.as_ref_id().and_then(|r| pts2.get(&r).copied()) {
+                Some(p) => pts.push(p),
+                None => {
+                    issues.push(issue(rec, "polyline references missing point"));
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            polylines.insert(rec.id, pts);
+        }
+    }
+
+    let building_name = match file.records_of("IFCBUILDING").next() {
+        Some(rec) => rec.args.first().and_then(Arg::as_str).unwrap_or("unnamed").to_string(),
+        None => return Err(DecodeError::NoBuilding),
+    };
+
+    let mut model = DbiModel { building_name, ..Default::default() };
+
+    for rec in file.records_of("IFCBUILDINGSTOREY") {
+        let name = rec.args.first().and_then(Arg::as_str).unwrap_or("storey").to_string();
+        let Some(elevation) = rec.args.get(1).and_then(Arg::as_num) else {
+            issues.push(issue(rec, "storey missing elevation"));
+            continue;
+        };
+        model.storeys.push(StoreyRec { id: rec.id, name, elevation });
+    }
+    if model.storeys.is_empty() {
+        return Err(DecodeError::NoStoreys);
+    }
+    model.storeys.sort_by(|a, b| a.elevation.partial_cmp(&b.elevation).unwrap());
+    let storey_ids: Vec<EntityId> = model.storeys.iter().map(|s| s.id).collect();
+
+    for rec in file.records_of("IFCSPACE") {
+        let name = rec.args.first().and_then(Arg::as_str).unwrap_or("space").to_string();
+        let usage = rec.args.get(1).and_then(Arg::as_str).unwrap_or("").to_string();
+        let Some(storey) = rec.args.get(2).and_then(Arg::as_ref_id) else {
+            issues.push(issue(rec, "space missing storey reference"));
+            continue;
+        };
+        if !storey_ids.contains(&storey) {
+            issues.push(issue(rec, "space references unknown storey"));
+            continue;
+        }
+        let Some(footprint) =
+            rec.args.get(3).and_then(Arg::as_ref_id).and_then(|r| polylines.get(&r).cloned())
+        else {
+            issues.push(issue(rec, "space missing footprint polyline"));
+            continue;
+        };
+        model.spaces.push(SpaceRec { id: rec.id, name, usage, storey, footprint });
+    }
+
+    for rec in file.records_of("IFCDOOR") {
+        let name = rec.args.first().and_then(Arg::as_str).unwrap_or("door").to_string();
+        let Some(storey) = rec.args.get(1).and_then(Arg::as_ref_id) else {
+            issues.push(issue(rec, "door missing storey reference"));
+            continue;
+        };
+        if !storey_ids.contains(&storey) {
+            issues.push(issue(rec, "door references unknown storey"));
+            continue;
+        }
+        let Some(position) =
+            rec.args.get(2).and_then(Arg::as_ref_id).and_then(|r| pts2.get(&r).copied())
+        else {
+            issues.push(issue(rec, "door missing position point"));
+            continue;
+        };
+        let width = rec.args.get(3).and_then(Arg::as_num).unwrap_or(0.9);
+        let directionality = rec
+            .args
+            .get(4)
+            .and_then(Arg::as_enum)
+            .and_then(DoorDirectionality::from_step_enum)
+            .unwrap_or_default();
+        model.doors.push(DoorRec { id: rec.id, name, storey, position, width, directionality });
+    }
+
+    for rec in file.records_of("IFCSTAIR") {
+        let name = rec.args.first().and_then(Arg::as_str).unwrap_or("stair").to_string();
+        let Some(items) = rec.args.get(1).and_then(Arg::as_list) else {
+            issues.push(issue(rec, "stair missing vertex list"));
+            continue;
+        };
+        let mut vertices = Vec::with_capacity(items.len());
+        let mut ok = true;
+        for it in items {
+            match it.as_ref_id().and_then(|r| pts3.get(&r).copied()) {
+                Some(p) => vertices.push(p),
+                None => {
+                    issues.push(issue(rec, "stair references missing 3-D point"));
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            model.stairs.push(StairRec { id: rec.id, name, vertices });
+        }
+    }
+
+    for rec in file.records_of("IFCWALLSTANDARDCASE").chain(file.records_of("IFCWALL")) {
+        let name = rec.args.first().and_then(Arg::as_str).unwrap_or("wall").to_string();
+        let Some(storey) = rec.args.get(1).and_then(Arg::as_ref_id) else {
+            issues.push(issue(rec, "wall missing storey reference"));
+            continue;
+        };
+        let Some(path) =
+            rec.args.get(2).and_then(Arg::as_ref_id).and_then(|r| polylines.get(&r).cloned())
+        else {
+            issues.push(issue(rec, "wall missing centerline polyline"));
+            continue;
+        };
+        if path.len() < 2 {
+            issues.push(issue(rec, "wall centerline has fewer than 2 points"));
+            continue;
+        }
+        model.walls.push(WallRec { id: rec.id, name, storey, path });
+    }
+
+    Ok(Decoded { model, issues })
+}
+
+fn issue(rec: &RawRecord, reason: &str) -> DecodeIssue {
+    DecodeIssue { record: rec.id, line: rec.line, reason: reason.to_string() }
+}
+
+fn point_args(rec: &RawRecord) -> Result<(Point, Option<f64>), String> {
+    let coords = rec
+        .args
+        .first()
+        .and_then(Arg::as_list)
+        .ok_or_else(|| "point missing coordinate list".to_string())?;
+    let x = coords.first().and_then(Arg::as_num).ok_or("point missing x")?;
+    let y = coords.get(1).and_then(Arg::as_num).ok_or("point missing y")?;
+    if !x.is_finite() || !y.is_finite() {
+        return Err("point coordinate not finite".into());
+    }
+    let z = coords.get(2).and_then(Arg::as_num);
+    Ok((Point::new(x, y), z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::parse_step;
+
+    fn demo_src() -> String {
+        "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDING('Office A');
+#10=IFCBUILDINGSTOREY('First',3.2,#1);
+#11=IFCBUILDINGSTOREY('Ground',0.0,#1);
+#20=IFCCARTESIANPOINT((0.,0.));
+#21=IFCCARTESIANPOINT((8.,0.));
+#22=IFCCARTESIANPOINT((8.,6.));
+#23=IFCCARTESIANPOINT((0.,6.));
+#24=IFCPOLYLINE((#20,#21,#22,#23));
+#30=IFCSPACE('Office 1','office',#11,#24);
+#40=IFCCARTESIANPOINT((4.,0.));
+#41=IFCDOOR('D1',#11,#40,0.9,.BOTH.);
+#50=IFCCARTESIANPOINT((1.,1.,0.));
+#51=IFCCARTESIANPOINT((2.,1.,3.2));
+#52=IFCSTAIR('S1',(#50,#51));
+#60=IFCPOLYLINE((#20,#21));
+#61=IFCWALLSTANDARDCASE('W1',#11,#60);
+ENDSEC;
+END-ISO-10303-21;
+"
+        .to_string()
+    }
+
+    #[test]
+    fn decodes_complete_model() {
+        let f = parse_step(&demo_src()).unwrap();
+        let d = decode(&f).unwrap();
+        assert!(d.issues.is_empty(), "unexpected issues: {:?}", d.issues);
+        let m = d.model;
+        assert_eq!(m.building_name, "Office A");
+        assert_eq!(m.storeys.len(), 2);
+        // Sorted by elevation.
+        assert_eq!(m.storeys[0].name, "Ground");
+        assert_eq!(m.storeys[1].name, "First");
+        assert_eq!(m.spaces.len(), 1);
+        assert_eq!(m.spaces[0].footprint.len(), 4);
+        assert_eq!(m.doors.len(), 1);
+        assert_eq!(m.doors[0].directionality, DoorDirectionality::Both);
+        assert_eq!(m.stairs.len(), 1);
+        assert_eq!(m.stairs[0].vertices.len(), 2);
+        assert_eq!(m.walls.len(), 1);
+        assert_eq!(m.entity_count(), 1 + 2 + 1 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn missing_building_is_fatal() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#10=IFCBUILDINGSTOREY('G',0.0,$);
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        assert_eq!(decode(&f).unwrap_err(), DecodeError::NoBuilding);
+    }
+
+    #[test]
+    fn missing_storeys_is_fatal() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDING('A');
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        assert_eq!(decode(&f).unwrap_err(), DecodeError::NoStoreys);
+    }
+
+    #[test]
+    fn dangling_reference_becomes_issue_not_error() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDING('A');
+#10=IFCBUILDINGSTOREY('G',0.0,#1);
+#30=IFCSPACE('Broken','',#10,#999);
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        let d = decode(&f).unwrap();
+        assert!(d.model.spaces.is_empty());
+        assert_eq!(d.issues.len(), 1);
+        assert_eq!(d.issues[0].record, 30);
+    }
+
+    #[test]
+    fn space_on_unknown_storey_is_issue() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDING('A');
+#10=IFCBUILDINGSTOREY('G',0.0,#1);
+#20=IFCCARTESIANPOINT((0.,0.));
+#21=IFCCARTESIANPOINT((1.,0.));
+#22=IFCCARTESIANPOINT((1.,1.));
+#24=IFCPOLYLINE((#20,#21,#22));
+#30=IFCSPACE('S','',#777,#24);
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        let d = decode(&f).unwrap();
+        assert!(d.model.spaces.is_empty());
+        assert!(d.issues[0].reason.contains("unknown storey"));
+    }
+
+    #[test]
+    fn door_defaults_apply() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDING('A');
+#10=IFCBUILDINGSTOREY('G',0.0,#1);
+#40=IFCCARTESIANPOINT((4.,0.));
+#41=IFCDOOR('D1',#10,#40);
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        let d = decode(&f).unwrap();
+        assert_eq!(d.model.doors.len(), 1);
+        assert!((d.model.doors[0].width - 0.9).abs() < 1e-12);
+        assert_eq!(d.model.doors[0].directionality, DoorDirectionality::Both);
+    }
+
+    #[test]
+    fn directionality_round_trip() {
+        for d in [
+            DoorDirectionality::Both,
+            DoorDirectionality::EnterOnly,
+            DoorDirectionality::ExitOnly,
+        ] {
+            assert_eq!(DoorDirectionality::from_step_enum(d.as_step_enum()), Some(d));
+        }
+        assert_eq!(DoorDirectionality::from_step_enum("NONSENSE"), None);
+        // Legacy IFC-style spellings.
+        assert_eq!(
+            DoorDirectionality::from_step_enum("DOUBLE"),
+            Some(DoorDirectionality::Both)
+        );
+    }
+
+    #[test]
+    fn unknown_entities_ignored() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDING('A');
+#10=IFCBUILDINGSTOREY('G',0.0,#1);
+#99=IFCFLOWTERMINAL('ignored',$,$);
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        let d = decode(&f).unwrap();
+        assert!(d.issues.is_empty());
+        assert_eq!(d.model.storeys.len(), 1);
+    }
+}

@@ -1,0 +1,652 @@
+//! Low-level STEP (ISO 10303-21) reader for the IFC subset Vita consumes.
+//!
+//! Real IFC files are STEP "physical files": a `HEADER;` section followed by
+//! a `DATA;` section of records shaped like
+//!
+//! ```text
+//! #17 = IFCSPACE('2gRXFgjRn2HPE$YoDLX3FC', $, 'Office 012', #12, #35);
+//! ```
+//!
+//! This module tokenizes and parses those records into [`RawRecord`]s without
+//! interpreting entity semantics; the typed decoding into building entities
+//! happens in [`crate::schema`]. The parser is deliberately forgiving about
+//! whitespace and line breaks (records may span lines) but strict about
+//! structural errors, which are reported with line numbers so the repair
+//! stage (paper §4.1) can point at offending records.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed argument of a STEP record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Numeric literal (integers and reals are both read as `f64`).
+    Num(f64),
+    /// `'quoted string'`.
+    Str(String),
+    /// `.ENUMVALUE.`
+    Enum(String),
+    /// `#123` entity reference.
+    Ref(u64),
+    /// `$` (null / unset).
+    Null,
+    /// `*` (derived attribute placeholder).
+    Star,
+    /// Parenthesized list, possibly nested.
+    List(Vec<Arg>),
+}
+
+impl Arg {
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Arg::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Arg::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_ref_id(&self) -> Option<u64> {
+        match self {
+            Arg::Ref(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    pub fn as_enum(&self) -> Option<&str> {
+        match self {
+            Arg::Enum(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    pub fn as_list(&self) -> Option<&[Arg]> {
+        match self {
+            Arg::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Arg::Null)
+    }
+}
+
+/// One `#id = TYPE(args);` record from the DATA section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawRecord {
+    pub id: u64,
+    /// Upper-cased entity type name, e.g. `IFCSPACE`.
+    pub type_name: String,
+    pub args: Vec<Arg>,
+    /// 1-based line where the record started (for diagnostics).
+    pub line: u32,
+}
+
+/// A parsed STEP file: header fields we care about plus the record map.
+#[derive(Debug, Clone, Default)]
+pub struct StepFile {
+    /// Value of FILE_SCHEMA, e.g. `IFC2X3`, when present.
+    pub schema: Option<String>,
+    /// File name from FILE_NAME, when present.
+    pub name: Option<String>,
+    /// Records keyed by entity id, iteration in id order.
+    pub records: BTreeMap<u64, RawRecord>,
+}
+
+impl StepFile {
+    pub fn record(&self, id: u64) -> Option<&RawRecord> {
+        self.records.get(&id)
+    }
+
+    /// All records of a given (upper-case) type, in id order.
+    pub fn records_of<'a>(&'a self, type_name: &'a str) -> impl Iterator<Item = &'a RawRecord> {
+        self.records.values().filter(move |r| r.type_name == type_name)
+    }
+}
+
+/// Errors from STEP tokenizing/parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepError {
+    /// Input did not start with the ISO-10303-21 magic.
+    NotAStepFile,
+    /// No DATA section found.
+    MissingDataSection,
+    /// Malformed record with a human-readable reason.
+    Malformed { line: u32, reason: String },
+    /// Two records share one entity id.
+    DuplicateId { line: u32, id: u64 },
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::NotAStepFile => write!(f, "input is not an ISO-10303-21 file"),
+            StepError::MissingDataSection => write!(f, "no DATA; section found"),
+            StepError::Malformed { line, reason } => {
+                write!(f, "malformed record at line {line}: {reason}")
+            }
+            StepError::DuplicateId { line, id } => {
+                write!(f, "duplicate entity id #{id} at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.bump();
+            }
+            // STEP comments: /* ... */
+            if self.peek() == Some(b'/') && self.src.get(self.pos + 1) == Some(&b'*') {
+                self.bump();
+                self.bump();
+                while self.pos < self.src.len() {
+                    if self.peek() == Some(b'*') && self.src.get(self.pos + 1) == Some(&b'/') {
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> StepError {
+        StepError::Malformed { line: self.line, reason: reason.into() }
+    }
+
+    /// Read an unsigned integer (entity id digits after `#`).
+    fn read_uint(&mut self) -> Result<u64, StepError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected digits"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("invalid integer"))
+    }
+
+    /// Read a bare identifier (entity type name or section keyword).
+    fn read_ident(&mut self) -> Result<String, StepError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-')) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("non-utf8 identifier"))?
+            .to_ascii_uppercase())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), StepError> {
+        self.skip_ws_and_comments();
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected '{}', found '{}'",
+                c as char,
+                self.peek().map(|b| b as char).unwrap_or('∅')
+            )))
+        }
+    }
+
+    fn parse_arg(&mut self) -> Result<Arg, StepError> {
+        self.skip_ws_and_comments();
+        match self.peek() {
+            Some(b'$') => {
+                self.bump();
+                Ok(Arg::Null)
+            }
+            Some(b'*') => {
+                self.bump();
+                Ok(Arg::Star)
+            }
+            Some(b'#') => {
+                self.bump();
+                Ok(Arg::Ref(self.read_uint()?))
+            }
+            Some(b'\'') => {
+                self.bump();
+                // Collect raw bytes, then decode as UTF-8: strings may
+                // contain multi-byte characters.
+                let mut raw: Vec<u8> = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(b'\'') => {
+                            // '' escapes a quote inside a string.
+                            if self.peek() == Some(b'\'') {
+                                self.bump();
+                                raw.push(b'\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => raw.push(c),
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+                let s = String::from_utf8(raw)
+                    .map_err(|_| self.err("string is not valid UTF-8"))?;
+                Ok(Arg::Str(s))
+            }
+            Some(b'.') => {
+                self.bump();
+                let name = self.read_ident()?;
+                self.expect(b'.')?;
+                Ok(Arg::Enum(name))
+            }
+            Some(b'(') => {
+                self.bump();
+                let mut items = Vec::new();
+                self.skip_ws_and_comments();
+                if self.peek() == Some(b')') {
+                    self.bump();
+                    return Ok(Arg::List(items));
+                }
+                loop {
+                    items.push(self.parse_arg()?);
+                    self.skip_ws_and_comments();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b')') => break,
+                        _ => return Err(self.err("expected ',' or ')' in list")),
+                    }
+                }
+                Ok(Arg::List(items))
+            }
+            Some(c) if c == b'-' || c == b'+' || c.is_ascii_digit() => {
+                let start = self.pos;
+                self.bump();
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
+                ) {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("non-utf8 number"))?;
+                text.parse::<f64>()
+                    .map(Arg::Num)
+                    .map_err(|_| self.err(format!("invalid number '{text}'")))
+            }
+            // Typed unset like IFCBOOLEAN(.T.) appearing bare; also bare
+            // identifiers used by some writers — treat as enum-ish tokens.
+            Some(b'A'..=b'Z' | b'a'..=b'z') => {
+                let name = self.read_ident()?;
+                // A typed value like IFCLABEL('x') — parse the payload and
+                // unwrap it.
+                self.skip_ws_and_comments();
+                if self.peek() == Some(b'(') {
+                    self.bump();
+                    let inner = self.parse_arg()?;
+                    self.expect(b')')?;
+                    Ok(inner)
+                } else {
+                    Ok(Arg::Enum(name))
+                }
+            }
+            other => Err(self.err(format!(
+                "unexpected character '{}' in arguments",
+                other.map(|b| b as char).unwrap_or('∅')
+            ))),
+        }
+    }
+}
+
+/// Parse a full STEP file into records.
+pub fn parse_step(src: &str) -> Result<StepFile, StepError> {
+    let mut lx = Lexer::new(src);
+    lx.skip_ws_and_comments();
+
+    // Magic line.
+    let magic = lx.read_ident()?;
+    if magic != "ISO-10303-21" {
+        return Err(StepError::NotAStepFile);
+    }
+    lx.expect(b';')?;
+
+    let mut file = StepFile::default();
+    let mut in_data = false;
+    let mut saw_data = false;
+
+    loop {
+        lx.skip_ws_and_comments();
+        match lx.peek() {
+            None => break,
+            Some(b'#') => {
+                if !in_data {
+                    return Err(lx.err("record outside DATA section"));
+                }
+                lx.bump();
+                let line = lx.line;
+                let id = lx.read_uint()?;
+                lx.expect(b'=')?;
+                lx.skip_ws_and_comments();
+                let type_name = lx.read_ident()?;
+                lx.expect(b'(')?;
+                let mut args = Vec::new();
+                lx.skip_ws_and_comments();
+                if lx.peek() == Some(b')') {
+                    lx.bump();
+                } else {
+                    loop {
+                        args.push(lx.parse_arg()?);
+                        lx.skip_ws_and_comments();
+                        match lx.bump() {
+                            Some(b',') => continue,
+                            Some(b')') => break,
+                            _ => return Err(lx.err("expected ',' or ')'")),
+                        }
+                    }
+                }
+                lx.expect(b';')?;
+                let rec = RawRecord { id, type_name, args, line };
+                if file.records.insert(id, rec).is_some() {
+                    return Err(StepError::DuplicateId { line, id });
+                }
+            }
+            Some(_) => {
+                let kw = lx.read_ident()?;
+                match kw.as_str() {
+                    "HEADER" => {
+                        lx.expect(b';')?;
+                        parse_header(&mut lx, &mut file)?;
+                    }
+                    "DATA" => {
+                        lx.expect(b';')?;
+                        in_data = true;
+                        saw_data = true;
+                    }
+                    "ENDSEC" => {
+                        lx.expect(b';')?;
+                        in_data = false;
+                    }
+                    "END-ISO-10303-21" => {
+                        lx.expect(b';')?;
+                        break;
+                    }
+                    other => {
+                        return Err(lx.err(format!("unexpected keyword '{other}'")));
+                    }
+                }
+            }
+        }
+    }
+
+    if !saw_data {
+        return Err(StepError::MissingDataSection);
+    }
+    Ok(file)
+}
+
+fn parse_header(lx: &mut Lexer<'_>, file: &mut StepFile) -> Result<(), StepError> {
+    loop {
+        lx.skip_ws_and_comments();
+        let kw = lx.read_ident()?;
+        if kw == "ENDSEC" {
+            lx.expect(b';')?;
+            return Ok(());
+        }
+        lx.expect(b'(')?;
+        let mut args = Vec::new();
+        lx.skip_ws_and_comments();
+        if lx.peek() == Some(b')') {
+            lx.bump();
+        } else {
+            loop {
+                args.push(lx.parse_arg()?);
+                lx.skip_ws_and_comments();
+                match lx.bump() {
+                    Some(b',') => continue,
+                    Some(b')') => break,
+                    _ => return Err(lx.err("expected ',' or ')' in header")),
+                }
+            }
+        }
+        lx.expect(b';')?;
+        match kw.as_str() {
+            "FILE_SCHEMA" => {
+                if let Some(Arg::List(items)) = args.first() {
+                    if let Some(Arg::Str(s)) = items.first() {
+                        file.schema = Some(s.clone());
+                    }
+                }
+            }
+            "FILE_NAME" => {
+                if let Some(Arg::Str(s)) = args.first() {
+                    file.name = Some(s.clone());
+                }
+            }
+            _ => {} // FILE_DESCRIPTION and friends: ignored.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "\
+ISO-10303-21;
+HEADER;
+FILE_DESCRIPTION(('Vita test'),'2;1');
+FILE_NAME('demo.ifc','2016-06-01',(''),(''),'vita','vita','');
+FILE_SCHEMA(('IFC2X3'));
+ENDSEC;
+DATA;
+#1=IFCBUILDING('Office A');
+#2=IFCCARTESIANPOINT((0.,0.));
+#3=IFCCARTESIANPOINT((10.,0.));
+#10=IFCPOLYLINE((#2,#3));
+#20=IFCBUILDINGSTOREY('Ground',0.0,#1);
+ENDSEC;
+END-ISO-10303-21;
+";
+
+    #[test]
+    fn parses_minimal_file() {
+        let f = parse_step(MINIMAL).unwrap();
+        assert_eq!(f.schema.as_deref(), Some("IFC2X3"));
+        assert_eq!(f.name.as_deref(), Some("demo.ifc"));
+        assert_eq!(f.records.len(), 5);
+        let b = f.record(1).unwrap();
+        assert_eq!(b.type_name, "IFCBUILDING");
+        assert_eq!(b.args[0].as_str(), Some("Office A"));
+        let pl = f.record(10).unwrap();
+        let items = pl.args[0].as_list().unwrap();
+        assert_eq!(items[0].as_ref_id(), Some(2));
+        assert_eq!(items[1].as_ref_id(), Some(3));
+    }
+
+    #[test]
+    fn point_coordinates_parse_as_numbers() {
+        let f = parse_step(MINIMAL).unwrap();
+        let p = f.record(3).unwrap();
+        let xy = p.args[0].as_list().unwrap();
+        assert_eq!(xy[0].as_num(), Some(10.0));
+        assert_eq!(xy[1].as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn rejects_non_step_input() {
+        assert_eq!(parse_step("hello world").unwrap_err(), StepError::NotAStepFile);
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDING('A');
+#1=IFCBUILDING('B');
+ENDSEC;
+END-ISO-10303-21;
+";
+        match parse_step(src).unwrap_err() {
+            StepError::DuplicateId { id, .. } => assert_eq!(id, 1),
+            e => panic!("wrong error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn requires_data_section() {
+        let src = "ISO-10303-21;\nEND-ISO-10303-21;\n";
+        assert_eq!(parse_step(src).unwrap_err(), StepError::MissingDataSection);
+    }
+
+    #[test]
+    fn parses_enums_nulls_stars_and_nested_lists() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#5=IFCDOOR('D1',$,*,.DOUBLE.,((1.,2.),(3.,4.)));
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        let d = f.record(5).unwrap();
+        assert!(d.args[1].is_null());
+        assert_eq!(d.args[2], Arg::Star);
+        assert_eq!(d.args[3].as_enum(), Some("DOUBLE"));
+        let outer = d.args[4].as_list().unwrap();
+        let inner0 = outer[0].as_list().unwrap();
+        assert_eq!(inner0[1].as_num(), Some(2.0));
+    }
+
+    #[test]
+    fn utf8_strings_survive() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDING('Café Östra 楼');
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        assert_eq!(f.record(1).unwrap().args[0].as_str(), Some("Café Östra 楼"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDING('O''Brien Hall');
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        assert_eq!(f.record(1).unwrap().args[0].as_str(), Some("O'Brien Hall"));
+    }
+
+    #[test]
+    fn comments_and_multiline_records() {
+        let src = "\
+ISO-10303-21;
+DATA;
+/* a building */
+#1=IFCBUILDING(
+   'Split'
+);
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        assert_eq!(f.record(1).unwrap().args[0].as_str(), Some("Split"));
+    }
+
+    #[test]
+    fn typed_wrapped_values_unwrap() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDINGSTOREY('G',IFCLENGTHMEASURE(3.2),$);
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        assert_eq!(f.record(1).unwrap().args[1].as_num(), Some(3.2));
+    }
+
+    #[test]
+    fn malformed_record_reports_line() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCBUILDING('A'
+ENDSEC;
+END-ISO-10303-21;
+";
+        match parse_step(src).unwrap_err() {
+            StepError::Malformed { line, .. } => assert!(line >= 3),
+            e => panic!("wrong error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn records_of_filters_by_type() {
+        let f = parse_step(MINIMAL).unwrap();
+        assert_eq!(f.records_of("IFCCARTESIANPOINT").count(), 2);
+        assert_eq!(f.records_of("IFCBUILDING").count(), 1);
+        assert_eq!(f.records_of("IFCWINDOW").count(), 0);
+    }
+
+    #[test]
+    fn scientific_notation_numbers() {
+        let src = "\
+ISO-10303-21;
+DATA;
+#1=IFCCARTESIANPOINT((1.5E2,-2.5e-1));
+ENDSEC;
+END-ISO-10303-21;
+";
+        let f = parse_step(src).unwrap();
+        let xy = f.record(1).unwrap().args[0].as_list().unwrap();
+        assert_eq!(xy[0].as_num(), Some(150.0));
+        assert_eq!(xy[1].as_num(), Some(-0.25));
+    }
+}

@@ -1,0 +1,125 @@
+//! Clinic archetype: waiting area, reception, consult rooms and wards off a
+//! single corridor. Small, irregular-ish footprint — the wards are long
+//! rectangles that the partition decomposition stage (paper §4.1) will split
+//! into balanced cells.
+//!
+//! Layout of one storey (scale 1.0, metres):
+//!
+//! ```text
+//!  y=14 ┌──────┬──────┬──────┬────────────┐
+//!       │  C1  │  C2  │  C3  │  Ward A    │   consult rooms / long ward
+//!  y=8  ├──d───┴──d───┴──d───┴─────d──────┤
+//!       │            corridor             │
+//!  y=5  ├──────d──────┬─────d──────┬──d───┤
+//!       │   Waiting   │ Reception  │ st.  │
+//!  y=0  └─────────────┴────────────┴──────┘
+//!       x=0           12           24    30
+//! ```
+//!
+//! The door from the corridor into Ward A is exit-only towards the corridor
+//! during generation of one-way patient flows (directionality showcase).
+
+use vita_geometry::{Point, Polygon};
+
+use crate::schema::{DbiModel, DoorDirectionality};
+
+use super::{stair_vertices, ModelBuilder, SynthParams};
+
+/// Generate a clinic.
+pub fn clinic(params: &SynthParams) -> DbiModel {
+    let s = params.scale;
+    let width = 30.0 * s;
+    let y_low = 5.0 * s;
+    let y_corr = 8.0 * s;
+    let y_top = 14.0 * s;
+    let consult_w = 6.0 * s;
+
+    let mut b = ModelBuilder::new("Vita Community Clinic");
+    let mut stair_polys = Vec::new();
+
+    for f in 0..params.floors {
+        let elev = f as f64 * params.storey_height;
+        let storey = b.storey(&format!("Floor {f}"), elev);
+
+        // Corridor across the middle.
+        let corr = Polygon::rect(0.0, y_low, width, y_corr);
+        b.space(&format!("Corridor {f}"), "corridor", storey, &corr);
+
+        // Bottom band: waiting room, reception, stair core.
+        let waiting = Polygon::rect(0.0, 0.0, 12.0 * s, y_low);
+        b.space(&format!("Waiting room {f}"), "waiting", storey, &waiting);
+        b.door(
+            &format!("waiting-door-{f}"),
+            storey,
+            Point::new(6.0 * s, y_low),
+            1.6 * s,
+            DoorDirectionality::Both,
+        );
+
+        let reception = Polygon::rect(12.0 * s, 0.0, 24.0 * s, y_low);
+        b.space(&format!("Reception {f}"), "reception", storey, &reception);
+        b.door(
+            &format!("reception-door-{f}"),
+            storey,
+            Point::new(18.0 * s, y_low),
+            1.2 * s,
+            DoorDirectionality::Both,
+        );
+
+        let stair_poly = Polygon::rect(24.0 * s, 0.0, width, y_low);
+        b.space(&format!("Stairwell {f}"), "stair", storey, &stair_poly);
+        b.door(
+            &format!("stair-door-{f}"),
+            storey,
+            Point::new(27.0 * s, y_low),
+            1.2 * s,
+            DoorDirectionality::Both,
+        );
+        stair_polys.push((elev, stair_poly));
+
+        // Top band: three consult rooms + one long ward (decomposition bait).
+        for i in 0..3 {
+            let x0 = i as f64 * consult_w;
+            let room = Polygon::rect(x0, y_corr, x0 + consult_w, y_top);
+            b.space(&format!("Consult {f}.{}", i + 1), "consult", storey, &room);
+            b.door(
+                &format!("consult-door-{f}-{i}"),
+                storey,
+                Point::new(x0 + consult_w / 2.0, y_corr),
+                0.9 * s,
+                DoorDirectionality::Both,
+            );
+        }
+        let ward = Polygon::rect(3.0 * consult_w, y_corr, width, y_top);
+        b.space(&format!("Ward A{f}"), "ward", storey, &ward);
+        // One-way flow out of the ward (e.g. discharge path).
+        b.door(
+            &format!("ward-door-{f}"),
+            storey,
+            Point::new(3.0 * consult_w + (width - 3.0 * consult_w) / 2.0, y_corr),
+            1.4 * s,
+            DoorDirectionality::ExitOnly,
+        );
+
+        // Ground-floor entrance into the waiting room from the street.
+        if f == 0 {
+            b.door(
+                "clinic-entrance",
+                storey,
+                Point::new(6.0 * s, 0.0),
+                1.8 * s,
+                DoorDirectionality::Both,
+            );
+        }
+
+        b.walls_from_spaces(storey);
+    }
+
+    for f in 0..params.floors.saturating_sub(1) {
+        let (lo, poly) = &stair_polys[f];
+        let (hi, _) = &stair_polys[f + 1];
+        b.stair(&format!("Stairs {f}-{}", f + 1), stair_vertices(poly, *lo, *hi));
+    }
+
+    b.finish()
+}

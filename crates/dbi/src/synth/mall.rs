@@ -1,0 +1,128 @@
+//! Mall archetype: a large public atrium ringed by shops, with wide
+//! entrances — the "crowd-outliers around shops on sale" scenario of paper
+//! Fig. 3(b).
+//!
+//! Layout of one storey (scale 1.0, metres):
+//!
+//! ```text
+//!  y=30 ┌─────┬─────┬─────┬─────┬─────┬────┐
+//!       │ S7  │ S8  │ S9  │ S10 │ S11 │st. │   north shops (8 m deep)
+//!  y=22 ├──d──┴──d──┴──d──┴──d──┴──d──┴─d──┤
+//!       │                                  │
+//!       │              atrium              │   public atrium (14 m)
+//!       │                                  │
+//!  y=8  ├──d──┬──d──┬──d──┬──d──┬──d──┬─d──┤
+//!       │ S1  │ S2  │ S3  │ S4  │ S5  │ S6 │   south shops (8 m deep)
+//!  y=0  └─────┴─────┴─────┴─────┴─────┴────┘
+//!       x=0   10    20    30    40    50  60
+//! ```
+//!
+//! Two wide entrances pierce the west and east atrium walls on the ground
+//! floor.
+
+use vita_geometry::{Point, Polygon};
+
+use crate::schema::{DbiModel, DoorDirectionality};
+
+use super::{stair_vertices, ModelBuilder, SynthParams};
+
+/// Generate a shopping mall.
+pub fn mall(params: &SynthParams) -> DbiModel {
+    let s = params.scale;
+    let shop_w = 10.0 * s;
+    let shop_d = 8.0 * s;
+    let atrium_d = 14.0 * s;
+    let shops_per_side = 5;
+    let stair_w = 10.0 * s;
+    let width = shops_per_side as f64 * shop_w + stair_w;
+
+    let mut b = ModelBuilder::new("Vita Grand Mall");
+    let mut stair_polys = Vec::new();
+
+    for f in 0..params.floors {
+        let elev = f as f64 * params.storey_height;
+        let storey = b.storey(&format!("Level {f}"), elev);
+
+        let y_a0 = shop_d;
+        let y_a1 = shop_d + atrium_d;
+        let y_top = 2.0 * shop_d + atrium_d;
+
+        // Atrium: the public hot area.
+        let atrium = Polygon::rect(0.0, y_a0, width, y_a1);
+        b.space(&format!("Atrium {f}"), "public", storey, &atrium);
+
+        // South shops.
+        for i in 0..shops_per_side + 1 {
+            let x0 = i as f64 * shop_w;
+            let x1 = (x0 + shop_w).min(width);
+            if x1 - x0 < 1.0 {
+                break;
+            }
+            let shop = Polygon::rect(x0, 0.0, x1, shop_d);
+            b.space(&format!("Shop S{f}.{}", i + 1), "shop", storey, &shop);
+            b.door(
+                &format!("shopdoor-s-{f}-{i}"),
+                storey,
+                Point::new((x0 + x1) / 2.0, shop_d),
+                2.5 * s,
+                DoorDirectionality::Both,
+            );
+        }
+
+        // North shops, leaving the east end for the stair core.
+        for i in 0..shops_per_side {
+            let x0 = i as f64 * shop_w;
+            let shop = Polygon::rect(x0, y_a1, x0 + shop_w, y_top);
+            b.space(&format!("Shop N{f}.{}", i + 1), "shop", storey, &shop);
+            b.door(
+                &format!("shopdoor-n-{f}-{i}"),
+                storey,
+                Point::new(x0 + shop_w / 2.0, y_a1),
+                2.5 * s,
+                DoorDirectionality::Both,
+            );
+        }
+
+        // Stair core in the north-east corner.
+        let stair_poly = Polygon::rect(width - stair_w, y_a1, width, y_top);
+        b.space(&format!("Escalator hall {f}"), "stair", storey, &stair_poly);
+        b.door(
+            &format!("stairdoor-{f}"),
+            storey,
+            Point::new(width - stair_w / 2.0, y_a1),
+            3.0 * s,
+            DoorDirectionality::Both,
+        );
+        stair_polys.push((elev, stair_poly));
+
+        // Ground-floor entrances: wide doors on the west and east atrium
+        // walls. The east door is enter-only (a metro-side turnstile), which
+        // exercises door directionality downstream.
+        if f == 0 {
+            b.door(
+                "main-entrance-west",
+                storey,
+                Point::new(0.0, (y_a0 + y_a1) / 2.0),
+                4.0 * s,
+                DoorDirectionality::Both,
+            );
+            b.door(
+                "metro-entrance-east",
+                storey,
+                Point::new(width, (y_a0 + y_a1) / 2.0),
+                3.0 * s,
+                DoorDirectionality::EnterOnly,
+            );
+        }
+
+        b.walls_from_spaces(storey);
+    }
+
+    for f in 0..params.floors.saturating_sub(1) {
+        let (lo, poly) = &stair_polys[f];
+        let (hi, _) = &stair_polys[f + 1];
+        b.stair(&format!("Escalator {f}-{}", f + 1), stair_vertices(poly, *lo, *hi));
+    }
+
+    b.finish()
+}

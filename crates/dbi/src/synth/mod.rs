@@ -1,0 +1,332 @@
+//! Synthetic DBI building generators.
+//!
+//! The paper demonstrates Vita on real IFC files "from clinics, malls and
+//! office buildings" (§5). Those files are proprietary, so this module
+//! generates structurally equivalent buildings — multi-floor, corridor/room
+//! topology, staircases as disjoint 3-D vertex sets, doors with
+//! directionality, shared walls — and *writes them out as STEP files* so the
+//! whole DBI pipeline (tokenizer → decoder → repair → environment
+//! construction) runs on real textual input exactly as it would on an
+//! authored export.
+//!
+//! Three archetypes, mirroring the demo script:
+//!
+//! * [`office`] — double-loaded corridor with offices on both sides, a
+//!   canteen, and a staircase core at the east end.
+//! * [`mall`] — large public atrium ringed by shops, wide entrances.
+//! * [`clinic`] — waiting area plus consult rooms and wards off one corridor.
+
+mod clinic;
+mod mall;
+mod office;
+
+pub use clinic::clinic;
+pub use mall::mall;
+pub use office::office;
+
+use vita_geometry::{Point, Point3, Polygon};
+
+use crate::schema::{
+    DbiModel, DoorDirectionality, DoorRec, EntityId, SpaceRec, StairRec, StoreyRec, WallRec,
+};
+
+/// Shared knobs for all synthetic buildings.
+#[derive(Debug, Clone)]
+pub struct SynthParams {
+    /// Number of storeys (≥ 1).
+    pub floors: usize,
+    /// Floor-to-floor height in metres.
+    pub storey_height: f64,
+    /// Scale multiplier on the footprint (1.0 = the archetype's default).
+    pub scale: f64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        SynthParams { floors: 2, storey_height: 3.2, scale: 1.0 }
+    }
+}
+
+impl SynthParams {
+    pub fn with_floors(floors: usize) -> Self {
+        SynthParams { floors: floors.max(1), ..Default::default() }
+    }
+}
+
+/// Incremental builder used by the archetype generators.
+pub(crate) struct ModelBuilder {
+    model: DbiModel,
+    next_id: EntityId,
+}
+
+impl ModelBuilder {
+    pub fn new(name: &str) -> Self {
+        ModelBuilder {
+            model: DbiModel { building_name: name.to_string(), ..Default::default() },
+            next_id: 1,
+        }
+    }
+
+    pub fn id(&mut self) -> EntityId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    pub fn storey(&mut self, name: &str, elevation: f64) -> EntityId {
+        let id = self.id();
+        self.model.storeys.push(StoreyRec { id, name: name.into(), elevation });
+        id
+    }
+
+    pub fn space(
+        &mut self,
+        name: &str,
+        usage: &str,
+        storey: EntityId,
+        footprint: &Polygon,
+    ) -> EntityId {
+        let id = self.id();
+        self.model.spaces.push(SpaceRec {
+            id,
+            name: name.into(),
+            usage: usage.into(),
+            storey,
+            footprint: footprint.vertices().to_vec(),
+        });
+        id
+    }
+
+    pub fn door(
+        &mut self,
+        name: &str,
+        storey: EntityId,
+        position: Point,
+        width: f64,
+        directionality: DoorDirectionality,
+    ) -> EntityId {
+        let id = self.id();
+        self.model.doors.push(DoorRec {
+            id,
+            name: name.into(),
+            storey,
+            position,
+            width,
+            directionality,
+        });
+        id
+    }
+
+    pub fn stair(&mut self, name: &str, vertices: Vec<Point3>) -> EntityId {
+        let id = self.id();
+        self.model.stairs.push(StairRec { id, name: name.into(), vertices });
+        id
+    }
+
+    /// Emit the deduplicated set of space boundary edges on `storey` as wall
+    /// records. Shared walls between adjacent spaces appear exactly once, so
+    /// RSSI wall-crossing counts are not doubled.
+    pub fn walls_from_spaces(&mut self, storey: EntityId) {
+        let mut seen: Vec<(i64, i64, i64, i64)> = Vec::new();
+        let mut walls: Vec<(Point, Point)> = Vec::new();
+        let spaces: Vec<Vec<Point>> = self
+            .model
+            .spaces
+            .iter()
+            .filter(|s| s.storey == storey)
+            .map(|s| s.footprint.clone())
+            .collect();
+        for ring in spaces {
+            let n = ring.len();
+            for i in 0..n {
+                let a = ring[i];
+                let b = ring[(i + 1) % n];
+                let key = canonical_edge_key(a, b);
+                if !seen.contains(&key) {
+                    seen.push(key);
+                    walls.push((a, b));
+                }
+            }
+        }
+        for (i, (a, b)) in walls.into_iter().enumerate() {
+            let id = self.id();
+            self.model.walls.push(WallRec {
+                id,
+                name: format!("wall-{i}"),
+                storey,
+                path: vec![a, b],
+            });
+        }
+    }
+
+    pub fn finish(mut self) -> DbiModel {
+        self.model
+            .storeys
+            .sort_by(|a, b| a.elevation.partial_cmp(&b.elevation).unwrap());
+        self.model
+    }
+}
+
+fn canonical_edge_key(a: Point, b: Point) -> (i64, i64, i64, i64) {
+    let q = |v: f64| (v * 1000.0).round() as i64;
+    let (pa, pb) = ((q(a.x), q(a.y)), (q(b.x), q(b.y)));
+    if pa <= pb {
+        (pa.0, pa.1, pb.0, pb.1)
+    } else {
+        (pb.0, pb.1, pa.0, pa.1)
+    }
+}
+
+/// Place staircase 3-D vertices for a flight connecting `lower_elev` to
+/// `upper_elev` inside `footprint` — the disjoint-point-cloud form the paper
+/// says IFC uses (§4.1). Lower vertices hug the south edge of the footprint,
+/// upper vertices the north edge.
+pub(crate) fn stair_vertices(footprint: &Polygon, lower_elev: f64, upper_elev: f64) -> Vec<Point3> {
+    let bb = footprint.bbox();
+    let inset_x = bb.width() * 0.25;
+    let inset_y = bb.height() * 0.2;
+    vec![
+        Point3::new(bb.min.x + inset_x, bb.min.y + inset_y, lower_elev),
+        Point3::new(bb.max.x - inset_x, bb.min.y + inset_y, lower_elev),
+        Point3::new(bb.min.x + inset_x, bb.max.y - inset_y, upper_elev),
+        Point3::new(bb.max.x - inset_x, bb.max.y - inset_y, upper_elev),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::validate_and_repair;
+    use crate::schema::decode;
+    use crate::step::parse_step;
+    use crate::writer::write_step;
+
+    fn archetypes() -> Vec<(&'static str, DbiModel)> {
+        let p = SynthParams::with_floors(2);
+        vec![
+            ("office", office(&p)),
+            ("mall", mall(&p)),
+            ("clinic", clinic(&p)),
+        ]
+    }
+
+    #[test]
+    fn all_archetypes_are_clean_after_repair() {
+        for (name, mut m) in archetypes() {
+            let rep = validate_and_repair(&mut m);
+            assert!(
+                rep.unrepaired_count() == 0,
+                "{name}: unrepaired findings {:?}",
+                rep.findings
+            );
+        }
+    }
+
+    #[test]
+    fn all_archetypes_round_trip_through_step() {
+        for (name, m) in archetypes() {
+            let text = write_step(&m);
+            let parsed = parse_step(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let decoded = decode(&parsed).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(decoded.issues.is_empty(), "{name}: {:?}", decoded.issues);
+            assert_eq!(decoded.model.spaces.len(), m.spaces.len(), "{name} spaces");
+            assert_eq!(decoded.model.doors.len(), m.doors.len(), "{name} doors");
+            assert_eq!(decoded.model.stairs.len(), m.stairs.len(), "{name} stairs");
+            assert_eq!(decoded.model.storeys.len(), m.storeys.len(), "{name} storeys");
+        }
+    }
+
+    #[test]
+    fn multi_floor_office_has_stairs_between_consecutive_floors() {
+        let m = office(&SynthParams::with_floors(4));
+        assert_eq!(m.storeys.len(), 4);
+        assert_eq!(m.stairs.len(), 3, "one flight between each floor pair");
+        for st in &m.stairs {
+            let zs: Vec<f64> = st.vertices.iter().map(|v| v.z).collect();
+            let lo = zs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(hi - lo > 2.0, "flight spans floors: {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn single_floor_building_has_no_stairs() {
+        let m = office(&SynthParams::with_floors(1));
+        assert!(m.stairs.is_empty());
+    }
+
+    #[test]
+    fn walls_are_deduplicated() {
+        let m = office(&SynthParams::with_floors(1));
+        let mut keys = Vec::new();
+        for w in &m.walls {
+            let k = canonical_edge_key(w.path[0], w.path[1]);
+            assert!(!keys.contains(&k), "duplicated wall {:?}", w.path);
+            keys.push(k);
+        }
+    }
+
+    #[test]
+    fn office_has_semantic_markers() {
+        let m = office(&SynthParams::default());
+        assert!(m.spaces.iter().any(|s| s.name.to_lowercase().contains("canteen")));
+        assert!(m.spaces.iter().any(|s| s.usage == "corridor"));
+    }
+
+    #[test]
+    fn every_space_has_positive_area() {
+        for (name, m) in archetypes() {
+            for s in &m.spaces {
+                let poly = Polygon::new(s.footprint.clone())
+                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", s.name));
+                assert!(poly.area() > 0.5, "{name}/{}: area {}", s.name, poly.area());
+            }
+        }
+    }
+
+    #[test]
+    fn every_door_touches_a_space_boundary() {
+        for (name, m) in archetypes() {
+            for d in &m.doors {
+                let on_boundary = m
+                    .spaces
+                    .iter()
+                    .filter(|s| s.storey == d.storey)
+                    .filter_map(|s| Polygon::new(s.footprint.clone()).ok())
+                    .any(|p| p.boundary_dist(d.position) < 0.05);
+                assert!(on_boundary, "{name}/{}: door off boundary", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_parameter_grows_footprint() {
+        let small = office(&SynthParams { scale: 1.0, ..SynthParams::with_floors(1) });
+        let large = office(&SynthParams { scale: 2.0, ..SynthParams::with_floors(1) });
+        let area =
+            |m: &DbiModel| -> f64 {
+                m.spaces
+                    .iter()
+                    .filter_map(|s| Polygon::new(s.footprint.clone()).ok())
+                    .map(|p| p.area())
+                    .sum()
+            };
+        assert!(area(&large) > 3.0 * area(&small));
+    }
+
+    #[test]
+    fn mall_has_wide_entrance_doors() {
+        let m = mall(&SynthParams::default());
+        let widest = m.doors.iter().map(|d| d.width).fold(0.0, f64::max);
+        assert!(widest >= 2.0, "mall entrances should be wide, got {widest}");
+    }
+
+    #[test]
+    fn clinic_has_directional_door() {
+        let m = clinic(&SynthParams::default());
+        assert!(
+            m.doors.iter().any(|d| d.directionality != DoorDirectionality::Both),
+            "clinic should model a one-way door"
+        );
+    }
+}

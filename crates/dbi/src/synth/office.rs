@@ -1,0 +1,138 @@
+//! Office archetype: double-loaded corridor, offices on both sides, a
+//! canteen, and a staircase core at the east end of the corridor.
+//!
+//! Layout of one storey (scale 1.0, metres):
+//!
+//! ```text
+//!  y=16 ┌────┬────┬────┬────┬────┬────────┐
+//!       │ O6 │ O7 │ O8 │ O9 │O10 │Canteen │   north rooms (6 m deep)
+//!  y=10 ├─d──┴─d──┴─d──┴─d──┴─d──┴───d────┤
+//!       │            corridor         │st.│   corridor (4 m) + stair core
+//!  y=6  ├─d──┬─d──┬─d──┬─d──┬─d──┬──d─┴───┤
+//!       │ O1 │ O2 │ O3 │ O4 │ O5 │Meeting │   south rooms (6 m deep)
+//!  y=0  └────┴────┴────┴────┴────┴────────┘
+//!       x=0   6   12   18   24   30      42
+//! ```
+//!
+//! The building entrance is a door on the west end of the corridor
+//! (a door adjacent to only one space = an entrance; see `vita-indoor`).
+
+use vita_geometry::{Point, Polygon};
+
+use crate::schema::{DbiModel, DoorDirectionality};
+
+use super::{stair_vertices, ModelBuilder, SynthParams};
+
+/// Generate an office building.
+pub fn office(params: &SynthParams) -> DbiModel {
+    let s = params.scale;
+    let room_w = 6.0 * s;
+    let room_d = 6.0 * s;
+    let corr_d = 4.0 * s;
+    let rooms_per_side = 5;
+    let big_room_w = 12.0 * s;
+    let width = rooms_per_side as f64 * room_w + big_room_w;
+    let stair_w = 4.0 * s;
+
+    let mut b = ModelBuilder::new("Vita Office Building");
+    let mut stair_polys = Vec::new();
+
+    for f in 0..params.floors {
+        let elev = f as f64 * params.storey_height;
+        let storey = b.storey(&format!("Floor {f}"), elev);
+
+        let y_corr0 = room_d;
+        let y_corr1 = room_d + corr_d;
+        let y_top = 2.0 * room_d + corr_d;
+
+        // Corridor, leaving room for the stair core at the east end.
+        let corr = Polygon::rect(0.0, y_corr0, width - stair_w, y_corr1);
+        b.space(&format!("Corridor {f}"), "corridor", storey, &corr);
+
+        // Stair core.
+        let stair_poly = Polygon::rect(width - stair_w, y_corr0, width, y_corr1);
+        b.space(&format!("Stair core {f}"), "stair", storey, &stair_poly);
+        b.door(
+            &format!("stair-door-{f}"),
+            storey,
+            Point::new(width - stair_w, (y_corr0 + y_corr1) / 2.0),
+            1.2 * s,
+            DoorDirectionality::Both,
+        );
+        stair_polys.push((elev, stair_poly));
+
+        // South rooms: offices + meeting room.
+        for i in 0..rooms_per_side {
+            let x0 = i as f64 * room_w;
+            let room = Polygon::rect(x0, 0.0, x0 + room_w, room_d);
+            b.space(&format!("Office {f}.{}", i + 1), "office", storey, &room);
+            b.door(
+                &format!("door-s-{f}-{i}"),
+                storey,
+                Point::new(x0 + room_w / 2.0, room_d),
+                0.9 * s,
+                DoorDirectionality::Both,
+            );
+        }
+        let meeting = Polygon::rect(rooms_per_side as f64 * room_w, 0.0, width, room_d);
+        b.space(&format!("Meeting room {f}"), "meeting", storey, &meeting);
+        b.door(
+            &format!("door-meet-{f}"),
+            storey,
+            Point::new(rooms_per_side as f64 * room_w + big_room_w / 2.0, room_d),
+            1.4 * s,
+            DoorDirectionality::Both,
+        );
+
+        // North rooms: offices + canteen (semantic-extraction marker, §4.1).
+        for i in 0..rooms_per_side {
+            let x0 = i as f64 * room_w;
+            let room = Polygon::rect(x0, y_corr1, x0 + room_w, y_top);
+            b.space(
+                &format!("Office {f}.{}", rooms_per_side + i + 1),
+                "office",
+                storey,
+                &room,
+            );
+            b.door(
+                &format!("door-n-{f}-{i}"),
+                storey,
+                Point::new(x0 + room_w / 2.0, y_corr1),
+                0.9 * s,
+                DoorDirectionality::Both,
+            );
+        }
+        let canteen = Polygon::rect(rooms_per_side as f64 * room_w, y_corr1, width, y_top);
+        b.space(&format!("Canteen {f}"), "dining", storey, &canteen);
+        b.door(
+            &format!("door-canteen-{f}"),
+            storey,
+            Point::new(rooms_per_side as f64 * room_w + big_room_w / 2.0, y_corr1),
+            1.4 * s,
+            DoorDirectionality::Both,
+        );
+
+        // Building entrance on the ground floor only: west end of corridor.
+        if f == 0 {
+            b.door(
+                "entrance",
+                storey,
+                Point::new(0.0, (y_corr0 + y_corr1) / 2.0),
+                1.8 * s,
+                DoorDirectionality::Both,
+            );
+        }
+
+        b.walls_from_spaces(storey);
+    }
+
+    // Staircase flights between consecutive floors, inside the stair core.
+    for f in 0..params.floors.saturating_sub(1) {
+        let (lo, poly) = &stair_polys[f];
+        let (hi, _) = &stair_polys[f + 1];
+        let verts = stair_vertices(poly, *lo, *hi);
+        b.stair(&format!("Stair {f}-{}", f + 1), verts);
+    }
+
+    b.finish()
+}

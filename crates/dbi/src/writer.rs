@@ -1,0 +1,237 @@
+//! Serialize a [`DbiModel`] back to a STEP/IFC-subset file.
+//!
+//! Used by the synthetic building generators to produce DBI *files* (so the
+//! whole pipeline, parser included, is exercised end-to-end) and by users who
+//! edit a model programmatically and want to persist it.
+
+use std::fmt::Write as _;
+
+use vita_geometry::{Point, Point3};
+
+use crate::schema::DbiModel;
+
+/// Render the model as an ISO-10303-21 text file.
+///
+/// Entity ids are freshly assigned; they are internally consistent but will
+/// not match the ids of a file the model was decoded from.
+pub fn write_step(model: &DbiModel) -> String {
+    let mut w = Writer::default();
+    w.emit(model)
+}
+
+#[derive(Default)]
+struct Writer {
+    out: String,
+    next_id: u64,
+}
+
+impl Writer {
+    fn id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn record(&mut self, id: u64, body: &str) {
+        let _ = writeln!(self.out, "#{id}={body};");
+    }
+
+    fn point2(&mut self, p: Point) -> u64 {
+        let id = self.id();
+        self.record(id, &format!("IFCCARTESIANPOINT(({:.6},{:.6}))", p.x, p.y));
+        id
+    }
+
+    fn point3(&mut self, p: Point3) -> u64 {
+        let id = self.id();
+        self.record(
+            id,
+            &format!("IFCCARTESIANPOINT(({:.6},{:.6},{:.6}))", p.x, p.y, p.z),
+        );
+        id
+    }
+
+    fn polyline(&mut self, pts: &[Point]) -> u64 {
+        let refs: Vec<u64> = pts.iter().map(|&p| self.point2(p)).collect();
+        let id = self.id();
+        let list = refs.iter().map(|r| format!("#{r}")).collect::<Vec<_>>().join(",");
+        self.record(id, &format!("IFCPOLYLINE(({list}))"));
+        id
+    }
+
+    fn emit(&mut self, model: &DbiModel) -> String {
+        self.out.push_str("ISO-10303-21;\nHEADER;\n");
+        self.out.push_str("FILE_DESCRIPTION(('Vita DBI export'),'2;1');\n");
+        let _ = writeln!(
+            self.out,
+            "FILE_NAME('{}','2016-09-05',('vita'),('vita'),'vita-dbi','vita-dbi','');",
+            escape(&model.building_name)
+        );
+        self.out.push_str("FILE_SCHEMA(('IFC2X3'));\nENDSEC;\nDATA;\n");
+
+        let building = self.id();
+        let name = escape(&model.building_name);
+        self.record(building, &format!("IFCBUILDING('{name}')"));
+
+        // Storey records must keep their model order (sorted by elevation) and
+        // we must remap model storey ids to the freshly assigned ones.
+        let mut storey_map = std::collections::BTreeMap::new();
+        for s in &model.storeys {
+            let id = self.id();
+            storey_map.insert(s.id, id);
+            self.record(
+                id,
+                &format!("IFCBUILDINGSTOREY('{}',{:.6},#{building})", escape(&s.name), s.elevation),
+            );
+        }
+
+        for sp in &model.spaces {
+            let pl = self.polyline(&sp.footprint);
+            let storey = storey_map.get(&sp.storey).copied().unwrap_or(0);
+            let id = self.id();
+            self.record(
+                id,
+                &format!(
+                    "IFCSPACE('{}','{}',#{storey},#{pl})",
+                    escape(&sp.name),
+                    escape(&sp.usage)
+                ),
+            );
+        }
+
+        for d in &model.doors {
+            let pt = self.point2(d.position);
+            let storey = storey_map.get(&d.storey).copied().unwrap_or(0);
+            let id = self.id();
+            self.record(
+                id,
+                &format!(
+                    "IFCDOOR('{}',#{storey},#{pt},{:.6},.{}.)",
+                    escape(&d.name),
+                    d.width,
+                    d.directionality.as_step_enum()
+                ),
+            );
+        }
+
+        for st in &model.stairs {
+            let refs: Vec<u64> = st.vertices.iter().map(|&v| self.point3(v)).collect();
+            let list = refs.iter().map(|r| format!("#{r}")).collect::<Vec<_>>().join(",");
+            let id = self.id();
+            self.record(id, &format!("IFCSTAIR('{}',({list}))", escape(&st.name)));
+        }
+
+        for wl in &model.walls {
+            let pl = self.polyline(&wl.path);
+            let storey = storey_map.get(&wl.storey).copied().unwrap_or(0);
+            let id = self.id();
+            self.record(
+                id,
+                &format!("IFCWALLSTANDARDCASE('{}',#{storey},#{pl})", escape(&wl.name)),
+            );
+        }
+
+        self.out.push_str("ENDSEC;\nEND-ISO-10303-21;\n");
+        std::mem::take(&mut self.out)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{decode, DoorDirectionality, DoorRec, SpaceRec, StairRec, StoreyRec, WallRec};
+    use crate::step::parse_step;
+
+    fn sample_model() -> DbiModel {
+        DbiModel {
+            building_name: "O'Brien Clinic".into(),
+            storeys: vec![
+                StoreyRec { id: 100, name: "Ground".into(), elevation: 0.0 },
+                StoreyRec { id: 101, name: "First".into(), elevation: 3.5 },
+            ],
+            spaces: vec![SpaceRec {
+                id: 200,
+                name: "Ward 1".into(),
+                usage: "ward".into(),
+                storey: 100,
+                footprint: vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(6.0, 0.0),
+                    Point::new(6.0, 4.0),
+                    Point::new(0.0, 4.0),
+                ],
+            }],
+            doors: vec![DoorRec {
+                id: 300,
+                name: "D1".into(),
+                storey: 100,
+                position: Point::new(3.0, 0.0),
+                width: 1.1,
+                directionality: DoorDirectionality::EnterOnly,
+            }],
+            stairs: vec![StairRec {
+                id: 400,
+                name: "S1".into(),
+                vertices: vec![Point3::new(1.0, 1.0, 0.0), Point3::new(2.0, 1.0, 3.5)],
+            }],
+            walls: vec![WallRec {
+                id: 500,
+                name: "W1".into(),
+                storey: 100,
+                path: vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_model_content() {
+        let model = sample_model();
+        let text = write_step(&model);
+        let parsed = parse_step(&text).expect("re-parse");
+        let decoded = decode(&parsed).expect("re-decode");
+        assert!(decoded.issues.is_empty(), "{:?}", decoded.issues);
+        let got = decoded.model;
+
+        assert_eq!(got.building_name, model.building_name);
+        assert_eq!(got.storeys.len(), 2);
+        assert_eq!(got.storeys[0].name, "Ground");
+        assert!((got.storeys[1].elevation - 3.5).abs() < 1e-9);
+
+        assert_eq!(got.spaces.len(), 1);
+        assert_eq!(got.spaces[0].name, "Ward 1");
+        assert_eq!(got.spaces[0].usage, "ward");
+        assert_eq!(got.spaces[0].footprint, model.spaces[0].footprint);
+        // Space landed on the right storey (ground, elevation 0).
+        let ground_id = got.storeys[0].id;
+        assert_eq!(got.spaces[0].storey, ground_id);
+
+        assert_eq!(got.doors.len(), 1);
+        assert_eq!(got.doors[0].directionality, DoorDirectionality::EnterOnly);
+        assert!((got.doors[0].width - 1.1).abs() < 1e-9);
+        assert!(got.doors[0].position.approx_eq(Point::new(3.0, 0.0)));
+
+        assert_eq!(got.stairs.len(), 1);
+        assert_eq!(got.stairs[0].vertices.len(), 2);
+        assert!((got.stairs[0].vertices[1].z - 3.5).abs() < 1e-9);
+
+        assert_eq!(got.walls.len(), 1);
+        assert_eq!(got.walls[0].path, model.walls[0].path);
+    }
+
+    #[test]
+    fn quotes_escaped_in_output() {
+        let text = write_step(&sample_model());
+        assert!(text.contains("O''Brien Clinic"));
+    }
+
+    #[test]
+    fn output_is_valid_step_shape() {
+        let text = write_step(&sample_model());
+        assert!(text.starts_with("ISO-10303-21;"));
+        assert!(text.contains("DATA;"));
+        assert!(text.trim_end().ends_with("END-ISO-10303-21;"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for DBI processing: the STEP writer/parser pair
+//! must round-trip arbitrary well-formed models, and the repair stage must
+//! be idempotent.
+
+use proptest::prelude::*;
+
+use vita_dbi::{
+    decode, parse_step, validate_and_repair, write_step, DbiModel, DoorDirectionality, DoorRec,
+    SpaceRec, StairRec, StoreyRec,
+};
+use vita_geometry::{Point, Point3};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // Includes quotes to exercise escaping.
+    prop::sample::select(vec![
+        "Room".to_string(),
+        "O'Brien Hall".to_string(),
+        "Café 1".to_string(),
+        "Ward A".to_string(),
+        "X".to_string(),
+    ])
+}
+
+fn model_strategy() -> impl Strategy<Value = DbiModel> {
+    (
+        name_strategy(),
+        1usize..4,                      // storeys
+        1usize..6,                      // spaces per storey
+        prop::collection::vec((0.0f64..40.0, 0.0f64..40.0), 0..4), // door offsets
+    )
+        .prop_map(|(bname, n_storeys, spaces_per, door_offsets)| {
+            let mut model = DbiModel { building_name: bname, ..Default::default() };
+            for s in 0..n_storeys {
+                let sid = (s + 1) as u64 * 100;
+                model.storeys.push(StoreyRec {
+                    id: sid,
+                    name: format!("S{s}"),
+                    elevation: s as f64 * 3.0,
+                });
+                for k in 0..spaces_per {
+                    let x0 = k as f64 * 10.0;
+                    model.spaces.push(SpaceRec {
+                        id: sid + 1 + k as u64,
+                        name: format!("R{s}.{k}"),
+                        usage: "office".into(),
+                        storey: sid,
+                        footprint: vec![
+                            Point::new(x0, 0.0),
+                            Point::new(x0 + 8.0, 0.0),
+                            Point::new(x0 + 8.0, 6.0),
+                            Point::new(x0, 6.0),
+                        ],
+                    });
+                }
+                for (j, (dx, _)) in door_offsets.iter().enumerate() {
+                    model.doors.push(DoorRec {
+                        id: sid + 50 + j as u64,
+                        name: format!("D{s}.{j}"),
+                        storey: sid,
+                        position: Point::new(dx % (spaces_per as f64 * 10.0 - 2.0), 0.0),
+                        width: 0.9,
+                        directionality: DoorDirectionality::Both,
+                    });
+                }
+            }
+            if n_storeys >= 2 {
+                model.stairs.push(StairRec {
+                    id: 9000,
+                    name: "Stair".into(),
+                    vertices: vec![
+                        Point3::new(1.0, 1.0, 0.0),
+                        Point3::new(2.0, 1.0, 0.0),
+                        Point3::new(1.0, 5.0, 3.0),
+                        Point3::new(2.0, 5.0, 3.0),
+                    ],
+                });
+            }
+            model
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// write → parse → decode recovers the model's content (ids are
+    /// reassigned, everything else preserved).
+    #[test]
+    fn step_round_trip(model in model_strategy()) {
+        let text = write_step(&model);
+        let parsed = parse_step(&text).expect("parse");
+        let decoded = decode(&parsed).expect("decode");
+        prop_assert!(decoded.issues.is_empty(), "{:?}", decoded.issues);
+        let got = decoded.model;
+        prop_assert_eq!(&got.building_name, &model.building_name);
+        prop_assert_eq!(got.storeys.len(), model.storeys.len());
+        prop_assert_eq!(got.spaces.len(), model.spaces.len());
+        prop_assert_eq!(got.doors.len(), model.doors.len());
+        prop_assert_eq!(got.stairs.len(), model.stairs.len());
+        // Storey elevations preserved in order.
+        for (a, b) in got.storeys.iter().zip(&model.storeys) {
+            prop_assert!((a.elevation - b.elevation).abs() < 1e-9);
+        }
+        // Footprints preserved exactly.
+        for (a, b) in got.spaces.iter().zip(&model.spaces) {
+            prop_assert_eq!(&a.footprint, &b.footprint);
+            prop_assert_eq!(&a.name, &b.name);
+        }
+        // Double round-trip is stable.
+        let text2 = write_step(&got);
+        let got2 = decode(&parse_step(&text2).unwrap()).unwrap().model;
+        prop_assert_eq!(got2.spaces.len(), got.spaces.len());
+    }
+
+    /// Repair is idempotent: a second pass finds nothing new.
+    #[test]
+    fn repair_is_idempotent(model in model_strategy()) {
+        let mut m = model;
+        let _first = validate_and_repair(&mut m);
+        let second = validate_and_repair(&mut m);
+        // Everything that remains after the first pass is either clean or an
+        // unrepairable (advisory) finding; no *repairs* happen twice.
+        prop_assert_eq!(second.repaired_count(), 0, "{:?}", second.findings);
+    }
+}

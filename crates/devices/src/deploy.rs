@@ -1,0 +1,399 @@
+//! Deployment models for positioning devices (paper §3.2).
+//!
+//! In paper Fig. 3, the ground floor uses the *coverage* model (wall-mounted
+//! access points spread for maximum coverage) and the first floor the
+//! *check-point* model (devices at room entrances and hotspots).
+
+use rand::Rng;
+
+use vita_geometry::{Point, PolygonSampler};
+use vita_indoor::{DoorKind, FloorId, IndoorEnvironment};
+
+use crate::spec::{DeviceRegistry, DeviceSpec};
+
+/// How devices are positioned on a floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentModel {
+    /// Wall-adjacent, mutually spread positions (access-point style).
+    Coverage,
+    /// At doors (entrances) and at centroids of large partitions (hotspots).
+    CheckPoint,
+}
+
+/// Deploy `count` devices of `spec` on `floor` of `env` following `model`.
+///
+/// Returns the ids of the newly placed devices. Deterministic for a given
+/// environment and parameters.
+pub fn deploy(
+    env: &IndoorEnvironment,
+    registry: &mut DeviceRegistry,
+    spec: DeviceSpec,
+    floor: FloorId,
+    model: DeploymentModel,
+    count: usize,
+) -> Vec<vita_indoor::DeviceId> {
+    let positions = match model {
+        DeploymentModel::Coverage => coverage_positions(env, floor, count),
+        DeploymentModel::CheckPoint => checkpoint_positions(env, floor, count),
+    };
+    positions.into_iter().map(|p| registry.place(spec, floor, p)).collect()
+}
+
+/// Coverage model: candidates along every wall edge of every partition,
+/// inset towards the partition interior (power from the wall, antenna in the
+/// room), then greedy k-center selection for maximum mutual separation.
+fn coverage_positions(env: &IndoorEnvironment, floor: FloorId, count: usize) -> Vec<Point> {
+    const CANDIDATE_SPACING: f64 = 2.0;
+    const WALL_INSET: f64 = 0.4;
+
+    let mut candidates: Vec<Point> = Vec::new();
+    for &pid in &env.floor(floor).partitions {
+        let poly = &env.partition(pid).polygon;
+        let centroid = poly.centroid();
+        for edge in poly.edges() {
+            let len = edge.length();
+            let steps = (len / CANDIDATE_SPACING).floor().max(1.0) as usize;
+            for k in 0..=steps {
+                let t = (k as f64 + 0.5) / (steps as f64 + 1.0);
+                let on_wall = edge.at(t);
+                // Inset towards the centroid so the device sits inside.
+                let inward = on_wall.to(centroid);
+                let Some(u) = inward.normalized() else { continue };
+                let p = on_wall + u * WALL_INSET;
+                if poly.contains(p) {
+                    candidates.push(p);
+                }
+            }
+        }
+    }
+    greedy_k_center(candidates, count)
+}
+
+/// Greedy k-center (farthest-point) selection: start from the candidate
+/// farthest from the global centroid, then repeatedly add the candidate
+/// maximizing its distance to the already selected set.
+fn greedy_k_center(candidates: Vec<Point>, count: usize) -> Vec<Point> {
+    if candidates.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    let cx = candidates.iter().map(|p| p.x).sum::<f64>() / candidates.len() as f64;
+    let cy = candidates.iter().map(|p| p.y).sum::<f64>() / candidates.len() as f64;
+    let centroid = Point::new(cx, cy);
+
+    let mut selected: Vec<Point> = Vec::with_capacity(count);
+    let first = candidates
+        .iter()
+        .copied()
+        .max_by(|a, b| a.dist2(centroid).partial_cmp(&b.dist2(centroid)).unwrap())
+        .expect("non-empty candidates");
+    selected.push(first);
+
+    let mut min_dist: Vec<f64> = candidates.iter().map(|c| c.dist2(first)).collect();
+    while selected.len() < count.min(candidates.len()) {
+        let (best_idx, best_d) = min_dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, d)| (i, *d))
+            .expect("non-empty");
+        if best_d <= 1e-12 {
+            break; // all remaining candidates coincide with selected ones
+        }
+        let chosen = candidates[best_idx];
+        selected.push(chosen);
+        for (i, c) in candidates.iter().enumerate() {
+            min_dist[i] = min_dist[i].min(c.dist2(chosen));
+        }
+    }
+    selected
+}
+
+/// Check-point model: door positions first (widest doors first — main
+/// entrances and shop fronts), then centroids of the largest partitions as
+/// hotspot monitors.
+fn checkpoint_positions(env: &IndoorEnvironment, floor: FloorId, count: usize) -> Vec<Point> {
+    let mut positions: Vec<Point> = Vec::new();
+
+    // Doors on the floor, widest first; openings (decomposition artifacts)
+    // are not real entrances and come last.
+    let mut doors: Vec<_> = env.doors_on(floor).collect();
+    doors.sort_by(|a, b| {
+        let rank = |d: &&vita_indoor::Door| match d.kind {
+            DoorKind::Door => 0,
+            DoorKind::Opening => 1,
+        };
+        rank(a)
+            .cmp(&rank(b))
+            .then(b.width.partial_cmp(&a.width).unwrap_or(std::cmp::Ordering::Equal))
+            .then(a.id.cmp(&b.id))
+    });
+    for d in doors {
+        if positions.len() >= count {
+            return positions;
+        }
+        if d.kind == DoorKind::Door {
+            // Inset slightly into the first partition so the device is
+            // indoors even for perimeter entrance doors.
+            let target = env.partition(d.partitions.0).polygon.centroid();
+            let p = match d.position.to(target).normalized() {
+                Some(u) => d.position + u * 0.5,
+                None => d.position,
+            };
+            positions.push(p);
+        }
+    }
+
+    // Hotspots: largest partitions' centroids.
+    let mut parts: Vec<_> = env
+        .floor(floor)
+        .partitions
+        .iter()
+        .map(|&pid| env.partition(pid))
+        .collect();
+    parts.sort_by(|a, b| {
+        b.area().partial_cmp(&a.area()).unwrap().then(a.id.cmp(&b.id))
+    });
+    for p in parts {
+        if positions.len() >= count {
+            break;
+        }
+        let c = p.centroid();
+        if p.polygon.contains(c) && !positions.iter().any(|q| q.dist(c) < 1.0) {
+            positions.push(c);
+        }
+    }
+    positions
+}
+
+/// Coverage statistics for a deployed floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageStats {
+    /// Fraction of sampled walkable points within range of ≥1 device.
+    pub covered_fraction: f64,
+    /// Mean number of devices in range over sampled points (localizability:
+    /// trilateration needs ≥3).
+    pub mean_devices_in_range: f64,
+    /// Fraction of sampled points with ≥3 devices in range.
+    pub trilateration_ready_fraction: f64,
+}
+
+/// Monte-Carlo coverage estimate over the walkable area of `floor`.
+pub fn coverage_fraction<R: Rng + ?Sized>(
+    env: &IndoorEnvironment,
+    registry: &DeviceRegistry,
+    floor: FloorId,
+    samples: usize,
+    rng: &mut R,
+) -> CoverageStats {
+    let parts: Vec<_> = env
+        .floor(floor)
+        .partitions
+        .iter()
+        .map(|&pid| env.partition(pid))
+        .collect();
+    if parts.is_empty() || samples == 0 {
+        return CoverageStats {
+            covered_fraction: 0.0,
+            mean_devices_in_range: 0.0,
+            trilateration_ready_fraction: 0.0,
+        };
+    }
+    // Area-weighted sampling across partitions.
+    let areas: Vec<f64> = parts.iter().map(|p| p.area()).collect();
+    let total: f64 = areas.iter().sum();
+    let samplers: Vec<PolygonSampler> =
+        parts.iter().map(|p| PolygonSampler::new(&p.polygon)).collect();
+
+    let mut covered = 0usize;
+    let mut tri_ready = 0usize;
+    let mut in_range_sum = 0usize;
+    for _ in 0..samples {
+        let mut pick = rng.gen::<f64>() * total;
+        let mut idx = 0;
+        for (i, a) in areas.iter().enumerate() {
+            if pick < *a {
+                idx = i;
+                break;
+            }
+            pick -= a;
+            idx = i;
+        }
+        let p = samplers[idx].sample(rng);
+        let n = registry.covering(floor, p).count();
+        if n >= 1 {
+            covered += 1;
+        }
+        if n >= 3 {
+            tri_ready += 1;
+        }
+        in_range_sum += n;
+    }
+    CoverageStats {
+        covered_fraction: covered as f64 / samples as f64,
+        mean_devices_in_range: in_range_sum as f64 / samples as f64,
+        trilateration_ready_fraction: tri_ready as f64 / samples as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vita_dbi::{office, SynthParams};
+    use vita_indoor::{build_environment, BuildParams};
+
+    fn env() -> IndoorEnvironment {
+        let model = office(&SynthParams::with_floors(2));
+        build_environment(&model, &BuildParams::default()).unwrap().env
+    }
+
+    #[test]
+    fn coverage_model_places_requested_count_indoors() {
+        let env = env();
+        let mut reg = DeviceRegistry::new();
+        let spec = DeviceSpec::default_for(DeviceType::WiFi);
+        let ids = deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, 12);
+        assert_eq!(ids.len(), 12);
+        for d in reg.devices() {
+            assert!(
+                env.locate(d.floor, d.position).is_some(),
+                "device at {} is outdoors",
+                d.position
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_model_devices_are_wall_adjacent_and_spread() {
+        let env = env();
+        let mut reg = DeviceRegistry::new();
+        let spec = DeviceSpec::default_for(DeviceType::WiFi);
+        deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, 8);
+        // Wall-adjacent: each device within ~0.5 m of its partition boundary.
+        for d in reg.devices() {
+            let pid = env.locate(d.floor, d.position).unwrap();
+            let bd = env.partition(pid).polygon.boundary_dist(d.position);
+            assert!(bd < 0.6, "device not wall-adjacent (boundary dist {bd})");
+        }
+        // Spread: min pairwise distance should be meaningful (> 3 m in a
+        // 42 m-wide building with 8 devices).
+        let ds = reg.devices();
+        let mut min_pair = f64::INFINITY;
+        for i in 0..ds.len() {
+            for j in i + 1..ds.len() {
+                min_pair = min_pair.min(ds[i].position.dist(ds[j].position));
+            }
+        }
+        assert!(min_pair > 3.0, "devices clumped: min pair dist {min_pair}");
+    }
+
+    #[test]
+    fn checkpoint_model_prefers_doors() {
+        let env = env();
+        let mut reg = DeviceRegistry::new();
+        let spec = DeviceSpec::default_for(DeviceType::Rfid);
+        deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::CheckPoint, 6);
+        assert_eq!(reg.len(), 6);
+        // Every placed device is within 1 m of some real door.
+        for d in reg.devices() {
+            let near_door = env
+                .doors_on(FloorId(0))
+                .filter(|dr| dr.kind == DoorKind::Door)
+                .any(|dr| dr.position.dist(d.position) < 1.0);
+            assert!(near_door, "checkpoint device not at a door: {}", d.position);
+        }
+    }
+
+    #[test]
+    fn checkpoint_model_overflows_to_hotspots() {
+        let env = env();
+        let door_count = env
+            .doors_on(FloorId(0))
+            .filter(|d| d.kind == DoorKind::Door)
+            .count();
+        let mut reg = DeviceRegistry::new();
+        let spec = DeviceSpec::default_for(DeviceType::Bluetooth);
+        deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::CheckPoint, door_count + 3);
+        assert_eq!(reg.len(), door_count + 3, "hotspot overflow failed");
+    }
+
+    #[test]
+    fn more_devices_cover_more_area() {
+        let env = env();
+        let spec = DeviceSpec {
+            detection_range: 8.0,
+            ..DeviceSpec::default_for(DeviceType::WiFi)
+        };
+        let mut frac = Vec::new();
+        for n in [2usize, 6, 16] {
+            let mut reg = DeviceRegistry::new();
+            deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, n);
+            let mut rng = StdRng::seed_from_u64(1);
+            let stats = coverage_fraction(&env, &reg, FloorId(0), 2000, &mut rng);
+            frac.push(stats.covered_fraction);
+        }
+        assert!(frac[0] < frac[1] && frac[1] <= frac[2], "coverage not monotone: {frac:?}");
+        assert!(frac[2] > 0.9, "16 × 8 m devices should cover most of the floor");
+    }
+
+    #[test]
+    fn coverage_beats_checkpoint_on_area_coverage() {
+        // The headline property of Fig. 3: the coverage model maximizes
+        // area coverage relative to placing devices at doors.
+        let env = env();
+        let spec = DeviceSpec {
+            detection_range: 6.0,
+            ..DeviceSpec::default_for(DeviceType::WiFi)
+        };
+        let n = 10;
+        let mut reg_cov = DeviceRegistry::new();
+        deploy(&env, &mut reg_cov, spec, FloorId(0), DeploymentModel::Coverage, n);
+        let mut reg_cp = DeviceRegistry::new();
+        deploy(&env, &mut reg_cp, spec, FloorId(0), DeploymentModel::CheckPoint, n);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cov = coverage_fraction(&env, &reg_cov, FloorId(0), 3000, &mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cp = coverage_fraction(&env, &reg_cp, FloorId(0), 3000, &mut rng);
+        assert!(
+            cov.covered_fraction >= cp.covered_fraction,
+            "coverage {} < checkpoint {}",
+            cov.covered_fraction,
+            cp.covered_fraction
+        );
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let env = env();
+        let spec = DeviceSpec::default_for(DeviceType::WiFi);
+        let mut r1 = DeviceRegistry::new();
+        deploy(&env, &mut r1, spec, FloorId(0), DeploymentModel::Coverage, 7);
+        let mut r2 = DeviceRegistry::new();
+        deploy(&env, &mut r2, spec, FloorId(0), DeploymentModel::Coverage, 7);
+        for (a, b) in r1.devices().iter().zip(r2.devices()) {
+            assert!(a.position.approx_eq(b.position));
+        }
+    }
+
+    #[test]
+    fn zero_count_is_empty() {
+        let env = env();
+        let mut reg = DeviceRegistry::new();
+        let spec = DeviceSpec::default_for(DeviceType::WiFi);
+        let ids = deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, 0);
+        assert!(ids.is_empty());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn empty_registry_coverage_is_zero() {
+        let env = env();
+        let reg = DeviceRegistry::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = coverage_fraction(&env, &reg, FloorId(0), 500, &mut rng);
+        assert_eq!(stats.covered_fraction, 0.0);
+        assert_eq!(stats.trilateration_ready_fraction, 0.0);
+    }
+}

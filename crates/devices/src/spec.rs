@@ -1,0 +1,217 @@
+//! Device types, type-dependent properties, and the device registry.
+
+use vita_geometry::Point;
+use vita_indoor::{DeviceId, FloorId, Hz};
+
+/// The short-range wireless technologies Vita models (paper §1: "Typical
+/// indoor positioning systems employ short-range wireless technologies such
+/// as Wi-Fi, Bluetooth, RFID").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceType {
+    WiFi,
+    Bluetooth,
+    Rfid,
+}
+
+impl DeviceType {
+    /// All supported types.
+    pub const ALL: [DeviceType; 3] = [DeviceType::WiFi, DeviceType::Bluetooth, DeviceType::Rfid];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceType::WiFi => "Wi-Fi",
+            DeviceType::Bluetooth => "Bluetooth",
+            DeviceType::Rfid => "RFID",
+        }
+    }
+
+    /// Which positioning methods apply (paper §5: "all three methods can be
+    /// applied to Wi-Fi devices, whereas fingerprinting currently does not
+    /// apply to RFID and Bluetooth devices").
+    pub fn supports_fingerprinting(&self) -> bool {
+        matches!(self, DeviceType::WiFi)
+    }
+
+    pub fn supports_trilateration(&self) -> bool {
+        // RSSI-to-distance conversion is meaningful for radio beacons; RFID
+        // proximity readers are used with the proximity method instead.
+        matches!(self, DeviceType::WiFi | DeviceType::Bluetooth)
+    }
+
+    pub fn supports_proximity(&self) -> bool {
+        true
+    }
+}
+
+/// Type-dependent configuration for a batch of devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    pub device_type: DeviceType,
+    /// Maximum distance (metres) at which the device detects/measures an
+    /// object.
+    pub detection_range: f64,
+    /// How often the device performs a detection/measurement operation.
+    pub detection_hz: Hz,
+    /// Transmit power calibration: expected RSSI at 1 m (the `A` of the
+    /// path-loss model, dBm).
+    pub rssi_at_1m: f64,
+}
+
+impl DeviceSpec {
+    /// Sensible defaults per technology ("a default setting ... is provided
+    /// for a quick customization", paper §3.2).
+    pub fn default_for(device_type: DeviceType) -> Self {
+        match device_type {
+            DeviceType::WiFi => DeviceSpec {
+                device_type,
+                detection_range: 30.0,
+                detection_hz: Hz(1.0),
+                rssi_at_1m: -40.0,
+            },
+            DeviceType::Bluetooth => DeviceSpec {
+                device_type,
+                detection_range: 12.0,
+                detection_hz: Hz(2.0),
+                rssi_at_1m: -55.0,
+            },
+            DeviceType::Rfid => DeviceSpec {
+                device_type,
+                detection_range: 3.0,
+                detection_hz: Hz(4.0),
+                rssi_at_1m: -60.0,
+            },
+        }
+    }
+}
+
+/// One deployed positioning device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    pub id: DeviceId,
+    pub spec: DeviceSpec,
+    pub floor: FloorId,
+    pub position: Point,
+}
+
+impl Device {
+    /// Plan-view distance from the device to a point on the same floor.
+    pub fn distance_to(&self, p: Point) -> f64 {
+        self.position.dist(p)
+    }
+
+    /// Is `p` (same floor) within detection range?
+    pub fn in_range(&self, p: Point) -> bool {
+        self.distance_to(p) <= self.spec.detection_range
+    }
+}
+
+/// The set of deployed devices — the Infrastructure Layer's "positioning
+/// device data" product.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceRegistry {
+    devices: Vec<Device>,
+}
+
+impl DeviceRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Manually place one device.
+    pub fn place(&mut self, spec: DeviceSpec, floor: FloorId, position: Point) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(Device { id, spec, floor, position });
+        id
+    }
+
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    pub fn get(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.get(id.index())
+    }
+
+    /// Devices on one floor.
+    pub fn on_floor(&self, floor: FloorId) -> impl Iterator<Item = &Device> {
+        self.devices.iter().filter(move |d| d.floor == floor)
+    }
+
+    /// Devices of one type.
+    pub fn of_type(&self, t: DeviceType) -> impl Iterator<Item = &Device> {
+        self.devices.iter().filter(move |d| d.spec.device_type == t)
+    }
+
+    /// Devices on `floor` whose detection range covers `p`.
+    pub fn covering(&self, floor: FloorId, p: Point) -> impl Iterator<Item = &Device> {
+        self.devices
+            .iter()
+            .filter(move |d| d.floor == floor && d.in_range(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered_sensibly() {
+        let wifi = DeviceSpec::default_for(DeviceType::WiFi);
+        let bt = DeviceSpec::default_for(DeviceType::Bluetooth);
+        let rfid = DeviceSpec::default_for(DeviceType::Rfid);
+        assert!(wifi.detection_range > bt.detection_range);
+        assert!(bt.detection_range > rfid.detection_range);
+        // Faster polling for shorter-range tech.
+        assert!(rfid.detection_hz.0 > wifi.detection_hz.0);
+    }
+
+    #[test]
+    fn method_support_matrix_matches_paper() {
+        assert!(DeviceType::WiFi.supports_fingerprinting());
+        assert!(!DeviceType::Bluetooth.supports_fingerprinting());
+        assert!(!DeviceType::Rfid.supports_fingerprinting());
+        assert!(DeviceType::WiFi.supports_trilateration());
+        assert!(DeviceType::Bluetooth.supports_trilateration());
+        assert!(!DeviceType::Rfid.supports_trilateration());
+        for t in DeviceType::ALL {
+            assert!(t.supports_proximity());
+        }
+    }
+
+    #[test]
+    fn registry_place_and_query() {
+        let mut reg = DeviceRegistry::new();
+        let spec = DeviceSpec::default_for(DeviceType::Bluetooth);
+        let a = reg.place(spec, FloorId(0), Point::new(0.0, 0.0));
+        let b = reg.place(spec, FloorId(0), Point::new(50.0, 0.0));
+        let c = reg.place(spec, FloorId(1), Point::new(0.0, 0.0));
+        assert_eq!(reg.len(), 3);
+        assert_ne!(a, b);
+        assert_eq!(reg.on_floor(FloorId(0)).count(), 2);
+        assert_eq!(reg.of_type(DeviceType::Bluetooth).count(), 3);
+        assert_eq!(reg.of_type(DeviceType::WiFi).count(), 0);
+        // Coverage: BT range is 12 m.
+        let near: Vec<_> = reg.covering(FloorId(0), Point::new(5.0, 0.0)).collect();
+        assert_eq!(near.len(), 1);
+        assert_eq!(near[0].id, a);
+        assert_eq!(reg.covering(FloorId(1), Point::new(5.0, 0.0)).count(), 1);
+        assert_eq!(reg.get(c).unwrap().floor, FloorId(1));
+    }
+
+    #[test]
+    fn device_range_check() {
+        let spec = DeviceSpec::default_for(DeviceType::Rfid);
+        let d = Device { id: DeviceId(0), spec, floor: FloorId(0), position: Point::new(1.0, 1.0) };
+        assert!(d.in_range(Point::new(2.0, 1.0)));
+        assert!(!d.in_range(Point::new(9.0, 1.0)));
+        assert!((d.distance_to(Point::new(4.0, 5.0)) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::{Point, EPS};
+
+/// Axis-aligned bounding box (min/max corners).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Aabb {
+    /// Box from two corners in any order.
+    pub fn new(a: Point, b: Point) -> Self {
+        Aabb {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The empty box: unions as identity, intersects nothing.
+    pub fn empty() -> Self {
+        Aabb {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Degenerate box containing exactly `p`.
+    pub fn from_point(p: Point) -> Self {
+        Aabb { min: p, max: p }
+    }
+
+    /// Smallest box containing all `points`; empty box for an empty slice.
+    pub fn from_points(points: &[Point]) -> Self {
+        points.iter().fold(Aabb::empty(), |b, &p| b.expanded_to(p))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    pub fn perimeter(&self) -> f64 {
+        2.0 * (self.width() + self.height())
+    }
+
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Box grown to include `p`.
+    pub fn expanded_to(&self, p: Point) -> Aabb {
+        Aabb {
+            min: Point::new(self.min.x.min(p.x), self.min.y.min(p.y)),
+            max: Point::new(self.max.x.max(p.x), self.max.y.max(p.y)),
+        }
+    }
+
+    /// Box grown by `margin` on all sides.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        if self.is_empty() {
+            return *self;
+        }
+        Aabb {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    /// Union of two boxes.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Aabb {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Intersection of two boxes, if non-empty.
+    pub fn intersection(&self, other: &Aabb) -> Option<Aabb> {
+        let min = Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y));
+        let max = Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y));
+        if min.x <= max.x + EPS && min.y <= max.y + EPS {
+            Some(Aabb { min, max })
+        } else {
+            None
+        }
+    }
+
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x + EPS
+            && other.min.x <= self.max.x + EPS
+            && self.min.y <= other.max.y + EPS
+            && other.min.y <= self.max.y + EPS
+    }
+
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min.x - EPS
+            && p.x <= self.max.x + EPS
+            && p.y >= self.min.y - EPS
+            && p.y <= self.max.y + EPS
+    }
+
+    pub fn contains_box(&self, other: &Aabb) -> bool {
+        !other.is_empty() && self.contains_point(other.min) && self.contains_point(other.max)
+    }
+
+    /// Minimum distance from `p` to the box (0 when inside).
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes_corners() {
+        let b = Aabb::new(Point::new(3.0, 1.0), Point::new(1.0, 4.0));
+        assert_eq!(b.min, Point::new(1.0, 1.0));
+        assert_eq!(b.max, Point::new(3.0, 4.0));
+        assert!((b.area() - 6.0).abs() < EPS);
+        assert!((b.perimeter() - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_box_behaviour() {
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        let b = Aabb::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert_eq!(e.union(&b), b);
+        assert!(!e.intersects(&b));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Aabb::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = Aabb::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        let u = a.union(&b);
+        assert_eq!(u, Aabb::new(Point::new(0.0, 0.0), Point::new(3.0, 3.0)));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Aabb::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0)));
+        let far = Aabb::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0));
+        assert!(a.intersection(&far).is_none());
+        assert!(!a.intersects(&far));
+    }
+
+    #[test]
+    fn containment_and_distance() {
+        let b = Aabb::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        assert!(b.contains_point(Point::new(2.0, 2.0)));
+        assert!(b.contains_point(Point::new(0.0, 0.0)));
+        assert!(!b.contains_point(Point::new(5.0, 2.0)));
+        assert_eq!(b.dist_to_point(Point::new(2.0, 2.0)), 0.0);
+        assert!((b.dist_to_point(Point::new(7.0, 8.0)) - 5.0).abs() < EPS);
+        let inner = Aabb::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+        assert!(b.contains_box(&inner));
+        assert!(!inner.contains_box(&b));
+    }
+
+    #[test]
+    fn from_points_and_inflate() {
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)];
+        let b = Aabb::from_points(&pts);
+        assert_eq!(b.min, Point::new(-2.0, 0.0));
+        assert_eq!(b.max, Point::new(3.0, 5.0));
+        let g = b.inflated(1.0);
+        assert_eq!(g.min, Point::new(-3.0, -1.0));
+        assert_eq!(g.max, Point::new(4.0, 6.0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Uniform grid spatial index.
+//!
+//! Cheap, rebuild-friendly index used for dynamic data (moving objects,
+//! devices). Static building geometry uses the bulk-loaded [`crate::rtree`].
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+
+/// A uniform grid over a bounded domain, mapping cells to item ids.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    domain: Aabb,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<u32>>,
+    entries: Vec<(u32, Aabb)>,
+}
+
+impl GridIndex {
+    /// Create a grid covering `domain` with roughly `cell`-sized cells.
+    /// The cell size is clamped so the grid has at least one cell.
+    pub fn new(domain: Aabb, cell: f64) -> Self {
+        let cell = if cell.is_finite() && cell > 1e-6 { cell } else { 1.0 };
+        let cols = ((domain.width() / cell).ceil() as usize).max(1);
+        let rows = ((domain.height() / cell).ceil() as usize).max(1);
+        GridIndex {
+            domain,
+            cell,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn domain(&self) -> Aabb {
+        self.domain
+    }
+
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn col_of(&self, x: f64) -> usize {
+        (((x - self.domain.min.x) / self.cell).floor() as isize).clamp(0, self.cols as isize - 1)
+            as usize
+    }
+
+    fn row_of(&self, y: f64) -> usize {
+        (((y - self.domain.min.y) / self.cell).floor() as isize).clamp(0, self.rows as isize - 1)
+            as usize
+    }
+
+    fn cell_range(&self, b: &Aabb) -> (usize, usize, usize, usize) {
+        (self.col_of(b.min.x), self.col_of(b.max.x), self.row_of(b.min.y), self.row_of(b.max.y))
+    }
+
+    /// Insert an item with the given bounds; returns its handle (dense index).
+    pub fn insert(&mut self, id: u32, bounds: Aabb) {
+        let (c0, c1, r0, r1) = self.cell_range(&bounds);
+        let slot = self.entries.len() as u32;
+        self.entries.push((id, bounds));
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                self.cells[r * self.cols + c].push(slot);
+            }
+        }
+    }
+
+    /// Insert a point item.
+    pub fn insert_point(&mut self, id: u32, p: Point) {
+        self.insert(id, Aabb::from_point(p));
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        for c in &mut self.cells {
+            c.clear();
+        }
+        self.entries.clear();
+    }
+
+    /// Collect deduplicated slots whose cells overlap the clamped query box.
+    fn candidate_slots(&self, q: &Aabb) -> Vec<u32> {
+        let Some(q) = q.intersection(&self.domain) else {
+            return Vec::new();
+        };
+        let (c0, c1, r0, r1) = self.cell_range(&q);
+        let mut slots = Vec::new();
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                slots.extend_from_slice(&self.cells[r * self.cols + c]);
+            }
+        }
+        // Sort+dedup costs O(k log k) in the candidate count, instead of an
+        // O(n) visited buffer per query.
+        slots.sort_unstable();
+        slots.dedup();
+        slots
+    }
+
+    /// Ids of items whose bounds intersect `query`. Deduplicated, unordered.
+    pub fn query_bbox(&self, query: &Aabb) -> Vec<u32> {
+        self.candidate_slots(query)
+            .into_iter()
+            .filter(|&s| self.entries[s as usize].1.intersects(query))
+            .map(|s| self.entries[s as usize].0)
+            .collect()
+    }
+
+    /// Ids of items whose bounds are within `radius` of `p`.
+    pub fn query_radius(&self, p: Point, radius: f64) -> Vec<u32> {
+        let q = Aabb::from_point(p).inflated(radius);
+        self.candidate_slots(&q)
+            .into_iter()
+            .filter(|&s| self.entries[s as usize].1.dist_to_point(p) <= radius)
+            .map(|s| self.entries[s as usize].0)
+            .collect()
+    }
+
+    /// All (id, bounds) entries.
+    pub fn entries(&self) -> &[(u32, Aabb)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Aabb {
+        Aabb::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn insert_and_query_points() {
+        let mut g = GridIndex::new(domain(), 1.0);
+        g.insert_point(1, Point::new(1.5, 1.5));
+        g.insert_point(2, Point::new(8.5, 8.5));
+        g.insert_point(3, Point::new(1.9, 1.1));
+        let near = g.query_bbox(&Aabb::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0)));
+        let mut near = near;
+        near.sort_unstable();
+        assert_eq!(near, vec![1, 3]);
+    }
+
+    #[test]
+    fn bbox_spanning_cells_found_once() {
+        let mut g = GridIndex::new(domain(), 1.0);
+        g.insert(7, Aabb::new(Point::new(0.5, 0.5), Point::new(5.5, 5.5)));
+        let hits = g.query_bbox(&Aabb::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)));
+        assert_eq!(hits, vec![7]);
+    }
+
+    #[test]
+    fn radius_query_filters_by_distance() {
+        let mut g = GridIndex::new(domain(), 2.0);
+        g.insert_point(1, Point::new(2.0, 2.0));
+        g.insert_point(2, Point::new(6.0, 2.0));
+        let hits = g.query_radius(Point::new(2.0, 2.0), 1.5);
+        assert_eq!(hits, vec![1]);
+        let mut hits = g.query_radius(Point::new(4.0, 2.0), 2.5);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn query_outside_domain_is_empty() {
+        let mut g = GridIndex::new(domain(), 1.0);
+        g.insert_point(1, Point::new(5.0, 5.0));
+        assert!(g
+            .query_bbox(&Aabb::new(Point::new(20.0, 20.0), Point::new(21.0, 21.0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = GridIndex::new(domain(), 1.0);
+        g.insert_point(1, Point::new(5.0, 5.0));
+        assert_eq!(g.len(), 1);
+        g.clear();
+        assert!(g.is_empty());
+        assert!(g.query_radius(Point::new(5.0, 5.0), 1.0).is_empty());
+    }
+
+    #[test]
+    fn degenerate_cell_size_clamped() {
+        let g = GridIndex::new(domain(), 0.0);
+        assert!(g.cell_size() > 0.0);
+    }
+
+    #[test]
+    fn points_outside_domain_clamp_into_edge_cells() {
+        let mut g = GridIndex::new(domain(), 1.0);
+        g.insert_point(1, Point::new(-5.0, -5.0));
+        let hits = g.query_bbox(&Aabb::new(Point::new(-6.0, -6.0), Point::new(0.5, 0.5)));
+        assert_eq!(hits, vec![1]);
+    }
+}

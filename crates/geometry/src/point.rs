@@ -1,0 +1,344 @@
+//! Planar points and vectors.
+//!
+//! All Vita geometry is metric: coordinates are metres in a per-floor local
+//! frame. Elevation is carried separately ([`Point3`]) only where the paper
+//! needs it (staircase boundary vertices, §4.1).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Tolerance used by approximate comparisons throughout the geometry kernel.
+pub const EPS: f64 = 1e-9;
+
+/// A point in the plane (metres).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A displacement in the plane (metres).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A point in 3-space; used for staircase boundary vertices where the floor
+/// elevation matters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Point {
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (cheaper when only comparing).
+    #[inline]
+    pub fn dist2(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector from `self` to `other`.
+    #[inline]
+    pub fn to(&self, other: Point) -> Vec2 {
+        Vec2 { x: other.x - self.x, y: other.y - self.y }
+    }
+
+    /// Linear interpolation: `t = 0` is `self`, `t = 1` is `other`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
+    }
+
+    /// Midpoint of the segment `self..other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Approximate equality within [`EPS`].
+    #[inline]
+    pub fn approx_eq(&self, other: Point) -> bool {
+        (self.x - other.x).abs() <= EPS && (self.y - other.y).abs() <= EPS
+    }
+
+    /// Both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec2 {
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    #[inline]
+    pub fn dot(&self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    #[inline]
+    pub fn cross(&self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.dot(*self).sqrt()
+    }
+
+    #[inline]
+    pub fn norm2(&self) -> f64 {
+        self.dot(*self)
+    }
+
+    /// Unit vector in the same direction; `None` for the zero vector.
+    pub fn normalized(&self) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= EPS {
+            None
+        } else {
+            Some(Vec2 { x: self.x / n, y: self.y / n })
+        }
+    }
+
+    /// Perpendicular vector (rotated +90°).
+    #[inline]
+    pub fn perp(&self) -> Vec2 {
+        Vec2 { x: -self.y, y: self.x }
+    }
+
+    /// Angle of the vector in radians, in `(-π, π]`.
+    #[inline]
+    pub fn angle(&self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Rotate by `theta` radians counter-clockwise.
+    pub fn rotated(&self, theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2 { x: self.x * c - self.y * s, y: self.x * s + self.y * c }
+    }
+}
+
+impl Point3 {
+    #[inline]
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Drop elevation.
+    #[inline]
+    pub fn xy(&self) -> Point {
+        Point { x: self.x, y: self.y }
+    }
+
+    #[inline]
+    pub fn dist(&self, other: Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+/// Orientation of the ordered triple `(a, b, c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    Clockwise,
+    CounterClockwise,
+    Collinear,
+}
+
+/// Robust-enough orientation predicate for toolkit-scale inputs.
+pub fn orient(a: Point, b: Point, c: Point) -> Orientation {
+    let v = a.to(b).cross(a.to(c));
+    if v > EPS {
+        Orientation::CounterClockwise
+    } else if v < -EPS {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, v: Vec2) -> Point {
+        Point { x: self.x + v.x, y: self.y + v.y }
+    }
+}
+
+impl AddAssign<Vec2> for Point {
+    #[inline]
+    fn add_assign(&mut self, v: Vec2) {
+        self.x += v.x;
+        self.y += v.y;
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, v: Vec2) -> Point {
+        Point { x: self.x - v.x, y: self.y - v.y }
+    }
+}
+
+impl Sub<Point> for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, p: Point) -> Vec2 {
+        Vec2 { x: self.x - p.x, y: self.y - p.y }
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2 { x: self.x + o.x, y: self.y + o.y }
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec2) {
+        self.x += o.x;
+        self.y += o.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2 { x: self.x - o.x, y: self.y - o.y }
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec2) {
+        self.x -= o.x;
+        self.y -= o.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2 { x: self.x * s, y: self.y * s }
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, s: f64) -> Vec2 {
+        Vec2 { x: self.x / s, y: self.y / s }
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2 { x: -self.x, y: -self.y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_and_dist2_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(b) - 5.0).abs() < EPS);
+        assert!((a.dist2(b) - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 6.0);
+        assert!(a.lerp(b, 0.0).approx_eq(a));
+        assert!(a.lerp(b, 1.0).approx_eq(b));
+        assert!(a.midpoint(b).approx_eq(Point::new(2.0, 4.0)));
+    }
+
+    #[test]
+    fn cross_sign_encodes_turn_direction() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let left = Point::new(1.0, 1.0);
+        let right = Point::new(1.0, -1.0);
+        assert_eq!(orient(a, b, left), Orientation::CounterClockwise);
+        assert_eq!(orient(a, b, right), Orientation::Clockwise);
+        assert_eq!(orient(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let v = Vec2::new(3.0, 4.0);
+        assert!((v.norm() - 5.0).abs() < EPS);
+        let u = v.normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < EPS);
+        assert!((v.perp().dot(v)).abs() < EPS);
+        assert!(Vec2::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec2::new(2.0, 1.0);
+        let r = v.rotated(std::f64::consts::FRAC_PI_2);
+        assert!((r.norm() - v.norm()).abs() < EPS);
+        assert!((r.x + 1.0).abs() < 1e-9 && (r.y - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point3_projects_to_plane() {
+        let p = Point3::new(1.0, 2.0, 7.0);
+        assert!(p.xy().approx_eq(Point::new(1.0, 2.0)));
+        assert!((p.dist(Point3::new(1.0, 2.0, 4.0)) - 3.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,612 @@
+//! Simple polygons: the footprint of every indoor entity.
+//!
+//! Partitions, rooms, hallways, obstacles and staircase footprints are all
+//! simple polygons. Irregular partitions are later decomposed into balanced
+//! cells (paper §4.1) using [`Polygon::split_by_line`] and
+//! [`Polygon::triangulate`].
+
+use rand::Rng;
+
+use crate::bbox::Aabb;
+use crate::point::{orient, Orientation, Point, Vec2, EPS};
+use crate::segment::Segment;
+
+/// A simple polygon stored as a ring of vertices without a repeated closing
+/// vertex. Construction normalizes orientation to counter-clockwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    ring: Vec<Point>,
+}
+
+/// Errors from polygon construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than three vertices.
+    TooFewVertices,
+    /// All vertices collinear — the ring encloses no area.
+    ZeroArea,
+    /// A vertex coordinate was NaN or infinite.
+    NonFinite,
+}
+
+impl std::fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolygonError::TooFewVertices => write!(f, "polygon needs at least 3 vertices"),
+            PolygonError::ZeroArea => write!(f, "polygon ring encloses no area"),
+            PolygonError::NonFinite => write!(f, "polygon vertex is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+impl Polygon {
+    /// Build a polygon from a vertex ring. Duplicated consecutive vertices and
+    /// a repeated closing vertex are removed; orientation is normalized to
+    /// counter-clockwise.
+    pub fn new(mut ring: Vec<Point>) -> Result<Self, PolygonError> {
+        if ring.iter().any(|p| !p.is_finite()) {
+            return Err(PolygonError::NonFinite);
+        }
+        // Drop an explicit closing vertex.
+        if ring.len() >= 2 && ring.first().unwrap().approx_eq(*ring.last().unwrap()) {
+            ring.pop();
+        }
+        // Drop consecutive duplicates.
+        ring.dedup_by(|a, b| a.approx_eq(*b));
+        if ring.len() < 3 {
+            return Err(PolygonError::TooFewVertices);
+        }
+        let poly = Polygon { ring };
+        let area = poly.signed_area();
+        if area.abs() <= EPS {
+            return Err(PolygonError::ZeroArea);
+        }
+        if area < 0.0 {
+            let mut r = poly.ring;
+            r.reverse();
+            Ok(Polygon { ring: r })
+        } else {
+            Ok(poly)
+        }
+    }
+
+    /// Axis-aligned rectangle `[x0, x1] × [y0, y1]`.
+    pub fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Polygon::new(vec![
+            Point::new(x0.min(x1), y0.min(y1)),
+            Point::new(x0.max(x1), y0.min(y1)),
+            Point::new(x0.max(x1), y0.max(y1)),
+            Point::new(x0.min(x1), y0.max(y1)),
+        ])
+        .expect("rectangle with positive area")
+    }
+
+    /// Regular n-gon around `center`.
+    pub fn regular(center: Point, radius: f64, n: usize) -> Result<Self, PolygonError> {
+        if n < 3 {
+            return Err(PolygonError::TooFewVertices);
+        }
+        let ring = (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * (i as f64) / (n as f64);
+                Point::new(center.x + radius * theta.cos(), center.y + radius * theta.sin())
+            })
+            .collect();
+        Polygon::new(ring)
+    }
+
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.ring
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Edges of the ring, in order, closing back to the first vertex.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.ring.len();
+        (0..n).map(move |i| Segment::new(self.ring[i], self.ring[(i + 1) % n]))
+    }
+
+    /// Signed area: positive for counter-clockwise rings (always, after
+    /// construction).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.ring.len();
+        let mut s = 0.0;
+        for i in 0..n {
+            let p = self.ring[i];
+            let q = self.ring[(i + 1) % n];
+            s += p.x * q.y - q.x * p.y;
+        }
+        s / 2.0
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Area centroid.
+    pub fn centroid(&self) -> Point {
+        let n = self.ring.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        for i in 0..n {
+            let p = self.ring[i];
+            let q = self.ring[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a += w;
+        }
+        if a.abs() <= EPS {
+            // Degenerate: fall back to vertex average.
+            let inv = 1.0 / n as f64;
+            return Point::new(
+                self.ring.iter().map(|p| p.x).sum::<f64>() * inv,
+                self.ring.iter().map(|p| p.y).sum::<f64>() * inv,
+            );
+        }
+        Point::new(cx / (3.0 * a), cy / (3.0 * a))
+    }
+
+    pub fn bbox(&self) -> Aabb {
+        Aabb::from_points(&self.ring)
+    }
+
+    /// Point-in-polygon via the crossing-number rule; boundary points count
+    /// as inside (a person standing in a doorway is in the room).
+    pub fn contains(&self, p: Point) -> bool {
+        if self.on_boundary(p) {
+            return true;
+        }
+        let n = self.ring.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.ring[i];
+            let b = self.ring[j];
+            if ((a.y > p.y) != (b.y > p.y))
+                && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// True if `p` lies on the ring within tolerance.
+    pub fn on_boundary(&self, p: Point) -> bool {
+        self.edges().any(|e| e.dist_to_point(p) <= EPS.sqrt())
+    }
+
+    /// Distance from `p` to the polygon (0 when inside).
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        if self.contains(p) {
+            0.0
+        } else {
+            self.boundary_dist(p)
+        }
+    }
+
+    /// Distance from `p` to the ring (positive even when inside).
+    pub fn boundary_dist(&self, p: Point) -> f64 {
+        self.edges().map(|e| e.dist_to_point(p)).fold(f64::INFINITY, f64::min)
+    }
+
+    /// True if every interior angle turns the same way.
+    pub fn is_convex(&self) -> bool {
+        let n = self.ring.len();
+        let mut saw = Orientation::Collinear;
+        for i in 0..n {
+            let o = orient(self.ring[i], self.ring[(i + 1) % n], self.ring[(i + 2) % n]);
+            if o == Orientation::Collinear {
+                continue;
+            }
+            if saw == Orientation::Collinear {
+                saw = o;
+            } else if o != saw {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Closest vertex index to `p`.
+    pub fn closest_vertex(&self, p: Point) -> usize {
+        let mut best = 0;
+        let mut bd = f64::INFINITY;
+        for (i, v) in self.ring.iter().enumerate() {
+            let d = v.dist2(p);
+            if d < bd {
+                bd = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Translate all vertices by `v`.
+    pub fn translated(&self, v: Vec2) -> Polygon {
+        Polygon { ring: self.ring.iter().map(|&p| p + v).collect() }
+    }
+
+    /// Shrink the polygon towards its centroid by factor `f ∈ (0, 1]`.
+    /// Cheap stand-in for a proper inward offset; adequate for placing
+    /// devices "close to the wall but inside" and similar toolkit needs.
+    pub fn scaled_about_centroid(&self, f: f64) -> Polygon {
+        let c = self.centroid();
+        Polygon { ring: self.ring.iter().map(|&p| c + (p - c) * f).collect() }
+    }
+
+    /// Ear-clipping triangulation. Returns triangles as vertex triples.
+    /// O(n²), fine for building footprints (n is tens of vertices).
+    pub fn triangulate(&self) -> Vec<[Point; 3]> {
+        let mut idx: Vec<usize> = (0..self.ring.len()).collect();
+        let mut tris = Vec::with_capacity(self.ring.len().saturating_sub(2));
+        let ring = &self.ring;
+        let mut guard = 0usize;
+        while idx.len() > 3 {
+            let n = idx.len();
+            let mut clipped = false;
+            for k in 0..n {
+                let ia = idx[(k + n - 1) % n];
+                let ib = idx[k];
+                let ic = idx[(k + 1) % n];
+                let (a, b, c) = (ring[ia], ring[ib], ring[ic]);
+                if orient(a, b, c) != Orientation::CounterClockwise {
+                    continue; // reflex or collinear vertex: not an ear tip
+                }
+                let any_inside = idx.iter().any(|&j| {
+                    j != ia && j != ib && j != ic && point_in_triangle(ring[j], a, b, c)
+                });
+                if any_inside {
+                    continue;
+                }
+                tris.push([a, b, c]);
+                idx.remove(k);
+                clipped = true;
+                break;
+            }
+            if !clipped {
+                // Numerically stuck (nearly-degenerate ring); fan the rest.
+                guard += 1;
+                if guard > 2 {
+                    break;
+                }
+                for k in 1..idx.len() - 1 {
+                    tris.push([ring[idx[0]], ring[idx[k]], ring[idx[k + 1]]]);
+                }
+                return tris;
+            }
+        }
+        if idx.len() == 3 {
+            tris.push([ring[idx[0]], ring[idx[1]], ring[idx[2]]]);
+        }
+        tris
+    }
+
+    /// Sample a point uniformly from the polygon interior.
+    ///
+    /// Triangulates once per call; callers that sample in bulk should use
+    /// [`PolygonSampler`].
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        PolygonSampler::new(self).sample(rng)
+    }
+
+    /// Clip the polygon by the half-plane on the left of the directed line
+    /// `a → b` (Sutherland–Hodgman step). Returns `None` when the result is
+    /// empty or degenerate.
+    pub fn clip_half_plane(&self, a: Point, b: Point) -> Option<Polygon> {
+        let mut out: Vec<Point> = Vec::with_capacity(self.ring.len() + 4);
+        let n = self.ring.len();
+        let side = |p: Point| a.to(b).cross(a.to(p));
+        for i in 0..n {
+            let cur = self.ring[i];
+            let nxt = self.ring[(i + 1) % n];
+            let sc = side(cur);
+            let sn = side(nxt);
+            if sc >= -EPS {
+                out.push(cur);
+            }
+            if (sc > EPS && sn < -EPS) || (sc < -EPS && sn > EPS) {
+                let seg = Segment::new(cur, nxt);
+                let line = Segment::new(a, b);
+                let r = seg.direction();
+                let s = line.direction();
+                let denom = r.cross(s);
+                if denom.abs() > EPS {
+                    let t = cur.to(a).cross(s) / denom;
+                    out.push(seg.at(t.clamp(0.0, 1.0)));
+                }
+            }
+        }
+        Polygon::new(out).ok()
+    }
+
+    /// Split by the infinite line through `a → b`; returns (left, right)
+    /// pieces where present.
+    pub fn split_by_line(&self, a: Point, b: Point) -> (Option<Polygon>, Option<Polygon>) {
+        let left = self.clip_half_plane(a, b);
+        let right = self.clip_half_plane(b, a);
+        (left, right)
+    }
+
+    /// Split by the vertical line `x = x0`.
+    pub fn split_vertical(&self, x0: f64) -> (Option<Polygon>, Option<Polygon>) {
+        // Left of the upward line is x < x0.
+        let (l, r) = self.split_by_line(Point::new(x0, 0.0), Point::new(x0, 1.0));
+        (l, r)
+    }
+
+    /// Split by the horizontal line `y = y0`.
+    pub fn split_horizontal(&self, y0: f64) -> (Option<Polygon>, Option<Polygon>) {
+        let (l, r) = self.split_by_line(Point::new(0.0, y0), Point::new(1.0, y0));
+        (l, r)
+    }
+
+    /// Aspect ratio of the bounding box (long side / short side, ≥ 1).
+    pub fn bbox_aspect(&self) -> f64 {
+        let b = self.bbox();
+        let w = b.width().max(EPS);
+        let h = b.height().max(EPS);
+        (w / h).max(h / w)
+    }
+}
+
+fn point_in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool {
+    let d1 = a.to(b).cross(a.to(p));
+    let d2 = b.to(c).cross(b.to(p));
+    let d3 = c.to(a).cross(c.to(p));
+    let has_neg = d1 < -EPS || d2 < -EPS || d3 < -EPS;
+    let has_pos = d1 > EPS || d2 > EPS || d3 > EPS;
+    !(has_neg && has_pos)
+}
+
+/// Precomputed triangulation for repeated uniform sampling from one polygon.
+pub struct PolygonSampler {
+    tris: Vec<[Point; 3]>,
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl PolygonSampler {
+    pub fn new(poly: &Polygon) -> Self {
+        let tris = poly.triangulate();
+        let mut cumulative = Vec::with_capacity(tris.len());
+        let mut total = 0.0;
+        for t in &tris {
+            total += triangle_area(t);
+            cumulative.push(total);
+        }
+        PolygonSampler { tris, cumulative, total }
+    }
+
+    /// Uniform point in the polygon.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        if self.tris.is_empty() || self.total <= 0.0 {
+            return Point::ORIGIN;
+        }
+        let target = rng.gen::<f64>() * self.total;
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.tris.len() - 1),
+        };
+        let [a, b, c] = self.tris[idx];
+        // Uniform barycentric sample.
+        let mut u = rng.gen::<f64>();
+        let mut v = rng.gen::<f64>();
+        if u + v > 1.0 {
+            u = 1.0 - u;
+            v = 1.0 - v;
+        }
+        Point::new(
+            a.x + u * (b.x - a.x) + v * (c.x - a.x),
+            a.y + u * (b.y - a.y) + v * (c.y - a.y),
+        )
+    }
+}
+
+fn triangle_area(t: &[Point; 3]) -> f64 {
+    (t[0].to(t[1]).cross(t[0].to(t[2])) / 2.0).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lshape() -> Polygon {
+        // 4x4 square minus its top-right 2x2 quadrant.
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_bad_rings() {
+        assert_eq!(
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).unwrap_err(),
+            PolygonError::TooFewVertices
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0)
+            ])
+            .unwrap_err(),
+            PolygonError::ZeroArea
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(f64::NAN, 0.0),
+                Point::new(1.0, 1.0)
+            ])
+            .unwrap_err(),
+            PolygonError::NonFinite
+        );
+    }
+
+    #[test]
+    fn orientation_normalized_to_ccw() {
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ])
+        .unwrap();
+        assert!(cw.signed_area() > 0.0);
+    }
+
+    #[test]
+    fn rect_properties() {
+        let r = Polygon::rect(1.0, 2.0, 5.0, 4.0);
+        assert!((r.area() - 8.0).abs() < EPS);
+        assert!((r.perimeter() - 12.0).abs() < EPS);
+        assert!(r.centroid().approx_eq(Point::new(3.0, 3.0)));
+        assert!(r.is_convex());
+        assert!(r.contains(Point::new(3.0, 3.0)));
+        assert!(r.contains(Point::new(1.0, 2.0))); // corner counts
+        assert!(!r.contains(Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn lshape_properties() {
+        let l = lshape();
+        assert!((l.area() - 12.0).abs() < 1e-6);
+        assert!(!l.is_convex());
+        assert!(l.contains(Point::new(1.0, 3.0)));
+        assert!(!l.contains(Point::new(3.0, 3.0))); // the notch
+    }
+
+    #[test]
+    fn triangulation_covers_area() {
+        for poly in [Polygon::rect(0.0, 0.0, 3.0, 2.0), lshape()] {
+            let tris = poly.triangulate();
+            let sum: f64 = tris.iter().map(triangle_area).sum();
+            assert!(
+                (sum - poly.area()).abs() < 1e-6,
+                "triangulation area {sum} != polygon area {}",
+                poly.area()
+            );
+            assert_eq!(tris.len(), poly.len() - 2);
+        }
+    }
+
+    #[test]
+    fn sampling_stays_inside() {
+        let l = lshape();
+        let mut rng = StdRng::seed_from_u64(7);
+        let sampler = PolygonSampler::new(&l);
+        for _ in 0..500 {
+            let p = sampler.sample(&mut rng);
+            assert!(l.contains(p), "sampled point {p} escaped the polygon");
+        }
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform_between_halves() {
+        // The L-shape bottom slab (y<2, area 8) vs upper arm (area 4).
+        let l = lshape();
+        let mut rng = StdRng::seed_from_u64(42);
+        let sampler = PolygonSampler::new(&l);
+        let n = 6000;
+        let below = (0..n).filter(|_| sampler.sample(&mut rng).y < 2.0).count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.04, "bottom fraction {frac}");
+    }
+
+    #[test]
+    fn split_vertical_partitions_area() {
+        let r = Polygon::rect(0.0, 0.0, 4.0, 2.0);
+        let (l, rt) = r.split_vertical(1.0);
+        let (l, rt) = (l.unwrap(), rt.unwrap());
+        assert!((l.area() - 2.0).abs() < 1e-6);
+        assert!((rt.area() - 6.0).abs() < 1e-6);
+        assert!((l.area() + rt.area() - r.area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_misses_polygon_entirely() {
+        let r = Polygon::rect(0.0, 0.0, 1.0, 1.0);
+        let (l, rt) = r.split_vertical(5.0);
+        assert!(l.is_some());
+        assert!(rt.is_none());
+        assert!((l.unwrap().area() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_lshape_by_horizontal() {
+        let l = lshape();
+        let (below, above) = l.split_horizontal(2.0);
+        // Below y=2: 4x2 slab (area 8); above: 2x2 arm (area 4).
+        // split_horizontal's "left of a→b (pointing +x)" is y > 2.
+        let above_piece = below.unwrap();
+        let below_piece = above.unwrap();
+        let (small, big) = if above_piece.area() < below_piece.area() {
+            (above_piece, below_piece)
+        } else {
+            (below_piece, above_piece)
+        };
+        assert!((small.area() - 4.0).abs() < 1e-6);
+        assert!((big.area() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regular_polygon_area_converges_to_circle() {
+        let p = Polygon::regular(Point::new(0.0, 0.0), 1.0, 256).unwrap();
+        assert!((p.area() - std::f64::consts::PI).abs() < 1e-3);
+        assert!(p.is_convex());
+    }
+
+    #[test]
+    fn boundary_distance() {
+        let r = Polygon::rect(0.0, 0.0, 2.0, 2.0);
+        assert!((r.boundary_dist(Point::new(1.0, 1.0)) - 1.0).abs() < EPS);
+        assert!((r.dist_to_point(Point::new(3.0, 1.0)) - 1.0).abs() < EPS);
+        assert_eq!(r.dist_to_point(Point::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn scaled_about_centroid_shrinks() {
+        let r = Polygon::rect(0.0, 0.0, 2.0, 2.0);
+        let s = r.scaled_about_centroid(0.5);
+        assert!((s.area() - 1.0).abs() < 1e-9);
+        assert!(s.centroid().approx_eq(r.centroid()));
+    }
+
+    #[test]
+    fn bbox_aspect() {
+        assert!((Polygon::rect(0.0, 0.0, 4.0, 1.0).bbox_aspect() - 4.0).abs() < 1e-9);
+        assert!((Polygon::rect(0.0, 0.0, 2.0, 2.0).bbox_aspect() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,270 @@
+//! Bulk-loaded R-tree (Sort-Tile-Recursive packing).
+//!
+//! Static building geometry — partitions, walls, doors — is indexed once
+//! after DBI processing (paper §4.1 "the resultant partitions are indexed by
+//! a spatial index in order to support the indoor distance computations")
+//! and then queried heavily during generation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+
+const NODE_CAPACITY: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { bounds: Aabb, items: Vec<(u32, Aabb)> },
+    Inner { bounds: Aabb, children: Vec<Node> },
+}
+
+impl Node {
+    fn bounds(&self) -> Aabb {
+        match self {
+            Node::Leaf { bounds, .. } | Node::Inner { bounds, .. } => *bounds,
+        }
+    }
+}
+
+/// An immutable R-tree over `(id, bbox)` entries.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    root: Option<Node>,
+    len: usize,
+}
+
+impl RTree {
+    /// Bulk-load from entries using STR packing.
+    pub fn bulk_load(mut entries: Vec<(u32, Aabb)>) -> Self {
+        let len = entries.len();
+        if entries.is_empty() {
+            return RTree { root: None, len: 0 };
+        }
+        // Sort by center x, tile into vertical slices, sort each by center y.
+        entries.sort_by(|a, b| cmp_f64(a.1.center().x, b.1.center().x));
+        let leaf_count = len.div_ceil(NODE_CAPACITY);
+        let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_size = len.div_ceil(slice_count);
+        let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
+        for slice in entries.chunks(slice_size.max(1)) {
+            let mut slice = slice.to_vec();
+            slice.sort_by(|a, b| cmp_f64(a.1.center().y, b.1.center().y));
+            for chunk in slice.chunks(NODE_CAPACITY) {
+                let bounds = chunk.iter().fold(Aabb::empty(), |b, (_, e)| b.union(e));
+                leaves.push(Node::Leaf { bounds, items: chunk.to_vec() });
+            }
+        }
+        let root = Self::build_upward(leaves);
+        RTree { root: Some(root), len }
+    }
+
+    fn build_upward(mut nodes: Vec<Node>) -> Node {
+        while nodes.len() > 1 {
+            let mut parents = Vec::with_capacity(nodes.len().div_ceil(NODE_CAPACITY));
+            nodes.sort_by(|a, b| cmp_f64(a.bounds().center().x, b.bounds().center().x));
+            for chunk in nodes.chunks(NODE_CAPACITY) {
+                let bounds = chunk.iter().fold(Aabb::empty(), |b, n| b.union(&n.bounds()));
+                parents.push(Node::Inner { bounds, children: chunk.to_vec() });
+            }
+            nodes = parents;
+        }
+        nodes.pop().expect("non-empty node list")
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ids of entries whose boxes intersect `query`.
+    pub fn query_bbox(&self, query: &Aabb) -> Vec<u32> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            let mut stack = vec![root];
+            while let Some(node) = stack.pop() {
+                match node {
+                    Node::Leaf { bounds, items } => {
+                        if bounds.intersects(query) {
+                            out.extend(
+                                items.iter().filter(|(_, b)| b.intersects(query)).map(|(i, _)| *i),
+                            );
+                        }
+                    }
+                    Node::Inner { bounds, children } => {
+                        if bounds.intersects(query) {
+                            stack.extend(children.iter());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Ids of entries containing `p`.
+    pub fn query_point(&self, p: Point) -> Vec<u32> {
+        self.query_bbox(&Aabb::from_point(p))
+    }
+
+    /// `k` nearest entries to `p` by box distance, as `(id, distance)` sorted
+    /// ascending. Best-first search over the tree.
+    pub fn nearest(&self, p: Point, k: usize) -> Vec<(u32, f64)> {
+        let mut out = Vec::with_capacity(k);
+        let Some(root) = &self.root else {
+            return out;
+        };
+        if k == 0 {
+            return out;
+        }
+        let mut heap: BinaryHeap<HeapEntry<'_>> = BinaryHeap::new();
+        heap.push(HeapEntry { dist: root.bounds().dist_to_point(p), kind: Kind::Node(root) });
+        while let Some(HeapEntry { dist, kind }) = heap.pop() {
+            match kind {
+                Kind::Node(Node::Inner { children, .. }) => {
+                    for c in children {
+                        heap.push(HeapEntry {
+                            dist: c.bounds().dist_to_point(p),
+                            kind: Kind::Node(c),
+                        });
+                    }
+                }
+                Kind::Node(Node::Leaf { items, .. }) => {
+                    for (id, b) in items {
+                        heap.push(HeapEntry { dist: b.dist_to_point(p), kind: Kind::Item(*id) });
+                    }
+                }
+                Kind::Item(id) => {
+                    out.push((id, dist));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+enum Kind<'a> {
+    Node(&'a Node),
+    Item(u32),
+}
+
+struct HeapEntry<'a> {
+    dist: f64,
+    kind: Kind<'a>,
+}
+
+impl PartialEq for HeapEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapEntry<'_> {}
+impl PartialOrd for HeapEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance.
+        cmp_f64(other.dist, self.dist)
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_entries(n: usize) -> Vec<(u32, Aabb)> {
+        // n×n unit boxes at integer coordinates.
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let id = (i * n + j) as u32;
+                let min = Point::new(i as f64 * 2.0, j as f64 * 2.0);
+                v.push((id, Aabb::new(min, Point::new(min.x + 1.0, min.y + 1.0))));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        assert!(t.query_point(Point::new(0.0, 0.0)).is_empty());
+        assert!(t.nearest(Point::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn point_query_finds_exact_box() {
+        let t = RTree::bulk_load(grid_entries(10));
+        let hits = t.query_point(Point::new(4.5, 6.5));
+        // Box with i=2, j=3 covers [4,5]x[6,7].
+        assert_eq!(hits, vec![23]);
+    }
+
+    #[test]
+    fn bbox_query_matches_brute_force() {
+        let entries = grid_entries(12);
+        let t = RTree::bulk_load(entries.clone());
+        let q = Aabb::new(Point::new(3.0, 3.0), Point::new(9.0, 7.0));
+        let mut got = t.query_bbox(&q);
+        got.sort_unstable();
+        let mut want: Vec<u32> =
+            entries.iter().filter(|(_, b)| b.intersects(&q)).map(|(i, _)| *i).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let entries = grid_entries(8);
+        let t = RTree::bulk_load(entries.clone());
+        let p = Point::new(7.3, 3.9);
+        let got = t.nearest(p, 5);
+        assert_eq!(got.len(), 5);
+        let mut brute: Vec<(u32, f64)> =
+            entries.iter().map(|(i, b)| (*i, b.dist_to_point(p))).collect();
+        brute.sort_by(|a, b| cmp_f64(a.1, b.1));
+        for (i, (_, d)) in got.iter().enumerate() {
+            assert!(
+                (d - brute[i].1).abs() < 1e-9,
+                "k={i}: got dist {d}, brute {}",
+                brute[i].1
+            );
+        }
+        // Distances are sorted ascending.
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_k_larger_than_len() {
+        let t = RTree::bulk_load(grid_entries(2));
+        let got = t.nearest(Point::new(0.0, 0.0), 100);
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = RTree::bulk_load(vec![(
+            9,
+            Aabb::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0)),
+        )]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.nearest(Point::new(0.0, 0.0), 1)[0].0, 9);
+        assert_eq!(t.query_point(Point::new(1.5, 1.5)), vec![9]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Line segments: intersection predicates, distances and projections.
+//!
+//! Segments model walls, door sills and object sight-lines. The line-of-sight
+//! logic behind the path-loss obstacle term (paper §3.2) is built on
+//! [`Segment::intersects`].
+
+use crate::point::{orient, Orientation, Point, Vec2, EPS};
+
+/// A closed line segment between two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    #[inline]
+    pub fn direction(&self) -> Vec2 {
+        self.a.to(self.b)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// True if `p` lies on the segment (within tolerance).
+    pub fn contains_point(&self, p: Point) -> bool {
+        if orient(self.a, self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        let d = self.direction();
+        let t = p.to(self.b).dot(d);
+        let s = self.a.to(p).dot(d);
+        t >= -EPS && s >= -EPS
+    }
+
+    /// Segment-segment intersection test, including touching endpoints and
+    /// collinear overlap.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = orient(self.a, self.b, other.a);
+        let o2 = orient(self.a, self.b, other.b);
+        let o3 = orient(other.a, other.b, self.a);
+        let o4 = orient(other.a, other.b, self.b);
+
+        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+        {
+            return true;
+        }
+        (o1 == Orientation::Collinear && self.contains_point(other.a))
+            || (o2 == Orientation::Collinear && self.contains_point(other.b))
+            || (o3 == Orientation::Collinear && other.contains_point(self.a))
+            || (o4 == Orientation::Collinear && other.contains_point(self.b))
+    }
+
+    /// Proper (interior) crossing: the segments cross at a single interior
+    /// point of both. Used for wall-crossing counts, where merely grazing a
+    /// wall endpoint should not count as passing through the wall.
+    pub fn crosses(&self, other: &Segment) -> bool {
+        let o1 = orient(self.a, self.b, other.a);
+        let o2 = orient(self.a, self.b, other.b);
+        let o3 = orient(other.a, other.b, self.a);
+        let o4 = orient(other.a, other.b, self.b);
+        o1 != o2
+            && o3 != o4
+            && o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
+    }
+
+    /// Intersection point of the two supporting lines, if the segments
+    /// properly intersect (not collinear overlap).
+    pub fn intersection_point(&self, other: &Segment) -> Option<Point> {
+        let r = self.direction();
+        let s = other.direction();
+        let denom = r.cross(s);
+        if denom.abs() <= EPS {
+            return None;
+        }
+        let qp = self.a.to(other.a);
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (-EPS..=1.0 + EPS).contains(&t) && (-EPS..=1.0 + EPS).contains(&u) {
+            Some(self.at(t.clamp(0.0, 1.0)))
+        } else {
+            None
+        }
+    }
+
+    /// Closest point on the segment to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        let d = self.direction();
+        let l2 = d.norm2();
+        if l2 <= EPS {
+            return self.a;
+        }
+        let t = (self.a.to(p).dot(d) / l2).clamp(0.0, 1.0);
+        self.at(t)
+    }
+
+    /// Distance from `p` to the segment.
+    #[inline]
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).dist(p)
+    }
+
+    /// Minimum distance between two segments.
+    pub fn dist_to_segment(&self, other: &Segment) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        self.dist_to_point(other.a)
+            .min(self.dist_to_point(other.b))
+            .min(other.dist_to_point(self.a))
+            .min(other.dist_to_point(self.b))
+    }
+
+    /// Outward normal assuming the segment is an edge of a counter-clockwise
+    /// polygon ring.
+    pub fn outward_normal(&self) -> Option<Vec2> {
+        self.direction().normalized().map(|u| Vec2::new(u.y, -u.x))
+    }
+
+    /// The segment with endpoints swapped.
+    #[inline]
+    pub fn reversed(&self) -> Segment {
+        Segment { a: self.b, b: self.a }
+    }
+}
+
+/// Count how many of `walls` the sight-line `from → to` properly crosses.
+///
+/// This is the obstacle count feeding `N_ob` in the path-loss model: in paper
+/// Fig. 3(a), the line from object `p` to device `d1` crosses walls while the
+/// equally long line to `d2` does not, so `d2` measures a stronger RSSI.
+pub fn count_crossings(from: Point, to: Point, walls: &[Segment]) -> usize {
+    let sight = Segment::new(from, to);
+    walls.iter().filter(|w| sight.crosses(w)).count()
+}
+
+/// True if no wall properly blocks the line of sight `from → to`.
+pub fn line_of_sight(from: Point, to: Point, walls: &[Segment]) -> bool {
+    count_crossings(from, to, walls) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing_detected() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 2.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(s1.crosses(&s2));
+        let p = s1.intersection_point(&s2).unwrap();
+        assert!(p.approx_eq(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn touching_endpoint_is_intersection_but_not_crossing() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(1.0, 0.0, 2.0, 5.0);
+        assert!(s1.intersects(&s2));
+        assert!(!s1.crosses(&s2));
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!s1.intersects(&s2));
+        assert!(s1.intersection_point(&s2).is_none());
+        assert!((s1.dist_to_segment(&s2) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(!s1.crosses(&s2));
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        assert!(s.closest_point(Point::new(-1.0, 1.0)).approx_eq(Point::new(0.0, 0.0)));
+        assert!(s.closest_point(Point::new(2.0, 1.0)).approx_eq(Point::new(1.0, 0.0)));
+        assert!(s.closest_point(Point::new(0.5, 1.0)).approx_eq(Point::new(0.5, 0.0)));
+        assert!((s.dist_to_point(Point::new(0.5, 2.0)) - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn contains_point_on_and_off() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        assert!(s.contains_point(Point::new(1.0, 1.0)));
+        assert!(s.contains_point(Point::new(0.0, 0.0)));
+        assert!(!s.contains_point(Point::new(3.0, 3.0)));
+        assert!(!s.contains_point(Point::new(1.0, 0.9)));
+    }
+
+    #[test]
+    fn wall_crossing_counts_match_fig3_scenario() {
+        // Object at origin; d2 east with clear line, d1 west behind two walls.
+        let walls = vec![seg(-1.0, -5.0, -1.0, 5.0), seg(-2.0, -5.0, -2.0, 5.0)];
+        let p = Point::new(0.0, 0.0);
+        let d1 = Point::new(-4.0, 0.0);
+        let d2 = Point::new(4.0, 0.0);
+        assert_eq!(count_crossings(p, d1, &walls), 2);
+        assert_eq!(count_crossings(p, d2, &walls), 0);
+        assert!(line_of_sight(p, d2, &walls));
+        assert!(!line_of_sight(p, d1, &walls));
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert!((s.dist_to_point(Point::new(4.0, 5.0)) - 5.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,551 @@
+//! Construct the host [`IndoorEnvironment`] from a decoded DBI model.
+//!
+//! This implements the DBI processing of paper §4.1 on top of the typed
+//! model from `vita-dbi`:
+//!
+//! 1. storeys → floors (ordered by elevation);
+//! 2. spaces → partitions, with irregular/oversized footprints decomposed
+//!    into balanced cells joined by open boundaries;
+//! 3. door → partition connectivity resolved geometrically (a door touching
+//!    exactly one partition boundary is a building entrance);
+//! 4. staircase connectivity resolved from the stair's disjoint 3-D
+//!    vertices, in the paper's two steps: first pick the lower/upper floor
+//!    by maximum vertex–elevation agreement, then pick the partition on that
+//!    floor containing the vertices;
+//! 5. semantic classes assigned by keyword rules plus the structural
+//!    public-area promotion (door connectivity × floorage).
+
+use vita_dbi::{DbiModel, DoorDirectionality};
+use vita_geometry::{Point, Segment};
+
+use crate::decompose::{decompose, DecomposeParams};
+use crate::model::{
+    Door, DoorDirection, DoorKind, Floor, IndoorEnvironment, Partition, Staircase,
+};
+use crate::semantics::{classify, default_rules, is_public_by_structure, Semantic, SemanticRule};
+use crate::types::{DoorId, FloorId, PartitionId, StairId};
+
+/// Knobs for environment construction.
+#[derive(Debug, Clone)]
+pub struct BuildParams {
+    /// Decomposition limits; `None` disables decomposition entirely.
+    pub decompose: Option<DecomposeParams>,
+    /// Semantic keyword rules (default table when empty).
+    pub rules: Vec<SemanticRule>,
+    /// Max distance from a door position to a partition boundary for the
+    /// door to be considered incident to that partition (metres).
+    pub door_tolerance: f64,
+}
+
+impl Default for BuildParams {
+    fn default() -> Self {
+        BuildParams {
+            decompose: Some(DecomposeParams::default()),
+            rules: default_rules(),
+            door_tolerance: 0.3,
+        }
+    }
+}
+
+/// Non-fatal problems discovered while building.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildWarning {
+    /// A door position touched no partition boundary; the door was dropped.
+    DoorUnresolved { name: String },
+    /// A staircase's floors/partitions could not be resolved; dropped.
+    StairUnresolved { name: String, reason: String },
+    /// A space footprint failed polygon construction; skipped.
+    BadFootprint { name: String },
+}
+
+impl std::fmt::Display for BuildWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildWarning::DoorUnresolved { name } => write!(f, "door '{name}' unresolved"),
+            BuildWarning::StairUnresolved { name, reason } => {
+                write!(f, "stair '{name}' unresolved: {reason}")
+            }
+            BuildWarning::BadFootprint { name } => write!(f, "space '{name}' bad footprint"),
+        }
+    }
+}
+
+/// Fatal build error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The model has no storeys (should have been caught at decode).
+    NoFloors,
+    /// No usable partitions anywhere.
+    NoPartitions,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoFloors => write!(f, "model has no storeys"),
+            BuildError::NoPartitions => write!(f, "model has no usable spaces"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Result of building: environment plus warnings.
+#[derive(Debug)]
+pub struct Built {
+    pub env: IndoorEnvironment,
+    pub warnings: Vec<BuildWarning>,
+}
+
+/// Build the host indoor environment from a (repaired) DBI model.
+pub fn build_environment(model: &DbiModel, params: &BuildParams) -> Result<Built, BuildError> {
+    if model.storeys.is_empty() {
+        return Err(BuildError::NoFloors);
+    }
+    let mut warnings = Vec::new();
+    let rules = if params.rules.is_empty() { default_rules() } else { params.rules.clone() };
+
+    // --- Floors (storeys arrive sorted by elevation from the decoder). ---
+    let mut floors: Vec<Floor> = model
+        .storeys
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Floor {
+            id: FloorId(i as u32),
+            name: s.name.clone(),
+            elevation: s.elevation,
+            partitions: Vec::new(),
+            walls: Vec::new(),
+        })
+        .collect();
+    let storey_to_floor = |storey: u64| -> Option<FloorId> {
+        model
+            .storeys
+            .iter()
+            .position(|s| s.id == storey)
+            .map(|i| FloorId(i as u32))
+    };
+
+    // --- Partitions, with decomposition. ---
+    let mut partitions: Vec<Partition> = Vec::new();
+    let mut doors: Vec<Door> = Vec::new();
+    for sp in &model.spaces {
+        let Some(floor) = storey_to_floor(sp.storey) else {
+            warnings.push(BuildWarning::BadFootprint { name: sp.name.clone() });
+            continue;
+        };
+        let Ok(poly) = vita_geometry::Polygon::new(sp.footprint.clone()) else {
+            warnings.push(BuildWarning::BadFootprint { name: sp.name.clone() });
+            continue;
+        };
+        let semantic = classify(&sp.name, &sp.usage, &rules);
+
+        let decomposition = match &params.decompose {
+            Some(dp) => decompose(&poly, dp),
+            None => crate::decompose::Decomposition::trivial(poly.clone()),
+        };
+
+        if decomposition.is_trivial() {
+            let id = PartitionId(partitions.len() as u32);
+            partitions.push(Partition {
+                id,
+                floor,
+                name: sp.name.clone(),
+                usage: sp.usage.clone(),
+                polygon: poly,
+                semantic,
+                parent: None,
+            });
+            floors[floor.index()].partitions.push(id);
+        } else {
+            // The first cell id acts as the "parent" handle for siblings.
+            let base = partitions.len() as u32;
+            let parent_id = PartitionId(base);
+            for (k, cell) in decomposition.cells.iter().enumerate() {
+                let id = PartitionId(partitions.len() as u32);
+                partitions.push(Partition {
+                    id,
+                    floor,
+                    name: format!("{}/{}", sp.name, k),
+                    usage: sp.usage.clone(),
+                    polygon: cell.polygon.clone(),
+                    semantic,
+                    parent: if k == 0 { None } else { Some(parent_id) },
+                });
+                floors[floor.index()].partitions.push(id);
+            }
+            // Open boundaries between sibling cells.
+            for ob in &decomposition.boundaries {
+                let id = DoorId(doors.len() as u32);
+                doors.push(Door {
+                    id,
+                    floor,
+                    name: format!("{}~open", sp.name),
+                    position: ob.midpoint,
+                    width: ob.length,
+                    kind: DoorKind::Opening,
+                    direction: DoorDirection::Both,
+                    partitions: (
+                        PartitionId(base + ob.left as u32),
+                        Some(PartitionId(base + ob.right as u32)),
+                    ),
+                });
+            }
+        }
+    }
+    if partitions.is_empty() {
+        return Err(BuildError::NoPartitions);
+    }
+
+    // --- Walls. ---
+    for w in &model.walls {
+        if let Some(floor) = storey_to_floor(w.storey) {
+            for pair in w.path.windows(2) {
+                floors[floor.index()].walls.push(Segment::new(pair[0], pair[1]));
+            }
+        }
+    }
+
+    // --- Door connectivity. ---
+    for d in &model.doors {
+        let Some(floor) = storey_to_floor(d.storey) else {
+            warnings.push(BuildWarning::DoorUnresolved { name: d.name.clone() });
+            continue;
+        };
+        // Candidate partitions on this floor whose boundary is within
+        // tolerance of the door position, ordered by id for determinism.
+        let mut candidates: Vec<PartitionId> = floors[floor.index()]
+            .partitions
+            .iter()
+            .copied()
+            .filter(|pid| {
+                partitions[pid.index()].polygon.boundary_dist(d.position) <= params.door_tolerance
+            })
+            .collect();
+        candidates.sort_unstable();
+        candidates.truncate(2);
+
+        let resolved = match candidates.as_slice() {
+            [] => {
+                warnings.push(BuildWarning::DoorUnresolved { name: d.name.clone() });
+                continue;
+            }
+            [a] => (*a, None),
+            [a, b] => (*a, Some(*b)),
+            _ => unreachable!(),
+        };
+        // Directionality orientation: Forward = partitions.0 → partitions.1
+        // (for entrances, Forward = into the building).
+        let direction = match d.directionality {
+            DoorDirectionality::Both => DoorDirection::Both,
+            DoorDirectionality::EnterOnly => DoorDirection::Forward,
+            DoorDirectionality::ExitOnly => DoorDirection::Backward,
+        };
+        let id = DoorId(doors.len() as u32);
+        doors.push(Door {
+            id,
+            floor,
+            name: d.name.clone(),
+            position: d.position,
+            width: d.width,
+            kind: DoorKind::Door,
+            direction,
+            partitions: resolved,
+        });
+    }
+
+    // --- Structural public-area promotion. ---
+    let mut door_counts = vec![0usize; partitions.len()];
+    for d in &doors {
+        door_counts[d.partitions.0.index()] += 1;
+        if let Some(b) = d.partitions.1 {
+            door_counts[b.index()] += 1;
+        }
+    }
+    for p in &mut partitions {
+        if p.semantic == Semantic::Room
+            && is_public_by_structure(door_counts[p.id.index()], p.area())
+        {
+            p.semantic = Semantic::PublicArea;
+        }
+    }
+
+    // --- Staircase resolution (paper §4.1, two steps). ---
+    let mut stairs = Vec::new();
+    for st in &model.stairs {
+        match resolve_stair(st, &floors, &partitions) {
+            Ok(mut s) => {
+                s.id = StairId(stairs.len() as u32);
+                stairs.push(s);
+            }
+            Err(reason) => {
+                warnings.push(BuildWarning::StairUnresolved { name: st.name.clone(), reason });
+            }
+        }
+    }
+
+    let env = IndoorEnvironment::assemble(
+        model.building_name.clone(),
+        floors,
+        partitions,
+        doors,
+        stairs,
+    );
+    Ok(Built { env, warnings })
+}
+
+/// Resolve one staircase from its disjoint 3-D vertices.
+fn resolve_stair(
+    st: &vita_dbi::StairRec,
+    floors: &[Floor],
+    partitions: &[Partition],
+) -> Result<Staircase, String> {
+    if st.vertices.len() < 2 {
+        return Err("fewer than 2 vertices".into());
+    }
+    let zs: Vec<f64> = st.vertices.iter().map(|v| v.z).collect();
+    let z_lo = zs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let z_hi = zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if z_hi - z_lo < 0.5 {
+        return Err(format!("vertical span {:.2} m too small", z_hi - z_lo));
+    }
+    // Split vertices into the lower and upper groups by proximity to the
+    // extreme elevations.
+    let mid = (z_lo + z_hi) / 2.0;
+    let lower: Vec<Point> =
+        st.vertices.iter().filter(|v| v.z < mid).map(|v| v.xy()).collect();
+    let upper: Vec<Point> =
+        st.vertices.iter().filter(|v| v.z >= mid).map(|v| v.xy()).collect();
+    if lower.is_empty() || upper.is_empty() {
+        return Err("vertices do not form two elevation groups".into());
+    }
+
+    // Step 1: the floor with maximum agreement between its elevation and the
+    // group's z values ("the floor having the maximum intersection with the
+    // upper (lower) vertices").
+    let pick_floor = |target_z: f64| -> Result<FloorId, String> {
+        floors
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.elevation - target_z).abs();
+                let db = (b.elevation - target_z).abs();
+                da.partial_cmp(&db).unwrap()
+            })
+            .map(|f| f.id)
+            .ok_or_else(|| "no floors".to_string())
+    };
+    let lower_floor = pick_floor(z_lo)?;
+    let upper_floor = pick_floor(z_hi)?;
+    if lower_floor == upper_floor {
+        return Err("both vertex groups resolve to one floor".into());
+    }
+
+    // Step 2: within the connected floor, the partition containing the
+    // group's vertices.
+    let pick_partition = |floor: FloorId, pts: &[Point]| -> Result<(PartitionId, Point), String> {
+        let centroid = Point::new(
+            pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64,
+            pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64,
+        );
+        // Majority vote across vertices, then fall back to the centroid.
+        let mut counts: Vec<(PartitionId, usize)> = Vec::new();
+        for pt in pts {
+            for p in partitions.iter().filter(|p| p.floor == floor) {
+                if p.polygon.contains(*pt) {
+                    match counts.iter_mut().find(|(id, _)| *id == p.id) {
+                        Some((_, c)) => *c += 1,
+                        None => counts.push((p.id, 1)),
+                    }
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|(_, c)| *c)
+            .map(|(id, _)| (id, centroid))
+            .ok_or_else(|| format!("no partition on {floor:?} contains the stair vertices"))
+    };
+    let (lower_partition, lower_point) = pick_partition(lower_floor, &lower)?;
+    let (upper_partition, upper_point) = pick_partition(upper_floor, &upper)?;
+
+    // Walking length of the flight: 3-D distance between group centroids.
+    let dz = z_hi - z_lo;
+    let dxy = lower_point.dist(upper_point);
+    let length = (dz * dz + dxy * dxy).sqrt();
+
+    Ok(Staircase {
+        id: StairId(0), // assigned by caller
+        name: st.name.clone(),
+        lower_floor,
+        lower_partition,
+        lower_point,
+        upper_floor,
+        upper_partition,
+        upper_point,
+        length,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_dbi::{office, SynthParams};
+
+    fn office_env(floors: usize) -> Built {
+        let model = office(&SynthParams::with_floors(floors));
+        build_environment(&model, &BuildParams::default()).expect("build")
+    }
+
+    #[test]
+    fn builds_office_without_warnings() {
+        let built = office_env(2);
+        assert!(built.warnings.is_empty(), "{:?}", built.warnings);
+        let s = built.env.summary();
+        assert_eq!(s.floors, 2);
+        assert_eq!(s.stairs, 1);
+        assert!(s.partitions > 20, "decomposition should add cells: {s}");
+        assert!(s.openings > 0, "corridor should be decomposed: {s}");
+        assert_eq!(s.entrances, 1);
+    }
+
+    #[test]
+    fn doors_resolve_to_adjacent_partitions() {
+        let built = office_env(1);
+        let env = &built.env;
+        for d in env.doors() {
+            // Every door's position must lie on the boundary of each
+            // resolved partition.
+            let a = env.partition(d.partitions.0);
+            assert!(
+                a.polygon.boundary_dist(d.position) < 0.31,
+                "door {} not on partition {} boundary",
+                d.name,
+                a.name
+            );
+            if let Some(b) = d.partitions.1 {
+                let b = env.partition(b);
+                assert!(b.polygon.boundary_dist(d.position) < 0.31);
+            }
+        }
+    }
+
+    #[test]
+    fn entrance_is_the_west_corridor_door() {
+        let built = office_env(1);
+        let env = &built.env;
+        let entrances: Vec<_> = env.entrances().collect();
+        assert_eq!(entrances.len(), 1);
+        assert_eq!(entrances[0].name, "entrance");
+        // It connects to a corridor cell.
+        let p = env.partition(entrances[0].partitions.0);
+        assert_eq!(p.semantic, Semantic::Corridor);
+    }
+
+    #[test]
+    fn stair_connects_consecutive_floors() {
+        let built = office_env(3);
+        let env = &built.env;
+        assert_eq!(env.stairs().len(), 2);
+        for (i, st) in env.stairs().iter().enumerate() {
+            assert_eq!(st.lower_floor, FloorId(i as u32));
+            assert_eq!(st.upper_floor, FloorId(i as u32 + 1));
+            // Resolved partitions are the stair cores.
+            assert_eq!(env.partition(st.lower_partition).semantic, Semantic::Staircase);
+            assert_eq!(env.partition(st.upper_partition).semantic, Semantic::Staircase);
+            assert!(st.length >= 3.2, "flight length {}", st.length);
+        }
+    }
+
+    #[test]
+    fn semantics_assigned() {
+        let built = office_env(1);
+        let env = &built.env;
+        let classes: Vec<Semantic> = env.partitions().iter().map(|p| p.semantic).collect();
+        assert!(classes.contains(&Semantic::Canteen));
+        assert!(classes.contains(&Semantic::Corridor));
+        assert!(classes.contains(&Semantic::Office));
+        assert!(classes.contains(&Semantic::Staircase));
+    }
+
+    #[test]
+    fn mall_atrium_promoted_to_public_area() {
+        let model = vita_dbi::mall(&SynthParams::with_floors(1));
+        let built = build_environment(&model, &BuildParams::default()).unwrap();
+        // Atrium cells carry the "public" usage keyword — but even without
+        // it, the structural rule would fire. Verify the semantic landed.
+        assert!(built
+            .env
+            .partitions()
+            .iter()
+            .any(|p| p.semantic == Semantic::PublicArea));
+    }
+
+    #[test]
+    fn decomposition_can_be_disabled() {
+        let model = office(&SynthParams::with_floors(1));
+        let params = BuildParams { decompose: None, ..Default::default() };
+        let built = build_environment(&model, &params).unwrap();
+        assert_eq!(built.env.summary().openings, 0);
+        assert_eq!(built.env.summary().partitions, model.spaces.len());
+    }
+
+    #[test]
+    fn empty_model_is_error() {
+        let model = DbiModel::default();
+        assert_eq!(
+            build_environment(&model, &BuildParams::default()).unwrap_err(),
+            BuildError::NoFloors
+        );
+    }
+
+    #[test]
+    fn unresolvable_door_becomes_warning() {
+        let mut model = office(&SynthParams::with_floors(1));
+        // Move a door into the void.
+        model.doors[0].position = Point::new(-50.0, -50.0);
+        let built = build_environment(&model, &BuildParams::default()).unwrap();
+        assert!(built
+            .warnings
+            .iter()
+            .any(|w| matches!(w, BuildWarning::DoorUnresolved { .. })));
+    }
+
+    #[test]
+    fn flat_stair_becomes_warning() {
+        let mut model = office(&SynthParams::with_floors(2));
+        for v in &mut model.stairs[0].vertices {
+            v.z = 0.0;
+        }
+        let built = build_environment(&model, &BuildParams::default()).unwrap();
+        assert!(built
+            .warnings
+            .iter()
+            .any(|w| matches!(w, BuildWarning::StairUnresolved { .. })));
+        assert!(built.env.stairs().is_empty());
+    }
+
+    #[test]
+    fn directional_door_mapped() {
+        let model = vita_dbi::clinic(&SynthParams::with_floors(1));
+        let built = build_environment(&model, &BuildParams::default()).unwrap();
+        assert!(built
+            .env
+            .doors()
+            .iter()
+            .any(|d| d.direction != DoorDirection::Both));
+    }
+
+    #[test]
+    fn decomposed_cells_cover_original_area() {
+        let model = office(&SynthParams::with_floors(1));
+        let built = build_environment(&model, &BuildParams::default()).unwrap();
+        let total: f64 = built.env.partitions().iter().map(|p| p.area()).sum();
+        let original: f64 = model
+            .spaces
+            .iter()
+            .filter_map(|s| vita_geometry::Polygon::new(s.footprint.clone()).ok())
+            .map(|p| p.area())
+            .sum();
+        assert!((total - original).abs() < 1e-6 * original.max(1.0));
+    }
+}

@@ -1,0 +1,303 @@
+//! Balanced decomposition of irregular partitions (paper §4.1).
+//!
+//! "Rooms or hallways with irregular shapes are decomposed into balanced,
+//! smaller partitions according to their sizes and shapes, and the resultant
+//! partitions are indexed by a spatial index in order to support the indoor
+//! distance computations."
+//!
+//! Strategy: recursively split any cell that is too large or too elongated,
+//! cutting across the longer bounding-box axis at the area median, until all
+//! cells satisfy the limits. Convexity is a side benefit for rectilinear
+//! inputs: each straight cut can only reduce reflexivity, and Euclidean
+//! distances inside small balanced cells approximate indoor walking
+//! distances well — which is exactly why Vita decomposes.
+
+use vita_geometry::{Point, Polygon, Segment};
+
+/// Limits controlling when a partition is split.
+#[derive(Debug, Clone, Copy)]
+pub struct DecomposeParams {
+    /// Cells larger than this (m²) are split.
+    pub max_area: f64,
+    /// Cells with bounding-box aspect ratio above this are split.
+    pub max_aspect: f64,
+    /// Hard floor on cell area; cells are never split below this.
+    pub min_area: f64,
+    /// Recursion depth cap (safety bound).
+    pub max_depth: u32,
+}
+
+impl Default for DecomposeParams {
+    fn default() -> Self {
+        DecomposeParams { max_area: 150.0, max_aspect: 3.0, min_area: 4.0, max_depth: 8 }
+    }
+}
+
+/// One decomposition cell with the shared edges that connect it to its
+/// siblings (turned into `DoorKind::Opening` connections by the builder).
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub polygon: Polygon,
+}
+
+/// An open boundary between two sibling cells: midpoint and length of the
+/// shared cut.
+#[derive(Debug, Clone)]
+pub struct OpenBoundary {
+    pub left: usize,
+    pub right: usize,
+    pub midpoint: Point,
+    pub length: f64,
+}
+
+/// Result of decomposing one partition.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    pub cells: Vec<Cell>,
+    pub boundaries: Vec<OpenBoundary>,
+}
+
+impl Decomposition {
+    /// A decomposition that leaves the polygon whole.
+    pub fn trivial(polygon: Polygon) -> Self {
+        Decomposition { cells: vec![Cell { polygon }], boundaries: Vec::new() }
+    }
+
+    pub fn is_trivial(&self) -> bool {
+        self.cells.len() == 1
+    }
+
+    pub fn total_area(&self) -> f64 {
+        self.cells.iter().map(|c| c.polygon.area()).sum()
+    }
+}
+
+/// Does this polygon need splitting under `params`?
+pub fn needs_split(poly: &Polygon, params: &DecomposeParams) -> bool {
+    let area = poly.area();
+    if area <= params.min_area * 2.0 {
+        return false;
+    }
+    area > params.max_area || poly.bbox_aspect() > params.max_aspect || !poly.is_convex()
+}
+
+/// Decompose `poly` into balanced cells.
+pub fn decompose(poly: &Polygon, params: &DecomposeParams) -> Decomposition {
+    let mut cells: Vec<Polygon> = Vec::new();
+    split_recursive(poly.clone(), params, 0, &mut cells);
+    if cells.len() <= 1 {
+        return Decomposition::trivial(poly.clone());
+    }
+    let boundaries = find_boundaries(&cells);
+    Decomposition { cells: cells.into_iter().map(|polygon| Cell { polygon }).collect(), boundaries }
+}
+
+fn split_recursive(poly: Polygon, params: &DecomposeParams, depth: u32, out: &mut Vec<Polygon>) {
+    if depth >= params.max_depth || !needs_split(&poly, params) {
+        out.push(poly);
+        return;
+    }
+    let bb = poly.bbox();
+    // Cut across the longer axis at the bbox middle. For rectilinear rooms
+    // this halves area and reduces aspect each step, guaranteeing progress.
+    let (a, b) = if bb.width() >= bb.height() {
+        poly.split_vertical(bb.min.x + bb.width() / 2.0)
+    } else {
+        poly.split_horizontal(bb.min.y + bb.height() / 2.0)
+    };
+    match (a, b) {
+        (Some(l), Some(r)) if l.area() > params.min_area && r.area() > params.min_area => {
+            split_recursive(l, params, depth + 1, out);
+            split_recursive(r, params, depth + 1, out);
+        }
+        // The cut failed to produce two viable pieces (degenerate sliver or
+        // the line missed): keep the cell whole.
+        _ => out.push(poly),
+    }
+}
+
+/// Find shared-edge adjacencies between cells: for each pair, collect the
+/// overlap of their boundary edges and expose its midpoint as an opening.
+fn find_boundaries(cells: &[Polygon]) -> Vec<OpenBoundary> {
+    let mut out = Vec::new();
+    for i in 0..cells.len() {
+        for j in i + 1..cells.len() {
+            if let Some((mid, len)) = shared_edge(&cells[i], &cells[j]) {
+                out.push(OpenBoundary { left: i, right: j, midpoint: mid, length: len });
+            }
+        }
+    }
+    out
+}
+
+/// If two polygons share a boundary stretch of non-trivial length, return
+/// its midpoint and length.
+fn shared_edge(a: &Polygon, b: &Polygon) -> Option<(Point, f64)> {
+    const MIN_SHARED: f64 = 0.3; // metres of shared edge to count as passable
+    let mut best: Option<(Point, f64)> = None;
+    for ea in a.edges() {
+        for eb in b.edges() {
+            if let Some((mid, len)) = collinear_overlap(&ea, &eb) {
+                if len >= MIN_SHARED && best.is_none_or(|(_, bl)| len > bl) {
+                    best = Some((mid, len));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Overlap of two collinear segments, as (midpoint, length).
+fn collinear_overlap(a: &Segment, b: &Segment) -> Option<(Point, f64)> {
+    let da = a.direction();
+    let db = b.direction();
+    // Parallel?
+    if da.cross(db).abs() > 1e-6 * da.norm() * db.norm() {
+        return None;
+    }
+    // Collinear? b.a must lie on a's supporting line.
+    if da.cross(a.a.to(b.a)).abs() > 1e-6 * da.norm().max(1.0) {
+        return None;
+    }
+    // Project b's endpoints on a's parameterization.
+    let l2 = da.norm2();
+    if l2 <= 1e-12 {
+        return None;
+    }
+    let t0 = a.a.to(b.a).dot(da) / l2;
+    let t1 = a.a.to(b.b).dot(da) / l2;
+    let (lo, hi) = (t0.min(t1).max(0.0), t0.max(t1).min(1.0));
+    if hi <= lo {
+        return None;
+    }
+    let p0 = a.at(lo);
+    let p1 = a.at(hi);
+    Some((p0.midpoint(p1), p0.dist(p1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_square_is_not_split() {
+        let p = Polygon::rect(0.0, 0.0, 5.0, 5.0);
+        let d = decompose(&p, &DecomposeParams::default());
+        assert!(d.is_trivial());
+        assert!((d.total_area() - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn long_corridor_is_split_into_balanced_cells() {
+        // 40 m x 3 m corridor, aspect 13.3 — must be split.
+        let p = Polygon::rect(0.0, 0.0, 40.0, 3.0);
+        let params = DecomposeParams::default();
+        let d = decompose(&p, &params);
+        assert!(d.cells.len() >= 4, "got {} cells", d.cells.len());
+        assert!((d.total_area() - 120.0).abs() < 1e-6);
+        for c in &d.cells {
+            assert!(
+                c.polygon.bbox_aspect() <= params.max_aspect + 1e-6,
+                "cell aspect {}",
+                c.polygon.bbox_aspect()
+            );
+        }
+    }
+
+    #[test]
+    fn huge_hall_is_split_by_area() {
+        let p = Polygon::rect(0.0, 0.0, 30.0, 20.0); // 600 m²
+        let params = DecomposeParams::default();
+        let d = decompose(&p, &params);
+        assert!(!d.is_trivial());
+        for c in &d.cells {
+            assert!(c.polygon.area() <= params.max_area + 1e-6);
+        }
+        assert!((d.total_area() - 600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cells_are_connected_via_boundaries() {
+        let p = Polygon::rect(0.0, 0.0, 40.0, 3.0);
+        let d = decompose(&p, &DecomposeParams::default());
+        // Union-find over open boundaries: every cell must be reachable.
+        let n = d.cells.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let r = find(parent, parent[i]);
+                parent[i] = r;
+            }
+            parent[i]
+        }
+        for b in &d.boundaries {
+            let (ri, rj) = (find(&mut parent, b.left), find(&mut parent, b.right));
+            parent[ri] = rj;
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..n {
+            assert_eq!(find(&mut parent, i), root, "cell {i} disconnected");
+        }
+    }
+
+    #[test]
+    fn boundary_midpoints_lie_on_both_cells() {
+        let p = Polygon::rect(0.0, 0.0, 30.0, 20.0);
+        let d = decompose(&p, &DecomposeParams::default());
+        assert!(!d.boundaries.is_empty());
+        for b in &d.boundaries {
+            let l = &d.cells[b.left].polygon;
+            let r = &d.cells[b.right].polygon;
+            assert!(l.boundary_dist(b.midpoint) < 1e-6);
+            assert!(r.boundary_dist(b.midpoint) < 1e-6);
+            assert!(b.length > 0.3);
+        }
+    }
+
+    #[test]
+    fn lshape_is_decomposed_to_convex_cells() {
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(20.0, 4.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 16.0),
+            Point::new(0.0, 16.0),
+        ])
+        .unwrap();
+        let d = decompose(&l, &DecomposeParams::default());
+        assert!(!d.is_trivial());
+        assert!((d.total_area() - l.area()).abs() < 1e-6);
+        // Every resulting cell should be convex (rectilinear input + straight
+        // cuts) or at least near-balanced.
+        for c in &d.cells {
+            assert!(c.polygon.area() >= DecomposeParams::default().min_area * 0.9);
+        }
+    }
+
+    #[test]
+    fn min_area_respected() {
+        let p = Polygon::rect(0.0, 0.0, 4.0, 2.0); // 8 m², tiny but aspect 2
+        let params = DecomposeParams { min_area: 4.0, ..Default::default() };
+        let d = decompose(&p, &params);
+        assert!(d.is_trivial(), "tiny cell should not be split");
+    }
+
+    #[test]
+    fn collinear_overlap_cases() {
+        let a = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let b = Segment::new(Point::new(4.0, 0.0), Point::new(14.0, 0.0));
+        let (mid, len) = collinear_overlap(&a, &b).unwrap();
+        assert!((len - 6.0).abs() < 1e-9);
+        assert!(mid.approx_eq(Point::new(7.0, 0.0)));
+        // Parallel but offset: no overlap.
+        let c = Segment::new(Point::new(0.0, 1.0), Point::new(10.0, 1.0));
+        assert!(collinear_overlap(&a, &c).is_none());
+        // Collinear but disjoint.
+        let d = Segment::new(Point::new(11.0, 0.0), Point::new(12.0, 0.0));
+        assert!(collinear_overlap(&a, &d).is_none());
+        // Perpendicular.
+        let e = Segment::new(Point::new(5.0, -1.0), Point::new(5.0, 1.0));
+        assert!(collinear_overlap(&a, &e).is_none());
+    }
+}

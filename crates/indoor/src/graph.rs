@@ -1,0 +1,408 @@
+//! The indoor accessibility graph.
+//!
+//! Nodes are *(connection, side)* states: "standing at door `d` inside
+//! partition `p`". This state form makes door directionality (paper §2)
+//! exact: passing through a door is an explicit edge that exists only when
+//! [`Door::traversable_from`] allows it, while walking between two doors of
+//! one partition is a Euclidean-cost edge *within* that partition (the
+//! decomposition stage keeps partitions small and convex-ish precisely so
+//! this is a good approximation of true indoor walking distance [10]).
+//!
+//! Staircases contribute a node on each connected floor joined by a
+//! flight-length edge, giving multi-floor routing for free.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use vita_geometry::Point;
+
+use crate::model::IndoorEnvironment;
+use crate::types::{DoorId, FloorId, PartitionId, StairId};
+
+/// What an edge physically is; routing schemas weigh media differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Medium {
+    /// Walking inside this partition.
+    Walk(PartitionId),
+    /// Passing through a door/opening (zero length).
+    DoorCrossing(DoorId),
+    /// Climbing or descending a staircase.
+    Stair(StairId),
+}
+
+/// A directed edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    pub to: u32,
+    /// Length in metres.
+    pub dist: f64,
+    pub medium: Medium,
+}
+
+/// What a node anchors to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Anchor {
+    /// At door `door`, on the `side` partition.
+    Door { door: DoorId, side: PartitionId },
+    /// At the lower/upper access point of a staircase.
+    StairEnd { stair: StairId, upper: bool },
+}
+
+/// A graph node with its geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    pub anchor: Anchor,
+    pub floor: FloorId,
+    pub partition: PartitionId,
+    pub position: Point,
+}
+
+/// The static indoor accessibility graph for one environment.
+#[derive(Debug, Clone)]
+pub struct IndoorGraph {
+    nodes: Vec<Node>,
+    adj: Vec<Vec<Edge>>,
+    /// Nodes grouped by partition, for fast source/target attachment.
+    by_partition: HashMap<PartitionId, Vec<u32>>,
+}
+
+impl IndoorGraph {
+    /// Build the graph from an environment.
+    pub fn new(env: &IndoorEnvironment) -> Self {
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut index: HashMap<Anchor, u32> = HashMap::new();
+
+        let push = |nodes: &mut Vec<Node>,
+                        index: &mut HashMap<Anchor, u32>,
+                        anchor: Anchor,
+                        floor: FloorId,
+                        partition: PartitionId,
+                        position: Point| {
+            let id = nodes.len() as u32;
+            nodes.push(Node { anchor, floor, partition, position });
+            index.insert(anchor, id);
+            id
+        };
+
+        // Door-side nodes.
+        for d in env.doors() {
+            push(
+                &mut nodes,
+                &mut index,
+                Anchor::Door { door: d.id, side: d.partitions.0 },
+                d.floor,
+                d.partitions.0,
+                d.position,
+            );
+            if let Some(b) = d.partitions.1 {
+                push(
+                    &mut nodes,
+                    &mut index,
+                    Anchor::Door { door: d.id, side: b },
+                    d.floor,
+                    b,
+                    d.position,
+                );
+            }
+        }
+        // Staircase end nodes.
+        for s in env.stairs() {
+            push(
+                &mut nodes,
+                &mut index,
+                Anchor::StairEnd { stair: s.id, upper: false },
+                s.lower_floor,
+                s.lower_partition,
+                s.lower_point,
+            );
+            push(
+                &mut nodes,
+                &mut index,
+                Anchor::StairEnd { stair: s.id, upper: true },
+                s.upper_floor,
+                s.upper_partition,
+                s.upper_point,
+            );
+        }
+
+        let mut by_partition: HashMap<PartitionId, Vec<u32>> = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_partition.entry(n.partition).or_default().push(i as u32);
+        }
+
+        let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+
+        // Walk edges within each partition (complete digraph on its nodes),
+        // except that leaving through a door requires traversability — which
+        // is modelled on the crossing edge, not the walk edge.
+        for ids in by_partition.values() {
+            for &a in ids {
+                for &b in ids {
+                    if a == b {
+                        continue;
+                    }
+                    let dist = nodes[a as usize].position.dist(nodes[b as usize].position);
+                    adj[a as usize].push(Edge {
+                        to: b,
+                        dist,
+                        medium: Medium::Walk(nodes[a as usize].partition),
+                    });
+                }
+            }
+        }
+
+        // Door-crossing edges between the two sides of each door.
+        for d in env.doors() {
+            let Some(b) = d.partitions.1 else { continue };
+            let na = index[&Anchor::Door { door: d.id, side: d.partitions.0 }];
+            let nb = index[&Anchor::Door { door: d.id, side: b }];
+            if d.traversable_from(d.partitions.0) {
+                adj[na as usize].push(Edge {
+                    to: nb,
+                    dist: 0.0,
+                    medium: Medium::DoorCrossing(d.id),
+                });
+            }
+            if d.traversable_from(b) {
+                adj[nb as usize].push(Edge {
+                    to: na,
+                    dist: 0.0,
+                    medium: Medium::DoorCrossing(d.id),
+                });
+            }
+        }
+
+        // Staircase edges (both directions).
+        for s in env.stairs() {
+            let lo = index[&Anchor::StairEnd { stair: s.id, upper: false }];
+            let hi = index[&Anchor::StairEnd { stair: s.id, upper: true }];
+            adj[lo as usize].push(Edge { to: hi, dist: s.length, medium: Medium::Stair(s.id) });
+            adj[hi as usize].push(Edge { to: lo, dist: s.length, medium: Medium::Stair(s.id) });
+        }
+
+        IndoorGraph { nodes, adj, by_partition }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    pub fn node(&self, id: u32) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    pub fn edges_from(&self, id: u32) -> &[Edge] {
+        &self.adj[id as usize]
+    }
+
+    /// Nodes anchored in `partition`.
+    pub fn nodes_in(&self, partition: PartitionId) -> &[u32] {
+        self.by_partition.get(&partition).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Generic Dijkstra from a set of seeded (node, cost) pairs.
+    ///
+    /// `weight` maps an edge to its cost contribution (e.g. distance, or
+    /// distance ÷ speed for minimum-time routing). Returns per-node best
+    /// costs and predecessor links.
+    pub fn dijkstra<F>(&self, seeds: &[(u32, f64)], weight: F) -> ShortestPaths
+    where
+        F: Fn(&Edge) -> f64,
+    {
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<u32>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        for &(node, cost) in seeds {
+            if cost < dist[node as usize] {
+                dist[node as usize] = cost;
+                heap.push(QueueItem { cost, node });
+            }
+        }
+        while let Some(QueueItem { cost, node }) = heap.pop() {
+            if cost > dist[node as usize] {
+                continue;
+            }
+            for e in &self.adj[node as usize] {
+                let w = weight(e);
+                debug_assert!(w >= 0.0, "negative edge weight");
+                let nd = cost + w;
+                if nd < dist[e.to as usize] {
+                    dist[e.to as usize] = nd;
+                    prev[e.to as usize] = Some(node);
+                    heap.push(QueueItem { cost: nd, node: e.to });
+                }
+            }
+        }
+        ShortestPaths { dist, prev }
+    }
+}
+
+/// Dijkstra output: cost and predecessor per node.
+pub struct ShortestPaths {
+    pub dist: Vec<f64>,
+    pub prev: Vec<Option<u32>>,
+}
+
+impl ShortestPaths {
+    /// Reconstruct the node path ending at `target` (source-first order).
+    pub fn path_to(&self, target: u32) -> Vec<u32> {
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.prev[cur as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+struct QueueItem {
+    cost: f64,
+    node: u32,
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_environment, BuildParams};
+    use vita_dbi::{office, SynthParams};
+
+    fn graph_for(floors: usize) -> (IndoorEnvironment, IndoorGraph) {
+        let model = office(&SynthParams::with_floors(floors));
+        let env = build_environment(&model, &BuildParams::default()).unwrap().env;
+        let g = IndoorGraph::new(&env);
+        (env, g)
+    }
+
+    #[test]
+    fn graph_has_two_sides_per_interior_door() {
+        let (env, g) = graph_for(1);
+        let interior = env.doors().iter().filter(|d| d.partitions.1.is_some()).count();
+        let entrances = env.doors().iter().filter(|d| d.partitions.1.is_none()).count();
+        let stair_nodes = env.stairs().len() * 2;
+        assert_eq!(g.node_count(), interior * 2 + entrances + stair_nodes);
+    }
+
+    #[test]
+    fn all_partitions_reachable_from_entrance_single_floor() {
+        let (env, g) = graph_for(1);
+        let entrance = env.entrances().next().unwrap();
+        let seed_anchor = Anchor::Door { door: entrance.id, side: entrance.partitions.0 };
+        let seed = (0..g.node_count() as u32)
+            .find(|&i| g.node(i).anchor == seed_anchor)
+            .unwrap();
+        let sp = g.dijkstra(&[(seed, 0.0)], |e| e.dist);
+        // Every partition must contain at least one reached node.
+        for p in env.partitions() {
+            let reached = g
+                .nodes_in(p.id)
+                .iter()
+                .any(|&n| sp.dist[n as usize].is_finite());
+            assert!(reached, "partition {} unreachable", p.name);
+        }
+    }
+
+    #[test]
+    fn multi_floor_reachability_via_stairs() {
+        let (env, g) = graph_for(3);
+        let entrance = env.entrances().next().unwrap();
+        let seed = (0..g.node_count() as u32)
+            .find(|&i| matches!(g.node(i).anchor, Anchor::Door { door, .. } if door == entrance.id))
+            .unwrap();
+        let sp = g.dijkstra(&[(seed, 0.0)], |e| e.dist);
+        for p in env.partitions() {
+            let reached =
+                g.nodes_in(p.id).iter().any(|&n| sp.dist[n as usize].is_finite());
+            assert!(reached, "partition {} on {:?} unreachable", p.name, p.floor);
+        }
+    }
+
+    #[test]
+    fn directional_door_blocks_reverse_crossing() {
+        use crate::model::DoorDirection;
+        let (mut env, _) = graph_for(1);
+        // Make the meeting-room door enter-only (Forward: .0 → .1).
+        let door_id = env
+            .doors()
+            .iter()
+            .find(|d| d.name.contains("door-meet"))
+            .unwrap()
+            .id;
+        env.set_door_direction(door_id, DoorDirection::Forward);
+        let g = IndoorGraph::new(&env);
+        let d = env.door(door_id);
+        let (a, b) = (d.partitions.0, d.partitions.1.unwrap());
+        // Node on side a must have a crossing edge; node on side b must not.
+        let node_a = (0..g.node_count() as u32)
+            .find(|&i| g.node(i).anchor == Anchor::Door { door: door_id, side: a })
+            .unwrap();
+        let node_b = (0..g.node_count() as u32)
+            .find(|&i| g.node(i).anchor == Anchor::Door { door: door_id, side: b })
+            .unwrap();
+        let has_crossing = |n: u32| {
+            g.edges_from(n)
+                .iter()
+                .any(|e| matches!(e.medium, Medium::DoorCrossing(id) if id == door_id))
+        };
+        assert!(has_crossing(node_a));
+        assert!(!has_crossing(node_b));
+    }
+
+    #[test]
+    fn dijkstra_distances_are_monotone_along_path() {
+        let (_, g) = graph_for(2);
+        let sp = g.dijkstra(&[(0, 0.0)], |e| e.dist);
+        let target = (0..g.node_count() as u32)
+            .filter(|&i| sp.dist[i as usize].is_finite())
+            .max_by(|&a, &b| {
+                sp.dist[a as usize].partial_cmp(&sp.dist[b as usize]).unwrap()
+            })
+            .unwrap();
+        let path = sp.path_to(target);
+        assert_eq!(path[0], 0);
+        let mut last = -1.0;
+        for &n in &path {
+            assert!(sp.dist[n as usize] >= last);
+            last = sp.dist[n as usize];
+        }
+    }
+
+    #[test]
+    fn stair_edges_have_flight_length() {
+        let (env, g) = graph_for(2);
+        let s = &env.stairs()[0];
+        let mut found = false;
+        for i in 0..g.node_count() as u32 {
+            for e in g.edges_from(i) {
+                if matches!(e.medium, Medium::Stair(id) if id == s.id) {
+                    assert!((e.dist - s.length).abs() < 1e-9);
+                    found = true;
+                }
+            }
+        }
+        assert!(found);
+    }
+}

@@ -1,0 +1,515 @@
+//! The host indoor environment: floors, partitions, doors, staircases and
+//! obstacles, with spatial indexing for point location.
+//!
+//! This is the output of the Infrastructure Layer's Indoor Environment
+//! Controller (paper §2): the geometrical/topological substrate every later
+//! layer reads.
+
+use vita_geometry::{Aabb, Point, Polygon, RTree, Segment};
+
+use crate::semantics::Semantic;
+use crate::types::{DoorId, FloorId, ObstacleId, PartitionId, StairId};
+
+/// Traversal permission through a door, oriented with respect to the door's
+/// resolved partition pair `(a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DoorDirection {
+    /// a → b and b → a.
+    #[default]
+    Both,
+    /// Only a → b.
+    Forward,
+    /// Only b → a.
+    Backward,
+}
+
+/// How a connection between partitions arises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DoorKind {
+    /// A physical door from the DBI file.
+    Door,
+    /// An open boundary created by partition decomposition: sibling cells
+    /// of one original room are freely passable along their shared edge.
+    Opening,
+}
+
+/// A floor of the building.
+#[derive(Debug, Clone)]
+pub struct Floor {
+    pub id: FloorId,
+    pub name: String,
+    /// Elevation of the slab above datum, metres.
+    pub elevation: f64,
+    /// Partitions on this floor (indices into the environment's partition
+    /// table).
+    pub partitions: Vec<PartitionId>,
+    /// Wall segments on this floor (for line-of-sight / RSSI attenuation).
+    pub walls: Vec<Segment>,
+}
+
+/// A partition: a room, a hallway, or a decomposed cell of one.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub id: PartitionId,
+    pub floor: FloorId,
+    pub name: String,
+    /// Raw usage tag from the DBI file ("office", "corridor", ...).
+    pub usage: String,
+    pub polygon: Polygon,
+    /// Semantic class from the extraction rules (paper §4.1).
+    pub semantic: Semantic,
+    /// When this partition is a decomposition cell, the original partition
+    /// it was cut from.
+    pub parent: Option<PartitionId>,
+}
+
+impl Partition {
+    pub fn area(&self) -> f64 {
+        self.polygon.area()
+    }
+
+    pub fn centroid(&self) -> Point {
+        self.polygon.centroid()
+    }
+}
+
+/// A door or opening connecting up to two partitions on one floor.
+///
+/// `partitions.1 == None` marks a building entrance/exit: the door leads
+/// outdoors.
+#[derive(Debug, Clone)]
+pub struct Door {
+    pub id: DoorId,
+    pub floor: FloorId,
+    pub name: String,
+    pub position: Point,
+    /// Clear width, metres (for openings: length of the shared edge).
+    pub width: f64,
+    pub kind: DoorKind,
+    pub direction: DoorDirection,
+    /// The partitions this door joins, resolved geometrically.
+    pub partitions: (PartitionId, Option<PartitionId>),
+}
+
+impl Door {
+    /// True if this door leads outdoors.
+    pub fn is_entrance(&self) -> bool {
+        self.partitions.1.is_none()
+    }
+
+    /// Can an object move from partition `from` through this door?
+    pub fn traversable_from(&self, from: PartitionId) -> bool {
+        let (a, b) = self.partitions;
+        match self.direction {
+            DoorDirection::Both => from == a || Some(from) == b,
+            DoorDirection::Forward => from == a,
+            DoorDirection::Backward => Some(from) == b,
+        }
+    }
+
+    /// The partition on the other side of the door from `from`, if any.
+    pub fn other_side(&self, from: PartitionId) -> Option<PartitionId> {
+        let (a, b) = self.partitions;
+        if from == a {
+            b
+        } else if Some(from) == b {
+            Some(a)
+        } else {
+            None
+        }
+    }
+}
+
+/// A staircase connecting a partition on a lower floor to a partition on an
+/// upper floor, resolved from its 3-D boundary vertices (paper §4.1).
+#[derive(Debug, Clone)]
+pub struct Staircase {
+    pub id: StairId,
+    pub name: String,
+    pub lower_floor: FloorId,
+    pub lower_partition: PartitionId,
+    /// Representative access point on the lower floor.
+    pub lower_point: Point,
+    pub upper_floor: FloorId,
+    pub upper_partition: PartitionId,
+    pub upper_point: Point,
+    /// Walking length of the flight (3-D distance along the stairs).
+    pub length: f64,
+}
+
+/// A user-deployed obstacle (paper §2: "deploy obstacles to further
+/// customize the host indoor environment"). Obstacles block movement and
+/// attenuate signals.
+#[derive(Debug, Clone)]
+pub struct Obstacle {
+    pub id: ObstacleId,
+    pub floor: FloorId,
+    pub polygon: Polygon,
+    /// Extra attenuation in dBm applied per signal crossing (feeds `N_ob`).
+    pub attenuation_dbm: f64,
+}
+
+/// The host indoor environment for one building.
+#[derive(Debug, Clone)]
+pub struct IndoorEnvironment {
+    pub building_name: String,
+    floors: Vec<Floor>,
+    partitions: Vec<Partition>,
+    doors: Vec<Door>,
+    stairs: Vec<Staircase>,
+    obstacles: Vec<Obstacle>,
+    /// Per-floor spatial index over partition bounding boxes; entry ids are
+    /// partition indices.
+    indexes: Vec<RTree>,
+}
+
+impl IndoorEnvironment {
+    /// Assemble an environment and build its spatial indexes.
+    ///
+    /// Intended for use by the builder in [`crate::build`]; test code may
+    /// construct small environments directly.
+    pub fn assemble(
+        building_name: String,
+        floors: Vec<Floor>,
+        partitions: Vec<Partition>,
+        doors: Vec<Door>,
+        stairs: Vec<Staircase>,
+    ) -> Self {
+        let mut env = IndoorEnvironment {
+            building_name,
+            floors,
+            partitions,
+            doors,
+            stairs,
+            obstacles: Vec::new(),
+            indexes: Vec::new(),
+        };
+        env.rebuild_indexes();
+        env
+    }
+
+    pub(crate) fn rebuild_indexes(&mut self) {
+        self.indexes = self
+            .floors
+            .iter()
+            .map(|f| {
+                let entries: Vec<(u32, Aabb)> = f
+                    .partitions
+                    .iter()
+                    .map(|pid| (pid.0, self.partitions[pid.index()].polygon.bbox()))
+                    .collect();
+                RTree::bulk_load(entries)
+            })
+            .collect();
+    }
+
+    pub fn floors(&self) -> &[Floor] {
+        &self.floors
+    }
+
+    pub fn floor(&self, id: FloorId) -> &Floor {
+        &self.floors[id.index()]
+    }
+
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    pub fn partition(&self, id: PartitionId) -> &Partition {
+        &self.partitions[id.index()]
+    }
+
+    pub fn doors(&self) -> &[Door] {
+        &self.doors
+    }
+
+    pub fn door(&self, id: DoorId) -> &Door {
+        &self.doors[id.index()]
+    }
+
+    pub fn stairs(&self) -> &[Staircase] {
+        &self.stairs
+    }
+
+    pub fn obstacles(&self) -> &[Obstacle] {
+        &self.obstacles
+    }
+
+    /// Doors on a floor.
+    pub fn doors_on(&self, floor: FloorId) -> impl Iterator<Item = &Door> {
+        self.doors.iter().filter(move |d| d.floor == floor)
+    }
+
+    /// Doors incident to a partition.
+    pub fn doors_of(&self, pid: PartitionId) -> impl Iterator<Item = &Door> {
+        self.doors
+            .iter()
+            .filter(move |d| d.partitions.0 == pid || d.partitions.1 == Some(pid))
+    }
+
+    /// Entrances (doors to the outdoors) on a floor.
+    pub fn entrances(&self) -> impl Iterator<Item = &Door> {
+        self.doors.iter().filter(|d| d.is_entrance())
+    }
+
+    /// Locate the partition containing point `p` on `floor`.
+    ///
+    /// Uses the per-floor R-tree, then exact polygon containment. Boundary
+    /// points resolve to the first candidate in index order.
+    pub fn locate(&self, floor: FloorId, p: Point) -> Option<PartitionId> {
+        let idx = self.indexes.get(floor.index())?;
+        idx.query_point(p)
+            .into_iter()
+            .map(PartitionId)
+            .find(|pid| self.partitions[pid.index()].polygon.contains(p))
+    }
+
+    /// Partitions whose bounding boxes are within `radius` of `p` on `floor`.
+    pub fn partitions_near(&self, floor: FloorId, p: Point, radius: f64) -> Vec<PartitionId> {
+        let Some(idx) = self.indexes.get(floor.index()) else {
+            return Vec::new();
+        };
+        idx.query_bbox(&Aabb::from_point(p).inflated(radius))
+            .into_iter()
+            .map(PartitionId)
+            .filter(|pid| self.partitions[pid.index()].polygon.dist_to_point(p) <= radius)
+            .collect()
+    }
+
+    /// Walls relevant to a signal path on `floor`: the floor's walls plus
+    /// edges of any obstacles deployed there.
+    pub fn walls_with_obstacles(&self, floor: FloorId) -> Vec<Segment> {
+        let mut walls = self.floor(floor).walls.clone();
+        for ob in self.obstacles.iter().filter(|o| o.floor == floor) {
+            walls.extend(ob.polygon.edges());
+        }
+        walls
+    }
+
+    /// Deploy an obstacle; rebuilds nothing (obstacles are not partitions)
+    /// but affects line-of-sight and movement validity checks.
+    pub fn deploy_obstacle(
+        &mut self,
+        floor: FloorId,
+        polygon: Polygon,
+        attenuation_dbm: f64,
+    ) -> ObstacleId {
+        let id = ObstacleId(self.obstacles.len() as u32);
+        self.obstacles.push(Obstacle { id, floor, polygon, attenuation_dbm });
+        id
+    }
+
+    /// Is `p` on `floor` inside some partition and outside every obstacle?
+    pub fn is_walkable(&self, floor: FloorId, p: Point) -> bool {
+        if self.locate(floor, p).is_none() {
+            return false;
+        }
+        !self
+            .obstacles
+            .iter()
+            .any(|o| o.floor == floor && o.polygon.contains(p))
+    }
+
+    /// Override a door's directionality (Indoor Environment Controller:
+    /// "allows a user to configure door directionality", §2).
+    pub fn set_door_direction(&mut self, id: DoorId, direction: DoorDirection) {
+        self.doors[id.index()].direction = direction;
+    }
+
+    /// Total walkable area of a floor (sum of partition areas minus
+    /// obstacles deployed there).
+    pub fn walkable_area(&self, floor: FloorId) -> f64 {
+        let parts: f64 = self
+            .floor(floor)
+            .partitions
+            .iter()
+            .map(|pid| self.partitions[pid.index()].area())
+            .sum();
+        let obs: f64 = self
+            .obstacles
+            .iter()
+            .filter(|o| o.floor == floor)
+            .map(|o| o.polygon.area())
+            .sum();
+        (parts - obs).max(0.0)
+    }
+
+    /// Summary counts, used in logs and the Fig. 1 data-flow example.
+    pub fn summary(&self) -> EnvSummary {
+        EnvSummary {
+            floors: self.floors.len(),
+            partitions: self.partitions.len(),
+            doors: self.doors.iter().filter(|d| d.kind == DoorKind::Door).count(),
+            openings: self.doors.iter().filter(|d| d.kind == DoorKind::Opening).count(),
+            stairs: self.stairs.len(),
+            entrances: self.entrances().count(),
+            walls: self.floors.iter().map(|f| f.walls.len()).sum(),
+        }
+    }
+}
+
+/// Entity counts for one environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvSummary {
+    pub floors: usize,
+    pub partitions: usize,
+    pub doors: usize,
+    pub openings: usize,
+    pub stairs: usize,
+    pub entrances: usize,
+    pub walls: usize,
+}
+
+impl std::fmt::Display for EnvSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} floors, {} partitions, {} doors (+{} openings), {} stairs, {} entrances, {} walls",
+            self.floors, self.partitions, self.doors, self.openings, self.stairs,
+            self.entrances, self.walls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two rooms side by side joined by a door; door 1 is an entrance.
+    pub(crate) fn tiny_env() -> IndoorEnvironment {
+        let pa = Partition {
+            id: PartitionId(0),
+            floor: FloorId(0),
+            name: "A".into(),
+            usage: "office".into(),
+            polygon: Polygon::rect(0.0, 0.0, 5.0, 4.0),
+            semantic: Semantic::Room,
+            parent: None,
+        };
+        let pb = Partition {
+            id: PartitionId(1),
+            floor: FloorId(0),
+            name: "B".into(),
+            usage: "office".into(),
+            polygon: Polygon::rect(5.0, 0.0, 10.0, 4.0),
+            semantic: Semantic::Room,
+            parent: None,
+        };
+        let walls = vec![
+            Segment::new(Point::new(5.0, 0.0), Point::new(5.0, 4.0)),
+            Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0)),
+        ];
+        let floor = Floor {
+            id: FloorId(0),
+            name: "G".into(),
+            elevation: 0.0,
+            partitions: vec![PartitionId(0), PartitionId(1)],
+            walls,
+        };
+        let doors = vec![
+            Door {
+                id: DoorId(0),
+                floor: FloorId(0),
+                name: "mid".into(),
+                position: Point::new(5.0, 2.0),
+                width: 0.9,
+                kind: DoorKind::Door,
+                direction: DoorDirection::Both,
+                partitions: (PartitionId(0), Some(PartitionId(1))),
+            },
+            Door {
+                id: DoorId(1),
+                floor: FloorId(0),
+                name: "entrance".into(),
+                position: Point::new(0.0, 2.0),
+                width: 1.8,
+                kind: DoorKind::Door,
+                direction: DoorDirection::Both,
+                partitions: (PartitionId(0), None),
+            },
+        ];
+        IndoorEnvironment::assemble("tiny".into(), vec![floor], vec![pa, pb], doors, vec![])
+    }
+
+    #[test]
+    fn locate_points() {
+        let env = tiny_env();
+        assert_eq!(env.locate(FloorId(0), Point::new(1.0, 1.0)), Some(PartitionId(0)));
+        assert_eq!(env.locate(FloorId(0), Point::new(7.0, 1.0)), Some(PartitionId(1)));
+        assert_eq!(env.locate(FloorId(0), Point::new(20.0, 1.0)), None);
+    }
+
+    #[test]
+    fn door_traversal_directionality() {
+        let mut env = tiny_env();
+        let d = DoorId(0);
+        assert!(env.door(d).traversable_from(PartitionId(0)));
+        assert!(env.door(d).traversable_from(PartitionId(1)));
+        env.set_door_direction(d, DoorDirection::Forward);
+        assert!(env.door(d).traversable_from(PartitionId(0)));
+        assert!(!env.door(d).traversable_from(PartitionId(1)));
+        env.set_door_direction(d, DoorDirection::Backward);
+        assert!(!env.door(d).traversable_from(PartitionId(0)));
+        assert!(env.door(d).traversable_from(PartitionId(1)));
+    }
+
+    #[test]
+    fn other_side_and_entrance() {
+        let env = tiny_env();
+        let mid = env.door(DoorId(0));
+        assert_eq!(mid.other_side(PartitionId(0)), Some(PartitionId(1)));
+        assert_eq!(mid.other_side(PartitionId(1)), Some(PartitionId(0)));
+        assert!(!mid.is_entrance());
+        let ent = env.door(DoorId(1));
+        assert!(ent.is_entrance());
+        assert_eq!(ent.other_side(PartitionId(0)), None);
+        assert_eq!(env.entrances().count(), 1);
+    }
+
+    #[test]
+    fn doors_of_partition() {
+        let env = tiny_env();
+        assert_eq!(env.doors_of(PartitionId(0)).count(), 2);
+        assert_eq!(env.doors_of(PartitionId(1)).count(), 1);
+    }
+
+    #[test]
+    fn obstacles_block_walkability_and_add_walls() {
+        let mut env = tiny_env();
+        assert!(env.is_walkable(FloorId(0), Point::new(2.0, 2.0)));
+        let walls_before = env.walls_with_obstacles(FloorId(0)).len();
+        env.deploy_obstacle(FloorId(0), Polygon::rect(1.5, 1.5, 2.5, 2.5), 3.0);
+        assert!(!env.is_walkable(FloorId(0), Point::new(2.0, 2.0)));
+        assert!(env.is_walkable(FloorId(0), Point::new(4.0, 3.0)));
+        assert_eq!(env.walls_with_obstacles(FloorId(0)).len(), walls_before + 4);
+    }
+
+    #[test]
+    fn walkable_area_subtracts_obstacles() {
+        let mut env = tiny_env();
+        assert!((env.walkable_area(FloorId(0)) - 40.0).abs() < 1e-9);
+        env.deploy_obstacle(FloorId(0), Polygon::rect(1.0, 1.0, 2.0, 2.0), 3.0);
+        assert!((env.walkable_area(FloorId(0)) - 39.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partitions_near() {
+        let env = tiny_env();
+        let near = env.partitions_near(FloorId(0), Point::new(5.0, 2.0), 0.5);
+        assert_eq!(near.len(), 2);
+        let near = env.partitions_near(FloorId(0), Point::new(1.0, 1.0), 0.5);
+        assert_eq!(near, vec![PartitionId(0)]);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let env = tiny_env();
+        let s = env.summary();
+        assert_eq!(s.floors, 1);
+        assert_eq!(s.partitions, 2);
+        assert_eq!(s.doors, 2);
+        assert_eq!(s.openings, 0);
+        assert_eq!(s.entrances, 1);
+        assert!(s.to_string().contains("2 partitions"));
+    }
+}

@@ -1,0 +1,495 @@
+//! Route planning: minimum indoor walking distance and minimum walking time
+//! (paper §3.1, "Routing": "a path determined by a particular routing
+//! schema, e.g., minimum indoor walking distance [10], minimum walking time
+//! [9]").
+//!
+//! The two schemas differ exactly where the paper's citations differ:
+//! min-distance ignores how fast each medium is walked, min-time weights
+//! edge lengths by per-medium speeds, so a longer corridor route can beat a
+//! shorter stair-heavy one.
+
+use vita_geometry::Point;
+
+use crate::graph::{Anchor, Edge, IndoorGraph, Medium};
+use crate::model::IndoorEnvironment;
+use crate::semantics::Semantic;
+use crate::types::{FloorId, PartitionId};
+
+/// Walking speeds (m/s) by medium, used by minimum-time routing and by the
+/// mobility layer when animating objects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedProfile {
+    pub corridor: f64,
+    pub room: f64,
+    pub public_area: f64,
+    pub stairs: f64,
+}
+
+impl Default for SpeedProfile {
+    fn default() -> Self {
+        // Typical pedestrian speeds: brisk in corridors, slower among
+        // furniture, slowest on stairs.
+        SpeedProfile { corridor: 1.4, room: 0.9, public_area: 1.2, stairs: 0.55 }
+    }
+}
+
+impl SpeedProfile {
+    /// Speed when walking inside a partition of the given semantic class.
+    pub fn for_semantic(&self, s: Semantic) -> f64 {
+        match s {
+            Semantic::Corridor => self.corridor,
+            Semantic::PublicArea | Semantic::Shop | Semantic::Waiting => self.public_area,
+            Semantic::Staircase => self.stairs,
+            _ => self.room,
+        }
+    }
+}
+
+/// Routing objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingSchema {
+    /// Minimize walked metres.
+    MinDistance,
+    /// Minimize walking seconds under a speed profile.
+    MinTime(SpeedProfile),
+}
+
+impl RoutingSchema {
+    pub fn min_time_default() -> Self {
+        RoutingSchema::MinTime(SpeedProfile::default())
+    }
+}
+
+/// A point on a route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Waypoint {
+    pub floor: FloorId,
+    pub position: Point,
+    /// Partition the object is in when *leaving* this waypoint.
+    pub partition: PartitionId,
+    /// Metres walked from the start to this waypoint.
+    pub cum_dist: f64,
+    /// Seconds walked from the start to this waypoint (under the planning
+    /// speed profile; min-distance routes use the default profile).
+    pub cum_time: f64,
+}
+
+/// A planned route.
+#[derive(Debug, Clone)]
+pub struct Route {
+    pub waypoints: Vec<Waypoint>,
+    pub total_distance: f64,
+    pub total_time: f64,
+}
+
+impl Route {
+    /// Interpolated position after walking `dist` metres (clamped).
+    /// Returns the floor and point; positions inside a staircase leg
+    /// interpolate in plan view between the two stair ends.
+    pub fn position_at_distance(&self, dist: f64) -> (FloorId, Point) {
+        let d = dist.clamp(0.0, self.total_distance);
+        for pair in self.waypoints.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if d <= b.cum_dist {
+                let span = b.cum_dist - a.cum_dist;
+                let t = if span <= 1e-12 { 0.0 } else { (d - a.cum_dist) / span };
+                // Floor switches at the end of a leg that changes floor.
+                let floor = if t >= 1.0 { b.floor } else { a.floor };
+                return (floor, a.position.lerp(b.position, t));
+            }
+        }
+        let last = self.waypoints.last().expect("route has waypoints");
+        (last.floor, last.position)
+    }
+
+    pub fn start(&self) -> &Waypoint {
+        self.waypoints.first().expect("route has waypoints")
+    }
+
+    pub fn end(&self) -> &Waypoint {
+        self.waypoints.last().expect("route has waypoints")
+    }
+}
+
+/// Route planning errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// The source point is not inside any partition.
+    SourceNotIndoor,
+    /// The target point is not inside any partition.
+    TargetNotIndoor,
+    /// No path exists (disconnected, or blocked by door directionality).
+    Unreachable,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::SourceNotIndoor => write!(f, "source point is not indoors"),
+            RouteError::TargetNotIndoor => write!(f, "target point is not indoors"),
+            RouteError::Unreachable => write!(f, "target unreachable from source"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A route planner bound to one environment. Builds the accessibility graph
+/// once; each query runs one Dijkstra.
+pub struct RoutePlanner<'e> {
+    env: &'e IndoorEnvironment,
+    graph: IndoorGraph,
+}
+
+impl<'e> RoutePlanner<'e> {
+    pub fn new(env: &'e IndoorEnvironment) -> Self {
+        RoutePlanner { env, graph: IndoorGraph::new(env) }
+    }
+
+    pub fn graph(&self) -> &IndoorGraph {
+        &self.graph
+    }
+
+    /// Plan a route between two indoor points.
+    pub fn route(
+        &self,
+        from: (FloorId, Point),
+        to: (FloorId, Point),
+        schema: RoutingSchema,
+    ) -> Result<Route, RouteError> {
+        let src_part = self
+            .env
+            .locate(from.0, from.1)
+            .ok_or(RouteError::SourceNotIndoor)?;
+        let dst_part = self.env.locate(to.0, to.1).ok_or(RouteError::TargetNotIndoor)?;
+
+        let profile = match schema {
+            RoutingSchema::MinTime(p) => p,
+            RoutingSchema::MinDistance => SpeedProfile::default(),
+        };
+        let speed_in = |pid: PartitionId| -> f64 {
+            profile.for_semantic(self.env.partition(pid).semantic).max(0.05)
+        };
+        let weight = |e: &Edge| -> f64 {
+            match schema {
+                RoutingSchema::MinDistance => e.dist,
+                RoutingSchema::MinTime(p) => match e.medium {
+                    Medium::Walk(pid) => {
+                        e.dist / p.for_semantic(self.env.partition(pid).semantic).max(0.05)
+                    }
+                    Medium::DoorCrossing(_) => 0.0,
+                    Medium::Stair(_) => e.dist / p.stairs.max(0.05),
+                },
+            }
+        };
+
+        // Same partition: walk straight (partitions are small/convex-ish by
+        // decomposition, so the straight segment is valid).
+        if src_part == dst_part {
+            let dist = from.1.dist(to.1);
+            let time = dist / speed_in(src_part);
+            return Ok(Route {
+                waypoints: vec![
+                    Waypoint {
+                        floor: from.0,
+                        position: from.1,
+                        partition: src_part,
+                        cum_dist: 0.0,
+                        cum_time: 0.0,
+                    },
+                    Waypoint {
+                        floor: to.0,
+                        position: to.1,
+                        partition: dst_part,
+                        cum_dist: dist,
+                        cum_time: time,
+                    },
+                ],
+                total_distance: dist,
+                total_time: time,
+            });
+        }
+
+        // Seed Dijkstra with every node in the source partition, costed by
+        // the walk from `from` to that node.
+        let seeds: Vec<(u32, f64)> = self
+            .graph
+            .nodes_in(src_part)
+            .iter()
+            .map(|&n| {
+                let d = from.1.dist(self.graph.node(n).position);
+                let cost = match schema {
+                    RoutingSchema::MinDistance => d,
+                    RoutingSchema::MinTime(_) => d / speed_in(src_part),
+                };
+                (n, cost)
+            })
+            .collect();
+        if seeds.is_empty() {
+            return Err(RouteError::Unreachable);
+        }
+        let sp = self.graph.dijkstra(&seeds, weight);
+
+        // Best terminal node in the destination partition, adding the final
+        // walk to `to`.
+        let mut best: Option<(u32, f64)> = None;
+        for &n in self.graph.nodes_in(dst_part) {
+            let base = sp.dist[n as usize];
+            if !base.is_finite() {
+                continue;
+            }
+            let tail = self.graph.node(n).position.dist(to.1);
+            let tail_cost = match schema {
+                RoutingSchema::MinDistance => tail,
+                RoutingSchema::MinTime(_) => tail / speed_in(dst_part),
+            };
+            let total = base + tail_cost;
+            if best.is_none_or(|(_, b)| total < b) {
+                best = Some((n, total));
+            }
+        }
+        let (terminal, _) = best.ok_or(RouteError::Unreachable)?;
+
+        // Reconstruct waypoints: from → node path → to.
+        let node_path = sp.path_to(terminal);
+        let mut waypoints = Vec::with_capacity(node_path.len() + 2);
+        waypoints.push(Waypoint {
+            floor: from.0,
+            position: from.1,
+            partition: src_part,
+            cum_dist: 0.0,
+            cum_time: 0.0,
+        });
+        let mut cum_dist = 0.0;
+        let mut cum_time = 0.0;
+        let mut prev_pos = from.1;
+        let mut prev_partition = src_part;
+        let mut prev_floor = from.0;
+        for &n in &node_path {
+            let node = self.graph.node(n);
+            let d = prev_pos.dist(node.position);
+            // A floor change happens on a stair leg; walking legs stay on
+            // one floor. Speed: the partition we are leaving through.
+            let is_stair_leg = node.floor != prev_floor;
+            let leg_speed = if is_stair_leg {
+                profile.stairs.max(0.05)
+            } else {
+                speed_in(prev_partition)
+            };
+            // Stair legs use the flight length, not plan distance.
+            let leg_dist = if is_stair_leg {
+                match node.anchor {
+                    Anchor::StairEnd { stair, .. } => {
+                        self.env.stairs()[stair.index()].length
+                    }
+                    _ => d,
+                }
+            } else {
+                d
+            };
+            cum_dist += leg_dist;
+            cum_time += leg_dist / leg_speed;
+            // Skip duplicate-position waypoints (the two sides of a door).
+            if d > 1e-9 || is_stair_leg {
+                waypoints.push(Waypoint {
+                    floor: node.floor,
+                    position: node.position,
+                    partition: node.partition,
+                    cum_dist,
+                    cum_time,
+                });
+            } else if let Some(last) = waypoints.last_mut() {
+                // Same position, other side of the door: update partition.
+                last.partition = node.partition;
+            }
+            prev_pos = node.position;
+            prev_partition = node.partition;
+            prev_floor = node.floor;
+        }
+        let tail = prev_pos.dist(to.1);
+        cum_dist += tail;
+        cum_time += tail / speed_in(dst_part);
+        waypoints.push(Waypoint {
+            floor: to.0,
+            position: to.1,
+            partition: dst_part,
+            cum_dist,
+            cum_time,
+        });
+
+        Ok(Route { waypoints, total_distance: cum_dist, total_time: cum_time })
+    }
+
+    /// Minimum indoor walking distance between two points, in metres.
+    pub fn distance(
+        &self,
+        from: (FloorId, Point),
+        to: (FloorId, Point),
+    ) -> Result<f64, RouteError> {
+        self.route(from, to, RoutingSchema::MinDistance).map(|r| r.total_distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_environment, BuildParams};
+    use vita_dbi::{office, SynthParams};
+
+    fn setup(floors: usize) -> IndoorEnvironment {
+        let model = office(&SynthParams::with_floors(floors));
+        build_environment(&model, &BuildParams::default()).unwrap().env
+    }
+
+    #[test]
+    fn same_partition_route_is_straight() {
+        let env = setup(1);
+        let planner = RoutePlanner::new(&env);
+        let f = FloorId(0);
+        let r = planner
+            .route((f, Point::new(1.0, 1.0)), (f, Point::new(4.0, 4.0)), RoutingSchema::MinDistance)
+            .unwrap();
+        assert_eq!(r.waypoints.len(), 2);
+        assert!((r.total_distance - 18.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_room_route_passes_through_doors() {
+        let env = setup(1);
+        let planner = RoutePlanner::new(&env);
+        let f = FloorId(0);
+        // Office 0.1 (south-west room) to Office 0.10 area (north side).
+        let from = Point::new(3.0, 3.0);
+        let to = Point::new(27.0, 13.0);
+        let r = planner.route((f, from), (f, to), RoutingSchema::MinDistance).unwrap();
+        assert!(r.waypoints.len() > 2, "must pass doors");
+        // Distance is at least the Euclidean lower bound.
+        assert!(r.total_distance >= from.dist(to) - 1e-9);
+        // And not absurdly long.
+        assert!(r.total_distance < 4.0 * from.dist(to));
+    }
+
+    #[test]
+    fn multi_floor_route_uses_stairs() {
+        let env = setup(2);
+        let planner = RoutePlanner::new(&env);
+        let from = (FloorId(0), Point::new(3.0, 3.0));
+        let to = (FloorId(1), Point::new(3.0, 3.0));
+        let r = planner.route(from, to, RoutingSchema::MinDistance).unwrap();
+        let floors: Vec<FloorId> = r.waypoints.iter().map(|w| w.floor).collect();
+        assert!(floors.contains(&FloorId(0)));
+        assert!(floors.contains(&FloorId(1)));
+        // Must include the stair flight length.
+        let stair_len = env.stairs()[0].length;
+        assert!(r.total_distance >= stair_len);
+    }
+
+    #[test]
+    fn min_time_at_most_min_distance_time() {
+        let env = setup(2);
+        let planner = RoutePlanner::new(&env);
+        let from = (FloorId(0), Point::new(2.0, 2.0));
+        let to = (FloorId(1), Point::new(38.0, 14.0));
+        let rd = planner.route(from, to, RoutingSchema::MinDistance).unwrap();
+        let rt = planner.route(from, to, RoutingSchema::min_time_default()).unwrap();
+        assert!(rt.total_time <= rd.total_time + 1e-6);
+        assert!(rd.total_distance <= rt.total_distance + 1e-6);
+    }
+
+    #[test]
+    fn route_positions_interpolate() {
+        let env = setup(1);
+        let planner = RoutePlanner::new(&env);
+        let f = FloorId(0);
+        let r = planner
+            .route((f, Point::new(3.0, 3.0)), (f, Point::new(27.0, 13.0)), RoutingSchema::MinDistance)
+            .unwrap();
+        let (_, start) = r.position_at_distance(0.0);
+        assert!(start.approx_eq(Point::new(3.0, 3.0)));
+        let (_, end) = r.position_at_distance(r.total_distance + 5.0);
+        assert!(end.approx_eq(Point::new(27.0, 13.0)));
+        // Midway point lies within the environment.
+        let (fl, mid) = r.position_at_distance(r.total_distance / 2.0);
+        assert!(env.locate(fl, mid).is_some());
+    }
+
+    #[test]
+    fn outdoor_points_are_errors() {
+        let env = setup(1);
+        let planner = RoutePlanner::new(&env);
+        let f = FloorId(0);
+        assert_eq!(
+            planner
+                .route((f, Point::new(-10.0, -10.0)), (f, Point::new(1.0, 1.0)), RoutingSchema::MinDistance)
+                .unwrap_err(),
+            RouteError::SourceNotIndoor
+        );
+        assert_eq!(
+            planner
+                .route((f, Point::new(1.0, 1.0)), (f, Point::new(-10.0, -10.0)), RoutingSchema::MinDistance)
+                .unwrap_err(),
+            RouteError::TargetNotIndoor
+        );
+    }
+
+    #[test]
+    fn directionality_can_make_target_unreachable() {
+        use crate::model::DoorDirection;
+        let mut env = setup(1);
+        // Make the meeting room exit-only: you can never get in.
+        let door_id =
+            env.doors().iter().find(|d| d.name.contains("door-meet")).unwrap().id;
+        let meeting_side = {
+            let d = env.door(door_id);
+            let a = env.partition(d.partitions.0);
+            if a.name.contains("Meeting") {
+                (d.partitions.0, true)
+            } else {
+                (d.partitions.1.unwrap(), false)
+            }
+        };
+        // Orient so traversal is only *out of* the meeting room.
+        let dir = if meeting_side.1 { DoorDirection::Forward } else { DoorDirection::Backward };
+        env.set_door_direction(door_id, dir);
+        let planner = RoutePlanner::new(&env);
+        let f = FloorId(0);
+        let meeting_pt = env.partition(meeting_side.0).centroid();
+        // Getting out still works.
+        assert!(planner
+            .route((f, meeting_pt), (f, Point::new(3.0, 3.0)), RoutingSchema::MinDistance)
+            .is_ok());
+        // Getting in is impossible.
+        assert_eq!(
+            planner
+                .route((f, Point::new(3.0, 3.0)), (f, meeting_pt), RoutingSchema::MinDistance)
+                .unwrap_err(),
+            RouteError::Unreachable
+        );
+    }
+
+    #[test]
+    fn distance_is_symmetric_without_directional_doors() {
+        let env = setup(1);
+        let planner = RoutePlanner::new(&env);
+        let f = FloorId(0);
+        let a = (f, Point::new(3.0, 3.0));
+        let b = (f, Point::new(27.0, 13.0));
+        let d_ab = planner.distance(a, b).unwrap();
+        let d_ba = planner.distance(b, a).unwrap();
+        assert!((d_ab - d_ba).abs() < 1e-6, "{d_ab} vs {d_ba}");
+    }
+
+    #[test]
+    fn triangle_inequality_holds_approximately() {
+        let env = setup(1);
+        let planner = RoutePlanner::new(&env);
+        let f = FloorId(0);
+        let a = (f, Point::new(3.0, 3.0));
+        let b = (f, Point::new(20.0, 12.0));
+        let c = (f, Point::new(37.0, 3.0));
+        let ab = planner.distance(a, b).unwrap();
+        let bc = planner.distance(b, c).unwrap();
+        let ac = planner.distance(a, c).unwrap();
+        assert!(ac <= ab + bc + 1e-6);
+    }
+}

@@ -1,0 +1,158 @@
+//! Semantic extraction via empirical rules (paper §4.1).
+//!
+//! "Vita also supports semantic extraction by defining empirical rules. For
+//! example, a canteen will be identified if its entity name contains the word
+//! 'canteen' or 'dining room', a public area will be recognized in the terms
+//! of its door connectivity and floorage."
+
+/// Semantic class of a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Semantic {
+    /// Default: an ordinary room.
+    #[default]
+    Room,
+    /// Corridor / hallway.
+    Corridor,
+    /// Canteen or dining room.
+    Canteen,
+    /// Large well-connected public area (atrium, lobby).
+    PublicArea,
+    /// Shop.
+    Shop,
+    /// Staircase core / escalator hall.
+    Staircase,
+    /// Medical ward or consultation room.
+    MedicalRoom,
+    /// Waiting area / reception.
+    Waiting,
+    /// Meeting room.
+    Meeting,
+    /// Office.
+    Office,
+}
+
+impl Semantic {
+    /// Single-character tag used by the ASCII renderer.
+    pub fn tag(&self) -> char {
+        match self {
+            Semantic::Room => 'r',
+            Semantic::Corridor => 'c',
+            Semantic::Canteen => 'K',
+            Semantic::PublicArea => 'P',
+            Semantic::Shop => 'S',
+            Semantic::Staircase => '#',
+            Semantic::MedicalRoom => 'M',
+            Semantic::Waiting => 'W',
+            Semantic::Meeting => 'm',
+            Semantic::Office => 'o',
+        }
+    }
+}
+
+/// One rule: keyword list → class. Rules are checked in order; first match
+/// wins. Users can extend the default set ("defining empirical rules").
+#[derive(Debug, Clone)]
+pub struct SemanticRule {
+    /// Lower-case keywords matched against name and usage.
+    pub keywords: Vec<&'static str>,
+    pub class: Semantic,
+}
+
+/// The default rule table.
+pub fn default_rules() -> Vec<SemanticRule> {
+    vec![
+        SemanticRule { keywords: vec!["canteen", "dining room", "dining"], class: Semantic::Canteen },
+        SemanticRule {
+            keywords: vec!["stair", "escalator", "elevator", "lift"],
+            class: Semantic::Staircase,
+        },
+        SemanticRule { keywords: vec!["corridor", "hallway", "hall "], class: Semantic::Corridor },
+        SemanticRule { keywords: vec!["shop", "store", "boutique"], class: Semantic::Shop },
+        SemanticRule {
+            keywords: vec!["ward", "consult", "clinic room", "treatment"],
+            class: Semantic::MedicalRoom,
+        },
+        SemanticRule { keywords: vec!["waiting", "reception", "lobby"], class: Semantic::Waiting },
+        SemanticRule { keywords: vec!["meeting", "conference"], class: Semantic::Meeting },
+        SemanticRule { keywords: vec!["office"], class: Semantic::Office },
+        SemanticRule { keywords: vec!["atrium", "public", "plaza"], class: Semantic::PublicArea },
+    ]
+}
+
+/// Classify one partition by name/usage keywords.
+pub fn classify(name: &str, usage: &str, rules: &[SemanticRule]) -> Semantic {
+    let hay = format!("{} {}", name.to_lowercase(), usage.to_lowercase());
+    for rule in rules {
+        if rule.keywords.iter().any(|k| hay.contains(k)) {
+            return rule.class;
+        }
+    }
+    Semantic::Room
+}
+
+/// Structural promotion to [`Semantic::PublicArea`]: a partition with high
+/// door connectivity and large floorage is a public area even if its name
+/// says nothing (paper: "recognized in the terms of its door connectivity
+/// and floorage").
+pub fn is_public_by_structure(door_count: usize, area: f64) -> bool {
+    door_count >= 4 && area >= 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_rules_match() {
+        let rules = default_rules();
+        assert_eq!(classify("Canteen 0", "dining", &rules), Semantic::Canteen);
+        assert_eq!(classify("Staff Dining Room", "", &rules), Semantic::Canteen);
+        assert_eq!(classify("Corridor 1", "", &rules), Semantic::Corridor);
+        assert_eq!(classify("Shop N1.2", "shop", &rules), Semantic::Shop);
+        assert_eq!(classify("Ward A0", "ward", &rules), Semantic::MedicalRoom);
+        assert_eq!(classify("Reception 0", "", &rules), Semantic::Waiting);
+        assert_eq!(classify("Office 1.2", "office", &rules), Semantic::Office);
+        assert_eq!(classify("Escalator hall 1", "stair", &rules), Semantic::Staircase);
+        assert_eq!(classify("Mystery", "", &rules), Semantic::Room);
+    }
+
+    #[test]
+    fn usage_tag_alone_matches() {
+        let rules = default_rules();
+        assert_eq!(classify("Room 7", "corridor", &rules), Semantic::Corridor);
+    }
+
+    #[test]
+    fn first_rule_wins() {
+        // "Canteen corridor" hits the canteen rule first by table order.
+        let rules = default_rules();
+        assert_eq!(classify("Canteen corridor", "", &rules), Semantic::Canteen);
+    }
+
+    #[test]
+    fn structural_public_area() {
+        assert!(is_public_by_structure(4, 150.0));
+        assert!(!is_public_by_structure(3, 150.0));
+        assert!(!is_public_by_structure(6, 50.0));
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let all = [
+            Semantic::Room,
+            Semantic::Corridor,
+            Semantic::Canteen,
+            Semantic::PublicArea,
+            Semantic::Shop,
+            Semantic::Staircase,
+            Semantic::MedicalRoom,
+            Semantic::Waiting,
+            Semantic::Meeting,
+            Semantic::Office,
+        ];
+        let mut tags: Vec<char> = all.iter().map(|s| s.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), all.len());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for environment construction and routing across
+//! parameterized synthetic buildings.
+
+use proptest::prelude::*;
+
+use vita_dbi::{clinic, mall, office, SynthParams};
+use vita_geometry::PolygonSampler;
+use vita_indoor::{
+    build_environment, BuildParams, DecomposeParams, IndoorGraph, RoutePlanner,
+    RoutingSchema,
+};
+
+fn params_strategy() -> impl Strategy<Value = SynthParams> {
+    (1usize..4, 0.8f64..1.6).prop_map(|(floors, scale)| SynthParams {
+        floors,
+        scale,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every archetype at every size builds without unrepaired warnings and
+    /// with consistent structure.
+    #[test]
+    fn archetypes_build_consistently(
+        p in params_strategy(),
+        which in 0usize..3,
+    ) {
+        let model = match which {
+            0 => office(&p),
+            1 => mall(&p),
+            _ => clinic(&p),
+        };
+        let built = build_environment(&model, &BuildParams::default()).unwrap();
+        let env = &built.env;
+        let s = env.summary();
+        prop_assert_eq!(s.floors, p.floors);
+        prop_assert_eq!(s.stairs, p.floors - 1);
+        // Every partition belongs to the floor that lists it.
+        for f in env.floors() {
+            for &pid in &f.partitions {
+                prop_assert_eq!(env.partition(pid).floor, f.id);
+            }
+        }
+        // Every door's partitions are on the door's floor.
+        for d in env.doors() {
+            prop_assert_eq!(env.partition(d.partitions.0).floor, d.floor);
+            if let Some(b) = d.partitions.1 {
+                prop_assert_eq!(env.partition(b).floor, d.floor);
+            }
+        }
+        // Point location: the centroid of every partition resolves to a
+        // partition with overlapping geometry.
+        for part in env.partitions() {
+            let c = part.centroid();
+            if part.polygon.contains(c) {
+                let found = env.locate(part.floor, c);
+                prop_assert!(found.is_some());
+            }
+        }
+    }
+
+    /// The accessibility graph is strongly connected from the entrance on
+    /// buildings without directional doors (office has none).
+    #[test]
+    fn office_fully_reachable(p in params_strategy()) {
+        let model = office(&p);
+        let env = build_environment(&model, &BuildParams::default()).unwrap().env;
+        let g = IndoorGraph::new(&env);
+        let sp = g.dijkstra(&[(0, 0.0)], |e| e.dist);
+        for part in env.partitions() {
+            let ok = g.nodes_in(part.id).iter().any(|&n| sp.dist[n as usize].is_finite());
+            prop_assert!(ok, "partition {} unreachable", part.name);
+        }
+    }
+
+    /// Route length lower-bounds: at least Euclidean within a floor, at
+    /// least the stair flight length across floors.
+    #[test]
+    fn route_lower_bounds(p in params_strategy(), seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let model = office(&p);
+        let env = build_environment(&model, &BuildParams::default()).unwrap().env;
+        let planner = RoutePlanner::new(&env);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let parts = env.partitions();
+        let a = &parts[rng.gen_range(0..parts.len())];
+        let b = &parts[rng.gen_range(0..parts.len())];
+        let pa = PolygonSampler::new(&a.polygon).sample(&mut rng);
+        let pb = PolygonSampler::new(&b.polygon).sample(&mut rng);
+        let route = planner
+            .route((a.floor, pa), (b.floor, pb), RoutingSchema::MinDistance)
+            .unwrap();
+        if a.floor == b.floor {
+            prop_assert!(route.total_distance >= pa.dist(pb) - 1e-9);
+        } else {
+            let floors_apart =
+                (a.floor.0 as i64 - b.floor.0 as i64).unsigned_abs() as usize;
+            let min_flight: f64 = env
+                .stairs()
+                .iter()
+                .map(|s| s.length)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(route.total_distance >= min_flight * floors_apart as f64 - 1e-9);
+        }
+        // Waypoints are monotone in cumulative distance and time.
+        for w in route.waypoints.windows(2) {
+            prop_assert!(w[1].cum_dist >= w[0].cum_dist - 1e-9);
+            prop_assert!(w[1].cum_time >= w[0].cum_time - 1e-9);
+        }
+    }
+
+    /// Decomposition limits are honored for every archetype partition.
+    #[test]
+    fn decomposition_limits_respected(p in params_strategy()) {
+        let dp = DecomposeParams::default();
+        let model = mall(&p);
+        let env = build_environment(
+            &model,
+            &BuildParams { decompose: Some(dp), ..Default::default() },
+        )
+        .unwrap()
+        .env;
+        for part in env.partitions() {
+            // A cell may exceed limits only if splitting it further would
+            // violate min_area or the depth cap; sanity-bound it anyway.
+            prop_assert!(part.area() <= dp.max_area * 2.0 + 1e-6,
+                "cell {} area {}", part.name, part.area());
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Initial distribution models (paper §3.1.1).
+//!
+//! *Uniform*: objects appear evenly over the walkable area (area-weighted
+//! across partitions and floors).
+//!
+//! *Crowd-outliers*: "a vast majority of objects are located around several
+//! hot areas to form crowds while others are distributed randomly as
+//! outliers. For example, customers in a mall often gather around the shops
+//! that are currently on sale." Hot areas prefer semantically attractive
+//! partitions (shops, canteens, public areas, waiting rooms).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use vita_geometry::{Point, PolygonSampler};
+use vita_indoor::{FloorId, IndoorEnvironment, PartitionId, Semantic};
+
+use crate::config::InitialDistribution;
+
+/// A starting placement for one object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    pub floor: FloorId,
+    pub point: Point,
+    /// Crowd index when the object belongs to a crowd (for rendering the
+    /// circles/rectangles of paper Fig. 3(b)).
+    pub crowd: Option<usize>,
+}
+
+/// The initial placement of all objects plus the chosen hot areas.
+#[derive(Debug, Clone)]
+pub struct InitialPlacement {
+    pub placements: Vec<Placement>,
+    /// Hot-area centers (crowd index order).
+    pub crowd_centers: Vec<(FloorId, Point)>,
+}
+
+/// Draw initial positions for `count` objects.
+pub fn initial_positions<R: Rng + ?Sized>(
+    env: &IndoorEnvironment,
+    dist: InitialDistribution,
+    count: usize,
+    rng: &mut R,
+) -> InitialPlacement {
+    match dist {
+        InitialDistribution::Uniform => InitialPlacement {
+            placements: (0..count)
+                .map(|_| {
+                    let (floor, point) = uniform_point(env, rng);
+                    Placement { floor, point, crowd: None }
+                })
+                .collect(),
+            crowd_centers: Vec::new(),
+        },
+        InitialDistribution::CrowdOutliers { crowds, crowd_fraction, crowd_radius } => {
+            let centers = pick_hot_areas(env, crowds, rng);
+            let mut placements = Vec::with_capacity(count);
+            let crowd_count = ((count as f64) * crowd_fraction).round() as usize;
+            for i in 0..count {
+                if i < crowd_count && !centers.is_empty() {
+                    let k = i % centers.len();
+                    let (floor, center) = centers[k];
+                    let point = crowd_point(env, floor, center, crowd_radius, rng);
+                    placements.push(Placement { floor, point, crowd: Some(k) });
+                } else {
+                    let (floor, point) = uniform_point(env, rng);
+                    placements.push(Placement { floor, point, crowd: None });
+                }
+            }
+            InitialPlacement { placements, crowd_centers: centers }
+        }
+    }
+}
+
+/// Uniform area-weighted point over all partitions on all floors.
+pub fn uniform_point<R: Rng + ?Sized>(env: &IndoorEnvironment, rng: &mut R) -> (FloorId, Point) {
+    let parts = env.partitions();
+    debug_assert!(!parts.is_empty());
+    let total: f64 = parts.iter().map(|p| p.area()).sum();
+    let mut pick = rng.gen::<f64>() * total;
+    let mut chosen = &parts[0];
+    for p in parts {
+        if pick < p.area() {
+            chosen = p;
+            break;
+        }
+        pick -= p.area();
+        chosen = p;
+    }
+    let point = PolygonSampler::new(&chosen.polygon).sample(rng);
+    (chosen.floor, point)
+}
+
+/// Uniform point within a specific partition.
+pub fn point_in_partition<R: Rng + ?Sized>(
+    env: &IndoorEnvironment,
+    pid: PartitionId,
+    rng: &mut R,
+) -> Point {
+    PolygonSampler::new(&env.partition(pid).polygon).sample(rng)
+}
+
+/// Choose `n` hot areas, preferring attractive semantics, then large area.
+fn pick_hot_areas<R: Rng + ?Sized>(
+    env: &IndoorEnvironment,
+    n: usize,
+    rng: &mut R,
+) -> Vec<(FloorId, Point)> {
+    let attractive = |s: Semantic| {
+        matches!(
+            s,
+            Semantic::Shop | Semantic::Canteen | Semantic::PublicArea | Semantic::Waiting
+        )
+    };
+    let mut hot: Vec<&vita_indoor::Partition> =
+        env.partitions().iter().filter(|p| attractive(p.semantic)).collect();
+    if hot.len() < n {
+        // Top up with the largest remaining partitions.
+        let mut rest: Vec<&vita_indoor::Partition> =
+            env.partitions().iter().filter(|p| !attractive(p.semantic)).collect();
+        rest.sort_by(|a, b| b.area().partial_cmp(&a.area()).unwrap());
+        hot.extend(rest.into_iter().take(n - hot.len()));
+    }
+    hot.shuffle(rng);
+    hot.truncate(n);
+    hot.iter()
+        .map(|p| (p.floor, PolygonSampler::new(&p.polygon).sample(rng)))
+        .collect()
+}
+
+/// Sample a walkable point near `center` within `radius` (rejection with
+/// fallback to the center itself).
+fn crowd_point<R: Rng + ?Sized>(
+    env: &IndoorEnvironment,
+    floor: FloorId,
+    center: Point,
+    radius: f64,
+    rng: &mut R,
+) -> Point {
+    for _ in 0..32 {
+        let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+        // sqrt for uniform density over the disk.
+        let r = radius * rng.gen::<f64>().sqrt();
+        let p = Point::new(center.x + r * theta.cos(), center.y + r * theta.sin());
+        if env.is_walkable(floor, p) {
+            return p;
+        }
+    }
+    center
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vita_dbi::{mall, SynthParams};
+    use vita_indoor::{build_environment, BuildParams};
+
+    fn mall_env() -> IndoorEnvironment {
+        let model = mall(&SynthParams::with_floors(2));
+        build_environment(&model, &BuildParams::default()).unwrap().env
+    }
+
+    #[test]
+    fn uniform_positions_are_indoor_and_spread_across_floors() {
+        let env = mall_env();
+        let mut rng = StdRng::seed_from_u64(11);
+        let placed = initial_positions(&env, InitialDistribution::Uniform, 400, &mut rng);
+        assert_eq!(placed.placements.len(), 400);
+        let mut floor0 = 0;
+        for p in &placed.placements {
+            assert!(env.locate(p.floor, p.point).is_some(), "object outdoors");
+            assert!(p.crowd.is_none());
+            if p.floor == FloorId(0) {
+                floor0 += 1;
+            }
+        }
+        // Two identical floors: roughly half on each.
+        let frac = floor0 as f64 / 400.0;
+        assert!((0.35..=0.65).contains(&frac), "floor-0 fraction {frac}");
+    }
+
+    #[test]
+    fn crowd_outliers_form_crowds() {
+        let env = mall_env();
+        let mut rng = StdRng::seed_from_u64(13);
+        let dist =
+            InitialDistribution::CrowdOutliers { crowds: 3, crowd_fraction: 0.8, crowd_radius: 4.0 };
+        let placed = initial_positions(&env, dist, 200, &mut rng);
+        assert_eq!(placed.crowd_centers.len(), 3);
+        let crowd_members =
+            placed.placements.iter().filter(|p| p.crowd.is_some()).count();
+        assert_eq!(crowd_members, 160);
+        // Crowd members are within radius of their crowd center.
+        for p in placed.placements.iter().filter(|p| p.crowd.is_some()) {
+            let (cf, cc) = placed.crowd_centers[p.crowd.unwrap()];
+            assert_eq!(p.floor, cf);
+            assert!(
+                p.point.dist(cc) <= 4.0 + 1e-9,
+                "crowd member {} too far from center {}",
+                p.point,
+                cc
+            );
+        }
+    }
+
+    #[test]
+    fn crowd_centers_prefer_attractive_partitions() {
+        let env = mall_env();
+        let mut rng = StdRng::seed_from_u64(17);
+        let dist =
+            InitialDistribution::CrowdOutliers { crowds: 4, crowd_fraction: 0.9, crowd_radius: 3.0 };
+        let placed = initial_positions(&env, dist, 100, &mut rng);
+        // In a mall every hot area should land in a shop/public partition.
+        for (f, c) in &placed.crowd_centers {
+            let pid = env.locate(*f, *c).expect("center indoors");
+            let sem = env.partition(pid).semantic;
+            assert!(
+                matches!(sem, Semantic::Shop | Semantic::PublicArea | Semantic::Waiting),
+                "hot area in {sem:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn outliers_exist_when_fraction_below_one() {
+        let env = mall_env();
+        let mut rng = StdRng::seed_from_u64(19);
+        let dist =
+            InitialDistribution::CrowdOutliers { crowds: 2, crowd_fraction: 0.7, crowd_radius: 3.0 };
+        let placed = initial_positions(&env, dist, 100, &mut rng);
+        let outliers = placed.placements.iter().filter(|p| p.crowd.is_none()).count();
+        assert_eq!(outliers, 30);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let env = mall_env();
+        let dist =
+            InitialDistribution::CrowdOutliers { crowds: 2, crowd_fraction: 0.5, crowd_radius: 5.0 };
+        let a = initial_positions(&env, dist, 50, &mut StdRng::seed_from_u64(7));
+        let b = initial_positions(&env, dist, 50, &mut StdRng::seed_from_u64(7));
+        for (x, y) in a.placements.iter().zip(&b.placements) {
+            assert!(x.point.approx_eq(y.point));
+            assert_eq!(x.floor, y.floor);
+            assert_eq!(x.crowd, y.crowd);
+        }
+    }
+
+    #[test]
+    fn point_in_partition_is_contained() {
+        let env = mall_env();
+        let mut rng = StdRng::seed_from_u64(23);
+        for pid in env.floor(FloorId(0)).partitions.iter().take(5) {
+            let p = point_in_partition(&env, *pid, &mut rng);
+            assert!(env.partition(*pid).polygon.contains(p));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Raw trajectory data: the ground-truth product of the Moving Object Layer.
+//!
+//! Record format per paper §4.2: "(o_id, loc, t), which denotes that an
+//! object identified by o_id was at location loc at time t". Because the
+//! generator preserves the underlying raw trajectory at fine granularity,
+//! this data serves as the "ground truth" for evaluating positioning output.
+
+use vita_geometry::Point;
+use vita_indoor::{BuildingId, FloorId, Loc, ObjectId, Timestamp};
+
+/// One raw trajectory sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectorySample {
+    pub object: ObjectId,
+    pub loc: Loc,
+    pub t: Timestamp,
+}
+
+impl TrajectorySample {
+    pub fn new(object: ObjectId, building: BuildingId, floor: FloorId, p: Point, t: Timestamp) -> Self {
+        TrajectorySample { object, loc: Loc::point(building, floor, p), t }
+    }
+
+    /// The sample's coordinate point (raw trajectories are always exact).
+    pub fn point(&self) -> Point {
+        self.loc.as_point().expect("raw trajectory samples are point locations")
+    }
+
+    pub fn floor(&self) -> FloorId {
+        self.loc.floor
+    }
+}
+
+/// All samples of one object, ordered by time.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    samples: Vec<TrajectorySample>,
+}
+
+impl Trajectory {
+    pub fn new(mut samples: Vec<TrajectorySample>) -> Self {
+        samples.sort_by_key(|s| s.t);
+        Trajectory { samples }
+    }
+
+    pub fn samples(&self) -> &[TrajectorySample] {
+        &self.samples
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn start_time(&self) -> Option<Timestamp> {
+        self.samples.first().map(|s| s.t)
+    }
+
+    pub fn end_time(&self) -> Option<Timestamp> {
+        self.samples.last().map(|s| s.t)
+    }
+
+    /// Total plan-view path length (metres), summing same-floor hops.
+    pub fn length(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .filter(|w| w[0].floor() == w[1].floor())
+            .map(|w| w[0].point().dist(w[1].point()))
+            .sum()
+    }
+
+    /// Ground-truth position at time `t` by linear interpolation between the
+    /// surrounding samples; `None` outside the trajectory's lifespan.
+    /// Interpolation across a floor change snaps to the later sample's
+    /// position (the object is in the stairwell; its plan-view position is
+    /// ambiguous).
+    pub fn position_at(&self, t: Timestamp) -> Option<(FloorId, Point)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let first = self.samples.first().unwrap();
+        let last = self.samples.last().unwrap();
+        if t < first.t || t > last.t {
+            return None;
+        }
+        // Binary search for the bracketing pair.
+        let idx = self.samples.partition_point(|s| s.t <= t);
+        if idx == 0 {
+            return Some((first.floor(), first.point()));
+        }
+        let a = &self.samples[idx - 1];
+        if idx >= self.samples.len() {
+            return Some((a.floor(), a.point()));
+        }
+        let b = &self.samples[idx];
+        if a.floor() != b.floor() {
+            return Some((b.floor(), b.point()));
+        }
+        let span = b.t.since(a.t) as f64;
+        let tt = if span <= 0.0 { 0.0 } else { t.since(a.t) as f64 / span };
+        Some((a.floor(), a.point().lerp(b.point(), tt)))
+    }
+}
+
+/// The trajectory store for a whole generation run: per-object trajectories
+/// plus a flat time-ordered view.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryStore {
+    per_object: Vec<(ObjectId, Trajectory)>,
+}
+
+impl TrajectoryStore {
+    pub fn from_parts(parts: Vec<(ObjectId, Trajectory)>) -> Self {
+        let mut parts = parts;
+        parts.sort_by_key(|(o, _)| *o);
+        TrajectoryStore { per_object: parts }
+    }
+
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.per_object.iter().map(|(o, _)| *o)
+    }
+
+    pub fn object_count(&self) -> usize {
+        self.per_object.len()
+    }
+
+    pub fn get(&self, o: ObjectId) -> Option<&Trajectory> {
+        self.per_object
+            .binary_search_by_key(&o, |(id, _)| *id)
+            .ok()
+            .map(|i| &self.per_object[i].1)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &Trajectory)> {
+        self.per_object.iter().map(|(o, t)| (o, t))
+    }
+
+    /// Total number of samples across all objects.
+    pub fn sample_count(&self) -> usize {
+        self.per_object.iter().map(|(_, t)| t.len()).sum()
+    }
+
+    /// All samples, time-ordered (the DBMS ingest order of §4.2).
+    pub fn all_samples_time_ordered(&self) -> Vec<TrajectorySample> {
+        let mut all: Vec<TrajectorySample> = self
+            .per_object
+            .iter()
+            .flat_map(|(_, t)| t.samples().iter().copied())
+            .collect();
+        all.sort_by_key(|s| (s.t, s.object));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(o: u32, f: u32, x: f64, t: u64) -> TrajectorySample {
+        TrajectorySample::new(
+            ObjectId(o),
+            BuildingId(0),
+            FloorId(f),
+            Point::new(x, 0.0),
+            Timestamp(t),
+        )
+    }
+
+    #[test]
+    fn trajectory_sorts_and_measures() {
+        let tr = Trajectory::new(vec![sample(0, 0, 2.0, 2000), sample(0, 0, 0.0, 0), sample(0, 0, 1.0, 1000)]);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.start_time(), Some(Timestamp(0)));
+        assert_eq!(tr.end_time(), Some(Timestamp(2000)));
+        assert!((tr.length() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let tr = Trajectory::new(vec![sample(0, 0, 0.0, 0), sample(0, 0, 10.0, 10_000)]);
+        let (f, p) = tr.position_at(Timestamp(2_500)).unwrap();
+        assert_eq!(f, FloorId(0));
+        assert!((p.x - 2.5).abs() < 1e-9);
+        assert!(tr.position_at(Timestamp(20_000)).is_none());
+        // Exact endpoints.
+        assert!((tr.position_at(Timestamp(0)).unwrap().1.x - 0.0).abs() < 1e-9);
+        assert!((tr.position_at(Timestamp(10_000)).unwrap().1.x - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_across_floor_change_snaps() {
+        let tr = Trajectory::new(vec![sample(0, 0, 0.0, 0), sample(0, 1, 5.0, 1000)]);
+        let (f, p) = tr.position_at(Timestamp(500)).unwrap();
+        assert_eq!(f, FloorId(1));
+        assert!((p.x - 5.0).abs() < 1e-9);
+        // Floor-change hop does not contribute to plan length.
+        assert_eq!(tr.length(), 0.0);
+    }
+
+    #[test]
+    fn store_lookup_and_ordering() {
+        let t0 = Trajectory::new(vec![sample(0, 0, 0.0, 500)]);
+        let t2 = Trajectory::new(vec![sample(2, 0, 1.0, 100), sample(2, 0, 2.0, 300)]);
+        let store = TrajectoryStore::from_parts(vec![(ObjectId(2), t2), (ObjectId(0), t0)]);
+        assert_eq!(store.object_count(), 2);
+        assert_eq!(store.sample_count(), 3);
+        assert_eq!(store.get(ObjectId(0)).unwrap().len(), 1);
+        assert!(store.get(ObjectId(1)).is_none());
+        let flat = store.all_samples_time_ordered();
+        assert_eq!(flat.len(), 3);
+        assert!(flat.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn empty_trajectory_behaviour() {
+        let tr = Trajectory::default();
+        assert!(tr.is_empty());
+        assert!(tr.position_at(Timestamp(0)).is_none());
+        assert_eq!(tr.length(), 0.0);
+        assert_eq!(tr.start_time(), None);
+    }
+}

@@ -1,0 +1,255 @@
+//! Accuracy evaluation against ground truth.
+//!
+//! This is the second purpose of the toolkit (paper §1): "It can provide the
+//! 'ground truth' for the mobility data generated ... to evaluate the
+//! models/algorithms being studied." The raw trajectory is preserved at fine
+//! granularity; this module compares positioning output against it.
+
+use vita_devices::DeviceRegistry;
+use vita_mobility::TrajectoryStore;
+
+use crate::output::{Fix, ProbFix, ProximityRecord};
+
+/// Summary statistics over positioning errors (metres).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    pub count: usize,
+    pub mean: f64,
+    pub median: f64,
+    pub p90: f64,
+    pub max: f64,
+    /// Fixes whose estimated floor differed from the true floor; these are
+    /// excluded from the metric distances above.
+    pub wrong_floor: usize,
+}
+
+impl ErrorStats {
+    pub fn from_errors(mut errors: Vec<f64>, wrong_floor: usize) -> Self {
+        if errors.is_empty() {
+            return ErrorStats {
+                count: 0,
+                mean: 0.0,
+                median: 0.0,
+                p90: 0.0,
+                max: 0.0,
+                wrong_floor,
+            };
+        }
+        errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let count = errors.len();
+        let mean = errors.iter().sum::<f64>() / count as f64;
+        let pct = |q: f64| -> f64 {
+            let ix = ((count as f64 - 1.0) * q).round() as usize;
+            errors[ix]
+        };
+        ErrorStats {
+            count,
+            mean,
+            median: pct(0.5),
+            p90: pct(0.9),
+            max: errors[count - 1],
+            wrong_floor,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2}m median={:.2}m p90={:.2}m max={:.2}m wrong-floor={}",
+            self.count, self.mean, self.median, self.p90, self.max, self.wrong_floor
+        )
+    }
+}
+
+/// Evaluate deterministic fixes against the ground-truth trajectories.
+pub fn evaluate_fixes(fixes: &[Fix], truth: &TrajectoryStore) -> ErrorStats {
+    let mut errors = Vec::with_capacity(fixes.len());
+    let mut wrong_floor = 0;
+    for f in fixes {
+        let Some(tr) = truth.get(f.object) else { continue };
+        let Some((true_floor, true_pos)) = tr.position_at(f.t) else { continue };
+        let Some(est) = f.loc.as_point() else { continue };
+        if f.loc.floor != true_floor {
+            wrong_floor += 1;
+            continue;
+        }
+        errors.push(est.dist(true_pos));
+    }
+    ErrorStats::from_errors(errors, wrong_floor)
+}
+
+/// Evaluate probabilistic fixes by their expected point (probability-weighted
+/// mean over candidates).
+pub fn evaluate_prob_fixes(fixes: &[ProbFix], truth: &TrajectoryStore) -> ErrorStats {
+    let mut errors = Vec::with_capacity(fixes.len());
+    let mut wrong_floor = 0;
+    for f in fixes {
+        let Some(tr) = truth.get(f.object) else { continue };
+        let Some((true_floor, true_pos)) = tr.position_at(f.t) else { continue };
+        let Some((est_floor, est)) = f.expected_point() else { continue };
+        if est_floor != true_floor {
+            wrong_floor += 1;
+            continue;
+        }
+        errors.push(est.dist(true_pos));
+    }
+    ErrorStats::from_errors(errors, wrong_floor)
+}
+
+/// Evaluate proximity records: the error of "object is collocated with
+/// device" sampled at the record midpoint. Bounded by the detection range by
+/// construction — the statistic of interest is how tight.
+pub fn evaluate_proximity(
+    records: &[ProximityRecord],
+    devices: &DeviceRegistry,
+    truth: &TrajectoryStore,
+) -> ErrorStats {
+    let mut errors = Vec::with_capacity(records.len());
+    let mut wrong_floor = 0;
+    for r in records {
+        let Some(dev) = devices.get(r.device) else { continue };
+        let Some(tr) = truth.get(r.object) else { continue };
+        let mid = vita_indoor::Timestamp((r.ts.0 + r.te.0) / 2);
+        let Some((true_floor, true_pos)) = tr.position_at(mid) else { continue };
+        if dev.floor != true_floor {
+            wrong_floor += 1;
+            continue;
+        }
+        errors.push(dev.position.dist(true_pos));
+    }
+    ErrorStats::from_errors(errors, wrong_floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_geometry::Point;
+    use vita_indoor::{BuildingId, FloorId, Loc, ObjectId, Timestamp};
+    use vita_mobility::{Trajectory, TrajectorySample, TrajectoryStore};
+
+    fn truth_line() -> TrajectoryStore {
+        // Object 0 walks x = t/1000 m on floor 0.
+        let samples: Vec<TrajectorySample> = (0..=10)
+            .map(|i| {
+                TrajectorySample::new(
+                    ObjectId(0),
+                    BuildingId(0),
+                    FloorId(0),
+                    Point::new(i as f64, 0.0),
+                    Timestamp(i * 1000),
+                )
+            })
+            .collect();
+        TrajectoryStore::from_parts(vec![(ObjectId(0), Trajectory::new(samples))])
+    }
+
+    fn fix(x: f64, y: f64, t: u64) -> Fix {
+        Fix {
+            object: ObjectId(0),
+            loc: Loc::point(BuildingId(0), FloorId(0), Point::new(x, y)),
+            t: Timestamp(t),
+        }
+    }
+
+    #[test]
+    fn error_stats_percentiles() {
+        let s = ErrorStats::from_errors(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0], 0);
+        assert_eq!(s.count, 10);
+        assert!((s.mean - 5.5).abs() < 1e-9);
+        assert!((s.median - 5.0).abs() < 1.01);
+        assert!((s.p90 - 9.0).abs() < 1.01);
+        assert_eq!(s.max, 10.0);
+        assert!(s.to_string().contains("n=10"));
+    }
+
+    #[test]
+    fn empty_errors() {
+        let s = ErrorStats::from_errors(vec![], 3);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.wrong_floor, 3);
+    }
+
+    #[test]
+    fn perfect_fixes_have_zero_error() {
+        let truth = truth_line();
+        let fixes: Vec<Fix> = (0..=10).map(|i| fix(i as f64, 0.0, i * 1000)).collect();
+        let s = evaluate_fixes(&fixes, &truth);
+        assert_eq!(s.count, 11);
+        assert!(s.mean < 1e-9);
+    }
+
+    #[test]
+    fn offset_fixes_measure_the_offset() {
+        let truth = truth_line();
+        let fixes: Vec<Fix> = (0..=10).map(|i| fix(i as f64, 3.0, i * 1000)).collect();
+        let s = evaluate_fixes(&fixes, &truth);
+        assert!((s.mean - 3.0).abs() < 1e-9);
+        assert!((s.max - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolated_truth_between_samples() {
+        let truth = truth_line();
+        // Fix at t=1500 where the true position is x=1.5.
+        let s = evaluate_fixes(&[fix(1.5, 0.0, 1500)], &truth);
+        assert_eq!(s.count, 1);
+        assert!(s.mean < 1e-9);
+    }
+
+    #[test]
+    fn wrong_floor_counted_not_measured() {
+        let truth = truth_line();
+        let mut f = fix(0.0, 0.0, 0);
+        f.loc.floor = FloorId(1);
+        let s = evaluate_fixes(&[f], &truth);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.wrong_floor, 1);
+    }
+
+    #[test]
+    fn fixes_outside_lifespan_skipped() {
+        let truth = truth_line();
+        let s = evaluate_fixes(&[fix(5.0, 0.0, 50_000)], &truth);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.wrong_floor, 0);
+    }
+
+    #[test]
+    fn prob_fix_expected_point_evaluated() {
+        let truth = truth_line();
+        let pf = ProbFix {
+            object: ObjectId(0),
+            candidates: vec![
+                (Loc::point(BuildingId(0), FloorId(0), Point::new(4.0, 0.0)), 0.5),
+                (Loc::point(BuildingId(0), FloorId(0), Point::new(6.0, 0.0)), 0.5),
+            ],
+            t: Timestamp(5000), // true x = 5
+        };
+        let s = evaluate_prob_fixes(&[pf], &truth);
+        assert_eq!(s.count, 1);
+        assert!(s.mean < 1e-9, "expected point should be exactly (5,0)");
+    }
+
+    #[test]
+    fn proximity_error_is_distance_to_device() {
+        use vita_devices::{DeviceSpec, DeviceType};
+        let truth = truth_line();
+        let mut reg = DeviceRegistry::new();
+        let did = reg.place(
+            DeviceSpec::default_for(DeviceType::Rfid),
+            FloorId(0),
+            Point::new(5.0, 2.0),
+        );
+        let rec = ProximityRecord {
+            object: ObjectId(0),
+            device: did,
+            ts: Timestamp(4000),
+            te: Timestamp(6000), // midpoint t=5000, true pos (5,0)
+        };
+        let s = evaluate_proximity(&[rec], &reg, &truth);
+        assert_eq!(s.count, 1);
+        assert!((s.mean - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,497 @@
+//! Fingerprinting (paper §3.3.2).
+//!
+//! "Fingerprinting associates RSSI fingerprints to locations. ... In the
+//! offline phase, a site-survey is required to collect the fingerprints for
+//! a set of reference locations. The collected data is stored in radio map
+//! as training data. When constructing a radio map, Vita first allows users
+//! to select a set of reference locations on a given floor. After that, Vita
+//! simulates some objects to collect the fingerprints at the selected
+//! reference locations ... in the online phase, users can employ various
+//! classification algorithms such as NaiveBayes or kNN to infer locations."
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vita_devices::DeviceRegistry;
+use vita_geometry::{count_crossings, Point};
+use vita_indoor::{
+    BuildingId, DeviceId, FloorId, Hz, IndoorEnvironment, Loc, ObjectId, Timestamp,
+};
+use vita_rssi::{PathLossModel, RssiStore};
+
+use crate::output::{Fix, ProbFix};
+
+/// RSSI value standing in for "device not heard" in fingerprint vectors.
+pub const NOT_HEARD_DBM: f64 = -100.0;
+
+/// One reference location's entry in the radio map.
+#[derive(Debug, Clone)]
+pub struct RadioMapEntry {
+    pub point: Point,
+    pub floor: FloorId,
+    /// Mean RSSI per device (aligned with [`RadioMap::devices`]);
+    /// [`NOT_HEARD_DBM`] when the device was out of range in the survey.
+    pub mean: Vec<f64>,
+    /// Per-device sample variance from the survey (noise floor applied).
+    pub var: Vec<f64>,
+}
+
+/// The radio map: the offline-phase product.
+#[derive(Debug, Clone)]
+pub struct RadioMap {
+    pub devices: Vec<DeviceId>,
+    pub entries: Vec<RadioMapEntry>,
+}
+
+impl RadioMap {
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Reference-location selection for the offline site survey.
+#[derive(Debug, Clone)]
+pub enum ReferenceSelection {
+    /// A square grid with the given spacing (metres) clipped to partitions.
+    Grid { spacing: f64 },
+    /// Explicit user-chosen points.
+    Points(Vec<(FloorId, Point)>),
+}
+
+/// Offline-phase configuration.
+#[derive(Debug, Clone)]
+pub struct SurveyConfig {
+    pub selection: ReferenceSelection,
+    /// Number of simulated measurements collected per (location, device).
+    pub samples_per_location: usize,
+    pub path_loss: PathLossModel,
+    pub seed: u64,
+}
+
+impl Default for SurveyConfig {
+    fn default() -> Self {
+        SurveyConfig {
+            selection: ReferenceSelection::Grid { spacing: 3.0 },
+            samples_per_location: 10,
+            path_loss: PathLossModel::default(),
+            seed: 0xF00D,
+        }
+    }
+}
+
+/// Build the radio map for `floor` by simulating the site survey.
+pub fn build_radio_map(
+    env: &IndoorEnvironment,
+    devices: &DeviceRegistry,
+    floor: FloorId,
+    cfg: &SurveyConfig,
+) -> RadioMap {
+    let device_ids: Vec<DeviceId> = devices.on_floor(floor).map(|d| d.id).collect();
+    let walls = env.walls_with_obstacles(floor);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let points: Vec<(FloorId, Point)> = match &cfg.selection {
+        ReferenceSelection::Points(ps) => {
+            ps.iter().filter(|(f, _)| *f == floor).copied().collect()
+        }
+        ReferenceSelection::Grid { spacing } => {
+            let mut ps = Vec::new();
+            let spacing = spacing.max(0.5);
+            for &pid in &env.floor(floor).partitions {
+                let poly = &env.partition(pid).polygon;
+                let bb = poly.bbox();
+                let mut y = bb.min.y + spacing / 2.0;
+                while y < bb.max.y {
+                    let mut x = bb.min.x + spacing / 2.0;
+                    while x < bb.max.x {
+                        let p = Point::new(x, y);
+                        if poly.contains(p) {
+                            ps.push((floor, p));
+                        }
+                        x += spacing;
+                    }
+                    y += spacing;
+                }
+            }
+            ps
+        }
+    };
+
+    let mut entries = Vec::with_capacity(points.len());
+    for (_, p) in points {
+        let mut mean = Vec::with_capacity(device_ids.len());
+        let mut var = Vec::with_capacity(device_ids.len());
+        for did in &device_ids {
+            let dev = devices.get(*did).expect("device exists");
+            let dist = dev.position.dist(p);
+            if dist > dev.spec.detection_range {
+                mean.push(NOT_HEARD_DBM);
+                var.push(4.0); // generic floor variance for unheard devices
+                continue;
+            }
+            let crossings = count_crossings(dev.position, p, &walls);
+            // Simulated survey: `samples_per_location` noisy readings.
+            let n = cfg.samples_per_location.max(1);
+            let samples: Vec<f64> = (0..n)
+                .map(|_| {
+                    cfg.path_loss.measure(dist, dev.spec.rssi_at_1m, crossings, 0.0, &mut rng)
+                })
+                .collect();
+            let m = samples.iter().sum::<f64>() / n as f64;
+            let v = samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / n as f64;
+            mean.push(m);
+            var.push(v.max(0.25)); // avoid zero variance in the Bayes term
+        }
+        entries.push(RadioMapEntry { point: p, floor, mean, var });
+    }
+
+    RadioMap { devices: device_ids, entries }
+}
+
+/// Online-phase configuration shared by both classifiers.
+#[derive(Debug, Clone, Copy)]
+pub struct FingerprintConfig {
+    /// Positioning sampling frequency (independent of trajectory sampling).
+    pub sampling_hz: Hz,
+    /// Aggregation window per estimation instant.
+    pub window_ms: u64,
+    /// k for the kNN classifier.
+    pub k: usize,
+    /// Number of candidates reported per probabilistic fix.
+    pub top_candidates: usize,
+}
+
+impl Default for FingerprintConfig {
+    fn default() -> Self {
+        FingerprintConfig { sampling_hz: Hz(0.5), window_ms: 3_000, k: 3, top_candidates: 5 }
+    }
+}
+
+/// Assemble the observed fingerprint vector for one object in one window.
+fn observed_vector(
+    map: &RadioMap,
+    window: &[vita_rssi::RssiMeasurement],
+    object: ObjectId,
+) -> (Vec<f64>, usize) {
+    let mut sums = vec![0.0f64; map.devices.len()];
+    let mut counts = vec![0usize; map.devices.len()];
+    for m in window.iter().filter(|m| m.object == object) {
+        if let Some(ix) = map.devices.iter().position(|d| *d == m.device) {
+            sums[ix] += m.rssi;
+            counts[ix] += 1;
+        }
+    }
+    let mut heard = 0;
+    let v: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, c)| {
+            if *c > 0 {
+                heard += 1;
+                s / *c as f64
+            } else {
+                NOT_HEARD_DBM
+            }
+        })
+        .collect();
+    (v, heard)
+}
+
+/// Deterministic kNN fingerprinting: fixes are the centroid of the k nearest
+/// radio-map entries in signal space.
+pub fn knn_fingerprint(
+    map: &RadioMap,
+    rssi: &RssiStore,
+    cfg: &FingerprintConfig,
+) -> Vec<Fix> {
+    run_windows(rssi, cfg, |object, window, t| {
+        let (obs, heard) = observed_vector(map, window, object);
+        if heard == 0 || map.is_empty() {
+            return None;
+        }
+        let mut scored: Vec<(usize, f64)> = map
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, signal_distance(&obs, &e.mean)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let k = cfg.k.max(1).min(scored.len());
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for (i, _) in &scored[..k] {
+            x += map.entries[*i].point.x;
+            y += map.entries[*i].point.y;
+        }
+        let floor = map.entries[scored[0].0].floor;
+        Some(Fix {
+            object,
+            loc: Loc::point(BuildingId(0), floor, Point::new(x / k as f64, y / k as f64)),
+            t,
+        })
+    })
+}
+
+/// Probabilistic Naive-Bayes fingerprinting: per-device Gaussian likelihoods
+/// over radio-map entries, normalized into `{(loc_i, prob_i)}`.
+pub fn naive_bayes_fingerprint(
+    map: &RadioMap,
+    rssi: &RssiStore,
+    cfg: &FingerprintConfig,
+) -> Vec<ProbFix> {
+    run_windows(rssi, cfg, |object, window, t| {
+        let (obs, heard) = observed_vector(map, window, object);
+        if heard == 0 || map.is_empty() {
+            return None;
+        }
+        // Log-likelihood per entry.
+        let mut lls: Vec<(usize, f64)> = map
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let mut ll = 0.0;
+                for ((o, m), v) in obs.iter().zip(&e.mean).zip(&e.var) {
+                    let var = v.max(0.25);
+                    let d = o - m;
+                    ll += -0.5 * (d * d / var + var.ln());
+                }
+                (i, ll)
+            })
+            .collect();
+        lls.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        lls.truncate(cfg.top_candidates.max(1));
+        // Softmax over the shortlist (log-sum-exp for stability).
+        let max_ll = lls[0].1;
+        let weights: Vec<f64> = lls.iter().map(|(_, ll)| (ll - max_ll).exp()).collect();
+        let wsum: f64 = weights.iter().sum();
+        let candidates: Vec<(Loc, f64)> = lls
+            .iter()
+            .zip(&weights)
+            .map(|((i, _), w)| {
+                let e = &map.entries[*i];
+                (Loc::point(BuildingId(0), e.floor, e.point), w / wsum)
+            })
+            .collect();
+        Some(ProbFix { object, candidates, t })
+    })
+}
+
+fn signal_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Drive per-object estimation over the positioning sampling grid.
+fn run_windows<T, F>(rssi: &RssiStore, cfg: &FingerprintConfig, mut f: F) -> Vec<T>
+where
+    F: FnMut(ObjectId, &[vita_rssi::RssiMeasurement], Timestamp) -> Option<T>,
+{
+    let mut out = Vec::new();
+    let Some((t0, t1)) = rssi.time_range() else {
+        return out;
+    };
+    let period = cfg.sampling_hz.period_ms();
+    if period == u64::MAX {
+        return out;
+    }
+    let mut t = t0;
+    while t <= t1 {
+        let from = Timestamp(t.0.saturating_sub(cfg.window_ms));
+        let window = rssi.window(from, t.advance(1));
+        let mut objects: Vec<ObjectId> = window.iter().map(|m| m.object).collect();
+        objects.sort_unstable();
+        objects.dedup();
+        for object in objects {
+            if let Some(v) = f(object, window, t) {
+                out.push(v);
+            }
+        }
+        t = t.advance(period);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_dbi::{office, SynthParams};
+    use vita_devices::{deploy, DeploymentModel, DeviceSpec, DeviceType};
+    use vita_indoor::{build_environment, BuildParams};
+    use vita_rssi::{NoiseModel, RssiMeasurement};
+
+    fn setup() -> (IndoorEnvironment, DeviceRegistry) {
+        let model = office(&SynthParams::with_floors(1));
+        let env = build_environment(&model, &BuildParams::default()).unwrap().env;
+        let mut reg = DeviceRegistry::new();
+        deploy(
+            &env,
+            &mut reg,
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            10,
+        );
+        (env, reg)
+    }
+
+    fn survey(env: &IndoorEnvironment, reg: &DeviceRegistry) -> RadioMap {
+        build_radio_map(
+            env,
+            reg,
+            FloorId(0),
+            &SurveyConfig {
+                selection: ReferenceSelection::Grid { spacing: 3.0 },
+                samples_per_location: 8,
+                path_loss: PathLossModel { fluctuation: NoiseModel::Gaussian { sigma: 1.0 }, ..Default::default() },
+                seed: 1,
+            },
+        )
+    }
+
+    /// Synthesize window RSSI for a static object at `p`.
+    fn rssi_at(
+        env: &IndoorEnvironment,
+        reg: &DeviceRegistry,
+        p: Point,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> RssiStore {
+        let model = PathLossModel { fluctuation: noise, ..Default::default() };
+        let walls = env.walls_with_obstacles(FloorId(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ms = Vec::new();
+        for t in (0..6000).step_by(1000) {
+            for dev in reg.on_floor(FloorId(0)) {
+                let d = dev.position.dist(p);
+                if d > dev.spec.detection_range {
+                    continue;
+                }
+                let crossings = count_crossings(dev.position, p, &walls);
+                ms.push(RssiMeasurement {
+                    object: ObjectId(0),
+                    device: dev.id,
+                    rssi: model.measure(d, dev.spec.rssi_at_1m, crossings, 0.0, &mut rng),
+                    t: Timestamp(t),
+                });
+            }
+        }
+        RssiStore::new(ms)
+    }
+
+    #[test]
+    fn radio_map_covers_all_partitions() {
+        let (env, reg) = setup();
+        let map = survey(&env, &reg);
+        assert!(map.len() > 30, "radio map too sparse: {}", map.len());
+        assert_eq!(map.devices.len(), 10);
+        // Every entry is indoors and has aligned vectors.
+        for e in &map.entries {
+            assert!(env.locate(e.floor, e.point).is_some());
+            assert_eq!(e.mean.len(), map.devices.len());
+            assert_eq!(e.var.len(), map.devices.len());
+        }
+    }
+
+    #[test]
+    fn knn_localizes_static_object() {
+        let (env, reg) = setup();
+        let map = survey(&env, &reg);
+        let target = Point::new(20.0, 12.0); // mid-corridor
+        let store = rssi_at(&env, &reg, target, NoiseModel::Gaussian { sigma: 1.0 }, 7);
+        let cfg = FingerprintConfig { sampling_hz: Hz(1.0), window_ms: 3000, k: 3, top_candidates: 5 };
+        let fixes = knn_fingerprint(&map, &store, &cfg);
+        assert!(!fixes.is_empty());
+        for f in &fixes {
+            let err = f.loc.as_point().unwrap().dist(target);
+            assert!(err < 6.0, "kNN error {err} m");
+        }
+    }
+
+    #[test]
+    fn naive_bayes_probabilities_are_normalized_and_ranked() {
+        let (env, reg) = setup();
+        let map = survey(&env, &reg);
+        let target = Point::new(8.0, 3.0); // inside an office
+        let store = rssi_at(&env, &reg, target, NoiseModel::Gaussian { sigma: 1.0 }, 9);
+        let cfg = FingerprintConfig::default();
+        let fixes = naive_bayes_fingerprint(&map, &store, &cfg);
+        assert!(!fixes.is_empty());
+        for pf in &fixes {
+            let sum: f64 = pf.candidates.iter().map(|(_, p)| p).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "probabilities sum to {sum}");
+            // Sorted descending.
+            for w in pf.candidates.windows(2) {
+                assert!(w[0].1 >= w[1].1 - 1e-12);
+            }
+            // MAP candidate lands near the target.
+            let map_pt = pf.map_estimate().unwrap().0.as_point().unwrap();
+            assert!(map_pt.dist(target) < 7.0, "MAP error {}", map_pt.dist(target));
+        }
+    }
+
+    #[test]
+    fn explicit_reference_points_are_respected() {
+        let (env, reg) = setup();
+        let pts = vec![
+            (FloorId(0), Point::new(3.0, 3.0)),
+            (FloorId(0), Point::new(21.0, 12.0)),
+            (FloorId(0), Point::new(39.0, 3.0)),
+        ];
+        let map = build_radio_map(
+            &env,
+            &reg,
+            FloorId(0),
+            &SurveyConfig {
+                selection: ReferenceSelection::Points(pts.clone()),
+                ..Default::default()
+            },
+        );
+        assert_eq!(map.len(), 3);
+        for (e, (_, p)) in map.entries.iter().zip(&pts) {
+            assert!(e.point.approx_eq(*p));
+        }
+    }
+
+    #[test]
+    fn no_measurements_no_fixes() {
+        let (env, reg) = setup();
+        let map = survey(&env, &reg);
+        let empty = RssiStore::default();
+        assert!(knn_fingerprint(&map, &empty, &FingerprintConfig::default()).is_empty());
+        assert!(naive_bayes_fingerprint(&map, &empty, &FingerprintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn unheard_devices_use_sentinel() {
+        let (env, reg) = setup();
+        let map = survey(&env, &reg);
+        // Some entry must be out of range of at least one device.
+        let any_unheard = map
+            .entries
+            .iter()
+            .any(|e| e.mean.contains(&NOT_HEARD_DBM));
+        assert!(any_unheard, "expected some unheard device entries");
+    }
+
+    #[test]
+    fn grid_spacing_controls_density() {
+        let (env, reg) = setup();
+        let coarse = build_radio_map(
+            &env,
+            &reg,
+            FloorId(0),
+            &SurveyConfig { selection: ReferenceSelection::Grid { spacing: 6.0 }, ..Default::default() },
+        );
+        let fine = build_radio_map(
+            &env,
+            &reg,
+            FloorId(0),
+            &SurveyConfig { selection: ReferenceSelection::Grid { spacing: 2.0 }, ..Default::default() },
+        );
+        assert!(fine.len() > 3 * coarse.len());
+    }
+}

@@ -1,0 +1,168 @@
+//! Positioning data formats (paper §4.2).
+//!
+//! "Trilateration and deterministic fingerprinting directly produce output
+//! as (o_id, loc, t) ... Probabilistic algorithms estimate one object's
+//! location with a set of samples, each containing a location loc and a
+//! probability prob. Thus, it is given as (o_id, {(loc_i, prob_i)}, t).
+//! Data generated for proximity is very different ... A record
+//! (o_id, d_id, ts, te) indicates that object o_id was detected by a
+//! positioning device d_id from time ts to te."
+
+use vita_indoor::{DeviceId, Loc, ObjectId, Timestamp};
+
+/// A deterministic positioning fix: `(o_id, loc, t)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fix {
+    pub object: ObjectId,
+    pub loc: Loc,
+    pub t: Timestamp,
+}
+
+/// A probabilistic fix: `(o_id, {(loc_i, prob_i)}, t)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbFix {
+    pub object: ObjectId,
+    /// Candidate locations with probabilities (sorted descending, sum ≈ 1).
+    pub candidates: Vec<(Loc, f64)>,
+    pub t: Timestamp,
+}
+
+impl ProbFix {
+    /// Maximum-a-posteriori candidate.
+    pub fn map_estimate(&self) -> Option<&(Loc, f64)> {
+        self.candidates.first()
+    }
+
+    /// Probability-weighted mean point (when all candidates are points on
+    /// one floor); falls back to the MAP estimate's point otherwise.
+    pub fn expected_point(&self) -> Option<(vita_indoor::FloorId, vita_geometry::Point)> {
+        let first = self.candidates.first()?;
+        let floor = first.0.floor;
+        if self.candidates.iter().all(|(l, _)| l.floor == floor && l.as_point().is_some()) {
+            let wsum: f64 = self.candidates.iter().map(|(_, p)| *p).sum();
+            if wsum > 0.0 {
+                let mut x = 0.0;
+                let mut y = 0.0;
+                for (l, p) in &self.candidates {
+                    let pt = l.as_point().unwrap();
+                    x += pt.x * p;
+                    y += pt.y * p;
+                }
+                return Some((floor, vita_geometry::Point::new(x / wsum, y / wsum)));
+            }
+        }
+        first.0.as_point().map(|p| (floor, p))
+    }
+}
+
+/// A proximity detection period: `(o_id, d_id, ts, te)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProximityRecord {
+    pub object: ObjectId,
+    pub device: DeviceId,
+    pub ts: Timestamp,
+    pub te: Timestamp,
+}
+
+impl ProximityRecord {
+    pub fn duration_ms(&self) -> u64 {
+        self.te.since(self.ts)
+    }
+
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.ts && t <= self.te
+    }
+}
+
+/// The positioning data produced by one run of the Positioning Method
+/// Controller — exactly one variant per configured method.
+#[derive(Debug, Clone)]
+pub enum PositioningData {
+    /// Trilateration or deterministic fingerprinting.
+    Deterministic(Vec<Fix>),
+    /// Probabilistic fingerprinting.
+    Probabilistic(Vec<ProbFix>),
+    /// Proximity.
+    Proximity(Vec<ProximityRecord>),
+}
+
+impl PositioningData {
+    pub fn len(&self) -> usize {
+        match self {
+            PositioningData::Deterministic(v) => v.len(),
+            PositioningData::Probabilistic(v) => v.len(),
+            PositioningData::Proximity(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PositioningData::Deterministic(_) => "deterministic",
+            PositioningData::Probabilistic(_) => "probabilistic",
+            PositioningData::Proximity(_) => "proximity",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_geometry::Point;
+    use vita_indoor::{BuildingId, FloorId};
+
+    fn loc(x: f64, y: f64) -> Loc {
+        Loc::point(BuildingId(0), FloorId(0), Point::new(x, y))
+    }
+
+    #[test]
+    fn probfix_map_and_expectation() {
+        let pf = ProbFix {
+            object: ObjectId(0),
+            candidates: vec![(loc(0.0, 0.0), 0.75), (loc(4.0, 0.0), 0.25)],
+            t: Timestamp(0),
+        };
+        assert_eq!(pf.map_estimate().unwrap().1, 0.75);
+        let (_, p) = pf.expected_point().unwrap();
+        assert!((p.x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probfix_mixed_floor_falls_back_to_map() {
+        let mut c2 = loc(4.0, 0.0);
+        c2.floor = FloorId(1);
+        let pf = ProbFix {
+            object: ObjectId(0),
+            candidates: vec![(loc(1.0, 1.0), 0.6), (c2, 0.4)],
+            t: Timestamp(0),
+        };
+        let (f, p) = pf.expected_point().unwrap();
+        assert_eq!(f, FloorId(0));
+        assert!(p.approx_eq(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn proximity_record_duration_and_contains() {
+        let r = ProximityRecord {
+            object: ObjectId(1),
+            device: DeviceId(2),
+            ts: Timestamp(1000),
+            te: Timestamp(4000),
+        };
+        assert_eq!(r.duration_ms(), 3000);
+        assert!(r.contains(Timestamp(1000)));
+        assert!(r.contains(Timestamp(2500)));
+        assert!(!r.contains(Timestamp(4001)));
+    }
+
+    #[test]
+    fn positioning_data_kinds() {
+        assert_eq!(PositioningData::Deterministic(vec![]).kind(), "deterministic");
+        assert_eq!(PositioningData::Probabilistic(vec![]).kind(), "probabilistic");
+        assert_eq!(PositioningData::Proximity(vec![]).kind(), "proximity");
+        assert!(PositioningData::Deterministic(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! The Positioning Method Controller (PMC, paper §2).
+//!
+//! "The Positioning Method Controller reads objects' raw RSSI data and
+//! estimates the locations according to the chosen positioning method and
+//! relevant configuration. Note that another sampling frequency can be
+//! specified in PMC for generating the positioning data. This is different
+//! from the one for generating the trajectory data."
+//!
+//! The controller also enforces the device/method compatibility matrix of
+//! paper §5 ("all three methods can be applied to Wi-Fi devices, whereas
+//! fingerprinting currently does not apply to RFID and Bluetooth devices").
+
+use vita_devices::{DeviceRegistry, DeviceType};
+use vita_indoor::{FloorId, IndoorEnvironment};
+use vita_rssi::{PathLossModel, RssiStore};
+
+use crate::fingerprint::{
+    build_radio_map, knn_fingerprint, naive_bayes_fingerprint, FingerprintConfig, SurveyConfig,
+};
+use crate::output::PositioningData;
+use crate::proximity::{proximity_records, ProximityConfig};
+use crate::trilateration::{default_conversion, trilaterate, TrilaterationConfig};
+
+/// Which positioning method the PMC runs, with its configuration.
+#[derive(Debug, Clone)]
+pub enum MethodConfig {
+    Trilateration {
+        config: TrilaterationConfig,
+        /// Model whose inversion is the default RSSI→distance conversion.
+        conversion_model: PathLossModel,
+    },
+    FingerprintingKnn {
+        survey: SurveyConfig,
+        online: FingerprintConfig,
+        /// Floor the radio map is built for.
+        floor: FloorId,
+    },
+    FingerprintingBayes {
+        survey: SurveyConfig,
+        online: FingerprintConfig,
+        floor: FloorId,
+    },
+    Proximity(ProximityConfig),
+}
+
+impl MethodConfig {
+    pub fn method_name(&self) -> &'static str {
+        match self {
+            MethodConfig::Trilateration { .. } => "trilateration",
+            MethodConfig::FingerprintingKnn { .. } => "fingerprinting-knn",
+            MethodConfig::FingerprintingBayes { .. } => "fingerprinting-bayes",
+            MethodConfig::Proximity(_) => "proximity",
+        }
+    }
+
+    /// Does this method apply to the given device technology (paper §5)?
+    pub fn supports(&self, t: DeviceType) -> bool {
+        match self {
+            MethodConfig::Trilateration { .. } => t.supports_trilateration(),
+            MethodConfig::FingerprintingKnn { .. } | MethodConfig::FingerprintingBayes { .. } => {
+                t.supports_fingerprinting()
+            }
+            MethodConfig::Proximity(_) => t.supports_proximity(),
+        }
+    }
+}
+
+/// PMC errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmcError {
+    /// The configured method does not apply to a deployed device type.
+    IncompatibleDevices { method: &'static str, device_type: &'static str },
+    /// No devices are deployed.
+    NoDevices,
+}
+
+impl std::fmt::Display for PmcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmcError::IncompatibleDevices { method, device_type } => {
+                write!(f, "method '{method}' does not apply to {device_type} devices")
+            }
+            PmcError::NoDevices => write!(f, "no positioning devices deployed"),
+        }
+    }
+}
+
+impl std::error::Error for PmcError {}
+
+/// Run the configured positioning method over raw RSSI data.
+pub fn run_positioning(
+    env: &IndoorEnvironment,
+    devices: &DeviceRegistry,
+    rssi: &RssiStore,
+    method: &MethodConfig,
+) -> Result<PositioningData, PmcError> {
+    if devices.is_empty() {
+        return Err(PmcError::NoDevices);
+    }
+    // Compatibility: every deployed device type must support the method.
+    for t in DeviceType::ALL {
+        if devices.of_type(t).next().is_some() && !method.supports(t) {
+            return Err(PmcError::IncompatibleDevices {
+                method: method.method_name(),
+                device_type: t.name(),
+            });
+        }
+    }
+
+    Ok(match method {
+        MethodConfig::Trilateration { config, conversion_model } => {
+            let conv = default_conversion(*conversion_model);
+            PositioningData::Deterministic(trilaterate(devices, rssi, config, &conv))
+        }
+        MethodConfig::FingerprintingKnn { survey, online, floor } => {
+            let map = build_radio_map(env, devices, *floor, survey);
+            PositioningData::Deterministic(knn_fingerprint(&map, rssi, online))
+        }
+        MethodConfig::FingerprintingBayes { survey, online, floor } => {
+            let map = build_radio_map(env, devices, *floor, survey);
+            PositioningData::Probabilistic(naive_bayes_fingerprint(&map, rssi, online))
+        }
+        MethodConfig::Proximity(cfg) => {
+            PositioningData::Proximity(proximity_records(devices, rssi, cfg))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_dbi::{office, SynthParams};
+    use vita_devices::{deploy, DeploymentModel, DeviceSpec};
+    use vita_indoor::{build_environment, BuildParams, Timestamp};
+    use vita_mobility::{generate, LifespanConfig, MobilityConfig};
+    use vita_rssi::{generate_rssi, RssiConfig};
+
+    fn pipeline(device_type: DeviceType) -> (IndoorEnvironment, DeviceRegistry, RssiStore) {
+        let model = office(&SynthParams::with_floors(1));
+        let env = build_environment(&model, &BuildParams::default()).unwrap().env;
+        let mut reg = DeviceRegistry::new();
+        deploy(
+            &env,
+            &mut reg,
+            DeviceSpec::default_for(device_type),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            10,
+        );
+        let mob = MobilityConfig {
+            object_count: 5,
+            duration: Timestamp(60_000),
+            lifespan: LifespanConfig { min: Timestamp(60_000), max: Timestamp(60_000) },
+            seed: 3,
+            ..Default::default()
+        };
+        let res = generate(&env, &mob).unwrap();
+        let rssi = generate_rssi(
+            &env,
+            &reg,
+            &res.trajectories,
+            &RssiConfig { duration: Timestamp(60_000), ..Default::default() },
+        );
+        (env, reg, rssi)
+    }
+
+    #[test]
+    fn wifi_supports_all_methods() {
+        let (env, reg, rssi) = pipeline(DeviceType::WiFi);
+        let methods: Vec<MethodConfig> = vec![
+            MethodConfig::Trilateration {
+                config: TrilaterationConfig::default(),
+                conversion_model: PathLossModel::default(),
+            },
+            MethodConfig::FingerprintingKnn {
+                survey: SurveyConfig::default(),
+                online: FingerprintConfig::default(),
+                floor: FloorId(0),
+            },
+            MethodConfig::FingerprintingBayes {
+                survey: SurveyConfig::default(),
+                online: FingerprintConfig::default(),
+                floor: FloorId(0),
+            },
+            MethodConfig::Proximity(ProximityConfig::default()),
+        ];
+        for m in methods {
+            let out = run_positioning(&env, &reg, &rssi, &m)
+                .unwrap_or_else(|e| panic!("{}: {e}", m.method_name()));
+            assert!(!out.is_empty(), "{} produced no data", m.method_name());
+        }
+    }
+
+    #[test]
+    fn fingerprinting_rejected_for_bluetooth_and_rfid() {
+        for t in [DeviceType::Bluetooth, DeviceType::Rfid] {
+            let (env, reg, rssi) = pipeline(t);
+            let m = MethodConfig::FingerprintingKnn {
+                survey: SurveyConfig::default(),
+                online: FingerprintConfig::default(),
+                floor: FloorId(0),
+            };
+            let err = run_positioning(&env, &reg, &rssi, &m).unwrap_err();
+            assert!(matches!(err, PmcError::IncompatibleDevices { .. }), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn trilateration_rejected_for_rfid() {
+        let (env, reg, rssi) = pipeline(DeviceType::Rfid);
+        let m = MethodConfig::Trilateration {
+            config: TrilaterationConfig::default(),
+            conversion_model: PathLossModel::default(),
+        };
+        assert!(matches!(
+            run_positioning(&env, &reg, &rssi, &m),
+            Err(PmcError::IncompatibleDevices { .. })
+        ));
+    }
+
+    #[test]
+    fn demo_combos_from_paper_section5() {
+        // "RFID + proximity, Bluetooth + trilateration, Wi-Fi + fingerprinting"
+        let (env, reg, rssi) = pipeline(DeviceType::Rfid);
+        assert!(run_positioning(
+            &env,
+            &reg,
+            &rssi,
+            &MethodConfig::Proximity(ProximityConfig::default())
+        )
+        .is_ok());
+
+        let (env, reg, rssi) = pipeline(DeviceType::Bluetooth);
+        assert!(run_positioning(
+            &env,
+            &reg,
+            &rssi,
+            &MethodConfig::Trilateration {
+                config: TrilaterationConfig::default(),
+                conversion_model: PathLossModel::default(),
+            }
+        )
+        .is_ok());
+
+        let (env, reg, rssi) = pipeline(DeviceType::WiFi);
+        assert!(run_positioning(
+            &env,
+            &reg,
+            &rssi,
+            &MethodConfig::FingerprintingBayes {
+                survey: SurveyConfig::default(),
+                online: FingerprintConfig::default(),
+                floor: FloorId(0),
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn empty_registry_is_error() {
+        let (env, _, rssi) = pipeline(DeviceType::WiFi);
+        let empty = DeviceRegistry::new();
+        assert_eq!(
+            run_positioning(
+                &env,
+                &empty,
+                &rssi,
+                &MethodConfig::Proximity(ProximityConfig::default())
+            )
+            .unwrap_err(),
+            PmcError::NoDevices
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Proximity positioning (paper §3.3.3).
+//!
+//! "Proximity estimates symbolic relative locations for moving objects.
+//! Specifically, if an object is detected by a positioning device, it is
+//! considered to be collocated with that device for the detection period. We
+//! use a thresholding method to determine the detection period for a given
+//! pair of object and device. If the RSSI measurements for the object cannot
+//! be found over the time of the device's one detection operation, we
+//! consider it has left the device's detection range, and the detection
+//! period is thus complete."
+
+use std::collections::BTreeMap;
+
+use vita_devices::DeviceRegistry;
+use vita_indoor::{DeviceId, ObjectId, Timestamp};
+use vita_rssi::RssiStore;
+
+use crate::output::ProximityRecord;
+
+/// Proximity configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProximityConfig {
+    /// Optional RSSI threshold: measurements weaker than this are treated as
+    /// non-detections (None accepts every in-range measurement). This is the
+    /// "thresholding" knob.
+    pub rssi_threshold_dbm: Option<f64>,
+    /// Grace factor on the device detection period: a gap longer than
+    /// `grace × period` closes the detection period. 1.0 is the paper's
+    /// "one detection operation"; slightly above 1 tolerates jitter.
+    pub gap_grace: f64,
+}
+
+impl Default for ProximityConfig {
+    fn default() -> Self {
+        ProximityConfig { rssi_threshold_dbm: None, gap_grace: 1.5 }
+    }
+}
+
+/// Derive proximity detection periods from raw RSSI data.
+///
+/// Proximity "does not require any extra configurations since the
+/// positioning device's detection range and frequency are already configured
+/// in the infrastructure layer" (paper §2) — the device registry carries
+/// both.
+pub fn proximity_records(
+    devices: &DeviceRegistry,
+    rssi: &RssiStore,
+    cfg: &ProximityConfig,
+) -> Vec<ProximityRecord> {
+    // Gather measurement times per (object, device) pair.
+    let mut times: BTreeMap<(ObjectId, DeviceId), Vec<Timestamp>> = BTreeMap::new();
+    for m in rssi.all() {
+        if let Some(th) = cfg.rssi_threshold_dbm {
+            if m.rssi < th {
+                continue;
+            }
+        }
+        times.entry((m.object, m.device)).or_default().push(m.t);
+    }
+
+    let mut records = Vec::new();
+    for ((object, device), ts) in times {
+        let Some(dev) = devices.get(device) else { continue };
+        let period = dev.spec.detection_hz.period_ms();
+        if period == u64::MAX {
+            continue;
+        }
+        let max_gap = ((period as f64) * cfg.gap_grace.max(1.0)).ceil() as u64;
+        // ts is sorted (store order is by time).
+        let mut start = ts[0];
+        let mut last = ts[0];
+        for &t in &ts[1..] {
+            if t.since(last) > max_gap {
+                records.push(ProximityRecord { object, device, ts: start, te: last });
+                start = t;
+            }
+            last = t;
+        }
+        records.push(ProximityRecord { object, device, ts: start, te: last });
+    }
+    records.sort_by_key(|r| (r.ts, r.object, r.device));
+    records
+}
+
+/// For symbolic analytics: the device each object is collocated with at a
+/// time instant (the longest-running open record wins ties).
+pub fn device_at(
+    records: &[ProximityRecord],
+    object: ObjectId,
+    t: Timestamp,
+) -> Option<DeviceId> {
+    records
+        .iter()
+        .filter(|r| r.object == object && r.contains(t))
+        .max_by_key(|r| r.duration_ms())
+        .map(|r| r.device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_devices::{DeviceSpec, DeviceType};
+    use vita_geometry::Point;
+    use vita_indoor::{FloorId, Hz};
+    use vita_rssi::RssiMeasurement;
+
+    fn registry_with_one(hz: f64) -> (DeviceRegistry, DeviceId) {
+        let mut reg = DeviceRegistry::new();
+        let spec = DeviceSpec {
+            detection_hz: Hz(hz),
+            ..DeviceSpec::default_for(DeviceType::Rfid)
+        };
+        let id = reg.place(spec, FloorId(0), Point::new(0.0, 0.0));
+        (reg, id)
+    }
+
+    fn meas(o: u32, d: DeviceId, t: u64, rssi: f64) -> RssiMeasurement {
+        RssiMeasurement { object: ObjectId(o), device: d, rssi, t: Timestamp(t) }
+    }
+
+    #[test]
+    fn contiguous_measurements_form_one_period() {
+        let (reg, d) = registry_with_one(1.0); // 1000 ms period
+        let store = RssiStore::new(vec![
+            meas(0, d, 0, -50.0),
+            meas(0, d, 1000, -51.0),
+            meas(0, d, 2000, -52.0),
+        ]);
+        let recs = proximity_records(&reg, &store, &ProximityConfig::default());
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].ts, Timestamp(0));
+        assert_eq!(recs[0].te, Timestamp(2000));
+        assert_eq!(recs[0].duration_ms(), 2000);
+    }
+
+    #[test]
+    fn gap_longer_than_detection_operation_splits_periods() {
+        let (reg, d) = registry_with_one(1.0);
+        let store = RssiStore::new(vec![
+            meas(0, d, 0, -50.0),
+            meas(0, d, 1000, -50.0),
+            // 5 s gap >> 1.5 × 1000 ms → period closes.
+            meas(0, d, 6000, -50.0),
+            meas(0, d, 7000, -50.0),
+        ]);
+        let recs = proximity_records(&reg, &store, &ProximityConfig::default());
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].te, Timestamp(1000));
+        assert_eq!(recs[1].ts, Timestamp(6000));
+    }
+
+    #[test]
+    fn rssi_threshold_filters_weak_detections() {
+        let (reg, d) = registry_with_one(1.0);
+        let store = RssiStore::new(vec![
+            meas(0, d, 0, -80.0),
+            meas(0, d, 1000, -50.0),
+            meas(0, d, 2000, -85.0),
+        ]);
+        let cfg = ProximityConfig { rssi_threshold_dbm: Some(-60.0), ..Default::default() };
+        let recs = proximity_records(&reg, &store, &cfg);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].ts, Timestamp(1000));
+        assert_eq!(recs[0].te, Timestamp(1000));
+    }
+
+    #[test]
+    fn separate_pairs_get_separate_records() {
+        let mut reg = DeviceRegistry::new();
+        let spec = DeviceSpec::default_for(DeviceType::Rfid);
+        let d0 = reg.place(spec, FloorId(0), Point::new(0.0, 0.0));
+        let d1 = reg.place(spec, FloorId(0), Point::new(10.0, 0.0));
+        let store = RssiStore::new(vec![
+            meas(0, d0, 0, -50.0),
+            meas(1, d0, 0, -50.0),
+            meas(0, d1, 0, -50.0),
+        ]);
+        let recs = proximity_records(&reg, &store, &ProximityConfig::default());
+        assert_eq!(recs.len(), 3);
+    }
+
+    #[test]
+    fn device_at_returns_collocation() {
+        let (reg, d) = registry_with_one(1.0);
+        let store = RssiStore::new(vec![meas(0, d, 0, -50.0), meas(0, d, 1000, -50.0)]);
+        let recs = proximity_records(&reg, &store, &ProximityConfig::default());
+        assert_eq!(device_at(&recs, ObjectId(0), Timestamp(500)), Some(d));
+        assert_eq!(device_at(&recs, ObjectId(0), Timestamp(9000)), None);
+        assert_eq!(device_at(&recs, ObjectId(5), Timestamp(500)), None);
+    }
+
+    #[test]
+    fn single_measurement_is_a_point_period() {
+        let (reg, d) = registry_with_one(2.0);
+        let store = RssiStore::new(vec![meas(0, d, 42, -50.0)]);
+        let recs = proximity_records(&reg, &store, &ProximityConfig::default());
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].ts, recs[0].te);
+        assert_eq!(recs[0].duration_ms(), 0);
+    }
+
+    #[test]
+    fn faster_detection_frequency_closes_gaps_sooner() {
+        // Same gap, two frequencies: 4 Hz (250 ms period) splits, 0.2 Hz
+        // (5000 ms period) does not.
+        let gap_measurements = |d: DeviceId| {
+            vec![meas(0, d, 0, -50.0), meas(0, d, 1000, -50.0)]
+        };
+        let (reg_fast, df) = registry_with_one(4.0);
+        let recs = proximity_records(
+            &reg_fast,
+            &RssiStore::new(gap_measurements(df)),
+            &ProximityConfig::default(),
+        );
+        assert_eq!(recs.len(), 2, "fast reader should split on a 1 s gap");
+
+        let (reg_slow, ds) = registry_with_one(0.2);
+        let recs = proximity_records(
+            &reg_slow,
+            &RssiStore::new(gap_measurements(ds)),
+            &ProximityConfig::default(),
+        );
+        assert_eq!(recs.len(), 1, "slow reader keeps the period open");
+    }
+}

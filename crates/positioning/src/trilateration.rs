@@ -1,0 +1,352 @@
+//! Trilateration (paper §3.3.1).
+//!
+//! "Trilateration infers deterministic locations from the intersection of at
+//! least three circles. The key is to convert an RSSI measurement to the
+//! distance between a positioning device and an object. To this end, we
+//! allow users to define their own RSSI conversion functions that derive the
+//! distances from the noisy RSSI measurements. A default function is also
+//! provided."
+//!
+//! The circle intersection is solved in least squares: with devices
+//! `(x_i, y_i)` and estimated ranges `r_i`, subtracting the last circle
+//! equation from the others yields a linear system in `(x, y)` solved by
+//! 2×2 normal equations.
+
+use vita_devices::DeviceRegistry;
+use vita_geometry::Point;
+use vita_indoor::{BuildingId, DeviceId, FloorId, Hz, Loc, Timestamp};
+use vita_rssi::{PathLossModel, RssiStore};
+
+use crate::output::Fix;
+
+/// An RSSI→distance conversion function. Users may supply any closure; the
+/// default inverts the path-loss model's distance term (paper: "A default
+/// function is also provided in case a user does not know how to configure
+/// the details").
+pub type RssiToDistance<'a> = dyn Fn(f64, &vita_devices::Device) -> f64 + Sync + 'a;
+
+/// Default conversion derived from a path-loss model.
+pub fn default_conversion(model: PathLossModel) -> impl Fn(f64, &vita_devices::Device) -> f64 + Sync {
+    move |rssi, device| model.invert(rssi, device.spec.rssi_at_1m)
+}
+
+/// Trilateration configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrilaterationConfig {
+    /// Positioning sampling frequency — independent from the trajectory
+    /// frequency (paper §2: "another sampling frequency can be specified in
+    /// PMC").
+    pub sampling_hz: Hz,
+    /// Measurements within this window before each estimation instant are
+    /// aggregated per device.
+    pub window_ms: u64,
+    /// Minimum number of distinct devices required for a fix.
+    pub min_devices: usize,
+    /// Use only the `max_devices` strongest-RSSI anchors. With range
+    /// clamping enabled, using *all* anchors averages NLOS bias out better
+    /// than aggressive selection (see the A1 ablation), so the default is
+    /// generous; tighten it for very dense deployments.
+    pub max_devices: usize,
+    /// Clamp each converted range to the device's detection range — the
+    /// estimator knows a device cannot hear farther than that, so larger
+    /// conversions are NLOS artifacts.
+    pub clamp_to_detection_range: bool,
+}
+
+impl Default for TrilaterationConfig {
+    fn default() -> Self {
+        TrilaterationConfig {
+            sampling_hz: Hz(0.5),
+            window_ms: 3_000,
+            min_devices: 3,
+            max_devices: 64,
+            clamp_to_detection_range: true,
+        }
+    }
+}
+
+/// Run trilateration over a raw RSSI store.
+///
+/// At each estimation instant, measurements in the window are grouped per
+/// (object, device), RSSI values are averaged (dBm-domain averaging is the
+/// usual engineering shortcut), converted to distances, and solved.
+pub fn trilaterate(
+    devices: &DeviceRegistry,
+    rssi: &RssiStore,
+    cfg: &TrilaterationConfig,
+    convert: &RssiToDistance<'_>,
+) -> Vec<Fix> {
+    let mut fixes = Vec::new();
+    let Some((t0, t1)) = rssi.time_range() else {
+        return fixes;
+    };
+    let period = cfg.sampling_hz.period_ms();
+    if period == u64::MAX {
+        return fixes;
+    }
+    let mut t = Timestamp(t0.0);
+    while t <= t1 {
+        let from = Timestamp(t.0.saturating_sub(cfg.window_ms));
+        let window = rssi.window(from, t.advance(1));
+        // Group by object, then device.
+        let mut by_object: std::collections::BTreeMap<
+            vita_indoor::ObjectId,
+            std::collections::BTreeMap<DeviceId, (f64, usize)>,
+        > = std::collections::BTreeMap::new();
+        for m in window {
+            let e = by_object.entry(m.object).or_default().entry(m.device).or_insert((0.0, 0));
+            e.0 += m.rssi;
+            e.1 += 1;
+        }
+        for (object, per_device) in by_object {
+            if per_device.len() < cfg.min_devices {
+                continue;
+            }
+            // Build (position, range, rssi) anchors; use the floor most
+            // devices agree on.
+            let mut anchors: Vec<(Point, f64, FloorId, f64)> =
+                Vec::with_capacity(per_device.len());
+            for (did, (sum, n)) in &per_device {
+                let Some(dev) = devices.get(*did) else { continue };
+                let mean_rssi = sum / *n as f64;
+                let mut dist = convert(mean_rssi, dev).max(0.05);
+                if cfg.clamp_to_detection_range {
+                    dist = dist.min(dev.spec.detection_range);
+                }
+                anchors.push((dev.position, dist, dev.floor, mean_rssi));
+            }
+            let Some(floor) = majority_floor(&anchors) else { continue };
+            let mut same_floor: Vec<(Point, f64, f64)> = anchors
+                .iter()
+                .filter(|(_, _, f, _)| *f == floor)
+                .map(|(p, r, _, rssi)| (*p, *r, *rssi))
+                .collect();
+            if same_floor.len() < cfg.min_devices {
+                continue;
+            }
+            // Strongest anchors first; keep at most max_devices.
+            same_floor.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            same_floor.truncate(cfg.max_devices.max(cfg.min_devices));
+            let chosen: Vec<(Point, f64)> =
+                same_floor.iter().map(|(p, r, _)| (*p, *r)).collect();
+            if let Some(est) = least_squares_position(&chosen) {
+                // Sanity clamp: the object cannot be farther from the
+                // nearest-sounding anchor than its (clamped) range plus
+                // slack; project wild solutions back to the anchor hull.
+                let est = clamp_to_anchor_hull(est, &chosen);
+                fixes.push(Fix {
+                    object,
+                    loc: Loc::point(BuildingId(0), floor, est),
+                    t,
+                });
+            }
+        }
+        t = t.advance(period);
+    }
+    fixes
+}
+
+fn majority_floor(anchors: &[(Point, f64, FloorId, f64)]) -> Option<FloorId> {
+    let mut counts: std::collections::BTreeMap<FloorId, usize> = std::collections::BTreeMap::new();
+    for (_, _, f, _) in anchors {
+        *counts.entry(*f).or_default() += 1;
+    }
+    counts.into_iter().max_by_key(|(_, c)| *c).map(|(f, _)| f)
+}
+
+/// Keep estimates within the physically plausible neighbourhood of the
+/// anchors: inside the anchor bounding box inflated by the largest estimated
+/// range. Wildly diverged least-squares solutions (near-collinear anchors ×
+/// inconsistent NLOS ranges) are projected back onto that box.
+fn clamp_to_anchor_hull(est: Point, anchors: &[(Point, f64)]) -> Point {
+    let mut bb = vita_geometry::Aabb::empty();
+    let mut max_r: f64 = 0.0;
+    for (p, r) in anchors {
+        bb = bb.expanded_to(*p);
+        max_r = max_r.max(*r);
+    }
+    let bb = bb.inflated(max_r);
+    Point::new(est.x.clamp(bb.min.x, bb.max.x), est.y.clamp(bb.min.y, bb.max.y))
+}
+
+/// Least-squares solution of the circle system. Returns `None` when the
+/// anchors are (nearly) collinear and the normal matrix is singular.
+pub fn least_squares_position(anchors: &[(Point, f64)]) -> Option<Point> {
+    let n = anchors.len();
+    if n < 3 {
+        return None;
+    }
+    let (xn, yn) = (anchors[n - 1].0.x, anchors[n - 1].0.y);
+    let rn = anchors[n - 1].1;
+    // Rows: 2(x_n - x_i)·x + 2(y_n - y_i)·y = r_i² − r_n² − x_i² + x_n² − y_i² + y_n²
+    let mut ata = [[0.0f64; 2]; 2];
+    let mut atb = [0.0f64; 2];
+    for &(p, r) in &anchors[..n - 1] {
+        let a0 = 2.0 * (xn - p.x);
+        let a1 = 2.0 * (yn - p.y);
+        let b = r * r - rn * rn - p.x * p.x + xn * xn - p.y * p.y + yn * yn;
+        ata[0][0] += a0 * a0;
+        ata[0][1] += a0 * a1;
+        ata[1][0] += a1 * a0;
+        ata[1][1] += a1 * a1;
+        atb[0] += a0 * b;
+        atb[1] += a1 * b;
+    }
+    let det = ata[0][0] * ata[1][1] - ata[0][1] * ata[1][0];
+    if det.abs() < 1e-9 {
+        return None;
+    }
+    let x = (atb[0] * ata[1][1] - atb[1] * ata[0][1]) / det;
+    let y = (ata[0][0] * atb[1] - ata[1][0] * atb[0]) / det;
+    if x.is_finite() && y.is_finite() {
+        Some(Point::new(x, y))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_devices::{DeviceSpec, DeviceType};
+    use vita_indoor::ObjectId;
+    use vita_rssi::{NoiseModel, RssiMeasurement};
+
+    #[test]
+    fn exact_solution_with_perfect_ranges() {
+        let target = Point::new(3.0, 4.0);
+        let anchors = vec![
+            (Point::new(0.0, 0.0), target.dist(Point::new(0.0, 0.0))),
+            (Point::new(10.0, 0.0), target.dist(Point::new(10.0, 0.0))),
+            (Point::new(0.0, 10.0), target.dist(Point::new(0.0, 10.0))),
+            (Point::new(10.0, 10.0), target.dist(Point::new(10.0, 10.0))),
+        ];
+        let est = least_squares_position(&anchors).unwrap();
+        assert!(est.dist(target) < 1e-6, "estimate {est} vs {target}");
+    }
+
+    #[test]
+    fn collinear_anchors_rejected() {
+        let anchors = vec![
+            (Point::new(0.0, 0.0), 5.0),
+            (Point::new(5.0, 0.0), 3.0),
+            (Point::new(10.0, 0.0), 5.0),
+        ];
+        assert!(least_squares_position(&anchors).is_none());
+    }
+
+    #[test]
+    fn too_few_anchors_rejected() {
+        let anchors = vec![(Point::new(0.0, 0.0), 5.0), (Point::new(5.0, 0.0), 3.0)];
+        assert!(least_squares_position(&anchors).is_none());
+    }
+
+    #[test]
+    fn noisy_ranges_give_bounded_error() {
+        let target = Point::new(6.0, 2.0);
+        // ±0.3 m range errors.
+        let offs = [0.3, -0.25, 0.2, -0.3];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(12.0, 0.0),
+            Point::new(0.0, 8.0),
+            Point::new(12.0, 8.0),
+        ];
+        let anchors: Vec<(Point, f64)> = pts
+            .iter()
+            .zip(offs)
+            .map(|(p, o)| (*p, target.dist(*p) + o))
+            .collect();
+        let est = least_squares_position(&anchors).unwrap();
+        assert!(est.dist(target) < 1.0, "error {}", est.dist(target));
+    }
+
+    /// End-to-end: synthesize noiseless RSSI for a static object and verify
+    /// trilateration recovers its position via the default conversion.
+    #[test]
+    fn recovers_static_object_from_clean_rssi() {
+        let model = PathLossModel { fluctuation: NoiseModel::None, ..Default::default() };
+        let spec = DeviceSpec::default_for(DeviceType::WiFi);
+        let mut reg = DeviceRegistry::new();
+        let d0 = reg.place(spec, FloorId(0), Point::new(0.0, 0.0));
+        let d1 = reg.place(spec, FloorId(0), Point::new(20.0, 0.0));
+        let d2 = reg.place(spec, FloorId(0), Point::new(0.0, 15.0));
+        let d3 = reg.place(spec, FloorId(0), Point::new(20.0, 15.0));
+        let target = Point::new(7.0, 5.0);
+        let mut ms = Vec::new();
+        for t in (0..10_000).step_by(1000) {
+            for did in [d0, d1, d2, d3] {
+                let dev = reg.get(did).unwrap();
+                let rssi = model.mean_rssi(dev.position.dist(target), dev.spec.rssi_at_1m, 0, 0.0);
+                ms.push(RssiMeasurement {
+                    object: ObjectId(0),
+                    device: did,
+                    rssi,
+                    t: Timestamp(t),
+                });
+            }
+        }
+        let store = RssiStore::new(ms);
+        let conv = default_conversion(model);
+        let cfg = TrilaterationConfig { sampling_hz: Hz(1.0), window_ms: 2000, min_devices: 3, ..Default::default() };
+        let fixes = trilaterate(&reg, &store, &cfg, &conv);
+        assert!(!fixes.is_empty());
+        for f in &fixes {
+            let p = f.loc.as_point().unwrap();
+            assert!(p.dist(target) < 0.1, "fix {} off target {}", p, target);
+            assert_eq!(f.loc.floor, FloorId(0));
+        }
+    }
+
+    #[test]
+    fn no_fix_with_fewer_than_min_devices() {
+        let model = PathLossModel { fluctuation: NoiseModel::None, ..Default::default() };
+        let spec = DeviceSpec::default_for(DeviceType::WiFi);
+        let mut reg = DeviceRegistry::new();
+        let d0 = reg.place(spec, FloorId(0), Point::new(0.0, 0.0));
+        let d1 = reg.place(spec, FloorId(0), Point::new(20.0, 0.0));
+        let mut ms = Vec::new();
+        for did in [d0, d1] {
+            ms.push(RssiMeasurement {
+                object: ObjectId(0),
+                device: did,
+                rssi: -50.0,
+                t: Timestamp(0),
+            });
+        }
+        let store = RssiStore::new(ms);
+        let conv = default_conversion(model);
+        let fixes = trilaterate(&reg, &store, &TrilaterationConfig::default(), &conv);
+        assert!(fixes.is_empty());
+    }
+
+    #[test]
+    fn custom_conversion_function_is_used() {
+        // A conversion that always reports 5 m puts the estimate at the
+        // centroid-ish solution of constant-range circles.
+        let spec = DeviceSpec::default_for(DeviceType::WiFi);
+        let mut reg = DeviceRegistry::new();
+        let ids = [
+            reg.place(spec, FloorId(0), Point::new(0.0, 0.0)),
+            reg.place(spec, FloorId(0), Point::new(10.0, 0.0)),
+            reg.place(spec, FloorId(0), Point::new(5.0, 8.0)),
+        ];
+        let mut ms = Vec::new();
+        for did in ids {
+            ms.push(RssiMeasurement {
+                object: ObjectId(0),
+                device: did,
+                rssi: -55.0,
+                t: Timestamp(0),
+            });
+        }
+        let store = RssiStore::new(ms);
+        let constant = |_rssi: f64, _d: &vita_devices::Device| 5.0;
+        let cfg = TrilaterationConfig { sampling_hz: Hz(1.0), window_ms: 1000, min_devices: 3, ..Default::default() };
+        let fixes = trilaterate(&reg, &store, &cfg, &constant);
+        assert_eq!(fixes.len(), 1);
+        let p = fixes[0].loc.as_point().unwrap();
+        // Equidistant point from three anchors = circumcenter (5, ~2.9).
+        assert!((p.x - 5.0).abs() < 0.5, "{p}");
+    }
+}

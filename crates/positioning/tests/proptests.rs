@@ -1,0 +1,153 @@
+//! Property-based tests for positioning invariants.
+
+use proptest::prelude::*;
+
+use vita_devices::{DeviceRegistry, DeviceSpec, DeviceType};
+use vita_geometry::Point;
+use vita_indoor::{DeviceId, FloorId, Hz, ObjectId, Timestamp};
+use vita_positioning::{
+    least_squares_position, proximity_records, ProximityConfig, TrilaterationConfig,
+};
+use vita_rssi::{RssiMeasurement, RssiStore};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Least-squares with perfect ranges from ≥3 non-collinear anchors
+    /// recovers the target.
+    #[test]
+    fn exact_ranges_recover_target(
+        tx in -40.0f64..40.0,
+        ty in -40.0f64..40.0,
+        jitter in 0.1f64..10.0,
+    ) {
+        let target = Point::new(tx, ty);
+        // Non-collinear anchor ring around the domain, jittered.
+        let anchors: Vec<(Point, f64)> = [
+            Point::new(-50.0 - jitter, -50.0),
+            Point::new(50.0, -50.0 + jitter),
+            Point::new(50.0 - jitter, 50.0),
+            Point::new(-50.0, 50.0 - jitter),
+        ]
+        .iter()
+        .map(|&p| (p, p.dist(target)))
+        .collect();
+        let est = least_squares_position(&anchors).unwrap();
+        prop_assert!(est.dist(target) < 1e-5, "err {}", est.dist(target));
+    }
+
+    /// Range perturbations produce bounded position error (continuity):
+    /// ±e metre range errors never move the LS solution more than a small
+    /// multiple of e for a well-conditioned square anchor layout.
+    #[test]
+    fn bounded_error_under_range_noise(
+        tx in 5.0f64..15.0,
+        ty in 5.0f64..15.0,
+        e1 in -0.5f64..0.5,
+        e2 in -0.5f64..0.5,
+        e3 in -0.5f64..0.5,
+        e4 in -0.5f64..0.5,
+    ) {
+        let target = Point::new(tx, ty);
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(0.0, 20.0),
+            Point::new(20.0, 20.0),
+        ];
+        let errs = [e1, e2, e3, e4];
+        let anchors: Vec<(Point, f64)> = pts
+            .iter()
+            .zip(errs)
+            .map(|(p, e)| (*p, (p.dist(target) + e).max(0.05)))
+            .collect();
+        let est = least_squares_position(&anchors).unwrap();
+        let max_e = errs.iter().fold(0.0f64, |a, b| a.max(b.abs()));
+        prop_assert!(
+            est.dist(target) <= 6.0 * max_e + 1e-6,
+            "err {} for max range err {}",
+            est.dist(target),
+            max_e
+        );
+    }
+
+    /// Proximity records partition each (object, device) measurement stream:
+    /// every measurement time falls inside exactly one record, records are
+    /// disjoint and ordered.
+    #[test]
+    fn proximity_records_partition_measurements(
+        times in proptest::collection::btree_set(0u64..120_000, 1..60),
+    ) {
+        let mut reg = DeviceRegistry::new();
+        let spec = DeviceSpec {
+            detection_hz: Hz(1.0),
+            ..DeviceSpec::default_for(DeviceType::Rfid)
+        };
+        let d = reg.place(spec, FloorId(0), Point::new(0.0, 0.0));
+        let ms: Vec<RssiMeasurement> = times
+            .iter()
+            .map(|&t| RssiMeasurement {
+                object: ObjectId(0),
+                device: d,
+                rssi: -50.0,
+                t: Timestamp(t),
+            })
+            .collect();
+        let store = RssiStore::new(ms);
+        let recs = proximity_records(&reg, &store, &ProximityConfig::default());
+
+        // Every measurement covered by exactly one record.
+        for &t in &times {
+            let covering = recs
+                .iter()
+                .filter(|r| r.ts.0 <= t && t <= r.te.0)
+                .count();
+            prop_assert_eq!(covering, 1, "t={} covered by {} records", t, covering);
+        }
+        // Records disjoint and sorted.
+        for w in recs.windows(2) {
+            prop_assert!(w[0].te < w[1].ts);
+        }
+        // Gap property: consecutive records are separated by more than the
+        // grace window; within a record no gap exceeds it.
+        let max_gap = (1000.0 * 1.5f64).ceil() as u64;
+        for w in recs.windows(2) {
+            prop_assert!(w[1].ts.0 - w[0].te.0 > max_gap);
+        }
+    }
+
+    /// Trilateration config invariants: the sampling grid always yields
+    /// fixes at multiples of the period from the first measurement.
+    #[test]
+    fn fixes_align_to_sampling_grid(offset in 0u64..5_000) {
+        let mut reg = DeviceRegistry::new();
+        let spec = DeviceSpec::default_for(DeviceType::WiFi);
+        let ids: Vec<DeviceId> = vec![
+            reg.place(spec, FloorId(0), Point::new(0.0, 0.0)),
+            reg.place(spec, FloorId(0), Point::new(10.0, 0.0)),
+            reg.place(spec, FloorId(0), Point::new(5.0, 8.0)),
+        ];
+        let mut ms = Vec::new();
+        for k in 0..10u64 {
+            for &d in &ids {
+                ms.push(RssiMeasurement {
+                    object: ObjectId(0),
+                    device: d,
+                    rssi: -50.0,
+                    t: Timestamp(offset + k * 500),
+                });
+            }
+        }
+        let store = RssiStore::new(ms);
+        let cfg = TrilaterationConfig {
+            sampling_hz: Hz(1.0),
+            window_ms: 2_000,
+            ..Default::default()
+        };
+        let conv = |_r: f64, _d: &vita_devices::Device| 5.0;
+        let fixes = vita_positioning::trilaterate(&reg, &store, &cfg, &conv);
+        for f in &fixes {
+            prop_assert_eq!((f.t.0 - offset) % 1000, 0, "fix at {} off grid", f.t.0);
+        }
+    }
+}

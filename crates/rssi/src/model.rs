@@ -1,0 +1,201 @@
+//! The path-loss and noise models (paper §3.2).
+//!
+//! "We implement a generic, flexible path loss model as
+//! `rssi(dBm) = −10·n·log10(dt) + A + N_ob + N_f`. Specifically, rssi is the
+//! measured value; dt is the present transmission distance between the
+//! positioning device and the observed object. We allow users to define
+//! three variables: A is a calibration RSSI value measured at 1 meter, N_ob
+//! is the noise caused by influence of obstacles like walls and doors, and
+//! N_f is the noise for signal fluctuation related to temperature, humidity,
+//! etc; a default setting of these variables is provided."
+
+use rand::Rng;
+
+/// Signal-fluctuation noise `N_f`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseModel {
+    /// No fluctuation (ideal propagation; useful for ground-truth studies).
+    None,
+    /// Zero-mean Gaussian with standard deviation `sigma` dBm (the common
+    /// log-normal shadowing assumption).
+    Gaussian { sigma: f64 },
+    /// Uniform in `[-half_width, +half_width]` dBm.
+    Uniform { half_width: f64 },
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::Gaussian { sigma: 2.0 }
+    }
+}
+
+impl NoiseModel {
+    /// Draw one fluctuation sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            NoiseModel::None => 0.0,
+            NoiseModel::Gaussian { sigma } => gaussian(rng) * sigma,
+            NoiseModel::Uniform { half_width } => rng.gen_range(-half_width..=half_width),
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (rand_distr is outside the allowed
+/// dependency set; two uniforms suffice).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The path-loss model with obstacle and fluctuation terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLossModel {
+    /// Path-loss exponent `n` (2 in free space, 2.5–4 indoors).
+    pub exponent: f64,
+    /// Attenuation per crossed wall, dBm (the `N_ob` contribution of one
+    /// wall; Fig. 3(a): walls between object and device weaken the signal).
+    pub wall_attenuation_dbm: f64,
+    /// Fluctuation model `N_f`.
+    pub fluctuation: NoiseModel,
+}
+
+impl Default for PathLossModel {
+    fn default() -> Self {
+        PathLossModel {
+            exponent: 3.0,
+            wall_attenuation_dbm: 4.0,
+            fluctuation: NoiseModel::default(),
+        }
+    }
+}
+
+impl PathLossModel {
+    /// Deterministic part of the model: distance decay + calibration +
+    /// obstacle attenuation. `a_1m` is the device's calibration RSSI at 1 m;
+    /// `extra_obstacle_dbm` adds user-deployed obstacle attenuation beyond
+    /// the per-wall term.
+    pub fn mean_rssi(&self, dist_m: f64, a_1m: f64, walls_crossed: usize, extra_obstacle_dbm: f64) -> f64 {
+        let d = dist_m.max(0.1); // below 10 cm the log model is meaningless
+        let n_ob = -(self.wall_attenuation_dbm * walls_crossed as f64) - extra_obstacle_dbm;
+        -10.0 * self.exponent * d.log10() + a_1m + n_ob
+    }
+
+    /// One noisy measurement.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        dist_m: f64,
+        a_1m: f64,
+        walls_crossed: usize,
+        extra_obstacle_dbm: f64,
+        rng: &mut R,
+    ) -> f64 {
+        self.mean_rssi(dist_m, a_1m, walls_crossed, extra_obstacle_dbm)
+            + self.fluctuation.sample(rng)
+    }
+
+    /// Invert the noiseless model: the distance at which the mean RSSI
+    /// equals `rssi`. This is the default RSSI→distance conversion used by
+    /// trilateration (paper §3.3.1); walls are unknown to the estimator and
+    /// therefore ignored, which is exactly the error source the toolkit
+    /// lets researchers study.
+    pub fn invert(&self, rssi: f64, a_1m: f64) -> f64 {
+        10f64.powf((a_1m - rssi) / (10.0 * self.exponent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const A: f64 = -40.0;
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let m = PathLossModel::default();
+        let r1 = m.mean_rssi(1.0, A, 0, 0.0);
+        let r5 = m.mean_rssi(5.0, A, 0, 0.0);
+        let r20 = m.mean_rssi(20.0, A, 0, 0.0);
+        assert!(r1 > r5 && r5 > r20);
+        // At 1 m, rssi == A exactly.
+        assert!((r1 - A).abs() < 1e-9);
+    }
+
+    #[test]
+    fn walls_attenuate_like_fig3() {
+        // Fig. 3(a): equal distances, but the device behind walls reads a
+        // *smaller* RSSI.
+        let m = PathLossModel::default();
+        let clear = m.mean_rssi(8.0, A, 0, 0.0);
+        let blocked = m.mean_rssi(8.0, A, 2, 0.0);
+        assert!(blocked < clear);
+        assert!((clear - blocked - 2.0 * m.wall_attenuation_dbm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obstacle_extra_attenuation_applies() {
+        let m = PathLossModel::default();
+        let base = m.mean_rssi(4.0, A, 1, 0.0);
+        let extra = m.mean_rssi(4.0, A, 1, 6.0);
+        assert!((base - extra - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inversion_round_trips_without_walls() {
+        let m = PathLossModel { fluctuation: NoiseModel::None, ..Default::default() };
+        for d in [0.5, 1.0, 3.0, 10.0, 25.0] {
+            let rssi = m.mean_rssi(d, A, 0, 0.0);
+            let back = m.invert(rssi, A);
+            assert!((back - d.max(0.1)).abs() < 1e-6, "d={d}: got {back}");
+        }
+    }
+
+    #[test]
+    fn inversion_overestimates_through_walls() {
+        // Walls lower RSSI, so the naive inversion overestimates distance —
+        // the systematic trilateration error in NLOS conditions.
+        let m = PathLossModel { fluctuation: NoiseModel::None, ..Default::default() };
+        let rssi = m.mean_rssi(5.0, A, 2, 0.0);
+        let est = m.invert(rssi, A);
+        assert!(est > 5.0, "estimate {est} should exceed true 5 m");
+    }
+
+    #[test]
+    fn gaussian_noise_statistics() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let noise = NoiseModel::Gaussian { sigma: 3.0 };
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| noise.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.15, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_noise_bounded() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let noise = NoiseModel::Uniform { half_width: 1.5 };
+        for _ in 0..1000 {
+            let s = noise.sample(&mut rng);
+            assert!((-1.5..=1.5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn none_noise_is_zero() {
+        let mut rng = StdRng::seed_from_u64(44);
+        assert_eq!(NoiseModel::None.sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn tiny_distances_clamped() {
+        let m = PathLossModel { fluctuation: NoiseModel::None, ..Default::default() };
+        let at_zero = m.mean_rssi(0.0, A, 0, 0.0);
+        let at_clamp = m.mean_rssi(0.1, A, 0, 0.0);
+        assert_eq!(at_zero, at_clamp);
+        assert!(at_zero.is_finite());
+    }
+}

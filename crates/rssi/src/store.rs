@@ -1,0 +1,132 @@
+//! Raw RSSI measurement records and their in-memory store.
+//!
+//! Record format per paper §4.2: "RSSI measurement is stored as
+//! (o_id, d_id, rssi)". A timestamp is kept alongside (the DBMS table in the
+//! paper is time-indexed; positioning windows need it).
+
+use vita_indoor::{DeviceId, ObjectId, Timestamp};
+
+/// One raw RSSI measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RssiMeasurement {
+    pub object: ObjectId,
+    pub device: DeviceId,
+    /// Measured signal strength, dBm.
+    pub rssi: f64,
+    pub t: Timestamp,
+}
+
+/// Time-ordered store of raw RSSI measurements with per-object access.
+#[derive(Debug, Clone, Default)]
+pub struct RssiStore {
+    /// All measurements sorted by (t, object, device).
+    measurements: Vec<RssiMeasurement>,
+}
+
+impl RssiStore {
+    pub fn new(mut measurements: Vec<RssiMeasurement>) -> Self {
+        measurements.sort_by_key(|m| (m.t, m.object, m.device));
+        RssiStore { measurements }
+    }
+
+    pub fn all(&self) -> &[RssiMeasurement] {
+        &self.measurements
+    }
+
+    pub fn len(&self) -> usize {
+        self.measurements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.measurements.is_empty()
+    }
+
+    /// Measurements in the half-open time window `[from, to)`.
+    pub fn window(&self, from: Timestamp, to: Timestamp) -> &[RssiMeasurement] {
+        let lo = self.measurements.partition_point(|m| m.t < from);
+        let hi = self.measurements.partition_point(|m| m.t < to);
+        &self.measurements[lo..hi]
+    }
+
+    /// Measurements for one object in `[from, to)`.
+    pub fn object_window(
+        &self,
+        object: ObjectId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<RssiMeasurement> {
+        self.window(from, to).iter().filter(|m| m.object == object).copied().collect()
+    }
+
+    /// Distinct objects that appear in the store.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self.measurements.iter().map(|m| m.object).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Time range covered, as (min, max).
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        Some((self.measurements.first()?.t, self.measurements.last()?.t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(o: u32, d: u32, rssi: f64, t: u64) -> RssiMeasurement {
+        RssiMeasurement {
+            object: ObjectId(o),
+            device: DeviceId(d),
+            rssi,
+            t: Timestamp(t),
+        }
+    }
+
+    #[test]
+    fn store_sorts_by_time() {
+        let s = RssiStore::new(vec![m(1, 0, -50.0, 300), m(0, 0, -40.0, 100), m(2, 1, -60.0, 200)]);
+        let ts: Vec<u64> = s.all().iter().map(|x| x.t.0).collect();
+        assert_eq!(ts, vec![100, 200, 300]);
+        assert_eq!(s.time_range(), Some((Timestamp(100), Timestamp(300))));
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let s = RssiStore::new(vec![m(0, 0, -40.0, 100), m(0, 0, -41.0, 200), m(0, 0, -42.0, 300)]);
+        let w = s.window(Timestamp(100), Timestamp(300));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].t.0, 100);
+        assert_eq!(w[1].t.0, 200);
+        assert!(s.window(Timestamp(400), Timestamp(500)).is_empty());
+    }
+
+    #[test]
+    fn object_window_filters() {
+        let s = RssiStore::new(vec![
+            m(0, 0, -40.0, 100),
+            m(1, 0, -45.0, 100),
+            m(0, 1, -50.0, 150),
+            m(1, 1, -55.0, 250),
+        ]);
+        let w = s.object_window(ObjectId(0), Timestamp(0), Timestamp(200));
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|x| x.object == ObjectId(0)));
+    }
+
+    #[test]
+    fn objects_deduplicated() {
+        let s = RssiStore::new(vec![m(3, 0, -40.0, 1), m(1, 0, -40.0, 2), m(3, 1, -40.0, 3)]);
+        assert_eq!(s.objects(), vec![ObjectId(1), ObjectId(3)]);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = RssiStore::default();
+        assert!(s.is_empty());
+        assert_eq!(s.time_range(), None);
+        assert!(s.objects().is_empty());
+    }
+}

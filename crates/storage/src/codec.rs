@@ -1,0 +1,363 @@
+//! Binary persistence for the generated data tables.
+//!
+//! A compact little-endian framing built on `bytes`: each file is a magic +
+//! version header, a record-type tag, a row count, and fixed-width rows.
+//! This replaces the paper's DBMS durability with file round-tripping good
+//! enough for sharing generated datasets between runs and tools.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use vita_geometry::Point;
+use vita_indoor::{BuildingId, DeviceId, FloorId, Loc, LocKind, ObjectId, PartitionId, Timestamp};
+use vita_mobility::TrajectorySample;
+use vita_positioning::{Fix, ProximityRecord};
+use vita_rssi::RssiMeasurement;
+
+const MAGIC: &[u8; 4] = b"VITA";
+const VERSION: u8 = 1;
+
+const TAG_TRAJECTORY: u8 = 1;
+const TAG_RSSI: u8 = 2;
+const TAG_FIX: u8 = 3;
+const TAG_PROXIMITY: u8 = 4;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    BadMagic,
+    UnsupportedVersion(u8),
+    WrongRecordType { expected: u8, got: u8 },
+    Truncated,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a Vita data file"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::WrongRecordType { expected, got } => {
+                write!(f, "wrong record type: expected {expected}, got {got}")
+            }
+            CodecError::Truncated => write!(f, "file truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn header(tag: u8, count: u64, buf: &mut BytesMut) {
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(tag);
+    buf.put_u64_le(count);
+}
+
+fn check_header(tag: u8, buf: &mut Bytes) -> Result<u64, CodecError> {
+    if buf.remaining() < 14 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let got = buf.get_u8();
+    if got != tag {
+        return Err(CodecError::WrongRecordType { expected: tag, got });
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn put_loc(loc: &Loc, buf: &mut BytesMut) {
+    buf.put_u32_le(loc.building.0);
+    buf.put_u32_le(loc.floor.0);
+    match loc.kind {
+        LocKind::Point(p) => {
+            buf.put_u8(0);
+            buf.put_f64_le(p.x);
+            buf.put_f64_le(p.y);
+        }
+        LocKind::Partition(pid) => {
+            buf.put_u8(1);
+            buf.put_u32_le(pid.0);
+            buf.put_u32_le(0); // pad to keep rows fixed-width-ish
+            buf.put_u64_le(0);
+        }
+    }
+}
+
+fn get_loc(buf: &mut Bytes) -> Result<Loc, CodecError> {
+    if buf.remaining() < 9 {
+        return Err(CodecError::Truncated);
+    }
+    let building = BuildingId(buf.get_u32_le());
+    let floor = FloorId(buf.get_u32_le());
+    let kind = buf.get_u8();
+    match kind {
+        0 => {
+            if buf.remaining() < 16 {
+                return Err(CodecError::Truncated);
+            }
+            let x = buf.get_f64_le();
+            let y = buf.get_f64_le();
+            Ok(Loc::point(building, floor, Point::new(x, y)))
+        }
+        _ => {
+            if buf.remaining() < 16 {
+                return Err(CodecError::Truncated);
+            }
+            let pid = PartitionId(buf.get_u32_le());
+            buf.advance(12);
+            Ok(Loc::partition(building, floor, pid))
+        }
+    }
+}
+
+/// Encode trajectory samples.
+pub fn encode_trajectories(samples: &[TrajectorySample]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(14 + samples.len() * 37);
+    header(TAG_TRAJECTORY, samples.len() as u64, &mut buf);
+    for s in samples {
+        buf.put_u32_le(s.object.0);
+        put_loc(&s.loc, &mut buf);
+        buf.put_u64_le(s.t.0);
+    }
+    buf.freeze()
+}
+
+/// Decode trajectory samples.
+pub fn decode_trajectories(mut data: Bytes) -> Result<Vec<TrajectorySample>, CodecError> {
+    let count = check_header(TAG_TRAJECTORY, &mut data)?;
+    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        if data.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let object = ObjectId(data.get_u32_le());
+        let loc = get_loc(&mut data)?;
+        if data.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let t = Timestamp(data.get_u64_le());
+        out.push(TrajectorySample { object, loc, t });
+    }
+    Ok(out)
+}
+
+/// Encode RSSI measurements.
+pub fn encode_rssi(ms: &[RssiMeasurement]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(14 + ms.len() * 24);
+    header(TAG_RSSI, ms.len() as u64, &mut buf);
+    for m in ms {
+        buf.put_u32_le(m.object.0);
+        buf.put_u32_le(m.device.0);
+        buf.put_f64_le(m.rssi);
+        buf.put_u64_le(m.t.0);
+    }
+    buf.freeze()
+}
+
+/// Decode RSSI measurements.
+pub fn decode_rssi(mut data: Bytes) -> Result<Vec<RssiMeasurement>, CodecError> {
+    let count = check_header(TAG_RSSI, &mut data)?;
+    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        if data.remaining() < 24 {
+            return Err(CodecError::Truncated);
+        }
+        out.push(RssiMeasurement {
+            object: ObjectId(data.get_u32_le()),
+            device: DeviceId(data.get_u32_le()),
+            rssi: data.get_f64_le(),
+            t: Timestamp(data.get_u64_le()),
+        });
+    }
+    Ok(out)
+}
+
+/// Encode deterministic fixes.
+pub fn encode_fixes(fs: &[Fix]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(14 + fs.len() * 37);
+    header(TAG_FIX, fs.len() as u64, &mut buf);
+    for f in fs {
+        buf.put_u32_le(f.object.0);
+        put_loc(&f.loc, &mut buf);
+        buf.put_u64_le(f.t.0);
+    }
+    buf.freeze()
+}
+
+/// Decode deterministic fixes.
+pub fn decode_fixes(mut data: Bytes) -> Result<Vec<Fix>, CodecError> {
+    let count = check_header(TAG_FIX, &mut data)?;
+    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        if data.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let object = ObjectId(data.get_u32_le());
+        let loc = get_loc(&mut data)?;
+        if data.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let t = Timestamp(data.get_u64_le());
+        out.push(Fix { object, loc, t });
+    }
+    Ok(out)
+}
+
+/// Encode proximity records.
+pub fn encode_proximity(rs: &[ProximityRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(14 + rs.len() * 24);
+    header(TAG_PROXIMITY, rs.len() as u64, &mut buf);
+    for r in rs {
+        buf.put_u32_le(r.object.0);
+        buf.put_u32_le(r.device.0);
+        buf.put_u64_le(r.ts.0);
+        buf.put_u64_le(r.te.0);
+    }
+    buf.freeze()
+}
+
+/// Decode proximity records.
+pub fn decode_proximity(mut data: Bytes) -> Result<Vec<ProximityRecord>, CodecError> {
+    let count = check_header(TAG_PROXIMITY, &mut data)?;
+    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        if data.remaining() < 24 {
+            return Err(CodecError::Truncated);
+        }
+        out.push(ProximityRecord {
+            object: ObjectId(data.get_u32_le()),
+            device: DeviceId(data.get_u32_le()),
+            ts: Timestamp(data.get_u64_le()),
+            te: Timestamp(data.get_u64_le()),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trajectories() -> Vec<TrajectorySample> {
+        vec![
+            TrajectorySample::new(
+                ObjectId(1),
+                BuildingId(0),
+                FloorId(0),
+                Point::new(1.5, 2.5),
+                Timestamp(1000),
+            ),
+            TrajectorySample {
+                object: ObjectId(2),
+                loc: Loc::partition(BuildingId(0), FloorId(1), PartitionId(7)),
+                t: Timestamp(2000),
+            },
+        ]
+    }
+
+    #[test]
+    fn trajectory_round_trip() {
+        let original = sample_trajectories();
+        let encoded = encode_trajectories(&original);
+        let decoded = decode_trajectories(encoded).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn rssi_round_trip() {
+        let original = vec![
+            RssiMeasurement {
+                object: ObjectId(0),
+                device: DeviceId(3),
+                rssi: -62.25,
+                t: Timestamp(500),
+            },
+            RssiMeasurement {
+                object: ObjectId(9),
+                device: DeviceId(0),
+                rssi: -40.0,
+                t: Timestamp(999),
+            },
+        ];
+        let decoded = decode_rssi(encode_rssi(&original)).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn fix_round_trip() {
+        let original = vec![Fix {
+            object: ObjectId(4),
+            loc: Loc::point(BuildingId(0), FloorId(2), Point::new(-3.25, 8.0)),
+            t: Timestamp(12345),
+        }];
+        let decoded = decode_fixes(encode_fixes(&original)).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn proximity_round_trip() {
+        let original = vec![ProximityRecord {
+            object: ObjectId(5),
+            device: DeviceId(6),
+            ts: Timestamp(100),
+            te: Timestamp(5000),
+        }];
+        let decoded = decode_proximity(encode_proximity(&original)).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn empty_tables_round_trip() {
+        assert!(decode_trajectories(encode_trajectories(&[])).unwrap().is_empty());
+        assert!(decode_rssi(encode_rssi(&[])).unwrap().is_empty());
+        assert!(decode_fixes(encode_fixes(&[])).unwrap().is_empty());
+        assert!(decode_proximity(encode_proximity(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let data = encode_rssi(&[]);
+        match decode_trajectories(data).unwrap_err() {
+            CodecError::WrongRecordType { expected, got } => {
+                assert_eq!(expected, TAG_TRAJECTORY);
+                assert_eq!(got, TAG_RSSI);
+            }
+            e => panic!("wrong error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let data = Bytes::from_static(b"NOPE\x01\x01\x00\x00\x00\x00\x00\x00\x00\x00");
+        assert_eq!(decode_trajectories(data).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let full = encode_trajectories(&sample_trajectories());
+        let cut = full.slice(0..full.len() - 5);
+        assert_eq!(decode_trajectories(cut).unwrap_err(), CodecError::Truncated);
+        let tiny = full.slice(0..6);
+        assert_eq!(decode_trajectories(tiny).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut raw = BytesMut::new();
+        raw.put_slice(MAGIC);
+        raw.put_u8(99);
+        raw.put_u8(TAG_TRAJECTORY);
+        raw.put_u64_le(0);
+        assert_eq!(
+            decode_trajectories(raw.freeze()).unwrap_err(),
+            CodecError::UnsupportedVersion(99)
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! # vita-storage
+//!
+//! The Storage component (paper §2, §4.2): indexed repositories for every
+//! generated data product, Data Stream APIs for the Producer, and binary
+//! persistence. Replaces the paper's PostgreSQL+PostGIS deployment with an
+//! embedded, laptop-scale engine (see DESIGN.md substitution table).
+//!
+//! * [`table`] — typed tables with time / object / device indexes and a
+//!   per-floor spatial index (range + kNN) over trajectory points.
+//! * [`stream`] — tumbling windows, downsampling, stream merge.
+//! * [`codec`] — compact binary encode/decode for file round-trips.
+//! * [`Repository`] — the thread-safe facade bundling all tables.
+
+pub mod codec;
+pub mod stream;
+pub mod table;
+
+pub use codec::{
+    decode_fixes, decode_proximity, decode_rssi, decode_trajectories, encode_fixes,
+    encode_proximity, encode_rssi, encode_trajectories, CodecError,
+};
+pub use stream::{downsample, merge_by_time, record_rate, Timed, TumblingWindow};
+pub use table::{FixTable, ProximityTable, RowId, RssiTable, TrajectoryTable};
+
+use parking_lot::RwLock;
+
+use vita_mobility::TrajectorySample;
+use vita_positioning::{Fix, ProximityRecord};
+use vita_rssi::RssiMeasurement;
+
+/// The data keeper for one generation run: all repositories behind one
+/// thread-safe facade ("Storage serves as both the data provider and data
+/// keeper").
+#[derive(Debug, Default)]
+pub struct Repository {
+    pub trajectories: RwLock<TrajectoryTable>,
+    pub rssi: RwLock<RssiTable>,
+    pub fixes: RwLock<FixTable>,
+    pub proximity: RwLock<ProximityTable>,
+}
+
+impl Repository {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest trajectory samples.
+    pub fn store_trajectories(&self, samples: impl IntoIterator<Item = TrajectorySample>) {
+        self.trajectories.write().insert_bulk(samples);
+    }
+
+    /// Ingest RSSI measurements.
+    pub fn store_rssi(&self, ms: impl IntoIterator<Item = RssiMeasurement>) {
+        self.rssi.write().insert_bulk(ms);
+    }
+
+    /// Ingest deterministic fixes.
+    pub fn store_fixes(&self, fs: impl IntoIterator<Item = Fix>) {
+        self.fixes.write().insert_bulk(fs);
+    }
+
+    /// Ingest proximity records.
+    pub fn store_proximity(&self, rs: impl IntoIterator<Item = ProximityRecord>) {
+        self.proximity.write().insert_bulk(rs);
+    }
+
+    /// Row counts of all tables: (trajectories, rssi, fixes, proximity).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.trajectories.read().len(),
+            self.rssi.read().len(),
+            self.fixes.read().len(),
+            self.proximity.read().len(),
+        )
+    }
+
+    /// Serialize every table into one buffer per table.
+    pub fn export(&self) -> RepositoryExport {
+        RepositoryExport {
+            trajectories: encode_trajectories(
+                &self.trajectories.read().scan().copied().collect::<Vec<_>>(),
+            ),
+            rssi: encode_rssi(&self.rssi.read().scan().copied().collect::<Vec<_>>()),
+            fixes: encode_fixes(&self.fixes.read().scan().copied().collect::<Vec<_>>()),
+            proximity: encode_proximity(
+                &self.proximity.read().scan().copied().collect::<Vec<_>>(),
+            ),
+        }
+    }
+
+    /// Rebuild a repository from an export.
+    pub fn import(export: &RepositoryExport) -> Result<Self, CodecError> {
+        let repo = Repository::new();
+        repo.store_trajectories(decode_trajectories(export.trajectories.clone())?);
+        repo.store_rssi(decode_rssi(export.rssi.clone())?);
+        repo.store_fixes(decode_fixes(export.fixes.clone())?);
+        repo.store_proximity(decode_proximity(export.proximity.clone())?);
+        Ok(repo)
+    }
+}
+
+/// Serialized form of a [`Repository`].
+#[derive(Debug, Clone)]
+pub struct RepositoryExport {
+    pub trajectories: bytes::Bytes,
+    pub rssi: bytes::Bytes,
+    pub fixes: bytes::Bytes,
+    pub proximity: bytes::Bytes,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_geometry::Point;
+    use vita_indoor::{BuildingId, DeviceId, FloorId, Loc, ObjectId, Timestamp};
+
+    fn sample(o: u32, t: u64) -> TrajectorySample {
+        TrajectorySample::new(
+            ObjectId(o),
+            BuildingId(0),
+            FloorId(0),
+            Point::new(t as f64, 0.0),
+            Timestamp(t),
+        )
+    }
+
+    #[test]
+    fn repository_ingest_and_counts() {
+        let repo = Repository::new();
+        repo.store_trajectories((0..10).map(|i| sample(0, i * 100)));
+        repo.store_rssi([RssiMeasurement {
+            object: ObjectId(0),
+            device: DeviceId(0),
+            rssi: -50.0,
+            t: Timestamp(0),
+        }]);
+        repo.store_fixes([Fix {
+            object: ObjectId(0),
+            loc: Loc::point(BuildingId(0), FloorId(0), Point::new(0.0, 0.0)),
+            t: Timestamp(0),
+        }]);
+        repo.store_proximity([ProximityRecord {
+            object: ObjectId(0),
+            device: DeviceId(0),
+            ts: Timestamp(0),
+            te: Timestamp(100),
+        }]);
+        assert_eq!(repo.counts(), (10, 1, 1, 1));
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let repo = Repository::new();
+        repo.store_trajectories((0..25).map(|i| sample(i % 3, i as u64 * 40)));
+        repo.store_rssi((0..7).map(|i| RssiMeasurement {
+            object: ObjectId(i),
+            device: DeviceId(i % 2),
+            rssi: -40.0 - i as f64,
+            t: Timestamp(i as u64 * 10),
+        }));
+        let export = repo.export();
+        let restored = Repository::import(&export).unwrap();
+        assert_eq!(restored.counts(), repo.counts());
+        // Spot check a trace.
+        let a = repo.trajectories.read().object_trace(ObjectId(1)).len();
+        let b = restored.trajectories.read().object_trace(ObjectId(1)).len();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        use std::sync::Arc;
+        let repo = Arc::new(Repository::new());
+        repo.store_trajectories((0..100).map(|i| sample(0, i * 10)));
+        let mut handles = Vec::new();
+        for k in 0..4 {
+            let r = Arc::clone(&repo);
+            handles.push(std::thread::spawn(move || {
+                let mut total = 0usize;
+                for _ in 0..50 {
+                    total += r
+                        .trajectories
+                        .read()
+                        .time_window(Timestamp(k * 100), Timestamp(k * 100 + 500))
+                        .len();
+                }
+                total
+            }));
+        }
+        let w = Arc::clone(&repo);
+        let writer = std::thread::spawn(move || {
+            for i in 100..200u64 {
+                w.store_trajectories([sample(1, i * 10)]);
+            }
+        });
+        for h in handles {
+            assert!(h.join().is_ok());
+        }
+        writer.join().unwrap();
+        assert_eq!(repo.counts().0, 200);
+    }
+}

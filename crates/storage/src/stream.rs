@@ -1,0 +1,212 @@
+//! Data Stream APIs (paper §2, Storage).
+//!
+//! "The Data Stream APIs module encapsulates some commonly used functions
+//! and query processing algorithms that can be directly called by the
+//! Producer." These are iterator/window utilities over time-ordered records
+//! shared by the generation layers and the experiment harness.
+
+use vita_indoor::Timestamp;
+
+/// Anything with a timestamp can flow through the stream APIs.
+pub trait Timed {
+    fn time(&self) -> Timestamp;
+}
+
+impl Timed for vita_mobility::TrajectorySample {
+    fn time(&self) -> Timestamp {
+        self.t
+    }
+}
+
+impl Timed for vita_rssi::RssiMeasurement {
+    fn time(&self) -> Timestamp {
+        self.t
+    }
+}
+
+impl Timed for vita_positioning::Fix {
+    fn time(&self) -> Timestamp {
+        self.t
+    }
+}
+
+/// A non-overlapping tumbling window over time-ordered records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TumblingWindow {
+    pub width_ms: u64,
+}
+
+impl TumblingWindow {
+    pub fn new(width_ms: u64) -> Self {
+        TumblingWindow { width_ms: width_ms.max(1) }
+    }
+
+    /// Split `records` (must be time-ordered) into consecutive windows.
+    /// Returns (window_start, slice) pairs; empty windows are skipped.
+    pub fn split<'a, T: Timed>(&self, records: &'a [T]) -> Vec<(Timestamp, &'a [T])> {
+        let mut out = Vec::new();
+        if records.is_empty() {
+            return out;
+        }
+        debug_assert!(
+            records.windows(2).all(|w| w[0].time() <= w[1].time()),
+            "records must be time-ordered"
+        );
+        let mut start_idx = 0;
+        let mut window_start =
+            Timestamp(records[0].time().0 / self.width_ms * self.width_ms);
+        for (i, r) in records.iter().enumerate() {
+            while r.time().0 >= window_start.0 + self.width_ms {
+                if i > start_idx {
+                    out.push((window_start, &records[start_idx..i]));
+                }
+                start_idx = i;
+                window_start = Timestamp(r.time().0 / self.width_ms * self.width_ms);
+            }
+        }
+        out.push((window_start, &records[start_idx..]));
+        out
+    }
+}
+
+/// Downsample time-ordered records to at most one per `period_ms` (keeping
+/// the first record of each period). This is how a lower positioning
+/// sampling frequency is emulated from denser data.
+pub fn downsample<T: Timed + Clone>(records: &[T], period_ms: u64) -> Vec<T> {
+    let period = period_ms.max(1);
+    let mut out = Vec::new();
+    let mut next_allowed = 0u64;
+    for r in records {
+        if r.time().0 >= next_allowed {
+            out.push(r.clone());
+            next_allowed = (r.time().0 / period + 1) * period;
+        }
+    }
+    out
+}
+
+/// Rate (records per second) over the span of the records.
+pub fn record_rate<T: Timed>(records: &[T]) -> f64 {
+    if records.len() < 2 {
+        return 0.0;
+    }
+    let span_ms = records.last().unwrap().time().since(records.first().unwrap().time());
+    if span_ms == 0 {
+        return 0.0;
+    }
+    (records.len() as f64 - 1.0) / (span_ms as f64 / 1000.0)
+}
+
+/// Merge multiple time-ordered streams into one time-ordered stream
+/// (k-way merge by timestamp).
+pub fn merge_by_time<T: Timed + Clone>(streams: &[&[T]]) -> Vec<T> {
+    let mut cursors = vec![0usize; streams.len()];
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(usize, Timestamp)> = None;
+        for (k, s) in streams.iter().enumerate() {
+            if cursors[k] < s.len() {
+                let t = s[cursors[k]].time();
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((k, t));
+                }
+            }
+        }
+        match best {
+            Some((k, _)) => {
+                out.push(streams[k][cursors[k]].clone());
+                cursors[k] += 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_geometry::Point;
+    use vita_indoor::{BuildingId, FloorId, ObjectId};
+    use vita_mobility::TrajectorySample;
+
+    fn s(t: u64) -> TrajectorySample {
+        TrajectorySample::new(
+            ObjectId(0),
+            BuildingId(0),
+            FloorId(0),
+            Point::new(t as f64, 0.0),
+            Timestamp(t),
+        )
+    }
+
+    #[test]
+    fn tumbling_window_splits_correctly() {
+        let records: Vec<TrajectorySample> = (0..10).map(|i| s(i * 100)).collect();
+        let windows = TumblingWindow::new(300).split(&records);
+        // t: 0,100,200 | 300,400,500 | 600,700,800 | 900
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[0].1.len(), 3);
+        assert_eq!(windows[3].1.len(), 1);
+        assert_eq!(windows[1].0, Timestamp(300));
+        let total: usize = windows.iter().map(|(_, w)| w.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn tumbling_window_skips_empty_gaps() {
+        let records = vec![s(0), s(100), s(5000)];
+        let windows = TumblingWindow::new(1000).split(&records);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[1].0, Timestamp(5000));
+    }
+
+    #[test]
+    fn empty_input_empty_windows() {
+        let records: Vec<TrajectorySample> = vec![];
+        assert!(TumblingWindow::new(100).split(&records).is_empty());
+    }
+
+    #[test]
+    fn downsample_keeps_one_per_period() {
+        let records: Vec<TrajectorySample> = (0..20).map(|i| s(i * 100)).collect();
+        let down = downsample(&records, 500);
+        // Keeps t = 0, 500, 1000, 1500.
+        let ts: Vec<u64> = down.iter().map(|r| r.t.0).collect();
+        assert_eq!(ts, vec![0, 500, 1000, 1500]);
+    }
+
+    #[test]
+    fn downsample_with_irregular_input() {
+        let records = vec![s(0), s(10), s(490), s(510), s(1700)];
+        let down = downsample(&records, 500);
+        let ts: Vec<u64> = down.iter().map(|r| r.t.0).collect();
+        assert_eq!(ts, vec![0, 510, 1700]);
+    }
+
+    #[test]
+    fn record_rate_computed() {
+        let records: Vec<TrajectorySample> = (0..11).map(|i| s(i * 100)).collect();
+        // 10 intervals over 1 second.
+        assert!((record_rate(&records) - 10.0).abs() < 1e-9);
+        assert_eq!(record_rate(&records[..1]), 0.0);
+    }
+
+    #[test]
+    fn merge_by_time_interleaves() {
+        let a = vec![s(0), s(200), s(400)];
+        let b = vec![s(100), s(300)];
+        let merged = merge_by_time(&[&a, &b]);
+        let ts: Vec<u64> = merged.iter().map(|r| r.t.0).collect();
+        assert_eq!(ts, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn merge_handles_empty_streams() {
+        let a: Vec<TrajectorySample> = vec![];
+        let b = vec![s(5)];
+        let merged = merge_by_time(&[&a, &b]);
+        assert_eq!(merged.len(), 1);
+    }
+}

@@ -1,0 +1,509 @@
+//! Indexed in-memory tables for the generated data.
+//!
+//! The paper stores generated data "into different repositories with
+//! efficient indices" on PostgreSQL+PostGIS (§4.2). This module is the
+//! embedded substitute: each repository is a typed table with
+//!
+//! * a B-tree index on time (range/window scans),
+//! * a hash index on object id (trace extraction),
+//! * for location-bearing tables, a per-floor uniform-grid spatial index
+//!   (range and nearest queries — the PostGIS role).
+
+use std::collections::{BTreeMap, HashMap};
+
+use vita_geometry::{Aabb, GridIndex, Point};
+use vita_indoor::{DeviceId, FloorId, LocKind, ObjectId, Timestamp};
+use vita_mobility::TrajectorySample;
+use vita_positioning::{Fix, ProximityRecord};
+use vita_rssi::RssiMeasurement;
+
+/// Row identifier within one table.
+pub type RowId = u32;
+
+/// A table of raw trajectory samples `(o_id, loc, t)`.
+#[derive(Debug, Default, Clone)]
+pub struct TrajectoryTable {
+    rows: Vec<TrajectorySample>,
+    by_time: BTreeMap<Timestamp, Vec<RowId>>,
+    by_object: HashMap<ObjectId, Vec<RowId>>,
+    /// Lazily built spatial index per floor (invalidated on insert).
+    spatial: Option<HashMap<FloorId, GridIndex>>,
+}
+
+impl TrajectoryTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn insert(&mut self, s: TrajectorySample) -> RowId {
+        let id = self.rows.len() as RowId;
+        self.by_time.entry(s.t).or_default().push(id);
+        self.by_object.entry(s.object).or_default().push(id);
+        self.rows.push(s);
+        self.spatial = None;
+        id
+    }
+
+    pub fn insert_bulk(&mut self, samples: impl IntoIterator<Item = TrajectorySample>) {
+        for s in samples {
+            self.insert(s);
+        }
+    }
+
+    pub fn get(&self, id: RowId) -> Option<&TrajectorySample> {
+        self.rows.get(id as usize)
+    }
+
+    pub fn scan(&self) -> impl Iterator<Item = &TrajectorySample> {
+        self.rows.iter()
+    }
+
+    /// All samples with `from <= t < to`, time-ordered.
+    pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&TrajectorySample> {
+        let mut out = Vec::new();
+        for (_, ids) in self.by_time.range(from..to) {
+            out.extend(ids.iter().map(|&i| &self.rows[i as usize]));
+        }
+        out
+    }
+
+    /// An object's full trace, time-ordered.
+    pub fn object_trace(&self, o: ObjectId) -> Vec<&TrajectorySample> {
+        let mut rows: Vec<&TrajectorySample> = self
+            .by_object
+            .get(&o)
+            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default();
+        rows.sort_by_key(|s| s.t);
+        rows
+    }
+
+    /// Latest sample at or before `t` for every object: the snapshot the
+    /// demo GUI extracts when generation is paused (paper §5 step 4).
+    pub fn snapshot_at(&self, t: Timestamp) -> Vec<&TrajectorySample> {
+        let mut latest: HashMap<ObjectId, &TrajectorySample> = HashMap::new();
+        for (_, ids) in self.by_time.range(..=t) {
+            for &i in ids {
+                let s = &self.rows[i as usize];
+                latest.insert(s.object, s);
+            }
+        }
+        let mut v: Vec<&TrajectorySample> = latest.into_values().collect();
+        v.sort_by_key(|s| s.object);
+        v
+    }
+
+    fn ensure_spatial(&mut self) {
+        if self.spatial.is_some() {
+            return;
+        }
+        let mut per_floor: HashMap<FloorId, Vec<(RowId, Point)>> = HashMap::new();
+        for (i, s) in self.rows.iter().enumerate() {
+            if let LocKind::Point(p) = s.loc.kind {
+                per_floor.entry(s.loc.floor).or_default().push((i as RowId, p));
+            }
+        }
+        let mut indexes = HashMap::new();
+        for (floor, pts) in per_floor {
+            let domain = Aabb::from_points(&pts.iter().map(|(_, p)| *p).collect::<Vec<_>>())
+                .inflated(1.0);
+            let cell = (domain.width().max(domain.height()) / 32.0).max(0.5);
+            let mut g = GridIndex::new(domain, cell);
+            for (id, p) in pts {
+                g.insert_point(id, p);
+            }
+            indexes.insert(floor, g);
+        }
+        self.spatial = Some(indexes);
+    }
+
+    /// Spatial range query: samples on `floor` inside `query` (any time).
+    pub fn range_query(&mut self, floor: FloorId, query: &Aabb) -> Vec<&TrajectorySample> {
+        self.ensure_spatial();
+        let Some(g) = self.spatial.as_ref().unwrap().get(&floor) else {
+            return Vec::new();
+        };
+        let mut ids = g.query_bbox(query);
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|i| &self.rows[i as usize])
+            .filter(|s| matches!(s.loc.kind, LocKind::Point(p) if query.contains_point(p)))
+            .collect()
+    }
+
+    /// k nearest samples to `p` on `floor` (by point distance, any time).
+    pub fn knn(&mut self, floor: FloorId, p: Point, k: usize) -> Vec<(&TrajectorySample, f64)> {
+        self.ensure_spatial();
+        let Some(g) = self.spatial.as_ref().unwrap().get(&floor) else {
+            return Vec::new();
+        };
+        // Expanding-radius search over the grid.
+        let mut radius = g.cell_size();
+        let mut candidates: Vec<u32> = Vec::new();
+        let max_radius = g.domain().width().max(g.domain().height()) * 2.0 + 1.0;
+        while candidates.len() < k && radius <= max_radius {
+            candidates = g.query_radius(p, radius);
+            radius *= 2.0;
+        }
+        let mut scored: Vec<(&TrajectorySample, f64)> = candidates
+            .into_iter()
+            .filter_map(|i| {
+                let s = &self.rows[i as usize];
+                match s.loc.kind {
+                    LocKind::Point(q) => Some((s, q.dist(p))),
+                    LocKind::Partition(_) => None,
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// A table of raw RSSI measurements `(o_id, d_id, rssi, t)`.
+#[derive(Debug, Default, Clone)]
+pub struct RssiTable {
+    rows: Vec<RssiMeasurement>,
+    by_time: BTreeMap<Timestamp, Vec<RowId>>,
+    by_object: HashMap<ObjectId, Vec<RowId>>,
+    by_device: HashMap<DeviceId, Vec<RowId>>,
+}
+
+impl RssiTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn insert(&mut self, m: RssiMeasurement) -> RowId {
+        let id = self.rows.len() as RowId;
+        self.by_time.entry(m.t).or_default().push(id);
+        self.by_object.entry(m.object).or_default().push(id);
+        self.by_device.entry(m.device).or_default().push(id);
+        self.rows.push(m);
+        id
+    }
+
+    pub fn insert_bulk(&mut self, ms: impl IntoIterator<Item = RssiMeasurement>) {
+        for m in ms {
+            self.insert(m);
+        }
+    }
+
+    pub fn scan(&self) -> impl Iterator<Item = &RssiMeasurement> {
+        self.rows.iter()
+    }
+
+    pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&RssiMeasurement> {
+        let mut out = Vec::new();
+        for (_, ids) in self.by_time.range(from..to) {
+            out.extend(ids.iter().map(|&i| &self.rows[i as usize]));
+        }
+        out
+    }
+
+    pub fn of_object(&self, o: ObjectId) -> Vec<&RssiMeasurement> {
+        let mut rows: Vec<&RssiMeasurement> = self
+            .by_object
+            .get(&o)
+            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default();
+        rows.sort_by_key(|m| m.t);
+        rows
+    }
+
+    pub fn of_device(&self, d: DeviceId) -> Vec<&RssiMeasurement> {
+        let mut rows: Vec<&RssiMeasurement> = self
+            .by_device
+            .get(&d)
+            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default();
+        rows.sort_by_key(|m| m.t);
+        rows
+    }
+}
+
+/// A table of deterministic positioning fixes `(o_id, loc, t)`.
+#[derive(Debug, Default, Clone)]
+pub struct FixTable {
+    rows: Vec<Fix>,
+    by_time: BTreeMap<Timestamp, Vec<RowId>>,
+    by_object: HashMap<ObjectId, Vec<RowId>>,
+}
+
+impl FixTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn insert(&mut self, f: Fix) -> RowId {
+        let id = self.rows.len() as RowId;
+        self.by_time.entry(f.t).or_default().push(id);
+        self.by_object.entry(f.object).or_default().push(id);
+        self.rows.push(f);
+        id
+    }
+
+    pub fn insert_bulk(&mut self, fs: impl IntoIterator<Item = Fix>) {
+        for f in fs {
+            self.insert(f);
+        }
+    }
+
+    pub fn scan(&self) -> impl Iterator<Item = &Fix> {
+        self.rows.iter()
+    }
+
+    pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&Fix> {
+        let mut out = Vec::new();
+        for (_, ids) in self.by_time.range(from..to) {
+            out.extend(ids.iter().map(|&i| &self.rows[i as usize]));
+        }
+        out
+    }
+
+    pub fn of_object(&self, o: ObjectId) -> Vec<&Fix> {
+        let mut rows: Vec<&Fix> = self
+            .by_object
+            .get(&o)
+            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default();
+        rows.sort_by_key(|f| f.t);
+        rows
+    }
+}
+
+/// A table of proximity detection periods `(o_id, d_id, ts, te)`.
+#[derive(Debug, Default, Clone)]
+pub struct ProximityTable {
+    rows: Vec<ProximityRecord>,
+    by_object: HashMap<ObjectId, Vec<RowId>>,
+    by_device: HashMap<DeviceId, Vec<RowId>>,
+}
+
+impl ProximityTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn insert(&mut self, r: ProximityRecord) -> RowId {
+        let id = self.rows.len() as RowId;
+        self.by_object.entry(r.object).or_default().push(id);
+        self.by_device.entry(r.device).or_default().push(id);
+        self.rows.push(r);
+        id
+    }
+
+    pub fn insert_bulk(&mut self, rs: impl IntoIterator<Item = ProximityRecord>) {
+        for r in rs {
+            self.insert(r);
+        }
+    }
+
+    pub fn scan(&self) -> impl Iterator<Item = &ProximityRecord> {
+        self.rows.iter()
+    }
+
+    /// Records overlapping the window `[from, to)`.
+    pub fn overlapping(&self, from: Timestamp, to: Timestamp) -> Vec<&ProximityRecord> {
+        self.rows.iter().filter(|r| r.ts < to && r.te >= from).collect()
+    }
+
+    pub fn of_object(&self, o: ObjectId) -> Vec<&ProximityRecord> {
+        let mut rows: Vec<&ProximityRecord> = self
+            .by_object
+            .get(&o)
+            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default();
+        rows.sort_by_key(|r| r.ts);
+        rows
+    }
+
+    pub fn of_device(&self, d: DeviceId) -> Vec<&ProximityRecord> {
+        let mut rows: Vec<&ProximityRecord> = self
+            .by_device
+            .get(&d)
+            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default();
+        rows.sort_by_key(|r| r.ts);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_indoor::BuildingId;
+
+    fn ts(o: u32, f: u32, x: f64, y: f64, t: u64) -> TrajectorySample {
+        TrajectorySample::new(ObjectId(o), BuildingId(0), FloorId(f), Point::new(x, y), Timestamp(t))
+    }
+
+    #[test]
+    fn trajectory_time_window_uses_index() {
+        let mut t = TrajectoryTable::new();
+        for i in 0..100u64 {
+            t.insert(ts(0, 0, i as f64, 0.0, i * 100));
+        }
+        let w = t.time_window(Timestamp(1000), Timestamp(2000));
+        assert_eq!(w.len(), 10);
+        assert!(w.iter().all(|s| s.t.0 >= 1000 && s.t.0 < 2000));
+    }
+
+    #[test]
+    fn object_trace_is_time_ordered() {
+        let mut t = TrajectoryTable::new();
+        t.insert(ts(1, 0, 2.0, 0.0, 200));
+        t.insert(ts(0, 0, 0.0, 0.0, 0));
+        t.insert(ts(1, 0, 1.0, 0.0, 100));
+        let trace = t.object_trace(ObjectId(1));
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].t < trace[1].t);
+        assert!(t.object_trace(ObjectId(9)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_picks_latest_per_object() {
+        let mut t = TrajectoryTable::new();
+        t.insert(ts(0, 0, 0.0, 0.0, 0));
+        t.insert(ts(0, 0, 5.0, 0.0, 500));
+        t.insert(ts(1, 0, 9.0, 0.0, 300));
+        t.insert(ts(0, 0, 9.0, 0.0, 900)); // after snapshot time
+        let snap = t.snapshot_at(Timestamp(600));
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].object, ObjectId(0));
+        assert!((snap[0].point().x - 5.0).abs() < 1e-9);
+        assert!((snap[1].point().x - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spatial_range_query() {
+        let mut t = TrajectoryTable::new();
+        for i in 0..10 {
+            t.insert(ts(i, 0, i as f64 * 2.0, 1.0, 0));
+        }
+        t.insert(ts(99, 1, 5.0, 1.0, 0)); // other floor
+        let hits = t.range_query(
+            FloorId(0),
+            &Aabb::new(Point::new(3.0, 0.0), Point::new(9.0, 2.0)),
+        );
+        assert_eq!(hits.len(), 3); // x = 4, 6, 8
+        let none = t.range_query(
+            FloorId(3),
+            &Aabb::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn knn_returns_sorted_neighbours() {
+        let mut t = TrajectoryTable::new();
+        for i in 0..20 {
+            t.insert(ts(i, 0, i as f64, 0.0, 0));
+        }
+        let got = t.knn(FloorId(0), Point::new(7.2, 0.0), 3);
+        assert_eq!(got.len(), 3);
+        let xs: Vec<f64> = got.iter().map(|(s, _)| s.point().x).collect();
+        assert_eq!(xs, vec![7.0, 8.0, 6.0]);
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn spatial_index_invalidated_on_insert() {
+        let mut t = TrajectoryTable::new();
+        t.insert(ts(0, 0, 0.0, 0.0, 0));
+        let _ = t.knn(FloorId(0), Point::new(0.0, 0.0), 1);
+        t.insert(ts(1, 0, 10.0, 0.0, 0));
+        let got = t.knn(FloorId(0), Point::new(10.0, 0.0), 1);
+        assert_eq!(got[0].0.object, ObjectId(1));
+    }
+
+    #[test]
+    fn rssi_table_indexes() {
+        let mut t = RssiTable::new();
+        for i in 0..10u64 {
+            t.insert(RssiMeasurement {
+                object: ObjectId((i % 2) as u32),
+                device: DeviceId((i % 3) as u32),
+                rssi: -40.0 - i as f64,
+                t: Timestamp(i * 10),
+            });
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.of_object(ObjectId(0)).len(), 5);
+        assert_eq!(t.of_device(DeviceId(0)).len(), 4);
+        assert_eq!(t.time_window(Timestamp(0), Timestamp(50)).len(), 5);
+        // Per-object rows are time ordered.
+        let rows = t.of_object(ObjectId(1));
+        assert!(rows.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn fix_table_roundtrip() {
+        use vita_indoor::Loc;
+        let mut t = FixTable::new();
+        t.insert(Fix {
+            object: ObjectId(0),
+            loc: Loc::point(BuildingId(0), FloorId(0), Point::new(1.0, 2.0)),
+            t: Timestamp(100),
+        });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.of_object(ObjectId(0)).len(), 1);
+        assert_eq!(t.time_window(Timestamp(0), Timestamp(200)).len(), 1);
+        assert_eq!(t.time_window(Timestamp(200), Timestamp(300)).len(), 0);
+    }
+
+    #[test]
+    fn proximity_overlap_query() {
+        let mut t = ProximityTable::new();
+        t.insert(ProximityRecord {
+            object: ObjectId(0),
+            device: DeviceId(0),
+            ts: Timestamp(100),
+            te: Timestamp(500),
+        });
+        t.insert(ProximityRecord {
+            object: ObjectId(1),
+            device: DeviceId(1),
+            ts: Timestamp(800),
+            te: Timestamp(900),
+        });
+        assert_eq!(t.overlapping(Timestamp(0), Timestamp(600)).len(), 1);
+        assert_eq!(t.overlapping(Timestamp(450), Timestamp(850)).len(), 2);
+        assert_eq!(t.overlapping(Timestamp(901), Timestamp(1000)).len(), 0);
+        assert_eq!(t.of_device(DeviceId(1)).len(), 1);
+        assert_eq!(t.of_object(ObjectId(0)).len(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Integration tests for the toolkit's second purpose (paper §1): the
+//! preserved raw trajectory is a usable "ground truth" — fine-grained,
+//! independent of the positioning sampling frequency, and suitable for
+//! effectiveness evaluation of positioning methods.
+
+use vita_core::prelude::*;
+use vita_positioning::{evaluate_fixes, evaluate_proximity};
+
+fn setup(floors: usize, seed: u64) -> Vita {
+    let text = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(floors)));
+    let mut vita = Vita::from_dbi_text(&text, &BuildParams::default()).unwrap();
+    vita.deploy_devices(
+        DeviceSpec::default_for(DeviceType::WiFi),
+        FloorId(0),
+        DeploymentModel::Coverage,
+        12,
+    );
+    let mobility = MobilityConfig {
+        object_count: 12,
+        duration: Timestamp(90_000),
+        lifespan: LifespanConfig { min: Timestamp(90_000), max: Timestamp(90_000) },
+        trajectory_hz: Hz(4.0), // fine ground truth
+        seed,
+        ..Default::default()
+    };
+    vita.generate_objects(&mobility).unwrap();
+    vita.generate_rssi(&RssiConfig { duration: Timestamp(90_000), ..Default::default() })
+        .unwrap();
+    vita
+}
+
+#[test]
+fn trajectory_and_positioning_frequencies_are_independent() {
+    // Paper §2: "another sampling frequency can be specified in PMC ...
+    // different from the one for generating the trajectory data."
+    let mut vita = setup(1, 42);
+    let truth_samples = vita.generation().unwrap().stats.samples;
+
+    // Positioning at 0.25 Hz — much sparser than the 4 Hz ground truth.
+    let method = MethodConfig::Trilateration {
+        config: TrilaterationConfig {
+            sampling_hz: Hz(0.25),
+            ..Default::default()
+        },
+        conversion_model: PathLossModel::default(),
+    };
+    let fixes = match vita.run_positioning(&method).unwrap() {
+        PositioningData::Deterministic(f) => f,
+        _ => unreachable!(),
+    };
+    // 12 objects × ~22 positioning instants ≈ a few hundred fixes, far
+    // fewer than the ground truth's 12 × 90 × 4 ≈ 4300 samples.
+    assert!(fixes.len() < truth_samples / 4, "{} vs {}", fixes.len(), truth_samples);
+    assert!(!fixes.is_empty());
+    // Every fix instant still has interpolable ground truth around it.
+    let truth = &vita.generation().unwrap().trajectories;
+    let resolvable = fixes
+        .iter()
+        .filter(|f| truth.get(f.object).and_then(|tr| tr.position_at(f.t)).is_some())
+        .count();
+    assert!(resolvable as f64 >= fixes.len() as f64 * 0.95);
+}
+
+#[test]
+fn finer_ground_truth_reduces_interpolation_gap() {
+    // The same world sampled at 0.2 Hz vs 4 Hz: the fine trajectory must
+    // capture more of the walked path (piecewise-linear length closer to
+    // the truth, never more than the engine's actual movement).
+    let text = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(1)));
+    let lengths: Vec<f64> = [0.2, 4.0]
+        .into_iter()
+        .map(|hz| {
+            let mut vita = Vita::from_dbi_text(&text, &BuildParams::default()).unwrap();
+            let mobility = MobilityConfig {
+                object_count: 10,
+                duration: Timestamp(120_000),
+                lifespan: LifespanConfig { min: Timestamp(120_000), max: Timestamp(120_000) },
+                trajectory_hz: Hz(hz),
+                pattern: MovingPattern {
+                    behavior: Behavior::ContinuousWalk,
+                    ..Default::default()
+                },
+                seed: 31,
+                ..Default::default()
+            };
+            let res = vita.generate_objects(&mobility).unwrap();
+            res.stats.total_walked_m
+        })
+        .collect();
+    assert!(
+        lengths[1] > lengths[0] * 1.05,
+        "4 Hz ({:.0} m) should capture more path than 0.2 Hz ({:.0} m)",
+        lengths[1],
+        lengths[0]
+    );
+}
+
+#[test]
+fn proximity_error_bounded_by_detection_range() {
+    let mut vita = setup(1, 77);
+    let data = vita
+        .run_positioning(&MethodConfig::Proximity(ProximityConfig::default()))
+        .unwrap();
+    let records = match data {
+        PositioningData::Proximity(r) => r,
+        _ => unreachable!(),
+    };
+    let truth = &vita.generation().unwrap().trajectories;
+    let stats = evaluate_proximity(&records, vita.devices(), truth);
+    let range = DeviceSpec::default_for(DeviceType::WiFi).detection_range;
+    assert!(stats.count > 0);
+    // The object was in range at detection times; at the record midpoint it
+    // may have walked on a little, so allow modest slack beyond the range.
+    assert!(
+        stats.max <= range * 1.5,
+        "proximity max error {} vs detection range {}",
+        stats.max,
+        range
+    );
+}
+
+#[test]
+fn less_noise_gives_better_trilateration() {
+    let text = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(1)));
+    let mean_error = |sigma: f64| -> f64 {
+        let mut vita = Vita::from_dbi_text(&text, &BuildParams::default()).unwrap();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            12,
+        );
+        let mobility = MobilityConfig {
+            object_count: 12,
+            duration: Timestamp(90_000),
+            lifespan: LifespanConfig { min: Timestamp(90_000), max: Timestamp(90_000) },
+            seed: 11,
+            ..Default::default()
+        };
+        vita.generate_objects(&mobility).unwrap();
+        let noise = if sigma == 0.0 {
+            NoiseModel::None
+        } else {
+            NoiseModel::Gaussian { sigma }
+        };
+        vita.generate_rssi(&RssiConfig {
+            duration: Timestamp(90_000),
+            path_loss: PathLossModel {
+                fluctuation: noise,
+                // LOS-only world: isolate the fluctuation axis.
+                wall_attenuation_dbm: 0.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let data = vita
+            .run_positioning(&MethodConfig::Trilateration {
+                config: TrilaterationConfig::default(),
+                conversion_model: PathLossModel::default(),
+            })
+            .unwrap();
+        let fixes = match data {
+            PositioningData::Deterministic(f) => f,
+            _ => unreachable!(),
+        };
+        evaluate_fixes(&fixes, &vita.generation().unwrap().trajectories).mean
+    };
+    let clean = mean_error(0.0);
+    let noisy = mean_error(6.0);
+    assert!(
+        clean < noisy,
+        "noiseless error {clean:.2} should beat σ=6 error {noisy:.2}"
+    );
+    assert!(clean < 3.0, "noiseless LOS trilateration should be accurate, got {clean:.2} m");
+}
+
+#[test]
+fn ground_truth_positions_always_resolvable_during_lifespan() {
+    let vita = setup(2, 5);
+    let truth = &vita.generation().unwrap().trajectories;
+    for (o, tr) in truth.iter() {
+        let (t0, t1) = (tr.start_time().unwrap(), tr.end_time().unwrap());
+        // Probe 20 instants across the lifespan.
+        for k in 0..=20u64 {
+            let t = Timestamp(t0.0 + (t1.0 - t0.0) * k / 20);
+            let got = tr.position_at(t);
+            assert!(got.is_some(), "object {o} unresolvable at {t}");
+        }
+        // And unresolvable outside it.
+        assert!(tr.position_at(Timestamp(t1.0 + 10_000)).is_none());
+    }
+}
