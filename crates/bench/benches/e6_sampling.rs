@@ -29,7 +29,10 @@ fn bench_positioning_hz(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6/positioning_hz");
     g.sample_size(10);
     for &hz in &[0.2f64, 0.5, 2.0] {
-        let cfg = TrilaterationConfig { sampling_hz: Hz(hz), ..Default::default() };
+        let cfg = TrilaterationConfig {
+            sampling_hz: Hz(hz),
+            ..Default::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(hz), &hz, |b, _| {
             b.iter(|| trilaterate(&reg, &rssi, &cfg, &conv));
         });

@@ -27,16 +27,32 @@ fn bench_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7/query");
     g.sample_size(20);
     g.bench_function("min_distance_same_floor", |b| {
-        b.iter(|| planner.route(from, to_same, RoutingSchema::MinDistance).unwrap());
+        b.iter(|| {
+            planner
+                .route(from, to_same, RoutingSchema::MinDistance)
+                .unwrap()
+        });
     });
     g.bench_function("min_time_same_floor", |b| {
-        b.iter(|| planner.route(from, to_same, RoutingSchema::min_time_default()).unwrap());
+        b.iter(|| {
+            planner
+                .route(from, to_same, RoutingSchema::min_time_default())
+                .unwrap()
+        });
     });
     g.bench_function("min_distance_cross_floor", |b| {
-        b.iter(|| planner.route(from, to_multi, RoutingSchema::MinDistance).unwrap());
+        b.iter(|| {
+            planner
+                .route(from, to_multi, RoutingSchema::MinDistance)
+                .unwrap()
+        });
     });
     g.bench_function("min_time_cross_floor", |b| {
-        b.iter(|| planner.route(from, to_multi, RoutingSchema::min_time_default()).unwrap());
+        b.iter(|| {
+            planner
+                .route(from, to_multi, RoutingSchema::min_time_default())
+                .unwrap()
+        });
     });
     g.finish();
 }

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vita_bench::{mall_env, office_env};
-use vita_devices::{coverage_fraction, deploy, DeploymentModel, DeviceRegistry, DeviceSpec, DeviceType};
+use vita_devices::{
+    coverage_fraction, deploy, DeploymentModel, DeviceRegistry, DeviceSpec, DeviceType,
+};
 use vita_indoor::FloorId;
 
 fn bench_deploy(c: &mut Criterion) {
@@ -35,7 +37,14 @@ fn bench_coverage_estimate(c: &mut Criterion) {
     let env = office_env(1);
     let spec = DeviceSpec::default_for(DeviceType::WiFi);
     let mut reg = DeviceRegistry::new();
-    deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, 16);
+    deploy(
+        &env,
+        &mut reg,
+        spec,
+        FloorId(0),
+        DeploymentModel::Coverage,
+        16,
+    );
     let mut g = c.benchmark_group("e8/coverage_estimate");
     g.sample_size(20);
     for &samples in &[500usize, 5_000] {

@@ -11,7 +11,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use vita_bench::*;
-use vita_devices::{coverage_fraction, deploy, DeploymentModel, DeviceRegistry, DeviceSpec, DeviceType};
+use vita_devices::{
+    coverage_fraction, deploy, DeploymentModel, DeviceRegistry, DeviceSpec, DeviceType,
+};
 use vita_geometry::Point;
 use vita_indoor::{FloorId, Hz, RoutePlanner, RoutingSchema, Timestamp};
 use vita_mobility::{initial_positions, InitialDistribution};
@@ -71,10 +73,16 @@ fn a1_trilateration_ablation() {
     println!("| variant | mean m | median m | p90 m |");
     println!("|---|---|---|---|");
     let variants: [(&str, TrilaterationConfig); 4] = [
-        ("full estimator (all anchors + range clamp, default)", TrilaterationConfig::default()),
+        (
+            "full estimator (all anchors + range clamp, default)",
+            TrilaterationConfig::default(),
+        ),
         (
             "strongest-5 anchors only",
-            TrilaterationConfig { max_devices: 5, ..Default::default() },
+            TrilaterationConfig {
+                max_devices: 5,
+                ..Default::default()
+            },
         ),
         (
             "strongest-5, no range clamp",
@@ -94,7 +102,10 @@ fn a1_trilateration_ablation() {
     ];
     for (name, cfg) in variants {
         let st = evaluate_fixes(&trilaterate(&w.devices, &w.rssi, &cfg, &conv), truth);
-        println!("| {name} | {:.2} | {:.2} | {:.2} |", st.mean, st.median, st.p90);
+        println!(
+            "| {name} | {:.2} | {:.2} | {:.2} |",
+            st.mean, st.median, st.p90
+        );
     }
     println!();
 }
@@ -118,8 +129,22 @@ fn f3_deployment_and_crowds() {
         ..DeviceSpec::default_for(DeviceType::WiFi)
     };
     let mut reg = DeviceRegistry::new();
-    deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, 10);
-    deploy(&env, &mut reg, spec, FloorId(1), DeploymentModel::CheckPoint, 10);
+    deploy(
+        &env,
+        &mut reg,
+        spec,
+        FloorId(0),
+        DeploymentModel::Coverage,
+        10,
+    );
+    deploy(
+        &env,
+        &mut reg,
+        spec,
+        FloorId(1),
+        DeploymentModel::CheckPoint,
+        10,
+    );
 
     println!("| floor | model | devices | covered % | mean devs in range | ≥3 devs % |");
     println!("|---|---|---|---|---|---|");
@@ -140,11 +165,19 @@ fn f3_deployment_and_crowds() {
     let mut rng = StdRng::seed_from_u64(1453);
     let placed = initial_positions(
         &env,
-        InitialDistribution::CrowdOutliers { crowds: 3, crowd_fraction: 0.8, crowd_radius: 4.0 },
+        InitialDistribution::CrowdOutliers {
+            crowds: 3,
+            crowd_fraction: 0.8,
+            crowd_radius: 4.0,
+        },
         200,
         &mut rng,
     );
-    let members = placed.placements.iter().filter(|p| p.crowd.is_some()).count();
+    let members = placed
+        .placements
+        .iter()
+        .filter(|p| p.crowd.is_some())
+        .count();
     let mean_dist_to_center: f64 = placed
         .placements
         .iter()
@@ -170,17 +203,29 @@ fn e3_method_accuracy() {
 
     let conv = default_conversion(PathLossModel::default());
     let fixes = trilaterate(&w.devices, &w.rssi, &TrilaterationConfig::default(), &conv);
-    println!("{}", stats_row("trilateration", &evaluate_fixes(&fixes, truth)));
+    println!(
+        "{}",
+        stats_row("trilateration", &evaluate_fixes(&fixes, truth))
+    );
 
     let map = build_radio_map(&w.env, &w.devices, FloorId(0), &SurveyConfig::default());
     let fixes = knn_fingerprint(&map, &w.rssi, &FingerprintConfig::default());
-    println!("{}", stats_row("fingerprint-knn", &evaluate_fixes(&fixes, truth)));
+    println!(
+        "{}",
+        stats_row("fingerprint-knn", &evaluate_fixes(&fixes, truth))
+    );
 
     let pfs = naive_bayes_fingerprint(&map, &w.rssi, &FingerprintConfig::default());
-    println!("{}", stats_row("fingerprint-bayes", &evaluate_prob_fixes(&pfs, truth)));
+    println!(
+        "{}",
+        stats_row("fingerprint-bayes", &evaluate_prob_fixes(&pfs, truth))
+    );
 
     let recs = proximity_records(&w.devices, &w.rssi, &ProximityConfig::default());
-    println!("{}", stats_row("proximity", &evaluate_proximity(&recs, &w.devices, truth)));
+    println!(
+        "{}",
+        stats_row("proximity", &evaluate_proximity(&recs, &w.devices, truth))
+    );
     println!();
 }
 
@@ -219,7 +264,9 @@ fn e5_accuracy_vs_noise() {
     let reg = deploy_floor0(&env, DeviceType::WiFi, DeploymentModel::Coverage, 14, None);
 
     println!("### σ sweep (wall attenuation fixed at 4 dBm/wall)\n");
-    println!("| σ dBm | trilateration mean m | fingerprint-knn mean m | fingerprint-bayes mean m |");
+    println!(
+        "| σ dBm | trilateration mean m | fingerprint-knn mean m | fingerprint-bayes mean m |"
+    );
     println!("|---|---|---|---|");
     for &sigma in &[0.0f64, 1.0, 2.0, 4.0, 8.0] {
         let rssi = gen_rssi(&env, &reg, &generation, 120, sigma);
@@ -237,7 +284,10 @@ fn e5_accuracy_vs_noise() {
             &naive_bayes_fingerprint(&map, &rssi, &FingerprintConfig::default()),
             truth,
         );
-        println!("| {sigma} | {:.2} | {:.2} | {:.2} |", tri.mean, knn.mean, bayes.mean);
+        println!(
+            "| {sigma} | {:.2} | {:.2} | {:.2} |",
+            tri.mean, knn.mean, bayes.mean
+        );
     }
 
     println!("\n### wall-attenuation sweep (σ fixed at 2 dBm)\n");
@@ -259,7 +309,10 @@ fn e5_accuracy_vs_noise() {
             &trilaterate(&reg, &rssi, &TrilaterationConfig::default(), &conv),
             truth,
         );
-        let survey = SurveyConfig { path_loss: cfg.path_loss, ..Default::default() };
+        let survey = SurveyConfig {
+            path_loss: cfg.path_loss,
+            ..Default::default()
+        };
         let map = build_radio_map(&env, &reg, FloorId(0), &survey);
         let knn = evaluate_fixes(
             &knn_fingerprint(&map, &rssi, &FingerprintConfig::default()),
@@ -280,7 +333,10 @@ fn e6_sampling_frequencies() {
         let mut cfg = mobility_cfg(20, 120, hz, 0xE6);
         cfg.pattern.behavior = vita_mobility::Behavior::ContinuousWalk;
         let g = vita_mobility::generate(&env, &cfg).unwrap();
-        println!("| {hz} | {} | {:.0} |", g.stats.samples, g.stats.total_walked_m);
+        println!(
+            "| {hz} | {} | {:.0} |",
+            g.stats.samples, g.stats.total_walked_m
+        );
     }
 
     println!("\n| positioning Hz | fixes | trilateration mean m |");
@@ -290,7 +346,10 @@ fn e6_sampling_frequencies() {
     let rssi = gen_rssi(&env, &reg, &generation, 120, 2.0);
     let conv = default_conversion(PathLossModel::default());
     for &hz in &[0.1f64, 0.25, 0.5, 1.0, 2.0] {
-        let cfg = TrilaterationConfig { sampling_hz: Hz(hz), ..Default::default() };
+        let cfg = TrilaterationConfig {
+            sampling_hz: Hz(hz),
+            ..Default::default()
+        };
         let fixes = trilaterate(&reg, &rssi, &cfg, &conv);
         let st = evaluate_fixes(&fixes, &generation.trajectories);
         println!("| {hz} | {} | {:.2} |", fixes.len(), st.mean);
@@ -304,16 +363,34 @@ fn e7_routing_comparison() {
     let env = office_env(3);
     let planner = RoutePlanner::new(&env);
     let cases = [
-        ("same room", (FloorId(0), Point::new(2.0, 2.0)), (FloorId(0), Point::new(5.0, 4.0))),
-        ("across floor 0", (FloorId(0), Point::new(2.0, 2.0)), (FloorId(0), Point::new(38.0, 14.0))),
-        ("one floor up", (FloorId(0), Point::new(2.0, 2.0)), (FloorId(1), Point::new(2.0, 2.0))),
-        ("two floors up", (FloorId(0), Point::new(2.0, 2.0)), (FloorId(2), Point::new(38.0, 14.0))),
+        (
+            "same room",
+            (FloorId(0), Point::new(2.0, 2.0)),
+            (FloorId(0), Point::new(5.0, 4.0)),
+        ),
+        (
+            "across floor 0",
+            (FloorId(0), Point::new(2.0, 2.0)),
+            (FloorId(0), Point::new(38.0, 14.0)),
+        ),
+        (
+            "one floor up",
+            (FloorId(0), Point::new(2.0, 2.0)),
+            (FloorId(1), Point::new(2.0, 2.0)),
+        ),
+        (
+            "two floors up",
+            (FloorId(0), Point::new(2.0, 2.0)),
+            (FloorId(2), Point::new(38.0, 14.0)),
+        ),
     ];
     println!("| query | min-dist m | min-dist s | min-time m | min-time s |");
     println!("|---|---|---|---|---|");
     for (name, from, to) in cases {
         let rd = planner.route(from, to, RoutingSchema::MinDistance).unwrap();
-        let rt = planner.route(from, to, RoutingSchema::min_time_default()).unwrap();
+        let rt = planner
+            .route(from, to, RoutingSchema::min_time_default())
+            .unwrap();
         println!(
             "| {name} | {:.1} | {:.1} | {:.1} | {:.1} |",
             rd.total_distance, rd.total_time, rt.total_distance, rt.total_time
@@ -328,15 +405,17 @@ fn e7_routing_comparison() {
     let planner = RoutePlanner::new(&env);
     let from = (FloorId(0), Point::new(1.5, 1.5));
     let to = (FloorId(0), Point::new(32.5, 1.5));
-    let slow_hall = vita_indoor::SpeedProfile { room: 0.4, ..Default::default() };
+    let slow_hall = vita_indoor::SpeedProfile {
+        room: 0.4,
+        ..Default::default()
+    };
     let rd = planner.route(from, to, RoutingSchema::MinDistance).unwrap();
-    let rt = planner.route(from, to, RoutingSchema::MinTime(slow_hall)).unwrap();
+    let rt = planner
+        .route(from, to, RoutingSchema::MinTime(slow_hall))
+        .unwrap();
     println!(
         "| U-corridor crossover | {:.1} | {:.1} | {:.1} | {:.1} |",
-        rd.total_distance,
-        rd.total_time,
-        rt.total_distance,
-        rt.total_time
+        rd.total_distance, rd.total_time, rt.total_distance, rt.total_time
     );
     println!(
         "\ncrossover check: min-time route is {:.0}% longer but {:.0}% faster than min-distance\n",
@@ -391,7 +470,11 @@ fn u_corridor_building() -> vita_indoor::IndoorEnvironment {
     };
     let model = DbiModel {
         building_name: "U-corridor".into(),
-        storeys: vec![StoreyRec { id: 1, name: "G".into(), elevation: 0.0 }],
+        storeys: vec![StoreyRec {
+            id: 1,
+            name: "G".into(),
+            elevation: 0.0,
+        }],
         spaces: vec![
             SpaceRec {
                 id: 10,
@@ -503,11 +586,9 @@ fn e9_dbi_processing() {
         let loaded = vita_dbi::load_dbi(&text).unwrap();
         let parse_ms = t0.elapsed().as_secs_f64() * 1000.0;
         let t1 = Instant::now();
-        let built = vita_indoor::build_environment(
-            &loaded.model,
-            &vita_indoor::BuildParams::default(),
-        )
-        .unwrap();
+        let built =
+            vita_indoor::build_environment(&loaded.model, &vita_indoor::BuildParams::default())
+                .unwrap();
         let build_ms = t1.elapsed().as_secs_f64() * 1000.0;
         let s = built.env.summary();
         println!(

@@ -5,24 +5,24 @@
 //! measurement binary (`src/bin/experiments.rs`) agree on the workload.
 
 use vita_devices::{deploy, DeploymentModel, DeviceRegistry, DeviceSpec, DeviceType};
-use vita_indoor::{
-    build_environment, BuildParams, FloorId, Hz, IndoorEnvironment, Timestamp,
-};
-use vita_mobility::{
-    generate, GenerationResult, LifespanConfig, MobilityConfig,
-};
+use vita_indoor::{build_environment, BuildParams, FloorId, Hz, IndoorEnvironment, Timestamp};
+use vita_mobility::{generate, GenerationResult, LifespanConfig, MobilityConfig};
 use vita_rssi::{generate_rssi, NoiseModel, PathLossModel, RssiConfig, RssiStore};
 
 /// Build the standard office environment with `floors` floors.
 pub fn office_env(floors: usize) -> IndoorEnvironment {
     let model = vita_dbi::office(&vita_dbi::SynthParams::with_floors(floors));
-    build_environment(&model, &BuildParams::default()).expect("office build").env
+    build_environment(&model, &BuildParams::default())
+        .expect("office build")
+        .env
 }
 
 /// Build the standard mall environment.
 pub fn mall_env(floors: usize) -> IndoorEnvironment {
     let model = vita_dbi::mall(&vita_dbi::SynthParams::with_floors(floors));
-    build_environment(&model, &BuildParams::default()).expect("mall build").env
+    build_environment(&model, &BuildParams::default())
+        .expect("mall build")
+        .env
 }
 
 /// Deploy `n` devices of `dtype` with `model` on floor 0, using a spec with
@@ -49,7 +49,10 @@ pub fn mobility_cfg(objects: usize, secs: u64, hz: f64, seed: u64) -> MobilityCo
     MobilityConfig {
         object_count: objects,
         duration: Timestamp(secs * 1000),
-        lifespan: LifespanConfig { min: Timestamp(secs * 1000), max: Timestamp(secs * 1000) },
+        lifespan: LifespanConfig {
+            min: Timestamp(secs * 1000),
+            max: Timestamp(secs * 1000),
+        },
         trajectory_hz: Hz(hz),
         seed,
         ..Default::default()
@@ -107,11 +110,22 @@ pub struct Workload {
 /// Build the canonical E3 workload.
 pub fn standard_workload(objects: usize, device_count: usize, secs: u64, sigma: f64) -> Workload {
     let env = office_env(1);
-    let devices =
-        deploy_floor0(&env, DeviceType::WiFi, DeploymentModel::Coverage, device_count, None);
+    let devices = deploy_floor0(
+        &env,
+        DeviceType::WiFi,
+        DeploymentModel::Coverage,
+        device_count,
+        None,
+    );
     let generation = gen_trajectories(&env, objects, secs, 2.0, 0xE3);
     let rssi = gen_rssi(&env, &devices, &generation, secs, sigma);
-    Workload { env, devices, generation, rssi, secs }
+    Workload {
+        env,
+        devices,
+        generation,
+        rssi,
+        secs,
+    }
 }
 
 #[cfg(test)]

@@ -132,7 +132,9 @@ pub fn load_mobility(p: &Properties) -> Result<MobilityConfig, ConfigLoadError> 
 
     let arrival_rate = p.f64_or("objects.arrival_rate_per_min", 0.0)?;
     let arrivals = if arrival_rate > 0.0 {
-        ArrivalProcess::Poisson { rate_per_min: arrival_rate }
+        ArrivalProcess::Poisson {
+            rate_per_min: arrival_rate,
+        }
     } else {
         ArrivalProcess::None
     };
@@ -159,7 +161,11 @@ pub fn load_mobility(p: &Properties) -> Result<MobilityConfig, ConfigLoadError> 
         },
         arrivals,
         emerging,
-        pattern: MovingPattern { intention, routing, behavior },
+        pattern: MovingPattern {
+            intention,
+            routing,
+            behavior,
+        },
         trajectory_hz: Hz(p.f64_or("trajectory.hz", 1.0)?),
         duration: Timestamp::from_secs_f64(p.f64_or("run.duration_s", 600.0)?),
         seed: p.u64_or("run.seed", d.seed)?,
@@ -171,7 +177,9 @@ pub fn load_rssi(p: &Properties) -> Result<RssiConfig, ConfigLoadError> {
     let d = RssiConfig::default();
     let noise = match p.str_or("rssi.noise", "gaussian") {
         "none" => NoiseModel::None,
-        "gaussian" => NoiseModel::Gaussian { sigma: p.f64_or("rssi.noise_sigma", 2.0)? },
+        "gaussian" => NoiseModel::Gaussian {
+            sigma: p.f64_or("rssi.noise_sigma", 2.0)?,
+        },
         "uniform" => NoiseModel::Uniform {
             half_width: p.f64_or("rssi.noise_half_width", 3.0)?,
         },
@@ -234,9 +242,17 @@ pub fn load_method(p: &Properties) -> Result<MethodConfig, ConfigLoadError> {
             };
             let floor = FloorId(p.u64_or("fingerprint.floor", 0)? as u32);
             if m == "fingerprint-knn" {
-                Ok(MethodConfig::FingerprintingKnn { survey, online, floor })
+                Ok(MethodConfig::FingerprintingKnn {
+                    survey,
+                    online,
+                    floor,
+                })
             } else {
-                Ok(MethodConfig::FingerprintingBayes { survey, online, floor })
+                Ok(MethodConfig::FingerprintingBayes {
+                    survey,
+                    online,
+                    floor,
+                })
             }
         }
         "proximity" => Ok(MethodConfig::Proximity(ProximityConfig {
@@ -312,14 +328,20 @@ run.seed = 42
     #[test]
     fn rssi_noise_variants() {
         let p = Properties::parse("rssi.noise = none\n").unwrap();
-        assert_eq!(load_rssi(&p).unwrap().path_loss.fluctuation, NoiseModel::None);
+        assert_eq!(
+            load_rssi(&p).unwrap().path_loss.fluctuation,
+            NoiseModel::None
+        );
         let p = Properties::parse("rssi.noise = uniform\nrssi.noise_half_width = 2.5\n").unwrap();
         assert_eq!(
             load_rssi(&p).unwrap().path_loss.fluctuation,
             NoiseModel::Uniform { half_width: 2.5 }
         );
         let p = Properties::parse("rssi.noise = purple\n").unwrap();
-        assert!(matches!(load_rssi(&p), Err(ConfigLoadError::UnknownVariant { .. })));
+        assert!(matches!(
+            load_rssi(&p),
+            Err(ConfigLoadError::UnknownVariant { .. })
+        ));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use vita_dbi::LoadedDbi;
 use vita_devices::{deploy, DeploymentModel, DeviceRegistry, DeviceSpec};
 use vita_indoor::{build_environment, BuildParams, FloorId, IndoorEnvironment};
 use vita_mobility::{GenerationResult, MobilityConfig};
-use vita_positioning::{run_positioning, MethodConfig, PositioningData, PmcError};
+use vita_positioning::{run_positioning, MethodConfig, PmcError, PositioningData};
 use vita_rssi::{generate_rssi, RssiConfig, RssiStore};
 use vita_storage::Repository;
 
@@ -66,7 +66,13 @@ impl Vita {
             .decode_issues
             .iter()
             .map(|i| format!("decode: {i}"))
-            .chain(loaded.repair.findings.iter().map(|f| format!("repair: {} {}", f.entity, f.kind)))
+            .chain(
+                loaded
+                    .repair
+                    .findings
+                    .iter()
+                    .map(|f| format!("repair: {} {}", f.entity, f.kind)),
+            )
             .collect();
         let built = build_environment(&loaded.model, params).map_err(VitaError::Build)?;
         warnings.extend(built.warnings.iter().map(|w| format!("build: {w}")));
@@ -87,7 +93,11 @@ impl Vita {
             env: built.env,
             devices: DeviceRegistry::new(),
             repo: Repository::new(),
-            warnings: built.warnings.iter().map(|w| format!("build: {w}")).collect(),
+            warnings: built
+                .warnings
+                .iter()
+                .map(|w| format!("build: {w}"))
+                .collect(),
             last_generation: None,
             last_rssi: None,
         })
@@ -145,7 +155,9 @@ impl Vita {
         let gen = self
             .last_generation
             .as_ref()
-            .ok_or(VitaError::MissingStage("generate_objects must run before generate_rssi"))?;
+            .ok_or(VitaError::MissingStage(
+                "generate_objects must run before generate_rssi",
+            ))?;
         let store = generate_rssi(&self.env, &self.devices, &gen.trajectories, cfg);
         self.repo.store_rssi(store.all().iter().copied());
         self.last_rssi = Some(store);
@@ -154,16 +166,13 @@ impl Vita {
 
     /// Step 6: run the chosen positioning method over the raw RSSI data.
     pub fn run_positioning(&mut self, method: &MethodConfig) -> Result<PositioningData, VitaError> {
-        let rssi = self
-            .last_rssi
-            .as_ref()
-            .ok_or(VitaError::MissingStage("generate_rssi must run before run_positioning"))?;
+        let rssi = self.last_rssi.as_ref().ok_or(VitaError::MissingStage(
+            "generate_rssi must run before run_positioning",
+        ))?;
         let data = run_positioning(&self.env, &self.devices, rssi, method)
             .map_err(VitaError::Positioning)?;
         match &data {
-            PositioningData::Deterministic(fixes) => {
-                self.repo.store_fixes(fixes.iter().copied())
-            }
+            PositioningData::Deterministic(fixes) => self.repo.store_fixes(fixes.iter().copied()),
             PositioningData::Proximity(records) => {
                 self.repo.store_proximity(records.iter().copied())
             }
@@ -223,7 +232,10 @@ mod tests {
         MobilityConfig {
             object_count: 6,
             duration: Timestamp(60_000),
-            lifespan: LifespanConfig { min: Timestamp(60_000), max: Timestamp(60_000) },
+            lifespan: LifespanConfig {
+                min: Timestamp(60_000),
+                max: Timestamp(60_000),
+            },
             seed: 77,
             ..Default::default()
         }
@@ -247,7 +259,10 @@ mod tests {
         let samples = gen.stats.samples;
         assert!(samples > 0);
 
-        let rssi_cfg = RssiConfig { duration: Timestamp(60_000), ..Default::default() };
+        let rssi_cfg = RssiConfig {
+            duration: Timestamp(60_000),
+            ..Default::default()
+        };
         let rssi = vita.generate_rssi(&rssi_cfg).unwrap();
         assert!(!rssi.is_empty());
         let rssi_count = rssi.len();
@@ -291,8 +306,11 @@ mod tests {
             6,
         );
         vita.generate_objects(&quick_mobility()).unwrap();
-        vita.generate_rssi(&RssiConfig { duration: Timestamp(60_000), ..Default::default() })
-            .unwrap();
+        vita.generate_rssi(&RssiConfig {
+            duration: Timestamp(60_000),
+            ..Default::default()
+        })
+        .unwrap();
         let data = vita
             .run_positioning(&MethodConfig::Proximity(ProximityConfig::default()))
             .unwrap();

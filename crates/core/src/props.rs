@@ -23,7 +23,11 @@ pub enum PropsError {
     /// Key missing.
     Missing(String),
     /// Value present but not parseable as the requested type.
-    BadValue { key: String, value: String, expected: &'static str },
+    BadValue {
+        key: String,
+        value: String,
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for PropsError {
@@ -33,7 +37,11 @@ impl fmt::Display for PropsError {
                 write!(f, "line {line}: malformed property '{text}'")
             }
             PropsError::Missing(k) => write!(f, "missing property '{k}'"),
-            PropsError::BadValue { key, value, expected } => {
+            PropsError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "property '{key}' = '{value}' is not a valid {expected}")
             }
         }
@@ -100,7 +108,8 @@ impl Properties {
 
     /// Required string.
     pub fn str_req(&self, key: &str) -> Result<&str, PropsError> {
-        self.get(key).ok_or_else(|| PropsError::Missing(key.to_string()))
+        self.get(key)
+            .ok_or_else(|| PropsError::Missing(key.to_string()))
     }
 
     /// Optional f64 with default.
@@ -204,9 +213,15 @@ noise.enabled = yes
     #[test]
     fn bad_values_reported() {
         let p = Properties::parse("n = abc\n").unwrap();
-        assert!(matches!(p.f64_or("n", 0.0), Err(PropsError::BadValue { .. })));
+        assert!(matches!(
+            p.f64_or("n", 0.0),
+            Err(PropsError::BadValue { .. })
+        ));
         assert!(matches!(p.u64_or("n", 0), Err(PropsError::BadValue { .. })));
-        assert!(matches!(p.bool_or("n", false), Err(PropsError::BadValue { .. })));
+        assert!(matches!(
+            p.bool_or("n", false),
+            Err(PropsError::BadValue { .. })
+        ));
     }
 
     #[test]

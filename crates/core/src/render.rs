@@ -190,7 +190,10 @@ pub fn svg_floor(
             DoorKind::Door => ("saddlebrown", 3.5),
             DoorKind::Opening => ("silver", 2.0),
         };
-        let _ = writeln!(s, r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r}" fill="{color}"/>"#);
+        let _ = writeln!(
+            s,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r}" fill="{color}"/>"#
+        );
     }
 
     // Trajectories.
@@ -271,7 +274,9 @@ fn semantic_fill(s: vita_indoor::Semantic) -> &'static str {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -281,9 +286,12 @@ mod tests {
     use vita_indoor::{build_environment, BuildParams};
 
     fn env() -> IndoorEnvironment {
-        build_environment(&office(&SynthParams::with_floors(1)), &BuildParams::default())
-            .unwrap()
-            .env
+        build_environment(
+            &office(&SynthParams::with_floors(1)),
+            &BuildParams::default(),
+        )
+        .unwrap()
+        .env
     }
 
     #[test]
@@ -319,7 +327,10 @@ mod tests {
         let env = env();
         let overlay = Overlay {
             devices: vec![Point::new(21.0, 12.0)],
-            objects: vec![(Point::new(3.0, 3.0), Some(2)), (Point::new(9.0, 3.0), None)],
+            objects: vec![
+                (Point::new(3.0, 3.0), Some(2)),
+                (Point::new(9.0, 3.0), None),
+            ],
             trajectories: vec![vec![Point::new(1.0, 12.0), Point::new(20.0, 12.0)]],
         };
         let svg = svg_floor(&env, FloorId(0), 10.0, &overlay);
@@ -330,6 +341,7 @@ mod tests {
         assert!(svg.contains("crimson")); // device
         assert!(svg.contains("hsl(")); // crowd member
         assert!(svg.contains("<polyline")); // trajectory
+
         // Balanced tags.
         assert_eq!(svg.matches("<svg").count(), 1);
         assert_eq!(svg.matches("</svg>").count(), 1);

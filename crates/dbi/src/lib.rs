@@ -23,7 +23,7 @@ pub mod writer;
 
 pub use repair::{validate_and_repair, Finding, FindingKind, RepairReport};
 pub use schema::{
-    decode, DbiModel, Decoded, DecodeError, DecodeIssue, DoorDirectionality, DoorRec, EntityId,
+    decode, DbiModel, DecodeError, DecodeIssue, Decoded, DoorDirectionality, DoorRec, EntityId,
     SpaceRec, StairRec, StoreyRec, WallRec,
 };
 pub use step::{parse_step, Arg, RawRecord, StepError, StepFile};
@@ -38,7 +38,11 @@ pub fn load_dbi(text: &str) -> Result<LoadedDbi, LoadError> {
     let decoded = schema::decode(&file).map_err(LoadError::Decode)?;
     let mut model = decoded.model;
     let report = repair::validate_and_repair(&mut model);
-    Ok(LoadedDbi { model, decode_issues: decoded.issues, repair: report })
+    Ok(LoadedDbi {
+        model,
+        decode_issues: decoded.issues,
+        repair: report,
+    })
 }
 
 /// Result of [`load_dbi`].
@@ -83,6 +87,9 @@ mod tests {
 
     #[test]
     fn load_dbi_surfaces_parse_errors() {
-        assert!(matches!(load_dbi("not a step file"), Err(LoadError::Step(_))));
+        assert!(matches!(
+            load_dbi("not a step file"),
+            Err(LoadError::Step(_))
+        ));
     }
 }

@@ -115,7 +115,11 @@ fn repair_footprints(model: &mut DbiModel, report: &mut RepairReport) {
         // Remove consecutive duplicates (and a closing vertex repeat).
         let before = sp.footprint.len();
         if sp.footprint.len() >= 2
-            && sp.footprint.first().unwrap().approx_eq(*sp.footprint.last().unwrap())
+            && sp
+                .footprint
+                .first()
+                .unwrap()
+                .approx_eq(*sp.footprint.last().unwrap())
         {
             sp.footprint.pop();
         }
@@ -156,8 +160,9 @@ fn raw_ring_self_intersects(ring: &[Point]) -> bool {
     if n < 4 {
         return false;
     }
-    let edges: Vec<Segment> =
-        (0..n).map(|i| Segment::new(ring[i], ring[(i + 1) % n])).collect();
+    let edges: Vec<Segment> = (0..n)
+        .map(|i| Segment::new(ring[i], ring[(i + 1) % n]))
+        .collect();
     for i in 0..n {
         for j in i + 1..n {
             // Adjacent edges share an endpoint; only proper crossings count.
@@ -191,7 +196,9 @@ fn snap_doors(model: &mut DbiModel, report: &mut RepairReport) {
     for door in &mut model.doors {
         let mut best: Option<(Point, f64)> = None;
         for sp in spaces.iter().filter(|s| s.storey == door.storey) {
-            let Ok(poly) = Polygon::new(sp.footprint.clone()) else { continue };
+            let Ok(poly) = Polygon::new(sp.footprint.clone()) else {
+                continue;
+            };
             for edge in poly.edges() {
                 let cp = edge.closest_point(door.position);
                 let d = cp.dist(door.position);
@@ -225,12 +232,16 @@ fn check_overlaps(model: &DbiModel, report: &mut RepairReport) {
     // Pairwise overlap test per storey; sliver overlaps under 1 % of the
     // smaller footprint are tolerated (shared-wall modelling noise).
     for (i, a) in model.spaces.iter().enumerate() {
-        let Ok(pa) = Polygon::new(a.footprint.clone()) else { continue };
+        let Ok(pa) = Polygon::new(a.footprint.clone()) else {
+            continue;
+        };
         for b in model.spaces.iter().skip(i + 1) {
             if a.storey != b.storey {
                 continue;
             }
-            let Ok(pb) = Polygon::new(b.footprint.clone()) else { continue };
+            let Ok(pb) = Polygon::new(b.footprint.clone()) else {
+                continue;
+            };
             if !pa.bbox().intersects(&pb.bbox()) {
                 continue;
             }
@@ -239,7 +250,10 @@ fn check_overlaps(model: &DbiModel, report: &mut RepairReport) {
             if overlap > tolerance.max(1e-6) {
                 report.findings.push(Finding {
                     entity: a.id,
-                    kind: FindingKind::OverlappingSpaces { other: b.id, area: overlap },
+                    kind: FindingKind::OverlappingSpaces {
+                        other: b.id,
+                        area: overlap,
+                    },
                     repaired: false,
                 });
             }
@@ -306,8 +320,7 @@ pub mod corrupt {
     /// Duplicate every vertex of the first space footprint.
     pub fn duplicate_first_space_vertices(model: &mut DbiModel) {
         if let Some(sp) = model.spaces.first_mut() {
-            let doubled: Vec<Point> =
-                sp.footprint.iter().flat_map(|&p| [p, p]).collect();
+            let doubled: Vec<Point> = sp.footprint.iter().flat_map(|&p| [p, p]).collect();
             sp.footprint = doubled;
         }
     }
@@ -344,8 +357,16 @@ mod tests {
         DbiModel {
             building_name: "T".into(),
             storeys: vec![
-                StoreyRec { id: 1, name: "G".into(), elevation: 0.0 },
-                StoreyRec { id: 2, name: "F1".into(), elevation: 3.0 },
+                StoreyRec {
+                    id: 1,
+                    name: "G".into(),
+                    elevation: 0.0,
+                },
+                StoreyRec {
+                    id: 2,
+                    name: "F1".into(),
+                    elevation: 3.0,
+                },
             ],
             spaces: vec![
                 SpaceRec {
@@ -393,7 +414,11 @@ mod tests {
         let mut m = base_model();
         m.doors[0].position = Point::new(5.3, 2.0); // 0.3 m off the shared wall
         let rep = validate_and_repair(&mut m);
-        let f = rep.findings.iter().find(|f| f.entity == 20).expect("door finding");
+        let f = rep
+            .findings
+            .iter()
+            .find(|f| f.entity == 20)
+            .expect("door finding");
         assert!(matches!(f.kind, FindingKind::DoorSnapped { .. }));
         assert!(f.repaired);
         assert!(m.doors[0].position.approx_eq(Point::new(5.0, 2.0)));
@@ -405,7 +430,11 @@ mod tests {
         corrupt::displace_first_door(&mut m, 10.0);
         let before = m.doors[0].position;
         let rep = validate_and_repair(&mut m);
-        let f = rep.findings.iter().find(|f| f.entity == 20).expect("door finding");
+        let f = rep
+            .findings
+            .iter()
+            .find(|f| f.entity == 20)
+            .expect("door finding");
         assert!(matches!(f.kind, FindingKind::DoorOffBoundary { .. }));
         assert!(!f.repaired);
         assert!(m.doors[0].position.approx_eq(before));
@@ -496,10 +525,17 @@ mod tests {
             id: 40,
             name: "W".into(),
             storey: 1,
-            path: vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+            path: vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+            ],
         });
         let rep = validate_and_repair(&mut m);
-        assert!(rep.findings.iter().any(|f| f.kind == FindingKind::WallZeroSegments));
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::WallZeroSegments));
         assert_eq!(m.walls[0].path.len(), 2);
     }
 

@@ -214,7 +214,11 @@ pub fn decode(file: &StepFile) -> Result<Decoded, DecodeError> {
                     pts3.insert(rec.id, Point3::new(p.x, p.y, z));
                 }
             }
-            Err(reason) => issues.push(DecodeIssue { record: rec.id, line: rec.line, reason }),
+            Err(reason) => issues.push(DecodeIssue {
+                record: rec.id,
+                line: rec.line,
+                reason,
+            }),
         }
     }
 
@@ -243,29 +247,58 @@ pub fn decode(file: &StepFile) -> Result<Decoded, DecodeError> {
     }
 
     let building_name = match file.records_of("IFCBUILDING").next() {
-        Some(rec) => rec.args.first().and_then(Arg::as_str).unwrap_or("unnamed").to_string(),
+        Some(rec) => rec
+            .args
+            .first()
+            .and_then(Arg::as_str)
+            .unwrap_or("unnamed")
+            .to_string(),
         None => return Err(DecodeError::NoBuilding),
     };
 
-    let mut model = DbiModel { building_name, ..Default::default() };
+    let mut model = DbiModel {
+        building_name,
+        ..Default::default()
+    };
 
     for rec in file.records_of("IFCBUILDINGSTOREY") {
-        let name = rec.args.first().and_then(Arg::as_str).unwrap_or("storey").to_string();
+        let name = rec
+            .args
+            .first()
+            .and_then(Arg::as_str)
+            .unwrap_or("storey")
+            .to_string();
         let Some(elevation) = rec.args.get(1).and_then(Arg::as_num) else {
             issues.push(issue(rec, "storey missing elevation"));
             continue;
         };
-        model.storeys.push(StoreyRec { id: rec.id, name, elevation });
+        model.storeys.push(StoreyRec {
+            id: rec.id,
+            name,
+            elevation,
+        });
     }
     if model.storeys.is_empty() {
         return Err(DecodeError::NoStoreys);
     }
-    model.storeys.sort_by(|a, b| a.elevation.partial_cmp(&b.elevation).unwrap());
+    model
+        .storeys
+        .sort_by(|a, b| a.elevation.partial_cmp(&b.elevation).unwrap());
     let storey_ids: Vec<EntityId> = model.storeys.iter().map(|s| s.id).collect();
 
     for rec in file.records_of("IFCSPACE") {
-        let name = rec.args.first().and_then(Arg::as_str).unwrap_or("space").to_string();
-        let usage = rec.args.get(1).and_then(Arg::as_str).unwrap_or("").to_string();
+        let name = rec
+            .args
+            .first()
+            .and_then(Arg::as_str)
+            .unwrap_or("space")
+            .to_string();
+        let usage = rec
+            .args
+            .get(1)
+            .and_then(Arg::as_str)
+            .unwrap_or("")
+            .to_string();
         let Some(storey) = rec.args.get(2).and_then(Arg::as_ref_id) else {
             issues.push(issue(rec, "space missing storey reference"));
             continue;
@@ -274,17 +307,31 @@ pub fn decode(file: &StepFile) -> Result<Decoded, DecodeError> {
             issues.push(issue(rec, "space references unknown storey"));
             continue;
         }
-        let Some(footprint) =
-            rec.args.get(3).and_then(Arg::as_ref_id).and_then(|r| polylines.get(&r).cloned())
+        let Some(footprint) = rec
+            .args
+            .get(3)
+            .and_then(Arg::as_ref_id)
+            .and_then(|r| polylines.get(&r).cloned())
         else {
             issues.push(issue(rec, "space missing footprint polyline"));
             continue;
         };
-        model.spaces.push(SpaceRec { id: rec.id, name, usage, storey, footprint });
+        model.spaces.push(SpaceRec {
+            id: rec.id,
+            name,
+            usage,
+            storey,
+            footprint,
+        });
     }
 
     for rec in file.records_of("IFCDOOR") {
-        let name = rec.args.first().and_then(Arg::as_str).unwrap_or("door").to_string();
+        let name = rec
+            .args
+            .first()
+            .and_then(Arg::as_str)
+            .unwrap_or("door")
+            .to_string();
         let Some(storey) = rec.args.get(1).and_then(Arg::as_ref_id) else {
             issues.push(issue(rec, "door missing storey reference"));
             continue;
@@ -293,8 +340,11 @@ pub fn decode(file: &StepFile) -> Result<Decoded, DecodeError> {
             issues.push(issue(rec, "door references unknown storey"));
             continue;
         }
-        let Some(position) =
-            rec.args.get(2).and_then(Arg::as_ref_id).and_then(|r| pts2.get(&r).copied())
+        let Some(position) = rec
+            .args
+            .get(2)
+            .and_then(Arg::as_ref_id)
+            .and_then(|r| pts2.get(&r).copied())
         else {
             issues.push(issue(rec, "door missing position point"));
             continue;
@@ -306,11 +356,23 @@ pub fn decode(file: &StepFile) -> Result<Decoded, DecodeError> {
             .and_then(Arg::as_enum)
             .and_then(DoorDirectionality::from_step_enum)
             .unwrap_or_default();
-        model.doors.push(DoorRec { id: rec.id, name, storey, position, width, directionality });
+        model.doors.push(DoorRec {
+            id: rec.id,
+            name,
+            storey,
+            position,
+            width,
+            directionality,
+        });
     }
 
     for rec in file.records_of("IFCSTAIR") {
-        let name = rec.args.first().and_then(Arg::as_str).unwrap_or("stair").to_string();
+        let name = rec
+            .args
+            .first()
+            .and_then(Arg::as_str)
+            .unwrap_or("stair")
+            .to_string();
         let Some(items) = rec.args.get(1).and_then(Arg::as_list) else {
             issues.push(issue(rec, "stair missing vertex list"));
             continue;
@@ -328,18 +390,33 @@ pub fn decode(file: &StepFile) -> Result<Decoded, DecodeError> {
             }
         }
         if ok {
-            model.stairs.push(StairRec { id: rec.id, name, vertices });
+            model.stairs.push(StairRec {
+                id: rec.id,
+                name,
+                vertices,
+            });
         }
     }
 
-    for rec in file.records_of("IFCWALLSTANDARDCASE").chain(file.records_of("IFCWALL")) {
-        let name = rec.args.first().and_then(Arg::as_str).unwrap_or("wall").to_string();
+    for rec in file
+        .records_of("IFCWALLSTANDARDCASE")
+        .chain(file.records_of("IFCWALL"))
+    {
+        let name = rec
+            .args
+            .first()
+            .and_then(Arg::as_str)
+            .unwrap_or("wall")
+            .to_string();
         let Some(storey) = rec.args.get(1).and_then(Arg::as_ref_id) else {
             issues.push(issue(rec, "wall missing storey reference"));
             continue;
         };
-        let Some(path) =
-            rec.args.get(2).and_then(Arg::as_ref_id).and_then(|r| polylines.get(&r).cloned())
+        let Some(path) = rec
+            .args
+            .get(2)
+            .and_then(Arg::as_ref_id)
+            .and_then(|r| polylines.get(&r).cloned())
         else {
             issues.push(issue(rec, "wall missing centerline polyline"));
             continue;
@@ -348,14 +425,23 @@ pub fn decode(file: &StepFile) -> Result<Decoded, DecodeError> {
             issues.push(issue(rec, "wall centerline has fewer than 2 points"));
             continue;
         }
-        model.walls.push(WallRec { id: rec.id, name, storey, path });
+        model.walls.push(WallRec {
+            id: rec.id,
+            name,
+            storey,
+            path,
+        });
     }
 
     Ok(Decoded { model, issues })
 }
 
 fn issue(rec: &RawRecord, reason: &str) -> DecodeIssue {
-    DecodeIssue { record: rec.id, line: rec.line, reason: reason.to_string() }
+    DecodeIssue {
+        record: rec.id,
+        line: rec.line,
+        reason: reason.to_string(),
+    }
 }
 
 fn point_args(rec: &RawRecord) -> Result<(Point, Option<f64>), String> {
@@ -364,8 +450,14 @@ fn point_args(rec: &RawRecord) -> Result<(Point, Option<f64>), String> {
         .first()
         .and_then(Arg::as_list)
         .ok_or_else(|| "point missing coordinate list".to_string())?;
-    let x = coords.first().and_then(Arg::as_num).ok_or("point missing x")?;
-    let y = coords.get(1).and_then(Arg::as_num).ok_or("point missing y")?;
+    let x = coords
+        .first()
+        .and_then(Arg::as_num)
+        .ok_or("point missing x")?;
+    let y = coords
+        .get(1)
+        .and_then(Arg::as_num)
+        .ok_or("point missing y")?;
     if !x.is_finite() || !y.is_finite() {
         return Err("point coordinate not finite".into());
     }
@@ -516,7 +608,10 @@ END-ISO-10303-21;
             DoorDirectionality::EnterOnly,
             DoorDirectionality::ExitOnly,
         ] {
-            assert_eq!(DoorDirectionality::from_step_enum(d.as_step_enum()), Some(d));
+            assert_eq!(
+                DoorDirectionality::from_step_enum(d.as_step_enum()),
+                Some(d)
+            );
         }
         assert_eq!(DoorDirectionality::from_step_enum("NONSENSE"), None);
         // Legacy IFC-style spellings.

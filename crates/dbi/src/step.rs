@@ -106,7 +106,9 @@ impl StepFile {
 
     /// All records of a given (upper-case) type, in id order.
     pub fn records_of<'a>(&'a self, type_name: &'a str) -> impl Iterator<Item = &'a RawRecord> {
-        self.records.values().filter(move |r| r.type_name == type_name)
+        self.records
+            .values()
+            .filter(move |r| r.type_name == type_name)
     }
 }
 
@@ -148,7 +150,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -188,7 +194,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, reason: impl Into<String>) -> StepError {
-        StepError::Malformed { line: self.line, reason: reason.into() }
+        StepError::Malformed {
+            line: self.line,
+            reason: reason.into(),
+        }
     }
 
     /// Read an unsigned integer (entity id digits after `#`).
@@ -209,7 +218,10 @@ impl<'a> Lexer<'a> {
     /// Read a bare identifier (entity type name or section keyword).
     fn read_ident(&mut self) -> Result<String, StepError> {
         let start = self.pos;
-        while matches!(self.peek(), Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-')
+        ) {
             self.bump();
         }
         if self.pos == start {
@@ -269,8 +281,8 @@ impl<'a> Lexer<'a> {
                         None => return Err(self.err("unterminated string")),
                     }
                 }
-                let s = String::from_utf8(raw)
-                    .map_err(|_| self.err("string is not valid UTF-8"))?;
+                let s =
+                    String::from_utf8(raw).map_err(|_| self.err("string is not valid UTF-8"))?;
                 Ok(Arg::Str(s))
             }
             Some(b'.') => {
@@ -384,7 +396,12 @@ pub fn parse_step(src: &str) -> Result<StepFile, StepError> {
                     }
                 }
                 lx.expect(b';')?;
-                let rec = RawRecord { id, type_name, args, line };
+                let rec = RawRecord {
+                    id,
+                    type_name,
+                    args,
+                    line,
+                };
                 if file.records.insert(id, rec).is_some() {
                     return Err(StepError::DuplicateId { line, id });
                 }
@@ -513,7 +530,10 @@ END-ISO-10303-21;
 
     #[test]
     fn rejects_non_step_input() {
-        assert_eq!(parse_step("hello world").unwrap_err(), StepError::NotAStepFile);
+        assert_eq!(
+            parse_step("hello world").unwrap_err(),
+            StepError::NotAStepFile
+        );
     }
 
     #[test]

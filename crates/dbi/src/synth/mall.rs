@@ -121,7 +121,10 @@ pub fn mall(params: &SynthParams) -> DbiModel {
     for f in 0..params.floors.saturating_sub(1) {
         let (lo, poly) = &stair_polys[f];
         let (hi, _) = &stair_polys[f + 1];
-        b.stair(&format!("Escalator {f}-{}", f + 1), stair_vertices(poly, *lo, *hi));
+        b.stair(
+            &format!("Escalator {f}-{}", f + 1),
+            stair_vertices(poly, *lo, *hi),
+        );
     }
 
     b.finish()

@@ -43,13 +43,20 @@ pub struct SynthParams {
 
 impl Default for SynthParams {
     fn default() -> Self {
-        SynthParams { floors: 2, storey_height: 3.2, scale: 1.0 }
+        SynthParams {
+            floors: 2,
+            storey_height: 3.2,
+            scale: 1.0,
+        }
     }
 }
 
 impl SynthParams {
     pub fn with_floors(floors: usize) -> Self {
-        SynthParams { floors: floors.max(1), ..Default::default() }
+        SynthParams {
+            floors: floors.max(1),
+            ..Default::default()
+        }
     }
 }
 
@@ -62,7 +69,10 @@ pub(crate) struct ModelBuilder {
 impl ModelBuilder {
     pub fn new(name: &str) -> Self {
         ModelBuilder {
-            model: DbiModel { building_name: name.to_string(), ..Default::default() },
+            model: DbiModel {
+                building_name: name.to_string(),
+                ..Default::default()
+            },
             next_id: 1,
         }
     }
@@ -75,7 +85,11 @@ impl ModelBuilder {
 
     pub fn storey(&mut self, name: &str, elevation: f64) -> EntityId {
         let id = self.id();
-        self.model.storeys.push(StoreyRec { id, name: name.into(), elevation });
+        self.model.storeys.push(StoreyRec {
+            id,
+            name: name.into(),
+            elevation,
+        });
         id
     }
 
@@ -119,7 +133,11 @@ impl ModelBuilder {
 
     pub fn stair(&mut self, name: &str, vertices: Vec<Point3>) -> EntityId {
         let id = self.id();
-        self.model.stairs.push(StairRec { id, name: name.into(), vertices });
+        self.model.stairs.push(StairRec {
+            id,
+            name: name.into(),
+            vertices,
+        });
         id
     }
 
@@ -232,7 +250,11 @@ mod tests {
             assert_eq!(decoded.model.spaces.len(), m.spaces.len(), "{name} spaces");
             assert_eq!(decoded.model.doors.len(), m.doors.len(), "{name} doors");
             assert_eq!(decoded.model.stairs.len(), m.stairs.len(), "{name} stairs");
-            assert_eq!(decoded.model.storeys.len(), m.storeys.len(), "{name} storeys");
+            assert_eq!(
+                decoded.model.storeys.len(),
+                m.storeys.len(),
+                "{name} storeys"
+            );
         }
     }
 
@@ -269,7 +291,10 @@ mod tests {
     #[test]
     fn office_has_semantic_markers() {
         let m = office(&SynthParams::default());
-        assert!(m.spaces.iter().any(|s| s.name.to_lowercase().contains("canteen")));
+        assert!(m
+            .spaces
+            .iter()
+            .any(|s| s.name.to_lowercase().contains("canteen")));
         assert!(m.spaces.iter().any(|s| s.usage == "corridor"));
     }
 
@@ -301,16 +326,21 @@ mod tests {
 
     #[test]
     fn scale_parameter_grows_footprint() {
-        let small = office(&SynthParams { scale: 1.0, ..SynthParams::with_floors(1) });
-        let large = office(&SynthParams { scale: 2.0, ..SynthParams::with_floors(1) });
-        let area =
-            |m: &DbiModel| -> f64 {
-                m.spaces
-                    .iter()
-                    .filter_map(|s| Polygon::new(s.footprint.clone()).ok())
-                    .map(|p| p.area())
-                    .sum()
-            };
+        let small = office(&SynthParams {
+            scale: 1.0,
+            ..SynthParams::with_floors(1)
+        });
+        let large = office(&SynthParams {
+            scale: 2.0,
+            ..SynthParams::with_floors(1)
+        });
+        let area = |m: &DbiModel| -> f64 {
+            m.spaces
+                .iter()
+                .filter_map(|s| Polygon::new(s.footprint.clone()).ok())
+                .map(|p| p.area())
+                .sum()
+        };
         assert!(area(&large) > 3.0 * area(&small));
     }
 
@@ -325,7 +355,9 @@ mod tests {
     fn clinic_has_directional_door() {
         let m = clinic(&SynthParams::default());
         assert!(
-            m.doors.iter().any(|d| d.directionality != DoorDirectionality::Both),
+            m.doors
+                .iter()
+                .any(|d| d.directionality != DoorDirectionality::Both),
             "clinic should model a one-way door"
         );
     }

@@ -53,20 +53,26 @@ impl Writer {
     fn polyline(&mut self, pts: &[Point]) -> u64 {
         let refs: Vec<u64> = pts.iter().map(|&p| self.point2(p)).collect();
         let id = self.id();
-        let list = refs.iter().map(|r| format!("#{r}")).collect::<Vec<_>>().join(",");
+        let list = refs
+            .iter()
+            .map(|r| format!("#{r}"))
+            .collect::<Vec<_>>()
+            .join(",");
         self.record(id, &format!("IFCPOLYLINE(({list}))"));
         id
     }
 
     fn emit(&mut self, model: &DbiModel) -> String {
         self.out.push_str("ISO-10303-21;\nHEADER;\n");
-        self.out.push_str("FILE_DESCRIPTION(('Vita DBI export'),'2;1');\n");
+        self.out
+            .push_str("FILE_DESCRIPTION(('Vita DBI export'),'2;1');\n");
         let _ = writeln!(
             self.out,
             "FILE_NAME('{}','2016-09-05',('vita'),('vita'),'vita-dbi','vita-dbi','');",
             escape(&model.building_name)
         );
-        self.out.push_str("FILE_SCHEMA(('IFC2X3'));\nENDSEC;\nDATA;\n");
+        self.out
+            .push_str("FILE_SCHEMA(('IFC2X3'));\nENDSEC;\nDATA;\n");
 
         let building = self.id();
         let name = escape(&model.building_name);
@@ -80,7 +86,11 @@ impl Writer {
             storey_map.insert(s.id, id);
             self.record(
                 id,
-                &format!("IFCBUILDINGSTOREY('{}',{:.6},#{building})", escape(&s.name), s.elevation),
+                &format!(
+                    "IFCBUILDINGSTOREY('{}',{:.6},#{building})",
+                    escape(&s.name),
+                    s.elevation
+                ),
             );
         }
 
@@ -115,7 +125,11 @@ impl Writer {
 
         for st in &model.stairs {
             let refs: Vec<u64> = st.vertices.iter().map(|&v| self.point3(v)).collect();
-            let list = refs.iter().map(|r| format!("#{r}")).collect::<Vec<_>>().join(",");
+            let list = refs
+                .iter()
+                .map(|r| format!("#{r}"))
+                .collect::<Vec<_>>()
+                .join(",");
             let id = self.id();
             self.record(id, &format!("IFCSTAIR('{}',({list}))", escape(&st.name)));
         }
@@ -126,7 +140,10 @@ impl Writer {
             let id = self.id();
             self.record(
                 id,
-                &format!("IFCWALLSTANDARDCASE('{}',#{storey},#{pl})", escape(&wl.name)),
+                &format!(
+                    "IFCWALLSTANDARDCASE('{}',#{storey},#{pl})",
+                    escape(&wl.name)
+                ),
             );
         }
 
@@ -142,15 +159,25 @@ fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{decode, DoorDirectionality, DoorRec, SpaceRec, StairRec, StoreyRec, WallRec};
+    use crate::schema::{
+        decode, DoorDirectionality, DoorRec, SpaceRec, StairRec, StoreyRec, WallRec,
+    };
     use crate::step::parse_step;
 
     fn sample_model() -> DbiModel {
         DbiModel {
             building_name: "O'Brien Clinic".into(),
             storeys: vec![
-                StoreyRec { id: 100, name: "Ground".into(), elevation: 0.0 },
-                StoreyRec { id: 101, name: "First".into(), elevation: 3.5 },
+                StoreyRec {
+                    id: 100,
+                    name: "Ground".into(),
+                    elevation: 0.0,
+                },
+                StoreyRec {
+                    id: 101,
+                    name: "First".into(),
+                    elevation: 3.5,
+                },
             ],
             spaces: vec![SpaceRec {
                 id: 200,

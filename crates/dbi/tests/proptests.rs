@@ -24,12 +24,15 @@ fn name_strategy() -> impl Strategy<Value = String> {
 fn model_strategy() -> impl Strategy<Value = DbiModel> {
     (
         name_strategy(),
-        1usize..4,                      // storeys
-        1usize..6,                      // spaces per storey
+        1usize..4,                                                 // storeys
+        1usize..6,                                                 // spaces per storey
         prop::collection::vec((0.0f64..40.0, 0.0f64..40.0), 0..4), // door offsets
     )
         .prop_map(|(bname, n_storeys, spaces_per, door_offsets)| {
-            let mut model = DbiModel { building_name: bname, ..Default::default() };
+            let mut model = DbiModel {
+                building_name: bname,
+                ..Default::default()
+            };
             for s in 0..n_storeys {
                 let sid = (s + 1) as u64 * 100;
                 model.storeys.push(StoreyRec {

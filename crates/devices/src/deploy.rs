@@ -36,7 +36,10 @@ pub fn deploy(
         DeploymentModel::Coverage => coverage_positions(env, floor, count),
         DeploymentModel::CheckPoint => checkpoint_positions(env, floor, count),
     };
-    positions.into_iter().map(|p| registry.place(spec, floor, p)).collect()
+    positions
+        .into_iter()
+        .map(|p| registry.place(spec, floor, p))
+        .collect()
 }
 
 /// Coverage model: candidates along every wall edge of every partition,
@@ -58,7 +61,9 @@ fn coverage_positions(env: &IndoorEnvironment, floor: FloorId, count: usize) -> 
                 let on_wall = edge.at(t);
                 // Inset towards the centroid so the device sits inside.
                 let inward = on_wall.to(centroid);
-                let Some(u) = inward.normalized() else { continue };
+                let Some(u) = inward.normalized() else {
+                    continue;
+                };
                 let p = on_wall + u * WALL_INSET;
                 if poly.contains(p) {
                     candidates.push(p);
@@ -124,7 +129,11 @@ fn checkpoint_positions(env: &IndoorEnvironment, floor: FloorId, count: usize) -
         };
         rank(a)
             .cmp(&rank(b))
-            .then(b.width.partial_cmp(&a.width).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                b.width
+                    .partial_cmp(&a.width)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
             .then(a.id.cmp(&b.id))
     });
     for d in doors {
@@ -151,7 +160,10 @@ fn checkpoint_positions(env: &IndoorEnvironment, floor: FloorId, count: usize) -
         .map(|&pid| env.partition(pid))
         .collect();
     parts.sort_by(|a, b| {
-        b.area().partial_cmp(&a.area()).unwrap().then(a.id.cmp(&b.id))
+        b.area()
+            .partial_cmp(&a.area())
+            .unwrap()
+            .then(a.id.cmp(&b.id))
     });
     for p in parts {
         if positions.len() >= count {
@@ -201,8 +213,10 @@ pub fn coverage_fraction<R: Rng + ?Sized>(
     // Area-weighted sampling across partitions.
     let areas: Vec<f64> = parts.iter().map(|p| p.area()).collect();
     let total: f64 = areas.iter().sum();
-    let samplers: Vec<PolygonSampler> =
-        parts.iter().map(|p| PolygonSampler::new(&p.polygon)).collect();
+    let samplers: Vec<PolygonSampler> = parts
+        .iter()
+        .map(|p| PolygonSampler::new(&p.polygon))
+        .collect();
 
     let mut covered = 0usize;
     let mut tri_ready = 0usize;
@@ -246,7 +260,9 @@ mod tests {
 
     fn env() -> IndoorEnvironment {
         let model = office(&SynthParams::with_floors(2));
-        build_environment(&model, &BuildParams::default()).unwrap().env
+        build_environment(&model, &BuildParams::default())
+            .unwrap()
+            .env
     }
 
     #[test]
@@ -254,7 +270,14 @@ mod tests {
         let env = env();
         let mut reg = DeviceRegistry::new();
         let spec = DeviceSpec::default_for(DeviceType::WiFi);
-        let ids = deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, 12);
+        let ids = deploy(
+            &env,
+            &mut reg,
+            spec,
+            FloorId(0),
+            DeploymentModel::Coverage,
+            12,
+        );
         assert_eq!(ids.len(), 12);
         for d in reg.devices() {
             assert!(
@@ -270,7 +293,14 @@ mod tests {
         let env = env();
         let mut reg = DeviceRegistry::new();
         let spec = DeviceSpec::default_for(DeviceType::WiFi);
-        deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, 8);
+        deploy(
+            &env,
+            &mut reg,
+            spec,
+            FloorId(0),
+            DeploymentModel::Coverage,
+            8,
+        );
         // Wall-adjacent: each device within ~0.5 m of its partition boundary.
         for d in reg.devices() {
             let pid = env.locate(d.floor, d.position).unwrap();
@@ -294,7 +324,14 @@ mod tests {
         let env = env();
         let mut reg = DeviceRegistry::new();
         let spec = DeviceSpec::default_for(DeviceType::Rfid);
-        deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::CheckPoint, 6);
+        deploy(
+            &env,
+            &mut reg,
+            spec,
+            FloorId(0),
+            DeploymentModel::CheckPoint,
+            6,
+        );
         assert_eq!(reg.len(), 6);
         // Every placed device is within 1 m of some real door.
         for d in reg.devices() {
@@ -315,7 +352,14 @@ mod tests {
             .count();
         let mut reg = DeviceRegistry::new();
         let spec = DeviceSpec::default_for(DeviceType::Bluetooth);
-        deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::CheckPoint, door_count + 3);
+        deploy(
+            &env,
+            &mut reg,
+            spec,
+            FloorId(0),
+            DeploymentModel::CheckPoint,
+            door_count + 3,
+        );
         assert_eq!(reg.len(), door_count + 3, "hotspot overflow failed");
     }
 
@@ -329,13 +373,26 @@ mod tests {
         let mut frac = Vec::new();
         for n in [2usize, 6, 16] {
             let mut reg = DeviceRegistry::new();
-            deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, n);
+            deploy(
+                &env,
+                &mut reg,
+                spec,
+                FloorId(0),
+                DeploymentModel::Coverage,
+                n,
+            );
             let mut rng = StdRng::seed_from_u64(1);
             let stats = coverage_fraction(&env, &reg, FloorId(0), 2000, &mut rng);
             frac.push(stats.covered_fraction);
         }
-        assert!(frac[0] < frac[1] && frac[1] <= frac[2], "coverage not monotone: {frac:?}");
-        assert!(frac[2] > 0.9, "16 × 8 m devices should cover most of the floor");
+        assert!(
+            frac[0] < frac[1] && frac[1] <= frac[2],
+            "coverage not monotone: {frac:?}"
+        );
+        assert!(
+            frac[2] > 0.9,
+            "16 × 8 m devices should cover most of the floor"
+        );
     }
 
     #[test]
@@ -349,9 +406,23 @@ mod tests {
         };
         let n = 10;
         let mut reg_cov = DeviceRegistry::new();
-        deploy(&env, &mut reg_cov, spec, FloorId(0), DeploymentModel::Coverage, n);
+        deploy(
+            &env,
+            &mut reg_cov,
+            spec,
+            FloorId(0),
+            DeploymentModel::Coverage,
+            n,
+        );
         let mut reg_cp = DeviceRegistry::new();
-        deploy(&env, &mut reg_cp, spec, FloorId(0), DeploymentModel::CheckPoint, n);
+        deploy(
+            &env,
+            &mut reg_cp,
+            spec,
+            FloorId(0),
+            DeploymentModel::CheckPoint,
+            n,
+        );
         let mut rng = StdRng::seed_from_u64(2);
         let cov = coverage_fraction(&env, &reg_cov, FloorId(0), 3000, &mut rng);
         let mut rng = StdRng::seed_from_u64(2);
@@ -369,9 +440,23 @@ mod tests {
         let env = env();
         let spec = DeviceSpec::default_for(DeviceType::WiFi);
         let mut r1 = DeviceRegistry::new();
-        deploy(&env, &mut r1, spec, FloorId(0), DeploymentModel::Coverage, 7);
+        deploy(
+            &env,
+            &mut r1,
+            spec,
+            FloorId(0),
+            DeploymentModel::Coverage,
+            7,
+        );
         let mut r2 = DeviceRegistry::new();
-        deploy(&env, &mut r2, spec, FloorId(0), DeploymentModel::Coverage, 7);
+        deploy(
+            &env,
+            &mut r2,
+            spec,
+            FloorId(0),
+            DeploymentModel::Coverage,
+            7,
+        );
         for (a, b) in r1.devices().iter().zip(r2.devices()) {
             assert!(a.position.approx_eq(b.position));
         }
@@ -382,7 +467,14 @@ mod tests {
         let env = env();
         let mut reg = DeviceRegistry::new();
         let spec = DeviceSpec::default_for(DeviceType::WiFi);
-        let ids = deploy(&env, &mut reg, spec, FloorId(0), DeploymentModel::Coverage, 0);
+        let ids = deploy(
+            &env,
+            &mut reg,
+            spec,
+            FloorId(0),
+            DeploymentModel::Coverage,
+            0,
+        );
         assert!(ids.is_empty());
         assert!(reg.is_empty());
     }

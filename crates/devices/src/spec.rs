@@ -120,7 +120,12 @@ impl DeviceRegistry {
     /// Manually place one device.
     pub fn place(&mut self, spec: DeviceSpec, floor: FloorId, position: Point) -> DeviceId {
         let id = DeviceId(self.devices.len() as u32);
-        self.devices.push(Device { id, spec, floor, position });
+        self.devices.push(Device {
+            id,
+            spec,
+            floor,
+            position,
+        });
         id
     }
 
@@ -209,7 +214,12 @@ mod tests {
     #[test]
     fn device_range_check() {
         let spec = DeviceSpec::default_for(DeviceType::Rfid);
-        let d = Device { id: DeviceId(0), spec, floor: FloorId(0), position: Point::new(1.0, 1.0) };
+        let d = Device {
+            id: DeviceId(0),
+            spec,
+            floor: FloorId(0),
+            position: Point::new(1.0, 1.0),
+        };
         assert!(d.in_range(Point::new(2.0, 1.0)));
         assert!(!d.in_range(Point::new(9.0, 1.0)));
         assert!((d.distance_to(Point::new(4.0, 5.0)) - 5.0).abs() < 1e-9);

@@ -183,7 +183,11 @@ mod tests {
 
     #[test]
     fn from_points_and_inflate() {
-        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(3.0, 2.0),
+        ];
         let b = Aabb::from_points(&pts);
         assert_eq!(b.min, Point::new(-2.0, 0.0));
         assert_eq!(b.max, Point::new(3.0, 5.0));

@@ -21,7 +21,11 @@ impl GridIndex {
     /// Create a grid covering `domain` with roughly `cell`-sized cells.
     /// The cell size is clamped so the grid has at least one cell.
     pub fn new(domain: Aabb, cell: f64) -> Self {
-        let cell = if cell.is_finite() && cell > 1e-6 { cell } else { 1.0 };
+        let cell = if cell.is_finite() && cell > 1e-6 {
+            cell
+        } else {
+            1.0
+        };
         let cols = ((domain.width() / cell).ceil() as usize).max(1);
         let rows = ((domain.height() / cell).ceil() as usize).max(1);
         GridIndex {
@@ -61,7 +65,12 @@ impl GridIndex {
     }
 
     fn cell_range(&self, b: &Aabb) -> (usize, usize, usize, usize) {
-        (self.col_of(b.min.x), self.col_of(b.max.x), self.row_of(b.min.y), self.row_of(b.max.y))
+        (
+            self.col_of(b.min.x),
+            self.col_of(b.max.x),
+            self.row_of(b.min.y),
+            self.row_of(b.max.y),
+        )
     }
 
     /// Insert an item with the given bounds; returns its handle (dense index).

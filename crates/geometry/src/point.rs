@@ -58,13 +58,19 @@ impl Point {
     /// Vector from `self` to `other`.
     #[inline]
     pub fn to(&self, other: Point) -> Vec2 {
-        Vec2 { x: other.x - self.x, y: other.y - self.y }
+        Vec2 {
+            x: other.x - self.x,
+            y: other.y - self.y,
+        }
     }
 
     /// Linear interpolation: `t = 0` is `self`, `t = 1` is `other`.
     #[inline]
     pub fn lerp(&self, other: Point, t: f64) -> Point {
-        Point { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
     }
 
     /// Midpoint of the segment `self..other`.
@@ -121,14 +127,20 @@ impl Vec2 {
         if n <= EPS {
             None
         } else {
-            Some(Vec2 { x: self.x / n, y: self.y / n })
+            Some(Vec2 {
+                x: self.x / n,
+                y: self.y / n,
+            })
         }
     }
 
     /// Perpendicular vector (rotated +90°).
     #[inline]
     pub fn perp(&self) -> Vec2 {
-        Vec2 { x: -self.y, y: self.x }
+        Vec2 {
+            x: -self.y,
+            y: self.x,
+        }
     }
 
     /// Angle of the vector in radians, in `(-π, π]`.
@@ -140,7 +152,10 @@ impl Vec2 {
     /// Rotate by `theta` radians counter-clockwise.
     pub fn rotated(&self, theta: f64) -> Vec2 {
         let (s, c) = theta.sin_cos();
-        Vec2 { x: self.x * c - self.y * s, y: self.x * s + self.y * c }
+        Vec2 {
+            x: self.x * c - self.y * s,
+            y: self.x * s + self.y * c,
+        }
     }
 }
 
@@ -153,7 +168,10 @@ impl Point3 {
     /// Drop elevation.
     #[inline]
     pub fn xy(&self) -> Point {
-        Point { x: self.x, y: self.y }
+        Point {
+            x: self.x,
+            y: self.y,
+        }
     }
 
     #[inline]
@@ -189,7 +207,10 @@ impl Add<Vec2> for Point {
     type Output = Point;
     #[inline]
     fn add(self, v: Vec2) -> Point {
-        Point { x: self.x + v.x, y: self.y + v.y }
+        Point {
+            x: self.x + v.x,
+            y: self.y + v.y,
+        }
     }
 }
 
@@ -205,7 +226,10 @@ impl Sub<Vec2> for Point {
     type Output = Point;
     #[inline]
     fn sub(self, v: Vec2) -> Point {
-        Point { x: self.x - v.x, y: self.y - v.y }
+        Point {
+            x: self.x - v.x,
+            y: self.y - v.y,
+        }
     }
 }
 
@@ -213,7 +237,10 @@ impl Sub<Point> for Point {
     type Output = Vec2;
     #[inline]
     fn sub(self, p: Point) -> Vec2 {
-        Vec2 { x: self.x - p.x, y: self.y - p.y }
+        Vec2 {
+            x: self.x - p.x,
+            y: self.y - p.y,
+        }
     }
 }
 
@@ -221,7 +248,10 @@ impl Add for Vec2 {
     type Output = Vec2;
     #[inline]
     fn add(self, o: Vec2) -> Vec2 {
-        Vec2 { x: self.x + o.x, y: self.y + o.y }
+        Vec2 {
+            x: self.x + o.x,
+            y: self.y + o.y,
+        }
     }
 }
 
@@ -237,7 +267,10 @@ impl Sub for Vec2 {
     type Output = Vec2;
     #[inline]
     fn sub(self, o: Vec2) -> Vec2 {
-        Vec2 { x: self.x - o.x, y: self.y - o.y }
+        Vec2 {
+            x: self.x - o.x,
+            y: self.y - o.y,
+        }
     }
 }
 
@@ -253,7 +286,10 @@ impl Mul<f64> for Vec2 {
     type Output = Vec2;
     #[inline]
     fn mul(self, s: f64) -> Vec2 {
-        Vec2 { x: self.x * s, y: self.y * s }
+        Vec2 {
+            x: self.x * s,
+            y: self.y * s,
+        }
     }
 }
 
@@ -261,7 +297,10 @@ impl Div<f64> for Vec2 {
     type Output = Vec2;
     #[inline]
     fn div(self, s: f64) -> Vec2 {
-        Vec2 { x: self.x / s, y: self.y / s }
+        Vec2 {
+            x: self.x / s,
+            y: self.y / s,
+        }
     }
 }
 
@@ -269,7 +308,10 @@ impl Neg for Vec2 {
     type Output = Vec2;
     #[inline]
     fn neg(self) -> Vec2 {
-        Vec2 { x: -self.x, y: -self.y }
+        Vec2 {
+            x: -self.x,
+            y: -self.y,
+        }
     }
 }
 

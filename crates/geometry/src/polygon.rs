@@ -91,7 +91,10 @@ impl Polygon {
         let ring = (0..n)
             .map(|i| {
                 let theta = 2.0 * std::f64::consts::PI * (i as f64) / (n as f64);
-                Point::new(center.x + radius * theta.cos(), center.y + radius * theta.sin())
+                Point::new(
+                    center.x + radius * theta.cos(),
+                    center.y + radius * theta.sin(),
+                )
             })
             .collect();
         Polygon::new(ring)
@@ -181,8 +184,7 @@ impl Polygon {
         for i in 0..n {
             let a = self.ring[i];
             let b = self.ring[j];
-            if ((a.y > p.y) != (b.y > p.y))
-                && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
+            if ((a.y > p.y) != (b.y > p.y)) && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
             {
                 inside = !inside;
             }
@@ -207,7 +209,9 @@ impl Polygon {
 
     /// Distance from `p` to the ring (positive even when inside).
     pub fn boundary_dist(&self, p: Point) -> f64 {
-        self.edges().map(|e| e.dist_to_point(p)).fold(f64::INFINITY, f64::min)
+        self.edges()
+            .map(|e| e.dist_to_point(p))
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// True if every interior angle turns the same way.
@@ -244,7 +248,9 @@ impl Polygon {
 
     /// Translate all vertices by `v`.
     pub fn translated(&self, v: Vec2) -> Polygon {
-        Polygon { ring: self.ring.iter().map(|&p| p + v).collect() }
+        Polygon {
+            ring: self.ring.iter().map(|&p| p + v).collect(),
+        }
     }
 
     /// Shrink the polygon towards its centroid by factor `f ∈ (0, 1]`.
@@ -252,7 +258,9 @@ impl Polygon {
     /// devices "close to the wall but inside" and similar toolkit needs.
     pub fn scaled_about_centroid(&self, f: f64) -> Polygon {
         let c = self.centroid();
-        Polygon { ring: self.ring.iter().map(|&p| c + (p - c) * f).collect() }
+        Polygon {
+            ring: self.ring.iter().map(|&p| c + (p - c) * f).collect(),
+        }
     }
 
     /// Ear-clipping triangulation. Returns triangles as vertex triples.
@@ -273,9 +281,9 @@ impl Polygon {
                 if orient(a, b, c) != Orientation::CounterClockwise {
                     continue; // reflex or collinear vertex: not an ear tip
                 }
-                let any_inside = idx.iter().any(|&j| {
-                    j != ia && j != ib && j != ic && point_in_triangle(ring[j], a, b, c)
-                });
+                let any_inside = idx
+                    .iter()
+                    .any(|&j| j != ia && j != ib && j != ic && point_in_triangle(ring[j], a, b, c));
                 if any_inside {
                     continue;
                 }
@@ -395,7 +403,11 @@ impl PolygonSampler {
             total += triangle_area(t);
             cumulative.push(total);
         }
-        PolygonSampler { tris, cumulative, total }
+        PolygonSampler {
+            tris,
+            cumulative,
+            total,
+        }
     }
 
     /// Uniform point in the polygon.

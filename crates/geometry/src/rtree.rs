@@ -15,8 +15,14 @@ const NODE_CAPACITY: usize = 8;
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { bounds: Aabb, items: Vec<(u32, Aabb)> },
-    Inner { bounds: Aabb, children: Vec<Node> },
+    Leaf {
+        bounds: Aabb,
+        items: Vec<(u32, Aabb)>,
+    },
+    Inner {
+        bounds: Aabb,
+        children: Vec<Node>,
+    },
 }
 
 impl Node {
@@ -52,11 +58,17 @@ impl RTree {
             slice.sort_by(|a, b| cmp_f64(a.1.center().y, b.1.center().y));
             for chunk in slice.chunks(NODE_CAPACITY) {
                 let bounds = chunk.iter().fold(Aabb::empty(), |b, (_, e)| b.union(e));
-                leaves.push(Node::Leaf { bounds, items: chunk.to_vec() });
+                leaves.push(Node::Leaf {
+                    bounds,
+                    items: chunk.to_vec(),
+                });
             }
         }
         let root = Self::build_upward(leaves);
-        RTree { root: Some(root), len }
+        RTree {
+            root: Some(root),
+            len,
+        }
     }
 
     fn build_upward(mut nodes: Vec<Node>) -> Node {
@@ -64,8 +76,13 @@ impl RTree {
             let mut parents = Vec::with_capacity(nodes.len().div_ceil(NODE_CAPACITY));
             nodes.sort_by(|a, b| cmp_f64(a.bounds().center().x, b.bounds().center().x));
             for chunk in nodes.chunks(NODE_CAPACITY) {
-                let bounds = chunk.iter().fold(Aabb::empty(), |b, n| b.union(&n.bounds()));
-                parents.push(Node::Inner { bounds, children: chunk.to_vec() });
+                let bounds = chunk
+                    .iter()
+                    .fold(Aabb::empty(), |b, n| b.union(&n.bounds()));
+                parents.push(Node::Inner {
+                    bounds,
+                    children: chunk.to_vec(),
+                });
             }
             nodes = parents;
         }
@@ -90,7 +107,10 @@ impl RTree {
                     Node::Leaf { bounds, items } => {
                         if bounds.intersects(query) {
                             out.extend(
-                                items.iter().filter(|(_, b)| b.intersects(query)).map(|(i, _)| *i),
+                                items
+                                    .iter()
+                                    .filter(|(_, b)| b.intersects(query))
+                                    .map(|(i, _)| *i),
                             );
                         }
                     }
@@ -121,7 +141,10 @@ impl RTree {
             return out;
         }
         let mut heap: BinaryHeap<HeapEntry<'_>> = BinaryHeap::new();
-        heap.push(HeapEntry { dist: root.bounds().dist_to_point(p), kind: Kind::Node(root) });
+        heap.push(HeapEntry {
+            dist: root.bounds().dist_to_point(p),
+            kind: Kind::Node(root),
+        });
         while let Some(HeapEntry { dist, kind }) = heap.pop() {
             match kind {
                 Kind::Node(Node::Inner { children, .. }) => {
@@ -134,7 +157,10 @@ impl RTree {
                 }
                 Kind::Node(Node::Leaf { items, .. }) => {
                     for (id, b) in items {
-                        heap.push(HeapEntry { dist: b.dist_to_point(p), kind: Kind::Item(*id) });
+                        heap.push(HeapEntry {
+                            dist: b.dist_to_point(p),
+                            kind: Kind::Item(*id),
+                        });
                     }
                 }
                 Kind::Item(id) => {
@@ -221,8 +247,11 @@ mod tests {
         let q = Aabb::new(Point::new(3.0, 3.0), Point::new(9.0, 7.0));
         let mut got = t.query_bbox(&q);
         got.sort_unstable();
-        let mut want: Vec<u32> =
-            entries.iter().filter(|(_, b)| b.intersects(&q)).map(|(i, _)| *i).collect();
+        let mut want: Vec<u32> = entries
+            .iter()
+            .filter(|(_, b)| b.intersects(&q))
+            .map(|(i, _)| *i)
+            .collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }
@@ -234,8 +263,10 @@ mod tests {
         let p = Point::new(7.3, 3.9);
         let got = t.nearest(p, 5);
         assert_eq!(got.len(), 5);
-        let mut brute: Vec<(u32, f64)> =
-            entries.iter().map(|(i, b)| (*i, b.dist_to_point(p))).collect();
+        let mut brute: Vec<(u32, f64)> = entries
+            .iter()
+            .map(|(i, b)| (*i, b.dist_to_point(p)))
+            .collect();
         brute.sort_by(|a, b| cmp_f64(a.1, b.1));
         for (i, (_, d)) in got.iter().enumerate() {
             assert!(

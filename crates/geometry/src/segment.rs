@@ -59,8 +59,12 @@ impl Segment {
         let o3 = orient(other.a, other.b, self.a);
         let o4 = orient(other.a, other.b, self.b);
 
-        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
-            && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+        if o1 != o2
+            && o3 != o4
+            && o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
         {
             return true;
         }
@@ -142,7 +146,10 @@ impl Segment {
     /// The segment with endpoints swapped.
     #[inline]
     pub fn reversed(&self) -> Segment {
-        Segment { a: self.b, b: self.a }
+        Segment {
+            a: self.b,
+            b: self.a,
+        }
     }
 }
 
@@ -207,9 +214,15 @@ mod tests {
     #[test]
     fn closest_point_clamps_to_endpoints() {
         let s = seg(0.0, 0.0, 1.0, 0.0);
-        assert!(s.closest_point(Point::new(-1.0, 1.0)).approx_eq(Point::new(0.0, 0.0)));
-        assert!(s.closest_point(Point::new(2.0, 1.0)).approx_eq(Point::new(1.0, 0.0)));
-        assert!(s.closest_point(Point::new(0.5, 1.0)).approx_eq(Point::new(0.5, 0.0)));
+        assert!(s
+            .closest_point(Point::new(-1.0, 1.0))
+            .approx_eq(Point::new(0.0, 0.0)));
+        assert!(s
+            .closest_point(Point::new(2.0, 1.0))
+            .approx_eq(Point::new(1.0, 0.0)));
+        assert!(s
+            .closest_point(Point::new(0.5, 1.0))
+            .approx_eq(Point::new(0.5, 0.0)));
         assert!((s.dist_to_point(Point::new(0.5, 2.0)) - 2.0).abs() < EPS);
     }
 

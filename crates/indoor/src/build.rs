@@ -19,9 +19,7 @@ use vita_dbi::{DbiModel, DoorDirectionality};
 use vita_geometry::{Point, Segment};
 
 use crate::decompose::{decompose, DecomposeParams};
-use crate::model::{
-    Door, DoorDirection, DoorKind, Floor, IndoorEnvironment, Partition, Staircase,
-};
+use crate::model::{Door, DoorDirection, DoorKind, Floor, IndoorEnvironment, Partition, Staircase};
 use crate::semantics::{classify, default_rules, is_public_by_structure, Semantic, SemanticRule};
 use crate::types::{DoorId, FloorId, PartitionId, StairId};
 
@@ -103,7 +101,11 @@ pub fn build_environment(model: &DbiModel, params: &BuildParams) -> Result<Built
         return Err(BuildError::NoFloors);
     }
     let mut warnings = Vec::new();
-    let rules = if params.rules.is_empty() { default_rules() } else { params.rules.clone() };
+    let rules = if params.rules.is_empty() {
+        default_rules()
+    } else {
+        params.rules.clone()
+    };
 
     // --- Floors (storeys arrive sorted by elevation from the decoder). ---
     let mut floors: Vec<Floor> = model
@@ -131,11 +133,15 @@ pub fn build_environment(model: &DbiModel, params: &BuildParams) -> Result<Built
     let mut doors: Vec<Door> = Vec::new();
     for sp in &model.spaces {
         let Some(floor) = storey_to_floor(sp.storey) else {
-            warnings.push(BuildWarning::BadFootprint { name: sp.name.clone() });
+            warnings.push(BuildWarning::BadFootprint {
+                name: sp.name.clone(),
+            });
             continue;
         };
         let Ok(poly) = vita_geometry::Polygon::new(sp.footprint.clone()) else {
-            warnings.push(BuildWarning::BadFootprint { name: sp.name.clone() });
+            warnings.push(BuildWarning::BadFootprint {
+                name: sp.name.clone(),
+            });
             continue;
         };
         let semantic = classify(&sp.name, &sp.usage, &rules);
@@ -201,7 +207,9 @@ pub fn build_environment(model: &DbiModel, params: &BuildParams) -> Result<Built
     for w in &model.walls {
         if let Some(floor) = storey_to_floor(w.storey) {
             for pair in w.path.windows(2) {
-                floors[floor.index()].walls.push(Segment::new(pair[0], pair[1]));
+                floors[floor.index()]
+                    .walls
+                    .push(Segment::new(pair[0], pair[1]));
             }
         }
     }
@@ -209,7 +217,9 @@ pub fn build_environment(model: &DbiModel, params: &BuildParams) -> Result<Built
     // --- Door connectivity. ---
     for d in &model.doors {
         let Some(floor) = storey_to_floor(d.storey) else {
-            warnings.push(BuildWarning::DoorUnresolved { name: d.name.clone() });
+            warnings.push(BuildWarning::DoorUnresolved {
+                name: d.name.clone(),
+            });
             continue;
         };
         // Candidate partitions on this floor whose boundary is within
@@ -227,7 +237,9 @@ pub fn build_environment(model: &DbiModel, params: &BuildParams) -> Result<Built
 
         let resolved = match candidates.as_slice() {
             [] => {
-                warnings.push(BuildWarning::DoorUnresolved { name: d.name.clone() });
+                warnings.push(BuildWarning::DoorUnresolved {
+                    name: d.name.clone(),
+                });
                 continue;
             }
             [a] => (*a, None),
@@ -279,7 +291,10 @@ pub fn build_environment(model: &DbiModel, params: &BuildParams) -> Result<Built
                 stairs.push(s);
             }
             Err(reason) => {
-                warnings.push(BuildWarning::StairUnresolved { name: st.name.clone(), reason });
+                warnings.push(BuildWarning::StairUnresolved {
+                    name: st.name.clone(),
+                    reason,
+                });
             }
         }
     }
@@ -312,10 +327,18 @@ fn resolve_stair(
     // Split vertices into the lower and upper groups by proximity to the
     // extreme elevations.
     let mid = (z_lo + z_hi) / 2.0;
-    let lower: Vec<Point> =
-        st.vertices.iter().filter(|v| v.z < mid).map(|v| v.xy()).collect();
-    let upper: Vec<Point> =
-        st.vertices.iter().filter(|v| v.z >= mid).map(|v| v.xy()).collect();
+    let lower: Vec<Point> = st
+        .vertices
+        .iter()
+        .filter(|v| v.z < mid)
+        .map(|v| v.xy())
+        .collect();
+    let upper: Vec<Point> = st
+        .vertices
+        .iter()
+        .filter(|v| v.z >= mid)
+        .map(|v| v.xy())
+        .collect();
     if lower.is_empty() || upper.is_empty() {
         return Err("vertices do not form two elevation groups".into());
     }
@@ -450,8 +473,14 @@ mod tests {
             assert_eq!(st.lower_floor, FloorId(i as u32));
             assert_eq!(st.upper_floor, FloorId(i as u32 + 1));
             // Resolved partitions are the stair cores.
-            assert_eq!(env.partition(st.lower_partition).semantic, Semantic::Staircase);
-            assert_eq!(env.partition(st.upper_partition).semantic, Semantic::Staircase);
+            assert_eq!(
+                env.partition(st.lower_partition).semantic,
+                Semantic::Staircase
+            );
+            assert_eq!(
+                env.partition(st.upper_partition).semantic,
+                Semantic::Staircase
+            );
             assert!(st.length >= 3.2, "flight length {}", st.length);
         }
     }
@@ -483,7 +512,10 @@ mod tests {
     #[test]
     fn decomposition_can_be_disabled() {
         let model = office(&SynthParams::with_floors(1));
-        let params = BuildParams { decompose: None, ..Default::default() };
+        let params = BuildParams {
+            decompose: None,
+            ..Default::default()
+        };
         let built = build_environment(&model, &params).unwrap();
         assert_eq!(built.env.summary().openings, 0);
         assert_eq!(built.env.summary().partitions, model.spaces.len());

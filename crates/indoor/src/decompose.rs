@@ -29,7 +29,12 @@ pub struct DecomposeParams {
 
 impl Default for DecomposeParams {
     fn default() -> Self {
-        DecomposeParams { max_area: 150.0, max_aspect: 3.0, min_area: 4.0, max_depth: 8 }
+        DecomposeParams {
+            max_area: 150.0,
+            max_aspect: 3.0,
+            min_area: 4.0,
+            max_depth: 8,
+        }
     }
 }
 
@@ -60,7 +65,10 @@ pub struct Decomposition {
 impl Decomposition {
     /// A decomposition that leaves the polygon whole.
     pub fn trivial(polygon: Polygon) -> Self {
-        Decomposition { cells: vec![Cell { polygon }], boundaries: Vec::new() }
+        Decomposition {
+            cells: vec![Cell { polygon }],
+            boundaries: Vec::new(),
+        }
     }
 
     pub fn is_trivial(&self) -> bool {
@@ -89,7 +97,10 @@ pub fn decompose(poly: &Polygon, params: &DecomposeParams) -> Decomposition {
         return Decomposition::trivial(poly.clone());
     }
     let boundaries = find_boundaries(&cells);
-    Decomposition { cells: cells.into_iter().map(|polygon| Cell { polygon }).collect(), boundaries }
+    Decomposition {
+        cells: cells.into_iter().map(|polygon| Cell { polygon }).collect(),
+        boundaries,
+    }
 }
 
 fn split_recursive(poly: Polygon, params: &DecomposeParams, depth: u32, out: &mut Vec<Polygon>) {
@@ -123,7 +134,12 @@ fn find_boundaries(cells: &[Polygon]) -> Vec<OpenBoundary> {
     for i in 0..cells.len() {
         for j in i + 1..cells.len() {
             if let Some((mid, len)) = shared_edge(&cells[i], &cells[j]) {
-                out.push(OpenBoundary { left: i, right: j, midpoint: mid, length: len });
+                out.push(OpenBoundary {
+                    left: i,
+                    right: j,
+                    midpoint: mid,
+                    length: len,
+                });
             }
         }
     }
@@ -278,7 +294,10 @@ mod tests {
     #[test]
     fn min_area_respected() {
         let p = Polygon::rect(0.0, 0.0, 4.0, 2.0); // 8 m², tiny but aspect 2
-        let params = DecomposeParams { min_area: 4.0, ..Default::default() };
+        let params = DecomposeParams {
+            min_area: 4.0,
+            ..Default::default()
+        };
         let d = decompose(&p, &params);
         assert!(d.is_trivial(), "tiny cell should not be split");
     }

@@ -73,13 +73,18 @@ impl IndoorGraph {
         let mut index: HashMap<Anchor, u32> = HashMap::new();
 
         let push = |nodes: &mut Vec<Node>,
-                        index: &mut HashMap<Anchor, u32>,
-                        anchor: Anchor,
-                        floor: FloorId,
-                        partition: PartitionId,
-                        position: Point| {
+                    index: &mut HashMap<Anchor, u32>,
+                    anchor: Anchor,
+                    floor: FloorId,
+                    partition: PartitionId,
+                    position: Point| {
             let id = nodes.len() as u32;
-            nodes.push(Node { anchor, floor, partition, position });
+            nodes.push(Node {
+                anchor,
+                floor,
+                partition,
+                position,
+            });
             index.insert(anchor, id);
             id
         };
@@ -89,7 +94,10 @@ impl IndoorGraph {
             push(
                 &mut nodes,
                 &mut index,
-                Anchor::Door { door: d.id, side: d.partitions.0 },
+                Anchor::Door {
+                    door: d.id,
+                    side: d.partitions.0,
+                },
                 d.floor,
                 d.partitions.0,
                 d.position,
@@ -98,7 +106,10 @@ impl IndoorGraph {
                 push(
                     &mut nodes,
                     &mut index,
-                    Anchor::Door { door: d.id, side: b },
+                    Anchor::Door {
+                        door: d.id,
+                        side: b,
+                    },
                     d.floor,
                     b,
                     d.position,
@@ -110,7 +121,10 @@ impl IndoorGraph {
             push(
                 &mut nodes,
                 &mut index,
-                Anchor::StairEnd { stair: s.id, upper: false },
+                Anchor::StairEnd {
+                    stair: s.id,
+                    upper: false,
+                },
                 s.lower_floor,
                 s.lower_partition,
                 s.lower_point,
@@ -118,7 +132,10 @@ impl IndoorGraph {
             push(
                 &mut nodes,
                 &mut index,
-                Anchor::StairEnd { stair: s.id, upper: true },
+                Anchor::StairEnd {
+                    stair: s.id,
+                    upper: true,
+                },
                 s.upper_floor,
                 s.upper_partition,
                 s.upper_point,
@@ -154,8 +171,14 @@ impl IndoorGraph {
         // Door-crossing edges between the two sides of each door.
         for d in env.doors() {
             let Some(b) = d.partitions.1 else { continue };
-            let na = index[&Anchor::Door { door: d.id, side: d.partitions.0 }];
-            let nb = index[&Anchor::Door { door: d.id, side: b }];
+            let na = index[&Anchor::Door {
+                door: d.id,
+                side: d.partitions.0,
+            }];
+            let nb = index[&Anchor::Door {
+                door: d.id,
+                side: b,
+            }];
             if d.traversable_from(d.partitions.0) {
                 adj[na as usize].push(Edge {
                     to: nb,
@@ -174,13 +197,31 @@ impl IndoorGraph {
 
         // Staircase edges (both directions).
         for s in env.stairs() {
-            let lo = index[&Anchor::StairEnd { stair: s.id, upper: false }];
-            let hi = index[&Anchor::StairEnd { stair: s.id, upper: true }];
-            adj[lo as usize].push(Edge { to: hi, dist: s.length, medium: Medium::Stair(s.id) });
-            adj[hi as usize].push(Edge { to: lo, dist: s.length, medium: Medium::Stair(s.id) });
+            let lo = index[&Anchor::StairEnd {
+                stair: s.id,
+                upper: false,
+            }];
+            let hi = index[&Anchor::StairEnd {
+                stair: s.id,
+                upper: true,
+            }];
+            adj[lo as usize].push(Edge {
+                to: hi,
+                dist: s.length,
+                medium: Medium::Stair(s.id),
+            });
+            adj[hi as usize].push(Edge {
+                to: lo,
+                dist: s.length,
+                medium: Medium::Stair(s.id),
+            });
         }
 
-        IndoorGraph { nodes, adj, by_partition }
+        IndoorGraph {
+            nodes,
+            adj,
+            by_partition,
+        }
     }
 
     pub fn node_count(&self) -> usize {
@@ -201,7 +242,10 @@ impl IndoorGraph {
 
     /// Nodes anchored in `partition`.
     pub fn nodes_in(&self, partition: PartitionId) -> &[u32] {
-        self.by_partition.get(&partition).map(Vec::as_slice).unwrap_or(&[])
+        self.by_partition
+            .get(&partition)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Generic Dijkstra from a set of seeded (node, cost) pairs.
@@ -234,7 +278,10 @@ impl IndoorGraph {
                 if nd < dist[e.to as usize] {
                     dist[e.to as usize] = nd;
                     prev[e.to as usize] = Some(node);
-                    heap.push(QueueItem { cost: nd, node: e.to });
+                    heap.push(QueueItem {
+                        cost: nd,
+                        node: e.to,
+                    });
                 }
             }
         }
@@ -280,7 +327,10 @@ impl PartialOrd for QueueItem {
 }
 impl Ord for QueueItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -292,7 +342,9 @@ mod tests {
 
     fn graph_for(floors: usize) -> (IndoorEnvironment, IndoorGraph) {
         let model = office(&SynthParams::with_floors(floors));
-        let env = build_environment(&model, &BuildParams::default()).unwrap().env;
+        let env = build_environment(&model, &BuildParams::default())
+            .unwrap()
+            .env;
         let g = IndoorGraph::new(&env);
         (env, g)
     }
@@ -300,8 +352,16 @@ mod tests {
     #[test]
     fn graph_has_two_sides_per_interior_door() {
         let (env, g) = graph_for(1);
-        let interior = env.doors().iter().filter(|d| d.partitions.1.is_some()).count();
-        let entrances = env.doors().iter().filter(|d| d.partitions.1.is_none()).count();
+        let interior = env
+            .doors()
+            .iter()
+            .filter(|d| d.partitions.1.is_some())
+            .count();
+        let entrances = env
+            .doors()
+            .iter()
+            .filter(|d| d.partitions.1.is_none())
+            .count();
         let stair_nodes = env.stairs().len() * 2;
         assert_eq!(g.node_count(), interior * 2 + entrances + stair_nodes);
     }
@@ -310,7 +370,10 @@ mod tests {
     fn all_partitions_reachable_from_entrance_single_floor() {
         let (env, g) = graph_for(1);
         let entrance = env.entrances().next().unwrap();
-        let seed_anchor = Anchor::Door { door: entrance.id, side: entrance.partitions.0 };
+        let seed_anchor = Anchor::Door {
+            door: entrance.id,
+            side: entrance.partitions.0,
+        };
         let seed = (0..g.node_count() as u32)
             .find(|&i| g.node(i).anchor == seed_anchor)
             .unwrap();
@@ -334,8 +397,10 @@ mod tests {
             .unwrap();
         let sp = g.dijkstra(&[(seed, 0.0)], |e| e.dist);
         for p in env.partitions() {
-            let reached =
-                g.nodes_in(p.id).iter().any(|&n| sp.dist[n as usize].is_finite());
+            let reached = g
+                .nodes_in(p.id)
+                .iter()
+                .any(|&n| sp.dist[n as usize].is_finite());
             assert!(reached, "partition {} on {:?} unreachable", p.name, p.floor);
         }
     }
@@ -357,10 +422,22 @@ mod tests {
         let (a, b) = (d.partitions.0, d.partitions.1.unwrap());
         // Node on side a must have a crossing edge; node on side b must not.
         let node_a = (0..g.node_count() as u32)
-            .find(|&i| g.node(i).anchor == Anchor::Door { door: door_id, side: a })
+            .find(|&i| {
+                g.node(i).anchor
+                    == Anchor::Door {
+                        door: door_id,
+                        side: a,
+                    }
+            })
             .unwrap();
         let node_b = (0..g.node_count() as u32)
-            .find(|&i| g.node(i).anchor == Anchor::Door { door: door_id, side: b })
+            .find(|&i| {
+                g.node(i).anchor
+                    == Anchor::Door {
+                        door: door_id,
+                        side: b,
+                    }
+            })
             .unwrap();
         let has_crossing = |n: u32| {
             g.edges_from(n)
@@ -378,7 +455,9 @@ mod tests {
         let target = (0..g.node_count() as u32)
             .filter(|&i| sp.dist[i as usize].is_finite())
             .max_by(|&a, &b| {
-                sp.dist[a as usize].partial_cmp(&sp.dist[b as usize]).unwrap()
+                sp.dist[a as usize]
+                    .partial_cmp(&sp.dist[b as usize])
+                    .unwrap()
             })
             .unwrap();
         let path = sp.path_to(target);

@@ -26,7 +26,7 @@ pub mod semantics;
 pub mod types;
 
 pub use build::{build_environment, BuildError, BuildParams, BuildWarning, Built};
-pub use decompose::{decompose, Decomposition, DecomposeParams};
+pub use decompose::{decompose, DecomposeParams, Decomposition};
 pub use graph::{Anchor, Edge, IndoorGraph, Medium, ShortestPaths};
 pub use model::{
     Door, DoorDirection, DoorKind, EnvSummary, Floor, IndoorEnvironment, Obstacle, Partition,

@@ -295,7 +295,12 @@ impl IndoorEnvironment {
         attenuation_dbm: f64,
     ) -> ObstacleId {
         let id = ObstacleId(self.obstacles.len() as u32);
-        self.obstacles.push(Obstacle { id, floor, polygon, attenuation_dbm });
+        self.obstacles.push(Obstacle {
+            id,
+            floor,
+            polygon,
+            attenuation_dbm,
+        });
         id
     }
 
@@ -339,8 +344,16 @@ impl IndoorEnvironment {
         EnvSummary {
             floors: self.floors.len(),
             partitions: self.partitions.len(),
-            doors: self.doors.iter().filter(|d| d.kind == DoorKind::Door).count(),
-            openings: self.doors.iter().filter(|d| d.kind == DoorKind::Opening).count(),
+            doors: self
+                .doors
+                .iter()
+                .filter(|d| d.kind == DoorKind::Door)
+                .count(),
+            openings: self
+                .doors
+                .iter()
+                .filter(|d| d.kind == DoorKind::Opening)
+                .count(),
             stairs: self.stairs.len(),
             entrances: self.entrances().count(),
             walls: self.floors.iter().map(|f| f.walls.len()).sum(),
@@ -365,8 +378,13 @@ impl std::fmt::Display for EnvSummary {
         write!(
             f,
             "{} floors, {} partitions, {} doors (+{} openings), {} stairs, {} entrances, {} walls",
-            self.floors, self.partitions, self.doors, self.openings, self.stairs,
-            self.entrances, self.walls
+            self.floors,
+            self.partitions,
+            self.doors,
+            self.openings,
+            self.stairs,
+            self.entrances,
+            self.walls
         )
     }
 }
@@ -434,8 +452,14 @@ mod tests {
     #[test]
     fn locate_points() {
         let env = tiny_env();
-        assert_eq!(env.locate(FloorId(0), Point::new(1.0, 1.0)), Some(PartitionId(0)));
-        assert_eq!(env.locate(FloorId(0), Point::new(7.0, 1.0)), Some(PartitionId(1)));
+        assert_eq!(
+            env.locate(FloorId(0), Point::new(1.0, 1.0)),
+            Some(PartitionId(0))
+        );
+        assert_eq!(
+            env.locate(FloorId(0), Point::new(7.0, 1.0)),
+            Some(PartitionId(1))
+        );
         assert_eq!(env.locate(FloorId(0), Point::new(20.0, 1.0)), None);
     }
 

@@ -29,7 +29,12 @@ impl Default for SpeedProfile {
     fn default() -> Self {
         // Typical pedestrian speeds: brisk in corridors, slower among
         // furniture, slowest on stairs.
-        SpeedProfile { corridor: 1.4, room: 0.9, public_area: 1.2, stairs: 0.55 }
+        SpeedProfile {
+            corridor: 1.4,
+            room: 0.9,
+            public_area: 1.2,
+            stairs: 0.55,
+        }
     }
 }
 
@@ -92,7 +97,11 @@ impl Route {
             let (a, b) = (&pair[0], &pair[1]);
             if d <= b.cum_dist {
                 let span = b.cum_dist - a.cum_dist;
-                let t = if span <= 1e-12 { 0.0 } else { (d - a.cum_dist) / span };
+                let t = if span <= 1e-12 {
+                    0.0
+                } else {
+                    (d - a.cum_dist) / span
+                };
                 // Floor switches at the end of a leg that changes floor.
                 let floor = if t >= 1.0 { b.floor } else { a.floor };
                 return (floor, a.position.lerp(b.position, t));
@@ -143,7 +152,10 @@ pub struct RoutePlanner<'e> {
 
 impl<'e> RoutePlanner<'e> {
     pub fn new(env: &'e IndoorEnvironment) -> Self {
-        RoutePlanner { env, graph: IndoorGraph::new(env) }
+        RoutePlanner {
+            env,
+            graph: IndoorGraph::new(env),
+        }
     }
 
     pub fn graph(&self) -> &IndoorGraph {
@@ -161,14 +173,19 @@ impl<'e> RoutePlanner<'e> {
             .env
             .locate(from.0, from.1)
             .ok_or(RouteError::SourceNotIndoor)?;
-        let dst_part = self.env.locate(to.0, to.1).ok_or(RouteError::TargetNotIndoor)?;
+        let dst_part = self
+            .env
+            .locate(to.0, to.1)
+            .ok_or(RouteError::TargetNotIndoor)?;
 
         let profile = match schema {
             RoutingSchema::MinTime(p) => p,
             RoutingSchema::MinDistance => SpeedProfile::default(),
         };
         let speed_in = |pid: PartitionId| -> f64 {
-            profile.for_semantic(self.env.partition(pid).semantic).max(0.05)
+            profile
+                .for_semantic(self.env.partition(pid).semantic)
+                .max(0.05)
         };
         let weight = |e: &Edge| -> f64 {
             match schema {
@@ -279,9 +296,7 @@ impl<'e> RoutePlanner<'e> {
             // Stair legs use the flight length, not plan distance.
             let leg_dist = if is_stair_leg {
                 match node.anchor {
-                    Anchor::StairEnd { stair, .. } => {
-                        self.env.stairs()[stair.index()].length
-                    }
+                    Anchor::StairEnd { stair, .. } => self.env.stairs()[stair.index()].length,
                     _ => d,
                 }
             } else {
@@ -317,7 +332,11 @@ impl<'e> RoutePlanner<'e> {
             cum_time,
         });
 
-        Ok(Route { waypoints, total_distance: cum_dist, total_time: cum_time })
+        Ok(Route {
+            waypoints,
+            total_distance: cum_dist,
+            total_time: cum_time,
+        })
     }
 
     /// Minimum indoor walking distance between two points, in metres.
@@ -326,7 +345,8 @@ impl<'e> RoutePlanner<'e> {
         from: (FloorId, Point),
         to: (FloorId, Point),
     ) -> Result<f64, RouteError> {
-        self.route(from, to, RoutingSchema::MinDistance).map(|r| r.total_distance)
+        self.route(from, to, RoutingSchema::MinDistance)
+            .map(|r| r.total_distance)
     }
 }
 
@@ -338,7 +358,9 @@ mod tests {
 
     fn setup(floors: usize) -> IndoorEnvironment {
         let model = office(&SynthParams::with_floors(floors));
-        build_environment(&model, &BuildParams::default()).unwrap().env
+        build_environment(&model, &BuildParams::default())
+            .unwrap()
+            .env
     }
 
     #[test]
@@ -347,7 +369,11 @@ mod tests {
         let planner = RoutePlanner::new(&env);
         let f = FloorId(0);
         let r = planner
-            .route((f, Point::new(1.0, 1.0)), (f, Point::new(4.0, 4.0)), RoutingSchema::MinDistance)
+            .route(
+                (f, Point::new(1.0, 1.0)),
+                (f, Point::new(4.0, 4.0)),
+                RoutingSchema::MinDistance,
+            )
             .unwrap();
         assert_eq!(r.waypoints.len(), 2);
         assert!((r.total_distance - 18.0f64.sqrt()).abs() < 1e-9);
@@ -361,7 +387,9 @@ mod tests {
         // Office 0.1 (south-west room) to Office 0.10 area (north side).
         let from = Point::new(3.0, 3.0);
         let to = Point::new(27.0, 13.0);
-        let r = planner.route((f, from), (f, to), RoutingSchema::MinDistance).unwrap();
+        let r = planner
+            .route((f, from), (f, to), RoutingSchema::MinDistance)
+            .unwrap();
         assert!(r.waypoints.len() > 2, "must pass doors");
         // Distance is at least the Euclidean lower bound.
         assert!(r.total_distance >= from.dist(to) - 1e-9);
@@ -391,7 +419,9 @@ mod tests {
         let from = (FloorId(0), Point::new(2.0, 2.0));
         let to = (FloorId(1), Point::new(38.0, 14.0));
         let rd = planner.route(from, to, RoutingSchema::MinDistance).unwrap();
-        let rt = planner.route(from, to, RoutingSchema::min_time_default()).unwrap();
+        let rt = planner
+            .route(from, to, RoutingSchema::min_time_default())
+            .unwrap();
         assert!(rt.total_time <= rd.total_time + 1e-6);
         assert!(rd.total_distance <= rt.total_distance + 1e-6);
     }
@@ -402,7 +432,11 @@ mod tests {
         let planner = RoutePlanner::new(&env);
         let f = FloorId(0);
         let r = planner
-            .route((f, Point::new(3.0, 3.0)), (f, Point::new(27.0, 13.0)), RoutingSchema::MinDistance)
+            .route(
+                (f, Point::new(3.0, 3.0)),
+                (f, Point::new(27.0, 13.0)),
+                RoutingSchema::MinDistance,
+            )
             .unwrap();
         let (_, start) = r.position_at_distance(0.0);
         assert!(start.approx_eq(Point::new(3.0, 3.0)));
@@ -420,13 +454,21 @@ mod tests {
         let f = FloorId(0);
         assert_eq!(
             planner
-                .route((f, Point::new(-10.0, -10.0)), (f, Point::new(1.0, 1.0)), RoutingSchema::MinDistance)
+                .route(
+                    (f, Point::new(-10.0, -10.0)),
+                    (f, Point::new(1.0, 1.0)),
+                    RoutingSchema::MinDistance
+                )
                 .unwrap_err(),
             RouteError::SourceNotIndoor
         );
         assert_eq!(
             planner
-                .route((f, Point::new(1.0, 1.0)), (f, Point::new(-10.0, -10.0)), RoutingSchema::MinDistance)
+                .route(
+                    (f, Point::new(1.0, 1.0)),
+                    (f, Point::new(-10.0, -10.0)),
+                    RoutingSchema::MinDistance
+                )
                 .unwrap_err(),
             RouteError::TargetNotIndoor
         );
@@ -437,8 +479,12 @@ mod tests {
         use crate::model::DoorDirection;
         let mut env = setup(1);
         // Make the meeting room exit-only: you can never get in.
-        let door_id =
-            env.doors().iter().find(|d| d.name.contains("door-meet")).unwrap().id;
+        let door_id = env
+            .doors()
+            .iter()
+            .find(|d| d.name.contains("door-meet"))
+            .unwrap()
+            .id;
         let meeting_side = {
             let d = env.door(door_id);
             let a = env.partition(d.partitions.0);
@@ -449,19 +495,31 @@ mod tests {
             }
         };
         // Orient so traversal is only *out of* the meeting room.
-        let dir = if meeting_side.1 { DoorDirection::Forward } else { DoorDirection::Backward };
+        let dir = if meeting_side.1 {
+            DoorDirection::Forward
+        } else {
+            DoorDirection::Backward
+        };
         env.set_door_direction(door_id, dir);
         let planner = RoutePlanner::new(&env);
         let f = FloorId(0);
         let meeting_pt = env.partition(meeting_side.0).centroid();
         // Getting out still works.
         assert!(planner
-            .route((f, meeting_pt), (f, Point::new(3.0, 3.0)), RoutingSchema::MinDistance)
+            .route(
+                (f, meeting_pt),
+                (f, Point::new(3.0, 3.0)),
+                RoutingSchema::MinDistance
+            )
             .is_ok());
         // Getting in is impossible.
         assert_eq!(
             planner
-                .route((f, Point::new(3.0, 3.0)), (f, meeting_pt), RoutingSchema::MinDistance)
+                .route(
+                    (f, Point::new(3.0, 3.0)),
+                    (f, meeting_pt),
+                    RoutingSchema::MinDistance
+                )
                 .unwrap_err(),
             RouteError::Unreachable
         );

@@ -61,21 +61,42 @@ pub struct SemanticRule {
 /// The default rule table.
 pub fn default_rules() -> Vec<SemanticRule> {
     vec![
-        SemanticRule { keywords: vec!["canteen", "dining room", "dining"], class: Semantic::Canteen },
+        SemanticRule {
+            keywords: vec!["canteen", "dining room", "dining"],
+            class: Semantic::Canteen,
+        },
         SemanticRule {
             keywords: vec!["stair", "escalator", "elevator", "lift"],
             class: Semantic::Staircase,
         },
-        SemanticRule { keywords: vec!["corridor", "hallway", "hall "], class: Semantic::Corridor },
-        SemanticRule { keywords: vec!["shop", "store", "boutique"], class: Semantic::Shop },
+        SemanticRule {
+            keywords: vec!["corridor", "hallway", "hall "],
+            class: Semantic::Corridor,
+        },
+        SemanticRule {
+            keywords: vec!["shop", "store", "boutique"],
+            class: Semantic::Shop,
+        },
         SemanticRule {
             keywords: vec!["ward", "consult", "clinic room", "treatment"],
             class: Semantic::MedicalRoom,
         },
-        SemanticRule { keywords: vec!["waiting", "reception", "lobby"], class: Semantic::Waiting },
-        SemanticRule { keywords: vec!["meeting", "conference"], class: Semantic::Meeting },
-        SemanticRule { keywords: vec!["office"], class: Semantic::Office },
-        SemanticRule { keywords: vec!["atrium", "public", "plaza"], class: Semantic::PublicArea },
+        SemanticRule {
+            keywords: vec!["waiting", "reception", "lobby"],
+            class: Semantic::Waiting,
+        },
+        SemanticRule {
+            keywords: vec!["meeting", "conference"],
+            class: Semantic::Meeting,
+        },
+        SemanticRule {
+            keywords: vec!["office"],
+            class: Semantic::Office,
+        },
+        SemanticRule {
+            keywords: vec!["atrium", "public", "plaza"],
+            class: Semantic::PublicArea,
+        },
     ]
 }
 
@@ -112,7 +133,10 @@ mod tests {
         assert_eq!(classify("Ward A0", "ward", &rules), Semantic::MedicalRoom);
         assert_eq!(classify("Reception 0", "", &rules), Semantic::Waiting);
         assert_eq!(classify("Office 1.2", "office", &rules), Semantic::Office);
-        assert_eq!(classify("Escalator hall 1", "stair", &rules), Semantic::Staircase);
+        assert_eq!(
+            classify("Escalator hall 1", "stair", &rules),
+            Semantic::Staircase
+        );
         assert_eq!(classify("Mystery", "", &rules), Semantic::Room);
     }
 

@@ -89,12 +89,20 @@ pub struct Loc {
 impl Loc {
     /// Exact-point location.
     pub fn point(building: BuildingId, floor: FloorId, p: Point) -> Self {
-        Loc { building, floor, kind: LocKind::Point(p) }
+        Loc {
+            building,
+            floor,
+            kind: LocKind::Point(p),
+        }
     }
 
     /// Symbolic partition location.
     pub fn partition(building: BuildingId, floor: FloorId, pid: PartitionId) -> Self {
-        Loc { building, floor, kind: LocKind::Partition(pid) }
+        Loc {
+            building,
+            floor,
+            kind: LocKind::Partition(pid),
+        }
     }
 
     /// The coordinate point, when this location is exact.

@@ -6,8 +6,7 @@ use proptest::prelude::*;
 use vita_dbi::{clinic, mall, office, SynthParams};
 use vita_geometry::PolygonSampler;
 use vita_indoor::{
-    build_environment, BuildParams, DecomposeParams, IndoorGraph, RoutePlanner,
-    RoutingSchema,
+    build_environment, BuildParams, DecomposeParams, IndoorGraph, RoutePlanner, RoutingSchema,
 };
 
 fn params_strategy() -> impl Strategy<Value = SynthParams> {

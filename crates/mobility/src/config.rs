@@ -8,8 +8,7 @@
 use vita_indoor::{Hz, RoutingSchema, Timestamp};
 
 /// Initial distribution of objects over the building (paper §3.1.1).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum InitialDistribution {
     /// "objects appear evenly in the space initially".
     #[default]
@@ -26,7 +25,6 @@ pub enum InitialDistribution {
     },
 }
 
-
 /// Lifespan configuration (paper §3.1.2): each object's lifespan is drawn
 /// uniformly between the two bounds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,15 +36,17 @@ pub struct LifespanConfig {
 impl Default for LifespanConfig {
     fn default() -> Self {
         // 5–15 minutes.
-        LifespanConfig { min: Timestamp(5 * 60 * 1000), max: Timestamp(15 * 60 * 1000) }
+        LifespanConfig {
+            min: Timestamp(5 * 60 * 1000),
+            max: Timestamp(15 * 60 * 1000),
+        }
     }
 }
 
 /// Arrival of new objects during generation (paper §3.1.2: "We also support
 /// adding new objects during the generation period ... users can choose a
 /// Poisson distribution to set the starting times").
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ArrivalProcess {
     /// No objects appear after the initial batch.
     #[default]
@@ -55,10 +55,8 @@ pub enum ArrivalProcess {
     Poisson { rate_per_min: f64 },
 }
 
-
 /// Where newly arriving objects emerge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EmergingLocation {
     /// At a building entrance (doors leading outdoors).
     #[default]
@@ -67,18 +65,15 @@ pub enum EmergingLocation {
     Anywhere,
 }
 
-
 /// Intention of the moving pattern (paper §3.1.3): "destination model means
 /// an object moves toward its destination, and random-way model means it
 /// moves randomly".
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Intention {
     #[default]
     Destination,
     RandomWay,
 }
-
 
 /// Behavior mechanism (paper §3.1.3): "in the walk-stay mechanism, an object
 /// will switch between the states 'walking along the path to its
@@ -215,8 +210,11 @@ impl MobilityConfig {
         if self.duration.0 == 0 {
             return Err(ConfigError::ZeroDuration);
         }
-        if let InitialDistribution::CrowdOutliers { crowds, crowd_fraction, crowd_radius } =
-            self.distribution
+        if let InitialDistribution::CrowdOutliers {
+            crowds,
+            crowd_fraction,
+            crowd_radius,
+        } = self.distribution
         {
             if crowds == 0 || !(0.0..=1.0).contains(&crowd_fraction) || crowd_radius <= 0.0 {
                 return Err(ConfigError::BadCrowdParams);
@@ -257,7 +255,10 @@ mod tests {
         assert_eq!(c.validate(), Err(ConfigError::BadSpeedRange));
 
         let mut c = base.clone();
-        c.lifespan = LifespanConfig { min: Timestamp(1000), max: Timestamp(500) };
+        c.lifespan = LifespanConfig {
+            min: Timestamp(1000),
+            max: Timestamp(500),
+        };
         assert_eq!(c.validate(), Err(ConfigError::BadLifespan));
 
         let mut c = base.clone();
@@ -269,8 +270,11 @@ mod tests {
         assert_eq!(c.validate(), Err(ConfigError::ZeroDuration));
 
         let mut c = base;
-        c.distribution =
-            InitialDistribution::CrowdOutliers { crowds: 0, crowd_fraction: 0.8, crowd_radius: 3.0 };
+        c.distribution = InitialDistribution::CrowdOutliers {
+            crowds: 0,
+            crowd_fraction: 0.8,
+            crowd_radius: 3.0,
+        };
         assert_eq!(c.validate(), Err(ConfigError::BadCrowdParams));
     }
 

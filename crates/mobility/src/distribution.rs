@@ -47,12 +47,20 @@ pub fn initial_positions<R: Rng + ?Sized>(
             placements: (0..count)
                 .map(|_| {
                     let (floor, point) = uniform_point(env, rng);
-                    Placement { floor, point, crowd: None }
+                    Placement {
+                        floor,
+                        point,
+                        crowd: None,
+                    }
                 })
                 .collect(),
             crowd_centers: Vec::new(),
         },
-        InitialDistribution::CrowdOutliers { crowds, crowd_fraction, crowd_radius } => {
+        InitialDistribution::CrowdOutliers {
+            crowds,
+            crowd_fraction,
+            crowd_radius,
+        } => {
             let centers = pick_hot_areas(env, crowds, rng);
             let mut placements = Vec::with_capacity(count);
             let crowd_count = ((count as f64) * crowd_fraction).round() as usize;
@@ -61,13 +69,24 @@ pub fn initial_positions<R: Rng + ?Sized>(
                     let k = i % centers.len();
                     let (floor, center) = centers[k];
                     let point = crowd_point(env, floor, center, crowd_radius, rng);
-                    placements.push(Placement { floor, point, crowd: Some(k) });
+                    placements.push(Placement {
+                        floor,
+                        point,
+                        crowd: Some(k),
+                    });
                 } else {
                     let (floor, point) = uniform_point(env, rng);
-                    placements.push(Placement { floor, point, crowd: None });
+                    placements.push(Placement {
+                        floor,
+                        point,
+                        crowd: None,
+                    });
                 }
             }
-            InitialPlacement { placements, crowd_centers: centers }
+            InitialPlacement {
+                placements,
+                crowd_centers: centers,
+            }
         }
     }
 }
@@ -112,12 +131,18 @@ fn pick_hot_areas<R: Rng + ?Sized>(
             Semantic::Shop | Semantic::Canteen | Semantic::PublicArea | Semantic::Waiting
         )
     };
-    let mut hot: Vec<&vita_indoor::Partition> =
-        env.partitions().iter().filter(|p| attractive(p.semantic)).collect();
+    let mut hot: Vec<&vita_indoor::Partition> = env
+        .partitions()
+        .iter()
+        .filter(|p| attractive(p.semantic))
+        .collect();
     if hot.len() < n {
         // Top up with the largest remaining partitions.
-        let mut rest: Vec<&vita_indoor::Partition> =
-            env.partitions().iter().filter(|p| !attractive(p.semantic)).collect();
+        let mut rest: Vec<&vita_indoor::Partition> = env
+            .partitions()
+            .iter()
+            .filter(|p| !attractive(p.semantic))
+            .collect();
         rest.sort_by(|a, b| b.area().partial_cmp(&a.area()).unwrap());
         hot.extend(rest.into_iter().take(n - hot.len()));
     }
@@ -159,7 +184,9 @@ mod tests {
 
     fn mall_env() -> IndoorEnvironment {
         let model = mall(&SynthParams::with_floors(2));
-        build_environment(&model, &BuildParams::default()).unwrap().env
+        build_environment(&model, &BuildParams::default())
+            .unwrap()
+            .env
     }
 
     #[test]
@@ -185,12 +212,18 @@ mod tests {
     fn crowd_outliers_form_crowds() {
         let env = mall_env();
         let mut rng = StdRng::seed_from_u64(13);
-        let dist =
-            InitialDistribution::CrowdOutliers { crowds: 3, crowd_fraction: 0.8, crowd_radius: 4.0 };
+        let dist = InitialDistribution::CrowdOutliers {
+            crowds: 3,
+            crowd_fraction: 0.8,
+            crowd_radius: 4.0,
+        };
         let placed = initial_positions(&env, dist, 200, &mut rng);
         assert_eq!(placed.crowd_centers.len(), 3);
-        let crowd_members =
-            placed.placements.iter().filter(|p| p.crowd.is_some()).count();
+        let crowd_members = placed
+            .placements
+            .iter()
+            .filter(|p| p.crowd.is_some())
+            .count();
         assert_eq!(crowd_members, 160);
         // Crowd members are within radius of their crowd center.
         for p in placed.placements.iter().filter(|p| p.crowd.is_some()) {
@@ -209,15 +242,21 @@ mod tests {
     fn crowd_centers_prefer_attractive_partitions() {
         let env = mall_env();
         let mut rng = StdRng::seed_from_u64(17);
-        let dist =
-            InitialDistribution::CrowdOutliers { crowds: 4, crowd_fraction: 0.9, crowd_radius: 3.0 };
+        let dist = InitialDistribution::CrowdOutliers {
+            crowds: 4,
+            crowd_fraction: 0.9,
+            crowd_radius: 3.0,
+        };
         let placed = initial_positions(&env, dist, 100, &mut rng);
         // In a mall every hot area should land in a shop/public partition.
         for (f, c) in &placed.crowd_centers {
             let pid = env.locate(*f, *c).expect("center indoors");
             let sem = env.partition(pid).semantic;
             assert!(
-                matches!(sem, Semantic::Shop | Semantic::PublicArea | Semantic::Waiting),
+                matches!(
+                    sem,
+                    Semantic::Shop | Semantic::PublicArea | Semantic::Waiting
+                ),
                 "hot area in {sem:?}"
             );
         }
@@ -227,18 +266,28 @@ mod tests {
     fn outliers_exist_when_fraction_below_one() {
         let env = mall_env();
         let mut rng = StdRng::seed_from_u64(19);
-        let dist =
-            InitialDistribution::CrowdOutliers { crowds: 2, crowd_fraction: 0.7, crowd_radius: 3.0 };
+        let dist = InitialDistribution::CrowdOutliers {
+            crowds: 2,
+            crowd_fraction: 0.7,
+            crowd_radius: 3.0,
+        };
         let placed = initial_positions(&env, dist, 100, &mut rng);
-        let outliers = placed.placements.iter().filter(|p| p.crowd.is_none()).count();
+        let outliers = placed
+            .placements
+            .iter()
+            .filter(|p| p.crowd.is_none())
+            .count();
         assert_eq!(outliers, 30);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let env = mall_env();
-        let dist =
-            InitialDistribution::CrowdOutliers { crowds: 2, crowd_fraction: 0.5, crowd_radius: 5.0 };
+        let dist = InitialDistribution::CrowdOutliers {
+            crowds: 2,
+            crowd_fraction: 0.5,
+            crowd_radius: 5.0,
+        };
         let a = initial_positions(&env, dist, 50, &mut StdRng::seed_from_u64(7));
         let b = initial_positions(&env, dist, 50, &mut StdRng::seed_from_u64(7));
         for (x, y) in a.placements.iter().zip(&b.placements) {

@@ -16,9 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use vita_geometry::Point;
-use vita_indoor::{
-    BuildingId, FloorId, IndoorEnvironment, ObjectId, RoutePlanner, Timestamp,
-};
+use vita_indoor::{BuildingId, FloorId, IndoorEnvironment, ObjectId, RoutePlanner, Timestamp};
 
 use crate::config::{
     ArrivalProcess, Behavior, ConfigError, EmergingLocation, Intention, MobilityConfig,
@@ -136,7 +134,10 @@ pub fn generate(
     let mean_lifespan_s = if plans.is_empty() {
         0.0
     } else {
-        plans.iter().map(|p| p.death.since(p.birth) as f64 / 1000.0).sum::<f64>()
+        plans
+            .iter()
+            .map(|p| p.death.since(p.birth) as f64 / 1000.0)
+            .sum::<f64>()
             / plans.len() as f64
     };
     let stats = GenerationStats {
@@ -147,7 +148,12 @@ pub fn generate(
         total_walked_m: total_walked,
         mean_lifespan_s,
     };
-    Ok(GenerationResult { trajectories: store, stats, births, crowd_centers: placed.crowd_centers })
+    Ok(GenerationResult {
+        trajectories: store,
+        stats,
+        births,
+        crowd_centers: placed.crowd_centers,
+    })
 }
 
 fn sample_lifespan(cfg: &MobilityConfig, rng: &mut StdRng) -> u64 {
@@ -202,18 +208,23 @@ fn simulate_all(
     cfg: &MobilityConfig,
     plans: &[ObjectPlan],
 ) -> Vec<Vec<TrajectorySample>> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if plans.len() < 32 || threads < 2 {
-        return plans.iter().map(|p| simulate_object(env, planner, cfg, p)).collect();
+        return plans
+            .iter()
+            .map(|p| simulate_object(env, planner, cfg, p))
+            .collect();
     }
     let chunk = plans.len().div_ceil(threads);
     let mut out: Vec<Vec<TrajectorySample>> = vec![Vec::new(); plans.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (ci, chunk_plans) in plans.chunks(chunk).enumerate() {
             handles.push((
                 ci * chunk,
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk_plans
                         .iter()
                         .map(|p| simulate_object(env, planner, cfg, p))
@@ -222,20 +233,32 @@ fn simulate_all(
             ));
         }
         for (base, h) in handles {
-            for (i, samples) in h.join().expect("simulation thread panicked").into_iter().enumerate()
+            for (i, samples) in h
+                .join()
+                .expect("simulation thread panicked")
+                .into_iter()
+                .enumerate()
             {
                 out[base + i] = samples;
             }
         }
-    })
-    .expect("crossbeam scope");
+    });
     out
 }
 
 /// One itinerary segment: where the object is over a time interval.
 enum Segment {
-    Stay { floor: FloorId, pos: Point, to: Timestamp },
-    Walk { route: vita_indoor::Route, speed: f64, from: Timestamp, to: Timestamp },
+    Stay {
+        floor: FloorId,
+        pos: Point,
+        to: Timestamp,
+    },
+    Walk {
+        route: vita_indoor::Route,
+        speed: f64,
+        from: Timestamp,
+        to: Timestamp,
+    },
     /// Resumption of a walk after a mid-route pause: progress restarts from
     /// `split_dist` metres along the same route.
     WalkTail {
@@ -250,20 +273,28 @@ enum Segment {
 impl Segment {
     fn end(&self) -> Timestamp {
         match self {
-            Segment::Stay { to, .. }
-            | Segment::Walk { to, .. }
-            | Segment::WalkTail { to, .. } => *to,
+            Segment::Stay { to, .. } | Segment::Walk { to, .. } | Segment::WalkTail { to, .. } => {
+                *to
+            }
         }
     }
 
     fn position_at(&self, t: Timestamp) -> (FloorId, Point) {
         match self {
             Segment::Stay { floor, pos, .. } => (*floor, *pos),
-            Segment::Walk { route, speed, from, .. } => {
+            Segment::Walk {
+                route, speed, from, ..
+            } => {
                 let dt = t.since(*from) as f64 / 1000.0;
                 route.position_at_distance(speed * dt)
             }
-            Segment::WalkTail { route, speed, split_dist, from, .. } => {
+            Segment::WalkTail {
+                route,
+                speed,
+                split_dist,
+                from,
+                ..
+            } => {
                 let dt = t.since(*from) as f64 / 1000.0;
                 route.position_at_distance(split_dist + speed * dt)
             }
@@ -292,24 +323,29 @@ fn simulate_object(
         // Optional leading stay (walk-stay behavior starts "somewhere").
         let (stay_min, stay_max, pause_prob) = match cfg.pattern.behavior {
             Behavior::ContinuousWalk => (0u64, 0u64, 0.0),
-            Behavior::WalkStay { stay_min, stay_max, pause_on_path_prob } => {
-                (stay_min.0, stay_max.0, pause_on_path_prob)
-            }
+            Behavior::WalkStay {
+                stay_min,
+                stay_max,
+                pause_on_path_prob,
+            } => (stay_min.0, stay_max.0, pause_on_path_prob),
         };
 
         // Choose the next destination per the intention model.
         let dest = choose_destination(env, cfg.pattern.intention, floor, pos, &mut rng);
-        let route = match dest
-            .and_then(|d| planner.route((floor, pos), d, cfg.pattern.routing).ok())
-        {
-            Some(r) => r,
-            None => {
-                // Nowhere to go (e.g. directionality trap): idle out the rest
-                // of the lifespan.
-                segments.push(Segment::Stay { floor, pos, to: plan.death });
-                break;
-            }
-        };
+        let route =
+            match dest.and_then(|d| planner.route((floor, pos), d, cfg.pattern.routing).ok()) {
+                Some(r) => r,
+                None => {
+                    // Nowhere to go (e.g. directionality trap): idle out the rest
+                    // of the lifespan.
+                    segments.push(Segment::Stay {
+                        floor,
+                        pos,
+                        to: plan.death,
+                    });
+                    break;
+                }
+            };
 
         // Possibly pause part-way (behavior: "staying at the destination or
         // a location on path").
@@ -352,7 +388,12 @@ fn simulate_object(
             t = t_arrive;
         } else {
             let t_arrive = t.advance(walk_ms);
-            segments.push(Segment::Walk { route: route.clone(), speed: plan.speed, from: t, to: t_arrive });
+            segments.push(Segment::Walk {
+                route: route.clone(),
+                speed: plan.speed,
+                from: t,
+                to: t_arrive,
+            });
             t = t_arrive;
         }
         let endw = route.end();
@@ -361,10 +402,17 @@ fn simulate_object(
 
         // Stay at the destination.
         if stay_max > 0 {
-            let stay_ms =
-                if stay_max > stay_min { rng.gen_range(stay_min..=stay_max) } else { stay_min };
+            let stay_ms = if stay_max > stay_min {
+                rng.gen_range(stay_min..=stay_max)
+            } else {
+                stay_min
+            };
             let t_leave = t.advance(stay_ms);
-            segments.push(Segment::Stay { floor, pos, to: t_leave });
+            segments.push(Segment::Stay {
+                floor,
+                pos,
+                to: t_leave,
+            });
             t = t_leave;
         }
     }
@@ -435,13 +483,18 @@ mod tests {
 
     fn env(floors: usize) -> IndoorEnvironment {
         let model = office(&SynthParams::with_floors(floors));
-        build_environment(&model, &BuildParams::default()).unwrap().env
+        build_environment(&model, &BuildParams::default())
+            .unwrap()
+            .env
     }
 
     fn quick_cfg() -> MobilityConfig {
         MobilityConfig {
             object_count: 10,
-            lifespan: LifespanConfig { min: Timestamp(30_000), max: Timestamp(60_000) },
+            lifespan: LifespanConfig {
+                min: Timestamp(30_000),
+                max: Timestamp(60_000),
+            },
             duration: Timestamp(60_000),
             trajectory_hz: Hz(1.0),
             seed: 99,
@@ -578,19 +631,24 @@ mod tests {
         cfg.arrivals = ArrivalProcess::Poisson { rate_per_min: 30.0 };
         cfg.duration = Timestamp(120_000); // 2 min → expect ~60 arrivals
         let res = generate(&env, &cfg).unwrap();
-        assert!(res.stats.arrived_objects > 20, "only {} arrivals", res.stats.arrived_objects);
+        assert!(
+            res.stats.arrived_objects > 20,
+            "only {} arrivals",
+            res.stats.arrived_objects
+        );
         assert!(res.stats.arrived_objects < 150);
         // Arrivals are born after t=0.
         let late_births = res.births.iter().filter(|(_, t)| t.0 > 0).count();
         assert_eq!(late_births, res.stats.arrived_objects);
         // Arrived objects' first samples sit near an entrance.
-        let entrance_positions: Vec<Point> =
-            env.entrances().map(|d| d.position).collect();
+        let entrance_positions: Vec<Point> = env.entrances().map(|d| d.position).collect();
         for (o, birth) in res.births.iter().filter(|(_, t)| t.0 > 0).take(10) {
             let tr = res.trajectories.get(*o).unwrap();
             let first = tr.samples().first().unwrap();
             assert_eq!(first.t, *birth);
-            let near = entrance_positions.iter().any(|e| e.dist(first.point()) < 2.0);
+            let near = entrance_positions
+                .iter()
+                .any(|e| e.dist(first.point()) < 2.0);
             assert!(near, "arrival {o} did not emerge at an entrance");
         }
     }
@@ -620,7 +678,10 @@ mod tests {
         let mut cfg = quick_cfg();
         cfg.object_count = 30;
         cfg.duration = Timestamp(300_000);
-        cfg.lifespan = LifespanConfig { min: Timestamp(300_000), max: Timestamp(300_000) };
+        cfg.lifespan = LifespanConfig {
+            min: Timestamp(300_000),
+            max: Timestamp(300_000),
+        };
         cfg.pattern.behavior = Behavior::ContinuousWalk;
         let res = generate(&env, &cfg).unwrap();
         let mut floors_seen = std::collections::HashSet::new();

@@ -22,6 +22,8 @@ pub use config::{
     ArrivalProcess, Behavior, ConfigError, EmergingLocation, InitialDistribution, Intention,
     LifespanConfig, MobilityConfig, MovingPattern,
 };
-pub use distribution::{initial_positions, point_in_partition, uniform_point, InitialPlacement, Placement};
+pub use distribution::{
+    initial_positions, point_in_partition, uniform_point, InitialPlacement, Placement,
+};
 pub use engine::{generate, GenerationResult, GenerationStats};
 pub use trajectory::{Trajectory, TrajectorySample, TrajectoryStore};

@@ -17,13 +17,25 @@ pub struct TrajectorySample {
 }
 
 impl TrajectorySample {
-    pub fn new(object: ObjectId, building: BuildingId, floor: FloorId, p: Point, t: Timestamp) -> Self {
-        TrajectorySample { object, loc: Loc::point(building, floor, p), t }
+    pub fn new(
+        object: ObjectId,
+        building: BuildingId,
+        floor: FloorId,
+        p: Point,
+        t: Timestamp,
+    ) -> Self {
+        TrajectorySample {
+            object,
+            loc: Loc::point(building, floor, p),
+            t,
+        }
     }
 
     /// The sample's coordinate point (raw trajectories are always exact).
     pub fn point(&self) -> Point {
-        self.loc.as_point().expect("raw trajectory samples are point locations")
+        self.loc
+            .as_point()
+            .expect("raw trajectory samples are point locations")
     }
 
     pub fn floor(&self) -> FloorId {
@@ -100,7 +112,11 @@ impl Trajectory {
             return Some((b.floor(), b.point()));
         }
         let span = b.t.since(a.t) as f64;
-        let tt = if span <= 0.0 { 0.0 } else { t.since(a.t) as f64 / span };
+        let tt = if span <= 0.0 {
+            0.0
+        } else {
+            t.since(a.t) as f64 / span
+        };
         Some((a.floor(), a.point().lerp(b.point(), tt)))
     }
 }
@@ -171,7 +187,11 @@ mod tests {
 
     #[test]
     fn trajectory_sorts_and_measures() {
-        let tr = Trajectory::new(vec![sample(0, 0, 2.0, 2000), sample(0, 0, 0.0, 0), sample(0, 0, 1.0, 1000)]);
+        let tr = Trajectory::new(vec![
+            sample(0, 0, 2.0, 2000),
+            sample(0, 0, 0.0, 0),
+            sample(0, 0, 1.0, 1000),
+        ]);
         assert_eq!(tr.len(), 3);
         assert_eq!(tr.start_time(), Some(Timestamp(0)));
         assert_eq!(tr.end_time(), Some(Timestamp(2000)));

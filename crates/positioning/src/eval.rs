@@ -68,9 +68,15 @@ pub fn evaluate_fixes(fixes: &[Fix], truth: &TrajectoryStore) -> ErrorStats {
     let mut errors = Vec::with_capacity(fixes.len());
     let mut wrong_floor = 0;
     for f in fixes {
-        let Some(tr) = truth.get(f.object) else { continue };
-        let Some((true_floor, true_pos)) = tr.position_at(f.t) else { continue };
-        let Some(est) = f.loc.as_point() else { continue };
+        let Some(tr) = truth.get(f.object) else {
+            continue;
+        };
+        let Some((true_floor, true_pos)) = tr.position_at(f.t) else {
+            continue;
+        };
+        let Some(est) = f.loc.as_point() else {
+            continue;
+        };
         if f.loc.floor != true_floor {
             wrong_floor += 1;
             continue;
@@ -86,9 +92,15 @@ pub fn evaluate_prob_fixes(fixes: &[ProbFix], truth: &TrajectoryStore) -> ErrorS
     let mut errors = Vec::with_capacity(fixes.len());
     let mut wrong_floor = 0;
     for f in fixes {
-        let Some(tr) = truth.get(f.object) else { continue };
-        let Some((true_floor, true_pos)) = tr.position_at(f.t) else { continue };
-        let Some((est_floor, est)) = f.expected_point() else { continue };
+        let Some(tr) = truth.get(f.object) else {
+            continue;
+        };
+        let Some((true_floor, true_pos)) = tr.position_at(f.t) else {
+            continue;
+        };
+        let Some((est_floor, est)) = f.expected_point() else {
+            continue;
+        };
         if est_floor != true_floor {
             wrong_floor += 1;
             continue;
@@ -109,10 +121,16 @@ pub fn evaluate_proximity(
     let mut errors = Vec::with_capacity(records.len());
     let mut wrong_floor = 0;
     for r in records {
-        let Some(dev) = devices.get(r.device) else { continue };
-        let Some(tr) = truth.get(r.object) else { continue };
+        let Some(dev) = devices.get(r.device) else {
+            continue;
+        };
+        let Some(tr) = truth.get(r.object) else {
+            continue;
+        };
         let mid = vita_indoor::Timestamp((r.ts.0 + r.te.0) / 2);
-        let Some((true_floor, true_pos)) = tr.position_at(mid) else { continue };
+        let Some((true_floor, true_pos)) = tr.position_at(mid) else {
+            continue;
+        };
         if dev.floor != true_floor {
             wrong_floor += 1;
             continue;
@@ -222,8 +240,14 @@ mod tests {
         let pf = ProbFix {
             object: ObjectId(0),
             candidates: vec![
-                (Loc::point(BuildingId(0), FloorId(0), Point::new(4.0, 0.0)), 0.5),
-                (Loc::point(BuildingId(0), FloorId(0), Point::new(6.0, 0.0)), 0.5),
+                (
+                    Loc::point(BuildingId(0), FloorId(0), Point::new(4.0, 0.0)),
+                    0.5,
+                ),
+                (
+                    Loc::point(BuildingId(0), FloorId(0), Point::new(6.0, 0.0)),
+                    0.5,
+                ),
             ],
             t: Timestamp(5000), // true x = 5
         };

@@ -14,9 +14,7 @@ use rand::SeedableRng;
 
 use vita_devices::DeviceRegistry;
 use vita_geometry::{count_crossings, Point};
-use vita_indoor::{
-    BuildingId, DeviceId, FloorId, Hz, IndoorEnvironment, Loc, ObjectId, Timestamp,
-};
+use vita_indoor::{BuildingId, DeviceId, FloorId, Hz, IndoorEnvironment, Loc, ObjectId, Timestamp};
 use vita_rssi::{PathLossModel, RssiStore};
 
 use crate::output::{Fix, ProbFix};
@@ -95,9 +93,7 @@ pub fn build_radio_map(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let points: Vec<(FloorId, Point)> = match &cfg.selection {
-        ReferenceSelection::Points(ps) => {
-            ps.iter().filter(|(f, _)| *f == floor).copied().collect()
-        }
+        ReferenceSelection::Points(ps) => ps.iter().filter(|(f, _)| *f == floor).copied().collect(),
         ReferenceSelection::Grid { spacing } => {
             let mut ps = Vec::new();
             let spacing = spacing.max(0.5);
@@ -138,7 +134,8 @@ pub fn build_radio_map(
             let n = cfg.samples_per_location.max(1);
             let samples: Vec<f64> = (0..n)
                 .map(|_| {
-                    cfg.path_loss.measure(dist, dev.spec.rssi_at_1m, crossings, 0.0, &mut rng)
+                    cfg.path_loss
+                        .measure(dist, dev.spec.rssi_at_1m, crossings, 0.0, &mut rng)
                 })
                 .collect();
             let m = samples.iter().sum::<f64>() / n as f64;
@@ -146,10 +143,18 @@ pub fn build_radio_map(
             mean.push(m);
             var.push(v.max(0.25)); // avoid zero variance in the Bayes term
         }
-        entries.push(RadioMapEntry { point: p, floor, mean, var });
+        entries.push(RadioMapEntry {
+            point: p,
+            floor,
+            mean,
+            var,
+        });
     }
 
-    RadioMap { devices: device_ids, entries }
+    RadioMap {
+        devices: device_ids,
+        entries,
+    }
 }
 
 /// Online-phase configuration shared by both classifiers.
@@ -167,7 +172,12 @@ pub struct FingerprintConfig {
 
 impl Default for FingerprintConfig {
     fn default() -> Self {
-        FingerprintConfig { sampling_hz: Hz(0.5), window_ms: 3_000, k: 3, top_candidates: 5 }
+        FingerprintConfig {
+            sampling_hz: Hz(0.5),
+            window_ms: 3_000,
+            k: 3,
+            top_candidates: 5,
+        }
     }
 }
 
@@ -203,11 +213,7 @@ fn observed_vector(
 
 /// Deterministic kNN fingerprinting: fixes are the centroid of the k nearest
 /// radio-map entries in signal space.
-pub fn knn_fingerprint(
-    map: &RadioMap,
-    rssi: &RssiStore,
-    cfg: &FingerprintConfig,
-) -> Vec<Fix> {
+pub fn knn_fingerprint(map: &RadioMap, rssi: &RssiStore, cfg: &FingerprintConfig) -> Vec<Fix> {
     run_windows(rssi, cfg, |object, window, t| {
         let (obs, heard) = observed_vector(map, window, object);
         if heard == 0 || map.is_empty() {
@@ -277,12 +283,20 @@ pub fn naive_bayes_fingerprint(
                 (Loc::point(BuildingId(0), e.floor, e.point), w / wsum)
             })
             .collect();
-        Some(ProbFix { object, candidates, t })
+        Some(ProbFix {
+            object,
+            candidates,
+            t,
+        })
     })
 }
 
 fn signal_distance(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Drive per-object estimation over the positioning sampling grid.
@@ -325,7 +339,9 @@ mod tests {
 
     fn setup() -> (IndoorEnvironment, DeviceRegistry) {
         let model = office(&SynthParams::with_floors(1));
-        let env = build_environment(&model, &BuildParams::default()).unwrap().env;
+        let env = build_environment(&model, &BuildParams::default())
+            .unwrap()
+            .env;
         let mut reg = DeviceRegistry::new();
         deploy(
             &env,
@@ -346,7 +362,10 @@ mod tests {
             &SurveyConfig {
                 selection: ReferenceSelection::Grid { spacing: 3.0 },
                 samples_per_location: 8,
-                path_loss: PathLossModel { fluctuation: NoiseModel::Gaussian { sigma: 1.0 }, ..Default::default() },
+                path_loss: PathLossModel {
+                    fluctuation: NoiseModel::Gaussian { sigma: 1.0 },
+                    ..Default::default()
+                },
                 seed: 1,
             },
         )
@@ -360,7 +379,10 @@ mod tests {
         noise: NoiseModel,
         seed: u64,
     ) -> RssiStore {
-        let model = PathLossModel { fluctuation: noise, ..Default::default() };
+        let model = PathLossModel {
+            fluctuation: noise,
+            ..Default::default()
+        };
         let walls = env.walls_with_obstacles(FloorId(0));
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ms = Vec::new();
@@ -402,7 +424,12 @@ mod tests {
         let map = survey(&env, &reg);
         let target = Point::new(20.0, 12.0); // mid-corridor
         let store = rssi_at(&env, &reg, target, NoiseModel::Gaussian { sigma: 1.0 }, 7);
-        let cfg = FingerprintConfig { sampling_hz: Hz(1.0), window_ms: 3000, k: 3, top_candidates: 5 };
+        let cfg = FingerprintConfig {
+            sampling_hz: Hz(1.0),
+            window_ms: 3000,
+            k: 3,
+            top_candidates: 5,
+        };
         let fixes = knn_fingerprint(&map, &store, &cfg);
         assert!(!fixes.is_empty());
         for f in &fixes {
@@ -429,7 +456,11 @@ mod tests {
             }
             // MAP candidate lands near the target.
             let map_pt = pf.map_estimate().unwrap().0.as_point().unwrap();
-            assert!(map_pt.dist(target) < 7.0, "MAP error {}", map_pt.dist(target));
+            assert!(
+                map_pt.dist(target) < 7.0,
+                "MAP error {}",
+                map_pt.dist(target)
+            );
         }
     }
 
@@ -470,10 +501,7 @@ mod tests {
         let (env, reg) = setup();
         let map = survey(&env, &reg);
         // Some entry must be out of range of at least one device.
-        let any_unheard = map
-            .entries
-            .iter()
-            .any(|e| e.mean.contains(&NOT_HEARD_DBM));
+        let any_unheard = map.entries.iter().any(|e| e.mean.contains(&NOT_HEARD_DBM));
         assert!(any_unheard, "expected some unheard device entries");
     }
 
@@ -484,13 +512,19 @@ mod tests {
             &env,
             &reg,
             FloorId(0),
-            &SurveyConfig { selection: ReferenceSelection::Grid { spacing: 6.0 }, ..Default::default() },
+            &SurveyConfig {
+                selection: ReferenceSelection::Grid { spacing: 6.0 },
+                ..Default::default()
+            },
         );
         let fine = build_radio_map(
             &env,
             &reg,
             FloorId(0),
-            &SurveyConfig { selection: ReferenceSelection::Grid { spacing: 2.0 }, ..Default::default() },
+            &SurveyConfig {
+                selection: ReferenceSelection::Grid { spacing: 2.0 },
+                ..Default::default()
+            },
         );
         assert!(fine.len() > 3 * coarse.len());
     }

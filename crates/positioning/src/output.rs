@@ -38,7 +38,11 @@ impl ProbFix {
     pub fn expected_point(&self) -> Option<(vita_indoor::FloorId, vita_geometry::Point)> {
         let first = self.candidates.first()?;
         let floor = first.0.floor;
-        if self.candidates.iter().all(|(l, _)| l.floor == floor && l.as_point().is_some()) {
+        if self
+            .candidates
+            .iter()
+            .all(|(l, _)| l.floor == floor && l.as_point().is_some())
+        {
             let wsum: f64 = self.candidates.iter().map(|(_, p)| *p).sum();
             if wsum > 0.0 {
                 let mut x = 0.0;
@@ -160,8 +164,14 @@ mod tests {
 
     #[test]
     fn positioning_data_kinds() {
-        assert_eq!(PositioningData::Deterministic(vec![]).kind(), "deterministic");
-        assert_eq!(PositioningData::Probabilistic(vec![]).kind(), "probabilistic");
+        assert_eq!(
+            PositioningData::Deterministic(vec![]).kind(),
+            "deterministic"
+        );
+        assert_eq!(
+            PositioningData::Probabilistic(vec![]).kind(),
+            "probabilistic"
+        );
         assert_eq!(PositioningData::Proximity(vec![]).kind(), "proximity");
         assert!(PositioningData::Deterministic(vec![]).is_empty());
     }

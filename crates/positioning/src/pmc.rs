@@ -69,7 +69,10 @@ impl MethodConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PmcError {
     /// The configured method does not apply to a deployed device type.
-    IncompatibleDevices { method: &'static str, device_type: &'static str },
+    IncompatibleDevices {
+        method: &'static str,
+        device_type: &'static str,
+    },
     /// No devices are deployed.
     NoDevices,
 }
@@ -77,8 +80,14 @@ pub enum PmcError {
 impl std::fmt::Display for PmcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PmcError::IncompatibleDevices { method, device_type } => {
-                write!(f, "method '{method}' does not apply to {device_type} devices")
+            PmcError::IncompatibleDevices {
+                method,
+                device_type,
+            } => {
+                write!(
+                    f,
+                    "method '{method}' does not apply to {device_type} devices"
+                )
             }
             PmcError::NoDevices => write!(f, "no positioning devices deployed"),
         }
@@ -108,15 +117,26 @@ pub fn run_positioning(
     }
 
     Ok(match method {
-        MethodConfig::Trilateration { config, conversion_model } => {
+        MethodConfig::Trilateration {
+            config,
+            conversion_model,
+        } => {
             let conv = default_conversion(*conversion_model);
             PositioningData::Deterministic(trilaterate(devices, rssi, config, &conv))
         }
-        MethodConfig::FingerprintingKnn { survey, online, floor } => {
+        MethodConfig::FingerprintingKnn {
+            survey,
+            online,
+            floor,
+        } => {
             let map = build_radio_map(env, devices, *floor, survey);
             PositioningData::Deterministic(knn_fingerprint(&map, rssi, online))
         }
-        MethodConfig::FingerprintingBayes { survey, online, floor } => {
+        MethodConfig::FingerprintingBayes {
+            survey,
+            online,
+            floor,
+        } => {
             let map = build_radio_map(env, devices, *floor, survey);
             PositioningData::Probabilistic(naive_bayes_fingerprint(&map, rssi, online))
         }
@@ -137,7 +157,9 @@ mod tests {
 
     fn pipeline(device_type: DeviceType) -> (IndoorEnvironment, DeviceRegistry, RssiStore) {
         let model = office(&SynthParams::with_floors(1));
-        let env = build_environment(&model, &BuildParams::default()).unwrap().env;
+        let env = build_environment(&model, &BuildParams::default())
+            .unwrap()
+            .env;
         let mut reg = DeviceRegistry::new();
         deploy(
             &env,
@@ -150,7 +172,10 @@ mod tests {
         let mob = MobilityConfig {
             object_count: 5,
             duration: Timestamp(60_000),
-            lifespan: LifespanConfig { min: Timestamp(60_000), max: Timestamp(60_000) },
+            lifespan: LifespanConfig {
+                min: Timestamp(60_000),
+                max: Timestamp(60_000),
+            },
             seed: 3,
             ..Default::default()
         };
@@ -159,7 +184,10 @@ mod tests {
             &env,
             &reg,
             &res.trajectories,
-            &RssiConfig { duration: Timestamp(60_000), ..Default::default() },
+            &RssiConfig {
+                duration: Timestamp(60_000),
+                ..Default::default()
+            },
         );
         (env, reg, rssi)
     }

@@ -32,7 +32,10 @@ pub struct ProximityConfig {
 
 impl Default for ProximityConfig {
     fn default() -> Self {
-        ProximityConfig { rssi_threshold_dbm: None, gap_grace: 1.5 }
+        ProximityConfig {
+            rssi_threshold_dbm: None,
+            gap_grace: 1.5,
+        }
     }
 }
 
@@ -60,7 +63,9 @@ pub fn proximity_records(
 
     let mut records = Vec::new();
     for ((object, device), ts) in times {
-        let Some(dev) = devices.get(device) else { continue };
+        let Some(dev) = devices.get(device) else {
+            continue;
+        };
         let period = dev.spec.detection_hz.period_ms();
         if period == u64::MAX {
             continue;
@@ -71,12 +76,22 @@ pub fn proximity_records(
         let mut last = ts[0];
         for &t in &ts[1..] {
             if t.since(last) > max_gap {
-                records.push(ProximityRecord { object, device, ts: start, te: last });
+                records.push(ProximityRecord {
+                    object,
+                    device,
+                    ts: start,
+                    te: last,
+                });
                 start = t;
             }
             last = t;
         }
-        records.push(ProximityRecord { object, device, ts: start, te: last });
+        records.push(ProximityRecord {
+            object,
+            device,
+            ts: start,
+            te: last,
+        });
     }
     records.sort_by_key(|r| (r.ts, r.object, r.device));
     records
@@ -84,11 +99,7 @@ pub fn proximity_records(
 
 /// For symbolic analytics: the device each object is collocated with at a
 /// time instant (the longest-running open record wins ties).
-pub fn device_at(
-    records: &[ProximityRecord],
-    object: ObjectId,
-    t: Timestamp,
-) -> Option<DeviceId> {
+pub fn device_at(records: &[ProximityRecord], object: ObjectId, t: Timestamp) -> Option<DeviceId> {
     records
         .iter()
         .filter(|r| r.object == object && r.contains(t))
@@ -115,7 +126,12 @@ mod tests {
     }
 
     fn meas(o: u32, d: DeviceId, t: u64, rssi: f64) -> RssiMeasurement {
-        RssiMeasurement { object: ObjectId(o), device: d, rssi, t: Timestamp(t) }
+        RssiMeasurement {
+            object: ObjectId(o),
+            device: d,
+            rssi,
+            t: Timestamp(t),
+        }
     }
 
     #[test]
@@ -157,7 +173,10 @@ mod tests {
             meas(0, d, 1000, -50.0),
             meas(0, d, 2000, -85.0),
         ]);
-        let cfg = ProximityConfig { rssi_threshold_dbm: Some(-60.0), ..Default::default() };
+        let cfg = ProximityConfig {
+            rssi_threshold_dbm: Some(-60.0),
+            ..Default::default()
+        };
         let recs = proximity_records(&reg, &store, &cfg);
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].ts, Timestamp(1000));
@@ -203,9 +222,7 @@ mod tests {
     fn faster_detection_frequency_closes_gaps_sooner() {
         // Same gap, two frequencies: 4 Hz (250 ms period) splits, 0.2 Hz
         // (5000 ms period) does not.
-        let gap_measurements = |d: DeviceId| {
-            vec![meas(0, d, 0, -50.0), meas(0, d, 1000, -50.0)]
-        };
+        let gap_measurements = |d: DeviceId| vec![meas(0, d, 0, -50.0), meas(0, d, 1000, -50.0)];
         let (reg_fast, df) = registry_with_one(4.0);
         let recs = proximity_records(
             &reg_fast,

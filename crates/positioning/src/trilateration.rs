@@ -26,7 +26,9 @@ use crate::output::Fix;
 pub type RssiToDistance<'a> = dyn Fn(f64, &vita_devices::Device) -> f64 + Sync + 'a;
 
 /// Default conversion derived from a path-loss model.
-pub fn default_conversion(model: PathLossModel) -> impl Fn(f64, &vita_devices::Device) -> f64 + Sync {
+pub fn default_conversion(
+    model: PathLossModel,
+) -> impl Fn(f64, &vita_devices::Device) -> f64 + Sync {
     move |rssi, device| model.invert(rssi, device.spec.rssi_at_1m)
 }
 
@@ -94,7 +96,11 @@ pub fn trilaterate(
             std::collections::BTreeMap<DeviceId, (f64, usize)>,
         > = std::collections::BTreeMap::new();
         for m in window {
-            let e = by_object.entry(m.object).or_default().entry(m.device).or_insert((0.0, 0));
+            let e = by_object
+                .entry(m.object)
+                .or_default()
+                .entry(m.device)
+                .or_insert((0.0, 0));
             e.0 += m.rssi;
             e.1 += 1;
         }
@@ -104,10 +110,11 @@ pub fn trilaterate(
             }
             // Build (position, range, rssi) anchors; use the floor most
             // devices agree on.
-            let mut anchors: Vec<(Point, f64, FloorId, f64)> =
-                Vec::with_capacity(per_device.len());
+            let mut anchors: Vec<(Point, f64, FloorId, f64)> = Vec::with_capacity(per_device.len());
             for (did, (sum, n)) in &per_device {
-                let Some(dev) = devices.get(*did) else { continue };
+                let Some(dev) = devices.get(*did) else {
+                    continue;
+                };
                 let mean_rssi = sum / *n as f64;
                 let mut dist = convert(mean_rssi, dev).max(0.05);
                 if cfg.clamp_to_detection_range {
@@ -115,7 +122,9 @@ pub fn trilaterate(
                 }
                 anchors.push((dev.position, dist, dev.floor, mean_rssi));
             }
-            let Some(floor) = majority_floor(&anchors) else { continue };
+            let Some(floor) = majority_floor(&anchors) else {
+                continue;
+            };
             let mut same_floor: Vec<(Point, f64, f64)> = anchors
                 .iter()
                 .filter(|(_, _, f, _)| *f == floor)
@@ -127,8 +136,7 @@ pub fn trilaterate(
             // Strongest anchors first; keep at most max_devices.
             same_floor.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
             same_floor.truncate(cfg.max_devices.max(cfg.min_devices));
-            let chosen: Vec<(Point, f64)> =
-                same_floor.iter().map(|(p, r, _)| (*p, *r)).collect();
+            let chosen: Vec<(Point, f64)> = same_floor.iter().map(|(p, r, _)| (*p, *r)).collect();
             if let Some(est) = least_squares_position(&chosen) {
                 // Sanity clamp: the object cannot be farther from the
                 // nearest-sounding anchor than its (clamped) range plus
@@ -166,7 +174,10 @@ fn clamp_to_anchor_hull(est: Point, anchors: &[(Point, f64)]) -> Point {
         max_r = max_r.max(*r);
     }
     let bb = bb.inflated(max_r);
-    Point::new(est.x.clamp(bb.min.x, bb.max.x), est.y.clamp(bb.min.y, bb.max.y))
+    Point::new(
+        est.x.clamp(bb.min.x, bb.max.x),
+        est.y.clamp(bb.min.y, bb.max.y),
+    )
 }
 
 /// Least-squares solution of the circle system. Returns `None` when the
@@ -265,7 +276,10 @@ mod tests {
     /// trilateration recovers its position via the default conversion.
     #[test]
     fn recovers_static_object_from_clean_rssi() {
-        let model = PathLossModel { fluctuation: NoiseModel::None, ..Default::default() };
+        let model = PathLossModel {
+            fluctuation: NoiseModel::None,
+            ..Default::default()
+        };
         let spec = DeviceSpec::default_for(DeviceType::WiFi);
         let mut reg = DeviceRegistry::new();
         let d0 = reg.place(spec, FloorId(0), Point::new(0.0, 0.0));
@@ -288,7 +302,12 @@ mod tests {
         }
         let store = RssiStore::new(ms);
         let conv = default_conversion(model);
-        let cfg = TrilaterationConfig { sampling_hz: Hz(1.0), window_ms: 2000, min_devices: 3, ..Default::default() };
+        let cfg = TrilaterationConfig {
+            sampling_hz: Hz(1.0),
+            window_ms: 2000,
+            min_devices: 3,
+            ..Default::default()
+        };
         let fixes = trilaterate(&reg, &store, &cfg, &conv);
         assert!(!fixes.is_empty());
         for f in &fixes {
@@ -300,7 +319,10 @@ mod tests {
 
     #[test]
     fn no_fix_with_fewer_than_min_devices() {
-        let model = PathLossModel { fluctuation: NoiseModel::None, ..Default::default() };
+        let model = PathLossModel {
+            fluctuation: NoiseModel::None,
+            ..Default::default()
+        };
         let spec = DeviceSpec::default_for(DeviceType::WiFi);
         let mut reg = DeviceRegistry::new();
         let d0 = reg.place(spec, FloorId(0), Point::new(0.0, 0.0));
@@ -342,7 +364,12 @@ mod tests {
         }
         let store = RssiStore::new(ms);
         let constant = |_rssi: f64, _d: &vita_devices::Device| 5.0;
-        let cfg = TrilaterationConfig { sampling_hz: Hz(1.0), window_ms: 1000, min_devices: 3, ..Default::default() };
+        let cfg = TrilaterationConfig {
+            sampling_hz: Hz(1.0),
+            window_ms: 1000,
+            min_devices: 3,
+            ..Default::default()
+        };
         let fixes = trilaterate(&reg, &store, &cfg, &constant);
         assert_eq!(fixes.len(), 1);
         let p = fixes[0].loc.as_point().unwrap();

@@ -57,14 +57,16 @@ pub fn generate_rssi(
     // Obstacle extra attenuation is approximated by counting user-obstacle
     // edge crossings: obstacle edges are appended after floor walls, so
     // index arithmetic distinguishes them.
-    let base_wall_count: Vec<usize> =
-        (0..floor_count).map(|f| env.floor(vita_indoor::FloorId(f as u32)).walls.len()).collect();
+    let base_wall_count: Vec<usize> = (0..floor_count)
+        .map(|f| env.floor(vita_indoor::FloorId(f as u32)).walls.len())
+        .collect();
     let _ = &base_wall_count; // (kept simple: obstacles use the wall term)
 
     for device in devices.devices() {
         // Per-device RNG stream keyed by device id: deterministic and
         // independent of iteration order.
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (device.id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (device.id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let hz = cfg.sampling_hz.unwrap_or(device.spec.detection_hz);
         let period = hz.period_ms();
         if period == u64::MAX {
@@ -75,7 +77,9 @@ pub fn generate_rssi(
         let mut t = Timestamp::ZERO;
         while t <= cfg.duration {
             for (oid, tr) in trajectories.iter() {
-                let Some((floor, pos)) = tr.position_at(t) else { continue };
+                let Some((floor, pos)) = tr.position_at(t) else {
+                    continue;
+                };
                 if floor != device.floor {
                     continue;
                 }
@@ -84,13 +88,9 @@ pub fn generate_rssi(
                     continue;
                 }
                 let crossings = count_crossings(device.position, pos, floor_walls);
-                let rssi = cfg.path_loss.measure(
-                    dist,
-                    device.spec.rssi_at_1m,
-                    crossings,
-                    0.0,
-                    &mut rng,
-                );
+                let rssi =
+                    cfg.path_loss
+                        .measure(dist, device.spec.rssi_at_1m, crossings, 0.0, &mut rng);
                 measurements.push(RssiMeasurement {
                     object: *oid,
                     device: device.id,
@@ -106,12 +106,19 @@ pub fn generate_rssi(
 }
 
 /// Per-device measurement counts, used for deployment diagnostics.
-pub fn measurements_per_device(store: &RssiStore, devices: &DeviceRegistry) -> Vec<(DeviceId, usize)> {
+pub fn measurements_per_device(
+    store: &RssiStore,
+    devices: &DeviceRegistry,
+) -> Vec<(DeviceId, usize)> {
     let mut counts = vec![0usize; devices.len()];
     for m in store.all() {
         counts[m.device.index()] += 1;
     }
-    devices.devices().iter().map(|d| (d.id, counts[d.id.index()])).collect()
+    devices
+        .devices()
+        .iter()
+        .map(|d| (d.id, counts[d.id.index()]))
+        .collect()
 }
 
 /// Per-object measurement counts.
@@ -136,7 +143,9 @@ mod tests {
 
     fn setup() -> (IndoorEnvironment, DeviceRegistry, TrajectoryStore) {
         let model = office(&SynthParams::with_floors(1));
-        let env = build_environment(&model, &BuildParams::default()).unwrap().env;
+        let env = build_environment(&model, &BuildParams::default())
+            .unwrap()
+            .env;
         let mut reg = DeviceRegistry::new();
         deploy(
             &env,
@@ -149,7 +158,10 @@ mod tests {
         let cfg = MobilityConfig {
             object_count: 8,
             duration: Timestamp(60_000),
-            lifespan: LifespanConfig { min: Timestamp(60_000), max: Timestamp(60_000) },
+            lifespan: LifespanConfig {
+                min: Timestamp(60_000),
+                max: Timestamp(60_000),
+            },
             trajectory_hz: HzT(2.0),
             seed: 5,
             ..Default::default()
@@ -161,7 +173,10 @@ mod tests {
     #[test]
     fn generates_measurements_within_range_only() {
         let (env, reg, trs) = setup();
-        let cfg = RssiConfig { duration: Timestamp(60_000), ..Default::default() };
+        let cfg = RssiConfig {
+            duration: Timestamp(60_000),
+            ..Default::default()
+        };
         let store = generate_rssi(&env, &reg, &trs, &cfg);
         assert!(!store.is_empty(), "no measurements generated");
         for m in store.all() {
@@ -177,7 +192,10 @@ mod tests {
     fn stronger_rssi_when_closer() {
         let (env, reg, trs) = setup();
         let cfg = RssiConfig {
-            path_loss: PathLossModel { fluctuation: NoiseModel::None, ..Default::default() },
+            path_loss: PathLossModel {
+                fluctuation: NoiseModel::None,
+                ..Default::default()
+            },
             duration: Timestamp(60_000),
             ..Default::default()
         };
@@ -219,10 +237,16 @@ mod tests {
         let slow = RssiConfig {
             sampling_hz: Some(HzT(0.5)),
             duration: Timestamp(60_000),
-            path_loss: PathLossModel { fluctuation: NoiseModel::None, ..Default::default() },
+            path_loss: PathLossModel {
+                fluctuation: NoiseModel::None,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let fast = RssiConfig { sampling_hz: Some(HzT(4.0)), ..slow };
+        let fast = RssiConfig {
+            sampling_hz: Some(HzT(4.0)),
+            ..slow
+        };
         let n_slow = generate_rssi(&env, &reg, &trs, &slow).len();
         let n_fast = generate_rssi(&env, &reg, &trs, &fast).len();
         assert!(n_fast > 4 * n_slow, "fast {n_fast} vs slow {n_slow}");
@@ -231,7 +255,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let (env, reg, trs) = setup();
-        let cfg = RssiConfig { duration: Timestamp(30_000), ..Default::default() };
+        let cfg = RssiConfig {
+            duration: Timestamp(30_000),
+            ..Default::default()
+        };
         let a = generate_rssi(&env, &reg, &trs, &cfg);
         let b = generate_rssi(&env, &reg, &trs, &cfg);
         assert_eq!(a.len(), b.len());
@@ -246,9 +273,15 @@ mod tests {
     #[test]
     fn per_device_and_per_object_counts_sum_to_total() {
         let (env, reg, trs) = setup();
-        let cfg = RssiConfig { duration: Timestamp(30_000), ..Default::default() };
+        let cfg = RssiConfig {
+            duration: Timestamp(30_000),
+            ..Default::default()
+        };
         let store = generate_rssi(&env, &reg, &trs, &cfg);
-        let dsum: usize = measurements_per_device(&store, &reg).iter().map(|(_, c)| c).sum();
+        let dsum: usize = measurements_per_device(&store, &reg)
+            .iter()
+            .map(|(_, c)| c)
+            .sum();
         let osum: usize = measurements_per_object(&store).iter().map(|(_, c)| c).sum();
         assert_eq!(dsum, store.len());
         assert_eq!(osum, store.len());

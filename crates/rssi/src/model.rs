@@ -75,7 +75,13 @@ impl PathLossModel {
     /// obstacle attenuation. `a_1m` is the device's calibration RSSI at 1 m;
     /// `extra_obstacle_dbm` adds user-deployed obstacle attenuation beyond
     /// the per-wall term.
-    pub fn mean_rssi(&self, dist_m: f64, a_1m: f64, walls_crossed: usize, extra_obstacle_dbm: f64) -> f64 {
+    pub fn mean_rssi(
+        &self,
+        dist_m: f64,
+        a_1m: f64,
+        walls_crossed: usize,
+        extra_obstacle_dbm: f64,
+    ) -> f64 {
         let d = dist_m.max(0.1); // below 10 cm the log model is meaningless
         let n_ob = -(self.wall_attenuation_dbm * walls_crossed as f64) - extra_obstacle_dbm;
         -10.0 * self.exponent * d.log10() + a_1m + n_ob
@@ -144,7 +150,10 @@ mod tests {
 
     #[test]
     fn inversion_round_trips_without_walls() {
-        let m = PathLossModel { fluctuation: NoiseModel::None, ..Default::default() };
+        let m = PathLossModel {
+            fluctuation: NoiseModel::None,
+            ..Default::default()
+        };
         for d in [0.5, 1.0, 3.0, 10.0, 25.0] {
             let rssi = m.mean_rssi(d, A, 0, 0.0);
             let back = m.invert(rssi, A);
@@ -156,7 +165,10 @@ mod tests {
     fn inversion_overestimates_through_walls() {
         // Walls lower RSSI, so the naive inversion overestimates distance —
         // the systematic trilateration error in NLOS conditions.
-        let m = PathLossModel { fluctuation: NoiseModel::None, ..Default::default() };
+        let m = PathLossModel {
+            fluctuation: NoiseModel::None,
+            ..Default::default()
+        };
         let rssi = m.mean_rssi(5.0, A, 2, 0.0);
         let est = m.invert(rssi, A);
         assert!(est > 5.0, "estimate {est} should exceed true 5 m");
@@ -192,7 +204,10 @@ mod tests {
 
     #[test]
     fn tiny_distances_clamped() {
-        let m = PathLossModel { fluctuation: NoiseModel::None, ..Default::default() };
+        let m = PathLossModel {
+            fluctuation: NoiseModel::None,
+            ..Default::default()
+        };
         let at_zero = m.mean_rssi(0.0, A, 0, 0.0);
         let at_clamp = m.mean_rssi(0.1, A, 0, 0.0);
         assert_eq!(at_zero, at_clamp);

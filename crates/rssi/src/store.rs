@@ -55,7 +55,11 @@ impl RssiStore {
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<RssiMeasurement> {
-        self.window(from, to).iter().filter(|m| m.object == object).copied().collect()
+        self.window(from, to)
+            .iter()
+            .filter(|m| m.object == object)
+            .copied()
+            .collect()
     }
 
     /// Distinct objects that appear in the store.
@@ -87,7 +91,11 @@ mod tests {
 
     #[test]
     fn store_sorts_by_time() {
-        let s = RssiStore::new(vec![m(1, 0, -50.0, 300), m(0, 0, -40.0, 100), m(2, 1, -60.0, 200)]);
+        let s = RssiStore::new(vec![
+            m(1, 0, -50.0, 300),
+            m(0, 0, -40.0, 100),
+            m(2, 1, -60.0, 200),
+        ]);
         let ts: Vec<u64> = s.all().iter().map(|x| x.t.0).collect();
         assert_eq!(ts, vec![100, 200, 300]);
         assert_eq!(s.time_range(), Some((Timestamp(100), Timestamp(300))));
@@ -95,7 +103,11 @@ mod tests {
 
     #[test]
     fn window_is_half_open() {
-        let s = RssiStore::new(vec![m(0, 0, -40.0, 100), m(0, 0, -41.0, 200), m(0, 0, -42.0, 300)]);
+        let s = RssiStore::new(vec![
+            m(0, 0, -40.0, 100),
+            m(0, 0, -41.0, 200),
+            m(0, 0, -42.0, 300),
+        ]);
         let w = s.window(Timestamp(100), Timestamp(300));
         assert_eq!(w.len(), 2);
         assert_eq!(w[0].t.0, 100);
@@ -118,7 +130,11 @@ mod tests {
 
     #[test]
     fn objects_deduplicated() {
-        let s = RssiStore::new(vec![m(3, 0, -40.0, 1), m(1, 0, -40.0, 2), m(3, 1, -40.0, 3)]);
+        let s = RssiStore::new(vec![
+            m(3, 0, -40.0, 1),
+            m(1, 0, -40.0, 2),
+            m(3, 1, -40.0, 3),
+        ]);
         assert_eq!(s.objects(), vec![ObjectId(1), ObjectId(3)]);
     }
 

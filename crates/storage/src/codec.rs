@@ -315,7 +315,9 @@ mod tests {
 
     #[test]
     fn empty_tables_round_trip() {
-        assert!(decode_trajectories(encode_trajectories(&[])).unwrap().is_empty());
+        assert!(decode_trajectories(encode_trajectories(&[]))
+            .unwrap()
+            .is_empty());
         assert!(decode_rssi(encode_rssi(&[])).unwrap().is_empty());
         assert!(decode_fixes(encode_fixes(&[])).unwrap().is_empty());
         assert!(decode_proximity(encode_proximity(&[])).unwrap().is_empty());
@@ -345,7 +347,10 @@ mod tests {
         let cut = full.slice(0..full.len() - 5);
         assert_eq!(decode_trajectories(cut).unwrap_err(), CodecError::Truncated);
         let tiny = full.slice(0..6);
-        assert_eq!(decode_trajectories(tiny).unwrap_err(), CodecError::Truncated);
+        assert_eq!(
+            decode_trajectories(tiny).unwrap_err(),
+            CodecError::Truncated
+        );
     }
 
     #[test]

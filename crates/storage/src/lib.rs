@@ -82,9 +82,7 @@ impl Repository {
             ),
             rssi: encode_rssi(&self.rssi.read().scan().copied().collect::<Vec<_>>()),
             fixes: encode_fixes(&self.fixes.read().scan().copied().collect::<Vec<_>>()),
-            proximity: encode_proximity(
-                &self.proximity.read().scan().copied().collect::<Vec<_>>(),
-            ),
+            proximity: encode_proximity(&self.proximity.read().scan().copied().collect::<Vec<_>>()),
         }
     }
 

@@ -38,7 +38,9 @@ pub struct TumblingWindow {
 
 impl TumblingWindow {
     pub fn new(width_ms: u64) -> Self {
-        TumblingWindow { width_ms: width_ms.max(1) }
+        TumblingWindow {
+            width_ms: width_ms.max(1),
+        }
     }
 
     /// Split `records` (must be time-ordered) into consecutive windows.
@@ -53,8 +55,7 @@ impl TumblingWindow {
             "records must be time-ordered"
         );
         let mut start_idx = 0;
-        let mut window_start =
-            Timestamp(records[0].time().0 / self.width_ms * self.width_ms);
+        let mut window_start = Timestamp(records[0].time().0 / self.width_ms * self.width_ms);
         for (i, r) in records.iter().enumerate() {
             while r.time().0 >= window_start.0 + self.width_ms {
                 if i > start_idx {
@@ -90,7 +91,11 @@ pub fn record_rate<T: Timed>(records: &[T]) -> f64 {
     if records.len() < 2 {
         return 0.0;
     }
-    let span_ms = records.last().unwrap().time().since(records.first().unwrap().time());
+    let span_ms = records
+        .last()
+        .unwrap()
+        .time()
+        .since(records.first().unwrap().time());
     if span_ms == 0 {
         return 0.0;
     }

@@ -108,13 +108,16 @@ impl TrajectoryTable {
         let mut per_floor: HashMap<FloorId, Vec<(RowId, Point)>> = HashMap::new();
         for (i, s) in self.rows.iter().enumerate() {
             if let LocKind::Point(p) = s.loc.kind {
-                per_floor.entry(s.loc.floor).or_default().push((i as RowId, p));
+                per_floor
+                    .entry(s.loc.floor)
+                    .or_default()
+                    .push((i as RowId, p));
             }
         }
         let mut indexes = HashMap::new();
         for (floor, pts) in per_floor {
-            let domain = Aabb::from_points(&pts.iter().map(|(_, p)| *p).collect::<Vec<_>>())
-                .inflated(1.0);
+            let domain =
+                Aabb::from_points(&pts.iter().map(|(_, p)| *p).collect::<Vec<_>>()).inflated(1.0);
             let cell = (domain.width().max(domain.height()) / 32.0).max(0.5);
             let mut g = GridIndex::new(domain, cell);
             for (id, p) in pts {
@@ -338,7 +341,10 @@ impl ProximityTable {
 
     /// Records overlapping the window `[from, to)`.
     pub fn overlapping(&self, from: Timestamp, to: Timestamp) -> Vec<&ProximityRecord> {
-        self.rows.iter().filter(|r| r.ts < to && r.te >= from).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.ts < to && r.te >= from)
+            .collect()
     }
 
     pub fn of_object(&self, o: ObjectId) -> Vec<&ProximityRecord> {
@@ -368,7 +374,13 @@ mod tests {
     use vita_indoor::BuildingId;
 
     fn ts(o: u32, f: u32, x: f64, y: f64, t: u64) -> TrajectorySample {
-        TrajectorySample::new(ObjectId(o), BuildingId(0), FloorId(f), Point::new(x, y), Timestamp(t))
+        TrajectorySample::new(
+            ObjectId(o),
+            BuildingId(0),
+            FloorId(f),
+            Point::new(x, y),
+            Timestamp(t),
+        )
     }
 
     #[test]

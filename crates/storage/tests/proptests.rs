@@ -14,8 +14,14 @@ use vita_storage::{
 };
 
 fn sample_strategy() -> impl Strategy<Value = TrajectorySample> {
-    (0u32..20, 0u32..3, -50.0f64..50.0, -50.0f64..50.0, 0u64..1_000_000).prop_map(
-        |(o, f, x, y, t)| {
+    (
+        0u32..20,
+        0u32..3,
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        0u64..1_000_000,
+    )
+        .prop_map(|(o, f, x, y, t)| {
             TrajectorySample::new(
                 ObjectId(o),
                 BuildingId(0),
@@ -23,8 +29,7 @@ fn sample_strategy() -> impl Strategy<Value = TrajectorySample> {
                 Point::new(x, y),
                 Timestamp(t),
             )
-        },
-    )
+        })
 }
 
 proptest! {

@@ -25,14 +25,20 @@ fn main() {
     let mobility = MobilityConfig {
         object_count: 20,
         duration: Timestamp(180_000),
-        lifespan: LifespanConfig { min: Timestamp(180_000), max: Timestamp(180_000) },
+        lifespan: LifespanConfig {
+            min: Timestamp(180_000),
+            max: Timestamp(180_000),
+        },
         trajectory_hz: Hz(2.0),
         seed: 99,
         ..Default::default()
     };
     vita.generate_objects(&mobility).expect("objects");
-    vita.generate_rssi(&RssiConfig { duration: Timestamp(180_000), ..Default::default() })
-        .expect("rssi");
+    vita.generate_rssi(&RssiConfig {
+        duration: Timestamp(180_000),
+        ..Default::default()
+    })
+    .expect("rssi");
     println!(
         "workload: {} objects, {} trajectory samples, {} RSSI measurements, 14 Wi-Fi APs\n",
         20,
@@ -64,10 +70,16 @@ fn main() {
                 floor: FloorId(0),
             },
         ),
-        ("proximity", MethodConfig::Proximity(ProximityConfig::default())),
+        (
+            "proximity",
+            MethodConfig::Proximity(ProximityConfig::default()),
+        ),
     ];
 
-    println!("{:<18} error statistics (vs preserved ground truth)", "method");
+    println!(
+        "{:<18} error statistics (vs preserved ground truth)",
+        "method"
+    );
     println!("{:-<18} {:-<60}", "", "");
     for (name, method) in methods {
         let data = vita.run_positioning(&method).expect(name);

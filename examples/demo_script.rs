@@ -42,7 +42,8 @@ fn main() {
             building: "office",
             device: DeviceType::WiFi,
             deployment: DeploymentModel::Coverage,
-            method_props: "positioning.method = fingerprint-knn\nfingerprint.k = 3\npositioning.hz = 1\n",
+            method_props:
+                "positioning.method = fingerprint-knn\nfingerprint.k = 3\npositioning.hz = 1\n",
         },
         Combo {
             building: "office",
@@ -99,7 +100,11 @@ rssi.noise_sigma = 2.0
             combo.deployment,
             12,
         );
-        println!("step 3 ▸ devices: {n} × {} ({:?})", combo.device.name(), combo.deployment);
+        println!(
+            "step 3 ▸ devices: {n} × {} ({:?})",
+            combo.device.name(),
+            combo.deployment
+        );
 
         let mobility = load_mobility(&shared_props).expect("mobility config");
         let gen = vita.generate_objects(&mobility).expect("generation");
@@ -112,10 +117,14 @@ rssi.noise_sigma = 2.0
         let rssi = vita.generate_rssi(&rssi_cfg).expect("rssi");
         println!("step 5 ▸ raw RSSI: {} measurements", rssi.len());
 
-        let method = load_method(&Properties::parse(combo.method_props).unwrap())
-            .expect("method config");
+        let method =
+            load_method(&Properties::parse(combo.method_props).unwrap()).expect("method config");
         let data = vita.run_positioning(&method).expect("positioning");
-        println!("step 6 ▸ positioning data: {} records ({})", data.len(), data.kind());
+        println!(
+            "step 6 ▸ positioning data: {} records ({})",
+            data.len(),
+            data.kind()
+        );
 
         let truth = &vita.generation().unwrap().trajectories;
         match &data {

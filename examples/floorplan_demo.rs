@@ -35,7 +35,11 @@ fn main() {
 
     let text = vita_dbi::write_step(&model);
     let mut vita = Vita::from_dbi_text(&text, &BuildParams::default()).expect("DBI");
-    println!("building: {} — {}", vita.env().building_name, vita.env().summary());
+    println!(
+        "building: {} — {}",
+        vita.env().building_name,
+        vita.env().summary()
+    );
 
     // Ground floor: coverage model (Fig. 3(a)).
     vita.deploy_devices(
@@ -80,7 +84,11 @@ fn main() {
                 .collect(),
             trajectories: vec![],
         };
-        let model_name = if floor_ix == 0 { "coverage" } else { "check-point" };
+        let model_name = if floor_ix == 0 {
+            "coverage"
+        } else {
+            "check-point"
+        };
         if !svg_only {
             println!(
                 "\n── floor {floor_ix} ({model_name} deployment) ─ devices:@ crowds:0-9 outliers:x\n"

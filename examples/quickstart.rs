@@ -20,8 +20,8 @@ fn main() {
     // A synthetic office building, written to real STEP text and parsed
     // back through the full DBI pipeline (parser → decoder → repair).
     let dbi_text = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(2)));
-    let mut vita = Vita::from_dbi_text(&dbi_text, &BuildParams::default())
-        .expect("DBI processing failed");
+    let mut vita =
+        Vita::from_dbi_text(&dbi_text, &BuildParams::default()).expect("DBI processing failed");
     println!("── Infrastructure Layer ──────────────────────────────");
     println!("host environment : {}", vita.env().summary());
     for w in &vita.warnings {
@@ -46,7 +46,10 @@ fn main() {
     let mobility = MobilityConfig {
         object_count: 40,
         duration: Timestamp(120_000), // 2 minutes
-        lifespan: LifespanConfig { min: Timestamp(60_000), max: Timestamp(120_000) },
+        lifespan: LifespanConfig {
+            min: Timestamp(60_000),
+            max: Timestamp(120_000),
+        },
         trajectory_hz: Hz(2.0), // fine-grained ground truth
         seed: 2016,
         ..Default::default()
@@ -59,8 +62,13 @@ fn main() {
     );
 
     // ── Positioning Layer: raw RSSI ─────────────────────────────────────
-    let rssi_cfg = RssiConfig { duration: Timestamp(120_000), ..Default::default() };
-    let rssi = vita.generate_rssi(&rssi_cfg).expect("RSSI generation failed");
+    let rssi_cfg = RssiConfig {
+        duration: Timestamp(120_000),
+        ..Default::default()
+    };
+    let rssi = vita
+        .generate_rssi(&rssi_cfg)
+        .expect("RSSI generation failed");
     println!("── Positioning Layer ─────────────────────────────────");
     println!("raw RSSI data    : {} measurements", rssi.len());
 

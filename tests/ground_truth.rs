@@ -18,14 +18,20 @@ fn setup(floors: usize, seed: u64) -> Vita {
     let mobility = MobilityConfig {
         object_count: 12,
         duration: Timestamp(90_000),
-        lifespan: LifespanConfig { min: Timestamp(90_000), max: Timestamp(90_000) },
+        lifespan: LifespanConfig {
+            min: Timestamp(90_000),
+            max: Timestamp(90_000),
+        },
         trajectory_hz: Hz(4.0), // fine ground truth
         seed,
         ..Default::default()
     };
     vita.generate_objects(&mobility).unwrap();
-    vita.generate_rssi(&RssiConfig { duration: Timestamp(90_000), ..Default::default() })
-        .unwrap();
+    vita.generate_rssi(&RssiConfig {
+        duration: Timestamp(90_000),
+        ..Default::default()
+    })
+    .unwrap();
     vita
 }
 
@@ -50,13 +56,23 @@ fn trajectory_and_positioning_frequencies_are_independent() {
     };
     // 12 objects × ~22 positioning instants ≈ a few hundred fixes, far
     // fewer than the ground truth's 12 × 90 × 4 ≈ 4300 samples.
-    assert!(fixes.len() < truth_samples / 4, "{} vs {}", fixes.len(), truth_samples);
+    assert!(
+        fixes.len() < truth_samples / 4,
+        "{} vs {}",
+        fixes.len(),
+        truth_samples
+    );
     assert!(!fixes.is_empty());
     // Every fix instant still has interpolable ground truth around it.
     let truth = &vita.generation().unwrap().trajectories;
     let resolvable = fixes
         .iter()
-        .filter(|f| truth.get(f.object).and_then(|tr| tr.position_at(f.t)).is_some())
+        .filter(|f| {
+            truth
+                .get(f.object)
+                .and_then(|tr| tr.position_at(f.t))
+                .is_some()
+        })
         .count();
     assert!(resolvable as f64 >= fixes.len() as f64 * 0.95);
 }
@@ -74,7 +90,10 @@ fn finer_ground_truth_reduces_interpolation_gap() {
             let mobility = MobilityConfig {
                 object_count: 10,
                 duration: Timestamp(120_000),
-                lifespan: LifespanConfig { min: Timestamp(120_000), max: Timestamp(120_000) },
+                lifespan: LifespanConfig {
+                    min: Timestamp(120_000),
+                    max: Timestamp(120_000),
+                },
                 trajectory_hz: Hz(hz),
                 pattern: MovingPattern {
                     behavior: Behavior::ContinuousWalk,
@@ -133,7 +152,10 @@ fn less_noise_gives_better_trilateration() {
         let mobility = MobilityConfig {
             object_count: 12,
             duration: Timestamp(90_000),
-            lifespan: LifespanConfig { min: Timestamp(90_000), max: Timestamp(90_000) },
+            lifespan: LifespanConfig {
+                min: Timestamp(90_000),
+                max: Timestamp(90_000),
+            },
             seed: 11,
             ..Default::default()
         };
@@ -172,7 +194,10 @@ fn less_noise_gives_better_trilateration() {
         clean < noisy,
         "noiseless error {clean:.2} should beat σ=6 error {noisy:.2}"
     );
-    assert!(clean < 3.0, "noiseless LOS trilateration should be accurate, got {clean:.2} m");
+    assert!(
+        clean < 3.0,
+        "noiseless LOS trilateration should be accurate, got {clean:.2} m"
+    );
 }
 
 #[test]

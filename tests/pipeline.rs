@@ -48,7 +48,10 @@ positioning.hz = 1
     // Producer: Moving Object Layer.
     let stats = vita.generate_objects(&mobility).unwrap().stats;
     assert_eq!(stats.objects, 15);
-    assert!(stats.samples >= 15 * 60 * 2, "2 Hz × 60 s × 15 objects lower bound");
+    assert!(
+        stats.samples >= 15 * 60 * 2,
+        "2 Hz × 60 s × 15 objects lower bound"
+    );
 
     // Producer: Positioning Layer.
     let rssi_len = vita.generate_rssi(&rssi_cfg).unwrap().len();
@@ -82,13 +85,19 @@ fn pipeline_is_deterministic_across_runs() {
         let mobility = MobilityConfig {
             object_count: 10,
             duration: Timestamp(45_000),
-            lifespan: LifespanConfig { min: Timestamp(45_000), max: Timestamp(45_000) },
+            lifespan: LifespanConfig {
+                min: Timestamp(45_000),
+                max: Timestamp(45_000),
+            },
             seed: 1234,
             ..Default::default()
         };
         vita.generate_objects(&mobility).unwrap();
-        vita.generate_rssi(&RssiConfig { duration: Timestamp(45_000), ..Default::default() })
-            .unwrap();
+        vita.generate_rssi(&RssiConfig {
+            duration: Timestamp(45_000),
+            ..Default::default()
+        })
+        .unwrap();
         let data = vita
             .run_positioning(&MethodConfig::Trilateration {
                 config: TrilaterationConfig::default(),
@@ -108,7 +117,11 @@ fn pipeline_is_deterministic_across_runs() {
     for (a, b) in fixes_a.iter().zip(&fixes_b) {
         assert_eq!(a.object, b.object);
         assert_eq!(a.t, b.t);
-        assert!(a.loc.as_point().unwrap().approx_eq(b.loc.as_point().unwrap()));
+        assert!(a
+            .loc
+            .as_point()
+            .unwrap()
+            .approx_eq(b.loc.as_point().unwrap()));
     }
 }
 
@@ -132,13 +145,20 @@ fn all_three_buildings_flow_through_the_pipeline() {
         let mobility = MobilityConfig {
             object_count: 8,
             duration: Timestamp(30_000),
-            lifespan: LifespanConfig { min: Timestamp(30_000), max: Timestamp(30_000) },
+            lifespan: LifespanConfig {
+                min: Timestamp(30_000),
+                max: Timestamp(30_000),
+            },
             seed: 5,
             ..Default::default()
         };
-        vita.generate_objects(&mobility).unwrap_or_else(|e| panic!("{name}: {e:?}"));
-        vita.generate_rssi(&RssiConfig { duration: Timestamp(30_000), ..Default::default() })
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        vita.generate_objects(&mobility)
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        vita.generate_rssi(&RssiConfig {
+            duration: Timestamp(30_000),
+            ..Default::default()
+        })
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
         let data = vita
             .run_positioning(&MethodConfig::Proximity(ProximityConfig::default()))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -191,7 +211,10 @@ fn environment_customization_affects_generation() {
         let mobility = MobilityConfig {
             object_count: 10,
             duration: Timestamp(30_000),
-            lifespan: LifespanConfig { min: Timestamp(30_000), max: Timestamp(30_000) },
+            lifespan: LifespanConfig {
+                min: Timestamp(30_000),
+                max: Timestamp(30_000),
+            },
             seed: 9,
             ..Default::default()
         };

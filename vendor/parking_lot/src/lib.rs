@@ -1,0 +1,59 @@
+//! Offline shim for the `parking_lot` lock API over `std::sync`
+//! primitives.
+//!
+//! The build environment has no access to crates.io. `parking_lot`'s
+//! non-poisoning `read()`/`write()`/`lock()` signatures are provided by
+//! delegating to `std::sync` and unwrapping poison errors (a panic while
+//! holding a lock aborts the test anyway).
+
+use std::sync::{self, LockResult};
+
+fn unpoison<G>(result: LockResult<G>) -> G {
+    result.unwrap_or_else(sync::PoisonError::into_inner)
+}
+
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        unpoison(self.0.read())
+    }
+
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        unpoison(self.0.write())
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.0.get_mut())
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        unpoison(self.0.lock())
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.0.get_mut())
+    }
+}

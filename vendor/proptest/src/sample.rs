@@ -1,0 +1,21 @@
+//! Sampling strategies: `select` from a fixed pool.
+
+use crate::{Strategy, TestRng};
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Uniformly selects one of the given options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "sample::select: no options");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
