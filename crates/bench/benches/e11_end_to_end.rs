@@ -1,0 +1,36 @@
+//! E11 — end-to-end pipeline: the streaming batched dataflow
+//! (`Vita::run_streaming`) vs the materialize-and-copy step path
+//! (steps 4 → 5 → 6), on the shared [`vita_bench::e11`] workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vita_bench::e11;
+
+const OBJECTS: usize = 20;
+const SECS: u64 = 60;
+
+fn bench_paths(c: &mut Criterion) {
+    let text = e11::office_text();
+    let mut g = c.benchmark_group("e11/end_to_end");
+    g.sample_size(10);
+    g.bench_function("step_path", |b| {
+        b.iter(|| {
+            let mut vita = e11::toolkit(&text);
+            vita.generate_objects(&e11::mobility(OBJECTS, SECS))
+                .unwrap();
+            vita.generate_rssi(&e11::rssi(SECS)).unwrap();
+            let data = vita.run_positioning(&e11::method()).unwrap();
+            (vita.repository().counts(), data.len())
+        });
+    });
+    g.bench_function("streaming", |b| {
+        b.iter(|| {
+            let vita = e11::toolkit(&text);
+            let report = vita.run_streaming(&e11::scenario(OBJECTS, SECS)).unwrap();
+            (vita.repository().counts(), report.positioning_rows)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! The experiment harness: regenerates every measured table in
-//! EXPERIMENTS.md (E3–E10 plus the F3 deployment/crowd statistics) as
+//! EXPERIMENTS.md (E3–E11 plus the F3 deployment/crowd statistics) as
 //! markdown on stdout.
 //!
 //! Run with: `cargo run --release -p vita-bench --bin experiments`
-//! (Pass experiment ids, e.g. `e3 e5`, to run a subset.)
+//! (Pass experiment ids, e.g. `e3 e5`, to run a subset. Pass
+//! `--json PATH` to additionally wrap the report in a
+//! `BENCH_seed.json`-style document written to PATH.)
 
 use std::time::Instant;
 
@@ -26,7 +28,16 @@ use vita_rssi::PathLossModel;
 use vita_storage::TrajectoryTable;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(i + 1)
+            .cloned()
+            .expect("--json requires an output path");
+        args.drain(i..=i + 1);
+        write_json_report(&path, &args);
+        return;
+    }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
 
     println!("# Vita experiment harness — measured results\n");
@@ -57,9 +68,128 @@ fn main() {
     if want("e10") {
         e10_storage();
     }
+    if want("e11") {
+        e11_streaming_pipeline();
+    }
     if want("a1") {
         a1_trilateration_ablation();
     }
+}
+
+/// Re-run this binary with the remaining args, capture its markdown report,
+/// and wrap it in a `BENCH_seed.json`-style document (description, command,
+/// rustc, wall clock, report) at `path`. The report is also echoed to
+/// stdout.
+fn write_json_report(path: &str, args: &[String]) {
+    let t0 = Instant::now();
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args(args)
+        .output()
+        .expect("re-exec experiments");
+    assert!(out.status.success(), "experiments run failed");
+    let report = String::from_utf8_lossy(&out.stdout).into_owned();
+    print!("{report}");
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    // Label the document after its output file (BENCH_pr2.json → "pr2"),
+    // so rerunning the same command for a later baseline self-describes.
+    let label = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    let json = format!(
+        "{{\n  \"description\": {},\n  \"command\": {},\n  \"rustc\": {},\n  \"wall_clock_s\": {},\n  \"notes\": {},\n  \"report_markdown\": {}\n}}\n",
+        json_string(&format!(
+            "Perf baseline '{label}' for the VITA reproduction, written by the experiments harness. Compare section-by-section against earlier BENCH_*.json baselines; future PRs should append new entries rather than overwrite."
+        )),
+        json_string(&format!(
+            "cargo run --release -p vita-bench --bin experiments -- --json {path}{}{}",
+            if args.is_empty() { "" } else { " " },
+            args.join(" ")
+        )),
+        json_string(&rustc),
+        (t0.elapsed().as_secs_f64() * 10.0).round() / 10.0,
+        json_string("criterion micro-benches: `cargo bench` (vendored shim reports median wall time per iteration); E11 compares Vita::run_streaming vs the step path"),
+        json_string(&report),
+    );
+    std::fs::write(path, json).expect("write json report");
+    eprintln!("wrote {path}");
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// E11 — the streaming batched dataflow vs the materialize-and-copy step
+/// path, end to end (office, Wi-Fi coverage, trilateration). "Peak
+/// products" is the largest number of trajectory samples held outside the
+/// repository at once: the step path materializes the whole run, the
+/// streaming path holds at most `channel capacity` chunks.
+fn e11_streaming_pipeline() {
+    use vita_bench::e11;
+
+    println!("## E11 — streamed vs batch end-to-end (office 2F, 10 APs, trilateration)\n");
+    println!("| objects | secs | path | wall ms | trajectories | rssi | fixes | peak products |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let text = e11::office_text();
+    for &(objects, secs) in &[(40usize, 60u64), (120, 120)] {
+        // Best of three runs per path damps scheduler noise; products are
+        // deterministic, so counts are asserted identical every run.
+        let mut batch_ms = f64::INFINITY;
+        let mut counts = (0, 0, 0);
+        for _ in 0..3 {
+            // Step path: each stage materializes, then copies into storage.
+            let mut vita = e11::toolkit(&text);
+            let t0 = Instant::now();
+            vita.generate_objects(&e11::mobility(objects, secs))
+                .unwrap();
+            vita.generate_rssi(&e11::rssi(secs)).unwrap();
+            vita.run_positioning(&e11::method()).unwrap();
+            batch_ms = batch_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+            let (t, r, f, _) = vita.repository().counts();
+            counts = (t, r, f);
+        }
+        let (t, r, f) = counts;
+        println!("| {objects} | {secs} | step | {batch_ms:.0} | {t} | {r} | {f} | {t} |");
+
+        // Streaming path: same seed, same products, bounded in-flight data.
+        let mut stream_ms = f64::INFINITY;
+        let mut peak = 0;
+        for _ in 0..3 {
+            let vita = e11::toolkit(&text);
+            let report = vita.run_streaming(&e11::scenario(objects, secs)).unwrap();
+            stream_ms = stream_ms.min(report.elapsed.as_secs_f64() * 1000.0);
+            peak = report.peak_in_flight_samples;
+            let (ts, rs, fs, _) = vita.repository().counts();
+            assert_eq!(
+                (ts, rs, fs),
+                (t, r, f),
+                "streamed products diverge from batch"
+            );
+        }
+        println!("| {objects} | {secs} | streamed | {stream_ms:.0} | {t} | {r} | {f} | {peak} |");
+    }
+    println!();
 }
 
 /// A1 — ablation of the trilateration estimator's design choices
@@ -624,7 +754,7 @@ fn e10_storage() {
             .collect();
         let t0 = Instant::now();
         let mut table = TrajectoryTable::new();
-        table.insert_bulk(samples);
+        table.append_batch(samples);
         let insert_ms = t0.elapsed().as_secs_f64() * 1000.0;
 
         let span = n as u64 * 7;

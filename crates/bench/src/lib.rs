@@ -128,6 +128,74 @@ pub fn standard_workload(objects: usize, device_count: usize, secs: u64, sigma: 
     }
 }
 
+/// The E11 end-to-end workload — office (2 floors), 10 Wi-Fi APs with the
+/// coverage model on floor 0, trilateration — shared by the criterion
+/// bench (`benches/e11_end_to_end.rs`) and the experiments bin so both
+/// always measure the same scenario. Callers pick the scale
+/// (objects × seconds); everything else, including the seed, is pinned
+/// here.
+pub mod e11 {
+    use vita_core::{ScenarioConfig, StreamOptions, Vita};
+    use vita_devices::{DeploymentModel, DeviceSpec, DeviceType};
+    use vita_indoor::{BuildParams, FloorId, Timestamp};
+    use vita_mobility::{LifespanConfig, MobilityConfig};
+    use vita_positioning::{MethodConfig, TrilaterationConfig};
+    use vita_rssi::{PathLossModel, RssiConfig};
+
+    pub const SEED: u64 = 0xE11;
+
+    pub fn office_text() -> String {
+        vita_dbi::write_step(&vita_dbi::office(&vita_dbi::SynthParams::with_floors(2)))
+    }
+
+    pub fn toolkit(text: &str) -> Vita {
+        let mut vita = Vita::from_dbi_text(text, &BuildParams::default()).expect("e11 office");
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            10,
+        );
+        vita
+    }
+
+    pub fn mobility(objects: usize, secs: u64) -> MobilityConfig {
+        MobilityConfig {
+            object_count: objects,
+            duration: Timestamp(secs * 1000),
+            lifespan: LifespanConfig {
+                min: Timestamp(secs * 1000),
+                max: Timestamp(secs * 1000),
+            },
+            seed: SEED,
+            ..Default::default()
+        }
+    }
+
+    pub fn rssi(secs: u64) -> RssiConfig {
+        RssiConfig {
+            duration: Timestamp(secs * 1000),
+            ..Default::default()
+        }
+    }
+
+    pub fn method() -> MethodConfig {
+        MethodConfig::Trilateration {
+            config: TrilaterationConfig::default(),
+            conversion_model: PathLossModel::default(),
+        }
+    }
+
+    pub fn scenario(objects: usize, secs: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            mobility: mobility(objects, secs),
+            rssi: rssi(secs),
+            method: method(),
+            options: StreamOptions::default(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

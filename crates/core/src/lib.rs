@@ -56,13 +56,13 @@ pub mod props;
 pub mod render;
 
 pub use config::{load_method, load_mobility, load_rssi, ConfigLoadError};
-pub use pipeline::{Vita, VitaError};
+pub use pipeline::{PipelineReport, ScenarioConfig, StreamOptions, Vita, VitaError};
 pub use props::{Properties, PropsError};
 pub use render::{ascii_floor, svg_floor, Overlay};
 
 /// Convenient glob import for toolkit users.
 pub mod prelude {
-    pub use crate::pipeline::{Vita, VitaError};
+    pub use crate::pipeline::{PipelineReport, ScenarioConfig, StreamOptions, Vita, VitaError};
     pub use crate::props::Properties;
     pub use crate::render::{ascii_floor, svg_floor, Overlay};
     pub use vita_dbi::SynthParams;

@@ -12,14 +12,31 @@
 //!
 //! All products are kept in the embedded [`Repository`] and returned to the
 //! caller.
+//!
+//! ## Streaming batched dataflow
+//!
+//! Steps 4–6 can also run as one concurrent pipeline via
+//! [`Vita::run_streaming`]: mobility workers emit per-object trajectory
+//! chunks over a bounded channel while stage workers generate that chunk's
+//! RSSI, position it, and append every product to storage as owned batches
+//! ([`vita_storage::ProductSink`]). No layer materializes the whole run —
+//! peak memory is bounded by the channel capacity — and for a fixed seed
+//! the repository contents and fix sets are identical to the step-by-step
+//! path (the step methods are thin wrappers over the same sinks).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use vita_dbi::LoadedDbi;
 use vita_devices::{deploy, DeploymentModel, DeviceRegistry, DeviceSpec};
 use vita_indoor::{build_environment, BuildParams, FloorId, IndoorEnvironment};
-use vita_mobility::{GenerationResult, MobilityConfig};
-use vita_positioning::{run_positioning, MethodConfig, PmcError, PositioningData};
-use vita_rssi::{generate_rssi, RssiConfig, RssiStore};
-use vita_storage::Repository;
+use vita_mobility::{GenerationResult, GenerationStats, MobilityConfig, TrajectoryChunk};
+use vita_positioning::{
+    run_positioning, ChunkPositioner, Fix, MethodConfig, PmcError, PositioningData, ProbFix,
+};
+use vita_rssi::{generate_rssi, RssiConfig, RssiGenerator, RssiStore};
+use vita_storage::{ProductBatch, ProductSink, Repository};
 
 /// Errors from assembling or running the pipeline.
 #[derive(Debug)]
@@ -144,8 +161,9 @@ impl Vita {
         cfg: &MobilityConfig,
     ) -> Result<&GenerationResult, VitaError> {
         let result = vita_mobility::generate(&self.env, cfg).map_err(VitaError::Mobility)?;
-        self.repo
-            .store_trajectories(result.trajectories.all_samples_time_ordered());
+        self.repo.accept(ProductBatch::Trajectories(
+            result.trajectories.all_samples_time_ordered(),
+        ));
         self.last_generation = Some(result);
         Ok(self.last_generation.as_ref().unwrap())
     }
@@ -159,7 +177,7 @@ impl Vita {
                 "generate_objects must run before generate_rssi",
             ))?;
         let store = generate_rssi(&self.env, &self.devices, &gen.trajectories, cfg);
-        self.repo.store_rssi(store.all().iter().copied());
+        self.repo.accept(ProductBatch::Rssi(store.all().to_vec()));
         self.last_rssi = Some(store);
         Ok(self.last_rssi.as_ref().unwrap())
     }
@@ -171,30 +189,115 @@ impl Vita {
         ))?;
         let data = run_positioning(&self.env, &self.devices, rssi, method)
             .map_err(VitaError::Positioning)?;
-        match &data {
-            PositioningData::Deterministic(fixes) => self.repo.store_fixes(fixes.iter().copied()),
-            PositioningData::Proximity(records) => {
-                self.repo.store_proximity(records.iter().copied())
-            }
-            PositioningData::Probabilistic(_) => {
-                // Probabilistic fixes keep their full candidate sets in the
-                // returned data; the repository stores their MAP estimates.
-                if let PositioningData::Probabilistic(pfs) = &data {
-                    let fixes: Vec<vita_positioning::Fix> = pfs
-                        .iter()
-                        .filter_map(|pf| {
-                            pf.map_estimate().map(|(loc, _)| vita_positioning::Fix {
-                                object: pf.object,
-                                loc: *loc,
-                                t: pf.t,
-                            })
-                        })
-                        .collect();
-                    self.repo.store_fixes(fixes);
-                }
-            }
-        }
+        self.repo.accept(positioning_batch_ref(&data));
         Ok(data)
+    }
+
+    /// Steps 4–6 as one streaming batched dataflow: mobility simulation
+    /// workers produce per-object trajectory chunks into a bounded channel
+    /// while stage workers concurrently generate each chunk's RSSI, run the
+    /// positioning method on it, and append all three products to the
+    /// repository as owned batches.
+    ///
+    /// For a fixed seed the resulting repository contents (counts and fix
+    /// sets) are identical to running [`Vita::generate_objects`] →
+    /// [`Vita::generate_rssi`] → [`Vita::run_positioning`], but no stage
+    /// ever materializes a whole run: peak in-flight data is bounded by
+    /// `options.channel_capacity` chunks (see
+    /// [`PipelineReport::peak_in_flight_samples`]).
+    ///
+    /// Devices must already be deployed (step 3). The step-path products
+    /// ([`Vita::generation`], [`Vita::rssi`]) are *not* materialized by
+    /// this entry point — query the repository instead.
+    pub fn run_streaming(&self, scenario: &ScenarioConfig) -> Result<PipelineReport, VitaError> {
+        let start = Instant::now();
+        let positioner = ChunkPositioner::new(&self.env, &self.devices, &scenario.method)
+            .map_err(VitaError::Positioning)?;
+        let rssi_gen = RssiGenerator::new(&self.env, &self.devices, &scenario.rssi);
+        let opts = &scenario.options;
+        // Split the core budget between the two pools: stage workers here,
+        // simulation workers inside the mobility producer. Sizing both to
+        // the full core count would oversubscribe the machine 2×.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = if opts.workers == 0 {
+            (cores / 2).max(1)
+        } else {
+            opts.workers
+        };
+        let sim_workers = cores.saturating_sub(workers).max(1);
+        let capacity = opts.channel_capacity.max(1);
+
+        let repo = &self.repo;
+        let counters = StreamCounters::default();
+        let streamed = std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::sync_channel::<TrajectoryChunk>(capacity);
+            let rx = Arc::new(Mutex::new(rx));
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let positioner = &positioner;
+                let rssi_gen = &rssi_gen;
+                let counters = &counters;
+                scope.spawn(move || loop {
+                    // Hold the lock only for the receive; processing runs
+                    // unlocked so workers overlap.
+                    let msg = rx.lock().expect("receiver lock").recv();
+                    let Ok(chunk) = msg else {
+                        return; // producer done, queue drained
+                    };
+                    let measurements = rssi_gen.measure_trajectory(chunk.object, &chunk.trajectory);
+                    let store = RssiStore::new(measurements);
+                    let data = positioner.position(&store);
+
+                    let samples = chunk.trajectory.into_samples();
+                    let n_samples = samples.len();
+                    counters.rssi_rows.fetch_add(store.len(), Ordering::Relaxed);
+                    let positioning = positioning_batch(data);
+                    counters
+                        .positioning_rows
+                        .fetch_add(positioning.len(), Ordering::Relaxed);
+                    repo.accept(ProductBatch::Trajectories(samples));
+                    repo.accept(ProductBatch::Rssi(store.into_measurements()));
+                    repo.accept(positioning);
+                    counters.in_flight.fetch_sub(n_samples, Ordering::Relaxed);
+                });
+            }
+
+            // Produce on this thread; `send` applies backpressure when all
+            // workers are busy and the channel is full. The producer's own
+            // channel gets capacity 1: buffering there would be redundant
+            // with this pipeline's channel and would hold chunks the
+            // in-flight counter cannot see yet.
+            let producer = vita_mobility::ChunkStreaming {
+                channel_capacity: 1,
+                max_workers: sim_workers,
+            };
+            let result = vita_mobility::generate_streaming(
+                &self.env,
+                &scenario.mobility,
+                &producer,
+                |chunk| {
+                    let n = chunk.trajectory.len();
+                    counters.chunks.fetch_add(1, Ordering::Relaxed);
+                    let now = counters.in_flight.fetch_add(n, Ordering::Relaxed) + n;
+                    counters.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+                    tx.send(chunk).expect("stage workers alive");
+                },
+            );
+            drop(tx);
+            result
+        })
+        .map_err(VitaError::Mobility)?;
+
+        Ok(PipelineReport {
+            stats: streamed.stats,
+            chunks: counters.chunks.into_inner(),
+            rssi_rows: counters.rssi_rows.into_inner(),
+            positioning_rows: counters.positioning_rows.into_inner(),
+            peak_in_flight_samples: counters.peak_in_flight.into_inner(),
+            elapsed: start.elapsed(),
+        })
     }
 
     /// The products of the last generation (step 4), if any.
@@ -211,6 +314,104 @@ impl Vita {
     pub fn repository(&self) -> &Repository {
         &self.repo
     }
+}
+
+/// The positioning batch the repository keeps for one [`PositioningData`]:
+/// deterministic fixes and proximity records go in as-is; probabilistic
+/// fixes keep their full candidate sets in the data while the repository
+/// stores their MAP estimates. By-value so the streaming hot path moves
+/// rows into storage without a copy.
+fn positioning_batch(data: PositioningData) -> ProductBatch {
+    match data {
+        PositioningData::Deterministic(fixes) => ProductBatch::Fixes(fixes),
+        PositioningData::Proximity(records) => ProductBatch::Proximity(records),
+        PositioningData::Probabilistic(pfs) => ProductBatch::Fixes(map_estimates(&pfs)),
+    }
+}
+
+/// Borrowing variant for the step path, which must also hand `data` back
+/// to the caller.
+fn positioning_batch_ref(data: &PositioningData) -> ProductBatch {
+    match data {
+        PositioningData::Deterministic(fixes) => ProductBatch::Fixes(fixes.clone()),
+        PositioningData::Proximity(records) => ProductBatch::Proximity(records.clone()),
+        PositioningData::Probabilistic(pfs) => ProductBatch::Fixes(map_estimates(pfs)),
+    }
+}
+
+/// MAP estimate of each probabilistic fix as a deterministic [`Fix`].
+fn map_estimates(pfs: &[ProbFix]) -> Vec<Fix> {
+    pfs.iter()
+        .filter_map(|pf| {
+            pf.map_estimate().map(|(loc, _)| Fix {
+                object: pf.object,
+                loc: *loc,
+                t: pf.t,
+            })
+        })
+        .collect()
+}
+
+/// Everything [`Vita::run_streaming`] needs for steps 4–6 in one place.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    pub mobility: MobilityConfig,
+    pub rssi: RssiConfig,
+    pub method: MethodConfig,
+    pub options: StreamOptions,
+}
+
+/// Tuning knobs of the streaming pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Stage workers consuming trajectory chunks (RSSI + positioning +
+    /// storage appends). `0` = half the available cores; the other half
+    /// goes to the mobility simulation workers.
+    pub workers: usize,
+    /// Bound on in-flight trajectory chunks between the mobility producer
+    /// and the stage workers (backpressure).
+    pub channel_capacity: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            workers: 0,
+            channel_capacity: vita_mobility::DEFAULT_CHUNK_CHANNEL_CAPACITY,
+        }
+    }
+}
+
+/// What one [`Vita::run_streaming`] run did.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Moving-object layer statistics (identical to the step path's).
+    pub stats: GenerationStats,
+    /// Trajectory chunks that flowed through the pipeline.
+    pub chunks: usize,
+    /// RSSI measurements generated and stored.
+    pub rssi_rows: usize,
+    /// Positioning rows stored (fixes or proximity records).
+    pub positioning_rows: usize,
+    /// Highest number of trajectory samples simultaneously in flight from
+    /// producer handoff to storage append — the streaming counterpart of
+    /// the step path's "whole run materialized" peak. Chunks still being
+    /// simulated (one per mobility worker, plus one producer-side buffer
+    /// slot) are not yet visible to this counter, so true peak memory is
+    /// bounded by this value plus that many chunks.
+    pub peak_in_flight_samples: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// Shared atomics the stage workers update.
+#[derive(Default)]
+struct StreamCounters {
+    chunks: AtomicUsize,
+    rssi_rows: AtomicUsize,
+    positioning_rows: AtomicUsize,
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
 }
 
 #[cfg(test)]
@@ -317,6 +518,70 @@ mod tests {
         let (_, _, fixes, prox) = vita.repository().counts();
         assert_eq!(prox, data.len());
         assert_eq!(fixes, 0);
+    }
+
+    #[test]
+    fn run_streaming_fills_repository_without_materializing_stages() {
+        let mut vita = toolkit();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            8,
+        );
+        let scenario = ScenarioConfig {
+            mobility: quick_mobility(),
+            rssi: RssiConfig {
+                duration: Timestamp(60_000),
+                ..Default::default()
+            },
+            method: MethodConfig::Trilateration {
+                config: TrilaterationConfig::default(),
+                conversion_model: PathLossModel::default(),
+            },
+            options: StreamOptions::default(),
+        };
+        let report = vita.run_streaming(&scenario).unwrap();
+        let (t, r, f, p) = vita.repository().counts();
+        assert_eq!(report.stats.objects, 6);
+        assert_eq!(report.chunks, 6);
+        assert_eq!(t, report.stats.samples);
+        assert_eq!(r, report.rssi_rows);
+        assert_eq!(f, report.positioning_rows);
+        assert_eq!(p, 0);
+        assert!(r > 0 && f > 0);
+        // Streaming bounds in-flight data; it never holds the whole run.
+        assert!(report.peak_in_flight_samples <= report.stats.samples);
+        assert!(report.peak_in_flight_samples > 0);
+        // Step-path products are not materialized by the streaming path.
+        assert!(vita.generation().is_none());
+        assert!(vita.rssi().is_none());
+    }
+
+    #[test]
+    fn run_streaming_requires_compatible_devices() {
+        let mut vita = toolkit();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::Rfid),
+            FloorId(0),
+            DeploymentModel::CheckPoint,
+            4,
+        );
+        let scenario = ScenarioConfig {
+            mobility: quick_mobility(),
+            rssi: RssiConfig::default(),
+            method: MethodConfig::Trilateration {
+                config: TrilaterationConfig::default(),
+                conversion_model: PathLossModel::default(),
+            },
+            options: StreamOptions::default(),
+        };
+        assert!(matches!(
+            vita.run_streaming(&scenario),
+            Err(VitaError::Positioning(_))
+        ));
+        // Nothing was stored.
+        assert_eq!(vita.repository().counts(), (0, 0, 0, 0));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! model is explicitly future work, §4) which makes generation
 //! embarrassingly parallel: objects are partitioned across threads with
 //! per-object RNG streams, so results are bit-identical regardless of thread
-//! count.
+//! count. [`generate_streaming`] exposes that parallelism as a producer of
+//! time-ordered per-object [`TrajectoryChunk`]s over a bounded channel, and
+//! [`generate`] is its materializing wrapper.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,12 +63,181 @@ struct ObjectPlan {
     rng_seed: u64,
 }
 
-/// Generate raw trajectories for `cfg` inside `env`.
+/// One streamed unit of the Moving Object Layer's output: the complete,
+/// time-ordered trajectory of one object. Chunks flow through a bounded
+/// channel from the simulation workers to the consumer, so downstream
+/// stages (RSSI, positioning, storage) can run while generation is still
+/// in progress.
+#[derive(Debug, Clone)]
+pub struct TrajectoryChunk {
+    pub object: ObjectId,
+    pub trajectory: Trajectory,
+}
+
+/// Run-level products of [`generate_streaming`]: everything
+/// [`GenerationResult`] carries except the materialized trajectories.
+#[derive(Debug, Clone)]
+pub struct StreamedGeneration {
+    pub stats: GenerationStats,
+    /// Birth time of each object.
+    pub births: Vec<(ObjectId, Timestamp)>,
+    /// Hot-area centers when the crowd-outliers distribution was used.
+    pub crowd_centers: Vec<(FloorId, Point)>,
+}
+
+/// Default bound on in-flight trajectory chunks between the simulation
+/// workers and the consumer (backpressure: workers stall rather than
+/// buffering a whole run).
+pub const DEFAULT_CHUNK_CHANNEL_CAPACITY: usize = 8;
+
+/// Tuning for the chunk producer side of [`generate_streaming`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkStreaming {
+    /// Bound on in-flight chunks between simulation workers and the
+    /// consumer.
+    pub channel_capacity: usize,
+    /// Cap on simulation worker threads; `0` = one per available core.
+    /// Pipelines running their own consumer pool set this to their share
+    /// of the core budget so the two pools don't oversubscribe the
+    /// machine.
+    pub max_workers: usize,
+}
+
+impl Default for ChunkStreaming {
+    fn default() -> Self {
+        ChunkStreaming {
+            channel_capacity: DEFAULT_CHUNK_CHANNEL_CAPACITY,
+            max_workers: 0,
+        }
+    }
+}
+
+/// Generate raw trajectories for `cfg` inside `env`, materializing the
+/// whole run. Thin wrapper over [`generate_streaming`] that collects every
+/// chunk into a [`TrajectoryStore`].
 pub fn generate(
     env: &IndoorEnvironment,
     cfg: &MobilityConfig,
 ) -> Result<GenerationResult, ConfigError> {
+    let mut parts: Vec<(ObjectId, Trajectory)> = Vec::with_capacity(cfg.object_count);
+    let streamed = generate_streaming(env, cfg, &ChunkStreaming::default(), |c| {
+        parts.push((c.object, c.trajectory));
+    })?;
+    Ok(GenerationResult {
+        trajectories: TrajectoryStore::from_parts(parts),
+        stats: streamed.stats,
+        births: streamed.births,
+        crowd_centers: streamed.crowd_centers,
+    })
+}
+
+/// Generate raw trajectories, handing each object's trajectory to
+/// `on_chunk` as soon as its simulation completes instead of materializing
+/// the run. Simulation workers (`std::thread::scope`) feed a bounded
+/// channel of [`TrajectoryChunk`]s; `on_chunk` runs on the calling thread.
+///
+/// Chunk *contents* are deterministic and identical to [`generate`]'s
+/// per-object trajectories (per-object RNG streams); chunk *arrival order*
+/// across objects is scheduler-dependent.
+pub fn generate_streaming(
+    env: &IndoorEnvironment,
+    cfg: &MobilityConfig,
+    stream: &ChunkStreaming,
+    mut on_chunk: impl FnMut(TrajectoryChunk),
+) -> Result<StreamedGeneration, ConfigError> {
     cfg.validate()?;
+    let (plans, initial_objects, crowd_centers) = build_plans(env, cfg);
+    let arrived_objects = plans.len() - initial_objects;
+    let planner = RoutePlanner::new(env);
+
+    // Deterministic per-object accumulators (object ids are dense indexes),
+    // so the f64 walked-distance total never depends on arrival order.
+    let mut walked = vec![0.0f64; plans.len()];
+    let mut samples_total = 0usize;
+    let mut consume = |chunk: TrajectoryChunk, walked: &mut [f64], samples_total: &mut usize| {
+        walked[chunk.object.0 as usize] = chunk.trajectory.length();
+        *samples_total += chunk.trajectory.len();
+        on_chunk(chunk);
+    };
+
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if stream.max_workers > 0 {
+        threads = threads.min(stream.max_workers);
+    }
+    if plans.len() < 32 || threads < 2 {
+        for p in &plans {
+            let trajectory = Trajectory::new(simulate_object(env, &planner, cfg, p));
+            consume(
+                TrajectoryChunk {
+                    object: p.id,
+                    trajectory,
+                },
+                &mut walked,
+                &mut samples_total,
+            );
+        }
+    } else {
+        let per_worker = plans.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::sync_channel(stream.channel_capacity.max(1));
+            let planner = &planner;
+            for worker_plans in plans.chunks(per_worker) {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for p in worker_plans {
+                        let trajectory = Trajectory::new(simulate_object(env, planner, cfg, p));
+                        let chunk = TrajectoryChunk {
+                            object: p.id,
+                            trajectory,
+                        };
+                        // A closed channel means the consumer is gone; stop
+                        // simulating.
+                        if tx.send(chunk).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for chunk in rx {
+                consume(chunk, &mut walked, &mut samples_total);
+            }
+        });
+    }
+
+    let births: Vec<(ObjectId, Timestamp)> = plans.iter().map(|p| (p.id, p.birth)).collect();
+    let mean_lifespan_s = if plans.is_empty() {
+        0.0
+    } else {
+        plans
+            .iter()
+            .map(|p| p.death.since(p.birth) as f64 / 1000.0)
+            .sum::<f64>()
+            / plans.len() as f64
+    };
+    let stats = GenerationStats {
+        objects: plans.len(),
+        initial_objects,
+        arrived_objects,
+        samples: samples_total,
+        total_walked_m: walked.iter().sum(),
+        mean_lifespan_s,
+    };
+    Ok(StreamedGeneration {
+        stats,
+        births,
+        crowd_centers,
+    })
+}
+
+/// Fix every object's life plan up front (deterministic, single-threaded)
+/// so simulation can fan out across workers.
+fn build_plans(
+    env: &IndoorEnvironment,
+    cfg: &MobilityConfig,
+) -> (Vec<ObjectPlan>, usize, Vec<(FloorId, Point)>) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // --- Initial batch. ---
@@ -114,46 +285,7 @@ pub fn generate(
             }
         }
     }
-    let arrived_objects = plans.len() - initial_objects;
-
-    // --- Simulate objects in parallel. ---
-    let planner = RoutePlanner::new(env);
-    let results = simulate_all(env, &planner, cfg, &plans);
-
-    // --- Collect. ---
-    let mut total_walked = 0.0;
-    let mut parts = Vec::with_capacity(results.len());
-    let mut births = Vec::with_capacity(results.len());
-    for (plan, samples) in plans.iter().zip(results) {
-        let tr = Trajectory::new(samples);
-        total_walked += tr.length();
-        births.push((plan.id, plan.birth));
-        parts.push((plan.id, tr));
-    }
-    let store = TrajectoryStore::from_parts(parts);
-    let mean_lifespan_s = if plans.is_empty() {
-        0.0
-    } else {
-        plans
-            .iter()
-            .map(|p| p.death.since(p.birth) as f64 / 1000.0)
-            .sum::<f64>()
-            / plans.len() as f64
-    };
-    let stats = GenerationStats {
-        objects: plans.len(),
-        initial_objects,
-        arrived_objects,
-        samples: store.sample_count(),
-        total_walked_m: total_walked,
-        mean_lifespan_s,
-    };
-    Ok(GenerationResult {
-        trajectories: store,
-        stats,
-        births,
-        crowd_centers: placed.crowd_centers,
-    })
+    (plans, initial_objects, placed.crowd_centers)
 }
 
 fn sample_lifespan(cfg: &MobilityConfig, rng: &mut StdRng) -> u64 {
@@ -198,52 +330,6 @@ fn mix_seed(seed: u64, idx: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
-}
-
-/// Simulate all objects, splitting across threads when the workload is big
-/// enough to pay for it.
-fn simulate_all(
-    env: &IndoorEnvironment,
-    planner: &RoutePlanner<'_>,
-    cfg: &MobilityConfig,
-    plans: &[ObjectPlan],
-) -> Vec<Vec<TrajectorySample>> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if plans.len() < 32 || threads < 2 {
-        return plans
-            .iter()
-            .map(|p| simulate_object(env, planner, cfg, p))
-            .collect();
-    }
-    let chunk = plans.len().div_ceil(threads);
-    let mut out: Vec<Vec<TrajectorySample>> = vec![Vec::new(); plans.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (ci, chunk_plans) in plans.chunks(chunk).enumerate() {
-            handles.push((
-                ci * chunk,
-                scope.spawn(move || {
-                    chunk_plans
-                        .iter()
-                        .map(|p| simulate_object(env, planner, cfg, p))
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (base, h) in handles {
-            for (i, samples) in h
-                .join()
-                .expect("simulation thread panicked")
-                .into_iter()
-                .enumerate()
-            {
-                out[base + i] = samples;
-            }
-        }
-    });
-    out
 }
 
 /// One itinerary segment: where the object is over a time interval.
@@ -691,6 +777,53 @@ mod tests {
             }
         }
         assert!(floors_seen.len() == 2, "objects never changed floors");
+    }
+
+    #[test]
+    fn streaming_chunks_match_materialized_generation() {
+        // 40 objects exercises the threaded producer path; every chunk must
+        // equal the corresponding trajectory of the batch path bit-for-bit.
+        let env = env(1);
+        let mut cfg = quick_cfg();
+        cfg.object_count = 40;
+        let batch = generate(&env, &cfg).unwrap();
+        let mut chunks: Vec<TrajectoryChunk> = Vec::new();
+        let stream = ChunkStreaming {
+            channel_capacity: 4,
+            max_workers: 0,
+        };
+        let streamed = generate_streaming(&env, &cfg, &stream, |c| chunks.push(c)).unwrap();
+
+        assert_eq!(streamed.stats.objects, batch.stats.objects);
+        assert_eq!(streamed.stats.samples, batch.stats.samples);
+        assert_eq!(streamed.births, batch.births);
+        assert!((streamed.stats.total_walked_m - batch.stats.total_walked_m).abs() < 1e-9);
+        assert_eq!(chunks.len(), batch.trajectories.object_count());
+        chunks.sort_by_key(|c| c.object);
+        for c in &chunks {
+            let tr = batch.trajectories.get(c.object).unwrap();
+            assert_eq!(c.trajectory.len(), tr.len());
+            for (a, b) in c.trajectory.samples().iter().zip(tr.samples()) {
+                assert_eq!(a.t, b.t);
+                assert_eq!(a.loc.floor, b.loc.floor);
+                assert!(a.point().approx_eq(b.point()));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_chunks_are_time_ordered_within_object() {
+        let env = env(1);
+        let cfg = quick_cfg();
+        let stream = ChunkStreaming {
+            channel_capacity: 2,
+            max_workers: 1,
+        };
+        generate_streaming(&env, &cfg, &stream, |c| {
+            assert!(c.trajectory.samples().windows(2).all(|w| w[0].t <= w[1].t));
+            assert!(!c.trajectory.is_empty());
+        })
+        .unwrap();
     }
 
     #[test]

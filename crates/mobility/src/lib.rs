@@ -25,5 +25,8 @@ pub use config::{
 pub use distribution::{
     initial_positions, point_in_partition, uniform_point, InitialPlacement, Placement,
 };
-pub use engine::{generate, GenerationResult, GenerationStats};
+pub use engine::{
+    generate, generate_streaming, ChunkStreaming, GenerationResult, GenerationStats,
+    StreamedGeneration, TrajectoryChunk, DEFAULT_CHUNK_CHANNEL_CAPACITY,
+};
 pub use trajectory::{Trajectory, TrajectorySample, TrajectoryStore};

@@ -59,6 +59,13 @@ impl Trajectory {
         &self.samples
     }
 
+    /// Consume the trajectory, yielding its time-ordered samples. Used by
+    /// the streaming pipeline to move a chunk's rows into storage without
+    /// copying.
+    pub fn into_samples(self) -> Vec<TrajectorySample> {
+        self.samples
+    }
+
     pub fn len(&self) -> usize {
         self.samples.len()
     }

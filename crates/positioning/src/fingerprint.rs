@@ -300,6 +300,11 @@ fn signal_distance(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Drive per-object estimation over the positioning sampling grid.
+///
+/// Instants lie on the absolute grid (multiples of the period) and extend
+/// through the last window that can contain a measurement, mirroring
+/// [`crate::trilaterate`] — the property that makes the online phase
+/// chunkable per object.
 fn run_windows<T, F>(rssi: &RssiStore, cfg: &FingerprintConfig, mut f: F) -> Vec<T>
 where
     F: FnMut(ObjectId, &[vita_rssi::RssiMeasurement], Timestamp) -> Option<T>,
@@ -312,8 +317,9 @@ where
     if period == u64::MAX {
         return out;
     }
-    let mut t = t0;
-    while t <= t1 {
+    let horizon = Timestamp(t1.0 + cfg.window_ms);
+    let mut t = Timestamp(t0.0.div_ceil(period) * period);
+    while t <= horizon {
         let from = Timestamp(t.0.saturating_sub(cfg.window_ms));
         let window = rssi.window(from, t.advance(1));
         let mut objects: Vec<ObjectId> = window.iter().map(|m| m.object).collect();

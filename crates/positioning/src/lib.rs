@@ -27,7 +27,7 @@ pub use fingerprint::{
     RadioMapEntry, ReferenceSelection, SurveyConfig, NOT_HEARD_DBM,
 };
 pub use output::{Fix, PositioningData, ProbFix, ProximityRecord};
-pub use pmc::{run_positioning, MethodConfig, PmcError};
+pub use pmc::{run_positioning, ChunkPositioner, MethodConfig, PmcError};
 pub use proximity::{device_at, proximity_records, ProximityConfig};
 pub use trilateration::{
     default_conversion, least_squares_position, trilaterate, RssiToDistance, TrilaterationConfig,

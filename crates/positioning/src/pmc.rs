@@ -15,7 +15,8 @@ use vita_indoor::{FloorId, IndoorEnvironment};
 use vita_rssi::{PathLossModel, RssiStore};
 
 use crate::fingerprint::{
-    build_radio_map, knn_fingerprint, naive_bayes_fingerprint, FingerprintConfig, SurveyConfig,
+    build_radio_map, knn_fingerprint, naive_bayes_fingerprint, FingerprintConfig, RadioMap,
+    SurveyConfig,
 };
 use crate::output::PositioningData;
 use crate::proximity::{proximity_records, ProximityConfig};
@@ -96,54 +97,88 @@ impl std::fmt::Display for PmcError {
 
 impl std::error::Error for PmcError {}
 
-/// Run the configured positioning method over raw RSSI data.
+/// Run the configured positioning method over raw RSSI data. One-shot
+/// wrapper over [`ChunkPositioner`].
 pub fn run_positioning(
     env: &IndoorEnvironment,
     devices: &DeviceRegistry,
     rssi: &RssiStore,
     method: &MethodConfig,
 ) -> Result<PositioningData, PmcError> {
-    if devices.is_empty() {
-        return Err(PmcError::NoDevices);
-    }
-    // Compatibility: every deployed device type must support the method.
-    for t in DeviceType::ALL {
-        if devices.of_type(t).next().is_some() && !method.supports(t) {
-            return Err(PmcError::IncompatibleDevices {
-                method: method.method_name(),
-                device_type: t.name(),
-            });
+    Ok(ChunkPositioner::new(env, devices, method)?.position(rssi))
+}
+
+/// A positioning runner prepared once per run: the device/method
+/// compatibility matrix is checked and the offline fingerprint survey
+/// (radio map) is built up front, leaving only the online phase per call.
+///
+/// Every method treats objects independently and every estimator samples
+/// on the absolute PMC grid, so [`position`](ChunkPositioner::position) may
+/// be called per RSSI chunk (the streaming pipeline feeds it one object's
+/// store at a time): the union of per-chunk outputs equals one whole-store
+/// run. The positioner is `Sync` — stage workers share one instance.
+pub struct ChunkPositioner<'a> {
+    devices: &'a DeviceRegistry,
+    method: MethodConfig,
+    /// Prebuilt offline radio map for the fingerprinting methods.
+    radio_map: Option<RadioMap>,
+}
+
+impl<'a> ChunkPositioner<'a> {
+    pub fn new(
+        env: &IndoorEnvironment,
+        devices: &'a DeviceRegistry,
+        method: &MethodConfig,
+    ) -> Result<Self, PmcError> {
+        if devices.is_empty() {
+            return Err(PmcError::NoDevices);
         }
+        // Compatibility: every deployed device type must support the method.
+        for t in DeviceType::ALL {
+            if devices.of_type(t).next().is_some() && !method.supports(t) {
+                return Err(PmcError::IncompatibleDevices {
+                    method: method.method_name(),
+                    device_type: t.name(),
+                });
+            }
+        }
+        let radio_map = match method {
+            MethodConfig::FingerprintingKnn { survey, floor, .. }
+            | MethodConfig::FingerprintingBayes { survey, floor, .. } => {
+                Some(build_radio_map(env, devices, *floor, survey))
+            }
+            _ => None,
+        };
+        Ok(ChunkPositioner {
+            devices,
+            method: method.clone(),
+            radio_map,
+        })
     }
 
-    Ok(match method {
-        MethodConfig::Trilateration {
-            config,
-            conversion_model,
-        } => {
-            let conv = default_conversion(*conversion_model);
-            PositioningData::Deterministic(trilaterate(devices, rssi, config, &conv))
+    /// Run the online phase over one RSSI store (a chunk or a whole run).
+    pub fn position(&self, rssi: &RssiStore) -> PositioningData {
+        match &self.method {
+            MethodConfig::Trilateration {
+                config,
+                conversion_model,
+            } => {
+                let conv = default_conversion(*conversion_model);
+                PositioningData::Deterministic(trilaterate(self.devices, rssi, config, &conv))
+            }
+            MethodConfig::FingerprintingKnn { online, .. } => {
+                let map = self.radio_map.as_ref().expect("radio map built in new()");
+                PositioningData::Deterministic(knn_fingerprint(map, rssi, online))
+            }
+            MethodConfig::FingerprintingBayes { online, .. } => {
+                let map = self.radio_map.as_ref().expect("radio map built in new()");
+                PositioningData::Probabilistic(naive_bayes_fingerprint(map, rssi, online))
+            }
+            MethodConfig::Proximity(cfg) => {
+                PositioningData::Proximity(proximity_records(self.devices, rssi, cfg))
+            }
         }
-        MethodConfig::FingerprintingKnn {
-            survey,
-            online,
-            floor,
-        } => {
-            let map = build_radio_map(env, devices, *floor, survey);
-            PositioningData::Deterministic(knn_fingerprint(&map, rssi, online))
-        }
-        MethodConfig::FingerprintingBayes {
-            survey,
-            online,
-            floor,
-        } => {
-            let map = build_radio_map(env, devices, *floor, survey);
-            PositioningData::Probabilistic(naive_bayes_fingerprint(&map, rssi, online))
-        }
-        MethodConfig::Proximity(cfg) => {
-            PositioningData::Proximity(proximity_records(devices, rssi, cfg))
-        }
-    })
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +317,71 @@ mod tests {
             }
         )
         .is_ok());
+    }
+
+    #[test]
+    fn per_object_chunks_union_to_whole_store_run() {
+        // The streaming pipeline positions one object's RSSI at a time;
+        // for every method the union over objects must equal the
+        // whole-store run exactly.
+        let (env, reg, rssi) = pipeline(DeviceType::WiFi);
+        let methods: Vec<MethodConfig> = vec![
+            MethodConfig::Trilateration {
+                config: TrilaterationConfig::default(),
+                conversion_model: PathLossModel::default(),
+            },
+            MethodConfig::FingerprintingKnn {
+                survey: SurveyConfig::default(),
+                online: FingerprintConfig::default(),
+                floor: FloorId(0),
+            },
+            MethodConfig::FingerprintingBayes {
+                survey: SurveyConfig::default(),
+                online: FingerprintConfig::default(),
+                floor: FloorId(0),
+            },
+            MethodConfig::Proximity(ProximityConfig::default()),
+        ];
+        for m in methods {
+            let positioner = ChunkPositioner::new(&env, &reg, &m).unwrap();
+            let whole = positioner.position(&rssi);
+            let mut objects = rssi.objects();
+            objects.sort_unstable();
+            let mut fixes = Vec::new();
+            let mut probs = Vec::new();
+            let mut prox = Vec::new();
+            for o in objects {
+                let sub = RssiStore::new(
+                    rssi.all()
+                        .iter()
+                        .filter(|meas| meas.object == o)
+                        .copied()
+                        .collect(),
+                );
+                match positioner.position(&sub) {
+                    PositioningData::Deterministic(f) => fixes.extend(f),
+                    PositioningData::Probabilistic(p) => probs.extend(p),
+                    PositioningData::Proximity(r) => prox.extend(r),
+                }
+            }
+            match whole {
+                PositioningData::Deterministic(mut w) => {
+                    w.sort_by_key(|f| (f.t, f.object));
+                    fixes.sort_by_key(|f| (f.t, f.object));
+                    assert_eq!(fixes, w, "{} fix union differs", m.method_name());
+                }
+                PositioningData::Probabilistic(mut w) => {
+                    w.sort_by_key(|f| (f.t, f.object));
+                    probs.sort_by_key(|f| (f.t, f.object));
+                    assert_eq!(probs, w, "{} prob-fix union differs", m.method_name());
+                }
+                PositioningData::Proximity(mut w) => {
+                    w.sort_by_key(|r| (r.ts, r.object, r.device));
+                    prox.sort_by_key(|r| (r.ts, r.object, r.device));
+                    assert_eq!(prox, w, "{} proximity union differs", m.method_name());
+                }
+            }
+        }
     }
 
     #[test]

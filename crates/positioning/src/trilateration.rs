@@ -72,6 +72,14 @@ impl Default for TrilaterationConfig {
 /// At each estimation instant, measurements in the window are grouped per
 /// (object, device), RSSI values are averaged (dBm-domain averaging is the
 /// usual engineering shortcut), converted to distances, and solved.
+///
+/// Estimation instants lie on the **absolute sampling grid** — multiples of
+/// the PMC period, from the first grid point at or after the store's first
+/// measurement through every window that can still contain one (last
+/// measurement + window). Anchoring to the absolute clock rather than the
+/// store's first timestamp makes the estimator chunkable: running it on a
+/// sub-store holding one object's measurements yields exactly the fixes
+/// the whole-store run produces for that object.
 pub fn trilaterate(
     devices: &DeviceRegistry,
     rssi: &RssiStore,
@@ -86,8 +94,9 @@ pub fn trilaterate(
     if period == u64::MAX {
         return fixes;
     }
-    let mut t = Timestamp(t0.0);
-    while t <= t1 {
+    let horizon = Timestamp(t1.0 + cfg.window_ms);
+    let mut t = Timestamp(t0.0.div_ceil(period) * period);
+    while t <= horizon {
         let from = Timestamp(t.0.saturating_sub(cfg.window_ms));
         let window = rssi.window(from, t.advance(1));
         // Group by object, then device.
@@ -371,9 +380,13 @@ mod tests {
             ..Default::default()
         };
         let fixes = trilaterate(&reg, &store, &cfg, &constant);
-        assert_eq!(fixes.len(), 1);
-        let p = fixes[0].loc.as_point().unwrap();
-        // Equidistant point from three anchors = circumcenter (5, ~2.9).
-        assert!((p.x - 5.0).abs() < 0.5, "{p}");
+        // Two grid instants see the t=0 measurements: t=0 and t=1000
+        // (whose window reaches back to them).
+        assert_eq!(fixes.len(), 2);
+        for f in &fixes {
+            let p = f.loc.as_point().unwrap();
+            // Equidistant point from three anchors = circumcenter (5, ~2.9).
+            assert!((p.x - 5.0).abs() < 0.5, "{p}");
+        }
     }
 }

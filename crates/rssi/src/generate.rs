@@ -4,14 +4,21 @@
 //! override), the generator measures every object that is on the device's
 //! floor and within detection range, applying the path-loss model with the
 //! wall/obstacle crossing count between device and object.
+//!
+//! Fluctuation noise is drawn from a generator **derived per measurement**
+//! from `(seed, device, object, t)`, so a measurement's value does not
+//! depend on the order measurements are produced in. This is what lets the
+//! streaming pipeline generate RSSI per trajectory chunk
+//! ([`RssiGenerator::measure_trajectory`]) and still emit bit-identical
+//! values to the whole-store sweep ([`generate_rssi`]).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use vita_devices::DeviceRegistry;
-use vita_geometry::count_crossings;
+use vita_geometry::{count_crossings, Segment};
 use vita_indoor::{DeviceId, Hz, IndoorEnvironment, ObjectId, Timestamp};
-use vita_mobility::TrajectoryStore;
+use vita_mobility::{Trajectory, TrajectoryStore};
 
 use crate::model::PathLossModel;
 use crate::store::{RssiMeasurement, RssiStore};
@@ -41,68 +48,117 @@ impl Default for RssiConfig {
 }
 
 /// Generate the raw RSSI data for all devices against all trajectories.
+/// Whole-store wrapper over [`RssiGenerator::measure_trajectory`].
 pub fn generate_rssi(
     env: &IndoorEnvironment,
     devices: &DeviceRegistry,
     trajectories: &TrajectoryStore,
     cfg: &RssiConfig,
 ) -> RssiStore {
+    let generator = RssiGenerator::new(env, devices, cfg);
     let mut measurements: Vec<RssiMeasurement> = Vec::new();
+    for (oid, tr) in trajectories.iter() {
+        measurements.append(&mut generator.measure_trajectory(*oid, tr));
+    }
+    RssiStore::new(measurements)
+}
 
-    // Pre-compute per-floor wall sets (including user obstacles) once.
-    let floor_count = env.floors().len();
-    let walls: Vec<_> = (0..floor_count)
-        .map(|f| env.walls_with_obstacles(vita_indoor::FloorId(f as u32)))
-        .collect();
-    // Obstacle extra attenuation is approximated by counting user-obstacle
-    // edge crossings: obstacle edges are appended after floor walls, so
-    // index arithmetic distinguishes them.
-    let base_wall_count: Vec<usize> = (0..floor_count)
-        .map(|f| env.floor(vita_indoor::FloorId(f as u32)).walls.len())
-        .collect();
-    let _ = &base_wall_count; // (kept simple: obstacles use the wall term)
+/// The RSSI Measurement Controller, set up once per run: per-floor wall
+/// sets (including user obstacles) are precomputed so per-chunk generation
+/// does no repeated geometry work.
+pub struct RssiGenerator<'a> {
+    devices: &'a DeviceRegistry,
+    cfg: RssiConfig,
+    /// Per-floor walls + user-obstacle edges, indexed by floor.
+    walls: Vec<Vec<Segment>>,
+}
 
-    for device in devices.devices() {
-        // Per-device RNG stream keyed by device id: deterministic and
-        // independent of iteration order.
-        let mut rng =
-            StdRng::seed_from_u64(cfg.seed ^ (device.id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
-        let hz = cfg.sampling_hz.unwrap_or(device.spec.detection_hz);
-        let period = hz.period_ms();
-        if period == u64::MAX {
-            continue;
-        }
-        let floor_walls = &walls[device.floor.index()];
-
-        let mut t = Timestamp::ZERO;
-        while t <= cfg.duration {
-            for (oid, tr) in trajectories.iter() {
-                let Some((floor, pos)) = tr.position_at(t) else {
-                    continue;
-                };
-                if floor != device.floor {
-                    continue;
-                }
-                let dist = device.position.dist(pos);
-                if dist > device.spec.detection_range {
-                    continue;
-                }
-                let crossings = count_crossings(device.position, pos, floor_walls);
-                let rssi =
-                    cfg.path_loss
-                        .measure(dist, device.spec.rssi_at_1m, crossings, 0.0, &mut rng);
-                measurements.push(RssiMeasurement {
-                    object: *oid,
-                    device: device.id,
-                    rssi,
-                    t,
-                });
-            }
-            t = t.advance(period);
+impl<'a> RssiGenerator<'a> {
+    pub fn new(env: &IndoorEnvironment, devices: &'a DeviceRegistry, cfg: &RssiConfig) -> Self {
+        let walls = (0..env.floors().len())
+            .map(|f| env.walls_with_obstacles(vita_indoor::FloorId(f as u32)))
+            .collect();
+        RssiGenerator {
+            devices,
+            cfg: *cfg,
+            walls,
         }
     }
 
-    RssiStore::new(measurements)
+    /// Measure one object's trajectory against every device. Each device
+    /// samples on its own grid anchored at `t = 0` (detection frequency or
+    /// the global override), restricted to `[0, duration]` — exactly the
+    /// instants the whole-store sweep would evaluate for this object, so
+    /// the union over all objects reproduces [`generate_rssi`] exactly.
+    /// Measurements are returned in `(device, t)` order; [`RssiStore::new`]
+    /// re-sorts into canonical `(t, object, device)` order.
+    pub fn measure_trajectory(&self, object: ObjectId, tr: &Trajectory) -> Vec<RssiMeasurement> {
+        let mut out = Vec::new();
+        let (Some(start), Some(end)) = (tr.start_time(), tr.end_time()) else {
+            return out;
+        };
+        let t_end = end.min(self.cfg.duration);
+        for device in self.devices.devices() {
+            let hz = self.cfg.sampling_hz.unwrap_or(device.spec.detection_hz);
+            let period = hz.period_ms();
+            if period == u64::MAX {
+                continue;
+            }
+            let floor_walls = &self.walls[device.floor.index()];
+            // First grid instant at or after the object's birth.
+            let mut t = Timestamp(start.0.div_ceil(period) * period);
+            while t <= t_end {
+                if let Some(m) = self.measure_at(device, object, tr, t, floor_walls) {
+                    out.push(m);
+                }
+                t = t.advance(period);
+            }
+        }
+        out
+    }
+
+    fn measure_at(
+        &self,
+        device: &vita_devices::Device,
+        object: ObjectId,
+        tr: &Trajectory,
+        t: Timestamp,
+        floor_walls: &[Segment],
+    ) -> Option<RssiMeasurement> {
+        let (floor, pos) = tr.position_at(t)?;
+        if floor != device.floor {
+            return None;
+        }
+        let dist = device.position.dist(pos);
+        if dist > device.spec.detection_range {
+            return None;
+        }
+        let crossings = count_crossings(device.position, pos, floor_walls);
+        let mut rng = measurement_rng(self.cfg.seed, device.id, object, t);
+        let rssi =
+            self.cfg
+                .path_loss
+                .measure(dist, device.spec.rssi_at_1m, crossings, 0.0, &mut rng);
+        Some(RssiMeasurement {
+            object,
+            device: device.id,
+            rssi,
+            t,
+        })
+    }
+}
+
+/// Noise generator for one measurement, derived from the full measurement
+/// identity so values are independent of generation order.
+fn measurement_rng(seed: u64, device: DeviceId, object: ObjectId, t: Timestamp) -> StdRng {
+    let mut z = seed ^ 0xA076_1D64_78BD_642F;
+    for v in [device.0 as u64, object.0 as u64, t.0] {
+        z = (z ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 29;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 32;
+    }
+    StdRng::seed_from_u64(z)
 }
 
 /// Per-device measurement counts, used for deployment diagnostics.
@@ -268,6 +324,40 @@ mod tests {
             assert_eq!(x.t, y.t);
             assert!((x.rssi - y.rssi).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn per_trajectory_chunks_reproduce_whole_store_sweep() {
+        // The streaming pipeline measures one trajectory at a time; the
+        // union must equal generate_rssi bit-for-bit (per-measurement
+        // derived noise makes values order-independent).
+        let (env, reg, trs) = setup();
+        let cfg = RssiConfig {
+            duration: Timestamp(45_000),
+            ..Default::default()
+        };
+        let whole = generate_rssi(&env, &reg, &trs, &cfg);
+        let generator = RssiGenerator::new(&env, &reg, &cfg);
+        let mut union: Vec<RssiMeasurement> = Vec::new();
+        for (oid, tr) in trs.iter() {
+            union.extend(generator.measure_trajectory(*oid, tr));
+        }
+        let union = RssiStore::new(union);
+        assert_eq!(union.len(), whole.len());
+        for (a, b) in union.all().iter().zip(whole.all()) {
+            assert_eq!(a.object, b.object);
+            assert_eq!(a.device, b.device);
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.rssi.to_bits(), b.rssi.to_bits(), "noise differs");
+        }
+    }
+
+    #[test]
+    fn empty_trajectory_yields_no_measurements() {
+        let (env, reg, _) = setup();
+        let generator = RssiGenerator::new(&env, &reg, &RssiConfig::default());
+        let empty = vita_mobility::Trajectory::default();
+        assert!(generator.measure_trajectory(ObjectId(0), &empty).is_empty());
     }
 
     #[test]

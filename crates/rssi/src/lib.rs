@@ -17,6 +17,8 @@ pub mod generate;
 pub mod model;
 pub mod store;
 
-pub use generate::{generate_rssi, measurements_per_device, measurements_per_object, RssiConfig};
+pub use generate::{
+    generate_rssi, measurements_per_device, measurements_per_object, RssiConfig, RssiGenerator,
+};
 pub use model::{gaussian, NoiseModel, PathLossModel};
 pub use store::{RssiMeasurement, RssiStore};

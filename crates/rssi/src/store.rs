@@ -33,6 +33,13 @@ impl RssiStore {
         &self.measurements
     }
 
+    /// Consume the store, yielding its sorted measurements. Used by the
+    /// streaming pipeline to move a chunk's rows into storage without
+    /// copying.
+    pub fn into_measurements(self) -> Vec<RssiMeasurement> {
+        self.measurements
+    }
+
     pub fn len(&self) -> usize {
         self.measurements.len()
     }

@@ -10,6 +10,32 @@
 //! * [`stream`] — tumbling windows, downsampling, stream merge.
 //! * [`codec`] — compact binary encode/decode for file round-trips.
 //! * [`Repository`] — the thread-safe facade bundling all tables.
+//!
+//! ## The `ProductSink` contract
+//!
+//! The streaming pipeline hands each layer's data products to storage as
+//! **owned batches** ([`ProductBatch`]) through the [`ProductSink`] trait,
+//! rather than materializing a whole run and copying it in afterwards.
+//! Implementations and producers agree on three rules:
+//!
+//! * **Ordering** — rows *within* one batch are time-ordered by their
+//!   producer (one batch per moving object is the pipeline default).
+//!   Batches from concurrent producers may interleave arbitrarily; every
+//!   table indexes by time, object, and device, so the row *sets* any
+//!   query returns are independent of arrival order. Ties are not: rows
+//!   sharing a timestamp come back in arrival order, which is
+//!   scheduler-dependent under concurrent producers — consumers needing a
+//!   run-stable total order must sort on a full key, as the parity tests
+//!   do.
+//! * **Batch size** — producers should target hundreds-to-thousands of
+//!   rows per batch. Batches move into the tables wholesale (one `Vec`
+//!   append plus index updates); degenerate one-row batches degrade to the
+//!   per-row insert cost.
+//! * **Backpressure** — [`ProductSink::accept`] may block briefly on the
+//!   table's write lock but never buffers unboundedly. Producers bound the
+//!   number of in-flight batches upstream (the pipeline uses a bounded
+//!   channel between stage workers), so peak memory stays at
+//!   `O(channel capacity × batch size)` instead of `O(run size)`.
 
 pub mod codec;
 pub mod stream;
@@ -28,6 +54,43 @@ use vita_mobility::TrajectorySample;
 use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
 
+/// One owned batch of a generated data product, as handed from a producer
+/// stage to a [`ProductSink`]. Carrying the `Vec` by value lets sinks move
+/// rows into their tables without intermediate copies.
+#[derive(Debug, Clone)]
+pub enum ProductBatch {
+    Trajectories(Vec<TrajectorySample>),
+    Rssi(Vec<RssiMeasurement>),
+    Fixes(Vec<Fix>),
+    Proximity(Vec<ProximityRecord>),
+}
+
+impl ProductBatch {
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            ProductBatch::Trajectories(v) => v.len(),
+            ProductBatch::Rssi(v) => v.len(),
+            ProductBatch::Fixes(v) => v.len(),
+            ProductBatch::Proximity(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Batch ingestion endpoint for pipeline stages (see the crate docs for the
+/// ordering / batch-size / backpressure contract). [`Repository`] is the
+/// canonical implementation; alternative backends (sharded repositories,
+/// async ingestion) implement the same trait.
+pub trait ProductSink: Send + Sync {
+    /// Ingest one owned batch. May block briefly (lock contention) but must
+    /// not buffer unboundedly.
+    fn accept(&self, batch: ProductBatch);
+}
+
 /// The data keeper for one generation run: all repositories behind one
 /// thread-safe facade ("Storage serves as both the data provider and data
 /// keeper").
@@ -39,14 +102,29 @@ pub struct Repository {
     pub proximity: RwLock<ProximityTable>,
 }
 
+impl ProductSink for Repository {
+    fn accept(&self, batch: ProductBatch) {
+        match batch {
+            ProductBatch::Trajectories(v) => self.trajectories.write().append_batch(v),
+            ProductBatch::Rssi(v) => self.rssi.write().append_batch(v),
+            ProductBatch::Fixes(v) => self.fixes.write().append_batch(v),
+            ProductBatch::Proximity(v) => self.proximity.write().append_batch(v),
+        }
+    }
+}
+
 impl Repository {
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Ingest trajectory samples.
-    pub fn store_trajectories(&self, samples: impl IntoIterator<Item = TrajectorySample>) {
-        self.trajectories.write().insert_bulk(samples);
+    /// Ingest trajectory samples as owned batches; each batch moves into the
+    /// table wholesale (no per-sample re-insertion or cloning).
+    pub fn store_trajectories(&self, batches: impl IntoIterator<Item = Vec<TrajectorySample>>) {
+        let mut table = self.trajectories.write();
+        for b in batches {
+            table.append_batch(b);
+        }
     }
 
     /// Ingest RSSI measurements.
@@ -89,7 +167,7 @@ impl Repository {
     /// Rebuild a repository from an export.
     pub fn import(export: &RepositoryExport) -> Result<Self, CodecError> {
         let repo = Repository::new();
-        repo.store_trajectories(decode_trajectories(export.trajectories.clone())?);
+        repo.store_trajectories([decode_trajectories(export.trajectories.clone())?]);
         repo.store_rssi(decode_rssi(export.rssi.clone())?);
         repo.store_fixes(decode_fixes(export.fixes.clone())?);
         repo.store_proximity(decode_proximity(export.proximity.clone())?);
@@ -125,7 +203,7 @@ mod tests {
     #[test]
     fn repository_ingest_and_counts() {
         let repo = Repository::new();
-        repo.store_trajectories((0..10).map(|i| sample(0, i * 100)));
+        repo.store_trajectories([(0..10).map(|i| sample(0, i * 100)).collect()]);
         repo.store_rssi([RssiMeasurement {
             object: ObjectId(0),
             device: DeviceId(0),
@@ -147,9 +225,33 @@ mod tests {
     }
 
     #[test]
+    fn product_sink_routes_batches_to_tables() {
+        let repo = Repository::new();
+        let sink: &dyn ProductSink = &repo;
+        sink.accept(ProductBatch::Trajectories(
+            (0..5).map(|i| sample(0, i * 100)).collect(),
+        ));
+        sink.accept(ProductBatch::Rssi(vec![RssiMeasurement {
+            object: ObjectId(0),
+            device: DeviceId(0),
+            rssi: -42.0,
+            t: Timestamp(0),
+        }]));
+        sink.accept(ProductBatch::Fixes(vec![Fix {
+            object: ObjectId(0),
+            loc: Loc::point(BuildingId(0), FloorId(0), Point::new(1.0, 1.0)),
+            t: Timestamp(50),
+        }]));
+        sink.accept(ProductBatch::Proximity(Vec::new()));
+        assert_eq!(repo.counts(), (5, 1, 1, 0));
+        assert_eq!(ProductBatch::Rssi(Vec::new()).len(), 0);
+        assert!(ProductBatch::Fixes(Vec::new()).is_empty());
+    }
+
+    #[test]
     fn export_import_round_trip() {
         let repo = Repository::new();
-        repo.store_trajectories((0..25).map(|i| sample(i % 3, i as u64 * 40)));
+        repo.store_trajectories([(0..25).map(|i| sample(i % 3, i as u64 * 40)).collect()]);
         repo.store_rssi((0..7).map(|i| RssiMeasurement {
             object: ObjectId(i),
             device: DeviceId(i % 2),
@@ -169,7 +271,7 @@ mod tests {
     fn concurrent_readers_and_writer() {
         use std::sync::Arc;
         let repo = Arc::new(Repository::new());
-        repo.store_trajectories((0..100).map(|i| sample(0, i * 10)));
+        repo.store_trajectories([(0..100).map(|i| sample(0, i * 10)).collect()]);
         let mut handles = Vec::new();
         for k in 0..4 {
             let r = Arc::clone(&repo);
@@ -188,7 +290,7 @@ mod tests {
         let w = Arc::clone(&repo);
         let writer = std::thread::spawn(move || {
             for i in 100..200u64 {
-                w.store_trajectories([sample(1, i * 10)]);
+                w.store_trajectories([vec![sample(1, i * 10)]]);
             }
         });
         for h in handles {

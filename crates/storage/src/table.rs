@@ -20,6 +20,39 @@ use vita_rssi::RssiMeasurement;
 /// Row identifier within one table.
 pub type RowId = u32;
 
+/// Merge a batch's `(timestamp, row)` pairs into a time index. When the
+/// index is empty (the common bulk-load case) the B-tree is built in one
+/// pass from the sorted pairs instead of `n` point insertions; the sort is
+/// stable so rows sharing a timestamp keep arrival order, matching what
+/// repeated [`TrajectoryTable::insert`] would have produced.
+fn index_times<T>(
+    batch: &[T],
+    base: RowId,
+    t_of: impl Fn(&T) -> Timestamp,
+    by_time: &mut BTreeMap<Timestamp, Vec<RowId>>,
+) {
+    if by_time.is_empty() {
+        let mut pairs: Vec<(Timestamp, RowId)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (t_of(r), base + i as RowId))
+            .collect();
+        pairs.sort_by_key(|(t, _)| *t);
+        let mut groups: Vec<(Timestamp, Vec<RowId>)> = Vec::new();
+        for (t, id) in pairs {
+            match groups.last_mut() {
+                Some((gt, ids)) if *gt == t => ids.push(id),
+                _ => groups.push((t, vec![id])),
+            }
+        }
+        *by_time = groups.into_iter().collect();
+    } else {
+        for (i, r) in batch.iter().enumerate() {
+            by_time.entry(t_of(r)).or_default().push(base + i as RowId);
+        }
+    }
+}
+
 /// A table of raw trajectory samples `(o_id, loc, t)`.
 #[derive(Debug, Default, Clone)]
 pub struct TrajectoryTable {
@@ -53,9 +86,27 @@ impl TrajectoryTable {
     }
 
     pub fn insert_bulk(&mut self, samples: impl IntoIterator<Item = TrajectorySample>) {
-        for s in samples {
-            self.insert(s);
+        self.append_batch(samples.into_iter().collect());
+    }
+
+    /// Append one owned batch: rows move in wholesale, the time index is
+    /// bulk-built when the table was empty, and the spatial index is
+    /// invalidated once rather than per row. This is the ingest hot path of
+    /// the streaming pipeline (one batch per [`crate::ProductBatch`]).
+    pub fn append_batch(&mut self, mut batch: Vec<TrajectorySample>) {
+        if batch.is_empty() {
+            return;
         }
+        let base = self.rows.len() as RowId;
+        for (i, s) in batch.iter().enumerate() {
+            self.by_object
+                .entry(s.object)
+                .or_default()
+                .push(base + i as RowId);
+        }
+        index_times(&batch, base, |s| s.t, &mut self.by_time);
+        self.rows.append(&mut batch);
+        self.spatial = None;
     }
 
     pub fn get(&self, id: RowId) -> Option<&TrajectorySample> {
@@ -204,9 +255,22 @@ impl RssiTable {
     }
 
     pub fn insert_bulk(&mut self, ms: impl IntoIterator<Item = RssiMeasurement>) {
-        for m in ms {
-            self.insert(m);
+        self.append_batch(ms.into_iter().collect());
+    }
+
+    /// Append one owned batch (see [`TrajectoryTable::append_batch`]).
+    pub fn append_batch(&mut self, mut batch: Vec<RssiMeasurement>) {
+        if batch.is_empty() {
+            return;
         }
+        let base = self.rows.len() as RowId;
+        for (i, m) in batch.iter().enumerate() {
+            let id = base + i as RowId;
+            self.by_object.entry(m.object).or_default().push(id);
+            self.by_device.entry(m.device).or_default().push(id);
+        }
+        index_times(&batch, base, |m| m.t, &mut self.by_time);
+        self.rows.append(&mut batch);
     }
 
     pub fn scan(&self) -> impl Iterator<Item = &RssiMeasurement> {
@@ -272,9 +336,23 @@ impl FixTable {
     }
 
     pub fn insert_bulk(&mut self, fs: impl IntoIterator<Item = Fix>) {
-        for f in fs {
-            self.insert(f);
+        self.append_batch(fs.into_iter().collect());
+    }
+
+    /// Append one owned batch (see [`TrajectoryTable::append_batch`]).
+    pub fn append_batch(&mut self, mut batch: Vec<Fix>) {
+        if batch.is_empty() {
+            return;
         }
+        let base = self.rows.len() as RowId;
+        for (i, f) in batch.iter().enumerate() {
+            self.by_object
+                .entry(f.object)
+                .or_default()
+                .push(base + i as RowId);
+        }
+        index_times(&batch, base, |f| f.t, &mut self.by_time);
+        self.rows.append(&mut batch);
     }
 
     pub fn scan(&self) -> impl Iterator<Item = &Fix> {
@@ -330,9 +408,21 @@ impl ProximityTable {
     }
 
     pub fn insert_bulk(&mut self, rs: impl IntoIterator<Item = ProximityRecord>) {
-        for r in rs {
-            self.insert(r);
+        self.append_batch(rs.into_iter().collect());
+    }
+
+    /// Append one owned batch (see [`TrajectoryTable::append_batch`]).
+    pub fn append_batch(&mut self, mut batch: Vec<ProximityRecord>) {
+        if batch.is_empty() {
+            return;
         }
+        let base = self.rows.len() as RowId;
+        for (i, r) in batch.iter().enumerate() {
+            let id = base + i as RowId;
+            self.by_object.entry(r.object).or_default().push(id);
+            self.by_device.entry(r.device).or_default().push(id);
+        }
+        self.rows.append(&mut batch);
     }
 
     pub fn scan(&self) -> impl Iterator<Item = &ProximityRecord> {
@@ -460,6 +550,57 @@ mod tests {
         t.insert(ts(1, 0, 10.0, 0.0, 0));
         let got = t.knn(FloorId(0), Point::new(10.0, 0.0), 1);
         assert_eq!(got[0].0.object, ObjectId(1));
+    }
+
+    #[test]
+    fn append_batch_matches_per_row_insert() {
+        // Same rows via the bulk and per-row paths — queries must agree,
+        // including order among duplicate timestamps.
+        let rows: Vec<TrajectorySample> = (0..200)
+            .map(|i| ts(i % 7, 0, i as f64, 0.0, (i % 40) as u64 * 50))
+            .collect();
+        let mut bulk = TrajectoryTable::new();
+        bulk.append_batch(rows.clone());
+        // Second batch exercises the non-empty merge path.
+        let extra: Vec<TrajectorySample> =
+            (0..60).map(|i| ts(i % 5, 0, i as f64, 1.0, 975)).collect();
+        bulk.append_batch(extra.clone());
+
+        let mut single = TrajectoryTable::new();
+        for s in rows.iter().chain(&extra) {
+            single.insert(*s);
+        }
+        assert_eq!(bulk.len(), single.len());
+        let wa = bulk.time_window(Timestamp(0), Timestamp(2001));
+        let wb = single.time_window(Timestamp(0), Timestamp(2001));
+        assert_eq!(wa.len(), wb.len());
+        for (a, b) in wa.iter().zip(&wb) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.object, b.object);
+            assert!((a.point().x - b.point().x).abs() < 1e-12);
+        }
+        for o in 0..7 {
+            assert_eq!(
+                bulk.object_trace(ObjectId(o)).len(),
+                single.object_trace(ObjectId(o)).len()
+            );
+        }
+        let sa = bulk.snapshot_at(Timestamp(980));
+        let sb = single.snapshot_at(Timestamp(980));
+        assert_eq!(sa.len(), sb.len());
+        for (a, b) in sa.iter().zip(&sb) {
+            assert!((a.point().x - b.point().x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut t = TrajectoryTable::new();
+        t.append_batch(Vec::new());
+        assert!(t.is_empty());
+        let mut r = RssiTable::new();
+        r.append_batch(Vec::new());
+        assert!(r.is_empty());
     }
 
     #[test]

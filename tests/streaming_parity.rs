@@ -1,0 +1,146 @@
+//! Cross-crate parity: for a fixed seed, the streaming pipeline
+//! ([`Vita::run_streaming`]) and the step-by-step path (steps 4–6) must
+//! leave identical repository counts and identical fix sets behind.
+//!
+//! Workload per the PR-2 issue: synthetic office, 2 floors, Wi-Fi coverage
+//! deployment.
+
+use vita_core::prelude::*;
+
+fn toolkit() -> Vita {
+    let text = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(2)));
+    let mut vita = Vita::from_dbi_text(&text, &BuildParams::default()).unwrap();
+    let placed = vita.deploy_devices(
+        DeviceSpec::default_for(DeviceType::WiFi),
+        FloorId(0),
+        DeploymentModel::Coverage,
+        10,
+    );
+    assert_eq!(placed, 10);
+    vita
+}
+
+fn mobility() -> MobilityConfig {
+    MobilityConfig {
+        object_count: 14,
+        duration: Timestamp(60_000),
+        lifespan: LifespanConfig {
+            min: Timestamp(40_000),
+            max: Timestamp(60_000),
+        },
+        seed: 0x5EED2,
+        ..Default::default()
+    }
+}
+
+fn rssi() -> RssiConfig {
+    RssiConfig {
+        duration: Timestamp(60_000),
+        ..Default::default()
+    }
+}
+
+fn scenario(method: MethodConfig) -> ScenarioConfig {
+    ScenarioConfig {
+        mobility: mobility(),
+        rssi: rssi(),
+        method,
+        options: StreamOptions::default(),
+    }
+}
+
+/// Sorted copy of every fix in a repository (exact float comparison: both
+/// paths must run bit-identical computations).
+fn sorted_fixes(vita: &Vita) -> Vec<vita_positioning::Fix> {
+    let mut fixes: Vec<vita_positioning::Fix> =
+        vita.repository().fixes.read().scan().copied().collect();
+    fixes.sort_by(|a, b| {
+        (a.t, a.object).cmp(&(b.t, b.object)).then_with(|| {
+            match (a.loc.as_point(), b.loc.as_point()) {
+                (Some(p), Some(q)) => {
+                    (p.x.to_bits(), p.y.to_bits()).cmp(&(q.x.to_bits(), q.y.to_bits()))
+                }
+                _ => std::cmp::Ordering::Equal,
+            }
+        })
+    });
+    fixes
+}
+
+#[test]
+fn streaming_matches_step_path_counts_and_fixes() {
+    let method = MethodConfig::Trilateration {
+        config: TrilaterationConfig::default(),
+        conversion_model: PathLossModel::default(),
+    };
+
+    // Step-by-step path.
+    let mut step = toolkit();
+    step.generate_objects(&mobility()).unwrap();
+    step.generate_rssi(&rssi()).unwrap();
+    let data = step.run_positioning(&method).unwrap();
+    assert!(!data.is_empty());
+
+    // Streaming path on an identically-built world.
+    let streaming = toolkit();
+    let report = streaming.run_streaming(&scenario(method)).unwrap();
+
+    assert_eq!(streaming.repository().counts(), step.repository().counts());
+    assert_eq!(
+        report.stats.samples,
+        step.generation().unwrap().stats.samples
+    );
+    assert_eq!(report.rssi_rows, step.rssi().unwrap().len());
+
+    let step_fixes = sorted_fixes(&step);
+    let stream_fixes = sorted_fixes(&streaming);
+    assert!(!step_fixes.is_empty());
+    assert_eq!(stream_fixes, step_fixes, "fix sets differ");
+}
+
+#[test]
+fn streaming_matches_step_path_for_proximity() {
+    let mut step = toolkit();
+    step.generate_objects(&mobility()).unwrap();
+    step.generate_rssi(&rssi()).unwrap();
+    step.run_positioning(&MethodConfig::Proximity(ProximityConfig::default()))
+        .unwrap();
+
+    let streaming = toolkit();
+    streaming
+        .run_streaming(&scenario(MethodConfig::Proximity(
+            ProximityConfig::default(),
+        )))
+        .unwrap();
+
+    assert_eq!(streaming.repository().counts(), step.repository().counts());
+    let collect = |v: &Vita| {
+        let mut r: Vec<vita_positioning::ProximityRecord> =
+            v.repository().proximity.read().scan().copied().collect();
+        r.sort_by_key(|r| (r.ts, r.object, r.device, r.te));
+        r
+    };
+    let a = collect(&step);
+    assert!(!a.is_empty());
+    assert_eq!(collect(&streaming), a, "proximity record sets differ");
+}
+
+#[test]
+fn streaming_matches_step_path_for_probabilistic_fingerprinting() {
+    let method = || MethodConfig::FingerprintingBayes {
+        survey: SurveyConfig::default(),
+        online: FingerprintConfig::default(),
+        floor: FloorId(0),
+    };
+    let mut step = toolkit();
+    step.generate_objects(&mobility()).unwrap();
+    step.generate_rssi(&rssi()).unwrap();
+    step.run_positioning(&method()).unwrap();
+
+    let streaming = toolkit();
+    streaming.run_streaming(&scenario(method())).unwrap();
+
+    // MAP estimates land in the fix table on both paths.
+    assert_eq!(streaming.repository().counts(), step.repository().counts());
+    assert_eq!(sorted_fixes(&streaming), sorted_fixes(&step));
+}
