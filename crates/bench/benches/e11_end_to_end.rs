@@ -24,7 +24,7 @@ fn bench_paths(c: &mut Criterion) {
     });
     g.bench_function("streaming", |b| {
         b.iter(|| {
-            let vita = e11::toolkit(&text);
+            let mut vita = e11::toolkit(&text);
             let report = vita.run_streaming(&e11::scenario(OBJECTS, SECS)).unwrap();
             (vita.repository().counts(), report.positioning_rows)
         });

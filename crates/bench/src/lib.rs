@@ -194,6 +194,25 @@ pub mod e11 {
             options: StreamOptions::default(),
         }
     }
+
+    /// The E11-at-scale variant: same workload, explicit stage-worker
+    /// count and storage backend (sharded vs single is the experiment's
+    /// independent variable).
+    pub fn scenario_with(
+        objects: usize,
+        secs: u64,
+        workers: usize,
+        backend: vita_core::StorageBackend,
+    ) -> ScenarioConfig {
+        ScenarioConfig {
+            options: StreamOptions {
+                workers,
+                backend,
+                ..StreamOptions::default()
+            },
+            ..scenario(objects, secs)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,7 @@ pub use config::{load_method, load_mobility, load_rssi, ConfigLoadError};
 pub use pipeline::{PipelineReport, ScenarioConfig, StreamOptions, Vita, VitaError};
 pub use props::{Properties, PropsError};
 pub use render::{ascii_floor, svg_floor, Overlay};
+pub use vita_storage::{ShardCounts, StorageBackend};
 
 /// Convenient glob import for toolkit users.
 pub mod prelude {
@@ -78,4 +79,5 @@ pub mod prelude {
         SurveyConfig, TrilaterationConfig,
     };
     pub use vita_rssi::{NoiseModel, PathLossModel, RssiConfig};
+    pub use vita_storage::{ShardCounts, StorageBackend};
 }

@@ -10,8 +10,9 @@
 //! 5. Configure and generate raw RSSI         → [`Vita::generate_rssi`]
 //! 6. Choose a positioning method, generate   → [`Vita::run_positioning`]
 //!
-//! All products are kept in the embedded [`Repository`] and returned to the
-//! caller.
+//! All products are kept in the embedded storage repository
+//! ([`vita_storage::AnyRepository`] — single or sharded backend, see
+//! [`StreamOptions::backend`]) and returned to the caller.
 //!
 //! ## Streaming batched dataflow
 //!
@@ -36,7 +37,7 @@ use vita_positioning::{
     run_positioning, ChunkPositioner, Fix, MethodConfig, PmcError, PositioningData, ProbFix,
 };
 use vita_rssi::{generate_rssi, RssiConfig, RssiGenerator, RssiStore};
-use vita_storage::{ProductBatch, ProductSink, Repository};
+use vita_storage::{AnyRepository, ProductBatch, ProductSink, ShardCounts, StorageBackend};
 
 /// Errors from assembling or running the pipeline.
 #[derive(Debug)]
@@ -68,7 +69,7 @@ impl std::error::Error for VitaError {}
 pub struct Vita {
     env: IndoorEnvironment,
     devices: DeviceRegistry,
-    repo: Repository,
+    repo: AnyRepository,
     /// Warnings from DBI processing and environment construction.
     pub warnings: Vec<String>,
     last_generation: Option<GenerationResult>,
@@ -96,7 +97,7 @@ impl Vita {
         Ok(Vita {
             env: built.env,
             devices: DeviceRegistry::new(),
-            repo: Repository::new(),
+            repo: AnyRepository::default(),
             warnings,
             last_generation: None,
             last_rssi: None,
@@ -109,7 +110,7 @@ impl Vita {
         Ok(Vita {
             env: built.env,
             devices: DeviceRegistry::new(),
-            repo: Repository::new(),
+            repo: AnyRepository::default(),
             warnings: built
                 .warnings
                 .iter()
@@ -209,8 +210,18 @@ impl Vita {
     /// Devices must already be deployed (step 3). The step-path products
     /// ([`Vita::generation`], [`Vita::rssi`]) are *not* materialized by
     /// this entry point — query the repository instead.
-    pub fn run_streaming(&self, scenario: &ScenarioConfig) -> Result<PipelineReport, VitaError> {
+    ///
+    /// `scenario.options.backend` picks the storage backend the run
+    /// ingests into: with [`StorageBackend::Sharded`], batches route by
+    /// object-id hash to per-shard locks, so concurrent stage workers stop
+    /// contending on one lock per table (the repository is switched via
+    /// [`Vita::set_storage_backend`] before any worker starts).
+    pub fn run_streaming(
+        &mut self,
+        scenario: &ScenarioConfig,
+    ) -> Result<PipelineReport, VitaError> {
         let start = Instant::now();
+        self.set_storage_backend(scenario.options.backend);
         let positioner = ChunkPositioner::new(&self.env, &self.devices, &scenario.method)
             .map_err(VitaError::Positioning)?;
         let rssi_gen = RssiGenerator::new(&self.env, &self.devices, &scenario.rssi);
@@ -296,8 +307,31 @@ impl Vita {
             rssi_rows: counters.rssi_rows.into_inner(),
             positioning_rows: counters.positioning_rows.into_inner(),
             peak_in_flight_samples: counters.peak_in_flight.into_inner(),
+            shard_rows: self.repo.per_shard_counts(),
             elapsed: start.elapsed(),
         })
+    }
+
+    /// Switch the storage backend. A no-op when the repository already has
+    /// the requested shape; otherwise the new backend is installed and any
+    /// rows already stored are re-partitioned into it. Row *sets* are
+    /// unchanged — every query returns the same rows — but re-ingestion
+    /// replays rows in scan order, so answers that expose arrival order
+    /// among equal sort keys (scan, ties in `time_window`/kNN) may come
+    /// back permuted relative to before the switch.
+    pub fn set_storage_backend(&mut self, backend: StorageBackend) {
+        if self.repo.backend() == backend {
+            return;
+        }
+        let old = std::mem::replace(&mut self.repo, AnyRepository::new(backend));
+        if old.counts() != (0, 0, 0, 0) {
+            self.repo
+                .accept(ProductBatch::Trajectories(old.trajectory_rows()));
+            self.repo.accept(ProductBatch::Rssi(old.rssi_rows()));
+            self.repo.accept(ProductBatch::Fixes(old.fix_rows()));
+            self.repo
+                .accept(ProductBatch::Proximity(old.proximity_rows()));
+        }
     }
 
     /// The products of the last generation (step 4), if any.
@@ -310,8 +344,9 @@ impl Vita {
         self.last_rssi.as_ref()
     }
 
-    /// The storage repository with everything generated so far.
-    pub fn repository(&self) -> &Repository {
+    /// The storage repository with everything generated so far (either
+    /// backend; see [`vita_storage::AnyRepository`] for the query surface).
+    pub fn repository(&self) -> &AnyRepository {
         &self.repo
     }
 }
@@ -371,6 +406,11 @@ pub struct StreamOptions {
     /// Bound on in-flight trajectory chunks between the mobility producer
     /// and the stage workers (backpressure).
     pub channel_capacity: usize,
+    /// Storage backend the run ingests into. `Single` (the default) keeps
+    /// one lock per table; `Sharded` partitions every table by object-id
+    /// hash so concurrent stage workers append under per-shard locks (see
+    /// the `vita-storage` crate docs for shard-count guidance).
+    pub backend: StorageBackend,
 }
 
 impl Default for StreamOptions {
@@ -378,6 +418,7 @@ impl Default for StreamOptions {
         StreamOptions {
             workers: 0,
             channel_capacity: vita_mobility::DEFAULT_CHUNK_CHANNEL_CAPACITY,
+            backend: StorageBackend::Single,
         }
     }
 }
@@ -400,6 +441,9 @@ pub struct PipelineReport {
     /// slot) are not yet visible to this counter, so true peak memory is
     /// bounded by this value plus that many chunks.
     pub peak_in_flight_samples: usize,
+    /// Row counts per storage shard after the run, in shard order (one
+    /// entry when the run ingested into the single-repository backend).
+    pub shard_rows: Vec<ShardCounts>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }

@@ -36,8 +36,30 @@
 //!   number of in-flight batches upstream (the pipeline uses a bounded
 //!   channel between stage workers), so peak memory stays at
 //!   `O(channel capacity × batch size)` instead of `O(run size)`.
+//!
+//! ## Choosing a backend
+//!
+//! Two [`ProductSink`] backends implement the same contract:
+//!
+//! * [`Repository`] — all four tables behind one `RwLock` each. The right
+//!   default for small runs and single-writer ingestion: lowest constant
+//!   cost, and queries hand out references instead of owned rows.
+//! * [`ShardedRepository`] — each table partitioned by **object-id hash**
+//!   across N shards with per-shard locks, so concurrent stage workers
+//!   appending different objects' batches stop contending on one lock per
+//!   table. Choose it when ≥ 4 workers ingest concurrently or runs reach
+//!   thousands of objects. Shard count: the worker count rounded up to a
+//!   power of two ([`DEFAULT_SHARDS`] = 8 suits the default pipeline);
+//!   more shards only fragment small runs. Reads are rebalance-free
+//!   shard-merges returning the same row sets as the single repository;
+//!   the ordering / batch-size / backpressure contract above is unchanged.
+//!
+//! [`StorageBackend`] names the choice for configuration surfaces and
+//! [`AnyRepository`] dispatches between the two at runtime (this is what
+//! `vita-core`'s pipeline stores).
 
 pub mod codec;
+pub mod sharded;
 pub mod stream;
 pub mod table;
 
@@ -45,6 +67,7 @@ pub use codec::{
     decode_fixes, decode_proximity, decode_rssi, decode_trajectories, encode_fixes,
     encode_proximity, encode_rssi, encode_trajectories, CodecError,
 };
+pub use sharded::{ShardCounts, ShardedRepository, DEFAULT_SHARDS};
 pub use stream::{downsample, merge_by_time, record_rate, Timed, TumblingWindow};
 pub use table::{FixTable, ProximityTable, RowId, RssiTable, TrajectoryTable};
 
@@ -182,6 +205,144 @@ pub struct RepositoryExport {
     pub rssi: bytes::Bytes,
     pub fixes: bytes::Bytes,
     pub proximity: bytes::Bytes,
+}
+
+/// The storage-backend choice, for configuration surfaces (see the
+/// crate-level "Choosing a backend" docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageBackend {
+    /// One [`Repository`]: four tables, one `RwLock` each.
+    #[default]
+    Single,
+    /// A [`ShardedRepository`] with `shards` partitions per table.
+    Sharded { shards: usize },
+}
+
+/// Runtime dispatch between the two [`ProductSink`] backends. Queries that
+/// must work on either backend return owned rows (every product row is
+/// `Copy`); backend-specific surfaces are reachable through
+/// [`AnyRepository::as_single`] / [`AnyRepository::as_sharded`].
+#[derive(Debug)]
+pub enum AnyRepository {
+    Single(Box<Repository>),
+    Sharded(ShardedRepository),
+}
+
+impl AnyRepository {
+    pub fn new(backend: StorageBackend) -> Self {
+        match backend {
+            StorageBackend::Single => AnyRepository::Single(Box::new(Repository::new())),
+            StorageBackend::Sharded { shards } => {
+                AnyRepository::Sharded(ShardedRepository::new(shards))
+            }
+        }
+    }
+
+    /// The backend this repository implements.
+    pub fn backend(&self) -> StorageBackend {
+        match self {
+            AnyRepository::Single(_) => StorageBackend::Single,
+            AnyRepository::Sharded(s) => StorageBackend::Sharded {
+                shards: s.shard_count(),
+            },
+        }
+    }
+
+    pub fn as_single(&self) -> Option<&Repository> {
+        match self {
+            AnyRepository::Single(r) => Some(r),
+            AnyRepository::Sharded(_) => None,
+        }
+    }
+
+    pub fn as_sharded(&self) -> Option<&ShardedRepository> {
+        match self {
+            AnyRepository::Single(_) => None,
+            AnyRepository::Sharded(s) => Some(s),
+        }
+    }
+
+    /// Row counts of all tables: (trajectories, rssi, fixes, proximity).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        match self {
+            AnyRepository::Single(r) => r.counts(),
+            AnyRepository::Sharded(s) => s.counts(),
+        }
+    }
+
+    /// Row counts per shard, in shard order (one entry for the single
+    /// backend).
+    pub fn per_shard_counts(&self) -> Vec<ShardCounts> {
+        match self {
+            AnyRepository::Single(r) => {
+                let (trajectories, rssi, fixes, proximity) = r.counts();
+                vec![ShardCounts {
+                    trajectories,
+                    rssi,
+                    fixes,
+                    proximity,
+                }]
+            }
+            AnyRepository::Sharded(s) => s.per_shard_counts(),
+        }
+    }
+
+    /// Owned copy of every trajectory sample (single: insertion order;
+    /// sharded: shard order — the same row set either way).
+    pub fn trajectory_rows(&self) -> Vec<TrajectorySample> {
+        match self {
+            AnyRepository::Single(r) => r.trajectories.read().scan().copied().collect(),
+            AnyRepository::Sharded(s) => s.trajectories_scan(),
+        }
+    }
+
+    /// Owned copy of every RSSI measurement.
+    pub fn rssi_rows(&self) -> Vec<RssiMeasurement> {
+        match self {
+            AnyRepository::Single(r) => r.rssi.read().scan().copied().collect(),
+            AnyRepository::Sharded(s) => s.rssi_scan(),
+        }
+    }
+
+    /// Owned copy of every positioning fix.
+    pub fn fix_rows(&self) -> Vec<Fix> {
+        match self {
+            AnyRepository::Single(r) => r.fixes.read().scan().copied().collect(),
+            AnyRepository::Sharded(s) => s.fixes_scan(),
+        }
+    }
+
+    /// Owned copy of every proximity record.
+    pub fn proximity_rows(&self) -> Vec<ProximityRecord> {
+        match self {
+            AnyRepository::Single(r) => r.proximity.read().scan().copied().collect(),
+            AnyRepository::Sharded(s) => s.proximity_scan(),
+        }
+    }
+
+    /// Serialize every table into one buffer per table (either backend
+    /// produces the [`Repository::import`]-compatible wire format).
+    pub fn export(&self) -> RepositoryExport {
+        match self {
+            AnyRepository::Single(r) => r.export(),
+            AnyRepository::Sharded(s) => s.export(),
+        }
+    }
+}
+
+impl Default for AnyRepository {
+    fn default() -> Self {
+        AnyRepository::new(StorageBackend::Single)
+    }
+}
+
+impl ProductSink for AnyRepository {
+    fn accept(&self, batch: ProductBatch) {
+        match self {
+            AnyRepository::Single(r) => r.accept(batch),
+            AnyRepository::Sharded(s) => s.accept(batch),
+        }
+    }
 }
 
 #[cfg(test)]

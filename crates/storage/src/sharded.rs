@@ -1,0 +1,612 @@
+//! The sharded repository: scale-out storage partitioning for concurrent
+//! ingestion (ROADMAP "sharded repository"; cf. the scale-out themes of the
+//! database literature in PAPERS.md).
+//!
+//! [`ShardedRepository`] partitions each of the four product tables by
+//! **object-id hash** across N shards, each a full [`Repository`] with its
+//! own per-table locks. Concurrent stage workers appending batches for
+//! different objects therefore take *different* locks instead of
+//! serializing on one `RwLock` per table — the contention bottleneck of the
+//! single [`Repository`] at high worker counts.
+//!
+//! Placement is static (`hash(object) % shards`): a row's shard never
+//! changes, so reads need no rebalancing and no cross-shard coordination —
+//! every query is answered by visiting the owning shard (object-keyed
+//! queries) or by merging per-shard answers (time-, device- and
+//! space-keyed queries). Once the same batches have been ingested, the
+//! shard-merge queries return the **same row sets** as a single
+//! [`Repository`]; orders are documented per method, and rows sharing a
+//! sort key may interleave differently across backends (exactly as
+//! arrival order under concurrent producers is scheduler-dependent — see
+//! the crate-level `ProductSink` contract). One caveat *during* ingestion:
+//! a mixed-object batch lands shard by shard, so a reader racing the
+//! append can see part of it (single-object batches — the pipeline
+//! default — are atomic; see [`ShardedRepository::accept`]).
+
+use vita_geometry::{Aabb, Point};
+use vita_indoor::{DeviceId, FloorId, ObjectId, Timestamp};
+use vita_mobility::TrajectorySample;
+use vita_positioning::{Fix, ProximityRecord};
+use vita_rssi::RssiMeasurement;
+
+use crate::{
+    encode_fixes, encode_proximity, encode_rssi, encode_trajectories, ProductBatch, ProductSink,
+    Repository, RepositoryExport,
+};
+
+/// Default shard count: enough to spread a typical stage-worker pool
+/// (usually half the cores) across distinct locks without fragmenting
+/// small runs.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Per-shard row counts of the four product tables, as recorded in
+/// pipeline reports and exposed by [`ShardedRepository::per_shard_counts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounts {
+    pub trajectories: usize,
+    pub rssi: usize,
+    pub fixes: usize,
+    pub proximity: usize,
+}
+
+impl ShardCounts {
+    /// Total rows across all four tables.
+    pub fn total(&self) -> usize {
+        self.trajectories + self.rssi + self.fixes + self.proximity
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixing integer hash so consecutive
+/// object ids (the common allocation pattern) spread evenly over shards
+/// instead of striping.
+#[inline]
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`ProductSink`] that partitions every table by object-id hash across
+/// N shards with per-shard locks (see the module docs for the design).
+#[derive(Debug)]
+pub struct ShardedRepository {
+    shards: Vec<Repository>,
+}
+
+impl ShardedRepository {
+    /// A repository with `shards` partitions (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedRepository {
+            shards: (0..shards.max(1)).map(|_| Repository::new()).collect(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning every row of `o` — stable for the repository's
+    /// lifetime (no rebalancing).
+    pub fn shard_of(&self, o: ObjectId) -> usize {
+        (mix64(o.0 as u64) % self.shards.len() as u64) as usize
+    }
+
+    /// The underlying shards, in shard order. Exposed for tests and
+    /// diagnostics; production callers should use the merge queries.
+    pub fn shards(&self) -> &[Repository] {
+        &self.shards
+    }
+
+    /// Row counts of all tables: (trajectories, rssi, fixes, proximity).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        self.shards.iter().fold((0, 0, 0, 0), |acc, s| {
+            let (t, r, f, p) = s.counts();
+            (acc.0 + t, acc.1 + r, acc.2 + f, acc.3 + p)
+        })
+    }
+
+    /// Row counts per shard, in shard order.
+    pub fn per_shard_counts(&self) -> Vec<ShardCounts> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let (trajectories, rssi, fixes, proximity) = s.counts();
+                ShardCounts {
+                    trajectories,
+                    rssi,
+                    fixes,
+                    proximity,
+                }
+            })
+            .collect()
+    }
+
+    /// Route one owned batch to its shards. Pipeline batches are typically
+    /// single-object (one trajectory chunk per object), so the common case
+    /// — detected by a plain id comparison, no hashing — moves the whole
+    /// `Vec` to one shard without copying or re-allocating.
+    ///
+    /// Batch atomicity is **per shard**: a mixed-object batch is appended
+    /// shard by shard, so a concurrent reader can observe part of it — a
+    /// state the single [`Repository`] (one write lock per batch) never
+    /// exposes. Single-object batches, the pipeline default, stay atomic.
+    fn route<T>(
+        &self,
+        rows: Vec<T>,
+        object_of: impl Fn(&T) -> ObjectId,
+        append: impl Fn(&Repository, Vec<T>),
+    ) {
+        let Some(first) = rows.first() else { return };
+        let first = object_of(first);
+        if rows.iter().all(|r| object_of(r) == first) {
+            append(&self.shards[self.shard_of(first)], rows);
+            return;
+        }
+        let mut parts: Vec<Vec<T>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for r in rows {
+            let shard = self.shard_of(object_of(&r));
+            parts[shard].push(r);
+        }
+        for (shard, part) in self.shards.iter().zip(parts) {
+            if !part.is_empty() {
+                append(shard, part);
+            }
+        }
+    }
+
+    // ---- trajectory queries -------------------------------------------
+
+    /// Every trajectory sample, in shard order (within a shard: insertion
+    /// order). The row *set* equals a single repository's `scan`.
+    pub fn trajectories_scan(&self) -> Vec<TrajectorySample> {
+        concat(&self.shards, |s| {
+            s.trajectories.read().scan().copied().collect()
+        })
+    }
+
+    /// Shard-merge of [`crate::TrajectoryTable::time_window`]: all samples
+    /// with `from <= t < to` (half-open, like the single-table contract),
+    /// time-ordered; ties keep shard order.
+    pub fn trajectories_time_window(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<TrajectorySample> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.trajectories
+                    .read()
+                    .time_window(from, to)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |s| s.t,
+        )
+    }
+
+    /// Shard-merge of [`crate::TrajectoryTable::snapshot_at`] (`t`
+    /// inclusive): objects are disjoint across shards, so merging the
+    /// per-shard snapshots by object id reproduces the single-table answer
+    /// exactly.
+    pub fn trajectories_snapshot_at(&self, t: Timestamp) -> Vec<TrajectorySample> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.trajectories
+                    .read()
+                    .snapshot_at(t)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |s| s.object,
+        )
+    }
+
+    /// An object's full trace, time-ordered — answered entirely by the
+    /// owning shard, identical to the single-table answer.
+    pub fn object_trace(&self, o: ObjectId) -> Vec<TrajectorySample> {
+        self.shards[self.shard_of(o)]
+            .trajectories
+            .read()
+            .object_trace(o)
+            .into_iter()
+            .copied()
+            .collect()
+    }
+
+    /// Shard-merge spatial range query: samples on `floor` inside `query`,
+    /// in shard order (within a shard: insertion order). Same row set as
+    /// the single-table [`crate::TrajectoryTable::range_query`]; needs only
+    /// per-shard *read* locks.
+    pub fn trajectories_range_query(&self, floor: FloorId, query: &Aabb) -> Vec<TrajectorySample> {
+        concat(&self.shards, |s| {
+            s.trajectories
+                .read()
+                .range_query(floor, query)
+                .into_iter()
+                .copied()
+                .collect()
+        })
+    }
+
+    /// Shard-merge kNN: k nearest per shard, merged by distance and cut to
+    /// the global k (ties at equal distance keep shard order; a single
+    /// repository breaks such ties in insertion order instead — the
+    /// returned distance multiset is identical either way).
+    pub fn trajectories_knn(
+        &self,
+        floor: FloorId,
+        p: Point,
+        k: usize,
+    ) -> Vec<(TrajectorySample, f64)> {
+        let mut merged = merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.trajectories
+                    .read()
+                    .knn(floor, p, k)
+                    .into_iter()
+                    .map(|(s, d)| (*s, d))
+                    .collect()
+            }),
+            // f64 distances are non-NaN (they come from Point::dist);
+            // order by bits is order by value for non-negative floats.
+            |(_, d)| d.to_bits(),
+        );
+        merged.truncate(k);
+        merged
+    }
+
+    // ---- rssi queries -------------------------------------------------
+
+    /// Every RSSI measurement, in shard order.
+    pub fn rssi_scan(&self) -> Vec<RssiMeasurement> {
+        concat(&self.shards, |s| s.rssi.read().scan().copied().collect())
+    }
+
+    /// Shard-merge of [`crate::RssiTable::time_window`] (half-open),
+    /// time-ordered; ties keep shard order.
+    pub fn rssi_time_window(&self, from: Timestamp, to: Timestamp) -> Vec<RssiMeasurement> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.rssi
+                    .read()
+                    .time_window(from, to)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |m| m.t,
+        )
+    }
+
+    /// An object's measurements, time-ordered — owning shard only.
+    pub fn rssi_of_object(&self, o: ObjectId) -> Vec<RssiMeasurement> {
+        self.shards[self.shard_of(o)]
+            .rssi
+            .read()
+            .of_object(o)
+            .into_iter()
+            .copied()
+            .collect()
+    }
+
+    /// A device's measurements across all shards, time-ordered; ties keep
+    /// shard order (devices are not the partition key, so this is a merge).
+    pub fn rssi_of_device(&self, d: DeviceId) -> Vec<RssiMeasurement> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.rssi.read().of_device(d).into_iter().copied().collect()
+            }),
+            |m| m.t,
+        )
+    }
+
+    // ---- fix queries --------------------------------------------------
+
+    /// Every fix, in shard order.
+    pub fn fixes_scan(&self) -> Vec<Fix> {
+        concat(&self.shards, |s| s.fixes.read().scan().copied().collect())
+    }
+
+    /// Shard-merge of [`crate::FixTable::time_window`] (half-open),
+    /// time-ordered; ties keep shard order.
+    pub fn fixes_time_window(&self, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.fixes
+                    .read()
+                    .time_window(from, to)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |f| f.t,
+        )
+    }
+
+    /// An object's fixes, time-ordered — owning shard only.
+    pub fn fixes_of_object(&self, o: ObjectId) -> Vec<Fix> {
+        self.shards[self.shard_of(o)]
+            .fixes
+            .read()
+            .of_object(o)
+            .into_iter()
+            .copied()
+            .collect()
+    }
+
+    // ---- proximity queries --------------------------------------------
+
+    /// Every proximity record, in shard order.
+    pub fn proximity_scan(&self) -> Vec<ProximityRecord> {
+        concat(&self.shards, |s| {
+            s.proximity.read().scan().copied().collect()
+        })
+    }
+
+    /// Shard-merge of [`crate::ProximityTable::overlapping`] (closed record
+    /// period vs half-open window), ordered by start time; ties keep shard
+    /// order.
+    pub fn proximity_overlapping(&self, from: Timestamp, to: Timestamp) -> Vec<ProximityRecord> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.proximity
+                    .read()
+                    .overlapping(from, to)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |r| r.ts,
+        )
+    }
+
+    /// An object's detection periods, ordered by start time — owning shard
+    /// only.
+    pub fn proximity_of_object(&self, o: ObjectId) -> Vec<ProximityRecord> {
+        self.shards[self.shard_of(o)]
+            .proximity
+            .read()
+            .of_object(o)
+            .into_iter()
+            .copied()
+            .collect()
+    }
+
+    /// A device's detection periods across all shards, ordered by start
+    /// time; ties keep shard order.
+    pub fn proximity_of_device(&self, d: DeviceId) -> Vec<ProximityRecord> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.proximity
+                    .read()
+                    .of_device(d)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |r| r.ts,
+        )
+    }
+
+    /// Serialize every table into one buffer per table (rows in shard
+    /// order — the same wire format as [`Repository::export`], importable
+    /// by [`Repository::import`]).
+    pub fn export(&self) -> RepositoryExport {
+        RepositoryExport {
+            trajectories: encode_trajectories(&self.trajectories_scan()),
+            rssi: encode_rssi(&self.rssi_scan()),
+            fixes: encode_fixes(&self.fixes_scan()),
+            proximity: encode_proximity(&self.proximity_scan()),
+        }
+    }
+}
+
+impl Default for ShardedRepository {
+    fn default() -> Self {
+        ShardedRepository::new(DEFAULT_SHARDS)
+    }
+}
+
+impl ProductSink for ShardedRepository {
+    fn accept(&self, batch: ProductBatch) {
+        match batch {
+            ProductBatch::Trajectories(v) => self.route(
+                v,
+                |s| s.object,
+                |shard, rows| shard.trajectories.write().append_batch(rows),
+            ),
+            ProductBatch::Rssi(v) => self.route(
+                v,
+                |m| m.object,
+                |shard, rows| shard.rssi.write().append_batch(rows),
+            ),
+            ProductBatch::Fixes(v) => self.route(
+                v,
+                |f| f.object,
+                |shard, rows| shard.fixes.write().append_batch(rows),
+            ),
+            ProductBatch::Proximity(v) => self.route(
+                v,
+                |r| r.object,
+                |shard, rows| shard.proximity.write().append_batch(rows),
+            ),
+        }
+    }
+}
+
+/// Concatenate per-shard answers in shard order.
+fn concat<T>(shards: &[Repository], f: impl Fn(&Repository) -> Vec<T>) -> Vec<T> {
+    let mut out = Vec::new();
+    for s in shards {
+        out.append(&mut f(s));
+    }
+    out
+}
+
+/// Collect per-shard answers (each lock is held only while its shard is
+/// queried).
+fn per_shard<T>(shards: &[Repository], f: impl Fn(&Repository) -> Vec<T>) -> Vec<Vec<T>> {
+    shards.iter().map(f).collect()
+}
+
+/// Merge per-shard result vectors — each already sorted by `key` — into
+/// one sorted vector. The stable stdlib sort detects and merges the
+/// pre-sorted runs, so this is an N-way merge in practice; ties keep shard
+/// order (stability).
+fn merge_sorted<T, K: Ord>(per_shard: Vec<Vec<T>>, key: impl Fn(&T) -> K) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(per_shard.iter().map(Vec::len).sum());
+    for part in per_shard {
+        out.extend(part);
+    }
+    out.sort_by_key(key);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_geometry::Point;
+    use vita_indoor::{BuildingId, Loc};
+
+    fn sample(o: u32, t: u64, x: f64) -> TrajectorySample {
+        TrajectorySample::new(
+            ObjectId(o),
+            BuildingId(0),
+            FloorId(0),
+            Point::new(x, 0.0),
+            Timestamp(t),
+        )
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let repo = ShardedRepository::new(4);
+        for o in 0..100 {
+            let s = repo.shard_of(ObjectId(o));
+            assert!(s < 4);
+            assert_eq!(s, repo.shard_of(ObjectId(o)));
+        }
+        // The hash actually spreads: 100 consecutive ids never all land in
+        // one shard.
+        let hit: std::collections::HashSet<usize> =
+            (0..100).map(|o| repo.shard_of(ObjectId(o))).collect();
+        assert!(hit.len() > 1);
+    }
+
+    #[test]
+    fn single_object_batch_takes_the_fast_path_and_queries_merge() {
+        let repo = ShardedRepository::new(3);
+        for o in 0..9u32 {
+            repo.accept(ProductBatch::Trajectories(
+                (0..5).map(|i| sample(o, i * 100, o as f64)).collect(),
+            ));
+        }
+        assert_eq!(repo.counts().0, 45);
+        assert_eq!(repo.trajectories_scan().len(), 45);
+        let w = repo.trajectories_time_window(Timestamp(100), Timestamp(300));
+        assert_eq!(w.len(), 18);
+        assert!(w.windows(2).all(|p| p[0].t <= p[1].t));
+        let trace = repo.object_trace(ObjectId(4));
+        assert_eq!(trace.len(), 5);
+        assert!(trace.windows(2).all(|p| p[0].t < p[1].t));
+        let snap = repo.trajectories_snapshot_at(Timestamp(250));
+        assert_eq!(snap.len(), 9);
+        assert!(snap.windows(2).all(|p| p[0].object < p[1].object));
+        assert!(snap.iter().all(|s| s.t == Timestamp(200)));
+    }
+
+    #[test]
+    fn mixed_object_batch_is_partitioned() {
+        let repo = ShardedRepository::new(4);
+        let rows: Vec<TrajectorySample> =
+            (0..40u32).map(|o| sample(o, o as u64, o as f64)).collect();
+        repo.accept(ProductBatch::Trajectories(rows));
+        assert_eq!(repo.counts().0, 40);
+        let per = repo.per_shard_counts();
+        assert_eq!(per.len(), 4);
+        assert_eq!(per.iter().map(|c| c.trajectories).sum::<usize>(), 40);
+        assert_eq!(per.iter().map(ShardCounts::total).sum::<usize>(), 40);
+        // Each object still answers from exactly one shard.
+        for o in 0..40u32 {
+            assert_eq!(repo.object_trace(ObjectId(o)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn device_and_proximity_queries_merge_across_shards() {
+        let repo = ShardedRepository::new(4);
+        repo.accept(ProductBatch::Rssi(
+            (0..20u32)
+                .map(|o| RssiMeasurement {
+                    object: ObjectId(o),
+                    device: DeviceId(o % 2),
+                    rssi: -40.0 - o as f64,
+                    t: Timestamp(o as u64 * 10),
+                })
+                .collect(),
+        ));
+        let d0 = repo.rssi_of_device(DeviceId(0));
+        assert_eq!(d0.len(), 10);
+        assert!(d0.windows(2).all(|p| p[0].t <= p[1].t));
+        assert_eq!(repo.rssi_of_object(ObjectId(3)).len(), 1);
+
+        repo.accept(ProductBatch::Proximity(
+            (0..6u32)
+                .map(|o| ProximityRecord {
+                    object: ObjectId(o),
+                    device: DeviceId(0),
+                    ts: Timestamp(o as u64 * 100),
+                    te: Timestamp(o as u64 * 100 + 50),
+                })
+                .collect(),
+        ));
+        let overlap = repo.proximity_overlapping(Timestamp(0), Timestamp(250));
+        assert_eq!(overlap.len(), 3);
+        assert!(overlap.windows(2).all(|p| p[0].ts <= p[1].ts));
+        assert_eq!(repo.proximity_of_device(DeviceId(0)).len(), 6);
+    }
+
+    #[test]
+    fn spatial_queries_merge_and_respect_k() {
+        let repo = ShardedRepository::new(3);
+        for o in 0..12u32 {
+            repo.accept(ProductBatch::Trajectories(vec![sample(o, 0, o as f64)]));
+        }
+        let hits = repo.trajectories_range_query(
+            FloorId(0),
+            &Aabb::new(Point::new(2.5, -1.0), Point::new(6.5, 1.0)),
+        );
+        assert_eq!(hits.len(), 4); // x = 3, 4, 5, 6
+        let near = repo.trajectories_knn(FloorId(0), Point::new(5.2, 0.0), 3);
+        assert_eq!(near.len(), 3);
+        assert!(near.windows(2).all(|p| p[0].1 <= p[1].1));
+        let xs: Vec<f64> = near.iter().map(|(s, _)| s.point().x).collect();
+        assert_eq!(xs, vec![5.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn export_is_importable_by_the_single_repository() {
+        let repo = ShardedRepository::new(2);
+        repo.accept(ProductBatch::Trajectories(
+            (0..10u32).map(|o| sample(o, o as u64 * 10, 0.0)).collect(),
+        ));
+        repo.accept(ProductBatch::Fixes(vec![Fix {
+            object: ObjectId(1),
+            loc: Loc::point(BuildingId(0), FloorId(0), Point::new(1.0, 2.0)),
+            t: Timestamp(5),
+        }]));
+        let restored = Repository::import(&repo.export()).unwrap();
+        assert_eq!(restored.counts(), repo.counts());
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let repo = ShardedRepository::new(0);
+        assert_eq!(repo.shard_count(), 1);
+        repo.accept(ProductBatch::Trajectories(vec![sample(7, 0, 0.0)]));
+        assert_eq!(repo.counts().0, 1);
+    }
+}

@@ -11,6 +11,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use parking_lot::RwLock;
 use vita_geometry::{Aabb, GridIndex, Point};
 use vita_indoor::{DeviceId, FloorId, LocKind, ObjectId, Timestamp};
 use vita_mobility::TrajectorySample;
@@ -19,6 +20,24 @@ use vita_rssi::RssiMeasurement;
 
 /// Row identifier within one table.
 pub type RowId = u32;
+
+/// Checked `usize → RowId` conversion for freshly assigned row ids.
+///
+/// `RowId` is `u32`; a table past 2³² rows would silently wrap under an
+/// `as` cast, aliasing old rows in every index that stores row ids and
+/// corrupting query answers from then on. Panic loudly instead: the
+/// embedded engine does not support tables that large, and callers that
+/// need more rows should shard (see [`crate::ShardedRepository`]).
+#[inline]
+pub(crate) fn checked_row_id(index: usize) -> RowId {
+    RowId::try_from(index).unwrap_or_else(|_| {
+        panic!(
+            "table row index {index} exceeds RowId capacity ({}); \
+             split the data across shards (ShardedRepository) or widen RowId",
+            u32::MAX
+        )
+    })
+}
 
 /// Merge a batch's `(timestamp, row)` pairs into a time index. When the
 /// index is empty (the common bulk-load case) the B-tree is built in one
@@ -47,20 +66,48 @@ fn index_times<T>(
         }
         *by_time = groups.into_iter().collect();
     } else {
-        for (i, r) in batch.iter().enumerate() {
-            by_time.entry(t_of(r)).or_default().push(base + i as RowId);
+        // One B-tree lookup per *run* of equal timestamps, not per row —
+        // producers emit time-ordered batches (see the `ProductSink`
+        // contract), where e.g. RSSI rows repeat each timestamp once per
+        // device. Correct for unsorted input too: runs are just shorter.
+        let mut i = 0;
+        while i < batch.len() {
+            let t = t_of(&batch[i]);
+            let ids = by_time.entry(t).or_default();
+            ids.push(base + i as RowId);
+            i += 1;
+            while i < batch.len() && t_of(&batch[i]) == t {
+                ids.push(base + i as RowId);
+                i += 1;
+            }
         }
     }
 }
 
 /// A table of raw trajectory samples `(o_id, loc, t)`.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct TrajectoryTable {
     rows: Vec<TrajectorySample>,
     by_time: BTreeMap<Timestamp, Vec<RowId>>,
     by_object: HashMap<ObjectId, Vec<RowId>>,
-    /// Lazily built spatial index per floor (invalidated on insert).
-    spatial: Option<HashMap<FloorId, GridIndex>>,
+    /// Lazily built spatial index per floor, cached behind its own lock so
+    /// spatial *queries* work on `&self` — i.e. through a repository
+    /// *read* lock, concurrently with other readers. Mutations clear the
+    /// cache through `&mut self` (`get_mut`, no lock traffic), so within
+    /// one shared-borrow epoch the cache only ever goes from empty to
+    /// built (`OnceLock`-style), never stale.
+    spatial: RwLock<Option<HashMap<FloorId, GridIndex>>>,
+}
+
+impl Clone for TrajectoryTable {
+    fn clone(&self) -> Self {
+        TrajectoryTable {
+            rows: self.rows.clone(),
+            by_time: self.by_time.clone(),
+            by_object: self.by_object.clone(),
+            spatial: RwLock::new(self.spatial.read().clone()),
+        }
+    }
 }
 
 impl TrajectoryTable {
@@ -77,11 +124,11 @@ impl TrajectoryTable {
     }
 
     pub fn insert(&mut self, s: TrajectorySample) -> RowId {
-        let id = self.rows.len() as RowId;
+        let id = checked_row_id(self.rows.len());
         self.by_time.entry(s.t).or_default().push(id);
         self.by_object.entry(s.object).or_default().push(id);
         self.rows.push(s);
-        self.spatial = None;
+        *self.spatial.get_mut() = None;
         id
     }
 
@@ -97,6 +144,9 @@ impl TrajectoryTable {
         if batch.is_empty() {
             return;
         }
+        // One checked conversion covers the whole batch: if the last id
+        // fits in RowId, every id in the batch does.
+        let _ = checked_row_id(self.rows.len() + batch.len() - 1);
         let base = self.rows.len() as RowId;
         for (i, s) in batch.iter().enumerate() {
             self.by_object
@@ -106,7 +156,7 @@ impl TrajectoryTable {
         }
         index_times(&batch, base, |s| s.t, &mut self.by_time);
         self.rows.append(&mut batch);
-        self.spatial = None;
+        *self.spatial.get_mut() = None;
     }
 
     pub fn get(&self, id: RowId) -> Option<&TrajectorySample> {
@@ -117,7 +167,15 @@ impl TrajectoryTable {
         self.rows.iter()
     }
 
-    /// All samples with `from <= t < to`, time-ordered.
+    /// All samples in the **half-open** window `from <= t < to`,
+    /// time-ordered (rows sharing a timestamp keep arrival order).
+    ///
+    /// Every `time_window` across the storage tables uses this half-open
+    /// contract, and [`ProximityTable::overlapping`] intersects against the
+    /// same half-open window, so adjacent windows partition a run with no
+    /// row counted twice — and shard-merge queries
+    /// ([`crate::ShardedRepository`]) cannot diverge from single-table
+    /// answers at window edges.
     pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&TrajectorySample> {
         let mut out = Vec::new();
         for (_, ids) in self.by_time.range(from..to) {
@@ -137,8 +195,11 @@ impl TrajectoryTable {
         rows
     }
 
-    /// Latest sample at or before `t` for every object: the snapshot the
-    /// demo GUI extracts when generation is paused (paper §5 step 4).
+    /// Latest sample at or before `t` for every object (the bound is
+    /// **inclusive**: a sample stamped exactly `t` is eligible): the
+    /// snapshot the demo GUI extracts when generation is paused (paper §5
+    /// step 4). Output is sorted by object id; among an object's samples
+    /// sharing the latest timestamp the last-arrived row wins.
     pub fn snapshot_at(&self, t: Timestamp) -> Vec<&TrajectorySample> {
         let mut latest: HashMap<ObjectId, &TrajectorySample> = HashMap::new();
         for (_, ids) in self.by_time.range(..=t) {
@@ -152,40 +213,35 @@ impl TrajectoryTable {
         v
     }
 
-    fn ensure_spatial(&mut self) {
-        if self.spatial.is_some() {
-            return;
-        }
-        let mut per_floor: HashMap<FloorId, Vec<(RowId, Point)>> = HashMap::new();
-        for (i, s) in self.rows.iter().enumerate() {
-            if let LocKind::Point(p) = s.loc.kind {
-                per_floor
-                    .entry(s.loc.floor)
-                    .or_default()
-                    .push((i as RowId, p));
+    /// Run `f` against the per-floor spatial indexes, building them first
+    /// if no cached copy exists. Readers share the cache under the inner
+    /// read lock; the first query after a mutation pays the rebuild under
+    /// the inner write lock. Taking `&self` is what lets spatial queries
+    /// run through a repository *read* lock, concurrent with other readers
+    /// (mutation is excluded for the whole call by the `&self` borrow).
+    fn with_spatial<R>(&self, f: impl FnOnce(&HashMap<FloorId, GridIndex>) -> R) -> R {
+        {
+            let cache = self.spatial.read();
+            if let Some(indexes) = cache.as_ref() {
+                return f(indexes);
             }
         }
-        let mut indexes = HashMap::new();
-        for (floor, pts) in per_floor {
-            let domain =
-                Aabb::from_points(&pts.iter().map(|(_, p)| *p).collect::<Vec<_>>()).inflated(1.0);
-            let cell = (domain.width().max(domain.height()) / 32.0).max(0.5);
-            let mut g = GridIndex::new(domain, cell);
-            for (id, p) in pts {
-                g.insert_point(id, p);
-            }
-            indexes.insert(floor, g);
-        }
-        self.spatial = Some(indexes);
+        let mut cache = self.spatial.write();
+        // Another reader may have built the cache between the two locks.
+        let indexes = cache.get_or_insert_with(|| build_spatial(&self.rows));
+        f(indexes)
     }
 
-    /// Spatial range query: samples on `floor` inside `query` (any time).
-    pub fn range_query(&mut self, floor: FloorId, query: &Aabb) -> Vec<&TrajectorySample> {
-        self.ensure_spatial();
-        let Some(g) = self.spatial.as_ref().unwrap().get(&floor) else {
-            return Vec::new();
-        };
-        let mut ids = g.query_bbox(query);
+    /// Spatial range query: samples on `floor` inside `query` (any time),
+    /// in insertion order. Works on `&self`: callers behind a
+    /// [`crate::Repository`] need only a read lock.
+    pub fn range_query(&self, floor: FloorId, query: &Aabb) -> Vec<&TrajectorySample> {
+        let mut ids = self.with_spatial(|indexes| {
+            indexes
+                .get(&floor)
+                .map(|g| g.query_bbox(query))
+                .unwrap_or_default()
+        });
         ids.sort_unstable();
         ids.into_iter()
             .map(|i| &self.rows[i as usize])
@@ -194,19 +250,32 @@ impl TrajectoryTable {
     }
 
     /// k nearest samples to `p` on `floor` (by point distance, any time).
-    pub fn knn(&mut self, floor: FloorId, p: Point, k: usize) -> Vec<(&TrajectorySample, f64)> {
-        self.ensure_spatial();
-        let Some(g) = self.spatial.as_ref().unwrap().get(&floor) else {
-            return Vec::new();
-        };
-        // Expanding-radius search over the grid.
-        let mut radius = g.cell_size();
-        let mut candidates: Vec<u32> = Vec::new();
-        let max_radius = g.domain().width().max(g.domain().height()) * 2.0 + 1.0;
-        while candidates.len() < k && radius <= max_radius {
-            candidates = g.query_radius(p, radius);
-            radius *= 2.0;
-        }
+    /// Works on `&self` (read-lock access), like [`Self::range_query`].
+    pub fn knn(&self, floor: FloorId, p: Point, k: usize) -> Vec<(&TrajectorySample, f64)> {
+        let candidates = self.with_spatial(|indexes| {
+            let Some(g) = indexes.get(&floor) else {
+                return Vec::new();
+            };
+            // Expanding-radius search over the grid. The cap must reach
+            // the farthest indexed point even when `p` lies outside the
+            // domain (a shard's domain covers only its own points, and
+            // callers may query anywhere), so it is anchored at the
+            // query's distance to the domain, not the domain size alone.
+            let dom = g.domain();
+            // Every indexed point is within this of `p` (distance to the
+            // domain plus its diagonal, bounded by width + height).
+            let max_radius = dom.dist_to_point(p) + dom.width() + dom.height() + 1.0;
+            let mut radius = g.cell_size().max(f64::MIN_POSITIVE);
+            let mut candidates: Vec<u32>;
+            loop {
+                candidates = g.query_radius(p, radius.min(max_radius));
+                if candidates.len() >= k || radius >= max_radius {
+                    break;
+                }
+                radius *= 2.0;
+            }
+            candidates
+        });
         let mut scored: Vec<(&TrajectorySample, f64)> = candidates
             .into_iter()
             .filter_map(|i| {
@@ -221,6 +290,31 @@ impl TrajectoryTable {
         scored.truncate(k);
         scored
     }
+}
+
+/// Build the per-floor spatial indexes over point-located rows.
+fn build_spatial(rows: &[TrajectorySample]) -> HashMap<FloorId, GridIndex> {
+    let mut per_floor: HashMap<FloorId, Vec<(RowId, Point)>> = HashMap::new();
+    for (i, s) in rows.iter().enumerate() {
+        if let LocKind::Point(p) = s.loc.kind {
+            per_floor
+                .entry(s.loc.floor)
+                .or_default()
+                .push((checked_row_id(i), p));
+        }
+    }
+    let mut indexes = HashMap::new();
+    for (floor, pts) in per_floor {
+        let domain =
+            Aabb::from_points(&pts.iter().map(|(_, p)| *p).collect::<Vec<_>>()).inflated(1.0);
+        let cell = (domain.width().max(domain.height()) / 32.0).max(0.5);
+        let mut g = GridIndex::new(domain, cell);
+        for (id, p) in pts {
+            g.insert_point(id, p);
+        }
+        indexes.insert(floor, g);
+    }
+    indexes
 }
 
 /// A table of raw RSSI measurements `(o_id, d_id, rssi, t)`.
@@ -246,7 +340,7 @@ impl RssiTable {
     }
 
     pub fn insert(&mut self, m: RssiMeasurement) -> RowId {
-        let id = self.rows.len() as RowId;
+        let id = checked_row_id(self.rows.len());
         self.by_time.entry(m.t).or_default().push(id);
         self.by_object.entry(m.object).or_default().push(id);
         self.by_device.entry(m.device).or_default().push(id);
@@ -263,6 +357,7 @@ impl RssiTable {
         if batch.is_empty() {
             return;
         }
+        let _ = checked_row_id(self.rows.len() + batch.len() - 1);
         let base = self.rows.len() as RowId;
         for (i, m) in batch.iter().enumerate() {
             let id = base + i as RowId;
@@ -277,6 +372,8 @@ impl RssiTable {
         self.rows.iter()
     }
 
+    /// All measurements in the **half-open** window `from <= t < to`,
+    /// time-ordered (same contract as [`TrajectoryTable::time_window`]).
     pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&RssiMeasurement> {
         let mut out = Vec::new();
         for (_, ids) in self.by_time.range(from..to) {
@@ -328,7 +425,7 @@ impl FixTable {
     }
 
     pub fn insert(&mut self, f: Fix) -> RowId {
-        let id = self.rows.len() as RowId;
+        let id = checked_row_id(self.rows.len());
         self.by_time.entry(f.t).or_default().push(id);
         self.by_object.entry(f.object).or_default().push(id);
         self.rows.push(f);
@@ -344,6 +441,7 @@ impl FixTable {
         if batch.is_empty() {
             return;
         }
+        let _ = checked_row_id(self.rows.len() + batch.len() - 1);
         let base = self.rows.len() as RowId;
         for (i, f) in batch.iter().enumerate() {
             self.by_object
@@ -359,6 +457,8 @@ impl FixTable {
         self.rows.iter()
     }
 
+    /// All fixes in the **half-open** window `from <= t < to`,
+    /// time-ordered (same contract as [`TrajectoryTable::time_window`]).
     pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&Fix> {
         let mut out = Vec::new();
         for (_, ids) in self.by_time.range(from..to) {
@@ -400,7 +500,7 @@ impl ProximityTable {
     }
 
     pub fn insert(&mut self, r: ProximityRecord) -> RowId {
-        let id = self.rows.len() as RowId;
+        let id = checked_row_id(self.rows.len());
         self.by_object.entry(r.object).or_default().push(id);
         self.by_device.entry(r.device).or_default().push(id);
         self.rows.push(r);
@@ -416,6 +516,7 @@ impl ProximityTable {
         if batch.is_empty() {
             return;
         }
+        let _ = checked_row_id(self.rows.len() + batch.len() - 1);
         let base = self.rows.len() as RowId;
         for (i, r) in batch.iter().enumerate() {
             let id = base + i as RowId;
@@ -429,7 +530,16 @@ impl ProximityTable {
         self.rows.iter()
     }
 
-    /// Records overlapping the window `[from, to)`.
+    /// Records whose **closed** detection period `[ts, te]` intersects the
+    /// **half-open** query window `[from, to)` — i.e. `ts < to && te >= from`,
+    /// in insertion order.
+    ///
+    /// The window contract matches `time_window` on the other tables: a
+    /// detection ending exactly at `from` is included (the instant `from`
+    /// lies in the window), one starting exactly at `to` is not. Adjacent
+    /// windows therefore agree with point-event queries at their shared
+    /// boundary, and shard-merge queries cannot diverge from single-table
+    /// answers at window edges.
     pub fn overlapping(&self, from: Timestamp, to: Timestamp) -> Vec<&ProximityRecord> {
         self.rows
             .iter()
@@ -540,6 +650,103 @@ mod tests {
         let xs: Vec<f64> = got.iter().map(|(s, _)| s.point().x).collect();
         assert_eq!(xs, vec![7.0, 8.0, 6.0]);
         assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn checked_row_id_round_trips_in_range() {
+        assert_eq!(checked_row_id(0), 0);
+        assert_eq!(checked_row_id(5), 5);
+        assert_eq!(checked_row_id(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds RowId capacity")]
+    fn checked_row_id_panics_instead_of_wrapping() {
+        let _ = checked_row_id(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn spatial_queries_work_on_shared_reference() {
+        // The whole point of the interior-mutability fix: range_query/knn
+        // must be callable through &TrajectoryTable (a repository read
+        // lock), including the first query that builds the index.
+        let mut t = TrajectoryTable::new();
+        for i in 0..10 {
+            t.insert(ts(i, 0, i as f64, 0.0, 0));
+        }
+        let shared: &TrajectoryTable = &t;
+        let hits = shared.range_query(
+            FloorId(0),
+            &Aabb::new(Point::new(-0.5, -0.5), Point::new(3.5, 0.5)),
+        );
+        assert_eq!(hits.len(), 4);
+        let near = shared.knn(FloorId(0), Point::new(2.2, 0.0), 2);
+        assert_eq!(near.len(), 2);
+        assert_eq!(near[0].0.object, ObjectId(2));
+        // A clone carries the cached index (or lack of one) along.
+        let cloned = t.clone();
+        assert_eq!(
+            cloned.knn(FloorId(0), Point::new(2.2, 0.0), 2).len(),
+            near.len()
+        );
+    }
+
+    #[test]
+    fn time_window_boundaries_are_half_open() {
+        // `from` is included, `to` is excluded — on every time-indexed
+        // table, so window edges agree across products and backends.
+        let mut t = TrajectoryTable::new();
+        t.insert(ts(0, 0, 0.0, 0.0, 100));
+        t.insert(ts(0, 0, 1.0, 0.0, 200));
+        let w = t.time_window(Timestamp(100), Timestamp(200));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].t, Timestamp(100));
+
+        let mut r = RssiTable::new();
+        for tstamp in [100u64, 200] {
+            r.insert(RssiMeasurement {
+                object: ObjectId(0),
+                device: DeviceId(0),
+                rssi: -50.0,
+                t: Timestamp(tstamp),
+            });
+        }
+        assert_eq!(r.time_window(Timestamp(100), Timestamp(200)).len(), 1);
+
+        use vita_indoor::Loc;
+        let mut f = FixTable::new();
+        for tstamp in [100u64, 200] {
+            f.insert(Fix {
+                object: ObjectId(0),
+                loc: Loc::point(BuildingId(0), FloorId(0), Point::new(0.0, 0.0)),
+                t: Timestamp(tstamp),
+            });
+        }
+        assert_eq!(f.time_window(Timestamp(100), Timestamp(200)).len(), 1);
+    }
+
+    #[test]
+    fn snapshot_at_bound_is_inclusive() {
+        let mut t = TrajectoryTable::new();
+        t.insert(ts(0, 0, 1.0, 0.0, 500));
+        let snap = t.snapshot_at(Timestamp(500));
+        assert_eq!(snap.len(), 1);
+        assert!(t.snapshot_at(Timestamp(499)).is_empty());
+    }
+
+    #[test]
+    fn overlapping_boundaries_match_half_open_window() {
+        let mut t = ProximityTable::new();
+        t.insert(ProximityRecord {
+            object: ObjectId(0),
+            device: DeviceId(0),
+            ts: Timestamp(100),
+            te: Timestamp(300),
+        });
+        // Detection ending exactly at `from`: instant 300 is in [300, 400).
+        assert_eq!(t.overlapping(Timestamp(300), Timestamp(400)).len(), 1);
+        // Detection starting exactly at `to`: instant 100 is not in [0, 100).
+        assert_eq!(t.overlapping(Timestamp(0), Timestamp(100)).len(), 0);
     }
 
     #[test]

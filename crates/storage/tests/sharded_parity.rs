@@ -1,0 +1,283 @@
+//! Cross-backend parity, table level: a [`ShardedRepository`] fed the same
+//! batches as a single [`Repository`] must return **bit-identical row
+//! sets** on every query path of all four tables — scans, half-open time
+//! windows (including boundary windows), snapshots, per-object traces,
+//! per-device lookups, proximity overlaps, and spatial range/kNN.
+//!
+//! Rows sharing a sort key may interleave differently across backends
+//! (arrival order vs shard order — see the `ProductSink` contract), so
+//! set-valued comparisons sort both sides on a full key first;
+//! object-keyed queries are compared exactly, because an object's rows
+//! live in one shard in original arrival order.
+
+use proptest::prelude::*;
+
+use vita_geometry::{Aabb, Point};
+use vita_indoor::{BuildingId, DeviceId, FloorId, Loc, ObjectId, Timestamp};
+use vita_mobility::TrajectorySample;
+use vita_positioning::{Fix, ProximityRecord};
+use vita_rssi::RssiMeasurement;
+use vita_storage::{ProductBatch, ProductSink, Repository, ShardedRepository};
+
+const OBJECTS: u32 = 24;
+const DEVICES: u32 = 5;
+const T_MAX: u64 = 10_000;
+
+fn sample_strategy() -> impl Strategy<Value = TrajectorySample> {
+    (
+        0u32..OBJECTS,
+        0u32..2,
+        -40.0f64..40.0,
+        -40.0f64..40.0,
+        0u64..T_MAX,
+    )
+        .prop_map(|(o, f, x, y, t)| {
+            TrajectorySample::new(
+                ObjectId(o),
+                BuildingId(0),
+                FloorId(f),
+                Point::new(x, y),
+                Timestamp(t),
+            )
+        })
+}
+
+fn rssi_strategy() -> impl Strategy<Value = RssiMeasurement> {
+    (0u32..OBJECTS, 0u32..DEVICES, -100.0f64..-20.0, 0u64..T_MAX).prop_map(|(o, d, r, t)| {
+        RssiMeasurement {
+            object: ObjectId(o),
+            device: DeviceId(d),
+            rssi: r,
+            t: Timestamp(t),
+        }
+    })
+}
+
+fn fix_strategy() -> impl Strategy<Value = Fix> {
+    (0u32..OBJECTS, -40.0f64..40.0, -40.0f64..40.0, 0u64..T_MAX).prop_map(|(o, x, y, t)| Fix {
+        object: ObjectId(o),
+        loc: Loc::point(BuildingId(0), FloorId(0), Point::new(x, y)),
+        t: Timestamp(t),
+    })
+}
+
+fn proximity_strategy() -> impl Strategy<Value = ProximityRecord> {
+    (0u32..OBJECTS, 0u32..DEVICES, 0u64..T_MAX, 0u64..2_000).prop_map(|(o, d, ts, dur)| {
+        ProximityRecord {
+            object: ObjectId(o),
+            device: DeviceId(d),
+            ts: Timestamp(ts),
+            te: Timestamp(ts + dur),
+        }
+    })
+}
+
+/// Feed identical batches (chunks of `batch` rows) to both backends.
+fn fill<T: Clone>(
+    rows: &[T],
+    batch: usize,
+    wrap: impl Fn(Vec<T>) -> ProductBatch,
+    single: &Repository,
+    sharded: &ShardedRepository,
+) {
+    for chunk in rows.chunks(batch.max(1)) {
+        single.accept(wrap(chunk.to_vec()));
+        sharded.accept(wrap(chunk.to_vec()));
+    }
+}
+
+/// Full sort key covering every field, so equal keys mean equal rows.
+fn sample_key(s: &TrajectorySample) -> (u64, u32, u32, u64, u64) {
+    let p = s.point();
+    (
+        s.t.0,
+        s.object.0,
+        s.loc.floor.0,
+        p.x.to_bits(),
+        p.y.to_bits(),
+    )
+}
+
+fn rssi_key(m: &RssiMeasurement) -> (u64, u32, u32, u64) {
+    (m.t.0, m.object.0, m.device.0, m.rssi.to_bits())
+}
+
+fn fix_key(f: &Fix) -> (u64, u32, u64, u64) {
+    let p = f.loc.as_point().unwrap();
+    (f.t.0, f.object.0, p.x.to_bits(), p.y.to_bits())
+}
+
+fn prox_key(r: &ProximityRecord) -> (u64, u64, u32, u32) {
+    (r.ts.0, r.te.0, r.object.0, r.device.0)
+}
+
+fn sorted_by<T: Copy, K: Ord>(rows: Vec<T>, key: impl Fn(&T) -> K) -> Vec<T> {
+    let mut rows = rows;
+    rows.sort_by_key(key);
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn trajectory_paths_agree(
+        rows in proptest::collection::vec(sample_strategy(), 1..250),
+        shards in 1usize..5,
+        batch in 1usize..40,
+        from in 0u64..T_MAX,
+        width in 0u64..T_MAX,
+        at in 0u64..T_MAX,
+    ) {
+        let single = Repository::new();
+        let sharded = ShardedRepository::new(shards);
+        fill(&rows, batch, ProductBatch::Trajectories, &single, &sharded);
+        prop_assert_eq!(single.counts(), sharded.counts());
+
+        // Scan: same row set.
+        let a = sorted_by(single.trajectories.read().scan().copied().collect(), sample_key);
+        let b = sorted_by(sharded.trajectories_scan(), sample_key);
+        prop_assert_eq!(a, b);
+
+        // Half-open time window, including the boundary-heavy zero-width
+        // and exact-hit windows.
+        for (lo, hi) in [(from, from + width), (from, from), (0, T_MAX + 1)] {
+            let a = sorted_by(
+                single.trajectories.read()
+                    .time_window(Timestamp(lo), Timestamp(hi))
+                    .into_iter().copied().collect(),
+                sample_key,
+            );
+            let b = sorted_by(
+                sharded.trajectories_time_window(Timestamp(lo), Timestamp(hi)),
+                sample_key,
+            );
+            prop_assert_eq!(a, b);
+        }
+
+        // Snapshot: objects are disjoint across shards, so the merged
+        // answer must be *exactly* the single-table answer.
+        let a: Vec<TrajectorySample> =
+            single.trajectories.read().snapshot_at(Timestamp(at)).into_iter().copied().collect();
+        prop_assert_eq!(a, sharded.trajectories_snapshot_at(Timestamp(at)));
+
+        // Per-object traces: exact (owning shard preserves arrival order).
+        for o in 0..OBJECTS {
+            let a: Vec<TrajectorySample> =
+                single.trajectories.read().object_trace(ObjectId(o)).into_iter().copied().collect();
+            prop_assert_eq!(a, sharded.object_trace(ObjectId(o)));
+        }
+    }
+
+    #[test]
+    fn spatial_paths_agree(
+        rows in proptest::collection::vec(sample_strategy(), 1..150),
+        shards in 1usize..5,
+        x0 in -40.0f64..40.0, y0 in -40.0f64..40.0,
+        w in 1.0f64..50.0, h in 1.0f64..50.0,
+        k in 1usize..12,
+    ) {
+        let single = Repository::new();
+        let sharded = ShardedRepository::new(shards);
+        fill(&rows, 16, ProductBatch::Trajectories, &single, &sharded);
+
+        // Range query through a *read* lock on the single backend — the
+        // locking bugfix this PR verifies — against the shard merge.
+        let q = Aabb::new(Point::new(x0, y0), Point::new(x0 + w, y0 + h));
+        let a = sorted_by(
+            single.trajectories.read().range_query(FloorId(0), &q)
+                .into_iter().copied().collect(),
+            sample_key,
+        );
+        let b = sorted_by(sharded.trajectories_range_query(FloorId(0), &q), sample_key);
+        prop_assert_eq!(a, b);
+
+        // kNN: the distance multiset must match bit-for-bit (row identity
+        // can differ only among exactly tied distances).
+        let p = Point::new(x0, y0);
+        let a: Vec<u64> = single.trajectories.read().knn(FloorId(0), p, k)
+            .iter().map(|(_, d)| d.to_bits()).collect();
+        let b: Vec<u64> = sharded.trajectories_knn(FloorId(0), p, k)
+            .iter().map(|(_, d)| d.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rssi_and_fix_paths_agree(
+        rssi in proptest::collection::vec(rssi_strategy(), 1..250),
+        fixes in proptest::collection::vec(fix_strategy(), 1..250),
+        shards in 1usize..5,
+        batch in 1usize..40,
+        from in 0u64..T_MAX,
+        width in 0u64..T_MAX,
+    ) {
+        let single = Repository::new();
+        let sharded = ShardedRepository::new(shards);
+        fill(&rssi, batch, ProductBatch::Rssi, &single, &sharded);
+        fill(&fixes, batch, ProductBatch::Fixes, &single, &sharded);
+        prop_assert_eq!(single.counts(), sharded.counts());
+
+        let (lo, hi) = (Timestamp(from), Timestamp(from + width));
+        let a = sorted_by(
+            single.rssi.read().time_window(lo, hi).into_iter().copied().collect(),
+            rssi_key,
+        );
+        prop_assert_eq!(a, sorted_by(sharded.rssi_time_window(lo, hi), rssi_key));
+
+        for o in 0..OBJECTS {
+            let a: Vec<RssiMeasurement> =
+                single.rssi.read().of_object(ObjectId(o)).into_iter().copied().collect();
+            prop_assert_eq!(a, sharded.rssi_of_object(ObjectId(o)));
+            let af: Vec<Fix> =
+                single.fixes.read().of_object(ObjectId(o)).into_iter().copied().collect();
+            prop_assert_eq!(af, sharded.fixes_of_object(ObjectId(o)));
+        }
+        for d in 0..DEVICES {
+            let a = sorted_by(
+                single.rssi.read().of_device(DeviceId(d)).into_iter().copied().collect(),
+                rssi_key,
+            );
+            prop_assert_eq!(a, sorted_by(sharded.rssi_of_device(DeviceId(d)), rssi_key));
+        }
+
+        let a = sorted_by(
+            single.fixes.read().time_window(lo, hi).into_iter().copied().collect(),
+            fix_key,
+        );
+        prop_assert_eq!(a, sorted_by(sharded.fixes_time_window(lo, hi), fix_key));
+    }
+
+    #[test]
+    fn proximity_paths_agree(
+        rows in proptest::collection::vec(proximity_strategy(), 1..250),
+        shards in 1usize..5,
+        batch in 1usize..40,
+        from in 0u64..T_MAX,
+        width in 0u64..T_MAX,
+    ) {
+        let single = Repository::new();
+        let sharded = ShardedRepository::new(shards);
+        fill(&rows, batch, ProductBatch::Proximity, &single, &sharded);
+        prop_assert_eq!(single.counts(), sharded.counts());
+
+        let (lo, hi) = (Timestamp(from), Timestamp(from + width));
+        let a = sorted_by(
+            single.proximity.read().overlapping(lo, hi).into_iter().copied().collect(),
+            prox_key,
+        );
+        prop_assert_eq!(a, sorted_by(sharded.proximity_overlapping(lo, hi), prox_key));
+
+        for o in 0..OBJECTS {
+            let a: Vec<ProximityRecord> =
+                single.proximity.read().of_object(ObjectId(o)).into_iter().copied().collect();
+            prop_assert_eq!(a, sharded.proximity_of_object(ObjectId(o)));
+        }
+        for d in 0..DEVICES {
+            let a = sorted_by(
+                single.proximity.read().of_device(DeviceId(d)).into_iter().copied().collect(),
+                prox_key,
+            );
+            prop_assert_eq!(a, sorted_by(sharded.proximity_of_device(DeviceId(d)), prox_key));
+        }
+    }
+}

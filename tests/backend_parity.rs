@@ -1,0 +1,162 @@
+//! Cross-backend parity, pipeline level (mirrors `streaming_parity.rs`):
+//! for a fixed seed, [`Vita::run_streaming`] must leave identical counts
+//! and bit-identical fix / proximity sets behind whether it ingests into
+//! the single [`vita_storage::Repository`] or a
+//! [`vita_storage::ShardedRepository`] — at ≥ 4 concurrent stage workers,
+//! where the per-table lock of the single backend is actually contended.
+
+use vita_core::prelude::*;
+
+fn toolkit() -> Vita {
+    let text = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(2)));
+    let mut vita = Vita::from_dbi_text(&text, &BuildParams::default()).unwrap();
+    let placed = vita.deploy_devices(
+        DeviceSpec::default_for(DeviceType::WiFi),
+        FloorId(0),
+        DeploymentModel::Coverage,
+        10,
+    );
+    assert_eq!(placed, 10);
+    vita
+}
+
+fn scenario(method: MethodConfig, backend: StorageBackend) -> ScenarioConfig {
+    ScenarioConfig {
+        mobility: MobilityConfig {
+            object_count: 14,
+            duration: Timestamp(60_000),
+            lifespan: LifespanConfig {
+                min: Timestamp(40_000),
+                max: Timestamp(60_000),
+            },
+            seed: 0x5EED3,
+            ..Default::default()
+        },
+        rssi: RssiConfig {
+            duration: Timestamp(60_000),
+            ..Default::default()
+        },
+        method,
+        options: StreamOptions {
+            workers: 4,
+            backend,
+            ..Default::default()
+        },
+    }
+}
+
+/// Run the streaming pipeline into the given backend and return the vita.
+fn run(method: MethodConfig, backend: StorageBackend) -> (Vita, PipelineReport) {
+    let mut vita = toolkit();
+    let report = vita.run_streaming(&scenario(method, backend)).unwrap();
+    (vita, report)
+}
+
+fn sorted_fixes(vita: &Vita) -> Vec<vita_positioning::Fix> {
+    let mut fixes = vita.repository().fix_rows();
+    fixes.sort_by(|a, b| {
+        (a.t, a.object).cmp(&(b.t, b.object)).then_with(|| {
+            match (a.loc.as_point(), b.loc.as_point()) {
+                (Some(p), Some(q)) => {
+                    (p.x.to_bits(), p.y.to_bits()).cmp(&(q.x.to_bits(), q.y.to_bits()))
+                }
+                _ => std::cmp::Ordering::Equal,
+            }
+        })
+    });
+    fixes
+}
+
+#[test]
+fn sharded_matches_single_for_trilateration() {
+    let method = || MethodConfig::Trilateration {
+        config: TrilaterationConfig::default(),
+        conversion_model: PathLossModel::default(),
+    };
+    let (single, _) = run(method(), StorageBackend::Single);
+    let (sharded, report) = run(method(), StorageBackend::Sharded { shards: 8 });
+
+    assert_eq!(sharded.repository().counts(), single.repository().counts());
+    let a = sorted_fixes(&single);
+    assert!(!a.is_empty());
+    assert_eq!(sorted_fixes(&sharded), a, "fix sets differ across backends");
+
+    // The report's per-shard counts cover the whole run and match the
+    // repository's own accounting.
+    assert_eq!(report.shard_rows.len(), 8);
+    let (t, r, f, p) = sharded.repository().counts();
+    assert_eq!(
+        report
+            .shard_rows
+            .iter()
+            .map(|c| c.trajectories)
+            .sum::<usize>(),
+        t
+    );
+    assert_eq!(report.shard_rows.iter().map(|c| c.rssi).sum::<usize>(), r);
+    assert_eq!(report.shard_rows.iter().map(|c| c.fixes).sum::<usize>(), f);
+    assert_eq!(
+        report.shard_rows.iter().map(|c| c.proximity).sum::<usize>(),
+        p
+    );
+    // 14 objects over 8 shards: the hash must actually spread the load.
+    assert!(report.shard_rows.iter().filter(|c| c.total() > 0).count() > 1);
+}
+
+#[test]
+fn sharded_matches_single_for_proximity() {
+    let method = || MethodConfig::Proximity(ProximityConfig::default());
+    let (single, _) = run(method(), StorageBackend::Single);
+    let (sharded, _) = run(method(), StorageBackend::Sharded { shards: 4 });
+
+    assert_eq!(sharded.repository().counts(), single.repository().counts());
+    let collect = |v: &Vita| {
+        let mut r = v.repository().proximity_rows();
+        r.sort_by_key(|r| (r.ts, r.object, r.device, r.te));
+        r
+    };
+    let a = collect(&single);
+    assert!(!a.is_empty());
+    assert_eq!(
+        collect(&sharded),
+        a,
+        "proximity sets differ across backends"
+    );
+}
+
+#[test]
+fn sharded_matches_single_for_probabilistic_fingerprinting() {
+    let method = || MethodConfig::FingerprintingBayes {
+        survey: SurveyConfig::default(),
+        online: FingerprintConfig::default(),
+        floor: FloorId(0),
+    };
+    let (single, _) = run(method(), StorageBackend::Single);
+    let (sharded, _) = run(method(), StorageBackend::Sharded { shards: 4 });
+    assert_eq!(sharded.repository().counts(), single.repository().counts());
+    assert_eq!(sorted_fixes(&sharded), sorted_fixes(&single));
+}
+
+#[test]
+fn switching_backends_repartitions_existing_rows() {
+    let method = MethodConfig::Trilateration {
+        config: TrilaterationConfig::default(),
+        conversion_model: PathLossModel::default(),
+    };
+    let (mut vita, _) = run(method, StorageBackend::Single);
+    let counts = vita.repository().counts();
+    let fixes = sorted_fixes(&vita);
+
+    vita.set_storage_backend(StorageBackend::Sharded { shards: 4 });
+    assert_eq!(
+        vita.repository().backend(),
+        StorageBackend::Sharded { shards: 4 }
+    );
+    assert_eq!(vita.repository().counts(), counts);
+    assert_eq!(sorted_fixes(&vita), fixes);
+
+    // And back again.
+    vita.set_storage_backend(StorageBackend::Single);
+    assert_eq!(vita.repository().counts(), counts);
+    assert_eq!(sorted_fixes(&vita), fixes);
+}

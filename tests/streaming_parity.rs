@@ -52,8 +52,7 @@ fn scenario(method: MethodConfig) -> ScenarioConfig {
 /// Sorted copy of every fix in a repository (exact float comparison: both
 /// paths must run bit-identical computations).
 fn sorted_fixes(vita: &Vita) -> Vec<vita_positioning::Fix> {
-    let mut fixes: Vec<vita_positioning::Fix> =
-        vita.repository().fixes.read().scan().copied().collect();
+    let mut fixes: Vec<vita_positioning::Fix> = vita.repository().fix_rows();
     fixes.sort_by(|a, b| {
         (a.t, a.object).cmp(&(b.t, b.object)).then_with(|| {
             match (a.loc.as_point(), b.loc.as_point()) {
@@ -82,7 +81,7 @@ fn streaming_matches_step_path_counts_and_fixes() {
     assert!(!data.is_empty());
 
     // Streaming path on an identically-built world.
-    let streaming = toolkit();
+    let mut streaming = toolkit();
     let report = streaming.run_streaming(&scenario(method)).unwrap();
 
     assert_eq!(streaming.repository().counts(), step.repository().counts());
@@ -106,7 +105,7 @@ fn streaming_matches_step_path_for_proximity() {
     step.run_positioning(&MethodConfig::Proximity(ProximityConfig::default()))
         .unwrap();
 
-    let streaming = toolkit();
+    let mut streaming = toolkit();
     streaming
         .run_streaming(&scenario(MethodConfig::Proximity(
             ProximityConfig::default(),
@@ -115,8 +114,7 @@ fn streaming_matches_step_path_for_proximity() {
 
     assert_eq!(streaming.repository().counts(), step.repository().counts());
     let collect = |v: &Vita| {
-        let mut r: Vec<vita_positioning::ProximityRecord> =
-            v.repository().proximity.read().scan().copied().collect();
+        let mut r: Vec<vita_positioning::ProximityRecord> = v.repository().proximity_rows();
         r.sort_by_key(|r| (r.ts, r.object, r.device, r.te));
         r
     };
@@ -137,7 +135,7 @@ fn streaming_matches_step_path_for_probabilistic_fingerprinting() {
     step.generate_rssi(&rssi()).unwrap();
     step.run_positioning(&method()).unwrap();
 
-    let streaming = toolkit();
+    let mut streaming = toolkit();
     streaming.run_streaming(&scenario(method())).unwrap();
 
     // MAP estimates land in the fix table on both paths.
