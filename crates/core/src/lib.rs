@@ -56,20 +56,25 @@ pub mod props;
 pub mod render;
 
 pub use config::{load_method, load_mobility, load_rssi, ConfigLoadError};
-pub use pipeline::{PipelineReport, ScenarioConfig, StreamOptions, Vita, VitaError};
+pub use pipeline::{
+    derive_run_seed, PipelineReport, ScenarioConfig, StreamOptions, Vita, VitaError,
+};
 pub use props::{Properties, PropsError};
 pub use render::{ascii_floor, svg_floor, Overlay};
-pub use vita_storage::{ShardCounts, StorageBackend};
+pub use vita_storage::{RunId, ShardCounts, StorageBackend};
 
 /// Convenient glob import for toolkit users.
 pub mod prelude {
-    pub use crate::pipeline::{PipelineReport, ScenarioConfig, StreamOptions, Vita, VitaError};
+    pub use crate::pipeline::{
+        derive_run_seed, PipelineReport, ScenarioConfig, StreamOptions, Vita, VitaError,
+    };
     pub use crate::props::Properties;
     pub use crate::render::{ascii_floor, svg_floor, Overlay};
     pub use vita_dbi::SynthParams;
     pub use vita_devices::{DeploymentModel, DeviceSpec, DeviceType};
     pub use vita_indoor::{
-        BuildParams, BuildingId, DeviceId, FloorId, Hz, Loc, ObjectId, RoutingSchema, Timestamp,
+        BuildParams, BuildingId, DeviceId, FloorId, Hz, Loc, ObjectId, RoutingSchema, RunId,
+        Timestamp,
     };
     pub use vita_mobility::{
         Behavior, InitialDistribution, Intention, LifespanConfig, MobilityConfig, MovingPattern,

@@ -24,6 +24,16 @@
 //! peak memory is bounded by the channel capacity — and for a fixed seed
 //! the repository contents and fix sets are identical to the step-by-step
 //! path (the step methods are thin wrappers over the same sinks).
+//!
+//! ## Multi-scenario concurrency
+//!
+//! [`Vita::run_many`] schedules several scenarios through one toolkit at
+//! once: N mobility producers feed one shared stage-worker pool, every
+//! product batch is tagged with its run's [`RunId`], and the repository
+//! answers both all-runs and per-run queries afterwards. RNG streams are
+//! derived from `(base seed, run id)` ([`derive_run_seed`]), so each run's
+//! row sets are bit-identical to running its scenario alone
+//! ([`Vita::run_streaming_as`]) no matter how the runs interleave.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -31,8 +41,10 @@ use std::time::{Duration, Instant};
 
 use vita_dbi::LoadedDbi;
 use vita_devices::{deploy, DeploymentModel, DeviceRegistry, DeviceSpec};
-use vita_indoor::{build_environment, BuildParams, FloorId, IndoorEnvironment};
-use vita_mobility::{GenerationResult, GenerationStats, MobilityConfig, TrajectoryChunk};
+use vita_indoor::{build_environment, BuildParams, FloorId, IndoorEnvironment, RunId};
+use vita_mobility::{
+    GenerationResult, GenerationStats, MobilityConfig, StreamedGeneration, TrajectoryChunk,
+};
 use vita_positioning::{
     run_positioning, ChunkPositioner, Fix, MethodConfig, PmcError, PositioningData, ProbFix,
 };
@@ -48,6 +60,10 @@ pub enum VitaError {
     Positioning(PmcError),
     /// Step ordering violated (e.g. positioning before RSSI generation).
     MissingStage(&'static str),
+    /// [`Vita::run_many`] scenarios disagree on the storage backend: all
+    /// concurrent runs ingest into one shared repository, so they must
+    /// request the same [`StorageBackend`].
+    MixedBackends,
 }
 
 impl std::fmt::Display for VitaError {
@@ -58,6 +74,10 @@ impl std::fmt::Display for VitaError {
             VitaError::Mobility(e) => write!(f, "moving object layer: {e}"),
             VitaError::Positioning(e) => write!(f, "positioning layer: {e}"),
             VitaError::MissingStage(s) => write!(f, "pipeline stage missing: {s}"),
+            VitaError::MixedBackends => write!(
+                f,
+                "run_many scenarios request different storage backends for one shared repository"
+            ),
         }
     }
 }
@@ -216,122 +236,334 @@ impl Vita {
     /// object-id hash to per-shard locks, so concurrent stage workers stop
     /// contending on one lock per table (the repository is switched via
     /// [`Vita::set_storage_backend`] before any worker starts).
+    ///
+    /// The run ingests as [`RunId::DEFAULT`] — equivalent to
+    /// [`Vita::run_streaming_as`] with run 0, and to a one-scenario
+    /// [`Vita::run_many`] on a fresh toolkit. Like the step-path methods,
+    /// repeated calls **merge** into the repository — all under run 0 —
+    /// so `*_run` queries see their union. To keep successive runs
+    /// isolated, schedule them with [`Vita::run_many`] (which allocates
+    /// fresh run ids past every stored run) or pick explicit distinct ids
+    /// with [`Vita::run_streaming_as`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vita_core::prelude::*;
+    ///
+    /// let dbi = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(1)));
+    /// let mut vita = Vita::from_dbi_text(&dbi, &BuildParams::default()).unwrap();
+    /// vita.deploy_devices(
+    ///     DeviceSpec::default_for(DeviceType::WiFi),
+    ///     FloorId(0),
+    ///     DeploymentModel::Coverage,
+    ///     8,
+    /// );
+    /// let scenario = ScenarioConfig {
+    ///     mobility: MobilityConfig {
+    ///         object_count: 4,
+    ///         duration: Timestamp(20_000),
+    ///         lifespan: LifespanConfig { min: Timestamp(20_000), max: Timestamp(20_000) },
+    ///         ..Default::default()
+    ///     },
+    ///     rssi: RssiConfig { duration: Timestamp(20_000), ..Default::default() },
+    ///     method: MethodConfig::Trilateration {
+    ///         config: TrilaterationConfig::default(),
+    ///         conversion_model: PathLossModel::default(),
+    ///     },
+    ///     options: StreamOptions::default(),
+    /// };
+    /// let report = vita.run_streaming(&scenario).unwrap();
+    /// assert_eq!(report.chunks, 4); // one chunk per object
+    /// assert_eq!(vita.repository().counts().0, report.stats.samples);
+    /// ```
     pub fn run_streaming(
         &mut self,
         scenario: &ScenarioConfig,
     ) -> Result<PipelineReport, VitaError> {
+        self.run_streaming_as(RunId::DEFAULT, scenario)
+    }
+
+    /// [`Vita::run_streaming`], ingesting under an explicit [`RunId`]: the
+    /// solo counterpart of one lane of [`Vita::run_many`]. Because every
+    /// run's RNG streams are derived from `(base seed, run id)` (see
+    /// [`derive_run_seed`]), running a scenario alone as run `r` produces
+    /// row sets bit-identical to the same scenario scheduled as run `r`
+    /// among concurrent runs — the property the `run_many_parity` test
+    /// suite pins down.
+    ///
+    /// The run id is taken as given: ingesting under an id that already
+    /// has rows **merges** with them (exactly like repeated
+    /// [`Vita::run_streaming`] calls merge under run 0). Use
+    /// [`Vita::run_many`] when fresh, non-colliding ids should be
+    /// allocated automatically.
+    pub fn run_streaming_as(
+        &mut self,
+        run: RunId,
+        scenario: &ScenarioConfig,
+    ) -> Result<PipelineReport, VitaError> {
         let start = Instant::now();
-        self.set_storage_backend(scenario.options.backend);
-        let positioner = ChunkPositioner::new(&self.env, &self.devices, &scenario.method)
-            .map_err(VitaError::Positioning)?;
-        let rssi_gen = RssiGenerator::new(&self.env, &self.devices, &scenario.rssi);
-        let opts = &scenario.options;
+        let runs = [(run, scenario)];
+        // Validate + build stage contexts before touching the repository:
+        // a rejected scenario must leave storage exactly as it was,
+        // including its backend shape.
+        let contexts = build_contexts(&self.env, &self.devices, &runs)?;
+        apply_backend(&mut self.repo, scenario.options.backend);
+        let mut reports = self.stream_runs(start, &runs, &contexts)?;
+        Ok(reports.pop().expect("one report per run"))
+    }
+
+    /// Run several scenarios concurrently through this toolkit — the
+    /// multi-scenario step of the ROADMAP: same host environment and
+    /// devices, different mobility/RSSI/method configurations — sharing
+    /// one stage-worker pool and one repository. Scenario `i` ingests as
+    /// `RunId(base + i)`, where `base` is one past the highest run id
+    /// already in the repository (0 for a fresh toolkit), so successive
+    /// schedules never collide with earlier runs' rows; read each run's
+    /// assigned id from its report ([`PipelineReport::run`]) and query its
+    /// products in isolation through the `*_run` accessors (e.g.
+    /// [`vita_storage::AnyRepository::fix_rows_run`]).
+    ///
+    /// ## Determinism
+    ///
+    /// Each run's mobility and RSSI RNG streams are seeded from
+    /// `(base seed, run id)` via [`derive_run_seed`], and every downstream
+    /// product is derived per trajectory chunk, so per-run row sets are
+    /// bit-identical to running each scenario alone with
+    /// [`Vita::run_streaming_as`] at the same run id — regardless of how
+    /// the scheduler interleaves the runs' chunks. (The run *id* is part
+    /// of the derivation, so a schedule on a non-empty repository — where
+    /// ids offset past existing runs — reproduces only at the same ids.)
+    ///
+    /// ## One shared pool
+    ///
+    /// All scenarios must request the same `options.backend` (they share
+    /// the repository); otherwise [`VitaError::MixedBackends`] is returned
+    /// before anything is ingested. An empty slice returns no reports.
+    /// The other [`StreamOptions`] are coalesced across scenarios — the
+    /// schedule uses the **maximum** requested `workers` and
+    /// `channel_capacity` — because one worker pool and one chunk channel
+    /// serve every run: a single run's tighter `channel_capacity` does not
+    /// bound the shared schedule (schedule it alone via
+    /// [`Vita::run_streaming_as`] if its in-flight bound must hold
+    /// exactly).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vita_core::prelude::*;
+    ///
+    /// let dbi = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(1)));
+    /// let mut vita = Vita::from_dbi_text(&dbi, &BuildParams::default()).unwrap();
+    /// vita.deploy_devices(
+    ///     DeviceSpec::default_for(DeviceType::WiFi),
+    ///     FloorId(0),
+    ///     DeploymentModel::Coverage,
+    ///     8,
+    /// );
+    /// let base = ScenarioConfig {
+    ///     mobility: MobilityConfig {
+    ///         object_count: 3,
+    ///         duration: Timestamp(20_000),
+    ///         lifespan: LifespanConfig { min: Timestamp(20_000), max: Timestamp(20_000) },
+    ///         ..Default::default()
+    ///     },
+    ///     rssi: RssiConfig { duration: Timestamp(20_000), ..Default::default() },
+    ///     method: MethodConfig::Trilateration {
+    ///         config: TrilaterationConfig::default(),
+    ///         conversion_model: PathLossModel::default(),
+    ///     },
+    ///     options: StreamOptions::default(),
+    /// };
+    /// let mut second = base.clone();
+    /// second.mobility.object_count = 5;
+    /// let reports = vita.run_many(&[base, second]).unwrap();
+    /// assert_eq!(reports.len(), 2);
+    /// assert_eq!(reports[1].run, RunId(1));
+    /// // Each run's rows are tagged and queryable in isolation.
+    /// let run1 = vita.repository().trajectory_rows_run(RunId(1));
+    /// assert_eq!(run1.len(), reports[1].stats.samples);
+    /// ```
+    pub fn run_many(
+        &mut self,
+        scenarios: &[ScenarioConfig],
+    ) -> Result<Vec<PipelineReport>, VitaError> {
+        let Some(first) = scenarios.first() else {
+            return Ok(Vec::new());
+        };
+        if scenarios
+            .iter()
+            .any(|s| s.options.backend != first.options.backend)
+        {
+            return Err(VitaError::MixedBackends);
+        }
+        let start = Instant::now();
+        // Allocate run ids past every run already stored, so repeated
+        // schedules (or a prior `run_streaming`, which is run 0) never
+        // alias earlier runs' rows.
+        let base = self.repo.run_ids().last().map_or(0, |r| r.0 + 1);
+        let runs: Vec<(RunId, &ScenarioConfig)> = scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RunId(base + i as u32), s))
+            .collect();
+        // Validate + build stage contexts before touching the repository
+        // (see `run_streaming_as`).
+        let contexts = build_contexts(&self.env, &self.devices, &runs)?;
+        apply_backend(&mut self.repo, first.options.backend);
+        self.stream_runs(start, &runs, &contexts)
+    }
+
+    /// The scheduling engine behind [`Vita::run_streaming`] and
+    /// [`Vita::run_many`]: N mobility producers and one shared stage-worker
+    /// pool over one repository, with per-run contexts prebuilt by
+    /// [`build_contexts`].
+    ///
+    /// Takes `&self` on purpose — backend selection (the only mutation) is
+    /// split into [`apply_backend`] / [`Vita::set_storage_backend`], which
+    /// callers apply before scheduling, so the concurrent machinery needs
+    /// no exclusive access to the toolkit.
+    /// `start` is captured by the public entry point before validation and
+    /// context building, so `PipelineReport::elapsed` covers the whole
+    /// call — including positioner setup (radio-map survey) — exactly as
+    /// the pre-`run_many` `run_streaming` measured it (the E11 baselines
+    /// compare on those semantics).
+    fn stream_runs(
+        &self,
+        start: Instant,
+        runs: &[(RunId, &ScenarioConfig)],
+        contexts: &[RunContext<'_>],
+    ) -> Result<Vec<PipelineReport>, VitaError> {
         // Split the core budget between the two pools: stage workers here,
-        // simulation workers inside the mobility producer. Sizing both to
-        // the full core count would oversubscribe the machine 2×.
+        // simulation workers inside the mobility producers. Sizing both to
+        // the full core count would oversubscribe the machine 2×; with N
+        // producers the simulation share is divided among them.
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let workers = if opts.workers == 0 {
-            (cores / 2).max(1)
-        } else {
-            opts.workers
-        };
-        let sim_workers = cores.saturating_sub(workers).max(1);
-        let capacity = opts.channel_capacity.max(1);
+        let workers = runs
+            .iter()
+            .map(|(_, s)| {
+                if s.options.workers == 0 {
+                    (cores / 2).max(1)
+                } else {
+                    s.options.workers
+                }
+            })
+            .max()
+            .unwrap_or(1);
+        let sim_workers = (cores.saturating_sub(workers).max(1) / runs.len().max(1)).max(1);
+        let capacity = runs
+            .iter()
+            .map(|(_, s)| s.options.channel_capacity)
+            .max()
+            .unwrap_or(1)
+            .max(1);
 
         let repo = &self.repo;
-        let counters = StreamCounters::default();
-        let streamed = std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::sync_channel::<TrajectoryChunk>(capacity);
-            let rx = Arc::new(Mutex::new(rx));
-            for _ in 0..workers {
-                let rx = Arc::clone(&rx);
-                let positioner = &positioner;
-                let rssi_gen = &rssi_gen;
-                let counters = &counters;
-                scope.spawn(move || loop {
-                    // Hold the lock only for the receive; processing runs
-                    // unlocked so workers overlap.
-                    let msg = rx.lock().expect("receiver lock").recv();
-                    let Ok(chunk) = msg else {
-                        return; // producer done, queue drained
-                    };
-                    let measurements = rssi_gen.measure_trajectory(chunk.object, &chunk.trajectory);
-                    let store = RssiStore::new(measurements);
-                    let data = positioner.position(&store);
+        let counters: Vec<StreamCounters> =
+            runs.iter().map(|_| StreamCounters::default()).collect();
+        let results: Vec<Result<StreamedGeneration, vita_mobility::ConfigError>> =
+            std::thread::scope(|scope| {
+                let (tx, rx) = mpsc::sync_channel::<(usize, TrajectoryChunk)>(capacity);
+                let rx = Arc::new(Mutex::new(rx));
+                for _ in 0..workers {
+                    let rx = Arc::clone(&rx);
+                    let contexts = &contexts;
+                    let counters = &counters;
+                    scope.spawn(move || loop {
+                        // Hold the lock only for the receive; processing
+                        // runs unlocked so workers overlap.
+                        let msg = rx.lock().expect("receiver lock").recv();
+                        let Ok((idx, chunk)) = msg else {
+                            return; // producers done, queue drained
+                        };
+                        let ctx: &RunContext<'_> = &contexts[idx];
+                        let c = &counters[idx];
+                        let measurements = ctx
+                            .rssi_gen
+                            .measure_trajectory(chunk.object, &chunk.trajectory);
+                        let store = RssiStore::new(measurements);
+                        let data = ctx.positioner.position(&store);
 
-                    let samples = chunk.trajectory.into_samples();
-                    let n_samples = samples.len();
-                    counters.rssi_rows.fetch_add(store.len(), Ordering::Relaxed);
-                    let positioning = positioning_batch(data);
-                    counters
-                        .positioning_rows
-                        .fetch_add(positioning.len(), Ordering::Relaxed);
-                    repo.accept(ProductBatch::Trajectories(samples));
-                    repo.accept(ProductBatch::Rssi(store.into_measurements()));
-                    repo.accept(positioning);
-                    counters.in_flight.fetch_sub(n_samples, Ordering::Relaxed);
-                });
-            }
+                        let samples = chunk.trajectory.into_samples();
+                        let n_samples = samples.len();
+                        c.rssi_rows.fetch_add(store.len(), Ordering::Relaxed);
+                        let positioning = positioning_batch(data);
+                        c.positioning_rows
+                            .fetch_add(positioning.len(), Ordering::Relaxed);
+                        repo.accept_run(ctx.run, ProductBatch::Trajectories(samples));
+                        repo.accept_run(ctx.run, ProductBatch::Rssi(store.into_measurements()));
+                        repo.accept_run(ctx.run, positioning);
+                        c.in_flight.fetch_sub(n_samples, Ordering::Relaxed);
+                    });
+                }
 
-            // Produce on this thread; `send` applies backpressure when all
-            // workers are busy and the channel is full. The producer's own
-            // channel gets capacity 1: buffering there would be redundant
-            // with this pipeline's channel and would hold chunks the
-            // in-flight counter cannot see yet.
-            let producer = vita_mobility::ChunkStreaming {
-                channel_capacity: 1,
-                max_workers: sim_workers,
-            };
-            let result = vita_mobility::generate_streaming(
-                &self.env,
-                &scenario.mobility,
-                &producer,
-                |chunk| {
-                    let n = chunk.trajectory.len();
-                    counters.chunks.fetch_add(1, Ordering::Relaxed);
-                    let now = counters.in_flight.fetch_add(n, Ordering::Relaxed) + n;
-                    counters.peak_in_flight.fetch_max(now, Ordering::Relaxed);
-                    tx.send(chunk).expect("stage workers alive");
-                },
-            );
-            drop(tx);
-            result
-        })
-        .map_err(VitaError::Mobility)?;
+                // One producer thread per run; `send` applies backpressure
+                // when all workers are busy and the shared channel is full.
+                // Each producer's own channel gets capacity 1: buffering
+                // there would be redundant with the pipeline's channel and
+                // would hold chunks the in-flight counters cannot see yet.
+                let mut handles = Vec::with_capacity(contexts.len());
+                for (idx, ctx) in contexts.iter().enumerate() {
+                    let tx = tx.clone();
+                    let counters = &counters;
+                    let env = &self.env;
+                    handles.push(scope.spawn(move || {
+                        let producer = vita_mobility::ChunkStreaming {
+                            channel_capacity: 1,
+                            max_workers: sim_workers,
+                        };
+                        vita_mobility::generate_streaming(env, &ctx.mobility, &producer, |chunk| {
+                            let n = chunk.trajectory.len();
+                            let c = &counters[idx];
+                            c.chunks.fetch_add(1, Ordering::Relaxed);
+                            let now = c.in_flight.fetch_add(n, Ordering::Relaxed) + n;
+                            c.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+                            tx.send((idx, chunk)).expect("stage workers alive");
+                        })
+                    }));
+                }
+                drop(tx);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("producer thread"))
+                    .collect()
+            });
 
-        Ok(PipelineReport {
-            stats: streamed.stats,
-            chunks: counters.chunks.into_inner(),
-            rssi_rows: counters.rssi_rows.into_inner(),
-            positioning_rows: counters.positioning_rows.into_inner(),
-            peak_in_flight_samples: counters.peak_in_flight.into_inner(),
-            shard_rows: self.repo.per_shard_counts(),
-            elapsed: start.elapsed(),
-        })
+        let mut streamed = Vec::with_capacity(results.len());
+        for r in results {
+            streamed.push(r.map_err(VitaError::Mobility)?);
+        }
+        let shard_rows = self.repo.per_shard_counts();
+        let elapsed = start.elapsed();
+        Ok(runs
+            .iter()
+            .zip(streamed)
+            .zip(counters)
+            .map(|(((run, _), sg), c)| PipelineReport {
+                run: *run,
+                stats: sg.stats,
+                chunks: c.chunks.into_inner(),
+                rssi_rows: c.rssi_rows.into_inner(),
+                positioning_rows: c.positioning_rows.into_inner(),
+                peak_in_flight_samples: c.peak_in_flight.into_inner(),
+                shard_rows: shard_rows.clone(),
+                elapsed,
+            })
+            .collect())
     }
 
     /// Switch the storage backend. A no-op when the repository already has
     /// the requested shape; otherwise the new backend is installed and any
-    /// rows already stored are re-partitioned into it. Row *sets* are
-    /// unchanged — every query returns the same rows — but re-ingestion
-    /// replays rows in scan order, so answers that expose arrival order
-    /// among equal sort keys (scan, ties in `time_window`/kNN) may come
-    /// back permuted relative to before the switch.
+    /// rows already stored are re-partitioned into it, run by run (run
+    /// tags survive the switch). Row *sets* are unchanged — every query
+    /// returns the same rows — but re-ingestion replays rows in scan
+    /// order, so answers that expose arrival order among equal sort keys
+    /// (scan, ties in `time_window`/kNN) may come back permuted relative
+    /// to before the switch.
     pub fn set_storage_backend(&mut self, backend: StorageBackend) {
-        if self.repo.backend() == backend {
-            return;
-        }
-        let old = std::mem::replace(&mut self.repo, AnyRepository::new(backend));
-        if old.counts() != (0, 0, 0, 0) {
-            self.repo
-                .accept(ProductBatch::Trajectories(old.trajectory_rows()));
-            self.repo.accept(ProductBatch::Rssi(old.rssi_rows()));
-            self.repo.accept(ProductBatch::Fixes(old.fix_rows()));
-            self.repo
-                .accept(ProductBatch::Proximity(old.proximity_rows()));
-        }
+        apply_backend(&mut self.repo, backend);
     }
 
     /// The products of the last generation (step 4), if any.
@@ -349,6 +581,90 @@ impl Vita {
     pub fn repository(&self) -> &AnyRepository {
         &self.repo
     }
+}
+
+/// Everything one run needs at the stage workers: its derived mobility
+/// config for the producer, and its RSSI generator + positioner (both
+/// `Sync`, shared by all workers processing that run's chunks).
+struct RunContext<'a> {
+    run: RunId,
+    mobility: MobilityConfig,
+    rssi_gen: RssiGenerator<'a>,
+    positioner: ChunkPositioner<'a>,
+}
+
+/// Validate every scheduled scenario and build its per-run stage context —
+/// derived seeds ([`derive_run_seed`]), RSSI generator, positioner (radio
+/// map included). Runs **before** the repository is touched, so a rejected
+/// scenario leaves storage exactly as it was. A free function over the
+/// environment/devices fields so callers can keep it disjoint from the
+/// `&mut` repository borrow of [`apply_backend`].
+fn build_contexts<'a>(
+    env: &'a IndoorEnvironment,
+    devices: &'a DeviceRegistry,
+    runs: &[(RunId, &ScenarioConfig)],
+) -> Result<Vec<RunContext<'a>>, VitaError> {
+    let mut contexts: Vec<RunContext<'a>> = Vec::with_capacity(runs.len());
+    for (run, scenario) in runs {
+        let mut mobility = scenario.mobility.clone();
+        mobility.seed = derive_run_seed(mobility.seed, *run);
+        mobility.validate().map_err(VitaError::Mobility)?;
+        let mut rssi_cfg = scenario.rssi;
+        rssi_cfg.seed = derive_run_seed(rssi_cfg.seed, *run);
+        contexts.push(RunContext {
+            run: *run,
+            mobility,
+            rssi_gen: RssiGenerator::new(env, devices, &rssi_cfg),
+            positioner: ChunkPositioner::new(env, devices, &scenario.method)
+                .map_err(VitaError::Positioning)?,
+        });
+    }
+    Ok(contexts)
+}
+
+/// [`Vita::set_storage_backend`] over the bare repository field (free
+/// function so the scheduling entry points can apply it while per-run
+/// contexts hold borrows of the environment/devices fields).
+fn apply_backend(repo: &mut AnyRepository, backend: StorageBackend) {
+    if repo.backend() == backend {
+        return;
+    }
+    let old = std::mem::replace(repo, AnyRepository::new(backend));
+    for run in old.run_ids() {
+        repo.accept_run(
+            run,
+            ProductBatch::Trajectories(old.trajectory_rows_run(run)),
+        );
+        repo.accept_run(run, ProductBatch::Rssi(old.rssi_rows_run(run)));
+        repo.accept_run(run, ProductBatch::Fixes(old.fix_rows_run(run)));
+        repo.accept_run(run, ProductBatch::Proximity(old.proximity_rows_run(run)));
+    }
+}
+
+/// Derive the RNG seed a run actually uses from a scenario's base seed.
+///
+/// The contract (relied on by [`Vita::run_many`] parity):
+///
+/// * `derive_run_seed(base, RunId::DEFAULT) == base` — a plain
+///   [`Vita::run_streaming`] (which ingests as run 0) is seeded exactly by
+///   its configuration, so single-run behavior is unchanged by the run
+///   dimension.
+/// * For any other run id the seed is a SplitMix64-style mix of
+///   `(base, run)`: two concurrent runs sharing a scenario configuration
+///   still produce decorrelated data, and the derivation depends only on
+///   the pair — never on scheduling order — so per-run products are
+///   reproducible under arbitrary interleaving.
+///
+/// Applied to both the mobility seed and the RSSI seed of each scheduled
+/// scenario.
+pub fn derive_run_seed(base: u64, run: RunId) -> u64 {
+    if run == RunId::DEFAULT {
+        return base;
+    }
+    let mut z = base ^ (run.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The positioning batch the repository keeps for one [`PositioningData`]:
@@ -423,9 +739,15 @@ impl Default for StreamOptions {
     }
 }
 
-/// What one [`Vita::run_streaming`] run did.
+/// What one streamed run ([`Vita::run_streaming`] or one lane of
+/// [`Vita::run_many`]) did.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
+    /// The run this report describes — [`RunId::DEFAULT`] for solo
+    /// [`Vita::run_streaming`], `RunId(i)` for scenario `i` of
+    /// [`Vita::run_many`]. Query this run's rows through the repository's
+    /// `*_run` accessors.
+    pub run: RunId,
     /// Moving-object layer statistics (identical to the step path's).
     pub stats: GenerationStats,
     /// Trajectory chunks that flowed through the pipeline.
@@ -439,12 +761,20 @@ pub struct PipelineReport {
     /// the step path's "whole run materialized" peak. Chunks still being
     /// simulated (one per mobility worker, plus one producer-side buffer
     /// slot) are not yet visible to this counter, so true peak memory is
-    /// bounded by this value plus that many chunks.
+    /// bounded by this value plus that many chunks. Under
+    /// [`Vita::run_many`] this counts **this run's** chunks only, while
+    /// the channel is shared: the schedule's true peak lies between the
+    /// largest per-run value and the sum over runs (per-run peaks need not
+    /// coincide), so size memory from the channel capacity, not from one
+    /// report.
     pub peak_in_flight_samples: usize,
     /// Row counts per storage shard after the run, in shard order (one
     /// entry when the run ingested into the single-repository backend).
+    /// Under [`Vita::run_many`] the repository is shared, so every report
+    /// of the schedule sees the same post-schedule snapshot.
     pub shard_rows: Vec<ShardCounts>,
-    /// Wall-clock time of the whole run.
+    /// Wall-clock time of the whole run — for [`Vita::run_many`], of the
+    /// whole schedule (runs overlap; per-run wall-clock is not separable).
     pub elapsed: Duration,
 }
 
@@ -626,6 +956,169 @@ mod tests {
         ));
         // Nothing was stored.
         assert_eq!(vita.repository().counts(), (0, 0, 0, 0));
+    }
+
+    fn trilateration_scenario(mobility: MobilityConfig) -> ScenarioConfig {
+        ScenarioConfig {
+            mobility,
+            rssi: RssiConfig {
+                duration: Timestamp(60_000),
+                ..Default::default()
+            },
+            method: MethodConfig::Trilateration {
+                config: TrilaterationConfig::default(),
+                conversion_model: PathLossModel::default(),
+            },
+            options: StreamOptions::default(),
+        }
+    }
+
+    #[test]
+    fn run_many_tags_runs_and_isolates_rows() {
+        let mut vita = toolkit();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            8,
+        );
+        let a = trilateration_scenario(quick_mobility());
+        let mut b = a.clone();
+        b.mobility.object_count = 4;
+        b.mobility.seed = 1234;
+        let reports = vita.run_many(&[a, b]).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].run, RunId(0));
+        assert_eq!(reports[1].run, RunId(1));
+        assert_eq!(reports[0].stats.objects, 6);
+        assert_eq!(reports[1].stats.objects, 4);
+
+        let repo = vita.repository();
+        assert_eq!(repo.run_ids(), vec![RunId(0), RunId(1)]);
+        for r in &reports {
+            assert_eq!(repo.trajectory_rows_run(r.run).len(), r.stats.samples);
+            assert_eq!(repo.rssi_rows_run(r.run).len(), r.rssi_rows);
+            assert_eq!(repo.fix_rows_run(r.run).len(), r.positioning_rows);
+        }
+        // The unscoped queries merge all runs.
+        assert_eq!(
+            repo.counts().0,
+            reports.iter().map(|r| r.stats.samples).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn run_many_derives_distinct_seeds_for_identical_scenarios() {
+        let mut vita = toolkit();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            8,
+        );
+        let s = trilateration_scenario(quick_mobility());
+        let reports = vita.run_many(&[s.clone(), s]).unwrap();
+        let repo = vita.repository();
+        let a = repo.trajectory_rows_run(RunId(0));
+        let b = repo.trajectory_rows_run(RunId(1));
+        // Same scenario, different run → decorrelated RNG streams: the
+        // trajectories must not be identical.
+        assert_eq!(reports[0].stats.objects, reports[1].stats.objects);
+        let identical = a.len() == b.len()
+            && a.iter()
+                .zip(&b)
+                .all(|(x, y)| x.t == y.t && x.point().approx_eq(y.point()));
+        assert!(!identical, "run 1 replayed run 0's data");
+    }
+
+    #[test]
+    fn run_many_allocates_run_ids_past_existing_runs() {
+        let mut vita = toolkit();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            8,
+        );
+        let s = trilateration_scenario(quick_mobility());
+        // run_streaming ingests as run 0 …
+        let solo = vita.run_streaming(&s).unwrap();
+        assert_eq!(solo.run, RunId(0));
+        // … so a following schedule must not alias it.
+        let reports = vita.run_many(&[s.clone(), s]).unwrap();
+        assert_eq!(reports[0].run, RunId(1));
+        assert_eq!(reports[1].run, RunId(2));
+        let repo = vita.repository();
+        assert_eq!(repo.run_ids(), vec![RunId(0), RunId(1), RunId(2)]);
+        assert_eq!(repo.trajectory_rows_run(RunId(0)).len(), solo.stats.samples);
+        for r in &reports {
+            assert_eq!(repo.trajectory_rows_run(r.run).len(), r.stats.samples);
+        }
+    }
+
+    #[test]
+    fn rejected_scenario_leaves_backend_untouched() {
+        let mut vita = toolkit();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            8,
+        );
+        vita.run_streaming(&trilateration_scenario(quick_mobility()))
+            .unwrap();
+        let before = vita.repository().backend();
+        // Invalid mobility + a backend change request: the error must not
+        // re-partition the repository.
+        let mut bad = trilateration_scenario(quick_mobility());
+        bad.mobility.max_speed = 0.0;
+        bad.options.backend = StorageBackend::Sharded { shards: 4 };
+        assert!(matches!(
+            vita.run_streaming_as(RunId(9), &bad),
+            Err(VitaError::Mobility(_))
+        ));
+        assert_eq!(vita.repository().backend(), before);
+        assert!(matches!(
+            vita.run_many(std::slice::from_ref(&bad)),
+            Err(VitaError::Mobility(_))
+        ));
+        assert_eq!(vita.repository().backend(), before);
+        assert_eq!(vita.repository().run_ids(), vec![RunId(0)]);
+    }
+
+    #[test]
+    fn run_many_rejects_mixed_backends() {
+        let mut vita = toolkit();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            8,
+        );
+        let a = trilateration_scenario(quick_mobility());
+        let mut b = a.clone();
+        b.options.backend = StorageBackend::Sharded { shards: 4 };
+        assert!(matches!(
+            vita.run_many(&[a, b]),
+            Err(VitaError::MixedBackends)
+        ));
+        assert_eq!(vita.repository().counts(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn run_many_of_nothing_is_empty() {
+        let mut vita = toolkit();
+        assert!(vita.run_many(&[]).unwrap().is_empty());
+        assert_eq!(vita.repository().counts(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn derive_run_seed_contract_holds() {
+        assert_eq!(derive_run_seed(42, RunId::DEFAULT), 42);
+        assert_ne!(derive_run_seed(42, RunId(1)), 42);
+        assert_ne!(derive_run_seed(42, RunId(1)), derive_run_seed(42, RunId(2)));
+        // Depends only on (base, run): reproducible across calls.
+        assert_eq!(derive_run_seed(7, RunId(3)), derive_run_seed(7, RunId(3)));
     }
 
     #[test]

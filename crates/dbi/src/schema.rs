@@ -15,7 +15,7 @@
 //! | `IFCPOLYLINE` | `(#point, ...)` |
 //! | `IFCCARTESIANPOINT` | `((x, y))` or `((x, y, z))` |
 //!
-//! As the paper notes (§4.1), IFC "only capture[s] indoor topology
+//! As the paper notes (§4.1), IFC "only capture\[s\] indoor topology
 //! partially": spaces do not say which doors they own, doors do not say which
 //! spaces they join, and staircases are just point clouds. Resolving all of
 //! that is the job of `vita-indoor`; this module only gets the geometry and

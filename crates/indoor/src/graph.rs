@@ -3,10 +3,11 @@
 //! Nodes are *(connection, side)* states: "standing at door `d` inside
 //! partition `p`". This state form makes door directionality (paper §2)
 //! exact: passing through a door is an explicit edge that exists only when
-//! [`Door::traversable_from`] allows it, while walking between two doors of
-//! one partition is a Euclidean-cost edge *within* that partition (the
-//! decomposition stage keeps partitions small and convex-ish precisely so
-//! this is a good approximation of true indoor walking distance [10]).
+//! [`crate::Door::traversable_from`] allows it, while walking between two
+//! doors of one partition is a Euclidean-cost edge *within* that partition
+//! (the decomposition stage keeps partitions small and convex-ish precisely
+//! so this is a good approximation of true indoor walking distance
+//! \[10\]).
 //!
 //! Staircases contribute a node on each connected floor joined by a
 //! flight-length edge, giving multi-floor routing for free.

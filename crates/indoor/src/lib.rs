@@ -12,7 +12,7 @@
 //!   [`IndoorEnvironment`].
 //! * [`build`] — construct the environment from a decoded DBI model,
 //!   including door-connectivity and staircase resolution (paper §4.1).
-//! * [`decompose`] — balanced decomposition of irregular partitions.
+//! * [`mod@decompose`] — balanced decomposition of irregular partitions.
 //! * [`semantics`] — empirical-rule semantic extraction.
 //! * [`graph`] / [`route`] — the accessibility graph and the two routing
 //!   schemas (minimum walking distance, minimum walking time; paper §3.1).
@@ -36,5 +36,5 @@ pub use route::{Route, RouteError, RoutePlanner, RoutingSchema, SpeedProfile, Wa
 pub use semantics::{classify, default_rules, Semantic, SemanticRule};
 pub use types::{
     BuildingId, DeviceId, DoorId, FloorId, Hz, Loc, LocKind, ObjectId, ObstacleId, PartitionId,
-    StairId, Timestamp,
+    RunId, StairId, Timestamp,
 };

@@ -1,7 +1,7 @@
 //! Route planning: minimum indoor walking distance and minimum walking time
 //! (paper §3.1, "Routing": "a path determined by a particular routing
-//! schema, e.g., minimum indoor walking distance [10], minimum walking time
-//! [9]").
+//! schema, e.g., minimum indoor walking distance \[10\], minimum walking
+//! time \[9\]").
 //!
 //! The two schemas differ exactly where the paper's citations differ:
 //! min-distance ignores how fast each medium is walked, min-time weights

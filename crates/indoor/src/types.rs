@@ -68,6 +68,22 @@ id_newtype!(
     /// A moving object.
     ObjectId
 );
+id_newtype!(
+    /// One generation run (scenario execution) within a shared repository.
+    ///
+    /// The storage layer tags every ingested row with the run that produced
+    /// it, so several scenarios can flow through one toolkit/repository
+    /// concurrently and still be queried in isolation. Single-run ingestion
+    /// uses [`RunId::DEFAULT`].
+    RunId
+);
+
+impl RunId {
+    /// The run every untagged ingestion path writes under (run 0). A
+    /// repository that only ever saw single-run ingestion has exactly this
+    /// run.
+    pub const DEFAULT: RunId = RunId(0);
+}
 
 /// Within-floor location payload: symbolic partition or exact coordinates.
 #[derive(Debug, Clone, Copy, PartialEq)]

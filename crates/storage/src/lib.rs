@@ -57,6 +57,26 @@
 //! [`StorageBackend`] names the choice for configuration surfaces and
 //! [`AnyRepository`] dispatches between the two at runtime (this is what
 //! `vita-core`'s pipeline stores).
+//!
+//! ## The run dimension
+//!
+//! Both backends store data from **many concurrent generation runs** in
+//! one repository: every ingested row carries the [`RunId`] passed to
+//! [`ProductSink::accept_run`] (plain [`ProductSink::accept`] writes under
+//! [`RunId::DEFAULT`]). Each table keeps a run index next to its time /
+//! object / device indexes, so
+//!
+//! * the pre-existing query surface is unchanged and answers over **all
+//!   runs merged**, and
+//! * every query has a `*_run` variant scoped to one run (e.g.
+//!   [`table::TrajectoryTable::time_window_run`],
+//!   [`ShardedRepository::fixes_scan_run`]) whose answer is exactly what a
+//!   repository that only ever saw that run would return — run isolation,
+//!   enforced by the `run_isolation` proptest suite on both backends.
+//!
+//! Run tags are an in-memory dimension: [`Repository::export`] serializes
+//! rows without them (the binary codec predates runs), so an
+//! export/import round-trip lands every row in [`RunId::DEFAULT`].
 
 pub mod codec;
 pub mod sharded;
@@ -76,6 +96,8 @@ use parking_lot::RwLock;
 use vita_mobility::TrajectorySample;
 use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
+
+pub use vita_indoor::RunId;
 
 /// One owned batch of a generated data product, as handed from a producer
 /// stage to a [`ProductSink`]. Carrying the `Vec` by value lets sinks move
@@ -109,9 +131,17 @@ impl ProductBatch {
 /// canonical implementation; alternative backends (sharded repositories,
 /// async ingestion) implement the same trait.
 pub trait ProductSink: Send + Sync {
-    /// Ingest one owned batch. May block briefly (lock contention) but must
-    /// not buffer unboundedly.
-    fn accept(&self, batch: ProductBatch);
+    /// Ingest one owned batch under [`RunId::DEFAULT`] — the single-run
+    /// convenience form of [`ProductSink::accept_run`].
+    fn accept(&self, batch: ProductBatch) {
+        self.accept_run(RunId::DEFAULT, batch);
+    }
+
+    /// Ingest one owned batch tagged with the run that produced it. Rows
+    /// keep the tag in every table, so concurrent runs sharing a sink can
+    /// be queried in isolation afterwards (the run dimension). May block
+    /// briefly (lock contention) but must not buffer unboundedly.
+    fn accept_run(&self, run: RunId, batch: ProductBatch);
 }
 
 /// The data keeper for one generation run: all repositories behind one
@@ -126,12 +156,12 @@ pub struct Repository {
 }
 
 impl ProductSink for Repository {
-    fn accept(&self, batch: ProductBatch) {
+    fn accept_run(&self, run: RunId, batch: ProductBatch) {
         match batch {
-            ProductBatch::Trajectories(v) => self.trajectories.write().append_batch(v),
-            ProductBatch::Rssi(v) => self.rssi.write().append_batch(v),
-            ProductBatch::Fixes(v) => self.fixes.write().append_batch(v),
-            ProductBatch::Proximity(v) => self.proximity.write().append_batch(v),
+            ProductBatch::Trajectories(v) => self.trajectories.write().append_batch_run(run, v),
+            ProductBatch::Rssi(v) => self.rssi.write().append_batch_run(run, v),
+            ProductBatch::Fixes(v) => self.fixes.write().append_batch_run(run, v),
+            ProductBatch::Proximity(v) => self.proximity.write().append_batch_run(run, v),
         }
     }
 }
@@ -173,6 +203,27 @@ impl Repository {
             self.fixes.read().len(),
             self.proximity.read().len(),
         )
+    }
+
+    /// Row counts of one run: (trajectories, rssi, fixes, proximity).
+    pub fn counts_run(&self, run: RunId) -> (usize, usize, usize, usize) {
+        (
+            self.trajectories.read().len_run(run),
+            self.rssi.read().len_run(run),
+            self.fixes.read().len_run(run),
+            self.proximity.read().len_run(run),
+        )
+    }
+
+    /// Every run with at least one row in any table, ascending.
+    pub fn run_ids(&self) -> Vec<RunId> {
+        let mut runs: Vec<RunId> = self.trajectories.read().run_ids();
+        runs.extend(self.rssi.read().run_ids());
+        runs.extend(self.fixes.read().run_ids());
+        runs.extend(self.proximity.read().run_ids());
+        runs.sort_unstable();
+        runs.dedup();
+        runs
     }
 
     /// Serialize every table into one buffer per table.
@@ -287,8 +338,25 @@ impl AnyRepository {
         }
     }
 
-    /// Owned copy of every trajectory sample (single: insertion order;
-    /// sharded: shard order — the same row set either way).
+    /// Every run with at least one row in any table, ascending.
+    pub fn run_ids(&self) -> Vec<RunId> {
+        match self {
+            AnyRepository::Single(r) => r.run_ids(),
+            AnyRepository::Sharded(s) => s.run_ids(),
+        }
+    }
+
+    /// Row counts of one run: (trajectories, rssi, fixes, proximity).
+    pub fn counts_run(&self, run: RunId) -> (usize, usize, usize, usize) {
+        match self {
+            AnyRepository::Single(r) => r.counts_run(run),
+            AnyRepository::Sharded(s) => s.counts_run(run),
+        }
+    }
+
+    /// Owned copy of every trajectory sample, all runs merged (single:
+    /// insertion order; sharded: shard order — the same row set either
+    /// way).
     pub fn trajectory_rows(&self) -> Vec<TrajectorySample> {
         match self {
             AnyRepository::Single(r) => r.trajectories.read().scan().copied().collect(),
@@ -296,7 +364,21 @@ impl AnyRepository {
         }
     }
 
-    /// Owned copy of every RSSI measurement.
+    /// Owned copy of one run's trajectory samples.
+    pub fn trajectory_rows_run(&self, run: RunId) -> Vec<TrajectorySample> {
+        match self {
+            AnyRepository::Single(r) => r
+                .trajectories
+                .read()
+                .scan_run(run)
+                .into_iter()
+                .copied()
+                .collect(),
+            AnyRepository::Sharded(s) => s.trajectories_scan_run(run),
+        }
+    }
+
+    /// Owned copy of every RSSI measurement, all runs merged.
     pub fn rssi_rows(&self) -> Vec<RssiMeasurement> {
         match self {
             AnyRepository::Single(r) => r.rssi.read().scan().copied().collect(),
@@ -304,7 +386,15 @@ impl AnyRepository {
         }
     }
 
-    /// Owned copy of every positioning fix.
+    /// Owned copy of one run's RSSI measurements.
+    pub fn rssi_rows_run(&self, run: RunId) -> Vec<RssiMeasurement> {
+        match self {
+            AnyRepository::Single(r) => r.rssi.read().scan_run(run).into_iter().copied().collect(),
+            AnyRepository::Sharded(s) => s.rssi_scan_run(run),
+        }
+    }
+
+    /// Owned copy of every positioning fix, all runs merged.
     pub fn fix_rows(&self) -> Vec<Fix> {
         match self {
             AnyRepository::Single(r) => r.fixes.read().scan().copied().collect(),
@@ -312,11 +402,33 @@ impl AnyRepository {
         }
     }
 
-    /// Owned copy of every proximity record.
+    /// Owned copy of one run's positioning fixes.
+    pub fn fix_rows_run(&self, run: RunId) -> Vec<Fix> {
+        match self {
+            AnyRepository::Single(r) => r.fixes.read().scan_run(run).into_iter().copied().collect(),
+            AnyRepository::Sharded(s) => s.fixes_scan_run(run),
+        }
+    }
+
+    /// Owned copy of every proximity record, all runs merged.
     pub fn proximity_rows(&self) -> Vec<ProximityRecord> {
         match self {
             AnyRepository::Single(r) => r.proximity.read().scan().copied().collect(),
             AnyRepository::Sharded(s) => s.proximity_scan(),
+        }
+    }
+
+    /// Owned copy of one run's proximity records.
+    pub fn proximity_rows_run(&self, run: RunId) -> Vec<ProximityRecord> {
+        match self {
+            AnyRepository::Single(r) => r
+                .proximity
+                .read()
+                .scan_run(run)
+                .into_iter()
+                .copied()
+                .collect(),
+            AnyRepository::Sharded(s) => s.proximity_scan_run(run),
         }
     }
 
@@ -337,10 +449,10 @@ impl Default for AnyRepository {
 }
 
 impl ProductSink for AnyRepository {
-    fn accept(&self, batch: ProductBatch) {
+    fn accept_run(&self, run: RunId, batch: ProductBatch) {
         match self {
-            AnyRepository::Single(r) => r.accept(batch),
-            AnyRepository::Sharded(s) => s.accept(batch),
+            AnyRepository::Single(r) => r.accept_run(run, batch),
+            AnyRepository::Sharded(s) => s.accept_run(run, batch),
         }
     }
 }

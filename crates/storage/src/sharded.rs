@@ -24,7 +24,7 @@
 //! default — are atomic; see [`ShardedRepository::accept`]).
 
 use vita_geometry::{Aabb, Point};
-use vita_indoor::{DeviceId, FloorId, ObjectId, Timestamp};
+use vita_indoor::{DeviceId, FloorId, ObjectId, RunId, Timestamp};
 use vita_mobility::TrajectorySample;
 use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
@@ -69,6 +69,39 @@ fn mix64(x: u64) -> u64 {
 
 /// A [`ProductSink`] that partitions every table by object-id hash across
 /// N shards with per-shard locks (see the module docs for the design).
+///
+/// # Examples
+///
+/// ```
+/// use vita_geometry::Point;
+/// use vita_indoor::{BuildingId, FloorId, ObjectId, RunId, Timestamp};
+/// use vita_mobility::TrajectorySample;
+/// use vita_storage::{ProductBatch, ProductSink, ShardedRepository};
+///
+/// let repo = ShardedRepository::new(4);
+/// // Two runs ingest concurrently-shaped batches into the same tables.
+/// for (run, objects) in [(RunId(0), 0..6u32), (RunId(1), 0..3u32)] {
+///     for o in objects {
+///         repo.accept_run(
+///             run,
+///             ProductBatch::Trajectories(vec![TrajectorySample::new(
+///                 ObjectId(o),
+///                 BuildingId(0),
+///                 FloorId(0),
+///                 Point::new(o as f64, 0.0),
+///                 Timestamp(100 * o as u64),
+///             )]),
+///         );
+///     }
+/// }
+/// // Unscoped queries merge all runs; `*_run` variants isolate one.
+/// assert_eq!(repo.trajectories_scan().len(), 9);
+/// assert_eq!(repo.trajectories_scan_run(RunId(1)).len(), 3);
+/// assert_eq!(repo.run_ids(), vec![RunId(0), RunId(1)]);
+/// // Every row of one object lives in exactly one shard.
+/// assert_eq!(repo.object_trace(ObjectId(2)).len(), 2);
+/// assert_eq!(repo.object_trace_run(RunId(1), ObjectId(2)).len(), 1);
+/// ```
 #[derive(Debug)]
 pub struct ShardedRepository {
     shards: Vec<Repository>,
@@ -104,6 +137,23 @@ impl ShardedRepository {
             let (t, r, f, p) = s.counts();
             (acc.0 + t, acc.1 + r, acc.2 + f, acc.3 + p)
         })
+    }
+
+    /// Row counts of one run across all shards: (trajectories, rssi,
+    /// fixes, proximity).
+    pub fn counts_run(&self, run: RunId) -> (usize, usize, usize, usize) {
+        self.shards.iter().fold((0, 0, 0, 0), |acc, s| {
+            let (t, r, f, p) = s.counts_run(run);
+            (acc.0 + t, acc.1 + r, acc.2 + f, acc.3 + p)
+        })
+    }
+
+    /// Every run with at least one row in any shard, ascending.
+    pub fn run_ids(&self) -> Vec<RunId> {
+        let mut runs: Vec<RunId> = self.shards.iter().flat_map(|s| s.run_ids()).collect();
+        runs.sort_unstable();
+        runs.dedup();
+        runs
     }
 
     /// Row counts per shard, in shard order.
@@ -157,11 +207,24 @@ impl ShardedRepository {
 
     // ---- trajectory queries -------------------------------------------
 
-    /// Every trajectory sample, in shard order (within a shard: insertion
-    /// order). The row *set* equals a single repository's `scan`.
+    /// Every trajectory sample, all runs merged, in shard order (within a
+    /// shard: insertion order). The row *set* equals a single repository's
+    /// `scan`.
     pub fn trajectories_scan(&self) -> Vec<TrajectorySample> {
         concat(&self.shards, |s| {
             s.trajectories.read().scan().copied().collect()
+        })
+    }
+
+    /// One run's trajectory samples, in shard order.
+    pub fn trajectories_scan_run(&self, run: RunId) -> Vec<TrajectorySample> {
+        concat(&self.shards, |s| {
+            s.trajectories
+                .read()
+                .scan_run(run)
+                .into_iter()
+                .copied()
+                .collect()
         })
     }
 
@@ -178,6 +241,27 @@ impl ShardedRepository {
                 s.trajectories
                     .read()
                     .time_window(from, to)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |s| s.t,
+        )
+    }
+
+    /// [`Self::trajectories_time_window`] restricted to one run (same
+    /// half-open contract and ordering).
+    pub fn trajectories_time_window_run(
+        &self,
+        run: RunId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<TrajectorySample> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.trajectories
+                    .read()
+                    .time_window_run(run, from, to)
                     .into_iter()
                     .copied()
                     .collect()
@@ -204,13 +288,39 @@ impl ShardedRepository {
         )
     }
 
-    /// An object's full trace, time-ordered — answered entirely by the
-    /// owning shard, identical to the single-table answer.
+    /// [`Self::trajectories_snapshot_at`] restricted to one run.
+    pub fn trajectories_snapshot_at_run(&self, run: RunId, t: Timestamp) -> Vec<TrajectorySample> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.trajectories
+                    .read()
+                    .snapshot_at_run(run, t)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |s| s.object,
+        )
+    }
+
+    /// An object's full trace, all runs merged, time-ordered — answered
+    /// entirely by the owning shard, identical to the single-table answer.
     pub fn object_trace(&self, o: ObjectId) -> Vec<TrajectorySample> {
         self.shards[self.shard_of(o)]
             .trajectories
             .read()
             .object_trace(o)
+            .into_iter()
+            .copied()
+            .collect()
+    }
+
+    /// [`Self::object_trace`] restricted to one run.
+    pub fn object_trace_run(&self, run: RunId, o: ObjectId) -> Vec<TrajectorySample> {
+        self.shards[self.shard_of(o)]
+            .trajectories
+            .read()
+            .object_trace_run(run, o)
             .into_iter()
             .copied()
             .collect()
@@ -225,6 +335,23 @@ impl ShardedRepository {
             s.trajectories
                 .read()
                 .range_query(floor, query)
+                .into_iter()
+                .copied()
+                .collect()
+        })
+    }
+
+    /// [`Self::trajectories_range_query`] restricted to one run.
+    pub fn trajectories_range_query_run(
+        &self,
+        run: RunId,
+        floor: FloorId,
+        query: &Aabb,
+    ) -> Vec<TrajectorySample> {
+        concat(&self.shards, |s| {
+            s.trajectories
+                .read()
+                .range_query_run(run, floor, query)
                 .into_iter()
                 .copied()
                 .collect()
@@ -258,11 +385,41 @@ impl ShardedRepository {
         merged
     }
 
+    /// [`Self::trajectories_knn`] restricted to one run.
+    pub fn trajectories_knn_run(
+        &self,
+        run: RunId,
+        floor: FloorId,
+        p: Point,
+        k: usize,
+    ) -> Vec<(TrajectorySample, f64)> {
+        let mut merged = merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.trajectories
+                    .read()
+                    .knn_run(run, floor, p, k)
+                    .into_iter()
+                    .map(|(s, d)| (*s, d))
+                    .collect()
+            }),
+            |(_, d): &(TrajectorySample, f64)| d.to_bits(),
+        );
+        merged.truncate(k);
+        merged
+    }
+
     // ---- rssi queries -------------------------------------------------
 
-    /// Every RSSI measurement, in shard order.
+    /// Every RSSI measurement, all runs merged, in shard order.
     pub fn rssi_scan(&self) -> Vec<RssiMeasurement> {
         concat(&self.shards, |s| s.rssi.read().scan().copied().collect())
+    }
+
+    /// One run's RSSI measurements, in shard order.
+    pub fn rssi_scan_run(&self, run: RunId) -> Vec<RssiMeasurement> {
+        concat(&self.shards, |s| {
+            s.rssi.read().scan_run(run).into_iter().copied().collect()
+        })
     }
 
     /// Shard-merge of [`crate::RssiTable::time_window`] (half-open),
@@ -281,12 +438,44 @@ impl ShardedRepository {
         )
     }
 
-    /// An object's measurements, time-ordered — owning shard only.
+    /// An object's measurements, all runs merged, time-ordered — owning
+    /// shard only.
     pub fn rssi_of_object(&self, o: ObjectId) -> Vec<RssiMeasurement> {
         self.shards[self.shard_of(o)]
             .rssi
             .read()
             .of_object(o)
+            .into_iter()
+            .copied()
+            .collect()
+    }
+
+    /// [`Self::rssi_time_window`] restricted to one run.
+    pub fn rssi_time_window_run(
+        &self,
+        run: RunId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<RssiMeasurement> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.rssi
+                    .read()
+                    .time_window_run(run, from, to)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |m| m.t,
+        )
+    }
+
+    /// [`Self::rssi_of_object`] restricted to one run.
+    pub fn rssi_of_object_run(&self, run: RunId, o: ObjectId) -> Vec<RssiMeasurement> {
+        self.shards[self.shard_of(o)]
+            .rssi
+            .read()
+            .of_object_run(run, o)
             .into_iter()
             .copied()
             .collect()
@@ -303,11 +492,33 @@ impl ShardedRepository {
         )
     }
 
+    /// [`Self::rssi_of_device`] restricted to one run.
+    pub fn rssi_of_device_run(&self, run: RunId, d: DeviceId) -> Vec<RssiMeasurement> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.rssi
+                    .read()
+                    .of_device_run(run, d)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |m| m.t,
+        )
+    }
+
     // ---- fix queries --------------------------------------------------
 
-    /// Every fix, in shard order.
+    /// Every fix, all runs merged, in shard order.
     pub fn fixes_scan(&self) -> Vec<Fix> {
         concat(&self.shards, |s| s.fixes.read().scan().copied().collect())
+    }
+
+    /// One run's fixes, in shard order.
+    pub fn fixes_scan_run(&self, run: RunId) -> Vec<Fix> {
+        concat(&self.shards, |s| {
+            s.fixes.read().scan_run(run).into_iter().copied().collect()
+        })
     }
 
     /// Shard-merge of [`crate::FixTable::time_window`] (half-open),
@@ -326,7 +537,8 @@ impl ShardedRepository {
         )
     }
 
-    /// An object's fixes, time-ordered — owning shard only.
+    /// An object's fixes, all runs merged, time-ordered — owning shard
+    /// only.
     pub fn fixes_of_object(&self, o: ObjectId) -> Vec<Fix> {
         self.shards[self.shard_of(o)]
             .fixes
@@ -337,12 +549,50 @@ impl ShardedRepository {
             .collect()
     }
 
+    /// [`Self::fixes_of_object`] restricted to one run.
+    pub fn fixes_of_object_run(&self, run: RunId, o: ObjectId) -> Vec<Fix> {
+        self.shards[self.shard_of(o)]
+            .fixes
+            .read()
+            .of_object_run(run, o)
+            .into_iter()
+            .copied()
+            .collect()
+    }
+
+    /// [`Self::fixes_time_window`] restricted to one run.
+    pub fn fixes_time_window_run(&self, run: RunId, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.fixes
+                    .read()
+                    .time_window_run(run, from, to)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |f| f.t,
+        )
+    }
+
     // ---- proximity queries --------------------------------------------
 
-    /// Every proximity record, in shard order.
+    /// Every proximity record, all runs merged, in shard order.
     pub fn proximity_scan(&self) -> Vec<ProximityRecord> {
         concat(&self.shards, |s| {
             s.proximity.read().scan().copied().collect()
+        })
+    }
+
+    /// One run's proximity records, in shard order.
+    pub fn proximity_scan_run(&self, run: RunId) -> Vec<ProximityRecord> {
+        concat(&self.shards, |s| {
+            s.proximity
+                .read()
+                .scan_run(run)
+                .into_iter()
+                .copied()
+                .collect()
         })
     }
 
@@ -363,13 +613,44 @@ impl ShardedRepository {
         )
     }
 
-    /// An object's detection periods, ordered by start time — owning shard
-    /// only.
+    /// [`Self::proximity_overlapping`] restricted to one run.
+    pub fn proximity_overlapping_run(
+        &self,
+        run: RunId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<ProximityRecord> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.proximity
+                    .read()
+                    .overlapping_run(run, from, to)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |r| r.ts,
+        )
+    }
+
+    /// An object's detection periods, all runs merged, ordered by start
+    /// time — owning shard only.
     pub fn proximity_of_object(&self, o: ObjectId) -> Vec<ProximityRecord> {
         self.shards[self.shard_of(o)]
             .proximity
             .read()
             .of_object(o)
+            .into_iter()
+            .copied()
+            .collect()
+    }
+
+    /// [`Self::proximity_of_object`] restricted to one run.
+    pub fn proximity_of_object_run(&self, run: RunId, o: ObjectId) -> Vec<ProximityRecord> {
+        self.shards[self.shard_of(o)]
+            .proximity
+            .read()
+            .of_object_run(run, o)
             .into_iter()
             .copied()
             .collect()
@@ -383,6 +664,21 @@ impl ShardedRepository {
                 s.proximity
                     .read()
                     .of_device(d)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            }),
+            |r| r.ts,
+        )
+    }
+
+    /// [`Self::proximity_of_device`] restricted to one run.
+    pub fn proximity_of_device_run(&self, run: RunId, d: DeviceId) -> Vec<ProximityRecord> {
+        merge_sorted(
+            per_shard(&self.shards, |s| {
+                s.proximity
+                    .read()
+                    .of_device_run(run, d)
                     .into_iter()
                     .copied()
                     .collect()
@@ -411,27 +707,27 @@ impl Default for ShardedRepository {
 }
 
 impl ProductSink for ShardedRepository {
-    fn accept(&self, batch: ProductBatch) {
+    fn accept_run(&self, run: RunId, batch: ProductBatch) {
         match batch {
             ProductBatch::Trajectories(v) => self.route(
                 v,
                 |s| s.object,
-                |shard, rows| shard.trajectories.write().append_batch(rows),
+                |shard, rows| shard.trajectories.write().append_batch_run(run, rows),
             ),
             ProductBatch::Rssi(v) => self.route(
                 v,
                 |m| m.object,
-                |shard, rows| shard.rssi.write().append_batch(rows),
+                |shard, rows| shard.rssi.write().append_batch_run(run, rows),
             ),
             ProductBatch::Fixes(v) => self.route(
                 v,
                 |f| f.object,
-                |shard, rows| shard.fixes.write().append_batch(rows),
+                |shard, rows| shard.fixes.write().append_batch_run(run, rows),
             ),
             ProductBatch::Proximity(v) => self.route(
                 v,
                 |r| r.object,
-                |shard, rows| shard.proximity.write().append_batch(rows),
+                |shard, rows| shard.proximity.write().append_batch_run(run, rows),
             ),
         }
     }

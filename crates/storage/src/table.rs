@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::RwLock;
 use vita_geometry::{Aabb, GridIndex, Point};
-use vita_indoor::{DeviceId, FloorId, LocKind, ObjectId, Timestamp};
+use vita_indoor::{DeviceId, FloorId, LocKind, ObjectId, RunId, Timestamp};
 use vita_mobility::TrajectorySample;
 use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
@@ -84,12 +84,20 @@ fn index_times<T>(
     }
 }
 
-/// A table of raw trajectory samples `(o_id, loc, t)`.
+/// A table of raw trajectory samples `(o_id, loc, t)`, tagged with the
+/// [`RunId`] that produced each row (see the crate docs on the run
+/// dimension). Unscoped queries answer over **all** runs; every query has a
+/// `*_run` variant restricted to one run.
 #[derive(Debug, Default)]
 pub struct TrajectoryTable {
     rows: Vec<TrajectorySample>,
+    /// Run tag of each row, parallel to `rows`.
+    runs: Vec<RunId>,
     by_time: BTreeMap<Timestamp, Vec<RowId>>,
     by_object: HashMap<ObjectId, Vec<RowId>>,
+    /// Row ids per run, in insertion order (BTreeMap so `run_ids` is
+    /// sorted for free).
+    by_run: BTreeMap<RunId, Vec<RowId>>,
     /// Lazily built spatial index per floor, cached behind its own lock so
     /// spatial *queries* work on `&self` — i.e. through a repository
     /// *read* lock, concurrently with other readers. Mutations clear the
@@ -103,8 +111,10 @@ impl Clone for TrajectoryTable {
     fn clone(&self) -> Self {
         TrajectoryTable {
             rows: self.rows.clone(),
+            runs: self.runs.clone(),
             by_time: self.by_time.clone(),
             by_object: self.by_object.clone(),
+            by_run: self.by_run.clone(),
             spatial: RwLock::new(self.spatial.read().clone()),
         }
     }
@@ -123,11 +133,19 @@ impl TrajectoryTable {
         self.rows.is_empty()
     }
 
+    /// Insert one row under [`RunId::DEFAULT`].
     pub fn insert(&mut self, s: TrajectorySample) -> RowId {
+        self.insert_run(RunId::DEFAULT, s)
+    }
+
+    /// Insert one row tagged with `run`.
+    pub fn insert_run(&mut self, run: RunId, s: TrajectorySample) -> RowId {
         let id = checked_row_id(self.rows.len());
         self.by_time.entry(s.t).or_default().push(id);
         self.by_object.entry(s.object).or_default().push(id);
+        self.by_run.entry(run).or_default().push(id);
         self.rows.push(s);
+        self.runs.push(run);
         *self.spatial.get_mut() = None;
         id
     }
@@ -136,11 +154,17 @@ impl TrajectoryTable {
         self.append_batch(samples.into_iter().collect());
     }
 
-    /// Append one owned batch: rows move in wholesale, the time index is
-    /// bulk-built when the table was empty, and the spatial index is
-    /// invalidated once rather than per row. This is the ingest hot path of
-    /// the streaming pipeline (one batch per [`crate::ProductBatch`]).
-    pub fn append_batch(&mut self, mut batch: Vec<TrajectorySample>) {
+    /// Append one owned batch under [`RunId::DEFAULT`].
+    pub fn append_batch(&mut self, batch: Vec<TrajectorySample>) {
+        self.append_batch_run(RunId::DEFAULT, batch);
+    }
+
+    /// Append one owned batch tagged with `run`: rows move in wholesale,
+    /// the time index is bulk-built when the table was empty, and the
+    /// spatial index is invalidated once rather than per row. This is the
+    /// ingest hot path of the streaming pipeline (one batch per
+    /// [`crate::ProductBatch`]).
+    pub fn append_batch_run(&mut self, run: RunId, mut batch: Vec<TrajectorySample>) {
         if batch.is_empty() {
             return;
         }
@@ -148,13 +172,14 @@ impl TrajectoryTable {
         // fits in RowId, every id in the batch does.
         let _ = checked_row_id(self.rows.len() + batch.len() - 1);
         let base = self.rows.len() as RowId;
+        let run_ids = self.by_run.entry(run).or_default();
         for (i, s) in batch.iter().enumerate() {
-            self.by_object
-                .entry(s.object)
-                .or_default()
-                .push(base + i as RowId);
+            let id = base + i as RowId;
+            self.by_object.entry(s.object).or_default().push(id);
+            run_ids.push(id);
         }
         index_times(&batch, base, |s| s.t, &mut self.by_time);
+        self.runs.resize(self.rows.len() + batch.len(), run);
         self.rows.append(&mut batch);
         *self.spatial.get_mut() = None;
     }
@@ -163,8 +188,27 @@ impl TrajectoryTable {
         self.rows.get(id as usize)
     }
 
+    /// Every run with at least one row in this table, ascending.
+    pub fn run_ids(&self) -> Vec<RunId> {
+        self.by_run.keys().copied().collect()
+    }
+
+    /// Rows ingested by `run`.
+    pub fn len_run(&self, run: RunId) -> usize {
+        self.by_run.get(&run).map_or(0, Vec::len)
+    }
+
+    /// Every row, all runs merged, in insertion order.
     pub fn scan(&self) -> impl Iterator<Item = &TrajectorySample> {
         self.rows.iter()
+    }
+
+    /// One run's rows, in insertion order.
+    pub fn scan_run(&self, run: RunId) -> Vec<&TrajectorySample> {
+        self.by_run
+            .get(&run)
+            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default()
     }
 
     /// All samples in the **half-open** window `from <= t < to`,
@@ -184,12 +228,53 @@ impl TrajectoryTable {
         out
     }
 
-    /// An object's full trace, time-ordered.
+    /// [`Self::time_window`] restricted to one run (same half-open
+    /// contract and ordering). Walks the time index and filters per row —
+    /// cost is `O(all runs' rows inside the window)`, which beats a
+    /// per-run scan for the narrow windows time queries usually ask;
+    /// for window spans approaching the whole run, prefer
+    /// [`Self::scan_run`] and filter.
+    pub fn time_window_run(
+        &self,
+        run: RunId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<&TrajectorySample> {
+        let mut out = Vec::new();
+        for (_, ids) in self.by_time.range(from..to) {
+            out.extend(
+                ids.iter()
+                    .filter(|&&i| self.runs[i as usize] == run)
+                    .map(|&i| &self.rows[i as usize]),
+            );
+        }
+        out
+    }
+
+    /// An object's full trace, all runs merged, time-ordered.
     pub fn object_trace(&self, o: ObjectId) -> Vec<&TrajectorySample> {
         let mut rows: Vec<&TrajectorySample> = self
             .by_object
             .get(&o)
             .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default();
+        rows.sort_by_key(|s| s.t);
+        rows
+    }
+
+    /// One run's trace of object `o`, time-ordered. Distinct runs reuse the
+    /// same dense object-id space, so the all-runs [`Self::object_trace`]
+    /// interleaves unrelated runs' objects — this is the per-tenant view.
+    pub fn object_trace_run(&self, run: RunId, o: ObjectId) -> Vec<&TrajectorySample> {
+        let mut rows: Vec<&TrajectorySample> = self
+            .by_object
+            .get(&o)
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&i| self.runs[i as usize] == run)
+                    .map(|&i| &self.rows[i as usize])
+                    .collect()
+            })
             .unwrap_or_default();
         rows.sort_by_key(|s| s.t);
         rows
@@ -206,6 +291,36 @@ impl TrajectoryTable {
             for &i in ids {
                 let s = &self.rows[i as usize];
                 latest.insert(s.object, s);
+            }
+        }
+        let mut v: Vec<&TrajectorySample> = latest.into_values().collect();
+        v.sort_by_key(|s| s.object);
+        v
+    }
+
+    /// [`Self::snapshot_at`] restricted to one run (same inclusive bound
+    /// and ordering): the latest sample at or before `t` for every object
+    /// **of that run**. Walks the run's own index — cost is
+    /// `O(this run's rows)`, independent of how many other runs share the
+    /// table.
+    pub fn snapshot_at_run(&self, run: RunId, t: Timestamp) -> Vec<&TrajectorySample> {
+        let Some(ids) = self.by_run.get(&run) else {
+            return Vec::new();
+        };
+        let mut latest: HashMap<ObjectId, &TrajectorySample> = HashMap::new();
+        // Ids are in arrival order, so replacing on `>=` reproduces the
+        // snapshot contract: latest eligible timestamp wins, last-arrived
+        // row wins among rows sharing it.
+        for &i in ids {
+            let s = &self.rows[i as usize];
+            if s.t > t {
+                continue;
+            }
+            match latest.get(&s.object) {
+                Some(cur) if cur.t > s.t => {}
+                _ => {
+                    latest.insert(s.object, s);
+                }
             }
         }
         let mut v: Vec<&TrajectorySample> = latest.into_values().collect();
@@ -232,10 +347,29 @@ impl TrajectoryTable {
         f(indexes)
     }
 
-    /// Spatial range query: samples on `floor` inside `query` (any time),
-    /// in insertion order. Works on `&self`: callers behind a
+    /// Spatial range query: samples on `floor` inside `query` (any time,
+    /// all runs), in insertion order. Works on `&self`: callers behind a
     /// [`crate::Repository`] need only a read lock.
     pub fn range_query(&self, floor: FloorId, query: &Aabb) -> Vec<&TrajectorySample> {
+        self.range_query_filtered(floor, query, None)
+    }
+
+    /// [`Self::range_query`] restricted to one run (same ordering).
+    pub fn range_query_run(
+        &self,
+        run: RunId,
+        floor: FloorId,
+        query: &Aabb,
+    ) -> Vec<&TrajectorySample> {
+        self.range_query_filtered(floor, query, Some(run))
+    }
+
+    fn range_query_filtered(
+        &self,
+        floor: FloorId,
+        query: &Aabb,
+        run: Option<RunId>,
+    ) -> Vec<&TrajectorySample> {
         let mut ids = self.with_spatial(|indexes| {
             indexes
                 .get(&floor)
@@ -244,14 +378,38 @@ impl TrajectoryTable {
         });
         ids.sort_unstable();
         ids.into_iter()
+            .filter(|&i| run.is_none_or(|r| self.runs[i as usize] == r))
             .map(|i| &self.rows[i as usize])
             .filter(|s| matches!(s.loc.kind, LocKind::Point(p) if query.contains_point(p)))
             .collect()
     }
 
-    /// k nearest samples to `p` on `floor` (by point distance, any time).
-    /// Works on `&self` (read-lock access), like [`Self::range_query`].
+    /// k nearest samples to `p` on `floor` (by point distance, any time,
+    /// all runs). Works on `&self` (read-lock access), like
+    /// [`Self::range_query`].
     pub fn knn(&self, floor: FloorId, p: Point, k: usize) -> Vec<(&TrajectorySample, f64)> {
+        self.knn_filtered(floor, p, k, None)
+    }
+
+    /// [`Self::knn`] restricted to one run: the k nearest samples **that
+    /// run** ingested.
+    pub fn knn_run(
+        &self,
+        run: RunId,
+        floor: FloorId,
+        p: Point,
+        k: usize,
+    ) -> Vec<(&TrajectorySample, f64)> {
+        self.knn_filtered(floor, p, k, Some(run))
+    }
+
+    fn knn_filtered(
+        &self,
+        floor: FloorId,
+        p: Point,
+        k: usize,
+        run: Option<RunId>,
+    ) -> Vec<(&TrajectorySample, f64)> {
         let candidates = self.with_spatial(|indexes| {
             let Some(g) = indexes.get(&floor) else {
                 return Vec::new();
@@ -269,6 +427,12 @@ impl TrajectoryTable {
             let mut candidates: Vec<u32>;
             loop {
                 candidates = g.query_radius(p, radius.min(max_radius));
+                // The run filter must apply before the `>= k` stop test:
+                // counting other runs' points would end the expansion with
+                // fewer than k of this run's points in reach.
+                if let Some(r) = run {
+                    candidates.retain(|&i| self.runs[i as usize] == r);
+                }
                 if candidates.len() >= k || radius >= max_radius {
                     break;
                 }
@@ -317,13 +481,16 @@ fn build_spatial(rows: &[TrajectorySample]) -> HashMap<FloorId, GridIndex> {
     indexes
 }
 
-/// A table of raw RSSI measurements `(o_id, d_id, rssi, t)`.
+/// A table of raw RSSI measurements `(o_id, d_id, rssi, t)`, run-tagged
+/// like [`TrajectoryTable`].
 #[derive(Debug, Default, Clone)]
 pub struct RssiTable {
     rows: Vec<RssiMeasurement>,
+    runs: Vec<RunId>,
     by_time: BTreeMap<Timestamp, Vec<RowId>>,
     by_object: HashMap<ObjectId, Vec<RowId>>,
     by_device: HashMap<DeviceId, Vec<RowId>>,
+    by_run: BTreeMap<RunId, Vec<RowId>>,
 }
 
 impl RssiTable {
@@ -339,12 +506,20 @@ impl RssiTable {
         self.rows.is_empty()
     }
 
+    /// Insert one row under [`RunId::DEFAULT`].
     pub fn insert(&mut self, m: RssiMeasurement) -> RowId {
+        self.insert_run(RunId::DEFAULT, m)
+    }
+
+    /// Insert one row tagged with `run`.
+    pub fn insert_run(&mut self, run: RunId, m: RssiMeasurement) -> RowId {
         let id = checked_row_id(self.rows.len());
         self.by_time.entry(m.t).or_default().push(id);
         self.by_object.entry(m.object).or_default().push(id);
         self.by_device.entry(m.device).or_default().push(id);
+        self.by_run.entry(run).or_default().push(id);
         self.rows.push(m);
+        self.runs.push(run);
         id
     }
 
@@ -352,32 +527,79 @@ impl RssiTable {
         self.append_batch(ms.into_iter().collect());
     }
 
-    /// Append one owned batch (see [`TrajectoryTable::append_batch`]).
-    pub fn append_batch(&mut self, mut batch: Vec<RssiMeasurement>) {
+    /// Append one owned batch under [`RunId::DEFAULT`].
+    pub fn append_batch(&mut self, batch: Vec<RssiMeasurement>) {
+        self.append_batch_run(RunId::DEFAULT, batch);
+    }
+
+    /// Append one owned batch tagged with `run` (see
+    /// [`TrajectoryTable::append_batch_run`]).
+    pub fn append_batch_run(&mut self, run: RunId, mut batch: Vec<RssiMeasurement>) {
         if batch.is_empty() {
             return;
         }
         let _ = checked_row_id(self.rows.len() + batch.len() - 1);
         let base = self.rows.len() as RowId;
+        let run_ids = self.by_run.entry(run).or_default();
         for (i, m) in batch.iter().enumerate() {
             let id = base + i as RowId;
             self.by_object.entry(m.object).or_default().push(id);
             self.by_device.entry(m.device).or_default().push(id);
+            run_ids.push(id);
         }
         index_times(&batch, base, |m| m.t, &mut self.by_time);
+        self.runs.resize(self.rows.len() + batch.len(), run);
         self.rows.append(&mut batch);
     }
 
+    /// Every row, all runs merged, in insertion order.
     pub fn scan(&self) -> impl Iterator<Item = &RssiMeasurement> {
         self.rows.iter()
     }
 
+    /// One run's rows, in insertion order.
+    pub fn scan_run(&self, run: RunId) -> Vec<&RssiMeasurement> {
+        self.by_run
+            .get(&run)
+            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Every run with at least one row in this table, ascending.
+    pub fn run_ids(&self) -> Vec<RunId> {
+        self.by_run.keys().copied().collect()
+    }
+
+    /// Rows ingested by `run`.
+    pub fn len_run(&self, run: RunId) -> usize {
+        self.by_run.get(&run).map_or(0, Vec::len)
+    }
+
     /// All measurements in the **half-open** window `from <= t < to`,
-    /// time-ordered (same contract as [`TrajectoryTable::time_window`]).
+    /// all runs merged, time-ordered (same contract as
+    /// [`TrajectoryTable::time_window`]).
     pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&RssiMeasurement> {
         let mut out = Vec::new();
         for (_, ids) in self.by_time.range(from..to) {
             out.extend(ids.iter().map(|&i| &self.rows[i as usize]));
+        }
+        out
+    }
+
+    /// [`Self::time_window`] restricted to one run.
+    pub fn time_window_run(
+        &self,
+        run: RunId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<&RssiMeasurement> {
+        let mut out = Vec::new();
+        for (_, ids) in self.by_time.range(from..to) {
+            out.extend(
+                ids.iter()
+                    .filter(|&&i| self.runs[i as usize] == run)
+                    .map(|&i| &self.rows[i as usize]),
+            );
         }
         out
     }
@@ -392,6 +614,22 @@ impl RssiTable {
         rows
     }
 
+    /// [`Self::of_object`] restricted to one run.
+    pub fn of_object_run(&self, run: RunId, o: ObjectId) -> Vec<&RssiMeasurement> {
+        let mut rows: Vec<&RssiMeasurement> = self
+            .by_object
+            .get(&o)
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&i| self.runs[i as usize] == run)
+                    .map(|&i| &self.rows[i as usize])
+                    .collect()
+            })
+            .unwrap_or_default();
+        rows.sort_by_key(|m| m.t);
+        rows
+    }
+
     pub fn of_device(&self, d: DeviceId) -> Vec<&RssiMeasurement> {
         let mut rows: Vec<&RssiMeasurement> = self
             .by_device
@@ -401,14 +639,33 @@ impl RssiTable {
         rows.sort_by_key(|m| m.t);
         rows
     }
+
+    /// [`Self::of_device`] restricted to one run.
+    pub fn of_device_run(&self, run: RunId, d: DeviceId) -> Vec<&RssiMeasurement> {
+        let mut rows: Vec<&RssiMeasurement> = self
+            .by_device
+            .get(&d)
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&i| self.runs[i as usize] == run)
+                    .map(|&i| &self.rows[i as usize])
+                    .collect()
+            })
+            .unwrap_or_default();
+        rows.sort_by_key(|m| m.t);
+        rows
+    }
 }
 
-/// A table of deterministic positioning fixes `(o_id, loc, t)`.
+/// A table of deterministic positioning fixes `(o_id, loc, t)`, run-tagged
+/// like [`TrajectoryTable`].
 #[derive(Debug, Default, Clone)]
 pub struct FixTable {
     rows: Vec<Fix>,
+    runs: Vec<RunId>,
     by_time: BTreeMap<Timestamp, Vec<RowId>>,
     by_object: HashMap<ObjectId, Vec<RowId>>,
+    by_run: BTreeMap<RunId, Vec<RowId>>,
 }
 
 impl FixTable {
@@ -424,11 +681,19 @@ impl FixTable {
         self.rows.is_empty()
     }
 
+    /// Insert one row under [`RunId::DEFAULT`].
     pub fn insert(&mut self, f: Fix) -> RowId {
+        self.insert_run(RunId::DEFAULT, f)
+    }
+
+    /// Insert one row tagged with `run`.
+    pub fn insert_run(&mut self, run: RunId, f: Fix) -> RowId {
         let id = checked_row_id(self.rows.len());
         self.by_time.entry(f.t).or_default().push(id);
         self.by_object.entry(f.object).or_default().push(id);
+        self.by_run.entry(run).or_default().push(id);
         self.rows.push(f);
+        self.runs.push(run);
         id
     }
 
@@ -436,33 +701,73 @@ impl FixTable {
         self.append_batch(fs.into_iter().collect());
     }
 
-    /// Append one owned batch (see [`TrajectoryTable::append_batch`]).
-    pub fn append_batch(&mut self, mut batch: Vec<Fix>) {
+    /// Append one owned batch under [`RunId::DEFAULT`].
+    pub fn append_batch(&mut self, batch: Vec<Fix>) {
+        self.append_batch_run(RunId::DEFAULT, batch);
+    }
+
+    /// Append one owned batch tagged with `run` (see
+    /// [`TrajectoryTable::append_batch_run`]).
+    pub fn append_batch_run(&mut self, run: RunId, mut batch: Vec<Fix>) {
         if batch.is_empty() {
             return;
         }
         let _ = checked_row_id(self.rows.len() + batch.len() - 1);
         let base = self.rows.len() as RowId;
+        let run_ids = self.by_run.entry(run).or_default();
         for (i, f) in batch.iter().enumerate() {
-            self.by_object
-                .entry(f.object)
-                .or_default()
-                .push(base + i as RowId);
+            let id = base + i as RowId;
+            self.by_object.entry(f.object).or_default().push(id);
+            run_ids.push(id);
         }
         index_times(&batch, base, |f| f.t, &mut self.by_time);
+        self.runs.resize(self.rows.len() + batch.len(), run);
         self.rows.append(&mut batch);
     }
 
+    /// Every row, all runs merged, in insertion order.
     pub fn scan(&self) -> impl Iterator<Item = &Fix> {
         self.rows.iter()
     }
 
-    /// All fixes in the **half-open** window `from <= t < to`,
-    /// time-ordered (same contract as [`TrajectoryTable::time_window`]).
+    /// One run's rows, in insertion order.
+    pub fn scan_run(&self, run: RunId) -> Vec<&Fix> {
+        self.by_run
+            .get(&run)
+            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Every run with at least one row in this table, ascending.
+    pub fn run_ids(&self) -> Vec<RunId> {
+        self.by_run.keys().copied().collect()
+    }
+
+    /// Rows ingested by `run`.
+    pub fn len_run(&self, run: RunId) -> usize {
+        self.by_run.get(&run).map_or(0, Vec::len)
+    }
+
+    /// All fixes in the **half-open** window `from <= t < to`, all runs
+    /// merged, time-ordered (same contract as
+    /// [`TrajectoryTable::time_window`]).
     pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&Fix> {
         let mut out = Vec::new();
         for (_, ids) in self.by_time.range(from..to) {
             out.extend(ids.iter().map(|&i| &self.rows[i as usize]));
+        }
+        out
+    }
+
+    /// [`Self::time_window`] restricted to one run.
+    pub fn time_window_run(&self, run: RunId, from: Timestamp, to: Timestamp) -> Vec<&Fix> {
+        let mut out = Vec::new();
+        for (_, ids) in self.by_time.range(from..to) {
+            out.extend(
+                ids.iter()
+                    .filter(|&&i| self.runs[i as usize] == run)
+                    .map(|&i| &self.rows[i as usize]),
+            );
         }
         out
     }
@@ -476,14 +781,33 @@ impl FixTable {
         rows.sort_by_key(|f| f.t);
         rows
     }
+
+    /// [`Self::of_object`] restricted to one run.
+    pub fn of_object_run(&self, run: RunId, o: ObjectId) -> Vec<&Fix> {
+        let mut rows: Vec<&Fix> = self
+            .by_object
+            .get(&o)
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&i| self.runs[i as usize] == run)
+                    .map(|&i| &self.rows[i as usize])
+                    .collect()
+            })
+            .unwrap_or_default();
+        rows.sort_by_key(|f| f.t);
+        rows
+    }
 }
 
-/// A table of proximity detection periods `(o_id, d_id, ts, te)`.
+/// A table of proximity detection periods `(o_id, d_id, ts, te)`,
+/// run-tagged like [`TrajectoryTable`].
 #[derive(Debug, Default, Clone)]
 pub struct ProximityTable {
     rows: Vec<ProximityRecord>,
+    runs: Vec<RunId>,
     by_object: HashMap<ObjectId, Vec<RowId>>,
     by_device: HashMap<DeviceId, Vec<RowId>>,
+    by_run: BTreeMap<RunId, Vec<RowId>>,
 }
 
 impl ProximityTable {
@@ -499,11 +823,19 @@ impl ProximityTable {
         self.rows.is_empty()
     }
 
+    /// Insert one row under [`RunId::DEFAULT`].
     pub fn insert(&mut self, r: ProximityRecord) -> RowId {
+        self.insert_run(RunId::DEFAULT, r)
+    }
+
+    /// Insert one row tagged with `run`.
+    pub fn insert_run(&mut self, run: RunId, r: ProximityRecord) -> RowId {
         let id = checked_row_id(self.rows.len());
         self.by_object.entry(r.object).or_default().push(id);
         self.by_device.entry(r.device).or_default().push(id);
+        self.by_run.entry(run).or_default().push(id);
         self.rows.push(r);
+        self.runs.push(run);
         id
     }
 
@@ -511,23 +843,51 @@ impl ProximityTable {
         self.append_batch(rs.into_iter().collect());
     }
 
-    /// Append one owned batch (see [`TrajectoryTable::append_batch`]).
-    pub fn append_batch(&mut self, mut batch: Vec<ProximityRecord>) {
+    /// Append one owned batch under [`RunId::DEFAULT`].
+    pub fn append_batch(&mut self, batch: Vec<ProximityRecord>) {
+        self.append_batch_run(RunId::DEFAULT, batch);
+    }
+
+    /// Append one owned batch tagged with `run` (see
+    /// [`TrajectoryTable::append_batch_run`]).
+    pub fn append_batch_run(&mut self, run: RunId, mut batch: Vec<ProximityRecord>) {
         if batch.is_empty() {
             return;
         }
         let _ = checked_row_id(self.rows.len() + batch.len() - 1);
         let base = self.rows.len() as RowId;
+        let run_ids = self.by_run.entry(run).or_default();
         for (i, r) in batch.iter().enumerate() {
             let id = base + i as RowId;
             self.by_object.entry(r.object).or_default().push(id);
             self.by_device.entry(r.device).or_default().push(id);
+            run_ids.push(id);
         }
+        self.runs.resize(self.rows.len() + batch.len(), run);
         self.rows.append(&mut batch);
     }
 
+    /// Every row, all runs merged, in insertion order.
     pub fn scan(&self) -> impl Iterator<Item = &ProximityRecord> {
         self.rows.iter()
+    }
+
+    /// One run's rows, in insertion order.
+    pub fn scan_run(&self, run: RunId) -> Vec<&ProximityRecord> {
+        self.by_run
+            .get(&run)
+            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Every run with at least one row in this table, ascending.
+    pub fn run_ids(&self) -> Vec<RunId> {
+        self.by_run.keys().copied().collect()
+    }
+
+    /// Rows ingested by `run`.
+    pub fn len_run(&self, run: RunId) -> usize {
+        self.by_run.get(&run).map_or(0, Vec::len)
     }
 
     /// Records whose **closed** detection period `[ts, te]` intersects the
@@ -547,6 +907,27 @@ impl ProximityTable {
             .collect()
     }
 
+    /// [`Self::overlapping`] restricted to one run (same interval contract
+    /// and ordering — `by_run` ids are in insertion order). Walks the
+    /// run's own index: cost is `O(this run's rows)`, independent of how
+    /// many other runs share the table.
+    pub fn overlapping_run(
+        &self,
+        run: RunId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<&ProximityRecord> {
+        self.by_run
+            .get(&run)
+            .map(|ids| {
+                ids.iter()
+                    .map(|&i| &self.rows[i as usize])
+                    .filter(|r| r.ts < to && r.te >= from)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     pub fn of_object(&self, o: ObjectId) -> Vec<&ProximityRecord> {
         let mut rows: Vec<&ProximityRecord> = self
             .by_object
@@ -557,11 +938,43 @@ impl ProximityTable {
         rows
     }
 
+    /// [`Self::of_object`] restricted to one run.
+    pub fn of_object_run(&self, run: RunId, o: ObjectId) -> Vec<&ProximityRecord> {
+        let mut rows: Vec<&ProximityRecord> = self
+            .by_object
+            .get(&o)
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&i| self.runs[i as usize] == run)
+                    .map(|&i| &self.rows[i as usize])
+                    .collect()
+            })
+            .unwrap_or_default();
+        rows.sort_by_key(|r| r.ts);
+        rows
+    }
+
     pub fn of_device(&self, d: DeviceId) -> Vec<&ProximityRecord> {
         let mut rows: Vec<&ProximityRecord> = self
             .by_device
             .get(&d)
             .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .unwrap_or_default();
+        rows.sort_by_key(|r| r.ts);
+        rows
+    }
+
+    /// [`Self::of_device`] restricted to one run.
+    pub fn of_device_run(&self, run: RunId, d: DeviceId) -> Vec<&ProximityRecord> {
+        let mut rows: Vec<&ProximityRecord> = self
+            .by_device
+            .get(&d)
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&i| self.runs[i as usize] == run)
+                    .map(|&i| &self.rows[i as usize])
+                    .collect()
+            })
             .unwrap_or_default();
         rows.sort_by_key(|r| r.ts);
         rows
