@@ -77,6 +77,9 @@ fn main() {
     if want("e13") {
         e13_concurrent_scenarios();
     }
+    if want("e14") {
+        e14_persistence();
+    }
     if want("a1") {
         a1_trilateration_ablation();
     }
@@ -342,6 +345,85 @@ fn e13_concurrent_scenarios() {
                 rows = t + r + f + p;
             }
             println!("| {objects} | {name} | {seq_ms:.0} | {conc_ms:.0} | {rows} | {RUNS} |");
+        }
+    }
+    println!();
+}
+
+/// E14 — run-aware persistence: export/import wall-clock of the v2
+/// run-segmented wire format. A four-run repository (built once per scale
+/// with `run_many`, 250 and 2 500 objects per run → 1k and 10k objects
+/// total) is exported and re-imported into the same backend, paired
+/// best-of-5; per-run row counts are asserted identical after every
+/// import, and the table shows the serialized size. Both backends write
+/// the identical backend-agnostic format, so the deltas isolate the
+/// backends' scan/ingest costs, not the codec.
+fn e14_persistence() {
+    use vita_bench::e11;
+    use vita_core::StorageBackend;
+    use vita_storage::AnyRepository;
+
+    const WORKERS: usize = 4;
+    const SECS: u64 = 15;
+    const RUNS: u32 = 4;
+
+    println!(
+        "## E14 — run-aware persistence: export/import throughput \
+         (v2 wire format, {RUNS} runs, office 2F, 10 APs, trilateration)\n"
+    );
+    println!("| objects/run | backend | rows | runs | export ms | import ms | MB |");
+    println!("|---|---|---|---|---|---|---|");
+    let text = e11::office_text();
+    let backends = [
+        ("single", StorageBackend::Single),
+        ("sharded(8)", StorageBackend::Sharded { shards: 8 }),
+    ];
+    for &objects in &[250usize, 2_500] {
+        for (name, backend) in backends {
+            let scenarios: Vec<_> = (0..RUNS)
+                .map(|i| {
+                    let mut s = e11::scenario_with(objects, SECS, WORKERS, backend);
+                    s.mobility.seed = e11::SEED + u64::from(i);
+                    s
+                })
+                .collect();
+            let mut vita = e11::toolkit(&text);
+            vita.run_many(&scenarios).unwrap();
+            let repo = vita.repository();
+            let (t, r, f, p) = repo.counts();
+            let rows = t + r + f + p;
+
+            let mut export_ms = f64::INFINITY;
+            let mut import_ms = f64::INFINITY;
+            let mut bytes = 0usize;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                let export = repo.export();
+                export_ms = export_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+                bytes = export.trajectories.len()
+                    + export.rssi.len()
+                    + export.fixes.len()
+                    + export.proximity.len();
+
+                let t0 = Instant::now();
+                let imported = AnyRepository::import(&export, backend).unwrap();
+                import_ms = import_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+
+                // The round trip must preserve every run's row counts.
+                assert_eq!(imported.run_ids(), repo.run_ids());
+                for run in repo.run_ids() {
+                    assert_eq!(
+                        imported.counts_run(run),
+                        repo.counts_run(run),
+                        "round trip diverges at {objects} objects/run, run {run:?}"
+                    );
+                }
+            }
+            println!(
+                "| {objects} | {name} | {rows} | {} | {export_ms:.1} | {import_ms:.1} | {:.1} |",
+                repo.run_ids().len(),
+                bytes as f64 / 1e6
+            );
         }
     }
     println!();

@@ -49,7 +49,10 @@ use vita_positioning::{
     run_positioning, ChunkPositioner, Fix, MethodConfig, PmcError, PositioningData, ProbFix,
 };
 use vita_rssi::{generate_rssi, RssiConfig, RssiGenerator, RssiStore};
-use vita_storage::{AnyRepository, ProductBatch, ProductSink, ShardCounts, StorageBackend};
+use vita_storage::{
+    AnyRepository, CodecError, ProductBatch, ProductSink, RepositoryExport, ShardCounts,
+    StorageBackend,
+};
 
 /// Errors from assembling or running the pipeline.
 #[derive(Debug)]
@@ -64,6 +67,11 @@ pub enum VitaError {
     /// concurrent runs ingest into one shared repository, so they must
     /// request the same [`StorageBackend`].
     MixedBackends,
+    /// A [`Vita::load_from`] table file failed to decode (corrupt,
+    /// truncated, or not a Vita data file).
+    Codec(CodecError),
+    /// File IO under [`Vita::save_to`] / [`Vita::load_from`] failed.
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for VitaError {
@@ -78,6 +86,8 @@ impl std::fmt::Display for VitaError {
                 f,
                 "run_many scenarios request different storage backends for one shared repository"
             ),
+            VitaError::Codec(e) => write!(f, "storage decode: {e}"),
+            VitaError::Io(e) => write!(f, "storage file IO: {e}"),
         }
     }
 }
@@ -580,6 +590,72 @@ impl Vita {
     /// backend; see [`vita_storage::AnyRepository`] for the query surface).
     pub fn repository(&self) -> &AnyRepository {
         &self.repo
+    }
+
+    /// Persist every stored data product to `dir` (created if missing) as
+    /// the four table files of the versioned binary wire format —
+    /// `trajectories.vita`, `rssi.vita`, `fixes.vita`, `proximity.vita`
+    /// (see [`vita_storage::RepositoryExport::FILE_NAMES`]). The format is
+    /// run-segmented, so a multi-run repository (e.g. after
+    /// [`Vita::run_many`]) keeps its run tags on disk.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vita_core::prelude::*;
+    ///
+    /// let dbi = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(1)));
+    /// let mut vita = Vita::from_dbi_text(&dbi, &BuildParams::default()).unwrap();
+    /// vita.deploy_devices(
+    ///     DeviceSpec::default_for(DeviceType::WiFi),
+    ///     FloorId(0),
+    ///     DeploymentModel::Coverage,
+    ///     8,
+    /// );
+    /// let scenario = ScenarioConfig {
+    ///     mobility: MobilityConfig {
+    ///         object_count: 2,
+    ///         duration: Timestamp(10_000),
+    ///         lifespan: LifespanConfig { min: Timestamp(10_000), max: Timestamp(10_000) },
+    ///         ..Default::default()
+    ///     },
+    ///     rssi: RssiConfig { duration: Timestamp(10_000), ..Default::default() },
+    ///     method: MethodConfig::Trilateration {
+    ///         config: TrilaterationConfig::default(),
+    ///         conversion_model: PathLossModel::default(),
+    ///     },
+    ///     options: StreamOptions::default(),
+    /// };
+    /// vita.run_streaming(&scenario).unwrap();
+    ///
+    /// let dir = std::env::temp_dir().join(format!("vita_doc_{}", std::process::id()));
+    /// vita.save_to(&dir).unwrap();
+    ///
+    /// let mut restored = Vita::from_dbi_text(&dbi, &BuildParams::default()).unwrap();
+    /// restored.load_from(&dir).unwrap();
+    /// assert_eq!(restored.repository().counts(), vita.repository().counts());
+    /// std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn save_to(&self, dir: impl AsRef<std::path::Path>) -> Result<(), VitaError> {
+        self.repo
+            .export()
+            .write_dir(dir.as_ref())
+            .map_err(VitaError::Io)
+    }
+
+    /// Replace the repository contents with the four table files under
+    /// `dir` (the layout [`Vita::save_to`] writes). The data lands in the
+    /// **current** storage backend regardless of which backend exported it,
+    /// and run tags are restored run by run — so save → switch backend →
+    /// load preserves every run's row sets. Legacy v1-format files load
+    /// with all rows in run 0. Step-path products ([`Vita::generation`],
+    /// [`Vita::rssi`]) are untouched; on any error the repository keeps
+    /// its previous contents.
+    pub fn load_from(&mut self, dir: impl AsRef<std::path::Path>) -> Result<(), VitaError> {
+        let export = RepositoryExport::read_dir(dir.as_ref()).map_err(VitaError::Io)?;
+        self.repo =
+            AnyRepository::import(&export, self.repo.backend()).map_err(VitaError::Codec)?;
+        Ok(())
     }
 }
 
@@ -1119,6 +1195,84 @@ mod tests {
         assert_ne!(derive_run_seed(42, RunId(1)), derive_run_seed(42, RunId(2)));
         // Depends only on (base, run): reproducible across calls.
         assert_eq!(derive_run_seed(7, RunId(3)), derive_run_seed(7, RunId(3)));
+    }
+
+    #[test]
+    fn save_load_round_trips_runs_across_backends() {
+        let mut vita = toolkit();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            8,
+        );
+        let a = trilateration_scenario(quick_mobility());
+        let mut b = a.clone();
+        b.mobility.object_count = 3;
+        let reports = vita.run_many(&[a, b]).unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "vita_save_load_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        vita.save_to(&dir).unwrap();
+
+        // Load into a fresh toolkit on the *sharded* backend: run tags
+        // must survive the backend switch.
+        let mut restored = toolkit();
+        restored.set_storage_backend(StorageBackend::Sharded { shards: 4 });
+        restored.load_from(&dir).unwrap();
+        assert!(matches!(
+            restored.repository().backend(),
+            StorageBackend::Sharded { shards: 4 }
+        ));
+        assert_eq!(restored.repository().run_ids(), vita.repository().run_ids());
+        for r in &reports {
+            assert_eq!(
+                restored.repository().counts_run(r.run),
+                vita.repository().counts_run(r.run)
+            );
+            let mut want = vita.repository().trajectory_rows_run(r.run);
+            let mut got = restored.repository().trajectory_rows_run(r.run);
+            let key = |s: &vita_mobility::TrajectorySample| (s.object.0, s.t.0);
+            want.sort_by_key(key);
+            got.sort_by_key(key);
+            assert_eq!(got, want);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_from_missing_dir_is_io_error() {
+        let mut vita = toolkit();
+        let missing = std::env::temp_dir().join("vita_definitely_missing_dir");
+        assert!(matches!(vita.load_from(&missing), Err(VitaError::Io(_))));
+    }
+
+    #[test]
+    fn load_from_corrupt_file_is_codec_error_and_preserves_repo() {
+        let mut vita = toolkit();
+        vita.deploy_devices(
+            DeviceSpec::default_for(DeviceType::WiFi),
+            FloorId(0),
+            DeploymentModel::Coverage,
+            8,
+        );
+        vita.run_streaming(&trilateration_scenario(quick_mobility()))
+            .unwrap();
+        let counts = vita.repository().counts();
+        let dir = std::env::temp_dir().join(format!(
+            "vita_corrupt_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in vita_storage::RepositoryExport::FILE_NAMES {
+            std::fs::write(dir.join(name), b"not a vita file").unwrap();
+        }
+        assert!(matches!(vita.load_from(&dir), Err(VitaError::Codec(_))));
+        assert_eq!(vita.repository().counts(), counts);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

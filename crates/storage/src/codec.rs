@@ -1,33 +1,110 @@
-//! Binary persistence for the generated data tables.
+//! Binary persistence for the generated data tables — the versioned wire
+//! format behind [`crate::Repository::export`] / `import` and the
+//! `Vita::save_to` / `load_from` convenience in `vita-core`.
 //!
-//! A compact little-endian framing built on `bytes`: each file is a magic +
-//! version header, a record-type tag, a row count, and fixed-width rows.
-//! This replaces the paper's DBMS durability with file round-tripping good
-//! enough for sharing generated datasets between runs and tools.
+//! ## Wire format (version 2, current)
+//!
+//! A compact little-endian framing built on `bytes`, **run-segmented** so
+//! a multi-run repository round-trips without flattening its [`RunId`]
+//! dimension:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "VITA"
+//! 4       1     version (2)
+//! 5       1     record-type tag (1=trajectory 2=rssi 3=fix 4=proximity)
+//! 6       4     run-section count (u32)
+//! 10      …     sections, strictly ascending by run id:
+//!                 run_id     u32
+//!                 row_count  u64
+//!                 rows       row_count × fixed row width
+//! end-8   8     FNV-1a 64 checksum of every preceding byte
+//! ```
+//!
+//! Rows are fixed-width (trajectory/fix 37 bytes, RSSI/proximity 24), so a
+//! section's extent is known from its header and a run-0-only export costs
+//! 16 bytes over the v1 framing (30 bytes of framing vs 14: the section
+//! header and checksum, minus the absorbed v1 count). Empty sections are
+//! never written. The trailing checksum is an integrity check (not
+//! cryptographic): random corruption of a valid file decodes to a
+//! [`CodecError`], never to silently wrong data.
+//!
+//! ## Version 1 (legacy, read-only)
+//!
+//! `magic | version=1 | tag | row_count u64 | rows` — no run sections, no
+//! checksum. v1 files still decode behind the version dispatch; every row
+//! lands in [`RunId::DEFAULT`] (run 0), which is exactly what the v1
+//! exporter had flattened them to. The v2 writer is the only writer; the
+//! `codec_roundtrip` golden-fixture test pins v1 decoding in CI.
+//!
+//! ## Decode guarantees
+//!
+//! Decoders accept exactly the documented framing and fail loudly
+//! otherwise: unknown location-kind tags are [`CodecError::BadLocKind`]
+//! (not silently coerced), bytes past the last declared row are
+//! [`CodecError::TrailingBytes`] (concatenated or padded files do not pass
+//! as one table), header-claimed counts are cross-checked against the
+//! remaining byte budget up front ([`CodecError::CountOverflow`] /
+//! [`CodecError::Truncated`]) instead of looping per-row on absurd counts.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use vita_geometry::Point;
-use vita_indoor::{BuildingId, DeviceId, FloorId, Loc, LocKind, ObjectId, PartitionId, Timestamp};
+use vita_indoor::{
+    BuildingId, DeviceId, FloorId, Loc, LocKind, ObjectId, PartitionId, RunId, Timestamp,
+};
 use vita_mobility::TrajectorySample;
 use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
 
 const MAGIC: &[u8; 4] = b"VITA";
-const VERSION: u8 = 1;
+/// Current wire-format version: run-segmented framing + checksum.
+const VERSION: u8 = 2;
+/// Legacy single-run framing, still decoded (into run 0).
+const VERSION_V1: u8 = 1;
 
 const TAG_TRAJECTORY: u8 = 1;
 const TAG_RSSI: u8 = 2;
 const TAG_FIX: u8 = 3;
 const TAG_PROXIMITY: u8 = 4;
 
+/// Fixed row widths (bytes) per record type. A `Loc` is 25 bytes for both
+/// kinds (partition payloads are padded), keeping every row fixed-width.
+const LOC_SIZE: usize = 25;
+const TRAJECTORY_ROW: usize = 4 + LOC_SIZE + 8;
+const RSSI_ROW: usize = 4 + 4 + 8 + 8;
+const FIX_ROW: usize = 4 + LOC_SIZE + 8;
+const PROXIMITY_ROW: usize = 4 + 4 + 8 + 8;
+
+/// `magic + version + tag + section count` — the fixed v2 header.
+const V2_HEADER: usize = 4 + 1 + 1 + 4;
+/// `run_id + row_count` — the fixed per-section header.
+const SECTION_HEADER: usize = 4 + 8;
+const CHECKSUM_SIZE: usize = 8;
+
 /// Codec errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
+    /// The buffer does not start with the `VITA` magic.
     BadMagic,
+    /// A version this build cannot decode (neither 1 nor 2).
     UnsupportedVersion(u8),
+    /// The file holds a different table's rows.
     WrongRecordType { expected: u8, got: u8 },
+    /// The buffer ends before the declared rows/sections do.
     Truncated,
+    /// A location row carries an unknown kind tag (not point/partition).
+    BadLocKind(u8),
+    /// Bytes remain after the last declared row — a concatenated, padded
+    /// or otherwise corrupt file.
+    TrailingBytes,
+    /// A header-declared count does not fit the address space (the
+    /// `count × row width` budget overflows).
+    CountOverflow,
+    /// The trailing checksum does not match the framed bytes.
+    ChecksumMismatch,
+    /// v2 run sections must be strictly ascending by run id.
+    UnsortedRuns { prev: u32, next: u32 },
 }
 
 impl std::fmt::Display for CodecError {
@@ -39,37 +116,31 @@ impl std::fmt::Display for CodecError {
                 write!(f, "wrong record type: expected {expected}, got {got}")
             }
             CodecError::Truncated => write!(f, "file truncated"),
+            CodecError::BadLocKind(k) => write!(f, "unknown location kind tag {k}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after the last declared row"),
+            CodecError::CountOverflow => write!(f, "declared row count overflows the file budget"),
+            CodecError::ChecksumMismatch => write!(f, "checksum mismatch (corrupt file)"),
+            CodecError::UnsortedRuns { prev, next } => {
+                write!(
+                    f,
+                    "run sections not strictly ascending ({prev} then {next})"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for CodecError {}
 
-fn header(tag: u8, count: u64, buf: &mut BytesMut) {
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u8(tag);
-    buf.put_u64_le(count);
-}
-
-fn check_header(tag: u8, buf: &mut Bytes) -> Result<u64, CodecError> {
-    if buf.remaining() < 14 {
-        return Err(CodecError::Truncated);
+/// FNV-1a 64-bit over the framed bytes — fast, dependency-free integrity
+/// hashing (not cryptographic).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(CodecError::UnsupportedVersion(version));
-    }
-    let got = buf.get_u8();
-    if got != tag {
-        return Err(CodecError::WrongRecordType { expected: tag, got });
-    }
-    Ok(buf.get_u64_le())
+    h
 }
 
 fn put_loc(loc: &Loc, buf: &mut BytesMut) {
@@ -84,161 +155,349 @@ fn put_loc(loc: &Loc, buf: &mut BytesMut) {
         LocKind::Partition(pid) => {
             buf.put_u8(1);
             buf.put_u32_le(pid.0);
-            buf.put_u32_le(0); // pad to keep rows fixed-width-ish
+            buf.put_u32_le(0); // pad to keep rows fixed-width
             buf.put_u64_le(0);
         }
     }
 }
 
 fn get_loc(buf: &mut Bytes) -> Result<Loc, CodecError> {
-    if buf.remaining() < 9 {
+    if buf.remaining() < LOC_SIZE {
         return Err(CodecError::Truncated);
     }
     let building = BuildingId(buf.get_u32_le());
     let floor = FloorId(buf.get_u32_le());
-    let kind = buf.get_u8();
-    match kind {
+    match buf.get_u8() {
         0 => {
-            if buf.remaining() < 16 {
-                return Err(CodecError::Truncated);
-            }
             let x = buf.get_f64_le();
             let y = buf.get_f64_le();
             Ok(Loc::point(building, floor, Point::new(x, y)))
         }
-        _ => {
-            if buf.remaining() < 16 {
-                return Err(CodecError::Truncated);
-            }
+        1 => {
             let pid = PartitionId(buf.get_u32_le());
             buf.advance(12);
             Ok(Loc::partition(building, floor, pid))
         }
+        k => Err(CodecError::BadLocKind(k)),
     }
 }
 
-/// Encode trajectory samples.
+fn put_trajectory(s: &TrajectorySample, buf: &mut BytesMut) {
+    buf.put_u32_le(s.object.0);
+    put_loc(&s.loc, buf);
+    buf.put_u64_le(s.t.0);
+}
+
+fn get_trajectory(buf: &mut Bytes) -> Result<TrajectorySample, CodecError> {
+    if buf.remaining() < TRAJECTORY_ROW {
+        return Err(CodecError::Truncated);
+    }
+    let object = ObjectId(buf.get_u32_le());
+    let loc = get_loc(buf)?;
+    let t = Timestamp(buf.get_u64_le());
+    Ok(TrajectorySample { object, loc, t })
+}
+
+fn put_rssi(m: &RssiMeasurement, buf: &mut BytesMut) {
+    buf.put_u32_le(m.object.0);
+    buf.put_u32_le(m.device.0);
+    buf.put_f64_le(m.rssi);
+    buf.put_u64_le(m.t.0);
+}
+
+fn get_rssi(buf: &mut Bytes) -> Result<RssiMeasurement, CodecError> {
+    if buf.remaining() < RSSI_ROW {
+        return Err(CodecError::Truncated);
+    }
+    Ok(RssiMeasurement {
+        object: ObjectId(buf.get_u32_le()),
+        device: DeviceId(buf.get_u32_le()),
+        rssi: buf.get_f64_le(),
+        t: Timestamp(buf.get_u64_le()),
+    })
+}
+
+fn put_fix(fx: &Fix, buf: &mut BytesMut) {
+    buf.put_u32_le(fx.object.0);
+    put_loc(&fx.loc, buf);
+    buf.put_u64_le(fx.t.0);
+}
+
+fn get_fix(buf: &mut Bytes) -> Result<Fix, CodecError> {
+    if buf.remaining() < FIX_ROW {
+        return Err(CodecError::Truncated);
+    }
+    let object = ObjectId(buf.get_u32_le());
+    let loc = get_loc(buf)?;
+    let t = Timestamp(buf.get_u64_le());
+    Ok(Fix { object, loc, t })
+}
+
+fn put_proximity(r: &ProximityRecord, buf: &mut BytesMut) {
+    buf.put_u32_le(r.object.0);
+    buf.put_u32_le(r.device.0);
+    buf.put_u64_le(r.ts.0);
+    buf.put_u64_le(r.te.0);
+}
+
+fn get_proximity(buf: &mut Bytes) -> Result<ProximityRecord, CodecError> {
+    if buf.remaining() < PROXIMITY_ROW {
+        return Err(CodecError::Truncated);
+    }
+    Ok(ProximityRecord {
+        object: ObjectId(buf.get_u32_le()),
+        device: DeviceId(buf.get_u32_le()),
+        ts: Timestamp(buf.get_u64_le()),
+        te: Timestamp(buf.get_u64_le()),
+    })
+}
+
+/// Encode run sections in the v2 framing. The writer is total — it emits
+/// a canonical file for *any* input: empty sections are skipped, and
+/// sections are written in ascending run-id order with same-run sections
+/// concatenated (repository exporters already pass ascending unique ids,
+/// so this is a no-op rearrangement on the hot path).
+fn encode_runs<T>(
+    tag: u8,
+    row_size: usize,
+    sections: &[(RunId, &[T])],
+    put_row: impl Fn(&T, &mut BytesMut),
+) -> Bytes {
+    let mut by_run: std::collections::BTreeMap<u32, Vec<&[T]>> = std::collections::BTreeMap::new();
+    for (run, rows) in sections {
+        if !rows.is_empty() {
+            by_run.entry(run.0).or_default().push(rows);
+        }
+    }
+    let rows_total: usize = by_run
+        .values()
+        .flat_map(|parts| parts.iter().map(|rows| rows.len()))
+        .sum();
+    let mut buf = BytesMut::with_capacity(
+        V2_HEADER + by_run.len() * SECTION_HEADER + rows_total * row_size + CHECKSUM_SIZE,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(tag);
+    buf.put_u32_le(by_run.len() as u32);
+    for (run, parts) in by_run {
+        buf.put_u32_le(run);
+        buf.put_u64_le(parts.iter().map(|rows| rows.len() as u64).sum());
+        for rows in parts {
+            for r in rows {
+                put_row(r, &mut buf);
+            }
+        }
+    }
+    let checksum = fnv1a(buf.as_ref());
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Read one section's rows with the byte budget cross-checked up front:
+/// an absurd header-claimed count fails in O(1) instead of allocating or
+/// looping per row.
+fn read_rows<T>(
+    buf: &mut Bytes,
+    count: u64,
+    row_size: usize,
+    get_row: &impl Fn(&mut Bytes) -> Result<T, CodecError>,
+) -> Result<Vec<T>, CodecError> {
+    let needed = count
+        .checked_mul(row_size as u64)
+        .ok_or(CodecError::CountOverflow)?;
+    if count > usize::MAX as u64 {
+        return Err(CodecError::CountOverflow);
+    }
+    if needed > buf.remaining() as u64 {
+        return Err(CodecError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(get_row(buf)?);
+    }
+    Ok(out)
+}
+
+/// Decode a table file of either version into its run sections, ascending
+/// by run id. v1 files decode as one [`RunId::DEFAULT`] section (or none,
+/// when empty). Sections with zero rows are never produced.
+fn decode_runs<T>(
+    tag: u8,
+    row_size: usize,
+    data: Bytes,
+    get_row: impl Fn(&mut Bytes) -> Result<T, CodecError>,
+) -> Result<Vec<(RunId, Vec<T>)>, CodecError> {
+    let mut buf = data.clone();
+    if buf.remaining() < 6 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u8();
+    let got = buf.get_u8();
+    match version {
+        VERSION_V1 => {
+            if got != tag {
+                return Err(CodecError::WrongRecordType { expected: tag, got });
+            }
+            if buf.remaining() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            let count = buf.get_u64_le();
+            let rows = read_rows(&mut buf, count, row_size, &get_row)?;
+            if buf.remaining() != 0 {
+                return Err(CodecError::TrailingBytes);
+            }
+            Ok(if rows.is_empty() {
+                Vec::new()
+            } else {
+                vec![(RunId::DEFAULT, rows)]
+            })
+        }
+        VERSION => {
+            if got != tag {
+                return Err(CodecError::WrongRecordType { expected: tag, got });
+            }
+            if data.remaining() < V2_HEADER + CHECKSUM_SIZE {
+                return Err(CodecError::Truncated);
+            }
+            let body_len = data.remaining() - CHECKSUM_SIZE;
+            let expected_checksum = data.slice(body_len..).get_u64_le();
+            let body = data.slice(..body_len);
+            let mut buf = body.clone();
+            buf.advance(6); // magic + version + tag, validated above
+            let section_count = buf.get_u32_le();
+            // Fast-fail: each section needs at least its header.
+            if u64::from(section_count) * SECTION_HEADER as u64 > buf.remaining() as u64 {
+                return Err(CodecError::Truncated);
+            }
+            let mut out: Vec<(RunId, Vec<T>)> = Vec::with_capacity(section_count as usize);
+            let mut prev: Option<u32> = None;
+            for _ in 0..section_count {
+                if buf.remaining() < SECTION_HEADER {
+                    return Err(CodecError::Truncated);
+                }
+                let run = buf.get_u32_le();
+                if let Some(p) = prev {
+                    if run <= p {
+                        return Err(CodecError::UnsortedRuns { prev: p, next: run });
+                    }
+                }
+                prev = Some(run);
+                let count = buf.get_u64_le();
+                let rows = read_rows(&mut buf, count, row_size, &get_row)?;
+                if !rows.is_empty() {
+                    out.push((RunId(run), rows));
+                }
+            }
+            if buf.remaining() != 0 {
+                return Err(CodecError::TrailingBytes);
+            }
+            // Verified last: structural errors (above) are more precise,
+            // and a file that parses but hashes wrong is plain corruption.
+            if fnv1a(body.as_ref()) != expected_checksum {
+                return Err(CodecError::ChecksumMismatch);
+            }
+            Ok(out)
+        }
+        v => Err(CodecError::UnsupportedVersion(v)),
+    }
+}
+
+/// Encode trajectory samples as one [`RunId::DEFAULT`] section.
 pub fn encode_trajectories(samples: &[TrajectorySample]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(14 + samples.len() * 37);
-    header(TAG_TRAJECTORY, samples.len() as u64, &mut buf);
-    for s in samples {
-        buf.put_u32_le(s.object.0);
-        put_loc(&s.loc, &mut buf);
-        buf.put_u64_le(s.t.0);
-    }
-    buf.freeze()
+    encode_trajectories_runs(&[(RunId::DEFAULT, samples)])
 }
 
-/// Decode trajectory samples.
-pub fn decode_trajectories(mut data: Bytes) -> Result<Vec<TrajectorySample>, CodecError> {
-    let count = check_header(TAG_TRAJECTORY, &mut data)?;
-    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
-    for _ in 0..count {
-        if data.remaining() < 4 {
-            return Err(CodecError::Truncated);
-        }
-        let object = ObjectId(data.get_u32_le());
-        let loc = get_loc(&mut data)?;
-        if data.remaining() < 8 {
-            return Err(CodecError::Truncated);
-        }
-        let t = Timestamp(data.get_u64_le());
-        out.push(TrajectorySample { object, loc, t });
-    }
-    Ok(out)
+/// Encode per-run trajectory sections (canonicalized: ascending run
+/// ids, same-run sections merged, empty sections dropped).
+pub fn encode_trajectories_runs(sections: &[(RunId, &[TrajectorySample])]) -> Bytes {
+    encode_runs(TAG_TRAJECTORY, TRAJECTORY_ROW, sections, put_trajectory)
 }
 
-/// Encode RSSI measurements.
+/// Decode trajectory samples, all runs concatenated in section order.
+pub fn decode_trajectories(data: Bytes) -> Result<Vec<TrajectorySample>, CodecError> {
+    Ok(flatten(decode_trajectories_runs(data)?))
+}
+
+/// Decode per-run trajectory sections (v1 files land in run 0).
+pub fn decode_trajectories_runs(
+    data: Bytes,
+) -> Result<Vec<(RunId, Vec<TrajectorySample>)>, CodecError> {
+    decode_runs(TAG_TRAJECTORY, TRAJECTORY_ROW, data, get_trajectory)
+}
+
+/// Encode RSSI measurements as one [`RunId::DEFAULT`] section.
 pub fn encode_rssi(ms: &[RssiMeasurement]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(14 + ms.len() * 24);
-    header(TAG_RSSI, ms.len() as u64, &mut buf);
-    for m in ms {
-        buf.put_u32_le(m.object.0);
-        buf.put_u32_le(m.device.0);
-        buf.put_f64_le(m.rssi);
-        buf.put_u64_le(m.t.0);
-    }
-    buf.freeze()
+    encode_rssi_runs(&[(RunId::DEFAULT, ms)])
 }
 
-/// Decode RSSI measurements.
-pub fn decode_rssi(mut data: Bytes) -> Result<Vec<RssiMeasurement>, CodecError> {
-    let count = check_header(TAG_RSSI, &mut data)?;
-    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
-    for _ in 0..count {
-        if data.remaining() < 24 {
-            return Err(CodecError::Truncated);
-        }
-        out.push(RssiMeasurement {
-            object: ObjectId(data.get_u32_le()),
-            device: DeviceId(data.get_u32_le()),
-            rssi: data.get_f64_le(),
-            t: Timestamp(data.get_u64_le()),
-        });
-    }
-    Ok(out)
+/// Encode per-run RSSI sections (canonicalized; see
+/// [`encode_trajectories_runs`]).
+pub fn encode_rssi_runs(sections: &[(RunId, &[RssiMeasurement])]) -> Bytes {
+    encode_runs(TAG_RSSI, RSSI_ROW, sections, put_rssi)
 }
 
-/// Encode deterministic fixes.
+/// Decode RSSI measurements, all runs concatenated in section order.
+pub fn decode_rssi(data: Bytes) -> Result<Vec<RssiMeasurement>, CodecError> {
+    Ok(flatten(decode_rssi_runs(data)?))
+}
+
+/// Decode per-run RSSI sections (v1 files land in run 0).
+pub fn decode_rssi_runs(data: Bytes) -> Result<Vec<(RunId, Vec<RssiMeasurement>)>, CodecError> {
+    decode_runs(TAG_RSSI, RSSI_ROW, data, get_rssi)
+}
+
+/// Encode deterministic fixes as one [`RunId::DEFAULT`] section.
 pub fn encode_fixes(fs: &[Fix]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(14 + fs.len() * 37);
-    header(TAG_FIX, fs.len() as u64, &mut buf);
-    for f in fs {
-        buf.put_u32_le(f.object.0);
-        put_loc(&f.loc, &mut buf);
-        buf.put_u64_le(f.t.0);
-    }
-    buf.freeze()
+    encode_fixes_runs(&[(RunId::DEFAULT, fs)])
 }
 
-/// Decode deterministic fixes.
-pub fn decode_fixes(mut data: Bytes) -> Result<Vec<Fix>, CodecError> {
-    let count = check_header(TAG_FIX, &mut data)?;
-    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
-    for _ in 0..count {
-        if data.remaining() < 4 {
-            return Err(CodecError::Truncated);
-        }
-        let object = ObjectId(data.get_u32_le());
-        let loc = get_loc(&mut data)?;
-        if data.remaining() < 8 {
-            return Err(CodecError::Truncated);
-        }
-        let t = Timestamp(data.get_u64_le());
-        out.push(Fix { object, loc, t });
-    }
-    Ok(out)
+/// Encode per-run fix sections (canonicalized; see
+/// [`encode_trajectories_runs`]).
+pub fn encode_fixes_runs(sections: &[(RunId, &[Fix])]) -> Bytes {
+    encode_runs(TAG_FIX, FIX_ROW, sections, put_fix)
 }
 
-/// Encode proximity records.
+/// Decode deterministic fixes, all runs concatenated in section order.
+pub fn decode_fixes(data: Bytes) -> Result<Vec<Fix>, CodecError> {
+    Ok(flatten(decode_fixes_runs(data)?))
+}
+
+/// Decode per-run fix sections (v1 files land in run 0).
+pub fn decode_fixes_runs(data: Bytes) -> Result<Vec<(RunId, Vec<Fix>)>, CodecError> {
+    decode_runs(TAG_FIX, FIX_ROW, data, get_fix)
+}
+
+/// Encode proximity records as one [`RunId::DEFAULT`] section.
 pub fn encode_proximity(rs: &[ProximityRecord]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(14 + rs.len() * 24);
-    header(TAG_PROXIMITY, rs.len() as u64, &mut buf);
-    for r in rs {
-        buf.put_u32_le(r.object.0);
-        buf.put_u32_le(r.device.0);
-        buf.put_u64_le(r.ts.0);
-        buf.put_u64_le(r.te.0);
-    }
-    buf.freeze()
+    encode_proximity_runs(&[(RunId::DEFAULT, rs)])
 }
 
-/// Decode proximity records.
-pub fn decode_proximity(mut data: Bytes) -> Result<Vec<ProximityRecord>, CodecError> {
-    let count = check_header(TAG_PROXIMITY, &mut data)?;
-    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
-    for _ in 0..count {
-        if data.remaining() < 24 {
-            return Err(CodecError::Truncated);
-        }
-        out.push(ProximityRecord {
-            object: ObjectId(data.get_u32_le()),
-            device: DeviceId(data.get_u32_le()),
-            ts: Timestamp(data.get_u64_le()),
-            te: Timestamp(data.get_u64_le()),
-        });
-    }
-    Ok(out)
+/// Encode per-run proximity sections (canonicalized; see
+/// [`encode_trajectories_runs`]).
+pub fn encode_proximity_runs(sections: &[(RunId, &[ProximityRecord])]) -> Bytes {
+    encode_runs(TAG_PROXIMITY, PROXIMITY_ROW, sections, put_proximity)
+}
+
+/// Decode proximity records, all runs concatenated in section order.
+pub fn decode_proximity(data: Bytes) -> Result<Vec<ProximityRecord>, CodecError> {
+    Ok(flatten(decode_proximity_runs(data)?))
+}
+
+/// Decode per-run proximity sections (v1 files land in run 0).
+pub fn decode_proximity_runs(
+    data: Bytes,
+) -> Result<Vec<(RunId, Vec<ProximityRecord>)>, CodecError> {
+    decode_runs(TAG_PROXIMITY, PROXIMITY_ROW, data, get_proximity)
+}
+
+fn flatten<T>(sections: Vec<(RunId, Vec<T>)>) -> Vec<T> {
+    sections.into_iter().flat_map(|(_, rows)| rows).collect()
 }
 
 #[cfg(test)]
@@ -260,6 +519,20 @@ mod tests {
                 t: Timestamp(2000),
             },
         ]
+    }
+
+    /// Hand-encode a v1 trajectory file (the legacy writer no longer
+    /// exists, so tests produce its output byte-for-byte).
+    fn encode_trajectories_v1(samples: &[TrajectorySample]) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION_V1);
+        buf.put_u8(TAG_TRAJECTORY);
+        buf.put_u64_le(samples.len() as u64);
+        for s in samples {
+            put_trajectory(s, &mut buf);
+        }
+        buf.freeze()
     }
 
     #[test]
@@ -314,6 +587,67 @@ mod tests {
     }
 
     #[test]
+    fn multi_run_sections_round_trip() {
+        let run0 = sample_trajectories();
+        let run3: Vec<TrajectorySample> = (0..5)
+            .map(|i| {
+                TrajectorySample::new(
+                    ObjectId(i),
+                    BuildingId(1),
+                    FloorId(0),
+                    Point::new(i as f64, -1.0),
+                    Timestamp(i as u64 * 10),
+                )
+            })
+            .collect();
+        let sections = [
+            (RunId(0), run0.as_slice()),
+            (RunId(3), run3.as_slice()),
+            (RunId(7), run0.as_slice()),
+        ];
+        let decoded = decode_trajectories_runs(encode_trajectories_runs(&sections)).unwrap();
+        assert_eq!(decoded.len(), 3);
+        for ((run, rows), (want_run, want_rows)) in decoded.iter().zip(&sections) {
+            assert_eq!(run, want_run);
+            assert_eq!(rows.as_slice(), *want_rows);
+        }
+        // The flattening reader concatenates sections in run order.
+        let flat = decode_trajectories(encode_trajectories_runs(&sections)).unwrap();
+        assert_eq!(flat.len(), run0.len() * 2 + run3.len());
+    }
+
+    #[test]
+    fn encoder_canonicalizes_unsorted_and_duplicate_sections() {
+        // The writer is total: out-of-order and repeated run ids encode
+        // to the canonical ascending-merged file instead of a file the
+        // decoder would reject.
+        let rows = sample_trajectories();
+        let extra = vec![rows[0]];
+        let messy = [
+            (RunId(5), rows.as_slice()),
+            (RunId(1), extra.as_slice()),
+            (RunId(5), extra.as_slice()),
+        ];
+        let decoded = decode_trajectories_runs(encode_trajectories_runs(&messy)).unwrap();
+        let mut run5 = rows.clone();
+        run5.extend_from_slice(&extra);
+        assert_eq!(decoded, vec![(RunId(1), extra), (RunId(5), run5)]);
+    }
+
+    #[test]
+    fn empty_sections_are_skipped() {
+        let rows = sample_trajectories();
+        let sections = [
+            (RunId(1), [].as_slice()),
+            (RunId(2), rows.as_slice()),
+            (RunId(5), [].as_slice()),
+        ];
+        let decoded = decode_trajectories_runs(encode_trajectories_runs(&sections)).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].0, RunId(2));
+    }
+
+    #[test]
     fn empty_tables_round_trip() {
         assert!(decode_trajectories(encode_trajectories(&[]))
             .unwrap()
@@ -321,6 +655,24 @@ mod tests {
         assert!(decode_rssi(encode_rssi(&[])).unwrap().is_empty());
         assert!(decode_fixes(encode_fixes(&[])).unwrap().is_empty());
         assert!(decode_proximity(encode_proximity(&[])).unwrap().is_empty());
+        assert!(decode_trajectories_runs(encode_trajectories(&[]))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn v1_files_decode_into_run_zero() {
+        let original = sample_trajectories();
+        let v1 = encode_trajectories_v1(&original);
+        assert_eq!(decode_trajectories(v1.clone()).unwrap(), original);
+        let sections = decode_trajectories_runs(v1).unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].0, RunId::DEFAULT);
+        assert_eq!(sections[0].1, original);
+        // An empty v1 file has no sections at all.
+        assert!(decode_trajectories_runs(encode_trajectories_v1(&[]))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -363,6 +715,139 @@ mod tests {
         assert_eq!(
             decode_trajectories(raw.freeze()).unwrap_err(),
             CodecError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn bad_loc_kind_rejected() {
+        // v1 framing so no checksum shields the corrupt kind byte: one
+        // point-trajectory row whose loc kind tag is 9.
+        let mut raw = BytesMut::new();
+        raw.put_slice(MAGIC);
+        raw.put_u8(VERSION_V1);
+        raw.put_u8(TAG_TRAJECTORY);
+        raw.put_u64_le(1);
+        raw.put_u32_le(1); // object
+        raw.put_u32_le(0); // building
+        raw.put_u32_le(0); // floor
+        raw.put_u8(9); // unknown kind tag
+        raw.put_slice(&[0u8; 16]); // payload
+        raw.put_u64_le(1000); // t
+        assert_eq!(
+            decode_trajectories(raw.freeze()).unwrap_err(),
+            CodecError::BadLocKind(9)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        // A valid v2 file with junk appended after the checksum.
+        let valid = encode_trajectories(&sample_trajectories());
+        let mut raw = BytesMut::with_capacity(valid.len() + 3);
+        raw.put_slice(valid.as_ref());
+        raw.put_slice(b"xyz");
+        assert_eq!(
+            decode_trajectories(raw.freeze()).unwrap_err(),
+            CodecError::TrailingBytes
+        );
+        // Same for v1: two empty files concatenated.
+        let v1 = encode_trajectories_v1(&[]);
+        let mut cat = BytesMut::new();
+        cat.put_slice(v1.as_ref());
+        cat.put_slice(v1.as_ref());
+        assert_eq!(
+            decode_trajectories(cat.freeze()).unwrap_err(),
+            CodecError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn absurd_counts_fail_fast() {
+        // v1 header claiming u64::MAX rows: the count × row-width budget
+        // overflows → CountOverflow, before any row loop.
+        let mut raw = BytesMut::new();
+        raw.put_slice(MAGIC);
+        raw.put_u8(VERSION_V1);
+        raw.put_u8(TAG_TRAJECTORY);
+        raw.put_u64_le(u64::MAX);
+        assert_eq!(
+            decode_trajectories(raw.freeze()).unwrap_err(),
+            CodecError::CountOverflow
+        );
+        // A large-but-representable claim with no bytes behind it fails
+        // the up-front budget check as Truncated.
+        let mut raw = BytesMut::new();
+        raw.put_slice(MAGIC);
+        raw.put_u8(VERSION_V1);
+        raw.put_u8(TAG_TRAJECTORY);
+        raw.put_u64_le(1 << 40);
+        assert_eq!(
+            decode_trajectories(raw.freeze()).unwrap_err(),
+            CodecError::Truncated
+        );
+    }
+
+    #[test]
+    fn checksum_mismatch_detected() {
+        let valid = encode_trajectories(&sample_trajectories());
+        // Flip one payload byte (an x coordinate) — structure still
+        // parses, the checksum does not.
+        let mut bytes = valid.as_ref().to_vec();
+        let payload = V2_HEADER + SECTION_HEADER + 14;
+        bytes[payload] ^= 0x40;
+        assert_eq!(
+            decode_trajectories(Bytes::from(bytes)).unwrap_err(),
+            CodecError::ChecksumMismatch
+        );
+        // Flip a checksum byte itself.
+        let mut bytes = valid.as_ref().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(
+            decode_trajectories(Bytes::from(bytes)).unwrap_err(),
+            CodecError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn unsorted_run_sections_rejected() {
+        // Hand-build a v2 file with sections (3, 3): duplicates and
+        // descending ids are both "not strictly ascending".
+        for (first, second) in [(3u32, 3u32), (5, 2)] {
+            let mut body = BytesMut::new();
+            body.put_slice(MAGIC);
+            body.put_u8(VERSION);
+            body.put_u8(TAG_PROXIMITY);
+            body.put_u32_le(2);
+            for run in [first, second] {
+                body.put_u32_le(run);
+                body.put_u64_le(0);
+            }
+            let checksum = fnv1a(body.as_ref());
+            body.put_u64_le(checksum);
+            assert_eq!(
+                decode_proximity(body.freeze()).unwrap_err(),
+                CodecError::UnsortedRuns {
+                    prev: first,
+                    next: second
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn section_count_cross_checked() {
+        // Header claims 1000 sections over an empty body: fail fast.
+        let mut body = BytesMut::new();
+        body.put_slice(MAGIC);
+        body.put_u8(VERSION);
+        body.put_u8(TAG_FIX);
+        body.put_u32_le(1000);
+        let checksum = fnv1a(body.as_ref());
+        body.put_u64_le(checksum);
+        assert_eq!(
+            decode_fixes(body.freeze()).unwrap_err(),
+            CodecError::Truncated
         );
     }
 }

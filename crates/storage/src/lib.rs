@@ -74,9 +74,25 @@
 //!   repository that only ever saw that run would return — run isolation,
 //!   enforced by the `run_isolation` proptest suite on both backends.
 //!
-//! Run tags are an in-memory dimension: [`Repository::export`] serializes
-//! rows without them (the binary codec predates runs), so an
-//! export/import round-trip lands every row in [`RunId::DEFAULT`].
+//! ## Persistence & wire format
+//!
+//! [`Repository::export`] serializes each table into one buffer of the
+//! versioned binary wire format (see the [`codec`] module docs for the
+//! framing layout). The format is **run-segmented**: every table file
+//! carries one section per run, so a multi-run repository survives
+//! `export` → `import` with its run dimension intact — per-run row sets
+//! come back bit-identical on every run-scoped query path, on either
+//! backend (the `persistence_roundtrip` proptest suite). Both backends
+//! export the same format and import from it:
+//! [`Repository::import`] / [`ShardedRepository::import`] rebuild a
+//! specific backend, [`AnyRepository::import`] rebuilds whichever
+//! [`StorageBackend`] the caller names — which is how run tags survive
+//! backend switches through `Vita::save_to` / `load_from` in `vita-core`.
+//! Legacy v1 files (written before the run dimension existed) still
+//! decode; their rows land in [`RunId::DEFAULT`], exactly where the v1
+//! exporter had flattened them. [`RepositoryExport::write_dir`] /
+//! [`RepositoryExport::read_dir`] move the four table buffers to and from
+//! a directory on disk.
 
 pub mod codec;
 pub mod sharded;
@@ -84,8 +100,10 @@ pub mod stream;
 pub mod table;
 
 pub use codec::{
-    decode_fixes, decode_proximity, decode_rssi, decode_trajectories, encode_fixes,
-    encode_proximity, encode_rssi, encode_trajectories, CodecError,
+    decode_fixes, decode_fixes_runs, decode_proximity, decode_proximity_runs, decode_rssi,
+    decode_rssi_runs, decode_trajectories, decode_trajectories_runs, encode_fixes,
+    encode_fixes_runs, encode_proximity, encode_proximity_runs, encode_rssi, encode_rssi_runs,
+    encode_trajectories, encode_trajectories_runs, CodecError,
 };
 pub use sharded::{ShardCounts, ShardedRepository, DEFAULT_SHARDS};
 pub use stream::{downsample, merge_by_time, record_rate, Timed, TumblingWindow};
@@ -226,36 +244,113 @@ impl Repository {
         runs
     }
 
-    /// Serialize every table into one buffer per table.
+    /// Serialize every table into one buffer per table, one wire-format
+    /// section per run: run tags survive the export (see the crate-level
+    /// "Persistence & wire format" docs).
     pub fn export(&self) -> RepositoryExport {
+        let trajectories = self.trajectories.read();
+        let rssi = self.rssi.read();
+        let fixes = self.fixes.read();
+        let proximity = self.proximity.read();
+        let t_sections = run_sections(trajectories.run_ids(), |r| {
+            trajectories.scan_run(r).into_iter().copied().collect()
+        });
+        let r_sections = run_sections(rssi.run_ids(), |r| {
+            rssi.scan_run(r).into_iter().copied().collect()
+        });
+        let f_sections = run_sections(fixes.run_ids(), |r| {
+            fixes.scan_run(r).into_iter().copied().collect()
+        });
+        let p_sections = run_sections(proximity.run_ids(), |r| {
+            proximity.scan_run(r).into_iter().copied().collect()
+        });
         RepositoryExport {
-            trajectories: encode_trajectories(
-                &self.trajectories.read().scan().copied().collect::<Vec<_>>(),
-            ),
-            rssi: encode_rssi(&self.rssi.read().scan().copied().collect::<Vec<_>>()),
-            fixes: encode_fixes(&self.fixes.read().scan().copied().collect::<Vec<_>>()),
-            proximity: encode_proximity(&self.proximity.read().scan().copied().collect::<Vec<_>>()),
+            trajectories: encode_trajectories_runs(&borrow_sections(&t_sections)),
+            rssi: encode_rssi_runs(&borrow_sections(&r_sections)),
+            fixes: encode_fixes_runs(&borrow_sections(&f_sections)),
+            proximity: encode_proximity_runs(&borrow_sections(&p_sections)),
         }
     }
 
-    /// Rebuild a repository from an export.
+    /// Rebuild a repository from an export, run by run: every row comes
+    /// back under the run id it was exported with (v1-format exports land
+    /// in [`RunId::DEFAULT`]).
     pub fn import(export: &RepositoryExport) -> Result<Self, CodecError> {
         let repo = Repository::new();
-        repo.store_trajectories([decode_trajectories(export.trajectories.clone())?]);
-        repo.store_rssi(decode_rssi(export.rssi.clone())?);
-        repo.store_fixes(decode_fixes(export.fixes.clone())?);
-        repo.store_proximity(decode_proximity(export.proximity.clone())?);
+        for (run, rows) in decode_trajectories_runs(export.trajectories.clone())? {
+            repo.trajectories.write().append_batch_run(run, rows);
+        }
+        for (run, rows) in decode_rssi_runs(export.rssi.clone())? {
+            repo.rssi.write().append_batch_run(run, rows);
+        }
+        for (run, rows) in decode_fixes_runs(export.fixes.clone())? {
+            repo.fixes.write().append_batch_run(run, rows);
+        }
+        for (run, rows) in decode_proximity_runs(export.proximity.clone())? {
+            repo.proximity.write().append_batch_run(run, rows);
+        }
         Ok(repo)
     }
 }
 
-/// Serialized form of a [`Repository`].
+/// Collect one owned row set per run, ready for the sectioned encoders
+/// (shared by both backends' `export` implementations).
+pub(crate) fn run_sections<T>(
+    runs: Vec<RunId>,
+    rows_of: impl Fn(RunId) -> Vec<T>,
+) -> Vec<(RunId, Vec<T>)> {
+    runs.into_iter().map(|r| (r, rows_of(r))).collect()
+}
+
+/// The borrowed view the sectioned encoders take.
+pub(crate) fn borrow_sections<T>(sections: &[(RunId, Vec<T>)]) -> Vec<(RunId, &[T])> {
+    sections.iter().map(|(r, v)| (*r, v.as_slice())).collect()
+}
+
+/// Serialized form of a repository (either backend): one wire-format
+/// buffer per table, run-segmented.
 #[derive(Debug, Clone)]
 pub struct RepositoryExport {
     pub trajectories: bytes::Bytes,
     pub rssi: bytes::Bytes,
     pub fixes: bytes::Bytes,
     pub proximity: bytes::Bytes,
+}
+
+impl RepositoryExport {
+    /// The file names `write_dir` / `read_dir` use, in table order.
+    pub const FILE_NAMES: [&'static str; 4] = [
+        "trajectories.vita",
+        "rssi.vita",
+        "fixes.vita",
+        "proximity.vita",
+    ];
+
+    /// Write the four table buffers into `dir` (created if missing) under
+    /// [`RepositoryExport::FILE_NAMES`].
+    pub fn write_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let tables: [&bytes::Bytes; 4] =
+            [&self.trajectories, &self.rssi, &self.fixes, &self.proximity];
+        for (name, data) in Self::FILE_NAMES.iter().zip(tables) {
+            std::fs::write(dir.join(name), data.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Read the four table files back from `dir`. Purely file IO — decode
+    /// errors surface when the export is imported.
+    pub fn read_dir(dir: &std::path::Path) -> std::io::Result<Self> {
+        let mut buffers = Self::FILE_NAMES
+            .iter()
+            .map(|name| std::fs::read(dir.join(name)).map(bytes::Bytes::from));
+        Ok(RepositoryExport {
+            trajectories: buffers.next().unwrap()?,
+            rssi: buffers.next().unwrap()?,
+            fixes: buffers.next().unwrap()?,
+            proximity: buffers.next().unwrap()?,
+        })
+    }
 }
 
 /// The storage-backend choice, for configuration surfaces (see the
@@ -432,13 +527,27 @@ impl AnyRepository {
         }
     }
 
-    /// Serialize every table into one buffer per table (either backend
-    /// produces the [`Repository::import`]-compatible wire format).
+    /// Serialize every table into one buffer per table, run-segmented:
+    /// either backend produces the same wire format, importable by any of
+    /// the three `import` constructors.
     pub fn export(&self) -> RepositoryExport {
         match self {
             AnyRepository::Single(r) => r.export(),
             AnyRepository::Sharded(s) => s.export(),
         }
+    }
+
+    /// Rebuild a repository of the requested backend shape from an
+    /// export, run by run. The export's own backend does not matter —
+    /// the wire format is backend-agnostic — so this is how run-tagged
+    /// data moves across backend switches.
+    pub fn import(export: &RepositoryExport, backend: StorageBackend) -> Result<Self, CodecError> {
+        Ok(match backend {
+            StorageBackend::Single => AnyRepository::Single(Box::new(Repository::import(export)?)),
+            StorageBackend::Sharded { shards } => {
+                AnyRepository::Sharded(ShardedRepository::import(export, shards)?)
+            }
+        })
     }
 }
 

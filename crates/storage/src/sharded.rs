@@ -30,8 +30,9 @@ use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
 
 use crate::{
-    encode_fixes, encode_proximity, encode_rssi, encode_trajectories, ProductBatch, ProductSink,
-    Repository, RepositoryExport,
+    borrow_sections, encode_fixes_runs, encode_proximity_runs, encode_rssi_runs,
+    encode_trajectories_runs, run_sections, CodecError, ProductBatch, ProductSink, Repository,
+    RepositoryExport,
 };
 
 /// Default shard count: enough to spread a typical stage-worker pool
@@ -687,16 +688,42 @@ impl ShardedRepository {
         )
     }
 
-    /// Serialize every table into one buffer per table (rows in shard
-    /// order — the same wire format as [`Repository::export`], importable
-    /// by [`Repository::import`]).
+    /// Serialize every table into one buffer per table, one wire-format
+    /// section per run (rows within a section in shard order) — the same
+    /// backend-agnostic format as [`Repository::export`], importable by
+    /// any of the `import` constructors.
     pub fn export(&self) -> RepositoryExport {
+        let runs = self.run_ids();
+        let t = run_sections(runs.clone(), |r| self.trajectories_scan_run(r));
+        let m = run_sections(runs.clone(), |r| self.rssi_scan_run(r));
+        let f = run_sections(runs.clone(), |r| self.fixes_scan_run(r));
+        let p = run_sections(runs, |r| self.proximity_scan_run(r));
         RepositoryExport {
-            trajectories: encode_trajectories(&self.trajectories_scan()),
-            rssi: encode_rssi(&self.rssi_scan()),
-            fixes: encode_fixes(&self.fixes_scan()),
-            proximity: encode_proximity(&self.proximity_scan()),
+            trajectories: encode_trajectories_runs(&borrow_sections(&t)),
+            rssi: encode_rssi_runs(&borrow_sections(&m)),
+            fixes: encode_fixes_runs(&borrow_sections(&f)),
+            proximity: encode_proximity_runs(&borrow_sections(&p)),
         }
+    }
+
+    /// Rebuild a sharded repository (`shards` partitions) from an export,
+    /// run by run: rows land in their owning shards (object-id hash, the
+    /// same placement ingestion uses) under their exported run ids.
+    pub fn import(export: &RepositoryExport, shards: usize) -> Result<Self, CodecError> {
+        let repo = ShardedRepository::new(shards);
+        for (run, rows) in crate::codec::decode_trajectories_runs(export.trajectories.clone())? {
+            repo.accept_run(run, ProductBatch::Trajectories(rows));
+        }
+        for (run, rows) in crate::codec::decode_rssi_runs(export.rssi.clone())? {
+            repo.accept_run(run, ProductBatch::Rssi(rows));
+        }
+        for (run, rows) in crate::codec::decode_fixes_runs(export.fixes.clone())? {
+            repo.accept_run(run, ProductBatch::Fixes(rows));
+        }
+        for (run, rows) in crate::codec::decode_proximity_runs(export.proximity.clone())? {
+            repo.accept_run(run, ProductBatch::Proximity(rows));
+        }
+        Ok(repo)
     }
 }
 

@@ -102,28 +102,30 @@ pub fn record_rate<T: Timed>(records: &[T]) -> f64 {
     (records.len() as f64 - 1.0) / (span_ms as f64 / 1000.0)
 }
 
-/// Merge multiple time-ordered streams into one time-ordered stream
-/// (k-way merge by timestamp).
+/// Merge multiple time-ordered streams into one time-ordered stream — a
+/// `BinaryHeap` k-way merge, `O(n log k)` instead of one linear scan over
+/// all stream heads per output record. Ties go to the lowest stream
+/// index, exactly as the scan-based merge resolved them.
 pub fn merge_by_time<T: Timed + Clone>(streams: &[&[T]]) -> Vec<T> {
-    let mut cursors = vec![0usize; streams.len()];
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     let total: usize = streams.iter().map(|s| s.len()).sum();
     let mut out = Vec::with_capacity(total);
-    loop {
-        let mut best: Option<(usize, Timestamp)> = None;
-        for (k, s) in streams.iter().enumerate() {
-            if cursors[k] < s.len() {
-                let t = s[cursors[k]].time();
-                if best.is_none_or(|(_, bt)| t < bt) {
-                    best = Some((k, t));
-                }
-            }
-        }
-        match best {
-            Some((k, _)) => {
-                out.push(streams[k][cursors[k]].clone());
-                cursors[k] += 1;
-            }
-            None => break,
+    let mut cursors = vec![0usize; streams.len()];
+    // Min-heap of (head timestamp, stream index); a stream re-enters the
+    // heap with its next head after each pop.
+    let mut heads: BinaryHeap<Reverse<(Timestamp, usize)>> = streams
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(k, s)| Reverse((s[0].time(), k)))
+        .collect();
+    while let Some(Reverse((_, k))) = heads.pop() {
+        out.push(streams[k][cursors[k]].clone());
+        cursors[k] += 1;
+        if let Some(next) = streams[k].get(cursors[k]) {
+            heads.push(Reverse((next.time(), k)));
         }
     }
     out
@@ -205,6 +207,47 @@ mod tests {
         let merged = merge_by_time(&[&a, &b]);
         let ts: Vec<u64> = merged.iter().map(|r| r.t.0).collect();
         assert_eq!(ts, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn merge_many_streams() {
+        // 16 strided streams: stream k holds t = k, k+16, k+32, … — the
+        // merge must interleave them back into 0..N in one sorted pass.
+        const K: usize = 16;
+        const PER: u64 = 25;
+        let streams: Vec<Vec<TrajectorySample>> = (0..K as u64)
+            .map(|k| (0..PER).map(|i| s(k + i * K as u64)).collect())
+            .collect();
+        let refs: Vec<&[TrajectorySample]> = streams.iter().map(Vec::as_slice).collect();
+        let merged = merge_by_time(&refs);
+        assert_eq!(merged.len(), K * PER as usize);
+        let ts: Vec<u64> = merged.iter().map(|r| r.t.0).collect();
+        let want: Vec<u64> = (0..K as u64 * PER).collect();
+        assert_eq!(ts, want);
+    }
+
+    #[test]
+    fn merge_ties_keep_stream_order() {
+        // Equal timestamps come out in stream order (lowest index first):
+        // the x coordinate marks which stream each record came from.
+        fn tagged(t: u64, x: f64) -> TrajectorySample {
+            TrajectorySample::new(
+                ObjectId(0),
+                BuildingId(0),
+                FloorId(0),
+                Point::new(x, 0.0),
+                Timestamp(t),
+            )
+        }
+        let a = vec![tagged(10, 0.0), tagged(20, 0.0)];
+        let b = vec![tagged(10, 1.0), tagged(20, 1.0)];
+        let c = vec![tagged(10, 2.0)];
+        let merged = merge_by_time(&[&a, &b, &c]);
+        let tags: Vec<(u64, f64)> = merged.iter().map(|r| (r.t.0, r.point().x)).collect();
+        assert_eq!(
+            tags,
+            vec![(10, 0.0), (10, 1.0), (10, 2.0), (20, 0.0), (20, 1.0)]
+        );
     }
 
     #[test]
