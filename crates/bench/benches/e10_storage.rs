@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use vita_geometry::Point;
 use vita_indoor::{BuildingId, FloorId, ObjectId, Timestamp};
 use vita_mobility::TrajectorySample;
-use vita_storage::{decode_trajectories, encode_trajectories, TrajectoryTable};
+use vita_storage::{decode_trajectories, encode_trajectories, RunScope, TrajectoryTable};
 
 fn make_samples(n: usize) -> Vec<TrajectorySample> {
     (0..n)
@@ -43,18 +43,18 @@ fn bench_queries(c: &mut Criterion) {
     let mut table = TrajectoryTable::new();
     table.insert_bulk(samples);
     // Warm the spatial index once so kNN measures query cost, not build.
-    let _ = table.knn(FloorId(0), Point::new(20.0, 8.0), 1);
+    let _ = table.knn(RunScope::All, FloorId(0), Point::new(20.0, 8.0), 1);
 
     let mut g = c.benchmark_group("e10/query");
     g.sample_size(20);
     g.bench_function("time_window_1pct", |b| {
-        b.iter(|| table.time_window(Timestamp(100_000), Timestamp(114_000)));
+        b.iter(|| table.time_window(RunScope::All, Timestamp(100_000), Timestamp(114_000)));
     });
     g.bench_function("object_trace", |b| {
-        b.iter(|| table.object_trace(ObjectId(42)));
+        b.iter(|| table.object_trace(RunScope::All, ObjectId(42)));
     });
     g.bench_function("snapshot", |b| {
-        b.iter(|| table.snapshot_at(Timestamp(700_000)));
+        b.iter(|| table.snapshot_at(RunScope::All, Timestamp(700_000)));
     });
     g.finish();
 
@@ -62,7 +62,11 @@ fn bench_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10/knn");
     g.sample_size(20);
     g.bench_function("knn10", |b| {
-        b.iter(|| table.knn(FloorId(0), Point::new(20.0, 8.0), 10).len());
+        b.iter(|| {
+            table
+                .knn(RunScope::All, FloorId(0), Point::new(20.0, 8.0), 10)
+                .len()
+        });
     });
     g.finish();
 }

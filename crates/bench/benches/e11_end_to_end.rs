@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vita_bench::e11;
+use vita_storage::RunScope;
 
 const OBJECTS: usize = 20;
 const SECS: u64 = 60;
@@ -19,14 +20,17 @@ fn bench_paths(c: &mut Criterion) {
                 .unwrap();
             vita.generate_rssi(&e11::rssi(SECS)).unwrap();
             let data = vita.run_positioning(&e11::method()).unwrap();
-            (vita.repository().counts(), data.len())
+            (vita.repository().counts(RunScope::All), data.len())
         });
     });
     g.bench_function("streaming", |b| {
         b.iter(|| {
             let mut vita = e11::toolkit(&text);
             let report = vita.run_streaming(&e11::scenario(OBJECTS, SECS)).unwrap();
-            (vita.repository().counts(), report.positioning_rows)
+            (
+                vita.repository().counts(RunScope::All),
+                report.positioning_rows,
+            )
         });
     });
     g.finish();

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use vita_geometry::Point;
 use vita_indoor::{BuildingId, FloorId, ObjectId, Timestamp};
 use vita_mobility::TrajectorySample;
-use vita_storage::{ProductBatch, ProductSink, Repository, ShardedRepository};
+use vita_storage::{ProductBatch, ProductSink, Repository, RunScope, ShardedRepository};
 
 const WRITERS: usize = 4;
 const OBJECTS: u32 = 64;
@@ -61,14 +61,14 @@ fn bench_ingest(c: &mut Criterion) {
         b.iter(|| {
             let repo = Repository::new();
             ingest(&repo, &batches);
-            repo.counts()
+            repo.counts(RunScope::All)
         });
     });
     g.bench_function("sharded_repository_8", |b| {
         b.iter(|| {
             let repo = ShardedRepository::new(8);
             ingest(&repo, &batches);
-            repo.counts()
+            repo.counts(RunScope::All)
         });
     });
     g.finish();

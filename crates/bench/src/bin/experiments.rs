@@ -25,7 +25,7 @@ use vita_positioning::{
     FingerprintConfig, ProximityConfig, SurveyConfig, TrilaterationConfig,
 };
 use vita_rssi::PathLossModel;
-use vita_storage::TrajectoryTable;
+use vita_storage::{RunScope, TrajectoryTable};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,6 +79,9 @@ fn main() {
     }
     if want("e14") {
         e14_persistence();
+    }
+    if want("e15") {
+        e15_query_serving();
     }
     if want("a1") {
         a1_trilateration_ablation();
@@ -175,7 +178,8 @@ fn e11_streaming_pipeline() {
             vita.generate_rssi(&e11::rssi(secs)).unwrap();
             vita.run_positioning(&e11::method()).unwrap();
             batch_ms = batch_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
-            let (t, r, f, _) = vita.repository().counts();
+            let c = vita.repository().counts(RunScope::All);
+            let (t, r, f) = (c.trajectories, c.rssi, c.fixes);
             counts = (t, r, f);
         }
         let (t, r, f) = counts;
@@ -189,7 +193,8 @@ fn e11_streaming_pipeline() {
             let report = vita.run_streaming(&e11::scenario(objects, secs)).unwrap();
             stream_ms = stream_ms.min(report.elapsed.as_secs_f64() * 1000.0);
             peak = report.peak_in_flight_samples;
-            let (ts, rs, fs, _) = vita.repository().counts();
+            let c = vita.repository().counts(RunScope::All);
+            let (ts, rs, fs) = (c.trajectories, c.rssi, c.fixes);
             assert_eq!(
                 (ts, rs, fs),
                 (t, r, f),
@@ -249,7 +254,8 @@ fn e11_at_scale() {
                     .run_streaming(&e11::scenario_with(objects, SECS, WORKERS, *backend))
                     .unwrap();
                 wall_ms[j] = wall_ms[j].min(report.elapsed.as_secs_f64() * 1000.0);
-                let (t, r, f, p) = vita.repository().counts();
+                let c = vita.repository().counts(RunScope::All);
+                let (t, r, f, p) = (c.trajectories, c.rssi, c.fixes, c.proximity);
                 rows[j] = t + r + f + p;
                 max_shard[j] = report
                     .shard_rows
@@ -336,12 +342,13 @@ fn e13_concurrent_scenarios() {
                 // The schedules must agree run by run, every trial.
                 for i in 0..RUNS {
                     assert_eq!(
-                        concurrent.repository().counts_run(RunId(i)),
-                        sequential.repository().counts_run(RunId(i)),
+                        concurrent.repository().counts(RunId(i).into()),
+                        sequential.repository().counts(RunId(i).into()),
                         "schedules diverge at {objects} objects, run {i}"
                     );
                 }
-                let (t, r, f, p) = concurrent.repository().counts();
+                let c = concurrent.repository().counts(RunScope::All);
+                let (t, r, f, p) = (c.trajectories, c.rssi, c.fixes, c.proximity);
                 rows = t + r + f + p;
             }
             println!("| {objects} | {name} | {seq_ms:.0} | {conc_ms:.0} | {rows} | {RUNS} |");
@@ -390,7 +397,8 @@ fn e14_persistence() {
             let mut vita = e11::toolkit(&text);
             vita.run_many(&scenarios).unwrap();
             let repo = vita.repository();
-            let (t, r, f, p) = repo.counts();
+            let c = repo.counts(RunScope::All);
+            let (t, r, f, p) = (c.trajectories, c.rssi, c.fixes, c.proximity);
             let rows = t + r + f + p;
 
             let mut export_ms = f64::INFINITY;
@@ -413,8 +421,8 @@ fn e14_persistence() {
                 assert_eq!(imported.run_ids(), repo.run_ids());
                 for run in repo.run_ids() {
                     assert_eq!(
-                        imported.counts_run(run),
-                        repo.counts_run(run),
+                        imported.counts(run.into()),
+                        repo.counts(run.into()),
                         "round trip diverges at {objects} objects/run, run {run:?}"
                     );
                 }
@@ -425,6 +433,110 @@ fn e14_persistence() {
                 bytes as f64 / 1e6
             );
         }
+    }
+    println!();
+}
+
+/// E15 — online query serving over live ingestion: a closed-feedback load
+/// generator ramps a mixed query workload (counts / snapshot / window /
+/// trace / range / kNN over `All` and per-run scopes) against
+/// `Vita::serve` while a writer thread keeps `run_many` ingesting new
+/// runs into the same repository. The ramp steps the offered rate until a
+/// step achieves less than 90% of its target; the last sustained step is
+/// the backend's max sustainable RPS. Single vs sharded(8) isolates how
+/// much the per-shard locks buy the read path under write contention.
+/// Absolute rates are container-sensitive; compare backends within one
+/// run, not across BENCH files.
+fn e15_query_serving() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+    use vita_bench::e11;
+    use vita_core::{RunId, StorageBackend};
+    use vita_serve::{run_ramp, LoadProfile, WorkloadSpec};
+
+    // Sized for small CI containers (often 1–2 cores): few enough threads
+    // that pacing wakeups don't drown the service, coarse enough steps
+    // that a knee is a knee and not scheduler noise.
+    const STAGE_WORKERS: usize = 2;
+    const QUERY_WORKERS: usize = 2;
+    const SECS: u64 = 10;
+    const OBJECTS: usize = 100;
+
+    println!(
+        "## E15 — online query serving under live ingestion \
+         (ramped load, {QUERY_WORKERS} query workers vs continuous run_many, \
+         office 2F, 10 APs, trilateration)\n"
+    );
+    println!("| backend | target RPS | achieved RPS | issued | p50 µs | p99 µs | p999 µs |");
+    println!("|---|---|---|---|---|---|---|");
+    let text = e11::office_text();
+    let backends = [
+        ("single", StorageBackend::Single),
+        ("sharded(8)", StorageBackend::Sharded { shards: 8 }),
+    ];
+    let mut summary = Vec::new();
+    for (name, backend) in backends {
+        let mut vita = e11::toolkit(&text).with_backend(backend);
+        // Pre-ingest one run so the first ramp steps query real rows
+        // rather than empty tables.
+        vita.run_streaming(&e11::scenario_with(OBJECTS, SECS, STAGE_WORKERS, backend))
+            .unwrap();
+        let service = vita.serve();
+        let workload = WorkloadSpec {
+            scopes: vec![RunScope::All, RunId(0).into(), RunId(1).into()],
+            objects: OBJECTS as u32,
+            floors: 2,
+            t_max: SECS * 1000,
+            window: 2_000,
+            ..Default::default()
+        };
+        let profile = LoadProfile {
+            initial_rps: 1_000.0,
+            increment_rps: 1_000.0,
+            max_rps: 8_000.0,
+            step_duration: Duration::from_millis(400),
+            workers: QUERY_WORKERS,
+            satisfaction: 0.85,
+        };
+
+        let done = AtomicBool::new(false);
+        let report = std::thread::scope(|scope| {
+            let done = &done;
+            let writer = scope.spawn(move || {
+                // Keep ingestion live for the whole ramp: schedule pairs of
+                // small runs back to back until the ramp finishes. Same
+                // backend as the toolkit, so the serve handle stays
+                // attached to the live repository.
+                let mut runs = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    let reports = vita
+                        .run_many(&[
+                            e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend),
+                            e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend),
+                        ])
+                        .unwrap();
+                    runs += reports.len();
+                }
+                runs
+            });
+            let report = run_ramp(&service, &workload, &profile);
+            done.store(true, Ordering::Relaxed);
+            let runs = writer.join().expect("ingestion thread");
+            assert!(runs > 0, "ingestion never completed a run during the ramp");
+            report
+        });
+
+        for s in &report.steps {
+            println!(
+                "| {name} | {:.0} | {:.0} | {} | {} | {} | {} |",
+                s.target_rps, s.achieved_rps, s.issued, s.p50_us, s.p99_us, s.p999_us
+            );
+        }
+        summary.push((name, report.max_sustainable_rps));
+    }
+    println!();
+    for (name, rps) in summary {
+        println!("- max sustainable RPS, {name}: **{rps:.0}**");
     }
     println!();
 }
@@ -996,19 +1108,23 @@ fn e10_storage() {
 
         let span = n as u64 * 7;
         let t1 = Instant::now();
-        let w = table.time_window(Timestamp(span / 2), Timestamp(span / 2 + span / 100));
+        let w = table.time_window(
+            RunScope::All,
+            Timestamp(span / 2),
+            Timestamp(span / 2 + span / 100),
+        );
         let window_us = t1.elapsed().as_secs_f64() * 1e6;
         std::hint::black_box(w.len());
 
         let t2 = Instant::now();
-        let tr = table.object_trace(vita_indoor::ObjectId(42));
+        let tr = table.object_trace(RunScope::All, vita_indoor::ObjectId(42));
         let trace_us = t2.elapsed().as_secs_f64() * 1e6;
         std::hint::black_box(tr.len());
 
         // Build spatial index outside the timing, then measure the query.
-        let _ = table.knn(FloorId(0), Point::new(20.0, 8.0), 1);
+        let _ = table.knn(RunScope::All, FloorId(0), Point::new(20.0, 8.0), 1);
         let t3 = Instant::now();
-        let kn = table.knn(FloorId(0), Point::new(20.0, 8.0), 10);
+        let kn = table.knn(RunScope::All, FloorId(0), Point::new(20.0, 8.0), 10);
         let knn_us = t3.elapsed().as_secs_f64() * 1e6;
         std::hint::black_box(kn.len());
 

@@ -61,7 +61,7 @@ pub use pipeline::{
 };
 pub use props::{Properties, PropsError};
 pub use render::{ascii_floor, svg_floor, Overlay};
-pub use vita_storage::{RunId, ShardCounts, StorageBackend};
+pub use vita_storage::{RunId, RunScope, ShardCounts, StorageBackend, TableCounts};
 
 /// Convenient glob import for toolkit users.
 pub mod prelude {
@@ -84,5 +84,5 @@ pub mod prelude {
         SurveyConfig, TrilaterationConfig,
     };
     pub use vita_rssi::{NoiseModel, PathLossModel, RssiConfig};
-    pub use vita_storage::{ShardCounts, StorageBackend};
+    pub use vita_storage::{RunScope, ShardCounts, StorageBackend, TableCounts};
 }

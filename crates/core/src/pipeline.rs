@@ -99,7 +99,7 @@ impl std::error::Error for VitaError {}
 pub struct Vita {
     env: IndoorEnvironment,
     devices: DeviceRegistry,
-    repo: AnyRepository,
+    repo: Arc<AnyRepository>,
     /// Warnings from DBI processing and environment construction.
     pub warnings: Vec<String>,
     last_generation: Option<GenerationResult>,
@@ -127,7 +127,7 @@ impl Vita {
         Ok(Vita {
             env: built.env,
             devices: DeviceRegistry::new(),
-            repo: AnyRepository::default(),
+            repo: Arc::new(AnyRepository::default()),
             warnings,
             last_generation: None,
             last_rssi: None,
@@ -140,7 +140,7 @@ impl Vita {
         Ok(Vita {
             env: built.env,
             devices: DeviceRegistry::new(),
-            repo: AnyRepository::default(),
+            repo: Arc::new(AnyRepository::default()),
             warnings: built
                 .warnings
                 .iter()
@@ -149,6 +149,33 @@ impl Vita {
             last_generation: None,
             last_rssi: None,
         })
+    }
+
+    /// Construction-time storage backend selection: consume the toolkit
+    /// and return it with its (still empty) repository in the requested
+    /// shape. Free at this point — nothing has been ingested yet, so no
+    /// rows are re-partitioned — which is why this is the preferred way to
+    /// pick a backend, over migrating later with
+    /// [`Vita::migrate_backend`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vita_core::prelude::*;
+    ///
+    /// let dbi = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(1)));
+    /// let vita = Vita::from_dbi_text(&dbi, &BuildParams::default())
+    ///     .unwrap()
+    ///     .with_backend(StorageBackend::Sharded { shards: 4 });
+    /// assert!(matches!(
+    ///     vita.repository().backend(),
+    ///     StorageBackend::Sharded { shards: 4 }
+    /// ));
+    /// ```
+    #[must_use]
+    pub fn with_backend(mut self, backend: StorageBackend) -> Self {
+        apply_backend(&mut self.repo, backend);
+        self
     }
 
     /// Step 2: inspect / customize the host environment.
@@ -245,13 +272,13 @@ impl Vita {
     /// ingests into: with [`StorageBackend::Sharded`], batches route by
     /// object-id hash to per-shard locks, so concurrent stage workers stop
     /// contending on one lock per table (the repository is switched via
-    /// [`Vita::set_storage_backend`] before any worker starts).
+    /// [`Vita::migrate_backend`] before any worker starts).
     ///
     /// The run ingests as [`RunId::DEFAULT`] — equivalent to
     /// [`Vita::run_streaming_as`] with run 0, and to a one-scenario
     /// [`Vita::run_many`] on a fresh toolkit. Like the step-path methods,
     /// repeated calls **merge** into the repository — all under run 0 —
-    /// so `*_run` queries see their union. To keep successive runs
+    /// so run-scoped queries see their union. To keep successive runs
     /// isolated, schedule them with [`Vita::run_many`] (which allocates
     /// fresh run ids past every stored run) or pick explicit distinct ids
     /// with [`Vita::run_streaming_as`].
@@ -285,7 +312,10 @@ impl Vita {
     /// };
     /// let report = vita.run_streaming(&scenario).unwrap();
     /// assert_eq!(report.chunks, 4); // one chunk per object
-    /// assert_eq!(vita.repository().counts().0, report.stats.samples);
+    /// assert_eq!(
+    ///     vita.repository().counts(RunScope::All).trajectories,
+    ///     report.stats.samples,
+    /// );
     /// ```
     pub fn run_streaming(
         &mut self,
@@ -331,8 +361,8 @@ impl Vita {
     /// already in the repository (0 for a fresh toolkit), so successive
     /// schedules never collide with earlier runs' rows; read each run's
     /// assigned id from its report ([`PipelineReport::run`]) and query its
-    /// products in isolation through the `*_run` accessors (e.g.
-    /// [`vita_storage::AnyRepository::fix_rows_run`]).
+    /// products in isolation by scoping any repository query to it (e.g.
+    /// [`vita_storage::AnyRepository::fixes`] with `run.into()`).
     ///
     /// ## Determinism
     ///
@@ -391,7 +421,7 @@ impl Vita {
     /// assert_eq!(reports.len(), 2);
     /// assert_eq!(reports[1].run, RunId(1));
     /// // Each run's rows are tagged and queryable in isolation.
-    /// let run1 = vita.repository().trajectory_rows_run(RunId(1));
+    /// let run1 = vita.repository().trajectories(RunId(1).into());
     /// assert_eq!(run1.len(), reports[1].stats.samples);
     /// ```
     pub fn run_many(
@@ -430,7 +460,7 @@ impl Vita {
     /// [`build_contexts`].
     ///
     /// Takes `&self` on purpose — backend selection (the only mutation) is
-    /// split into [`apply_backend`] / [`Vita::set_storage_backend`], which
+    /// split into [`apply_backend`] / [`Vita::migrate_backend`], which
     /// callers apply before scheduling, so the concurrent machinery needs
     /// no exclusive access to the toolkit.
     /// `start` is captured by the public entry point before validation and
@@ -564,16 +594,27 @@ impl Vita {
             .collect())
     }
 
-    /// Switch the storage backend. A no-op when the repository already has
-    /// the requested shape; otherwise the new backend is installed and any
-    /// rows already stored are re-partitioned into it, run by run (run
-    /// tags survive the switch). Row *sets* are unchanged — every query
-    /// returns the same rows — but re-ingestion replays rows in scan
-    /// order, so answers that expose arrival order among equal sort keys
-    /// (scan, ties in `time_window`/kNN) may come back permuted relative
-    /// to before the switch.
-    pub fn set_storage_backend(&mut self, backend: StorageBackend) {
+    /// Migrate the repository to a different storage backend. A no-op when
+    /// the repository already has the requested shape; otherwise the new
+    /// backend is installed and **every row already stored is re-ingested
+    /// into it**, run by run (run tags survive the switch) — an O(rows)
+    /// copy that also invalidates handles from [`Vita::serve`], which keep
+    /// answering from the pre-migration repository. Prefer picking the
+    /// backend up front with [`Vita::with_backend`] (free on an empty
+    /// repository) and reserve this for repositories that must change
+    /// shape mid-life. Row *sets* are unchanged — every query returns the
+    /// same rows — but re-ingestion replays rows in scan order, so answers
+    /// that expose arrival order among equal sort keys (scan, ties in
+    /// `time_window`/kNN) may come back permuted relative to before the
+    /// switch.
+    pub fn migrate_backend(&mut self, backend: StorageBackend) {
         apply_backend(&mut self.repo, backend);
+    }
+
+    #[deprecated(note = "renamed to `migrate_backend`; prefer `Vita::with_backend` \
+                         at construction time, which avoids the O(rows) re-ingestion")]
+    pub fn set_storage_backend(&mut self, backend: StorageBackend) {
+        self.migrate_backend(backend);
     }
 
     /// The products of the last generation (step 4), if any.
@@ -590,6 +631,42 @@ impl Vita {
     /// backend; see [`vita_storage::AnyRepository`] for the query surface).
     pub fn repository(&self) -> &AnyRepository {
         &self.repo
+    }
+
+    /// A shared handle on the repository, for readers that outlive a
+    /// borrow of the toolkit — most notably query serving
+    /// ([`Vita::serve`]): ingestion through `self` and queries through the
+    /// handle target the same tables concurrently (per-table/per-shard
+    /// read-write locks). A later [`Vita::migrate_backend`] installs a
+    /// *new* repository; existing handles keep answering from the old one.
+    pub fn repository_handle(&self) -> Arc<AnyRepository> {
+        Arc::clone(&self.repo)
+    }
+
+    /// Attach a query front-end to this toolkit's repository: the returned
+    /// [`vita_serve::QueryService`] answers typed
+    /// [`vita_serve::QueryRequest`]s — cheaply cloneable across query
+    /// worker threads — while [`Vita::run_streaming`] / [`Vita::run_many`]
+    /// keep ingesting into the same repository.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vita_core::prelude::*;
+    /// use vita_serve::{QueryRequest, QueryResponse};
+    ///
+    /// let dbi = vita_dbi::write_step(&vita_dbi::office(&SynthParams::with_floors(1)));
+    /// let vita = Vita::from_dbi_text(&dbi, &BuildParams::default()).unwrap();
+    /// let service = vita.serve();
+    /// let QueryResponse::Counts(c) = service.execute(&QueryRequest::Counts {
+    ///     scope: RunScope::All,
+    /// }) else {
+    ///     panic!("counts query answers with counts");
+    /// };
+    /// assert_eq!(c.total(), 0); // nothing ingested yet
+    /// ```
+    pub fn serve(&self) -> vita_serve::QueryService {
+        vita_serve::QueryService::new(self.repository_handle())
     }
 
     /// Persist every stored data product to `dir` (created if missing) as
@@ -633,7 +710,10 @@ impl Vita {
     ///
     /// let mut restored = Vita::from_dbi_text(&dbi, &BuildParams::default()).unwrap();
     /// restored.load_from(&dir).unwrap();
-    /// assert_eq!(restored.repository().counts(), vita.repository().counts());
+    /// assert_eq!(
+    ///     restored.repository().counts(RunScope::All),
+    ///     vita.repository().counts(RunScope::All),
+    /// );
     /// std::fs::remove_dir_all(&dir).unwrap();
     /// ```
     pub fn save_to(&self, dir: impl AsRef<std::path::Path>) -> Result<(), VitaError> {
@@ -653,8 +733,9 @@ impl Vita {
     /// its previous contents.
     pub fn load_from(&mut self, dir: impl AsRef<std::path::Path>) -> Result<(), VitaError> {
         let export = RepositoryExport::read_dir(dir.as_ref()).map_err(VitaError::Io)?;
-        self.repo =
-            AnyRepository::import(&export, self.repo.backend()).map_err(VitaError::Codec)?;
+        self.repo = Arc::new(
+            AnyRepository::import(&export, self.repo.backend()).map_err(VitaError::Codec)?,
+        );
         Ok(())
     }
 }
@@ -698,22 +779,24 @@ fn build_contexts<'a>(
     Ok(contexts)
 }
 
-/// [`Vita::set_storage_backend`] over the bare repository field (free
+/// [`Vita::migrate_backend`] over the bare repository handle (free
 /// function so the scheduling entry points can apply it while per-run
-/// contexts hold borrows of the environment/devices fields).
-fn apply_backend(repo: &mut AnyRepository, backend: StorageBackend) {
+/// contexts hold borrows of the environment/devices fields). Installs a
+/// **fresh** repository behind a fresh [`Arc`]: live [`Vita::serve`]
+/// handles keep the old one alive and keep answering from it.
+fn apply_backend(repo: &mut Arc<AnyRepository>, backend: StorageBackend) {
     if repo.backend() == backend {
         return;
     }
-    let old = std::mem::replace(repo, AnyRepository::new(backend));
+    let old = std::mem::replace(repo, Arc::new(AnyRepository::new(backend)));
     for run in old.run_ids() {
         repo.accept_run(
             run,
-            ProductBatch::Trajectories(old.trajectory_rows_run(run)),
+            ProductBatch::Trajectories(old.trajectories(run.into())),
         );
-        repo.accept_run(run, ProductBatch::Rssi(old.rssi_rows_run(run)));
-        repo.accept_run(run, ProductBatch::Fixes(old.fix_rows_run(run)));
-        repo.accept_run(run, ProductBatch::Proximity(old.proximity_rows_run(run)));
+        repo.accept_run(run, ProductBatch::Rssi(old.rssi(run.into())));
+        repo.accept_run(run, ProductBatch::Fixes(old.fixes(run.into())));
+        repo.accept_run(run, ProductBatch::Proximity(old.proximity(run.into())));
     }
 }
 
@@ -805,6 +888,25 @@ pub struct StreamOptions {
     pub backend: StorageBackend,
 }
 
+impl StreamOptions {
+    /// Builder-style backend selection, mirroring [`Vita::with_backend`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vita_core::prelude::*;
+    ///
+    /// let options = StreamOptions::default()
+    ///     .with_backend(StorageBackend::Sharded { shards: 8 });
+    /// assert!(matches!(options.backend, StorageBackend::Sharded { shards: 8 }));
+    /// ```
+    #[must_use]
+    pub fn with_backend(mut self, backend: StorageBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
 impl Default for StreamOptions {
     fn default() -> Self {
         StreamOptions {
@@ -873,6 +975,7 @@ mod tests {
     use vita_mobility::LifespanConfig;
     use vita_positioning::{ProximityConfig, TrilaterationConfig};
     use vita_rssi::PathLossModel;
+    use vita_storage::RunScope;
 
     fn toolkit() -> Vita {
         let text = write_step(&office(&SynthParams::with_floors(2)));
@@ -926,10 +1029,10 @@ mod tests {
         assert!(!data.is_empty());
 
         // Storage holds all products.
-        let (t, r, f, _) = vita.repository().counts();
-        assert_eq!(t, samples);
-        assert_eq!(r, rssi_count);
-        assert_eq!(f, data.len());
+        let c = vita.repository().counts(RunScope::All);
+        assert_eq!(c.trajectories, samples);
+        assert_eq!(c.rssi, rssi_count);
+        assert_eq!(c.fixes, data.len());
     }
 
     #[test]
@@ -965,9 +1068,9 @@ mod tests {
         let data = vita
             .run_positioning(&MethodConfig::Proximity(ProximityConfig::default()))
             .unwrap();
-        let (_, _, fixes, prox) = vita.repository().counts();
-        assert_eq!(prox, data.len());
-        assert_eq!(fixes, 0);
+        let c = vita.repository().counts(RunScope::All);
+        assert_eq!(c.proximity, data.len());
+        assert_eq!(c.fixes, 0);
     }
 
     #[test]
@@ -992,14 +1095,14 @@ mod tests {
             options: StreamOptions::default(),
         };
         let report = vita.run_streaming(&scenario).unwrap();
-        let (t, r, f, p) = vita.repository().counts();
+        let c = vita.repository().counts(RunScope::All);
         assert_eq!(report.stats.objects, 6);
         assert_eq!(report.chunks, 6);
-        assert_eq!(t, report.stats.samples);
-        assert_eq!(r, report.rssi_rows);
-        assert_eq!(f, report.positioning_rows);
-        assert_eq!(p, 0);
-        assert!(r > 0 && f > 0);
+        assert_eq!(c.trajectories, report.stats.samples);
+        assert_eq!(c.rssi, report.rssi_rows);
+        assert_eq!(c.fixes, report.positioning_rows);
+        assert_eq!(c.proximity, 0);
+        assert!(c.rssi > 0 && c.fixes > 0);
         // Streaming bounds in-flight data; it never holds the whole run.
         assert!(report.peak_in_flight_samples <= report.stats.samples);
         assert!(report.peak_in_flight_samples > 0);
@@ -1031,7 +1134,7 @@ mod tests {
             Err(VitaError::Positioning(_))
         ));
         // Nothing was stored.
-        assert_eq!(vita.repository().counts(), (0, 0, 0, 0));
+        assert_eq!(vita.repository().counts(RunScope::All).total(), 0);
     }
 
     fn trilateration_scenario(mobility: MobilityConfig) -> ScenarioConfig {
@@ -1072,13 +1175,13 @@ mod tests {
         let repo = vita.repository();
         assert_eq!(repo.run_ids(), vec![RunId(0), RunId(1)]);
         for r in &reports {
-            assert_eq!(repo.trajectory_rows_run(r.run).len(), r.stats.samples);
-            assert_eq!(repo.rssi_rows_run(r.run).len(), r.rssi_rows);
-            assert_eq!(repo.fix_rows_run(r.run).len(), r.positioning_rows);
+            assert_eq!(repo.trajectories(r.run.into()).len(), r.stats.samples);
+            assert_eq!(repo.rssi(r.run.into()).len(), r.rssi_rows);
+            assert_eq!(repo.fixes(r.run.into()).len(), r.positioning_rows);
         }
-        // The unscoped queries merge all runs.
+        // The all-runs scope merges every run.
         assert_eq!(
-            repo.counts().0,
+            repo.counts(RunScope::All).trajectories,
             reports.iter().map(|r| r.stats.samples).sum::<usize>()
         );
     }
@@ -1095,8 +1198,8 @@ mod tests {
         let s = trilateration_scenario(quick_mobility());
         let reports = vita.run_many(&[s.clone(), s]).unwrap();
         let repo = vita.repository();
-        let a = repo.trajectory_rows_run(RunId(0));
-        let b = repo.trajectory_rows_run(RunId(1));
+        let a = repo.trajectories(RunId(0).into());
+        let b = repo.trajectories(RunId(1).into());
         // Same scenario, different run → decorrelated RNG streams: the
         // trajectories must not be identical.
         assert_eq!(reports[0].stats.objects, reports[1].stats.objects);
@@ -1126,9 +1229,9 @@ mod tests {
         assert_eq!(reports[1].run, RunId(2));
         let repo = vita.repository();
         assert_eq!(repo.run_ids(), vec![RunId(0), RunId(1), RunId(2)]);
-        assert_eq!(repo.trajectory_rows_run(RunId(0)).len(), solo.stats.samples);
+        assert_eq!(repo.trajectories(RunId(0).into()).len(), solo.stats.samples);
         for r in &reports {
-            assert_eq!(repo.trajectory_rows_run(r.run).len(), r.stats.samples);
+            assert_eq!(repo.trajectories(r.run.into()).len(), r.stats.samples);
         }
     }
 
@@ -1178,14 +1281,14 @@ mod tests {
             vita.run_many(&[a, b]),
             Err(VitaError::MixedBackends)
         ));
-        assert_eq!(vita.repository().counts(), (0, 0, 0, 0));
+        assert_eq!(vita.repository().counts(RunScope::All).total(), 0);
     }
 
     #[test]
     fn run_many_of_nothing_is_empty() {
         let mut vita = toolkit();
         assert!(vita.run_many(&[]).unwrap().is_empty());
-        assert_eq!(vita.repository().counts(), (0, 0, 0, 0));
+        assert_eq!(vita.repository().counts(RunScope::All).total(), 0);
     }
 
     #[test]
@@ -1219,8 +1322,7 @@ mod tests {
 
         // Load into a fresh toolkit on the *sharded* backend: run tags
         // must survive the backend switch.
-        let mut restored = toolkit();
-        restored.set_storage_backend(StorageBackend::Sharded { shards: 4 });
+        let mut restored = toolkit().with_backend(StorageBackend::Sharded { shards: 4 });
         restored.load_from(&dir).unwrap();
         assert!(matches!(
             restored.repository().backend(),
@@ -1229,11 +1331,11 @@ mod tests {
         assert_eq!(restored.repository().run_ids(), vita.repository().run_ids());
         for r in &reports {
             assert_eq!(
-                restored.repository().counts_run(r.run),
-                vita.repository().counts_run(r.run)
+                restored.repository().counts(r.run.into()),
+                vita.repository().counts(r.run.into())
             );
-            let mut want = vita.repository().trajectory_rows_run(r.run);
-            let mut got = restored.repository().trajectory_rows_run(r.run);
+            let mut want = vita.repository().trajectories(r.run.into());
+            let mut got = restored.repository().trajectories(r.run.into());
             let key = |s: &vita_mobility::TrajectorySample| (s.object.0, s.t.0);
             want.sort_by_key(key);
             got.sort_by_key(key);
@@ -1260,7 +1362,7 @@ mod tests {
         );
         vita.run_streaming(&trilateration_scenario(quick_mobility()))
             .unwrap();
-        let counts = vita.repository().counts();
+        let counts = vita.repository().counts(RunScope::All);
         let dir = std::env::temp_dir().join(format!(
             "vita_corrupt_{}_{:?}",
             std::process::id(),
@@ -1271,7 +1373,7 @@ mod tests {
             std::fs::write(dir.join(name), b"not a vita file").unwrap();
         }
         assert!(matches!(vita.load_from(&dir), Err(VitaError::Codec(_))));
-        assert_eq!(vita.repository().counts(), counts);
+        assert_eq!(vita.repository().counts(RunScope::All), counts);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -66,13 +66,19 @@
 //! [`RunId::DEFAULT`]). Each table keeps a run index next to its time /
 //! object / device indexes, so
 //!
-//! * the pre-existing query surface is unchanged and answers over **all
-//!   runs merged**, and
-//! * every query has a `*_run` variant scoped to one run (e.g.
-//!   [`table::TrajectoryTable::time_window_run`],
-//!   [`ShardedRepository::fixes_scan_run`]) whose answer is exactly what a
-//!   repository that only ever saw that run would return — run isolation,
-//!   enforced by the `run_isolation` proptest suite on both backends.
+//! every query takes a [`RunScope`] naming the runs it answers over:
+//!
+//! * [`RunScope::All`] merges **all runs** — what a repository that ignored
+//!   run tags would return, and
+//! * [`RunScope::One`] restricts the same query to one run, whose answer is
+//!   exactly what a repository that only ever saw that run would return —
+//!   run isolation, enforced by the `run_isolation` proptest suite on both
+//!   backends.
+//!
+//! [`RunId`] converts into a scope (`run.into()`), so scoped call sites
+//! stay short. The pre-`RunScope` method names (`counts_run`,
+//! `time_window_run`, `trajectory_rows`, …) survive as thin `#[deprecated]`
+//! wrappers for downstream callers; nothing inside the workspace uses them.
 //!
 //! ## Persistence & wire format
 //!
@@ -105,17 +111,108 @@ pub use codec::{
     encode_fixes_runs, encode_proximity, encode_proximity_runs, encode_rssi, encode_rssi_runs,
     encode_trajectories, encode_trajectories_runs, CodecError,
 };
-pub use sharded::{ShardCounts, ShardedRepository, DEFAULT_SHARDS};
+pub use sharded::{ShardedRepository, DEFAULT_SHARDS};
 pub use stream::{downsample, merge_by_time, record_rate, Timed, TumblingWindow};
 pub use table::{FixTable, ProximityTable, RowId, RssiTable, TrajectoryTable};
 
 use parking_lot::RwLock;
 
+use vita_geometry::{Aabb, Point};
+use vita_indoor::{FloorId, ObjectId, Timestamp};
 use vita_mobility::TrajectorySample;
 use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
 
 pub use vita_indoor::RunId;
+
+/// Which runs a query answers over — the run dimension made explicit (see
+/// the crate-level "run dimension" docs).
+///
+/// Every query method on the storage backends takes a `RunScope` as its
+/// first argument. [`RunId`] converts into one, so call sites restricted to
+/// a single run read `repo.counts(run.into())`.
+///
+/// # Examples
+///
+/// ```
+/// use vita_storage::{RunId, RunScope};
+///
+/// assert_eq!(RunScope::default(), RunScope::All);
+/// let scope: RunScope = RunId(3).into();
+/// assert_eq!(scope, RunScope::One(RunId(3)));
+/// assert_eq!(scope.run(), Some(RunId(3)));
+/// assert_eq!(RunScope::All.run(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RunScope {
+    /// All runs merged — what a repository that ignored run tags would
+    /// answer.
+    #[default]
+    All,
+    /// One run in isolation — what a repository that only ever saw that
+    /// run would answer.
+    One(RunId),
+}
+
+impl RunScope {
+    /// The scoped run, or `None` for [`RunScope::All`].
+    #[inline]
+    pub fn run(self) -> Option<RunId> {
+        match self {
+            RunScope::All => None,
+            RunScope::One(run) => Some(run),
+        }
+    }
+}
+
+impl From<RunId> for RunScope {
+    fn from(run: RunId) -> Self {
+        RunScope::One(run)
+    }
+}
+
+/// Named row counts of the four product tables, as returned by the `counts`
+/// queries (formerly an anonymous `(usize, usize, usize, usize)`).
+///
+/// # Examples
+///
+/// ```
+/// use vita_storage::TableCounts;
+///
+/// let c = TableCounts { trajectories: 10, rssi: 4, fixes: 2, proximity: 1 };
+/// assert_eq!(c.total(), 17);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableCounts {
+    pub trajectories: usize,
+    pub rssi: usize,
+    pub fixes: usize,
+    pub proximity: usize,
+}
+
+impl TableCounts {
+    /// Total rows across all four tables.
+    pub fn total(&self) -> usize {
+        self.trajectories + self.rssi + self.fixes + self.proximity
+    }
+}
+
+impl std::ops::Add for TableCounts {
+    type Output = TableCounts;
+
+    fn add(self, rhs: TableCounts) -> TableCounts {
+        TableCounts {
+            trajectories: self.trajectories + rhs.trajectories,
+            rssi: self.rssi + rhs.rssi,
+            fixes: self.fixes + rhs.fixes,
+            proximity: self.proximity + rhs.proximity,
+        }
+    }
+}
+
+/// Former name of [`TableCounts`]: per-shard count reports predate the
+/// named struct and keep their spelling.
+pub type ShardCounts = TableCounts;
 
 /// One owned batch of a generated data product, as handed from a producer
 /// stage to a [`ProductSink`]. Carrying the `Vec` by value lets sinks move
@@ -213,24 +310,29 @@ impl Repository {
         self.proximity.write().insert_bulk(rs);
     }
 
-    /// Row counts of all tables: (trajectories, rssi, fixes, proximity).
-    pub fn counts(&self) -> (usize, usize, usize, usize) {
-        (
-            self.trajectories.read().len(),
-            self.rssi.read().len(),
-            self.fixes.read().len(),
-            self.proximity.read().len(),
-        )
+    /// Row counts of the four tables under `scope`.
+    pub fn counts(&self, scope: RunScope) -> TableCounts {
+        match scope.run() {
+            None => TableCounts {
+                trajectories: self.trajectories.read().len(),
+                rssi: self.rssi.read().len(),
+                fixes: self.fixes.read().len(),
+                proximity: self.proximity.read().len(),
+            },
+            Some(run) => TableCounts {
+                trajectories: self.trajectories.read().len_run(run),
+                rssi: self.rssi.read().len_run(run),
+                fixes: self.fixes.read().len_run(run),
+                proximity: self.proximity.read().len_run(run),
+            },
+        }
     }
 
     /// Row counts of one run: (trajectories, rssi, fixes, proximity).
+    #[deprecated(note = "use `counts(run.into())`, which returns `TableCounts`")]
     pub fn counts_run(&self, run: RunId) -> (usize, usize, usize, usize) {
-        (
-            self.trajectories.read().len_run(run),
-            self.rssi.read().len_run(run),
-            self.fixes.read().len_run(run),
-            self.proximity.read().len_run(run),
-        )
+        let c = self.counts(run.into());
+        (c.trajectories, c.rssi, c.fixes, c.proximity)
     }
 
     /// Every run with at least one row in any table, ascending.
@@ -408,11 +510,11 @@ impl AnyRepository {
         }
     }
 
-    /// Row counts of all tables: (trajectories, rssi, fixes, proximity).
-    pub fn counts(&self) -> (usize, usize, usize, usize) {
+    /// Row counts of the four tables under `scope`.
+    pub fn counts(&self, scope: RunScope) -> TableCounts {
         match self {
-            AnyRepository::Single(r) => r.counts(),
-            AnyRepository::Sharded(s) => s.counts(),
+            AnyRepository::Single(r) => r.counts(scope),
+            AnyRepository::Sharded(s) => s.counts(scope),
         }
     }
 
@@ -420,15 +522,7 @@ impl AnyRepository {
     /// backend).
     pub fn per_shard_counts(&self) -> Vec<ShardCounts> {
         match self {
-            AnyRepository::Single(r) => {
-                let (trajectories, rssi, fixes, proximity) = r.counts();
-                vec![ShardCounts {
-                    trajectories,
-                    rssi,
-                    fixes,
-                    proximity,
-                }]
-            }
+            AnyRepository::Single(r) => vec![r.counts(RunScope::All)],
             AnyRepository::Sharded(s) => s.per_shard_counts(),
         }
     }
@@ -442,89 +536,214 @@ impl AnyRepository {
     }
 
     /// Row counts of one run: (trajectories, rssi, fixes, proximity).
+    #[deprecated(note = "use `counts(run.into())`, which returns `TableCounts`")]
     pub fn counts_run(&self, run: RunId) -> (usize, usize, usize, usize) {
-        match self {
-            AnyRepository::Single(r) => r.counts_run(run),
-            AnyRepository::Sharded(s) => s.counts_run(run),
-        }
+        let c = self.counts(run.into());
+        (c.trajectories, c.rssi, c.fixes, c.proximity)
     }
 
-    /// Owned copy of every trajectory sample, all runs merged (single:
+    /// Owned copy of the trajectory samples under `scope` (single:
     /// insertion order; sharded: shard order — the same row set either
     /// way).
-    pub fn trajectory_rows(&self) -> Vec<TrajectorySample> {
+    pub fn trajectories(&self, scope: RunScope) -> Vec<TrajectorySample> {
         match self {
-            AnyRepository::Single(r) => r.trajectories.read().scan().copied().collect(),
-            AnyRepository::Sharded(s) => s.trajectories_scan(),
+            AnyRepository::Single(r) => {
+                let t = r.trajectories.read();
+                match scope.run() {
+                    None => t.scan().copied().collect(),
+                    Some(run) => t.scan_run(run).into_iter().copied().collect(),
+                }
+            }
+            AnyRepository::Sharded(s) => s.trajectories_scan(scope),
         }
     }
 
-    /// Owned copy of one run's trajectory samples.
-    pub fn trajectory_rows_run(&self, run: RunId) -> Vec<TrajectorySample> {
+    /// Owned copy of the RSSI measurements under `scope` (same ordering
+    /// contract as [`AnyRepository::trajectories`]).
+    pub fn rssi(&self, scope: RunScope) -> Vec<RssiMeasurement> {
+        match self {
+            AnyRepository::Single(r) => {
+                let t = r.rssi.read();
+                match scope.run() {
+                    None => t.scan().copied().collect(),
+                    Some(run) => t.scan_run(run).into_iter().copied().collect(),
+                }
+            }
+            AnyRepository::Sharded(s) => s.rssi_scan(scope),
+        }
+    }
+
+    /// Owned copy of the positioning fixes under `scope` (same ordering
+    /// contract as [`AnyRepository::trajectories`]).
+    pub fn fixes(&self, scope: RunScope) -> Vec<Fix> {
+        match self {
+            AnyRepository::Single(r) => {
+                let t = r.fixes.read();
+                match scope.run() {
+                    None => t.scan().copied().collect(),
+                    Some(run) => t.scan_run(run).into_iter().copied().collect(),
+                }
+            }
+            AnyRepository::Sharded(s) => s.fixes_scan(scope),
+        }
+    }
+
+    /// Owned copy of the proximity records under `scope` (same ordering
+    /// contract as [`AnyRepository::trajectories`]).
+    pub fn proximity(&self, scope: RunScope) -> Vec<ProximityRecord> {
+        match self {
+            AnyRepository::Single(r) => {
+                let t = r.proximity.read();
+                match scope.run() {
+                    None => t.scan().copied().collect(),
+                    Some(run) => t.scan_run(run).into_iter().copied().collect(),
+                }
+            }
+            AnyRepository::Sharded(s) => s.proximity_scan(scope),
+        }
+    }
+
+    /// Latest trajectory sample at or before `t` (inclusive) per object
+    /// under `scope`, sorted by object id — the backend-agnostic snapshot
+    /// query serving dispatches to (see
+    /// [`table::TrajectoryTable::snapshot_at`] for the contract).
+    pub fn snapshot_at(&self, scope: RunScope, t: Timestamp) -> Vec<TrajectorySample> {
         match self {
             AnyRepository::Single(r) => r
                 .trajectories
                 .read()
-                .scan_run(run)
+                .snapshot_at(scope, t)
                 .into_iter()
                 .copied()
                 .collect(),
-            AnyRepository::Sharded(s) => s.trajectories_scan_run(run),
+            AnyRepository::Sharded(s) => s.trajectories_snapshot_at(scope, t),
         }
+    }
+
+    /// Trajectory samples in the **half-open** window `from <= t < to`
+    /// under `scope`, time-ordered (ties: single keeps arrival order,
+    /// sharded keeps shard order — the same row set either way).
+    pub fn time_window(
+        &self,
+        scope: RunScope,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<TrajectorySample> {
+        match self {
+            AnyRepository::Single(r) => r
+                .trajectories
+                .read()
+                .time_window(scope, from, to)
+                .into_iter()
+                .copied()
+                .collect(),
+            AnyRepository::Sharded(s) => s.trajectories_time_window(scope, from, to),
+        }
+    }
+
+    /// An object's trajectory under `scope`, time-ordered.
+    pub fn object_trace(&self, scope: RunScope, o: ObjectId) -> Vec<TrajectorySample> {
+        match self {
+            AnyRepository::Single(r) => r
+                .trajectories
+                .read()
+                .object_trace(scope, o)
+                .into_iter()
+                .copied()
+                .collect(),
+            AnyRepository::Sharded(s) => s.object_trace(scope, o),
+        }
+    }
+
+    /// Trajectory samples on `floor` inside `query` under `scope` (single:
+    /// insertion order; sharded: shard order — the same row set either
+    /// way).
+    pub fn range_query(
+        &self,
+        scope: RunScope,
+        floor: FloorId,
+        query: &Aabb,
+    ) -> Vec<TrajectorySample> {
+        match self {
+            AnyRepository::Single(r) => r
+                .trajectories
+                .read()
+                .range_query(scope, floor, query)
+                .into_iter()
+                .copied()
+                .collect(),
+            AnyRepository::Sharded(s) => s.trajectories_range_query(scope, floor, query),
+        }
+    }
+
+    /// The k trajectory samples nearest `p` on `floor` under `scope`, with
+    /// their distances, nearest first (the distance multiset is identical
+    /// across backends; equal-distance ties may order differently).
+    pub fn knn(
+        &self,
+        scope: RunScope,
+        floor: FloorId,
+        p: Point,
+        k: usize,
+    ) -> Vec<(TrajectorySample, f64)> {
+        match self {
+            AnyRepository::Single(r) => r
+                .trajectories
+                .read()
+                .knn(scope, floor, p, k)
+                .into_iter()
+                .map(|(s, d)| (*s, d))
+                .collect(),
+            AnyRepository::Sharded(s) => s.trajectories_knn(scope, floor, p, k),
+        }
+    }
+
+    /// Owned copy of every trajectory sample, all runs merged.
+    #[deprecated(note = "use `trajectories(RunScope::All)`")]
+    pub fn trajectory_rows(&self) -> Vec<TrajectorySample> {
+        self.trajectories(RunScope::All)
+    }
+
+    /// Owned copy of one run's trajectory samples.
+    #[deprecated(note = "use `trajectories(run.into())`")]
+    pub fn trajectory_rows_run(&self, run: RunId) -> Vec<TrajectorySample> {
+        self.trajectories(run.into())
     }
 
     /// Owned copy of every RSSI measurement, all runs merged.
+    #[deprecated(note = "use `rssi(RunScope::All)`")]
     pub fn rssi_rows(&self) -> Vec<RssiMeasurement> {
-        match self {
-            AnyRepository::Single(r) => r.rssi.read().scan().copied().collect(),
-            AnyRepository::Sharded(s) => s.rssi_scan(),
-        }
+        self.rssi(RunScope::All)
     }
 
     /// Owned copy of one run's RSSI measurements.
+    #[deprecated(note = "use `rssi(run.into())`")]
     pub fn rssi_rows_run(&self, run: RunId) -> Vec<RssiMeasurement> {
-        match self {
-            AnyRepository::Single(r) => r.rssi.read().scan_run(run).into_iter().copied().collect(),
-            AnyRepository::Sharded(s) => s.rssi_scan_run(run),
-        }
+        self.rssi(run.into())
     }
 
     /// Owned copy of every positioning fix, all runs merged.
+    #[deprecated(note = "use `fixes(RunScope::All)`")]
     pub fn fix_rows(&self) -> Vec<Fix> {
-        match self {
-            AnyRepository::Single(r) => r.fixes.read().scan().copied().collect(),
-            AnyRepository::Sharded(s) => s.fixes_scan(),
-        }
+        self.fixes(RunScope::All)
     }
 
     /// Owned copy of one run's positioning fixes.
+    #[deprecated(note = "use `fixes(run.into())`")]
     pub fn fix_rows_run(&self, run: RunId) -> Vec<Fix> {
-        match self {
-            AnyRepository::Single(r) => r.fixes.read().scan_run(run).into_iter().copied().collect(),
-            AnyRepository::Sharded(s) => s.fixes_scan_run(run),
-        }
+        self.fixes(run.into())
     }
 
     /// Owned copy of every proximity record, all runs merged.
+    #[deprecated(note = "use `proximity(RunScope::All)`")]
     pub fn proximity_rows(&self) -> Vec<ProximityRecord> {
-        match self {
-            AnyRepository::Single(r) => r.proximity.read().scan().copied().collect(),
-            AnyRepository::Sharded(s) => s.proximity_scan(),
-        }
+        self.proximity(RunScope::All)
     }
 
     /// Owned copy of one run's proximity records.
+    #[deprecated(note = "use `proximity(run.into())`")]
     pub fn proximity_rows_run(&self, run: RunId) -> Vec<ProximityRecord> {
-        match self {
-            AnyRepository::Single(r) => r
-                .proximity
-                .read()
-                .scan_run(run)
-                .into_iter()
-                .copied()
-                .collect(),
-            AnyRepository::Sharded(s) => s.proximity_scan_run(run),
-        }
+        self.proximity(run.into())
     }
 
     /// Serialize every table into one buffer per table, run-segmented:
@@ -603,7 +822,16 @@ mod tests {
             ts: Timestamp(0),
             te: Timestamp(100),
         }]);
-        assert_eq!(repo.counts(), (10, 1, 1, 1));
+        assert_eq!(
+            repo.counts(RunScope::All),
+            TableCounts {
+                trajectories: 10,
+                rssi: 1,
+                fixes: 1,
+                proximity: 1
+            }
+        );
+        assert_eq!(repo.counts(RunScope::All).total(), 13);
     }
 
     #[test]
@@ -625,7 +853,15 @@ mod tests {
             t: Timestamp(50),
         }]));
         sink.accept(ProductBatch::Proximity(Vec::new()));
-        assert_eq!(repo.counts(), (5, 1, 1, 0));
+        assert_eq!(
+            repo.counts(RunScope::All),
+            TableCounts {
+                trajectories: 5,
+                rssi: 1,
+                fixes: 1,
+                proximity: 0
+            }
+        );
         assert_eq!(ProductBatch::Rssi(Vec::new()).len(), 0);
         assert!(ProductBatch::Fixes(Vec::new()).is_empty());
     }
@@ -642,10 +878,18 @@ mod tests {
         }));
         let export = repo.export();
         let restored = Repository::import(&export).unwrap();
-        assert_eq!(restored.counts(), repo.counts());
+        assert_eq!(restored.counts(RunScope::All), repo.counts(RunScope::All));
         // Spot check a trace.
-        let a = repo.trajectories.read().object_trace(ObjectId(1)).len();
-        let b = restored.trajectories.read().object_trace(ObjectId(1)).len();
+        let a = repo
+            .trajectories
+            .read()
+            .object_trace(RunScope::All, ObjectId(1))
+            .len();
+        let b = restored
+            .trajectories
+            .read()
+            .object_trace(RunScope::All, ObjectId(1))
+            .len();
         assert_eq!(a, b);
     }
 
@@ -663,7 +907,7 @@ mod tests {
                     total += r
                         .trajectories
                         .read()
-                        .time_window(Timestamp(k * 100), Timestamp(k * 100 + 500))
+                        .time_window(RunScope::All, Timestamp(k * 100), Timestamp(k * 100 + 500))
                         .len();
                 }
                 total
@@ -679,6 +923,6 @@ mod tests {
             assert!(h.join().is_ok());
         }
         writer.join().unwrap();
-        assert_eq!(repo.counts().0, 200);
+        assert_eq!(repo.counts(RunScope::All).trajectories, 200);
     }
 }

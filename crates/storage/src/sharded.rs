@@ -32,30 +32,13 @@ use vita_rssi::RssiMeasurement;
 use crate::{
     borrow_sections, encode_fixes_runs, encode_proximity_runs, encode_rssi_runs,
     encode_trajectories_runs, run_sections, CodecError, ProductBatch, ProductSink, Repository,
-    RepositoryExport,
+    RepositoryExport, RunScope, ShardCounts, TableCounts,
 };
 
 /// Default shard count: enough to spread a typical stage-worker pool
 /// (usually half the cores) across distinct locks without fragmenting
 /// small runs.
 pub const DEFAULT_SHARDS: usize = 8;
-
-/// Per-shard row counts of the four product tables, as recorded in
-/// pipeline reports and exposed by [`ShardedRepository::per_shard_counts`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ShardCounts {
-    pub trajectories: usize,
-    pub rssi: usize,
-    pub fixes: usize,
-    pub proximity: usize,
-}
-
-impl ShardCounts {
-    /// Total rows across all four tables.
-    pub fn total(&self) -> usize {
-        self.trajectories + self.rssi + self.fixes + self.proximity
-    }
-}
 
 /// SplitMix64 finalizer: a cheap, well-mixing integer hash so consecutive
 /// object ids (the common allocation pattern) spread evenly over shards
@@ -77,7 +60,7 @@ fn mix64(x: u64) -> u64 {
 /// use vita_geometry::Point;
 /// use vita_indoor::{BuildingId, FloorId, ObjectId, RunId, Timestamp};
 /// use vita_mobility::TrajectorySample;
-/// use vita_storage::{ProductBatch, ProductSink, ShardedRepository};
+/// use vita_storage::{ProductBatch, ProductSink, RunScope, ShardedRepository};
 ///
 /// let repo = ShardedRepository::new(4);
 /// // Two runs ingest concurrently-shaped batches into the same tables.
@@ -95,13 +78,13 @@ fn mix64(x: u64) -> u64 {
 ///         );
 ///     }
 /// }
-/// // Unscoped queries merge all runs; `*_run` variants isolate one.
-/// assert_eq!(repo.trajectories_scan().len(), 9);
-/// assert_eq!(repo.trajectories_scan_run(RunId(1)).len(), 3);
+/// // `RunScope::All` merges all runs; `run.into()` isolates one.
+/// assert_eq!(repo.trajectories_scan(RunScope::All).len(), 9);
+/// assert_eq!(repo.trajectories_scan(RunId(1).into()).len(), 3);
 /// assert_eq!(repo.run_ids(), vec![RunId(0), RunId(1)]);
 /// // Every row of one object lives in exactly one shard.
-/// assert_eq!(repo.object_trace(ObjectId(2)).len(), 2);
-/// assert_eq!(repo.object_trace_run(RunId(1), ObjectId(2)).len(), 1);
+/// assert_eq!(repo.object_trace(RunScope::All, ObjectId(2)).len(), 2);
+/// assert_eq!(repo.object_trace(RunId(1).into(), ObjectId(2)).len(), 1);
 /// ```
 #[derive(Debug)]
 pub struct ShardedRepository {
@@ -132,21 +115,19 @@ impl ShardedRepository {
         &self.shards
     }
 
-    /// Row counts of all tables: (trajectories, rssi, fixes, proximity).
-    pub fn counts(&self) -> (usize, usize, usize, usize) {
-        self.shards.iter().fold((0, 0, 0, 0), |acc, s| {
-            let (t, r, f, p) = s.counts();
-            (acc.0 + t, acc.1 + r, acc.2 + f, acc.3 + p)
-        })
+    /// Row counts of the four tables under `scope`, summed across shards.
+    pub fn counts(&self, scope: RunScope) -> TableCounts {
+        self.shards
+            .iter()
+            .fold(TableCounts::default(), |acc, s| acc + s.counts(scope))
     }
 
     /// Row counts of one run across all shards: (trajectories, rssi,
     /// fixes, proximity).
+    #[deprecated(note = "use `counts(run.into())`, which returns `TableCounts`")]
     pub fn counts_run(&self, run: RunId) -> (usize, usize, usize, usize) {
-        self.shards.iter().fold((0, 0, 0, 0), |acc, s| {
-            let (t, r, f, p) = s.counts_run(run);
-            (acc.0 + t, acc.1 + r, acc.2 + f, acc.3 + p)
-        })
+        let c = self.counts(run.into());
+        (c.trajectories, c.rssi, c.fixes, c.proximity)
     }
 
     /// Every run with at least one row in any shard, ascending.
@@ -161,15 +142,7 @@ impl ShardedRepository {
     pub fn per_shard_counts(&self) -> Vec<ShardCounts> {
         self.shards
             .iter()
-            .map(|s| {
-                let (trajectories, rssi, fixes, proximity) = s.counts();
-                ShardCounts {
-                    trajectories,
-                    rssi,
-                    fixes,
-                    proximity,
-                }
-            })
+            .map(|s| s.counts(RunScope::All))
             .collect()
     }
 
@@ -208,32 +181,30 @@ impl ShardedRepository {
 
     // ---- trajectory queries -------------------------------------------
 
-    /// Every trajectory sample, all runs merged, in shard order (within a
-    /// shard: insertion order). The row *set* equals a single repository's
-    /// `scan`.
-    pub fn trajectories_scan(&self) -> Vec<TrajectorySample> {
+    /// `scope`'s trajectory samples, in shard order (within a shard:
+    /// insertion order). The row *set* equals a single repository's scan.
+    pub fn trajectories_scan(&self, scope: RunScope) -> Vec<TrajectorySample> {
         concat(&self.shards, |s| {
-            s.trajectories.read().scan().copied().collect()
+            let t = s.trajectories.read();
+            match scope.run() {
+                None => t.scan().copied().collect(),
+                Some(run) => t.scan_run(run).into_iter().copied().collect(),
+            }
         })
     }
 
     /// One run's trajectory samples, in shard order.
+    #[deprecated(note = "use `trajectories_scan(run.into())`")]
     pub fn trajectories_scan_run(&self, run: RunId) -> Vec<TrajectorySample> {
-        concat(&self.shards, |s| {
-            s.trajectories
-                .read()
-                .scan_run(run)
-                .into_iter()
-                .copied()
-                .collect()
-        })
+        self.trajectories_scan(run.into())
     }
 
-    /// Shard-merge of [`crate::TrajectoryTable::time_window`]: all samples
-    /// with `from <= t < to` (half-open, like the single-table contract),
-    /// time-ordered; ties keep shard order.
+    /// Shard-merge of [`crate::TrajectoryTable::time_window`]: `scope`'s
+    /// samples with `from <= t < to` (half-open, like the single-table
+    /// contract), time-ordered; ties keep shard order.
     pub fn trajectories_time_window(
         &self,
+        scope: RunScope,
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<TrajectorySample> {
@@ -241,7 +212,7 @@ impl ShardedRepository {
             per_shard(&self.shards, |s| {
                 s.trajectories
                     .read()
-                    .time_window(from, to)
+                    .time_window(scope, from, to)
                     .into_iter()
                     .copied()
                     .collect()
@@ -250,37 +221,27 @@ impl ShardedRepository {
         )
     }
 
-    /// [`Self::trajectories_time_window`] restricted to one run (same
-    /// half-open contract and ordering).
+    /// [`Self::trajectories_time_window`] restricted to one run.
+    #[deprecated(note = "use `trajectories_time_window(run.into(), from, to)`")]
     pub fn trajectories_time_window_run(
         &self,
         run: RunId,
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<TrajectorySample> {
-        merge_sorted(
-            per_shard(&self.shards, |s| {
-                s.trajectories
-                    .read()
-                    .time_window_run(run, from, to)
-                    .into_iter()
-                    .copied()
-                    .collect()
-            }),
-            |s| s.t,
-        )
+        self.trajectories_time_window(run.into(), from, to)
     }
 
     /// Shard-merge of [`crate::TrajectoryTable::snapshot_at`] (`t`
     /// inclusive): objects are disjoint across shards, so merging the
     /// per-shard snapshots by object id reproduces the single-table answer
     /// exactly.
-    pub fn trajectories_snapshot_at(&self, t: Timestamp) -> Vec<TrajectorySample> {
+    pub fn trajectories_snapshot_at(&self, scope: RunScope, t: Timestamp) -> Vec<TrajectorySample> {
         merge_sorted(
             per_shard(&self.shards, |s| {
                 s.trajectories
                     .read()
-                    .snapshot_at(t)
+                    .snapshot_at(scope, t)
                     .into_iter()
                     .copied()
                     .collect()
@@ -290,52 +251,44 @@ impl ShardedRepository {
     }
 
     /// [`Self::trajectories_snapshot_at`] restricted to one run.
+    #[deprecated(note = "use `trajectories_snapshot_at(run.into(), t)`")]
     pub fn trajectories_snapshot_at_run(&self, run: RunId, t: Timestamp) -> Vec<TrajectorySample> {
-        merge_sorted(
-            per_shard(&self.shards, |s| {
-                s.trajectories
-                    .read()
-                    .snapshot_at_run(run, t)
-                    .into_iter()
-                    .copied()
-                    .collect()
-            }),
-            |s| s.object,
-        )
+        self.trajectories_snapshot_at(run.into(), t)
     }
 
-    /// An object's full trace, all runs merged, time-ordered — answered
-    /// entirely by the owning shard, identical to the single-table answer.
-    pub fn object_trace(&self, o: ObjectId) -> Vec<TrajectorySample> {
+    /// `scope`'s trace of object `o`, time-ordered — answered entirely by
+    /// the owning shard, identical to the single-table answer.
+    pub fn object_trace(&self, scope: RunScope, o: ObjectId) -> Vec<TrajectorySample> {
         self.shards[self.shard_of(o)]
             .trajectories
             .read()
-            .object_trace(o)
+            .object_trace(scope, o)
             .into_iter()
             .copied()
             .collect()
     }
 
     /// [`Self::object_trace`] restricted to one run.
+    #[deprecated(note = "use `object_trace(run.into(), o)`")]
     pub fn object_trace_run(&self, run: RunId, o: ObjectId) -> Vec<TrajectorySample> {
-        self.shards[self.shard_of(o)]
-            .trajectories
-            .read()
-            .object_trace_run(run, o)
-            .into_iter()
-            .copied()
-            .collect()
+        self.object_trace(run.into(), o)
     }
 
-    /// Shard-merge spatial range query: samples on `floor` inside `query`,
-    /// in shard order (within a shard: insertion order). Same row set as
-    /// the single-table [`crate::TrajectoryTable::range_query`]; needs only
-    /// per-shard *read* locks.
-    pub fn trajectories_range_query(&self, floor: FloorId, query: &Aabb) -> Vec<TrajectorySample> {
+    /// Shard-merge spatial range query: `scope`'s samples on `floor`
+    /// inside `query`, in shard order (within a shard: insertion order).
+    /// Same row set as the single-table
+    /// [`crate::TrajectoryTable::range_query`]; needs only per-shard
+    /// *read* locks.
+    pub fn trajectories_range_query(
+        &self,
+        scope: RunScope,
+        floor: FloorId,
+        query: &Aabb,
+    ) -> Vec<TrajectorySample> {
         concat(&self.shards, |s| {
             s.trajectories
                 .read()
-                .range_query(floor, query)
+                .range_query(scope, floor, query)
                 .into_iter()
                 .copied()
                 .collect()
@@ -343,28 +296,23 @@ impl ShardedRepository {
     }
 
     /// [`Self::trajectories_range_query`] restricted to one run.
+    #[deprecated(note = "use `trajectories_range_query(run.into(), floor, query)`")]
     pub fn trajectories_range_query_run(
         &self,
         run: RunId,
         floor: FloorId,
         query: &Aabb,
     ) -> Vec<TrajectorySample> {
-        concat(&self.shards, |s| {
-            s.trajectories
-                .read()
-                .range_query_run(run, floor, query)
-                .into_iter()
-                .copied()
-                .collect()
-        })
+        self.trajectories_range_query(run.into(), floor, query)
     }
 
-    /// Shard-merge kNN: k nearest per shard, merged by distance and cut to
-    /// the global k (ties at equal distance keep shard order; a single
-    /// repository breaks such ties in insertion order instead — the
+    /// Shard-merge kNN: `scope`'s k nearest per shard, merged by distance
+    /// and cut to the global k (ties at equal distance keep shard order; a
+    /// single repository breaks such ties in insertion order instead — the
     /// returned distance multiset is identical either way).
     pub fn trajectories_knn(
         &self,
+        scope: RunScope,
         floor: FloorId,
         p: Point,
         k: usize,
@@ -373,20 +321,21 @@ impl ShardedRepository {
             per_shard(&self.shards, |s| {
                 s.trajectories
                     .read()
-                    .knn(floor, p, k)
+                    .knn(scope, floor, p, k)
                     .into_iter()
                     .map(|(s, d)| (*s, d))
                     .collect()
             }),
             // f64 distances are non-NaN (they come from Point::dist);
             // order by bits is order by value for non-negative floats.
-            |(_, d)| d.to_bits(),
+            |(_, d): &(TrajectorySample, f64)| d.to_bits(),
         );
         merged.truncate(k);
         merged
     }
 
     /// [`Self::trajectories_knn`] restricted to one run.
+    #[deprecated(note = "use `trajectories_knn(run.into(), floor, p, k)`")]
     pub fn trajectories_knn_run(
         &self,
         run: RunId,
@@ -394,67 +343,33 @@ impl ShardedRepository {
         p: Point,
         k: usize,
     ) -> Vec<(TrajectorySample, f64)> {
-        let mut merged = merge_sorted(
-            per_shard(&self.shards, |s| {
-                s.trajectories
-                    .read()
-                    .knn_run(run, floor, p, k)
-                    .into_iter()
-                    .map(|(s, d)| (*s, d))
-                    .collect()
-            }),
-            |(_, d): &(TrajectorySample, f64)| d.to_bits(),
-        );
-        merged.truncate(k);
-        merged
+        self.trajectories_knn(run.into(), floor, p, k)
     }
 
     // ---- rssi queries -------------------------------------------------
 
-    /// Every RSSI measurement, all runs merged, in shard order.
-    pub fn rssi_scan(&self) -> Vec<RssiMeasurement> {
-        concat(&self.shards, |s| s.rssi.read().scan().copied().collect())
+    /// `scope`'s RSSI measurements, in shard order.
+    pub fn rssi_scan(&self, scope: RunScope) -> Vec<RssiMeasurement> {
+        concat(&self.shards, |s| {
+            let t = s.rssi.read();
+            match scope.run() {
+                None => t.scan().copied().collect(),
+                Some(run) => t.scan_run(run).into_iter().copied().collect(),
+            }
+        })
     }
 
     /// One run's RSSI measurements, in shard order.
+    #[deprecated(note = "use `rssi_scan(run.into())`")]
     pub fn rssi_scan_run(&self, run: RunId) -> Vec<RssiMeasurement> {
-        concat(&self.shards, |s| {
-            s.rssi.read().scan_run(run).into_iter().copied().collect()
-        })
+        self.rssi_scan(run.into())
     }
 
     /// Shard-merge of [`crate::RssiTable::time_window`] (half-open),
     /// time-ordered; ties keep shard order.
-    pub fn rssi_time_window(&self, from: Timestamp, to: Timestamp) -> Vec<RssiMeasurement> {
-        merge_sorted(
-            per_shard(&self.shards, |s| {
-                s.rssi
-                    .read()
-                    .time_window(from, to)
-                    .into_iter()
-                    .copied()
-                    .collect()
-            }),
-            |m| m.t,
-        )
-    }
-
-    /// An object's measurements, all runs merged, time-ordered — owning
-    /// shard only.
-    pub fn rssi_of_object(&self, o: ObjectId) -> Vec<RssiMeasurement> {
-        self.shards[self.shard_of(o)]
-            .rssi
-            .read()
-            .of_object(o)
-            .into_iter()
-            .copied()
-            .collect()
-    }
-
-    /// [`Self::rssi_time_window`] restricted to one run.
-    pub fn rssi_time_window_run(
+    pub fn rssi_time_window(
         &self,
-        run: RunId,
+        scope: RunScope,
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<RssiMeasurement> {
@@ -462,7 +377,7 @@ impl ShardedRepository {
             per_shard(&self.shards, |s| {
                 s.rssi
                     .read()
-                    .time_window_run(run, from, to)
+                    .time_window(scope, from, to)
                     .into_iter()
                     .copied()
                     .collect()
@@ -471,65 +386,85 @@ impl ShardedRepository {
         )
     }
 
-    /// [`Self::rssi_of_object`] restricted to one run.
-    pub fn rssi_of_object_run(&self, run: RunId, o: ObjectId) -> Vec<RssiMeasurement> {
+    /// [`Self::rssi_time_window`] restricted to one run.
+    #[deprecated(note = "use `rssi_time_window(run.into(), from, to)`")]
+    pub fn rssi_time_window_run(
+        &self,
+        run: RunId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<RssiMeasurement> {
+        self.rssi_time_window(run.into(), from, to)
+    }
+
+    /// `scope`'s measurements of object `o`, time-ordered — owning shard
+    /// only.
+    pub fn rssi_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<RssiMeasurement> {
         self.shards[self.shard_of(o)]
             .rssi
             .read()
-            .of_object_run(run, o)
+            .of_object(scope, o)
             .into_iter()
             .copied()
             .collect()
     }
 
-    /// A device's measurements across all shards, time-ordered; ties keep
-    /// shard order (devices are not the partition key, so this is a merge).
-    pub fn rssi_of_device(&self, d: DeviceId) -> Vec<RssiMeasurement> {
+    /// [`Self::rssi_of_object`] restricted to one run.
+    #[deprecated(note = "use `rssi_of_object(run.into(), o)`")]
+    pub fn rssi_of_object_run(&self, run: RunId, o: ObjectId) -> Vec<RssiMeasurement> {
+        self.rssi_of_object(run.into(), o)
+    }
+
+    /// `scope`'s measurements through device `d` across all shards,
+    /// time-ordered; ties keep shard order (devices are not the partition
+    /// key, so this is a merge).
+    pub fn rssi_of_device(&self, scope: RunScope, d: DeviceId) -> Vec<RssiMeasurement> {
         merge_sorted(
             per_shard(&self.shards, |s| {
-                s.rssi.read().of_device(d).into_iter().copied().collect()
+                s.rssi
+                    .read()
+                    .of_device(scope, d)
+                    .into_iter()
+                    .copied()
+                    .collect()
             }),
             |m| m.t,
         )
     }
 
     /// [`Self::rssi_of_device`] restricted to one run.
+    #[deprecated(note = "use `rssi_of_device(run.into(), d)`")]
     pub fn rssi_of_device_run(&self, run: RunId, d: DeviceId) -> Vec<RssiMeasurement> {
-        merge_sorted(
-            per_shard(&self.shards, |s| {
-                s.rssi
-                    .read()
-                    .of_device_run(run, d)
-                    .into_iter()
-                    .copied()
-                    .collect()
-            }),
-            |m| m.t,
-        )
+        self.rssi_of_device(run.into(), d)
     }
 
     // ---- fix queries --------------------------------------------------
 
-    /// Every fix, all runs merged, in shard order.
-    pub fn fixes_scan(&self) -> Vec<Fix> {
-        concat(&self.shards, |s| s.fixes.read().scan().copied().collect())
+    /// `scope`'s fixes, in shard order.
+    pub fn fixes_scan(&self, scope: RunScope) -> Vec<Fix> {
+        concat(&self.shards, |s| {
+            let t = s.fixes.read();
+            match scope.run() {
+                None => t.scan().copied().collect(),
+                Some(run) => t.scan_run(run).into_iter().copied().collect(),
+            }
+        })
     }
 
     /// One run's fixes, in shard order.
+    #[deprecated(note = "use `fixes_scan(run.into())`")]
     pub fn fixes_scan_run(&self, run: RunId) -> Vec<Fix> {
-        concat(&self.shards, |s| {
-            s.fixes.read().scan_run(run).into_iter().copied().collect()
-        })
+        self.fixes_scan(run.into())
     }
 
     /// Shard-merge of [`crate::FixTable::time_window`] (half-open),
     /// time-ordered; ties keep shard order.
-    pub fn fixes_time_window(&self, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+    pub fn fixes_time_window(&self, scope: RunScope, from: Timestamp, to: Timestamp) -> Vec<Fix> {
         merge_sorted(
             per_shard(&self.shards, |s| {
                 s.fixes
                     .read()
-                    .time_window(from, to)
+                    .time_window(scope, from, to)
                     .into_iter()
                     .copied()
                     .collect()
@@ -538,74 +473,62 @@ impl ShardedRepository {
         )
     }
 
-    /// An object's fixes, all runs merged, time-ordered — owning shard
-    /// only.
-    pub fn fixes_of_object(&self, o: ObjectId) -> Vec<Fix> {
+    /// [`Self::fixes_time_window`] restricted to one run.
+    #[deprecated(note = "use `fixes_time_window(run.into(), from, to)`")]
+    pub fn fixes_time_window_run(&self, run: RunId, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        self.fixes_time_window(run.into(), from, to)
+    }
+
+    /// `scope`'s fixes of object `o`, time-ordered — owning shard only.
+    pub fn fixes_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<Fix> {
         self.shards[self.shard_of(o)]
             .fixes
             .read()
-            .of_object(o)
+            .of_object(scope, o)
             .into_iter()
             .copied()
             .collect()
     }
 
     /// [`Self::fixes_of_object`] restricted to one run.
+    #[deprecated(note = "use `fixes_of_object(run.into(), o)`")]
     pub fn fixes_of_object_run(&self, run: RunId, o: ObjectId) -> Vec<Fix> {
-        self.shards[self.shard_of(o)]
-            .fixes
-            .read()
-            .of_object_run(run, o)
-            .into_iter()
-            .copied()
-            .collect()
-    }
-
-    /// [`Self::fixes_time_window`] restricted to one run.
-    pub fn fixes_time_window_run(&self, run: RunId, from: Timestamp, to: Timestamp) -> Vec<Fix> {
-        merge_sorted(
-            per_shard(&self.shards, |s| {
-                s.fixes
-                    .read()
-                    .time_window_run(run, from, to)
-                    .into_iter()
-                    .copied()
-                    .collect()
-            }),
-            |f| f.t,
-        )
+        self.fixes_of_object(run.into(), o)
     }
 
     // ---- proximity queries --------------------------------------------
 
-    /// Every proximity record, all runs merged, in shard order.
-    pub fn proximity_scan(&self) -> Vec<ProximityRecord> {
+    /// `scope`'s proximity records, in shard order.
+    pub fn proximity_scan(&self, scope: RunScope) -> Vec<ProximityRecord> {
         concat(&self.shards, |s| {
-            s.proximity.read().scan().copied().collect()
+            let t = s.proximity.read();
+            match scope.run() {
+                None => t.scan().copied().collect(),
+                Some(run) => t.scan_run(run).into_iter().copied().collect(),
+            }
         })
     }
 
     /// One run's proximity records, in shard order.
+    #[deprecated(note = "use `proximity_scan(run.into())`")]
     pub fn proximity_scan_run(&self, run: RunId) -> Vec<ProximityRecord> {
-        concat(&self.shards, |s| {
-            s.proximity
-                .read()
-                .scan_run(run)
-                .into_iter()
-                .copied()
-                .collect()
-        })
+        self.proximity_scan(run.into())
     }
 
     /// Shard-merge of [`crate::ProximityTable::overlapping`] (closed record
     /// period vs half-open window), ordered by start time; ties keep shard
     /// order.
-    pub fn proximity_overlapping(&self, from: Timestamp, to: Timestamp) -> Vec<ProximityRecord> {
+    pub fn proximity_overlapping(
+        &self,
+        scope: RunScope,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<ProximityRecord> {
         merge_sorted(
             per_shard(&self.shards, |s| {
                 s.proximity
                     .read()
-                    .overlapping(from, to)
+                    .overlapping(scope, from, to)
                     .into_iter()
                     .copied()
                     .collect()
@@ -615,56 +538,42 @@ impl ShardedRepository {
     }
 
     /// [`Self::proximity_overlapping`] restricted to one run.
+    #[deprecated(note = "use `proximity_overlapping(run.into(), from, to)`")]
     pub fn proximity_overlapping_run(
         &self,
         run: RunId,
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<ProximityRecord> {
-        merge_sorted(
-            per_shard(&self.shards, |s| {
-                s.proximity
-                    .read()
-                    .overlapping_run(run, from, to)
-                    .into_iter()
-                    .copied()
-                    .collect()
-            }),
-            |r| r.ts,
-        )
+        self.proximity_overlapping(run.into(), from, to)
     }
 
-    /// An object's detection periods, all runs merged, ordered by start
-    /// time — owning shard only.
-    pub fn proximity_of_object(&self, o: ObjectId) -> Vec<ProximityRecord> {
+    /// `scope`'s detection periods of object `o`, ordered by start time —
+    /// owning shard only.
+    pub fn proximity_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<ProximityRecord> {
         self.shards[self.shard_of(o)]
             .proximity
             .read()
-            .of_object(o)
+            .of_object(scope, o)
             .into_iter()
             .copied()
             .collect()
     }
 
     /// [`Self::proximity_of_object`] restricted to one run.
+    #[deprecated(note = "use `proximity_of_object(run.into(), o)`")]
     pub fn proximity_of_object_run(&self, run: RunId, o: ObjectId) -> Vec<ProximityRecord> {
-        self.shards[self.shard_of(o)]
-            .proximity
-            .read()
-            .of_object_run(run, o)
-            .into_iter()
-            .copied()
-            .collect()
+        self.proximity_of_object(run.into(), o)
     }
 
-    /// A device's detection periods across all shards, ordered by start
-    /// time; ties keep shard order.
-    pub fn proximity_of_device(&self, d: DeviceId) -> Vec<ProximityRecord> {
+    /// `scope`'s detection periods through device `d` across all shards,
+    /// ordered by start time; ties keep shard order.
+    pub fn proximity_of_device(&self, scope: RunScope, d: DeviceId) -> Vec<ProximityRecord> {
         merge_sorted(
             per_shard(&self.shards, |s| {
                 s.proximity
                     .read()
-                    .of_device(d)
+                    .of_device(scope, d)
                     .into_iter()
                     .copied()
                     .collect()
@@ -674,18 +583,9 @@ impl ShardedRepository {
     }
 
     /// [`Self::proximity_of_device`] restricted to one run.
+    #[deprecated(note = "use `proximity_of_device(run.into(), d)`")]
     pub fn proximity_of_device_run(&self, run: RunId, d: DeviceId) -> Vec<ProximityRecord> {
-        merge_sorted(
-            per_shard(&self.shards, |s| {
-                s.proximity
-                    .read()
-                    .of_device_run(run, d)
-                    .into_iter()
-                    .copied()
-                    .collect()
-            }),
-            |r| r.ts,
-        )
+        self.proximity_of_device(run.into(), d)
     }
 
     /// Serialize every table into one buffer per table, one wire-format
@@ -694,10 +594,10 @@ impl ShardedRepository {
     /// any of the `import` constructors.
     pub fn export(&self) -> RepositoryExport {
         let runs = self.run_ids();
-        let t = run_sections(runs.clone(), |r| self.trajectories_scan_run(r));
-        let m = run_sections(runs.clone(), |r| self.rssi_scan_run(r));
-        let f = run_sections(runs.clone(), |r| self.fixes_scan_run(r));
-        let p = run_sections(runs, |r| self.proximity_scan_run(r));
+        let t = run_sections(runs.clone(), |r| self.trajectories_scan(r.into()));
+        let m = run_sections(runs.clone(), |r| self.rssi_scan(r.into()));
+        let f = run_sections(runs.clone(), |r| self.fixes_scan(r.into()));
+        let p = run_sections(runs, |r| self.proximity_scan(r.into()));
         RepositoryExport {
             trajectories: encode_trajectories_runs(&borrow_sections(&t)),
             rssi: encode_rssi_runs(&borrow_sections(&m)),
@@ -827,15 +727,15 @@ mod tests {
                 (0..5).map(|i| sample(o, i * 100, o as f64)).collect(),
             ));
         }
-        assert_eq!(repo.counts().0, 45);
-        assert_eq!(repo.trajectories_scan().len(), 45);
-        let w = repo.trajectories_time_window(Timestamp(100), Timestamp(300));
+        assert_eq!(repo.counts(RunScope::All).trajectories, 45);
+        assert_eq!(repo.trajectories_scan(RunScope::All).len(), 45);
+        let w = repo.trajectories_time_window(RunScope::All, Timestamp(100), Timestamp(300));
         assert_eq!(w.len(), 18);
         assert!(w.windows(2).all(|p| p[0].t <= p[1].t));
-        let trace = repo.object_trace(ObjectId(4));
+        let trace = repo.object_trace(RunScope::All, ObjectId(4));
         assert_eq!(trace.len(), 5);
         assert!(trace.windows(2).all(|p| p[0].t < p[1].t));
-        let snap = repo.trajectories_snapshot_at(Timestamp(250));
+        let snap = repo.trajectories_snapshot_at(RunScope::All, Timestamp(250));
         assert_eq!(snap.len(), 9);
         assert!(snap.windows(2).all(|p| p[0].object < p[1].object));
         assert!(snap.iter().all(|s| s.t == Timestamp(200)));
@@ -847,14 +747,14 @@ mod tests {
         let rows: Vec<TrajectorySample> =
             (0..40u32).map(|o| sample(o, o as u64, o as f64)).collect();
         repo.accept(ProductBatch::Trajectories(rows));
-        assert_eq!(repo.counts().0, 40);
+        assert_eq!(repo.counts(RunScope::All).trajectories, 40);
         let per = repo.per_shard_counts();
         assert_eq!(per.len(), 4);
         assert_eq!(per.iter().map(|c| c.trajectories).sum::<usize>(), 40);
         assert_eq!(per.iter().map(ShardCounts::total).sum::<usize>(), 40);
         // Each object still answers from exactly one shard.
         for o in 0..40u32 {
-            assert_eq!(repo.object_trace(ObjectId(o)).len(), 1);
+            assert_eq!(repo.object_trace(RunScope::All, ObjectId(o)).len(), 1);
         }
     }
 
@@ -871,10 +771,10 @@ mod tests {
                 })
                 .collect(),
         ));
-        let d0 = repo.rssi_of_device(DeviceId(0));
+        let d0 = repo.rssi_of_device(RunScope::All, DeviceId(0));
         assert_eq!(d0.len(), 10);
         assert!(d0.windows(2).all(|p| p[0].t <= p[1].t));
-        assert_eq!(repo.rssi_of_object(ObjectId(3)).len(), 1);
+        assert_eq!(repo.rssi_of_object(RunScope::All, ObjectId(3)).len(), 1);
 
         repo.accept(ProductBatch::Proximity(
             (0..6u32)
@@ -886,10 +786,13 @@ mod tests {
                 })
                 .collect(),
         ));
-        let overlap = repo.proximity_overlapping(Timestamp(0), Timestamp(250));
+        let overlap = repo.proximity_overlapping(RunScope::All, Timestamp(0), Timestamp(250));
         assert_eq!(overlap.len(), 3);
         assert!(overlap.windows(2).all(|p| p[0].ts <= p[1].ts));
-        assert_eq!(repo.proximity_of_device(DeviceId(0)).len(), 6);
+        assert_eq!(
+            repo.proximity_of_device(RunScope::All, DeviceId(0)).len(),
+            6
+        );
     }
 
     #[test]
@@ -899,11 +802,12 @@ mod tests {
             repo.accept(ProductBatch::Trajectories(vec![sample(o, 0, o as f64)]));
         }
         let hits = repo.trajectories_range_query(
+            RunScope::All,
             FloorId(0),
             &Aabb::new(Point::new(2.5, -1.0), Point::new(6.5, 1.0)),
         );
         assert_eq!(hits.len(), 4); // x = 3, 4, 5, 6
-        let near = repo.trajectories_knn(FloorId(0), Point::new(5.2, 0.0), 3);
+        let near = repo.trajectories_knn(RunScope::All, FloorId(0), Point::new(5.2, 0.0), 3);
         assert_eq!(near.len(), 3);
         assert!(near.windows(2).all(|p| p[0].1 <= p[1].1));
         let xs: Vec<f64> = near.iter().map(|(s, _)| s.point().x).collect();
@@ -922,7 +826,7 @@ mod tests {
             t: Timestamp(5),
         }]));
         let restored = Repository::import(&repo.export()).unwrap();
-        assert_eq!(restored.counts(), repo.counts());
+        assert_eq!(restored.counts(RunScope::All), repo.counts(RunScope::All));
     }
 
     #[test]
@@ -930,6 +834,6 @@ mod tests {
         let repo = ShardedRepository::new(0);
         assert_eq!(repo.shard_count(), 1);
         repo.accept(ProductBatch::Trajectories(vec![sample(7, 0, 0.0)]));
-        assert_eq!(repo.counts().0, 1);
+        assert_eq!(repo.counts(RunScope::All).trajectories, 1);
     }
 }

@@ -18,6 +18,8 @@ use vita_mobility::TrajectorySample;
 use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
 
+use crate::RunScope;
+
 /// Row identifier within one table.
 pub type RowId = u32;
 
@@ -86,8 +88,8 @@ fn index_times<T>(
 
 /// A table of raw trajectory samples `(o_id, loc, t)`, tagged with the
 /// [`RunId`] that produced each row (see the crate docs on the run
-/// dimension). Unscoped queries answer over **all** runs; every query has a
-/// `*_run` variant restricted to one run.
+/// dimension). Every query takes a [`RunScope`]: [`RunScope::All`] answers
+/// over all runs merged, [`RunScope::One`] restricts it to one run.
 #[derive(Debug, Default)]
 pub struct TrajectoryTable {
     rows: Vec<TrajectorySample>,
@@ -211,8 +213,9 @@ impl TrajectoryTable {
             .unwrap_or_default()
     }
 
-    /// All samples in the **half-open** window `from <= t < to`,
-    /// time-ordered (rows sharing a timestamp keep arrival order).
+    /// All of `scope`'s samples in the **half-open** window
+    /// `from <= t < to`, time-ordered (rows sharing a timestamp keep
+    /// arrival order).
     ///
     /// Every `time_window` across the storage tables uses this half-open
     /// contract, and [`ProximityTable::overlapping`] intersects against the
@@ -220,58 +223,51 @@ impl TrajectoryTable {
     /// row counted twice — and shard-merge queries
     /// ([`crate::ShardedRepository`]) cannot diverge from single-table
     /// answers at window edges.
-    pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&TrajectorySample> {
-        let mut out = Vec::new();
-        for (_, ids) in self.by_time.range(from..to) {
-            out.extend(ids.iter().map(|&i| &self.rows[i as usize]));
-        }
-        out
-    }
-
-    /// [`Self::time_window`] restricted to one run (same half-open
-    /// contract and ordering). Walks the time index and filters per row —
-    /// cost is `O(all runs' rows inside the window)`, which beats a
-    /// per-run scan for the narrow windows time queries usually ask;
-    /// for window spans approaching the whole run, prefer
-    /// [`Self::scan_run`] and filter.
-    pub fn time_window_run(
+    ///
+    /// The scoped form walks the time index and filters per row — cost is
+    /// `O(all runs' rows inside the window)`, which beats a per-run scan
+    /// for the narrow windows time queries usually ask; for window spans
+    /// approaching the whole run, prefer [`Self::scan_run`] and filter.
+    pub fn time_window(
         &self,
-        run: RunId,
+        scope: RunScope,
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<&TrajectorySample> {
+        let run = scope.run();
         let mut out = Vec::new();
         for (_, ids) in self.by_time.range(from..to) {
             out.extend(
                 ids.iter()
-                    .filter(|&&i| self.runs[i as usize] == run)
+                    .filter(|&&i| run.is_none_or(|r| self.runs[i as usize] == r))
                     .map(|&i| &self.rows[i as usize]),
             );
         }
         out
     }
 
-    /// An object's full trace, all runs merged, time-ordered.
-    pub fn object_trace(&self, o: ObjectId) -> Vec<&TrajectorySample> {
-        let mut rows: Vec<&TrajectorySample> = self
-            .by_object
-            .get(&o)
-            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
-            .unwrap_or_default();
-        rows.sort_by_key(|s| s.t);
-        rows
+    /// [`Self::time_window`] restricted to one run.
+    #[deprecated(note = "use `time_window(run.into(), from, to)`")]
+    pub fn time_window_run(
+        &self,
+        run: RunId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<&TrajectorySample> {
+        self.time_window(run.into(), from, to)
     }
 
-    /// One run's trace of object `o`, time-ordered. Distinct runs reuse the
-    /// same dense object-id space, so the all-runs [`Self::object_trace`]
-    /// interleaves unrelated runs' objects — this is the per-tenant view.
-    pub fn object_trace_run(&self, run: RunId, o: ObjectId) -> Vec<&TrajectorySample> {
+    /// `scope`'s trace of object `o`, time-ordered. Distinct runs reuse
+    /// the same dense object-id space, so [`RunScope::All`] interleaves
+    /// unrelated runs' objects — [`RunScope::One`] is the per-tenant view.
+    pub fn object_trace(&self, scope: RunScope, o: ObjectId) -> Vec<&TrajectorySample> {
+        let run = scope.run();
         let mut rows: Vec<&TrajectorySample> = self
             .by_object
             .get(&o)
             .map(|ids| {
                 ids.iter()
-                    .filter(|&&i| self.runs[i as usize] == run)
+                    .filter(|&&i| run.is_none_or(|r| self.runs[i as usize] == r))
                     .map(|&i| &self.rows[i as usize])
                     .collect()
             })
@@ -280,17 +276,52 @@ impl TrajectoryTable {
         rows
     }
 
-    /// Latest sample at or before `t` for every object (the bound is
-    /// **inclusive**: a sample stamped exactly `t` is eligible): the
-    /// snapshot the demo GUI extracts when generation is paused (paper §5
-    /// step 4). Output is sorted by object id; among an object's samples
+    /// [`Self::object_trace`] restricted to one run.
+    #[deprecated(note = "use `object_trace(run.into(), o)`")]
+    pub fn object_trace_run(&self, run: RunId, o: ObjectId) -> Vec<&TrajectorySample> {
+        self.object_trace(run.into(), o)
+    }
+
+    /// Latest sample at or before `t` for every object of `scope` (the
+    /// bound is **inclusive**: a sample stamped exactly `t` is eligible):
+    /// the snapshot the demo GUI extracts when generation is paused (paper
+    /// §5 step 4). Output is sorted by object id; among an object's samples
     /// sharing the latest timestamp the last-arrived row wins.
-    pub fn snapshot_at(&self, t: Timestamp) -> Vec<&TrajectorySample> {
+    ///
+    /// [`RunScope::All`] walks the time index up to `t`;
+    /// [`RunScope::One`] walks the run's own index instead — cost
+    /// `O(this run's rows)`, independent of how many other runs share the
+    /// table.
+    pub fn snapshot_at(&self, scope: RunScope, t: Timestamp) -> Vec<&TrajectorySample> {
         let mut latest: HashMap<ObjectId, &TrajectorySample> = HashMap::new();
-        for (_, ids) in self.by_time.range(..=t) {
-            for &i in ids {
-                let s = &self.rows[i as usize];
-                latest.insert(s.object, s);
+        match scope.run() {
+            None => {
+                for (_, ids) in self.by_time.range(..=t) {
+                    for &i in ids {
+                        let s = &self.rows[i as usize];
+                        latest.insert(s.object, s);
+                    }
+                }
+            }
+            Some(run) => {
+                let Some(ids) = self.by_run.get(&run) else {
+                    return Vec::new();
+                };
+                // Ids are in arrival order, so replacing on `>=` reproduces
+                // the snapshot contract: latest eligible timestamp wins,
+                // last-arrived row wins among rows sharing it.
+                for &i in ids {
+                    let s = &self.rows[i as usize];
+                    if s.t > t {
+                        continue;
+                    }
+                    match latest.get(&s.object) {
+                        Some(cur) if cur.t > s.t => {}
+                        _ => {
+                            latest.insert(s.object, s);
+                        }
+                    }
+                }
             }
         }
         let mut v: Vec<&TrajectorySample> = latest.into_values().collect();
@@ -298,34 +329,10 @@ impl TrajectoryTable {
         v
     }
 
-    /// [`Self::snapshot_at`] restricted to one run (same inclusive bound
-    /// and ordering): the latest sample at or before `t` for every object
-    /// **of that run**. Walks the run's own index — cost is
-    /// `O(this run's rows)`, independent of how many other runs share the
-    /// table.
+    /// [`Self::snapshot_at`] restricted to one run.
+    #[deprecated(note = "use `snapshot_at(run.into(), t)`")]
     pub fn snapshot_at_run(&self, run: RunId, t: Timestamp) -> Vec<&TrajectorySample> {
-        let Some(ids) = self.by_run.get(&run) else {
-            return Vec::new();
-        };
-        let mut latest: HashMap<ObjectId, &TrajectorySample> = HashMap::new();
-        // Ids are in arrival order, so replacing on `>=` reproduces the
-        // snapshot contract: latest eligible timestamp wins, last-arrived
-        // row wins among rows sharing it.
-        for &i in ids {
-            let s = &self.rows[i as usize];
-            if s.t > t {
-                continue;
-            }
-            match latest.get(&s.object) {
-                Some(cur) if cur.t > s.t => {}
-                _ => {
-                    latest.insert(s.object, s);
-                }
-            }
-        }
-        let mut v: Vec<&TrajectorySample> = latest.into_values().collect();
-        v.sort_by_key(|s| s.object);
-        v
+        self.snapshot_at(run.into(), t)
     }
 
     /// Run `f` against the per-floor spatial indexes, building them first
@@ -347,21 +354,27 @@ impl TrajectoryTable {
         f(indexes)
     }
 
-    /// Spatial range query: samples on `floor` inside `query` (any time,
-    /// all runs), in insertion order. Works on `&self`: callers behind a
+    /// Spatial range query: `scope`'s samples on `floor` inside `query`
+    /// (any time), in insertion order. Works on `&self`: callers behind a
     /// [`crate::Repository`] need only a read lock.
-    pub fn range_query(&self, floor: FloorId, query: &Aabb) -> Vec<&TrajectorySample> {
-        self.range_query_filtered(floor, query, None)
+    pub fn range_query(
+        &self,
+        scope: RunScope,
+        floor: FloorId,
+        query: &Aabb,
+    ) -> Vec<&TrajectorySample> {
+        self.range_query_filtered(floor, query, scope.run())
     }
 
-    /// [`Self::range_query`] restricted to one run (same ordering).
+    /// [`Self::range_query`] restricted to one run.
+    #[deprecated(note = "use `range_query(run.into(), floor, query)`")]
     pub fn range_query_run(
         &self,
         run: RunId,
         floor: FloorId,
         query: &Aabb,
     ) -> Vec<&TrajectorySample> {
-        self.range_query_filtered(floor, query, Some(run))
+        self.range_query(run.into(), floor, query)
     }
 
     fn range_query_filtered(
@@ -384,15 +397,21 @@ impl TrajectoryTable {
             .collect()
     }
 
-    /// k nearest samples to `p` on `floor` (by point distance, any time,
-    /// all runs). Works on `&self` (read-lock access), like
+    /// `scope`'s k nearest samples to `p` on `floor` (by point distance,
+    /// any time). Works on `&self` (read-lock access), like
     /// [`Self::range_query`].
-    pub fn knn(&self, floor: FloorId, p: Point, k: usize) -> Vec<(&TrajectorySample, f64)> {
-        self.knn_filtered(floor, p, k, None)
+    pub fn knn(
+        &self,
+        scope: RunScope,
+        floor: FloorId,
+        p: Point,
+        k: usize,
+    ) -> Vec<(&TrajectorySample, f64)> {
+        self.knn_filtered(floor, p, k, scope.run())
     }
 
-    /// [`Self::knn`] restricted to one run: the k nearest samples **that
-    /// run** ingested.
+    /// [`Self::knn`] restricted to one run.
+    #[deprecated(note = "use `knn(run.into(), floor, p, k)`")]
     pub fn knn_run(
         &self,
         run: RunId,
@@ -400,7 +419,7 @@ impl TrajectoryTable {
         p: Point,
         k: usize,
     ) -> Vec<(&TrajectorySample, f64)> {
-        self.knn_filtered(floor, p, k, Some(run))
+        self.knn(run.into(), floor, p, k)
     }
 
     fn knn_filtered(
@@ -575,85 +594,82 @@ impl RssiTable {
         self.by_run.get(&run).map_or(0, Vec::len)
     }
 
-    /// All measurements in the **half-open** window `from <= t < to`,
-    /// all runs merged, time-ordered (same contract as
+    /// All of `scope`'s measurements in the **half-open** window
+    /// `from <= t < to`, time-ordered (same contract as
     /// [`TrajectoryTable::time_window`]).
-    pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&RssiMeasurement> {
-        let mut out = Vec::new();
-        for (_, ids) in self.by_time.range(from..to) {
-            out.extend(ids.iter().map(|&i| &self.rows[i as usize]));
-        }
-        out
-    }
-
-    /// [`Self::time_window`] restricted to one run.
-    pub fn time_window_run(
+    pub fn time_window(
         &self,
-        run: RunId,
+        scope: RunScope,
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<&RssiMeasurement> {
+        let run = scope.run();
         let mut out = Vec::new();
         for (_, ids) in self.by_time.range(from..to) {
             out.extend(
                 ids.iter()
-                    .filter(|&&i| self.runs[i as usize] == run)
+                    .filter(|&&i| run.is_none_or(|r| self.runs[i as usize] == r))
                     .map(|&i| &self.rows[i as usize]),
             );
         }
         out
     }
 
-    pub fn of_object(&self, o: ObjectId) -> Vec<&RssiMeasurement> {
+    /// [`Self::time_window`] restricted to one run.
+    #[deprecated(note = "use `time_window(run.into(), from, to)`")]
+    pub fn time_window_run(
+        &self,
+        run: RunId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<&RssiMeasurement> {
+        self.time_window(run.into(), from, to)
+    }
+
+    /// `scope`'s measurements of object `o`, time-ordered.
+    pub fn of_object(&self, scope: RunScope, o: ObjectId) -> Vec<&RssiMeasurement> {
+        let run = scope.run();
         let mut rows: Vec<&RssiMeasurement> = self
             .by_object
             .get(&o)
-            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&i| run.is_none_or(|r| self.runs[i as usize] == r))
+                    .map(|&i| &self.rows[i as usize])
+                    .collect()
+            })
             .unwrap_or_default();
         rows.sort_by_key(|m| m.t);
         rows
     }
 
     /// [`Self::of_object`] restricted to one run.
+    #[deprecated(note = "use `of_object(run.into(), o)`")]
     pub fn of_object_run(&self, run: RunId, o: ObjectId) -> Vec<&RssiMeasurement> {
-        let mut rows: Vec<&RssiMeasurement> = self
-            .by_object
-            .get(&o)
-            .map(|ids| {
-                ids.iter()
-                    .filter(|&&i| self.runs[i as usize] == run)
-                    .map(|&i| &self.rows[i as usize])
-                    .collect()
-            })
-            .unwrap_or_default();
-        rows.sort_by_key(|m| m.t);
-        rows
+        self.of_object(run.into(), o)
     }
 
-    pub fn of_device(&self, d: DeviceId) -> Vec<&RssiMeasurement> {
+    /// `scope`'s measurements through device `d`, time-ordered.
+    pub fn of_device(&self, scope: RunScope, d: DeviceId) -> Vec<&RssiMeasurement> {
+        let run = scope.run();
         let mut rows: Vec<&RssiMeasurement> = self
             .by_device
             .get(&d)
-            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&i| run.is_none_or(|r| self.runs[i as usize] == r))
+                    .map(|&i| &self.rows[i as usize])
+                    .collect()
+            })
             .unwrap_or_default();
         rows.sort_by_key(|m| m.t);
         rows
     }
 
     /// [`Self::of_device`] restricted to one run.
+    #[deprecated(note = "use `of_device(run.into(), d)`")]
     pub fn of_device_run(&self, run: RunId, d: DeviceId) -> Vec<&RssiMeasurement> {
-        let mut rows: Vec<&RssiMeasurement> = self
-            .by_device
-            .get(&d)
-            .map(|ids| {
-                ids.iter()
-                    .filter(|&&i| self.runs[i as usize] == run)
-                    .map(|&i| &self.rows[i as usize])
-                    .collect()
-            })
-            .unwrap_or_default();
-        rows.sort_by_key(|m| m.t);
-        rows
+        self.of_device(run.into(), d)
     }
 }
 
@@ -748,54 +764,48 @@ impl FixTable {
         self.by_run.get(&run).map_or(0, Vec::len)
     }
 
-    /// All fixes in the **half-open** window `from <= t < to`, all runs
-    /// merged, time-ordered (same contract as
-    /// [`TrajectoryTable::time_window`]).
-    pub fn time_window(&self, from: Timestamp, to: Timestamp) -> Vec<&Fix> {
-        let mut out = Vec::new();
-        for (_, ids) in self.by_time.range(from..to) {
-            out.extend(ids.iter().map(|&i| &self.rows[i as usize]));
-        }
-        out
-    }
-
-    /// [`Self::time_window`] restricted to one run.
-    pub fn time_window_run(&self, run: RunId, from: Timestamp, to: Timestamp) -> Vec<&Fix> {
+    /// All of `scope`'s fixes in the **half-open** window `from <= t < to`,
+    /// time-ordered (same contract as [`TrajectoryTable::time_window`]).
+    pub fn time_window(&self, scope: RunScope, from: Timestamp, to: Timestamp) -> Vec<&Fix> {
+        let run = scope.run();
         let mut out = Vec::new();
         for (_, ids) in self.by_time.range(from..to) {
             out.extend(
                 ids.iter()
-                    .filter(|&&i| self.runs[i as usize] == run)
+                    .filter(|&&i| run.is_none_or(|r| self.runs[i as usize] == r))
                     .map(|&i| &self.rows[i as usize]),
             );
         }
         out
     }
 
-    pub fn of_object(&self, o: ObjectId) -> Vec<&Fix> {
-        let mut rows: Vec<&Fix> = self
-            .by_object
-            .get(&o)
-            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
-            .unwrap_or_default();
-        rows.sort_by_key(|f| f.t);
-        rows
+    /// [`Self::time_window`] restricted to one run.
+    #[deprecated(note = "use `time_window(run.into(), from, to)`")]
+    pub fn time_window_run(&self, run: RunId, from: Timestamp, to: Timestamp) -> Vec<&Fix> {
+        self.time_window(run.into(), from, to)
     }
 
-    /// [`Self::of_object`] restricted to one run.
-    pub fn of_object_run(&self, run: RunId, o: ObjectId) -> Vec<&Fix> {
+    /// `scope`'s fixes of object `o`, time-ordered.
+    pub fn of_object(&self, scope: RunScope, o: ObjectId) -> Vec<&Fix> {
+        let run = scope.run();
         let mut rows: Vec<&Fix> = self
             .by_object
             .get(&o)
             .map(|ids| {
                 ids.iter()
-                    .filter(|&&i| self.runs[i as usize] == run)
+                    .filter(|&&i| run.is_none_or(|r| self.runs[i as usize] == r))
                     .map(|&i| &self.rows[i as usize])
                     .collect()
             })
             .unwrap_or_default();
         rows.sort_by_key(|f| f.t);
         rows
+    }
+
+    /// [`Self::of_object`] restricted to one run.
+    #[deprecated(note = "use `of_object(run.into(), o)`")]
+    pub fn of_object_run(&self, run: RunId, o: ObjectId) -> Vec<&Fix> {
+        self.of_object(run.into(), o)
     }
 }
 
@@ -890,9 +900,9 @@ impl ProximityTable {
         self.by_run.get(&run).map_or(0, Vec::len)
     }
 
-    /// Records whose **closed** detection period `[ts, te]` intersects the
-    /// **half-open** query window `[from, to)` — i.e. `ts < to && te >= from`,
-    /// in insertion order.
+    /// `scope`'s records whose **closed** detection period `[ts, te]`
+    /// intersects the **half-open** query window `[from, to)` — i.e.
+    /// `ts < to && te >= from`, in insertion order.
     ///
     /// The window contract matches `time_window` on the other tables: a
     /// detection ending exactly at `from` is included (the instant `from`
@@ -900,84 +910,91 @@ impl ProximityTable {
     /// windows therefore agree with point-event queries at their shared
     /// boundary, and shard-merge queries cannot diverge from single-table
     /// answers at window edges.
-    pub fn overlapping(&self, from: Timestamp, to: Timestamp) -> Vec<&ProximityRecord> {
-        self.rows
-            .iter()
-            .filter(|r| r.ts < to && r.te >= from)
-            .collect()
+    ///
+    /// The run-scoped form walks the run's own index (`by_run` ids are in
+    /// insertion order): cost is `O(this run's rows)`, independent of how
+    /// many other runs share the table.
+    pub fn overlapping(
+        &self,
+        scope: RunScope,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<&ProximityRecord> {
+        match scope.run() {
+            None => self
+                .rows
+                .iter()
+                .filter(|r| r.ts < to && r.te >= from)
+                .collect(),
+            Some(run) => self
+                .by_run
+                .get(&run)
+                .map(|ids| {
+                    ids.iter()
+                        .map(|&i| &self.rows[i as usize])
+                        .filter(|r| r.ts < to && r.te >= from)
+                        .collect()
+                })
+                .unwrap_or_default(),
+        }
     }
 
-    /// [`Self::overlapping`] restricted to one run (same interval contract
-    /// and ordering — `by_run` ids are in insertion order). Walks the
-    /// run's own index: cost is `O(this run's rows)`, independent of how
-    /// many other runs share the table.
+    /// [`Self::overlapping`] restricted to one run.
+    #[deprecated(note = "use `overlapping(run.into(), from, to)`")]
     pub fn overlapping_run(
         &self,
         run: RunId,
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<&ProximityRecord> {
-        self.by_run
-            .get(&run)
-            .map(|ids| {
-                ids.iter()
-                    .map(|&i| &self.rows[i as usize])
-                    .filter(|r| r.ts < to && r.te >= from)
-                    .collect()
-            })
-            .unwrap_or_default()
+        self.overlapping(run.into(), from, to)
     }
 
-    pub fn of_object(&self, o: ObjectId) -> Vec<&ProximityRecord> {
+    /// `scope`'s detection periods of object `o`, ordered by start time.
+    pub fn of_object(&self, scope: RunScope, o: ObjectId) -> Vec<&ProximityRecord> {
+        let run = scope.run();
         let mut rows: Vec<&ProximityRecord> = self
             .by_object
             .get(&o)
-            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&i| run.is_none_or(|r| self.runs[i as usize] == r))
+                    .map(|&i| &self.rows[i as usize])
+                    .collect()
+            })
             .unwrap_or_default();
         rows.sort_by_key(|r| r.ts);
         rows
     }
 
     /// [`Self::of_object`] restricted to one run.
+    #[deprecated(note = "use `of_object(run.into(), o)`")]
     pub fn of_object_run(&self, run: RunId, o: ObjectId) -> Vec<&ProximityRecord> {
-        let mut rows: Vec<&ProximityRecord> = self
-            .by_object
-            .get(&o)
-            .map(|ids| {
-                ids.iter()
-                    .filter(|&&i| self.runs[i as usize] == run)
-                    .map(|&i| &self.rows[i as usize])
-                    .collect()
-            })
-            .unwrap_or_default();
-        rows.sort_by_key(|r| r.ts);
-        rows
+        self.of_object(run.into(), o)
     }
 
-    pub fn of_device(&self, d: DeviceId) -> Vec<&ProximityRecord> {
+    /// `scope`'s detection periods through device `d`, ordered by start
+    /// time.
+    pub fn of_device(&self, scope: RunScope, d: DeviceId) -> Vec<&ProximityRecord> {
+        let run = scope.run();
         let mut rows: Vec<&ProximityRecord> = self
             .by_device
             .get(&d)
-            .map(|ids| ids.iter().map(|&i| &self.rows[i as usize]).collect())
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&i| run.is_none_or(|r| self.runs[i as usize] == r))
+                    .map(|&i| &self.rows[i as usize])
+                    .collect()
+            })
             .unwrap_or_default();
         rows.sort_by_key(|r| r.ts);
         rows
     }
 
     /// [`Self::of_device`] restricted to one run.
+    #[deprecated(note = "use `of_device(run.into(), d)`")]
     pub fn of_device_run(&self, run: RunId, d: DeviceId) -> Vec<&ProximityRecord> {
-        let mut rows: Vec<&ProximityRecord> = self
-            .by_device
-            .get(&d)
-            .map(|ids| {
-                ids.iter()
-                    .filter(|&&i| self.runs[i as usize] == run)
-                    .map(|&i| &self.rows[i as usize])
-                    .collect()
-            })
-            .unwrap_or_default();
-        rows.sort_by_key(|r| r.ts);
-        rows
+        self.of_device(run.into(), d)
     }
 }
 
@@ -1002,7 +1019,7 @@ mod tests {
         for i in 0..100u64 {
             t.insert(ts(0, 0, i as f64, 0.0, i * 100));
         }
-        let w = t.time_window(Timestamp(1000), Timestamp(2000));
+        let w = t.time_window(RunScope::All, Timestamp(1000), Timestamp(2000));
         assert_eq!(w.len(), 10);
         assert!(w.iter().all(|s| s.t.0 >= 1000 && s.t.0 < 2000));
     }
@@ -1013,10 +1030,10 @@ mod tests {
         t.insert(ts(1, 0, 2.0, 0.0, 200));
         t.insert(ts(0, 0, 0.0, 0.0, 0));
         t.insert(ts(1, 0, 1.0, 0.0, 100));
-        let trace = t.object_trace(ObjectId(1));
+        let trace = t.object_trace(RunScope::All, ObjectId(1));
         assert_eq!(trace.len(), 2);
         assert!(trace[0].t < trace[1].t);
-        assert!(t.object_trace(ObjectId(9)).is_empty());
+        assert!(t.object_trace(RunScope::All, ObjectId(9)).is_empty());
     }
 
     #[test]
@@ -1026,7 +1043,7 @@ mod tests {
         t.insert(ts(0, 0, 5.0, 0.0, 500));
         t.insert(ts(1, 0, 9.0, 0.0, 300));
         t.insert(ts(0, 0, 9.0, 0.0, 900)); // after snapshot time
-        let snap = t.snapshot_at(Timestamp(600));
+        let snap = t.snapshot_at(RunScope::All, Timestamp(600));
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].object, ObjectId(0));
         assert!((snap[0].point().x - 5.0).abs() < 1e-9);
@@ -1041,11 +1058,13 @@ mod tests {
         }
         t.insert(ts(99, 1, 5.0, 1.0, 0)); // other floor
         let hits = t.range_query(
+            RunScope::All,
             FloorId(0),
             &Aabb::new(Point::new(3.0, 0.0), Point::new(9.0, 2.0)),
         );
         assert_eq!(hits.len(), 3); // x = 4, 6, 8
         let none = t.range_query(
+            RunScope::All,
             FloorId(3),
             &Aabb::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
         );
@@ -1058,7 +1077,7 @@ mod tests {
         for i in 0..20 {
             t.insert(ts(i, 0, i as f64, 0.0, 0));
         }
-        let got = t.knn(FloorId(0), Point::new(7.2, 0.0), 3);
+        let got = t.knn(RunScope::All, FloorId(0), Point::new(7.2, 0.0), 3);
         assert_eq!(got.len(), 3);
         let xs: Vec<f64> = got.iter().map(|(s, _)| s.point().x).collect();
         assert_eq!(xs, vec![7.0, 8.0, 6.0]);
@@ -1089,17 +1108,20 @@ mod tests {
         }
         let shared: &TrajectoryTable = &t;
         let hits = shared.range_query(
+            RunScope::All,
             FloorId(0),
             &Aabb::new(Point::new(-0.5, -0.5), Point::new(3.5, 0.5)),
         );
         assert_eq!(hits.len(), 4);
-        let near = shared.knn(FloorId(0), Point::new(2.2, 0.0), 2);
+        let near = shared.knn(RunScope::All, FloorId(0), Point::new(2.2, 0.0), 2);
         assert_eq!(near.len(), 2);
         assert_eq!(near[0].0.object, ObjectId(2));
         // A clone carries the cached index (or lack of one) along.
         let cloned = t.clone();
         assert_eq!(
-            cloned.knn(FloorId(0), Point::new(2.2, 0.0), 2).len(),
+            cloned
+                .knn(RunScope::All, FloorId(0), Point::new(2.2, 0.0), 2)
+                .len(),
             near.len()
         );
     }
@@ -1111,7 +1133,7 @@ mod tests {
         let mut t = TrajectoryTable::new();
         t.insert(ts(0, 0, 0.0, 0.0, 100));
         t.insert(ts(0, 0, 1.0, 0.0, 200));
-        let w = t.time_window(Timestamp(100), Timestamp(200));
+        let w = t.time_window(RunScope::All, Timestamp(100), Timestamp(200));
         assert_eq!(w.len(), 1);
         assert_eq!(w[0].t, Timestamp(100));
 
@@ -1124,7 +1146,11 @@ mod tests {
                 t: Timestamp(tstamp),
             });
         }
-        assert_eq!(r.time_window(Timestamp(100), Timestamp(200)).len(), 1);
+        assert_eq!(
+            r.time_window(RunScope::All, Timestamp(100), Timestamp(200))
+                .len(),
+            1
+        );
 
         use vita_indoor::Loc;
         let mut f = FixTable::new();
@@ -1135,16 +1161,20 @@ mod tests {
                 t: Timestamp(tstamp),
             });
         }
-        assert_eq!(f.time_window(Timestamp(100), Timestamp(200)).len(), 1);
+        assert_eq!(
+            f.time_window(RunScope::All, Timestamp(100), Timestamp(200))
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn snapshot_at_bound_is_inclusive() {
         let mut t = TrajectoryTable::new();
         t.insert(ts(0, 0, 1.0, 0.0, 500));
-        let snap = t.snapshot_at(Timestamp(500));
+        let snap = t.snapshot_at(RunScope::All, Timestamp(500));
         assert_eq!(snap.len(), 1);
-        assert!(t.snapshot_at(Timestamp(499)).is_empty());
+        assert!(t.snapshot_at(RunScope::All, Timestamp(499)).is_empty());
     }
 
     #[test]
@@ -1157,18 +1187,26 @@ mod tests {
             te: Timestamp(300),
         });
         // Detection ending exactly at `from`: instant 300 is in [300, 400).
-        assert_eq!(t.overlapping(Timestamp(300), Timestamp(400)).len(), 1);
+        assert_eq!(
+            t.overlapping(RunScope::All, Timestamp(300), Timestamp(400))
+                .len(),
+            1
+        );
         // Detection starting exactly at `to`: instant 100 is not in [0, 100).
-        assert_eq!(t.overlapping(Timestamp(0), Timestamp(100)).len(), 0);
+        assert_eq!(
+            t.overlapping(RunScope::All, Timestamp(0), Timestamp(100))
+                .len(),
+            0
+        );
     }
 
     #[test]
     fn spatial_index_invalidated_on_insert() {
         let mut t = TrajectoryTable::new();
         t.insert(ts(0, 0, 0.0, 0.0, 0));
-        let _ = t.knn(FloorId(0), Point::new(0.0, 0.0), 1);
+        let _ = t.knn(RunScope::All, FloorId(0), Point::new(0.0, 0.0), 1);
         t.insert(ts(1, 0, 10.0, 0.0, 0));
-        let got = t.knn(FloorId(0), Point::new(10.0, 0.0), 1);
+        let got = t.knn(RunScope::All, FloorId(0), Point::new(10.0, 0.0), 1);
         assert_eq!(got[0].0.object, ObjectId(1));
     }
 
@@ -1191,8 +1229,8 @@ mod tests {
             single.insert(*s);
         }
         assert_eq!(bulk.len(), single.len());
-        let wa = bulk.time_window(Timestamp(0), Timestamp(2001));
-        let wb = single.time_window(Timestamp(0), Timestamp(2001));
+        let wa = bulk.time_window(RunScope::All, Timestamp(0), Timestamp(2001));
+        let wb = single.time_window(RunScope::All, Timestamp(0), Timestamp(2001));
         assert_eq!(wa.len(), wb.len());
         for (a, b) in wa.iter().zip(&wb) {
             assert_eq!(a.t, b.t);
@@ -1201,12 +1239,12 @@ mod tests {
         }
         for o in 0..7 {
             assert_eq!(
-                bulk.object_trace(ObjectId(o)).len(),
-                single.object_trace(ObjectId(o)).len()
+                bulk.object_trace(RunScope::All, ObjectId(o)).len(),
+                single.object_trace(RunScope::All, ObjectId(o)).len()
             );
         }
-        let sa = bulk.snapshot_at(Timestamp(980));
-        let sb = single.snapshot_at(Timestamp(980));
+        let sa = bulk.snapshot_at(RunScope::All, Timestamp(980));
+        let sb = single.snapshot_at(RunScope::All, Timestamp(980));
         assert_eq!(sa.len(), sb.len());
         for (a, b) in sa.iter().zip(&sb) {
             assert!((a.point().x - b.point().x).abs() < 1e-12);
@@ -1235,11 +1273,15 @@ mod tests {
             });
         }
         assert_eq!(t.len(), 10);
-        assert_eq!(t.of_object(ObjectId(0)).len(), 5);
-        assert_eq!(t.of_device(DeviceId(0)).len(), 4);
-        assert_eq!(t.time_window(Timestamp(0), Timestamp(50)).len(), 5);
+        assert_eq!(t.of_object(RunScope::All, ObjectId(0)).len(), 5);
+        assert_eq!(t.of_device(RunScope::All, DeviceId(0)).len(), 4);
+        assert_eq!(
+            t.time_window(RunScope::All, Timestamp(0), Timestamp(50))
+                .len(),
+            5
+        );
         // Per-object rows are time ordered.
-        let rows = t.of_object(ObjectId(1));
+        let rows = t.of_object(RunScope::All, ObjectId(1));
         assert!(rows.windows(2).all(|w| w[0].t <= w[1].t));
     }
 
@@ -1253,9 +1295,17 @@ mod tests {
             t: Timestamp(100),
         });
         assert_eq!(t.len(), 1);
-        assert_eq!(t.of_object(ObjectId(0)).len(), 1);
-        assert_eq!(t.time_window(Timestamp(0), Timestamp(200)).len(), 1);
-        assert_eq!(t.time_window(Timestamp(200), Timestamp(300)).len(), 0);
+        assert_eq!(t.of_object(RunScope::All, ObjectId(0)).len(), 1);
+        assert_eq!(
+            t.time_window(RunScope::All, Timestamp(0), Timestamp(200))
+                .len(),
+            1
+        );
+        assert_eq!(
+            t.time_window(RunScope::All, Timestamp(200), Timestamp(300))
+                .len(),
+            0
+        );
     }
 
     #[test]
@@ -1273,10 +1323,22 @@ mod tests {
             ts: Timestamp(800),
             te: Timestamp(900),
         });
-        assert_eq!(t.overlapping(Timestamp(0), Timestamp(600)).len(), 1);
-        assert_eq!(t.overlapping(Timestamp(450), Timestamp(850)).len(), 2);
-        assert_eq!(t.overlapping(Timestamp(901), Timestamp(1000)).len(), 0);
-        assert_eq!(t.of_device(DeviceId(1)).len(), 1);
-        assert_eq!(t.of_object(ObjectId(0)).len(), 1);
+        assert_eq!(
+            t.overlapping(RunScope::All, Timestamp(0), Timestamp(600))
+                .len(),
+            1
+        );
+        assert_eq!(
+            t.overlapping(RunScope::All, Timestamp(450), Timestamp(850))
+                .len(),
+            2
+        );
+        assert_eq!(
+            t.overlapping(RunScope::All, Timestamp(901), Timestamp(1000))
+                .len(),
+            0
+        );
+        assert_eq!(t.of_device(RunScope::All, DeviceId(1)).len(), 1);
+        assert_eq!(t.of_object(RunScope::All, ObjectId(0)).len(), 1);
     }
 }

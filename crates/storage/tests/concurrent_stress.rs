@@ -16,7 +16,7 @@ use vita_indoor::{BuildingId, DeviceId, FloorId, Loc, ObjectId, Timestamp};
 use vita_mobility::TrajectorySample;
 use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
-use vita_storage::{ProductBatch, ProductSink, Repository, ShardedRepository};
+use vita_storage::{ProductBatch, ProductSink, Repository, RunScope, ShardedRepository};
 
 const PRODUCERS: u32 = 8;
 const OBJECTS_PER_PRODUCER: u32 = 3;
@@ -92,17 +92,23 @@ fn concurrent_producers_yield_identical_backends() {
                 let q = Aabb::new(Point::new(0.0, 0.0), Point::new(50.0, 8.0));
                 let mut seen = 0usize;
                 while !done.load(Ordering::Relaxed) {
-                    seen += single.trajectories.read().range_query(FloorId(0), &q).len();
                     seen += single
                         .trajectories
                         .read()
-                        .knn(FloorId(0), Point::new(10.0, 3.0), 5)
+                        .range_query(RunScope::All, FloorId(0), &q)
                         .len();
-                    seen += sharded.trajectories_range_query(FloorId(0), &q).len();
+                    seen += single
+                        .trajectories
+                        .read()
+                        .knn(RunScope::All, FloorId(0), Point::new(10.0, 3.0), 5)
+                        .len();
+                    seen += sharded
+                        .trajectories_range_query(RunScope::All, FloorId(0), &q)
+                        .len();
                     seen += single
                         .rssi
                         .read()
-                        .time_window(Timestamp(0), Timestamp(1_000))
+                        .time_window(RunScope::All, Timestamp(0), Timestamp(1_000))
                         .len();
                 }
                 seen
@@ -142,8 +148,8 @@ fn concurrent_producers_yield_identical_backends() {
     // Totals match on both backends.
     let objects = PRODUCERS * OBJECTS_PER_PRODUCER;
     let rows = (objects as usize) * (BATCHES_PER_OBJECT * ROWS_PER_BATCH) as usize;
-    assert_eq!(single.counts().0, rows);
-    assert_eq!(single.counts(), sharded.counts());
+    assert_eq!(single.counts(RunScope::All).trajectories, rows);
+    assert_eq!(single.counts(RunScope::All), sharded.counts(RunScope::All));
     let per_shard = sharded.per_shard_counts();
     assert_eq!(per_shard.len(), 4);
     assert_eq!(
@@ -158,11 +164,11 @@ fn concurrent_producers_yield_identical_backends() {
         let a: Vec<TrajectorySample> = single
             .trajectories
             .read()
-            .object_trace(ObjectId(o))
+            .object_trace(RunScope::All, ObjectId(o))
             .into_iter()
             .copied()
             .collect();
-        let b = sharded.object_trace(ObjectId(o));
+        let b = sharded.object_trace(RunScope::All, ObjectId(o));
         assert!(!a.is_empty());
         assert!(
             a.windows(2).all(|w| w[0].t <= w[1].t),
@@ -173,27 +179,27 @@ fn concurrent_producers_yield_identical_backends() {
         let ra: Vec<RssiMeasurement> = single
             .rssi
             .read()
-            .of_object(ObjectId(o))
+            .of_object(RunScope::All, ObjectId(o))
             .into_iter()
             .copied()
             .collect();
-        assert_eq!(ra, sharded.rssi_of_object(ObjectId(o)));
+        assert_eq!(ra, sharded.rssi_of_object(RunScope::All, ObjectId(o)));
         let fa: Vec<Fix> = single
             .fixes
             .read()
-            .of_object(ObjectId(o))
+            .of_object(RunScope::All, ObjectId(o))
             .into_iter()
             .copied()
             .collect();
-        assert_eq!(fa, sharded.fixes_of_object(ObjectId(o)));
+        assert_eq!(fa, sharded.fixes_of_object(RunScope::All, ObjectId(o)));
         let pa: Vec<ProximityRecord> = single
             .proximity
             .read()
-            .of_object(ObjectId(o))
+            .of_object(RunScope::All, ObjectId(o))
             .into_iter()
             .copied()
             .collect();
-        assert_eq!(pa, sharded.proximity_of_object(ObjectId(o)));
+        assert_eq!(pa, sharded.proximity_of_object(RunScope::All, ObjectId(o)));
     }
 
     // Full row sets match bit-identically for all four tables (sorted on a
@@ -203,27 +209,27 @@ fn concurrent_producers_yield_identical_backends() {
         (s.t.0, s.object.0, p.x.to_bits(), p.y.to_bits())
     };
     let mut a: Vec<TrajectorySample> = single.trajectories.read().scan().copied().collect();
-    let mut b = sharded.trajectories_scan();
+    let mut b = sharded.trajectories_scan(RunScope::All);
     a.sort_by_key(key);
     b.sort_by_key(key);
     assert_eq!(a, b);
 
     let mut ra: Vec<RssiMeasurement> = single.rssi.read().scan().copied().collect();
-    let mut rb = sharded.rssi_scan();
+    let mut rb = sharded.rssi_scan(RunScope::All);
     let rkey = |m: &RssiMeasurement| (m.t.0, m.object.0, m.device.0, m.rssi.to_bits());
     ra.sort_by_key(rkey);
     rb.sort_by_key(rkey);
     assert_eq!(ra, rb);
 
     let mut fa: Vec<Fix> = single.fixes.read().scan().copied().collect();
-    let mut fb = sharded.fixes_scan();
+    let mut fb = sharded.fixes_scan(RunScope::All);
     let fkey = |f: &Fix| (f.t.0, f.object.0);
     fa.sort_by_key(fkey);
     fb.sort_by_key(fkey);
     assert_eq!(fa, fb);
 
     let mut pa: Vec<ProximityRecord> = single.proximity.read().scan().copied().collect();
-    let mut pb = sharded.proximity_scan();
+    let mut pb = sharded.proximity_scan(RunScope::All);
     let pkey = |r: &ProximityRecord| (r.ts.0, r.te.0, r.object.0, r.device.0);
     pa.sort_by_key(pkey);
     pb.sort_by_key(pkey);

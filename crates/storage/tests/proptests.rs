@@ -10,7 +10,7 @@ use vita_mobility::TrajectorySample;
 use vita_rssi::RssiMeasurement;
 use vita_storage::{
     decode_proximity, decode_rssi, downsample, encode_proximity, encode_rssi, merge_by_time,
-    record_rate, RssiTable, Timed, TrajectoryTable, TumblingWindow,
+    record_rate, RssiTable, RunScope, Timed, TrajectoryTable, TumblingWindow,
 };
 
 fn sample_strategy() -> impl Strategy<Value = TrajectorySample> {
@@ -44,7 +44,7 @@ proptest! {
         let mut table = TrajectoryTable::new();
         table.insert_bulk(samples.iter().copied());
         let to = from + width;
-        let got = table.time_window(Timestamp(from), Timestamp(to)).len();
+        let got = table.time_window(RunScope::All, Timestamp(from), Timestamp(to)).len();
         let want = samples.iter().filter(|s| s.t.0 >= from && s.t.0 < to).count();
         prop_assert_eq!(got, want);
     }
@@ -56,7 +56,7 @@ proptest! {
     ) {
         let mut table = TrajectoryTable::new();
         table.insert_bulk(samples.iter().copied());
-        let got = table.object_trace(ObjectId(o));
+        let got = table.object_trace(RunScope::All, ObjectId(o));
         let want = samples.iter().filter(|s| s.object == ObjectId(o)).count();
         prop_assert_eq!(got.len(), want);
         // Trace time-ordered.
@@ -74,7 +74,7 @@ proptest! {
         let mut table = TrajectoryTable::new();
         table.insert_bulk(samples.iter().copied());
         let q = Aabb::new(Point::new(x0, y0), Point::new(x0 + w, y0 + h));
-        let got = table.range_query(FloorId(0), &q).len();
+        let got = table.range_query(RunScope::All, FloorId(0), &q).len();
         let want = samples
             .iter()
             .filter(|s| {
@@ -92,7 +92,7 @@ proptest! {
     ) {
         let mut table = TrajectoryTable::new();
         table.insert_bulk(samples.iter().copied());
-        let snap = table.snapshot_at(Timestamp(at));
+        let snap = table.snapshot_at(RunScope::All, Timestamp(at));
         let mut objs: Vec<ObjectId> = snap.iter().map(|s| s.object).collect();
         objs.sort_unstable();
         let before_dedup = objs.len();
@@ -210,8 +210,8 @@ proptest! {
                 t: Timestamp(*t),
             });
         }
-        let by_obj: usize = (0..10).map(|o| table.of_object(ObjectId(o)).len()).sum();
-        let by_dev: usize = (0..5).map(|d| table.of_device(DeviceId(d)).len()).sum();
+        let by_obj: usize = (0..10).map(|o| table.of_object(RunScope::All, ObjectId(o)).len()).sum();
+        let by_dev: usize = (0..5).map(|d| table.of_device(RunScope::All, DeviceId(d)).len()).sum();
         prop_assert_eq!(by_obj, rows.len());
         prop_assert_eq!(by_dev, rows.len());
     }

@@ -17,7 +17,7 @@ use vita_indoor::{BuildingId, DeviceId, FloorId, Loc, ObjectId, RunId, Timestamp
 use vita_mobility::TrajectorySample;
 use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
-use vita_storage::{ProductBatch, ProductSink, Repository, ShardedRepository};
+use vita_storage::{ProductBatch, ProductSink, Repository, RunScope, ShardedRepository};
 
 const OBJECTS: u32 = 16;
 const DEVICES: u32 = 4;
@@ -180,8 +180,8 @@ proptest! {
             let run = RunId(which as u32);
             let want_rows: Vec<TrajectorySample> =
                 solo.trajectories.read().scan().copied().collect();
-            prop_assert_eq!(single.counts_run(run), solo.counts());
-            prop_assert_eq!(sharded.counts_run(run), solo.counts());
+            prop_assert_eq!(single.counts(run.into()), solo.counts(RunScope::All));
+            prop_assert_eq!(sharded.counts(run.into()), solo.counts(RunScope::All));
 
             // Scan: same row set (single preserves arrival order exactly;
             // the shard merge is order-free, so sort on a full key).
@@ -189,7 +189,7 @@ proptest! {
                 single.trajectories.read().scan_run(run).into_iter().copied().collect();
             prop_assert_eq!(&got, &want_rows);
             prop_assert_eq!(
-                sorted_by(sharded.trajectories_scan_run(run), sample_key),
+                sorted_by(sharded.trajectories_scan(run.into()), sample_key),
                 sorted_by(want_rows.clone(), sample_key)
             );
 
@@ -197,62 +197,62 @@ proptest! {
             // is preserved by run-scoped filtering on the single backend).
             let (lo, hi) = (Timestamp(from), Timestamp(from + width));
             let want: Vec<TrajectorySample> =
-                solo.trajectories.read().time_window(lo, hi).into_iter().copied().collect();
+                solo.trajectories.read().time_window(RunScope::All, lo, hi).into_iter().copied().collect();
             let got: Vec<TrajectorySample> =
-                single.trajectories.read().time_window_run(run, lo, hi)
+                single.trajectories.read().time_window(run.into(), lo, hi)
                     .into_iter().copied().collect();
             prop_assert_eq!(&got, &want);
             prop_assert_eq!(
-                sorted_by(sharded.trajectories_time_window_run(run, lo, hi), sample_key),
+                sorted_by(sharded.trajectories_time_window(run.into(), lo, hi), sample_key),
                 sorted_by(want, sample_key)
             );
 
             // Snapshot (inclusive bound) — exact on both backends.
             let want: Vec<TrajectorySample> =
-                solo.trajectories.read().snapshot_at(Timestamp(at)).into_iter().copied().collect();
+                solo.trajectories.read().snapshot_at(RunScope::All, Timestamp(at)).into_iter().copied().collect();
             let got: Vec<TrajectorySample> =
-                single.trajectories.read().snapshot_at_run(run, Timestamp(at))
+                single.trajectories.read().snapshot_at(run.into(), Timestamp(at))
                     .into_iter().copied().collect();
             prop_assert_eq!(&got, &want);
-            prop_assert_eq!(sharded.trajectories_snapshot_at_run(run, Timestamp(at)), want);
+            prop_assert_eq!(sharded.trajectories_snapshot_at(run.into(), Timestamp(at)), want);
 
             // Per-object traces — exact.
             for o in 0..OBJECTS {
                 let want: Vec<TrajectorySample> =
-                    solo.trajectories.read().object_trace(ObjectId(o))
+                    solo.trajectories.read().object_trace(RunScope::All, ObjectId(o))
                         .into_iter().copied().collect();
                 let got: Vec<TrajectorySample> =
-                    single.trajectories.read().object_trace_run(run, ObjectId(o))
+                    single.trajectories.read().object_trace(run.into(), ObjectId(o))
                         .into_iter().copied().collect();
                 prop_assert_eq!(&got, &want);
-                prop_assert_eq!(sharded.object_trace_run(run, ObjectId(o)), want);
+                prop_assert_eq!(sharded.object_trace(run.into(), ObjectId(o)), want);
             }
 
             // Spatial: range query + kNN distance multiset.
             let q = Aabb::new(Point::new(-10.0, -10.0), Point::new(15.0, 15.0));
             let want = sorted_by(
-                solo.trajectories.read().range_query(FloorId(0), &q)
+                solo.trajectories.read().range_query(RunScope::All, FloorId(0), &q)
                     .into_iter().copied().collect(),
                 sample_key,
             );
             let got = sorted_by(
-                single.trajectories.read().range_query_run(run, FloorId(0), &q)
+                single.trajectories.read().range_query(run.into(), FloorId(0), &q)
                     .into_iter().copied().collect(),
                 sample_key,
             );
             prop_assert_eq!(&got, &want);
             prop_assert_eq!(
-                sorted_by(sharded.trajectories_range_query_run(run, FloorId(0), &q), sample_key),
+                sorted_by(sharded.trajectories_range_query(run.into(), FloorId(0), &q), sample_key),
                 want
             );
 
             let p = Point::new(5.0, -5.0);
-            let want: Vec<u64> = solo.trajectories.read().knn(FloorId(0), p, k)
+            let want: Vec<u64> = solo.trajectories.read().knn(RunScope::All, FloorId(0), p, k)
                 .iter().map(|(_, d)| d.to_bits()).collect();
-            let got: Vec<u64> = single.trajectories.read().knn_run(run, FloorId(0), p, k)
+            let got: Vec<u64> = single.trajectories.read().knn(run.into(), FloorId(0), p, k)
                 .iter().map(|(_, d)| d.to_bits()).collect();
             prop_assert_eq!(&got, &want);
-            let got: Vec<u64> = sharded.trajectories_knn_run(run, FloorId(0), p, k)
+            let got: Vec<u64> = sharded.trajectories_knn(run.into(), FloorId(0), p, k)
                 .iter().map(|(_, d)| d.to_bits()).collect();
             prop_assert_eq!(got, want);
         }
@@ -293,41 +293,41 @@ proptest! {
         let (lo, hi) = (Timestamp(from), Timestamp(from + width));
         for (which, solo) in solo.iter().enumerate() {
             let run = RunId(which as u32);
-            prop_assert_eq!(single.counts_run(run), solo.counts());
-            prop_assert_eq!(sharded.counts_run(run), solo.counts());
+            prop_assert_eq!(single.counts(run.into()), solo.counts(RunScope::All));
+            prop_assert_eq!(sharded.counts(run.into()), solo.counts(RunScope::All));
 
             // RSSI: time window + per-object + per-device.
             let want: Vec<RssiMeasurement> =
-                solo.rssi.read().time_window(lo, hi).into_iter().copied().collect();
+                solo.rssi.read().time_window(RunScope::All, lo, hi).into_iter().copied().collect();
             let got: Vec<RssiMeasurement> =
-                single.rssi.read().time_window_run(run, lo, hi).into_iter().copied().collect();
+                single.rssi.read().time_window(run.into(), lo, hi).into_iter().copied().collect();
             prop_assert_eq!(&got, &want);
             prop_assert_eq!(
-                sorted_by(sharded.rssi_time_window_run(run, lo, hi), rssi_key),
+                sorted_by(sharded.rssi_time_window(run.into(), lo, hi), rssi_key),
                 sorted_by(want, rssi_key)
             );
             for o in 0..OBJECTS {
                 let want: Vec<RssiMeasurement> =
-                    solo.rssi.read().of_object(ObjectId(o)).into_iter().copied().collect();
+                    solo.rssi.read().of_object(RunScope::All, ObjectId(o)).into_iter().copied().collect();
                 let got: Vec<RssiMeasurement> =
-                    single.rssi.read().of_object_run(run, ObjectId(o))
+                    single.rssi.read().of_object(run.into(), ObjectId(o))
                         .into_iter().copied().collect();
                 prop_assert_eq!(&got, &want);
-                prop_assert_eq!(sharded.rssi_of_object_run(run, ObjectId(o)), want);
+                prop_assert_eq!(sharded.rssi_of_object(run.into(), ObjectId(o)), want);
             }
             for d in 0..DEVICES {
                 let want = sorted_by(
-                    solo.rssi.read().of_device(DeviceId(d)).into_iter().copied().collect(),
+                    solo.rssi.read().of_device(RunScope::All, DeviceId(d)).into_iter().copied().collect(),
                     rssi_key,
                 );
                 let got = sorted_by(
-                    single.rssi.read().of_device_run(run, DeviceId(d))
+                    single.rssi.read().of_device(run.into(), DeviceId(d))
                         .into_iter().copied().collect(),
                     rssi_key,
                 );
                 prop_assert_eq!(&got, &want);
                 prop_assert_eq!(
-                    sorted_by(sharded.rssi_of_device_run(run, DeviceId(d)), rssi_key),
+                    sorted_by(sharded.rssi_of_device(run.into(), DeviceId(d)), rssi_key),
                     want
                 );
             }
@@ -338,62 +338,62 @@ proptest! {
                 single.fixes.read().scan_run(run).into_iter().copied().collect();
             prop_assert_eq!(&got, &want);
             prop_assert_eq!(
-                sorted_by(sharded.fixes_scan_run(run), fix_key),
+                sorted_by(sharded.fixes_scan(run.into()), fix_key),
                 sorted_by(want, fix_key)
             );
             let want: Vec<Fix> =
-                solo.fixes.read().time_window(lo, hi).into_iter().copied().collect();
+                solo.fixes.read().time_window(RunScope::All, lo, hi).into_iter().copied().collect();
             let got: Vec<Fix> =
-                single.fixes.read().time_window_run(run, lo, hi).into_iter().copied().collect();
+                single.fixes.read().time_window(run.into(), lo, hi).into_iter().copied().collect();
             prop_assert_eq!(&got, &want);
             prop_assert_eq!(
-                sorted_by(sharded.fixes_time_window_run(run, lo, hi), fix_key),
+                sorted_by(sharded.fixes_time_window(run.into(), lo, hi), fix_key),
                 sorted_by(want, fix_key)
             );
             for o in 0..OBJECTS {
                 let want: Vec<Fix> =
-                    solo.fixes.read().of_object(ObjectId(o)).into_iter().copied().collect();
+                    solo.fixes.read().of_object(RunScope::All, ObjectId(o)).into_iter().copied().collect();
                 let got: Vec<Fix> =
-                    single.fixes.read().of_object_run(run, ObjectId(o))
+                    single.fixes.read().of_object(run.into(), ObjectId(o))
                         .into_iter().copied().collect();
                 prop_assert_eq!(&got, &want);
-                prop_assert_eq!(sharded.fixes_of_object_run(run, ObjectId(o)), want);
+                prop_assert_eq!(sharded.fixes_of_object(run.into(), ObjectId(o)), want);
             }
 
             // Proximity: overlap + per-object + per-device.
             let want: Vec<ProximityRecord> =
-                solo.proximity.read().overlapping(lo, hi).into_iter().copied().collect();
+                solo.proximity.read().overlapping(RunScope::All, lo, hi).into_iter().copied().collect();
             let got: Vec<ProximityRecord> =
-                single.proximity.read().overlapping_run(run, lo, hi)
+                single.proximity.read().overlapping(run.into(), lo, hi)
                     .into_iter().copied().collect();
             prop_assert_eq!(&got, &want);
             prop_assert_eq!(
-                sorted_by(sharded.proximity_overlapping_run(run, lo, hi), prox_key),
+                sorted_by(sharded.proximity_overlapping(run.into(), lo, hi), prox_key),
                 sorted_by(want, prox_key)
             );
             for o in 0..OBJECTS {
                 let want: Vec<ProximityRecord> =
-                    solo.proximity.read().of_object(ObjectId(o)).into_iter().copied().collect();
+                    solo.proximity.read().of_object(RunScope::All, ObjectId(o)).into_iter().copied().collect();
                 let got: Vec<ProximityRecord> =
-                    single.proximity.read().of_object_run(run, ObjectId(o))
+                    single.proximity.read().of_object(run.into(), ObjectId(o))
                         .into_iter().copied().collect();
                 prop_assert_eq!(&got, &want);
-                prop_assert_eq!(sharded.proximity_of_object_run(run, ObjectId(o)), want);
+                prop_assert_eq!(sharded.proximity_of_object(run.into(), ObjectId(o)), want);
             }
             for d in 0..DEVICES {
                 let want = sorted_by(
-                    solo.proximity.read().of_device(DeviceId(d))
+                    solo.proximity.read().of_device(RunScope::All, DeviceId(d))
                         .into_iter().copied().collect(),
                     prox_key,
                 );
                 let got = sorted_by(
-                    single.proximity.read().of_device_run(run, DeviceId(d))
+                    single.proximity.read().of_device(run.into(), DeviceId(d))
                         .into_iter().copied().collect(),
                     prox_key,
                 );
                 prop_assert_eq!(&got, &want);
                 prop_assert_eq!(
-                    sorted_by(sharded.proximity_of_device_run(run, DeviceId(d)), prox_key),
+                    sorted_by(sharded.proximity_of_device(run.into(), DeviceId(d)), prox_key),
                     want
                 );
             }

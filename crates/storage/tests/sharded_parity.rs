@@ -17,7 +17,7 @@ use vita_indoor::{BuildingId, DeviceId, FloorId, Loc, ObjectId, Timestamp};
 use vita_mobility::TrajectorySample;
 use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
-use vita_storage::{ProductBatch, ProductSink, Repository, ShardedRepository};
+use vita_storage::{ProductBatch, ProductSink, Repository, RunScope, ShardedRepository};
 
 const OBJECTS: u32 = 24;
 const DEVICES: u32 = 5;
@@ -132,11 +132,11 @@ proptest! {
         let single = Repository::new();
         let sharded = ShardedRepository::new(shards);
         fill(&rows, batch, ProductBatch::Trajectories, &single, &sharded);
-        prop_assert_eq!(single.counts(), sharded.counts());
+        prop_assert_eq!(single.counts(RunScope::All), sharded.counts(RunScope::All));
 
         // Scan: same row set.
         let a = sorted_by(single.trajectories.read().scan().copied().collect(), sample_key);
-        let b = sorted_by(sharded.trajectories_scan(), sample_key);
+        let b = sorted_by(sharded.trajectories_scan(RunScope::All), sample_key);
         prop_assert_eq!(a, b);
 
         // Half-open time window, including the boundary-heavy zero-width
@@ -144,12 +144,12 @@ proptest! {
         for (lo, hi) in [(from, from + width), (from, from), (0, T_MAX + 1)] {
             let a = sorted_by(
                 single.trajectories.read()
-                    .time_window(Timestamp(lo), Timestamp(hi))
+                    .time_window(RunScope::All, Timestamp(lo), Timestamp(hi))
                     .into_iter().copied().collect(),
                 sample_key,
             );
             let b = sorted_by(
-                sharded.trajectories_time_window(Timestamp(lo), Timestamp(hi)),
+                sharded.trajectories_time_window(RunScope::All, Timestamp(lo), Timestamp(hi)),
                 sample_key,
             );
             prop_assert_eq!(a, b);
@@ -158,14 +158,14 @@ proptest! {
         // Snapshot: objects are disjoint across shards, so the merged
         // answer must be *exactly* the single-table answer.
         let a: Vec<TrajectorySample> =
-            single.trajectories.read().snapshot_at(Timestamp(at)).into_iter().copied().collect();
-        prop_assert_eq!(a, sharded.trajectories_snapshot_at(Timestamp(at)));
+            single.trajectories.read().snapshot_at(RunScope::All, Timestamp(at)).into_iter().copied().collect();
+        prop_assert_eq!(a, sharded.trajectories_snapshot_at(RunScope::All, Timestamp(at)));
 
         // Per-object traces: exact (owning shard preserves arrival order).
         for o in 0..OBJECTS {
             let a: Vec<TrajectorySample> =
-                single.trajectories.read().object_trace(ObjectId(o)).into_iter().copied().collect();
-            prop_assert_eq!(a, sharded.object_trace(ObjectId(o)));
+                single.trajectories.read().object_trace(RunScope::All, ObjectId(o)).into_iter().copied().collect();
+            prop_assert_eq!(a, sharded.object_trace(RunScope::All, ObjectId(o)));
         }
     }
 
@@ -185,19 +185,19 @@ proptest! {
         // locking bugfix this PR verifies — against the shard merge.
         let q = Aabb::new(Point::new(x0, y0), Point::new(x0 + w, y0 + h));
         let a = sorted_by(
-            single.trajectories.read().range_query(FloorId(0), &q)
+            single.trajectories.read().range_query(RunScope::All, FloorId(0), &q)
                 .into_iter().copied().collect(),
             sample_key,
         );
-        let b = sorted_by(sharded.trajectories_range_query(FloorId(0), &q), sample_key);
+        let b = sorted_by(sharded.trajectories_range_query(RunScope::All, FloorId(0), &q), sample_key);
         prop_assert_eq!(a, b);
 
         // kNN: the distance multiset must match bit-for-bit (row identity
         // can differ only among exactly tied distances).
         let p = Point::new(x0, y0);
-        let a: Vec<u64> = single.trajectories.read().knn(FloorId(0), p, k)
+        let a: Vec<u64> = single.trajectories.read().knn(RunScope::All, FloorId(0), p, k)
             .iter().map(|(_, d)| d.to_bits()).collect();
-        let b: Vec<u64> = sharded.trajectories_knn(FloorId(0), p, k)
+        let b: Vec<u64> = sharded.trajectories_knn(RunScope::All, FloorId(0), p, k)
             .iter().map(|(_, d)| d.to_bits()).collect();
         prop_assert_eq!(a, b);
     }
@@ -215,36 +215,36 @@ proptest! {
         let sharded = ShardedRepository::new(shards);
         fill(&rssi, batch, ProductBatch::Rssi, &single, &sharded);
         fill(&fixes, batch, ProductBatch::Fixes, &single, &sharded);
-        prop_assert_eq!(single.counts(), sharded.counts());
+        prop_assert_eq!(single.counts(RunScope::All), sharded.counts(RunScope::All));
 
         let (lo, hi) = (Timestamp(from), Timestamp(from + width));
         let a = sorted_by(
-            single.rssi.read().time_window(lo, hi).into_iter().copied().collect(),
+            single.rssi.read().time_window(RunScope::All, lo, hi).into_iter().copied().collect(),
             rssi_key,
         );
-        prop_assert_eq!(a, sorted_by(sharded.rssi_time_window(lo, hi), rssi_key));
+        prop_assert_eq!(a, sorted_by(sharded.rssi_time_window(RunScope::All, lo, hi), rssi_key));
 
         for o in 0..OBJECTS {
             let a: Vec<RssiMeasurement> =
-                single.rssi.read().of_object(ObjectId(o)).into_iter().copied().collect();
-            prop_assert_eq!(a, sharded.rssi_of_object(ObjectId(o)));
+                single.rssi.read().of_object(RunScope::All, ObjectId(o)).into_iter().copied().collect();
+            prop_assert_eq!(a, sharded.rssi_of_object(RunScope::All, ObjectId(o)));
             let af: Vec<Fix> =
-                single.fixes.read().of_object(ObjectId(o)).into_iter().copied().collect();
-            prop_assert_eq!(af, sharded.fixes_of_object(ObjectId(o)));
+                single.fixes.read().of_object(RunScope::All, ObjectId(o)).into_iter().copied().collect();
+            prop_assert_eq!(af, sharded.fixes_of_object(RunScope::All, ObjectId(o)));
         }
         for d in 0..DEVICES {
             let a = sorted_by(
-                single.rssi.read().of_device(DeviceId(d)).into_iter().copied().collect(),
+                single.rssi.read().of_device(RunScope::All, DeviceId(d)).into_iter().copied().collect(),
                 rssi_key,
             );
-            prop_assert_eq!(a, sorted_by(sharded.rssi_of_device(DeviceId(d)), rssi_key));
+            prop_assert_eq!(a, sorted_by(sharded.rssi_of_device(RunScope::All, DeviceId(d)), rssi_key));
         }
 
         let a = sorted_by(
-            single.fixes.read().time_window(lo, hi).into_iter().copied().collect(),
+            single.fixes.read().time_window(RunScope::All, lo, hi).into_iter().copied().collect(),
             fix_key,
         );
-        prop_assert_eq!(a, sorted_by(sharded.fixes_time_window(lo, hi), fix_key));
+        prop_assert_eq!(a, sorted_by(sharded.fixes_time_window(RunScope::All, lo, hi), fix_key));
     }
 
     #[test]
@@ -258,26 +258,26 @@ proptest! {
         let single = Repository::new();
         let sharded = ShardedRepository::new(shards);
         fill(&rows, batch, ProductBatch::Proximity, &single, &sharded);
-        prop_assert_eq!(single.counts(), sharded.counts());
+        prop_assert_eq!(single.counts(RunScope::All), sharded.counts(RunScope::All));
 
         let (lo, hi) = (Timestamp(from), Timestamp(from + width));
         let a = sorted_by(
-            single.proximity.read().overlapping(lo, hi).into_iter().copied().collect(),
+            single.proximity.read().overlapping(RunScope::All, lo, hi).into_iter().copied().collect(),
             prox_key,
         );
-        prop_assert_eq!(a, sorted_by(sharded.proximity_overlapping(lo, hi), prox_key));
+        prop_assert_eq!(a, sorted_by(sharded.proximity_overlapping(RunScope::All, lo, hi), prox_key));
 
         for o in 0..OBJECTS {
             let a: Vec<ProximityRecord> =
-                single.proximity.read().of_object(ObjectId(o)).into_iter().copied().collect();
-            prop_assert_eq!(a, sharded.proximity_of_object(ObjectId(o)));
+                single.proximity.read().of_object(RunScope::All, ObjectId(o)).into_iter().copied().collect();
+            prop_assert_eq!(a, sharded.proximity_of_object(RunScope::All, ObjectId(o)));
         }
         for d in 0..DEVICES {
             let a = sorted_by(
-                single.proximity.read().of_device(DeviceId(d)).into_iter().copied().collect(),
+                single.proximity.read().of_device(RunScope::All, DeviceId(d)).into_iter().copied().collect(),
                 prox_key,
             );
-            prop_assert_eq!(a, sorted_by(sharded.proximity_of_device(DeviceId(d)), prox_key));
+            prop_assert_eq!(a, sorted_by(sharded.proximity_of_device(RunScope::All, DeviceId(d)), prox_key));
         }
     }
 }

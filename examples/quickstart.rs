@@ -88,7 +88,10 @@ fn main() {
     }
 
     // ── Storage ──────────────────────────────────────────────────────────
-    let (t, r, f, p) = vita.repository().counts();
+    let c = vita.repository().counts(RunScope::All);
     println!("── Storage ───────────────────────────────────────────");
-    println!("repositories     : trajectories={t} rssi={r} fixes={f} proximity={p}");
+    println!(
+        "repositories     : trajectories={} rssi={} fixes={} proximity={}",
+        c.trajectories, c.rssi, c.fixes, c.proximity
+    );
 }

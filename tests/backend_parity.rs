@@ -53,7 +53,7 @@ fn run(method: MethodConfig, backend: StorageBackend) -> (Vita, PipelineReport) 
 }
 
 fn sorted_fixes(vita: &Vita) -> Vec<vita_positioning::Fix> {
-    let mut fixes = vita.repository().fix_rows();
+    let mut fixes = vita.repository().fixes(RunScope::All);
     fixes.sort_by(|a, b| {
         (a.t, a.object).cmp(&(b.t, b.object)).then_with(|| {
             match (a.loc.as_point(), b.loc.as_point()) {
@@ -76,7 +76,10 @@ fn sharded_matches_single_for_trilateration() {
     let (single, _) = run(method(), StorageBackend::Single);
     let (sharded, report) = run(method(), StorageBackend::Sharded { shards: 8 });
 
-    assert_eq!(sharded.repository().counts(), single.repository().counts());
+    assert_eq!(
+        sharded.repository().counts(RunScope::All),
+        single.repository().counts(RunScope::All)
+    );
     let a = sorted_fixes(&single);
     assert!(!a.is_empty());
     assert_eq!(sorted_fixes(&sharded), a, "fix sets differ across backends");
@@ -84,21 +87,12 @@ fn sharded_matches_single_for_trilateration() {
     // The report's per-shard counts cover the whole run and match the
     // repository's own accounting.
     assert_eq!(report.shard_rows.len(), 8);
-    let (t, r, f, p) = sharded.repository().counts();
-    assert_eq!(
-        report
-            .shard_rows
-            .iter()
-            .map(|c| c.trajectories)
-            .sum::<usize>(),
-        t
-    );
-    assert_eq!(report.shard_rows.iter().map(|c| c.rssi).sum::<usize>(), r);
-    assert_eq!(report.shard_rows.iter().map(|c| c.fixes).sum::<usize>(), f);
-    assert_eq!(
-        report.shard_rows.iter().map(|c| c.proximity).sum::<usize>(),
-        p
-    );
+    let want = sharded.repository().counts(RunScope::All);
+    let merged = report
+        .shard_rows
+        .iter()
+        .fold(TableCounts::default(), |acc, c| acc + *c);
+    assert_eq!(merged, want);
     // 14 objects over 8 shards: the hash must actually spread the load.
     assert!(report.shard_rows.iter().filter(|c| c.total() > 0).count() > 1);
 }
@@ -109,9 +103,12 @@ fn sharded_matches_single_for_proximity() {
     let (single, _) = run(method(), StorageBackend::Single);
     let (sharded, _) = run(method(), StorageBackend::Sharded { shards: 4 });
 
-    assert_eq!(sharded.repository().counts(), single.repository().counts());
+    assert_eq!(
+        sharded.repository().counts(RunScope::All),
+        single.repository().counts(RunScope::All)
+    );
     let collect = |v: &Vita| {
-        let mut r = v.repository().proximity_rows();
+        let mut r = v.repository().proximity(RunScope::All);
         r.sort_by_key(|r| (r.ts, r.object, r.device, r.te));
         r
     };
@@ -133,7 +130,10 @@ fn sharded_matches_single_for_probabilistic_fingerprinting() {
     };
     let (single, _) = run(method(), StorageBackend::Single);
     let (sharded, _) = run(method(), StorageBackend::Sharded { shards: 4 });
-    assert_eq!(sharded.repository().counts(), single.repository().counts());
+    assert_eq!(
+        sharded.repository().counts(RunScope::All),
+        single.repository().counts(RunScope::All)
+    );
     assert_eq!(sorted_fixes(&sharded), sorted_fixes(&single));
 }
 
@@ -144,19 +144,19 @@ fn switching_backends_repartitions_existing_rows() {
         conversion_model: PathLossModel::default(),
     };
     let (mut vita, _) = run(method, StorageBackend::Single);
-    let counts = vita.repository().counts();
+    let counts = vita.repository().counts(RunScope::All);
     let fixes = sorted_fixes(&vita);
 
-    vita.set_storage_backend(StorageBackend::Sharded { shards: 4 });
+    vita.migrate_backend(StorageBackend::Sharded { shards: 4 });
     assert_eq!(
         vita.repository().backend(),
         StorageBackend::Sharded { shards: 4 }
     );
-    assert_eq!(vita.repository().counts(), counts);
+    assert_eq!(vita.repository().counts(RunScope::All), counts);
     assert_eq!(sorted_fixes(&vita), fixes);
 
     // And back again.
-    vita.set_storage_backend(StorageBackend::Single);
-    assert_eq!(vita.repository().counts(), counts);
+    vita.migrate_backend(StorageBackend::Single);
+    assert_eq!(vita.repository().counts(RunScope::All), counts);
     assert_eq!(sorted_fixes(&vita), fixes);
 }

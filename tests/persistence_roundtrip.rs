@@ -142,24 +142,24 @@ fn sorted_by<T, K: Ord>(mut rows: Vec<T>, key: impl Fn(&T) -> K) -> Vec<T> {
 /// tables (sorted on a full key — backends may order rows differently).
 fn assert_runs_equal(got: &AnyRepository, want: &AnyRepository) {
     assert_eq!(got.run_ids(), want.run_ids());
-    assert_eq!(got.counts(), want.counts());
+    assert_eq!(got.counts(RunScope::All), want.counts(RunScope::All));
     for run in want.run_ids() {
-        assert_eq!(got.counts_run(run), want.counts_run(run));
+        assert_eq!(got.counts(run.into()), want.counts(run.into()));
         assert_eq!(
-            sorted_by(got.trajectory_rows_run(run), sample_key),
-            sorted_by(want.trajectory_rows_run(run), sample_key)
+            sorted_by(got.trajectories(run.into()), sample_key),
+            sorted_by(want.trajectories(run.into()), sample_key)
         );
         assert_eq!(
-            sorted_by(got.rssi_rows_run(run), rssi_key),
-            sorted_by(want.rssi_rows_run(run), rssi_key)
+            sorted_by(got.rssi(run.into()), rssi_key),
+            sorted_by(want.rssi(run.into()), rssi_key)
         );
         assert_eq!(
-            sorted_by(got.fix_rows_run(run), fix_key),
-            sorted_by(want.fix_rows_run(run), fix_key)
+            sorted_by(got.fixes(run.into()), fix_key),
+            sorted_by(want.fixes(run.into()), fix_key)
         );
         assert_eq!(
-            sorted_by(got.proximity_rows_run(run), prox_key),
-            sorted_by(want.proximity_rows_run(run), prox_key)
+            sorted_by(got.proximity(run.into()), prox_key),
+            sorted_by(want.proximity(run.into()), prox_key)
         );
     }
 }
@@ -245,7 +245,7 @@ proptest! {
             let want: Vec<TrajectorySample> = orig
                 .trajectories
                 .read()
-                .time_window_run(run, lo, hi)
+                .time_window(run.into(), lo, hi)
                 .into_iter()
                 .copied()
                 .collect();
@@ -254,14 +254,14 @@ proptest! {
                 .unwrap()
                 .trajectories
                 .read()
-                .time_window_run(run, lo, hi)
+                .time_window(run.into(), lo, hi)
                 .into_iter()
                 .copied()
                 .collect();
             prop_assert_eq!(&got_single, &want);
             prop_assert_eq!(
                 sorted_by(
-                    sharded.as_sharded().unwrap().trajectories_time_window_run(run, lo, hi),
+                    sharded.as_sharded().unwrap().trajectories_time_window(run.into(), lo, hi),
                     sample_key
                 ),
                 sorted_by(want, sample_key)
@@ -270,7 +270,7 @@ proptest! {
             let want: Vec<TrajectorySample> = orig
                 .trajectories
                 .read()
-                .object_trace_run(run, ObjectId(o))
+                .object_trace(run.into(), ObjectId(o))
                 .into_iter()
                 .copied()
                 .collect();
@@ -279,13 +279,13 @@ proptest! {
                 .unwrap()
                 .trajectories
                 .read()
-                .object_trace_run(run, ObjectId(o))
+                .object_trace(run.into(), ObjectId(o))
                 .into_iter()
                 .copied()
                 .collect();
             prop_assert_eq!(&got_single, &want);
             prop_assert_eq!(
-                sharded.as_sharded().unwrap().object_trace_run(run, ObjectId(o)),
+                sharded.as_sharded().unwrap().object_trace(run.into(), ObjectId(o)),
                 want
             );
         }
@@ -345,7 +345,7 @@ fn run_many_save_load_round_trip() {
     // Across a backend switch: load lands on the sharded backend with
     // run tags intact.
     let mut switched = Vita::from_dbi_text(&text, &BuildParams::default()).unwrap();
-    switched.set_storage_backend(StorageBackend::Sharded { shards: 4 });
+    switched.migrate_backend(StorageBackend::Sharded { shards: 4 });
     switched.load_from(&dir).unwrap();
     assert!(matches!(
         switched.repository().backend(),

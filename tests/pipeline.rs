@@ -60,16 +60,19 @@ positioning.hz = 1
     assert!(!data.is_empty());
 
     // Storage: all four repositories consistent.
-    let (t, r, f, p) = vita.repository().counts();
-    assert_eq!(t, stats.samples);
-    assert_eq!(r, rssi_len);
-    assert_eq!(f, data.len());
-    assert_eq!(p, 0);
+    let c = vita.repository().counts(RunScope::All);
+    assert_eq!(c.trajectories, stats.samples);
+    assert_eq!(c.rssi, rssi_len);
+    assert_eq!(c.fixes, data.len());
+    assert_eq!(c.proximity, 0);
 
     // Storage round-trip (export/import).
     let export = vita.repository().export();
     let restored = vita_storage::Repository::import(&export).unwrap();
-    assert_eq!(restored.counts(), vita.repository().counts());
+    assert_eq!(
+        restored.counts(RunScope::All),
+        vita.repository().counts(RunScope::All)
+    );
 }
 
 #[test]
@@ -108,7 +111,7 @@ fn pipeline_is_deterministic_across_runs() {
             PositioningData::Deterministic(f) => f,
             _ => unreachable!(),
         };
-        (vita.repository().counts(), fixes)
+        (vita.repository().counts(RunScope::All), fixes)
     };
     let (counts_a, fixes_a) = run();
     let (counts_b, fixes_b) = run();

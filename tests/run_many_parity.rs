@@ -138,7 +138,7 @@ fn concurrent_matches_sequential_on(backend: StorageBackend) {
         (0..4).map(|i| RunId(i as u32)).collect::<Vec<_>>()
     );
 
-    let mut total = (0, 0, 0, 0);
+    let mut total = TableCounts::default();
     for (i, scenario) in scenarios.iter().enumerate() {
         let run = RunId(i as u32);
         assert_eq!(reports[i].run, run);
@@ -153,34 +153,33 @@ fn concurrent_matches_sequential_on(backend: StorageBackend) {
 
         // Row sets, bit-identical per product.
         assert_eq!(
-            sorted_samples(repo.trajectory_rows_run(run)),
-            sorted_samples(alone.repository().trajectory_rows()),
+            sorted_samples(repo.trajectories(run.into())),
+            sorted_samples(alone.repository().trajectories(RunScope::All)),
             "run {i}: trajectory rows differ"
         );
         assert_eq!(
-            sorted_rssi(repo.rssi_rows_run(run)),
-            sorted_rssi(alone.repository().rssi_rows()),
+            sorted_rssi(repo.rssi(run.into())),
+            sorted_rssi(alone.repository().rssi(RunScope::All)),
             "run {i}: rssi rows differ"
         );
         assert_eq!(
-            sorted_fixes(repo.fix_rows_run(run)),
-            sorted_fixes(alone.repository().fix_rows()),
+            sorted_fixes(repo.fixes(run.into())),
+            sorted_fixes(alone.repository().fixes(RunScope::All)),
             "run {i}: fix rows differ"
         );
         assert_eq!(
-            sorted_prox(repo.proximity_rows_run(run)),
-            sorted_prox(alone.repository().proximity_rows()),
+            sorted_prox(repo.proximity(run.into())),
+            sorted_prox(alone.repository().proximity(RunScope::All)),
             "run {i}: proximity rows differ"
         );
 
-        let (t, r, f, p) = repo.counts_run(run);
-        total = (total.0 + t, total.1 + r, total.2 + f, total.3 + p);
+        total = total + repo.counts(run.into());
     }
     // Per-run counts partition the shared repository exactly.
-    assert_eq!(repo.counts(), total);
+    assert_eq!(repo.counts(RunScope::All), total);
     // Something non-trivial actually landed in both positioning tables.
-    assert!(total.2 > 0, "no fixes stored");
-    assert!(total.3 > 0, "no proximity records stored");
+    assert!(total.fixes > 0, "no fixes stored");
+    assert!(total.proximity > 0, "no proximity records stored");
 }
 
 #[test]
@@ -203,9 +202,12 @@ fn run_streaming_is_run_zero_of_run_many() {
     let mut solo = toolkit();
     solo.run_streaming(&scenario).unwrap();
     assert_eq!(
-        sorted_fixes(many.repository().fix_rows()),
-        sorted_fixes(solo.repository().fix_rows())
+        sorted_fixes(many.repository().fixes(RunScope::All)),
+        sorted_fixes(solo.repository().fixes(RunScope::All))
     );
-    assert_eq!(many.repository().counts(), solo.repository().counts());
+    assert_eq!(
+        many.repository().counts(RunScope::All),
+        solo.repository().counts(RunScope::All)
+    );
     assert_eq!(many.repository().run_ids(), vec![RunId::DEFAULT]);
 }

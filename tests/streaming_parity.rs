@@ -52,7 +52,7 @@ fn scenario(method: MethodConfig) -> ScenarioConfig {
 /// Sorted copy of every fix in a repository (exact float comparison: both
 /// paths must run bit-identical computations).
 fn sorted_fixes(vita: &Vita) -> Vec<vita_positioning::Fix> {
-    let mut fixes: Vec<vita_positioning::Fix> = vita.repository().fix_rows();
+    let mut fixes: Vec<vita_positioning::Fix> = vita.repository().fixes(RunScope::All);
     fixes.sort_by(|a, b| {
         (a.t, a.object).cmp(&(b.t, b.object)).then_with(|| {
             match (a.loc.as_point(), b.loc.as_point()) {
@@ -84,7 +84,10 @@ fn streaming_matches_step_path_counts_and_fixes() {
     let mut streaming = toolkit();
     let report = streaming.run_streaming(&scenario(method)).unwrap();
 
-    assert_eq!(streaming.repository().counts(), step.repository().counts());
+    assert_eq!(
+        streaming.repository().counts(RunScope::All),
+        step.repository().counts(RunScope::All)
+    );
     assert_eq!(
         report.stats.samples,
         step.generation().unwrap().stats.samples
@@ -112,9 +115,12 @@ fn streaming_matches_step_path_for_proximity() {
         )))
         .unwrap();
 
-    assert_eq!(streaming.repository().counts(), step.repository().counts());
+    assert_eq!(
+        streaming.repository().counts(RunScope::All),
+        step.repository().counts(RunScope::All)
+    );
     let collect = |v: &Vita| {
-        let mut r: Vec<vita_positioning::ProximityRecord> = v.repository().proximity_rows();
+        let mut r: Vec<vita_positioning::ProximityRecord> = v.repository().proximity(RunScope::All);
         r.sort_by_key(|r| (r.ts, r.object, r.device, r.te));
         r
     };
@@ -139,6 +145,9 @@ fn streaming_matches_step_path_for_probabilistic_fingerprinting() {
     streaming.run_streaming(&scenario(method())).unwrap();
 
     // MAP estimates land in the fix table on both paths.
-    assert_eq!(streaming.repository().counts(), step.repository().counts());
+    assert_eq!(
+        streaming.repository().counts(RunScope::All),
+        step.repository().counts(RunScope::All)
+    );
     assert_eq!(sorted_fixes(&streaming), sorted_fixes(&step));
 }
