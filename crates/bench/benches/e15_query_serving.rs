@@ -41,6 +41,12 @@ fn populated(backend: StorageBackend) -> Arc<AnyRepository> {
             repo.accept_run(RunId(run), ProductBatch::Trajectories(rows));
         }
     }
+    // Measure the segmented backend's steady state: everything sealed and
+    // indexed, nothing left in the unsealed tail.
+    if let Some(s) = repo.as_segmented() {
+        s.seal_now();
+        s.seal_now();
+    }
     Arc::new(repo)
 }
 
@@ -48,6 +54,7 @@ fn bench_serving(c: &mut Criterion) {
     let backends = [
         ("single", StorageBackend::Single),
         ("sharded_8", StorageBackend::Sharded { shards: 8 }),
+        ("segmented", StorageBackend::Segmented),
     ];
     let mut g = c.benchmark_group("e15/query_serving");
     g.sample_size(20);

@@ -83,6 +83,9 @@ fn main() {
     if want("e15") {
         e15_query_serving();
     }
+    if want("e16") {
+        e16_read_under_ingest();
+    }
     if want("a1") {
         a1_trilateration_ablation();
     }
@@ -457,9 +460,9 @@ fn e15_query_serving() {
     // Sized for small CI containers (often 1–2 cores): few enough threads
     // that pacing wakeups don't drown the service, coarse enough steps
     // that a knee is a knee and not scheduler noise.
-    const STAGE_WORKERS: usize = 2;
+    const STAGE_WORKERS: usize = 1;
     const QUERY_WORKERS: usize = 2;
-    const SECS: u64 = 10;
+    const SECS: u64 = 30;
     const OBJECTS: usize = 100;
 
     println!(
@@ -473,6 +476,7 @@ fn e15_query_serving() {
     let backends = [
         ("single", StorageBackend::Single),
         ("sharded(8)", StorageBackend::Sharded { shards: 8 }),
+        ("segmented", StorageBackend::Segmented),
     ];
     let mut summary = Vec::new();
     for (name, backend) in backends {
@@ -537,6 +541,169 @@ fn e15_query_serving() {
     println!();
     for (name, rps) in summary {
         println!("- max sustainable RPS, {name}: **{rps:.0}**");
+    }
+    println!();
+}
+
+/// E16 — fixed-rate read latency under live ingestion: the same mixed
+/// query workload as E15, but pinned at one offered rate (around where
+/// the locked backends saturate in E15's ramp) while a writer thread
+/// keeps `run_many` ingesting — across all three backends. The segmented
+/// backend answers every query from an epoch-pinned immutable snapshot,
+/// so its read tail should stay flat where the locked backends queue
+/// behind the writer; the seal / compaction columns count the sealer's
+/// in-step work, confirming it was actually churning during the
+/// measurement, not idle. Each backend's row is the median-p99 rep of
+/// three independent reps, each over a freshly built repository. Absolute
+/// numbers are container-sensitive; compare backends within one run.
+fn e16_read_under_ingest() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+    use vita_bench::e11;
+    use vita_core::{RunId, StorageBackend};
+    use vita_serve::{run_ramp, LoadProfile, WorkloadSpec};
+
+    // The fixed rate sits at E15's saturation knee (the last step the
+    // locked backends sustain): high enough that the writer's locks are
+    // contended, low enough that the step is not in open-loop overload —
+    // in overload the percentiles measure queue depth, not the backend.
+    const STAGE_WORKERS: usize = 1;
+    const QUERY_WORKERS: usize = 2;
+    const SECS: u64 = 30;
+    const OBJECTS: usize = 100;
+    const FIXED_RPS: f64 = 2_000.0;
+    /// The pre-ingested corpus samples trajectories at this rate (the live
+    /// trickle stays at the 1 Hz default, so offered write load during the
+    /// step is unchanged). A corpus of ~60k point rows is what makes the
+    /// locked backends' structural cost visible: any append evicts the
+    /// touched floor's cached grid, so every spatial query mid-ingest
+    /// rebuilds an O(corpus) index, while the segmented backend's sealed
+    /// per-segment grids are immutable and never rebuilt.
+    const PRELOAD_HZ: f64 = 20.0;
+    /// Every backend ingests one `run_many` scenario pair per period, on
+    /// an absolute schedule — identical offered write load across rows.
+    const INGEST_PERIOD: Duration = Duration::from_millis(20);
+    /// One 4 s step is a noisy sample on a small shared host; the median
+    /// of three independent reps (fresh repository each) is stable enough
+    /// to compare backends a few hundred µs apart at p99.
+    const STEP_REPS: usize = 3;
+
+    println!(
+        "## E16 — fixed-rate read latency under live ingestion \
+         ({FIXED_RPS:.0} RPS × {QUERY_WORKERS} query workers vs paced \
+         run_many, one scenario pair / {} ms, median of {STEP_REPS} reps, \
+         office 2F, 10 APs, trilateration)\n",
+        INGEST_PERIOD.as_millis()
+    );
+    println!(
+        "| backend | target RPS | achieved RPS | issued | p50 µs | p99 µs | p999 µs \
+         | seals | compactions |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let text = e11::office_text();
+    let backends = [
+        ("single", StorageBackend::Single),
+        ("sharded(8)", StorageBackend::Sharded { shards: 8 }),
+        ("segmented", StorageBackend::Segmented),
+    ];
+    let mut summary = Vec::new();
+    for (name, backend) in backends {
+        // Each rep rebuilds the toolkit from scratch so every sample sees
+        // the same repository size — reusing one repository across reps
+        // would let the continuing ingestion grow the data set until the
+        // later steps saturate and measure queue depth instead.
+        let mut samples = Vec::new();
+        for _ in 0..STEP_REPS {
+            let mut vita = e11::toolkit(&text).with_backend(backend);
+            // Pre-ingest one run so the fixed-rate step queries real rows.
+            let mut preload = e11::scenario_with(OBJECTS, SECS, STAGE_WORKERS, backend);
+            preload.mobility.trajectory_hz = Hz(PRELOAD_HZ);
+            vita.run_streaming(&preload).unwrap();
+            let repo = vita.repository_handle();
+            let service = vita.serve();
+            let workload = WorkloadSpec {
+                scopes: vec![RunScope::All, RunId(0).into(), RunId(1).into()],
+                objects: OBJECTS as u32,
+                floors: 2,
+                t_max: SECS * 1000,
+                window: 2_000,
+                ..Default::default()
+            };
+            // increment 0 → exactly one step; satisfaction 0 → it always
+            // counts.
+            let profile = LoadProfile {
+                initial_rps: FIXED_RPS,
+                increment_rps: 0.0,
+                max_rps: FIXED_RPS,
+                step_duration: Duration::from_millis(4_000),
+                workers: QUERY_WORKERS,
+                satisfaction: 0.0,
+            };
+
+            let done = AtomicBool::new(false);
+            // Stats before the measured step, so the table reports in-step
+            // maintenance work rather than preload churn.
+            let base = repo.as_segmented().map_or((0, 0), |s| {
+                let st = s.stats();
+                (st.seals, st.compactions)
+            });
+            let report = std::thread::scope(|scope| {
+                let done = &done;
+                let writer = scope.spawn(move || {
+                    // Paced ingestion: one scenario pair per fixed slot, on
+                    // an absolute schedule. A free-running loop would let
+                    // the backend with the cheapest appends ingest the most
+                    // data during the step, so the comparison would measure
+                    // generation CPU, not the read path under equal write
+                    // load.
+                    let t0 = std::time::Instant::now();
+                    let mut runs = 0usize;
+                    let mut slot = 0u32;
+                    while !done.load(Ordering::Relaxed) {
+                        let reports = vita
+                            .run_many(&[
+                                e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend),
+                                e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend),
+                            ])
+                            .unwrap();
+                        runs += reports.len();
+                        slot += 1;
+                        while !done.load(Ordering::Relaxed) {
+                            let next = INGEST_PERIOD * slot;
+                            let elapsed = t0.elapsed();
+                            if elapsed >= next {
+                                break;
+                            }
+                            std::thread::sleep((next - elapsed).min(Duration::from_millis(5)));
+                        }
+                    }
+                    runs
+                });
+                let report = run_ramp(&service, &workload, &profile);
+                done.store(true, Ordering::Relaxed);
+                let runs = writer.join().expect("ingestion thread");
+                assert!(runs > 0, "ingestion never completed a run during the step");
+                report
+            });
+
+            let (seals, compactions) = repo.as_segmented().map_or((0, 0), |s| {
+                let st = s.stats();
+                (st.seals - base.0, st.compactions - base.1)
+            });
+            samples.push((report, seals, compactions));
+        }
+        samples.sort_by_key(|(r, _, _)| r.steps[0].p99_us);
+        let (report, seals, compactions) = &samples[samples.len() / 2];
+        let s = &report.steps[0];
+        println!(
+            "| {name} | {:.0} | {:.0} | {} | {} | {} | {} | {seals} | {compactions} |",
+            s.target_rps, s.achieved_rps, s.issued, s.p50_us, s.p99_us, s.p999_us
+        );
+        summary.push((name, s.p99_us, s.p999_us));
+    }
+    println!();
+    for (name, p99, p999) in summary {
+        println!("- read latency under ingest, {name}: p99 **{p99} µs**, p999 **{p999} µs**");
     }
     println!();
 }

@@ -611,12 +611,6 @@ impl Vita {
         apply_backend(&mut self.repo, backend);
     }
 
-    #[deprecated(note = "renamed to `migrate_backend`; prefer `Vita::with_backend` \
-                         at construction time, which avoids the O(rows) re-ingestion")]
-    pub fn set_storage_backend(&mut self, backend: StorageBackend) {
-        self.migrate_backend(backend);
-    }
-
     /// The products of the last generation (step 4), if any.
     pub fn generation(&self) -> Option<&GenerationResult> {
         self.last_generation.as_ref()

@@ -39,7 +39,7 @@
 //!
 //! ## Choosing a backend
 //!
-//! Two [`ProductSink`] backends implement the same contract:
+//! Three [`ProductSink`] backends implement the same contract:
 //!
 //! * [`Repository`] — all four tables behind one `RwLock` each. The right
 //!   default for small runs and single-writer ingestion: lowest constant
@@ -53,9 +53,16 @@
 //!   more shards only fragment small runs. Reads are rebalance-free
 //!   shard-merges returning the same row sets as the single repository;
 //!   the ordering / batch-size / backpressure contract above is unchanged.
+//! * [`SegmentedRepository`] — each table a list of immutable, run-
+//!   segmented segments published by atomic snapshot swap, with a
+//!   background sealer/compactor building indexes once at seal time (see
+//!   the [`segment`] module docs). Readers pin a snapshot and never block;
+//!   choose it when queries must stay fast *while* ingestion runs (the
+//!   online-serving workload). For purely offline workloads the locked
+//!   backends skip the sealer thread and the per-query merge.
 //!
 //! [`StorageBackend`] names the choice for configuration surfaces and
-//! [`AnyRepository`] dispatches between the two at runtime (this is what
+//! [`AnyRepository`] dispatches between the three at runtime (this is what
 //! `vita-core`'s pipeline stores).
 //!
 //! ## The run dimension
@@ -76,9 +83,9 @@
 //!   backends.
 //!
 //! [`RunId`] converts into a scope (`run.into()`), so scoped call sites
-//! stay short. The pre-`RunScope` method names (`counts_run`,
-//! `time_window_run`, `trajectory_rows`, …) survive as thin `#[deprecated]`
-//! wrappers for downstream callers; nothing inside the workspace uses them.
+//! stay short. (The pre-`RunScope` method names — `counts_run`,
+//! `time_window_run`, `trajectory_rows`, … — went through a deprecation
+//! cycle and are gone.)
 //!
 //! ## Persistence & wire format
 //!
@@ -101,6 +108,7 @@
 //! a directory on disk.
 
 pub mod codec;
+pub mod segment;
 pub mod sharded;
 pub mod stream;
 pub mod table;
@@ -111,6 +119,7 @@ pub use codec::{
     encode_fixes_runs, encode_proximity, encode_proximity_runs, encode_rssi, encode_rssi_runs,
     encode_trajectories, encode_trajectories_runs, CodecError,
 };
+pub use segment::{SegmentConfig, SegmentStats, SegmentedRepository};
 pub use sharded::{ShardedRepository, DEFAULT_SHARDS};
 pub use stream::{downsample, merge_by_time, record_rate, Timed, TumblingWindow};
 pub use table::{FixTable, ProximityTable, RowId, RssiTable, TrajectoryTable};
@@ -328,13 +337,6 @@ impl Repository {
         }
     }
 
-    /// Row counts of one run: (trajectories, rssi, fixes, proximity).
-    #[deprecated(note = "use `counts(run.into())`, which returns `TableCounts`")]
-    pub fn counts_run(&self, run: RunId) -> (usize, usize, usize, usize) {
-        let c = self.counts(run.into());
-        (c.trajectories, c.rssi, c.fixes, c.proximity)
-    }
-
     /// Every run with at least one row in any table, ascending.
     pub fn run_ids(&self) -> Vec<RunId> {
         let mut runs: Vec<RunId> = self.trajectories.read().run_ids();
@@ -464,16 +466,21 @@ pub enum StorageBackend {
     Single,
     /// A [`ShardedRepository`] with `shards` partitions per table.
     Sharded { shards: usize },
+    /// A [`SegmentedRepository`]: immutable segments, snapshot-pinned
+    /// lock-free reads, background sealer/compactor.
+    Segmented,
 }
 
-/// Runtime dispatch between the two [`ProductSink`] backends. Queries that
-/// must work on either backend return owned rows (every product row is
+/// Runtime dispatch between the three [`ProductSink`] backends. Queries
+/// that must work on any backend return owned rows (every product row is
 /// `Copy`); backend-specific surfaces are reachable through
-/// [`AnyRepository::as_single`] / [`AnyRepository::as_sharded`].
+/// [`AnyRepository::as_single`] / [`AnyRepository::as_sharded`] /
+/// [`AnyRepository::as_segmented`].
 #[derive(Debug)]
 pub enum AnyRepository {
     Single(Box<Repository>),
     Sharded(ShardedRepository),
+    Segmented(SegmentedRepository),
 }
 
 impl AnyRepository {
@@ -483,6 +490,7 @@ impl AnyRepository {
             StorageBackend::Sharded { shards } => {
                 AnyRepository::Sharded(ShardedRepository::new(shards))
             }
+            StorageBackend::Segmented => AnyRepository::Segmented(SegmentedRepository::new()),
         }
     }
 
@@ -493,20 +501,28 @@ impl AnyRepository {
             AnyRepository::Sharded(s) => StorageBackend::Sharded {
                 shards: s.shard_count(),
             },
+            AnyRepository::Segmented(_) => StorageBackend::Segmented,
         }
     }
 
     pub fn as_single(&self) -> Option<&Repository> {
         match self {
             AnyRepository::Single(r) => Some(r),
-            AnyRepository::Sharded(_) => None,
+            _ => None,
         }
     }
 
     pub fn as_sharded(&self) -> Option<&ShardedRepository> {
         match self {
-            AnyRepository::Single(_) => None,
             AnyRepository::Sharded(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_segmented(&self) -> Option<&SegmentedRepository> {
+        match self {
+            AnyRepository::Segmented(s) => Some(s),
+            _ => None,
         }
     }
 
@@ -515,15 +531,17 @@ impl AnyRepository {
         match self {
             AnyRepository::Single(r) => r.counts(scope),
             AnyRepository::Sharded(s) => s.counts(scope),
+            AnyRepository::Segmented(s) => s.counts(scope),
         }
     }
 
-    /// Row counts per shard, in shard order (one entry for the single
-    /// backend).
+    /// Row counts per shard, in shard order (one entry for the unsharded
+    /// backends).
     pub fn per_shard_counts(&self) -> Vec<ShardCounts> {
         match self {
             AnyRepository::Single(r) => vec![r.counts(RunScope::All)],
             AnyRepository::Sharded(s) => s.per_shard_counts(),
+            AnyRepository::Segmented(s) => s.per_shard_counts(),
         }
     }
 
@@ -532,19 +550,13 @@ impl AnyRepository {
         match self {
             AnyRepository::Single(r) => r.run_ids(),
             AnyRepository::Sharded(s) => s.run_ids(),
+            AnyRepository::Segmented(s) => s.run_ids(),
         }
     }
 
-    /// Row counts of one run: (trajectories, rssi, fixes, proximity).
-    #[deprecated(note = "use `counts(run.into())`, which returns `TableCounts`")]
-    pub fn counts_run(&self, run: RunId) -> (usize, usize, usize, usize) {
-        let c = self.counts(run.into());
-        (c.trajectories, c.rssi, c.fixes, c.proximity)
-    }
-
-    /// Owned copy of the trajectory samples under `scope` (single:
-    /// insertion order; sharded: shard order — the same row set either
-    /// way).
+    /// Owned copy of the trajectory samples under `scope` (single and
+    /// segmented: insertion order; sharded: shard order — the same row set
+    /// either way).
     pub fn trajectories(&self, scope: RunScope) -> Vec<TrajectorySample> {
         match self {
             AnyRepository::Single(r) => {
@@ -555,6 +567,7 @@ impl AnyRepository {
                 }
             }
             AnyRepository::Sharded(s) => s.trajectories_scan(scope),
+            AnyRepository::Segmented(s) => s.trajectories_scan(scope),
         }
     }
 
@@ -570,6 +583,7 @@ impl AnyRepository {
                 }
             }
             AnyRepository::Sharded(s) => s.rssi_scan(scope),
+            AnyRepository::Segmented(s) => s.rssi_scan(scope),
         }
     }
 
@@ -585,6 +599,7 @@ impl AnyRepository {
                 }
             }
             AnyRepository::Sharded(s) => s.fixes_scan(scope),
+            AnyRepository::Segmented(s) => s.fixes_scan(scope),
         }
     }
 
@@ -600,6 +615,7 @@ impl AnyRepository {
                 }
             }
             AnyRepository::Sharded(s) => s.proximity_scan(scope),
+            AnyRepository::Segmented(s) => s.proximity_scan(scope),
         }
     }
 
@@ -617,6 +633,7 @@ impl AnyRepository {
                 .copied()
                 .collect(),
             AnyRepository::Sharded(s) => s.trajectories_snapshot_at(scope, t),
+            AnyRepository::Segmented(s) => s.trajectories_snapshot_at(scope, t),
         }
     }
 
@@ -638,6 +655,7 @@ impl AnyRepository {
                 .copied()
                 .collect(),
             AnyRepository::Sharded(s) => s.trajectories_time_window(scope, from, to),
+            AnyRepository::Segmented(s) => s.trajectories_time_window(scope, from, to),
         }
     }
 
@@ -652,6 +670,7 @@ impl AnyRepository {
                 .copied()
                 .collect(),
             AnyRepository::Sharded(s) => s.object_trace(scope, o),
+            AnyRepository::Segmented(s) => s.object_trace(scope, o),
         }
     }
 
@@ -673,6 +692,7 @@ impl AnyRepository {
                 .copied()
                 .collect(),
             AnyRepository::Sharded(s) => s.trajectories_range_query(scope, floor, query),
+            AnyRepository::Segmented(s) => s.trajectories_range_query(scope, floor, query),
         }
     }
 
@@ -695,55 +715,8 @@ impl AnyRepository {
                 .map(|(s, d)| (*s, d))
                 .collect(),
             AnyRepository::Sharded(s) => s.trajectories_knn(scope, floor, p, k),
+            AnyRepository::Segmented(s) => s.trajectories_knn(scope, floor, p, k),
         }
-    }
-
-    /// Owned copy of every trajectory sample, all runs merged.
-    #[deprecated(note = "use `trajectories(RunScope::All)`")]
-    pub fn trajectory_rows(&self) -> Vec<TrajectorySample> {
-        self.trajectories(RunScope::All)
-    }
-
-    /// Owned copy of one run's trajectory samples.
-    #[deprecated(note = "use `trajectories(run.into())`")]
-    pub fn trajectory_rows_run(&self, run: RunId) -> Vec<TrajectorySample> {
-        self.trajectories(run.into())
-    }
-
-    /// Owned copy of every RSSI measurement, all runs merged.
-    #[deprecated(note = "use `rssi(RunScope::All)`")]
-    pub fn rssi_rows(&self) -> Vec<RssiMeasurement> {
-        self.rssi(RunScope::All)
-    }
-
-    /// Owned copy of one run's RSSI measurements.
-    #[deprecated(note = "use `rssi(run.into())`")]
-    pub fn rssi_rows_run(&self, run: RunId) -> Vec<RssiMeasurement> {
-        self.rssi(run.into())
-    }
-
-    /// Owned copy of every positioning fix, all runs merged.
-    #[deprecated(note = "use `fixes(RunScope::All)`")]
-    pub fn fix_rows(&self) -> Vec<Fix> {
-        self.fixes(RunScope::All)
-    }
-
-    /// Owned copy of one run's positioning fixes.
-    #[deprecated(note = "use `fixes(run.into())`")]
-    pub fn fix_rows_run(&self, run: RunId) -> Vec<Fix> {
-        self.fixes(run.into())
-    }
-
-    /// Owned copy of every proximity record, all runs merged.
-    #[deprecated(note = "use `proximity(RunScope::All)`")]
-    pub fn proximity_rows(&self) -> Vec<ProximityRecord> {
-        self.proximity(RunScope::All)
-    }
-
-    /// Owned copy of one run's proximity records.
-    #[deprecated(note = "use `proximity(run.into())`")]
-    pub fn proximity_rows_run(&self, run: RunId) -> Vec<ProximityRecord> {
-        self.proximity(run.into())
     }
 
     /// Serialize every table into one buffer per table, run-segmented:
@@ -753,6 +726,7 @@ impl AnyRepository {
         match self {
             AnyRepository::Single(r) => r.export(),
             AnyRepository::Sharded(s) => s.export(),
+            AnyRepository::Segmented(s) => s.export(),
         }
     }
 
@@ -765,6 +739,9 @@ impl AnyRepository {
             StorageBackend::Single => AnyRepository::Single(Box::new(Repository::import(export)?)),
             StorageBackend::Sharded { shards } => {
                 AnyRepository::Sharded(ShardedRepository::import(export, shards)?)
+            }
+            StorageBackend::Segmented => {
+                AnyRepository::Segmented(SegmentedRepository::import(export)?)
             }
         })
     }
@@ -781,6 +758,7 @@ impl ProductSink for AnyRepository {
         match self {
             AnyRepository::Single(r) => r.accept_run(run, batch),
             AnyRepository::Sharded(s) => s.accept_run(run, batch),
+            AnyRepository::Segmented(s) => s.accept_run(run, batch),
         }
     }
 }

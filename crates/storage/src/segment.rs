@@ -1,0 +1,1666 @@
+//! The segmented storage backend: immutable run-segmented segments with
+//! epoch-pinned snapshot reads and a background sealer/compactor.
+//!
+//! [`Repository`](crate::Repository) and
+//! [`ShardedRepository`](crate::ShardedRepository) both sit readers and
+//! writers on the same `RwLock`s, so under live ingestion the read tail
+//! inherits every writer pause — and each append throws away cached
+//! spatial indexes, forcing O(n) rebuilds mid-ingest. This module takes
+//! the modern-engine answer instead: make the data immutable and publish
+//! it by pointer swap.
+//!
+//! * Each table is a list of **immutable segments**. Every accepted batch
+//!   becomes a small unsealed segment (one per-run section, rows in
+//!   arrival order, no indexes); a background **sealer** merges unsealed
+//!   segments into sealed ones — per-run sections, exactly like the v2
+//!   wire format's section layout — and builds each sealed section's time
+//!   / object / device / per-floor spatial indexes **once**, at seal
+//!   time. A **compactor** folds accumulated sealed segments together so
+//!   the list stays short.
+//! * The current segment list is published through a `SnapshotCell`:
+//!   readers pin the current snapshot (an `Arc` — the pin is the
+//!   reference count), answer the whole query against that frozen state,
+//!   and drop the pin when done. Readers never take a lock on the hot
+//!   path and never block ingestion or sealing; writers never invalidate
+//!   anything a reader holds.
+//!
+//! Every row is stamped with a per-table **sequence number** at accept
+//! time. Queries order ties by it, which makes the segmented backend's
+//! answers *bit-identical* to the single [`Repository`](crate::Repository)
+//! under deterministic ingestion — arrival order is reconstructed from
+//! the seqs no matter how sealing and compaction have rearranged the
+//! physical rows. The cross-backend parity suites hold all three backends
+//! to that standard.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use vita_geometry::{Aabb, GridIndex, Point};
+use vita_indoor::{DeviceId, FloorId, LocKind, ObjectId, RunId, Timestamp};
+use vita_mobility::TrajectorySample;
+use vita_positioning::{Fix, ProximityRecord};
+use vita_rssi::RssiMeasurement;
+
+use crate::codec::{
+    decode_fixes_runs, decode_proximity_runs, decode_rssi_runs, decode_trajectories_runs,
+    encode_fixes_runs, encode_proximity_runs, encode_rssi_runs, encode_trajectories_runs,
+};
+use crate::{
+    borrow_sections, run_sections, CodecError, ProductBatch, ProductSink, RepositoryExport,
+    RunScope, ShardCounts, TableCounts,
+};
+
+/// Per-table arrival stamp; ties in every query order by it, which is what
+/// keeps segmented answers bit-identical to the single repository.
+type Seq = u64;
+
+// ---------------------------------------------------------------------------
+// Snapshot publication: epoch-pinned Arc swap
+// ---------------------------------------------------------------------------
+
+static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Entries a thread keeps before it evicts its pin cache wholesale. Small:
+/// a cached entry keeps a whole table snapshot alive, and four cells per
+/// repository means even a test spawning many repositories stays bounded.
+const PIN_CACHE_CAP: usize = 64;
+
+/// A pin-cache entry: the cell version seen and the snapshot pinned at it.
+type PinEntry = (u64, Arc<dyn Any + Send + Sync>);
+
+thread_local! {
+    /// Per-thread pin cache: cell id → (version seen, pinned snapshot).
+    /// Keyed by a globally unique cell id, so a dropped repository's stale
+    /// entries can never alias a new cell.
+    static PIN_CACHE: RefCell<HashMap<u64, PinEntry>> = RefCell::new(HashMap::new());
+}
+
+/// Atomically published `Arc<T>` with an epoch counter.
+///
+/// The hot read path is lock-free: a thread that has already pinned the
+/// current version re-uses its cached `Arc` after one atomic load. Only
+/// the first read after a publish touches the publication slot's lock —
+/// and writers hold that lock just long enough to swap a pointer, so even
+/// the refresh path never waits behind ingestion or sealing work.
+struct SnapshotCell<T: Send + Sync + 'static> {
+    id: u64,
+    version: AtomicU64,
+    slot: RwLock<Arc<T>>,
+}
+
+impl<T: Send + Sync + 'static> SnapshotCell<T> {
+    fn new(value: T) -> Self {
+        SnapshotCell {
+            id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
+            version: AtomicU64::new(1),
+            slot: RwLock::new(Arc::new(value)),
+        }
+    }
+
+    /// Pin the current snapshot. The returned `Arc` *is* the pin: the
+    /// snapshot (and every segment it references) stays alive until the
+    /// caller drops it, no matter what writers publish meanwhile.
+    ///
+    /// Per thread the pinned snapshots are monotone — once a thread has
+    /// seen a snapshot, later pins never observe an older one — which is
+    /// what makes reader-side prefix-consistency assertions sound.
+    fn pin(&self) -> Arc<T> {
+        let version = self.version.load(Ordering::Acquire);
+        let hit = PIN_CACHE.with(|c| {
+            c.borrow()
+                .get(&self.id)
+                .and_then(|(v, arc)| (*v == version).then(|| Arc::clone(arc)))
+        });
+        if let Some(any) = hit {
+            if let Ok(arc) = any.downcast::<T>() {
+                return arc;
+            }
+        }
+        // The slot may hold a snapshot *newer* than `version` (a writer
+        // stores before bumping); caching it under the older version is
+        // fine — the next bump forces a refresh, and the slot only ever
+        // moves forward, so per-thread monotonicity holds.
+        let fresh = Arc::clone(&self.slot.read());
+        PIN_CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            if cache.len() >= PIN_CACHE_CAP && !cache.contains_key(&self.id) {
+                cache.clear();
+            }
+            cache.insert(
+                self.id,
+                (version, Arc::clone(&fresh) as Arc<dyn Any + Send + Sync>),
+            );
+        });
+        fresh
+    }
+
+    /// The slot's current value, bypassing the thread-local cache. Writers
+    /// (which serialize on the table's writer lock) use this to read their
+    /// own latest publish back.
+    fn latest(&self) -> Arc<T> {
+        Arc::clone(&self.slot.read())
+    }
+
+    /// Publish a new snapshot: store, then bump the epoch. Callers
+    /// serialize publishes through the table's writer lock.
+    fn publish(&self, value: Arc<T>) {
+        *self.slot.write() = value;
+        self.version.fetch_add(1, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rows, sections, segments
+// ---------------------------------------------------------------------------
+
+/// Field access the generic segmented table needs from a product row.
+trait SegmentRow: Copy + Send + Sync + 'static {
+    fn time(&self) -> Timestamp;
+    fn object(&self) -> Option<ObjectId>;
+    fn device(&self) -> Option<DeviceId>;
+    fn floor_point(&self) -> Option<(FloorId, Point)>;
+}
+
+impl SegmentRow for TrajectorySample {
+    fn time(&self) -> Timestamp {
+        self.t
+    }
+    fn object(&self) -> Option<ObjectId> {
+        Some(self.object)
+    }
+    fn device(&self) -> Option<DeviceId> {
+        None
+    }
+    fn floor_point(&self) -> Option<(FloorId, Point)> {
+        match self.loc.kind {
+            LocKind::Point(p) => Some((self.loc.floor, p)),
+            _ => None,
+        }
+    }
+}
+
+impl SegmentRow for RssiMeasurement {
+    fn time(&self) -> Timestamp {
+        self.t
+    }
+    fn object(&self) -> Option<ObjectId> {
+        Some(self.object)
+    }
+    fn device(&self) -> Option<DeviceId> {
+        Some(self.device)
+    }
+    fn floor_point(&self) -> Option<(FloorId, Point)> {
+        None
+    }
+}
+
+impl SegmentRow for Fix {
+    fn time(&self) -> Timestamp {
+        self.t
+    }
+    fn object(&self) -> Option<ObjectId> {
+        Some(self.object)
+    }
+    fn device(&self) -> Option<DeviceId> {
+        None
+    }
+    fn floor_point(&self) -> Option<(FloorId, Point)> {
+        match self.loc.kind {
+            LocKind::Point(p) => Some((self.loc.floor, p)),
+            _ => None,
+        }
+    }
+}
+
+impl SegmentRow for ProximityRecord {
+    fn time(&self) -> Timestamp {
+        self.ts
+    }
+    fn object(&self) -> Option<ObjectId> {
+        Some(self.object)
+    }
+    fn device(&self) -> Option<DeviceId> {
+        Some(self.device)
+    }
+    fn floor_point(&self) -> Option<(FloorId, Point)> {
+        None
+    }
+}
+
+/// Indexes a sealed section carries, built exactly once at seal time.
+/// There is no time index: a sealed section's rows are stored physically
+/// in `(t, seq)` order, so time windows are contiguous sub-slices.
+struct SectionIndex {
+    /// Row positions per object, ascending — because rows are
+    /// `(t, seq)`-sorted, each list is the object's trace in trace order.
+    by_object: HashMap<ObjectId, Vec<u32>>,
+    by_device: HashMap<DeviceId, Vec<u32>>,
+    /// Per-floor grid over point-located rows (trajectory table only).
+    spatial: HashMap<FloorId, GridIndex>,
+}
+
+/// One run's rows inside a segment — the in-memory mirror of the v2 wire
+/// format's per-run section. `rows` and `seqs` are parallel. Unsealed
+/// sections keep arrival order (ascending seqs); sealed sections are
+/// physically re-sorted to `(t, seq)` order, which turns the dominant
+/// serving query (time windows) into binary search plus sequential copy.
+/// Arrival order is never lost — seqs travel with the rows, and the
+/// arrival-ordered readers (scan, export) order by seq value.
+struct Section<R> {
+    run: RunId,
+    rows: Vec<R>,
+    seqs: Vec<Seq>,
+    min_t: Timestamp,
+    max_t: Timestamp,
+    /// `Some` once sealed; unsealed sections answer by linear scan.
+    index: Option<SectionIndex>,
+}
+
+impl<R: SegmentRow> Section<R> {
+    fn unsealed(run: RunId, rows: Vec<R>, seqs: Vec<Seq>) -> Self {
+        let (mut min_t, mut max_t) = (Timestamp(u64::MAX), Timestamp(0));
+        for r in &rows {
+            min_t = min_t.min(r.time());
+            max_t = max_t.max(r.time());
+        }
+        Section {
+            run,
+            rows,
+            seqs,
+            min_t,
+            max_t,
+            index: None,
+        }
+    }
+
+    /// Seal a section from arrival-ordered rows: physically re-sort to
+    /// `(t, seq)` order, then index.
+    fn sealed(run: RunId, rows: Vec<R>, seqs: Vec<Seq>, build_spatial: bool) -> Self {
+        let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| (rows[i as usize].time(), seqs[i as usize]));
+        let sorted_rows: Vec<R> = order.iter().map(|&i| rows[i as usize]).collect();
+        let sorted_seqs: Vec<Seq> = order.iter().map(|&i| seqs[i as usize]).collect();
+        Self::from_sorted(run, sorted_rows, sorted_seqs, build_spatial)
+    }
+
+    /// A sealed section built by *merging* already-sealed parts — the
+    /// compaction path. The dominant cost of sealing is the `(t, seq)`
+    /// sort; the parts are already physically sorted, so an `O(n log k)`
+    /// k-way merge replaces it and everything else is a linear pass. On
+    /// one-core hosts this is the difference between compaction being
+    /// invisible to query threads and showing up in their tail latency.
+    fn merged(run: RunId, parts: &[&Section<R>], build_spatial: bool) -> Self {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let total: usize = parts.iter().map(|p| p.rows.len()).sum();
+        let mut rows = Vec::with_capacity(total);
+        let mut seqs = Vec::with_capacity(total);
+        let key = |pi: usize, pos: usize| (parts[pi].rows[pos].time(), parts[pi].seqs[pos]);
+        let mut heap: BinaryHeap<Reverse<(Timestamp, Seq, usize, usize)>> = (0..parts.len())
+            .filter(|&pi| !parts[pi].rows.is_empty())
+            .map(|pi| {
+                let (t, s) = key(pi, 0);
+                Reverse((t, s, pi, 0))
+            })
+            .collect();
+        while let Some(Reverse((_, s, pi, pos))) = heap.pop() {
+            rows.push(parts[pi].rows[pos]);
+            seqs.push(s);
+            if pos + 1 < parts[pi].rows.len() {
+                let (t, s) = key(pi, pos + 1);
+                heap.push(Reverse((t, s, pi, pos + 1)));
+            }
+        }
+        Self::from_sorted(run, rows, seqs, build_spatial)
+    }
+
+    /// Index rows already in `(t, seq)` order into a sealed section.
+    fn from_sorted(run: RunId, rows: Vec<R>, seqs: Vec<Seq>, build_spatial: bool) -> Self {
+        debug_assert!(
+            (1..rows.len()).all(|i| (rows[i - 1].time(), seqs[i - 1]) < (rows[i].time(), seqs[i]))
+        );
+        let (min_t, max_t) = match (rows.first(), rows.last()) {
+            (Some(first), Some(last)) => (first.time(), last.time()),
+            _ => (Timestamp(u64::MAX), Timestamp(0)),
+        };
+        let mut by_object: HashMap<ObjectId, Vec<u32>> = HashMap::new();
+        let mut by_device: HashMap<DeviceId, Vec<u32>> = HashMap::new();
+        for (i, r) in rows.iter().enumerate() {
+            if let Some(o) = r.object() {
+                by_object.entry(o).or_default().push(i as u32);
+            }
+            if let Some(d) = r.device() {
+                by_device.entry(d).or_default().push(i as u32);
+            }
+        }
+        let spatial = if build_spatial {
+            build_spatial_grids(&rows)
+        } else {
+            HashMap::new()
+        };
+        Section {
+            run,
+            rows,
+            seqs,
+            min_t,
+            max_t,
+            index: Some(SectionIndex {
+                by_object,
+                by_device,
+                spatial,
+            }),
+        }
+    }
+}
+
+/// Per-floor grids over point-located rows: one linear insert pass per
+/// floor, domain inflated so edge points never fall outside.
+fn build_spatial_grids<R: SegmentRow>(rows: &[R]) -> HashMap<FloorId, GridIndex> {
+    let mut per_floor: HashMap<FloorId, Vec<(u32, Point)>> = HashMap::new();
+    for (i, r) in rows.iter().enumerate() {
+        if let Some((floor, p)) = r.floor_point() {
+            per_floor.entry(floor).or_default().push((i as u32, p));
+        }
+    }
+    let mut spatial = HashMap::new();
+    for (floor, pts) in per_floor {
+        let domain =
+            Aabb::from_points(&pts.iter().map(|(_, p)| *p).collect::<Vec<_>>()).inflated(1.0);
+        let cell = (domain.width().max(domain.height()) / 32.0).max(0.5);
+        let mut g = GridIndex::new(domain, cell);
+        for (id, p) in pts {
+            g.insert_point(id, p);
+        }
+        spatial.insert(floor, g);
+    }
+    spatial
+}
+
+/// An immutable group of per-run sections. Unsealed segments hold exactly
+/// one section (the accepted batch); sealed segments hold one section per
+/// run, each indexed.
+struct Segment<R> {
+    sections: Vec<Section<R>>,
+    len: usize,
+    sealed: bool,
+}
+
+/// The frozen state a reader pins: the table's current segment list.
+struct TableSnapshot<R> {
+    segments: Vec<Arc<Segment<R>>>,
+    len: usize,
+}
+
+impl<R> Default for TableSnapshot<R> {
+    fn default() -> Self {
+        TableSnapshot {
+            segments: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+/// Merge segments into one sealed segment: rows regrouped into one section
+/// per run (wire-format shape), every section indexed. Segment list order
+/// is seq order, so per-run concatenation preserves arrival order.
+fn build_sealed<R: SegmentRow>(consumed: &[Arc<Segment<R>>], build_spatial: bool) -> Segment<R> {
+    let mut per_run: BTreeMap<RunId, Vec<&Section<R>>> = BTreeMap::new();
+    let mut len = 0usize;
+    for seg in consumed {
+        len += seg.len;
+        for sec in &seg.sections {
+            per_run.entry(sec.run).or_default().push(sec);
+        }
+    }
+    let sections = per_run
+        .into_iter()
+        .map(|(run, parts)| {
+            if parts.iter().all(|p| p.index.is_some()) {
+                // Compaction: every part is sealed, merge their indexes.
+                Section::merged(run, &parts, build_spatial)
+            } else {
+                // Sealing: fresh batches are arrival-ordered, sort from
+                // scratch.
+                let total: usize = parts.iter().map(|p| p.rows.len()).sum();
+                let mut rows = Vec::with_capacity(total);
+                let mut seqs = Vec::with_capacity(total);
+                for p in parts {
+                    rows.extend_from_slice(&p.rows);
+                    seqs.extend_from_slice(&p.seqs);
+                }
+                debug_assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+                Section::sealed(run, rows, seqs, build_spatial)
+            }
+        })
+        .collect();
+    Segment {
+        sections,
+        len,
+        sealed: true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queries over a pinned snapshot
+// ---------------------------------------------------------------------------
+
+impl<R: SegmentRow> TableSnapshot<R> {
+    /// Sections belonging to `scope`, across all segments. Sections are
+    /// single-run, so run scoping is section selection — no per-row
+    /// filtering anywhere on the read path.
+    fn scoped_sections(&self, scope: RunScope) -> impl Iterator<Item = &Section<R>> {
+        let run = scope.run();
+        self.segments
+            .iter()
+            .flat_map(|seg| seg.sections.iter())
+            .filter(move |sec| run.is_none_or(|r| sec.run == r))
+    }
+
+    fn len(&self, scope: RunScope) -> usize {
+        match scope.run() {
+            None => self.len,
+            Some(_) => self.scoped_sections(scope).map(|s| s.rows.len()).sum(),
+        }
+    }
+
+    fn run_ids(&self) -> Vec<RunId> {
+        let mut runs: Vec<RunId> = self.scoped_sections(RunScope::All).map(|s| s.run).collect();
+        runs.sort_unstable();
+        runs.dedup();
+        runs
+    }
+
+    /// All rows under `scope` in arrival (seq) order — exactly the single
+    /// repository's insertion order.
+    fn scan(&self, scope: RunScope) -> Vec<R> {
+        let mut out: Vec<(Seq, R)> = Vec::with_capacity(self.len(scope));
+        for sec in self.scoped_sections(scope) {
+            out.extend(sec.seqs.iter().copied().zip(sec.rows.iter().copied()));
+        }
+        out.sort_unstable_by_key(|(s, _)| *s);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Rows in the half-open window `from <= t < to`, ordered by
+    /// `(t, seq)` — time order with ties in arrival order, the
+    /// single-table contract.
+    ///
+    /// Sealed sections are physically `(t, seq)`-sorted, so each one
+    /// contributes a *contiguous sub-slice* found by binary search; the
+    /// global order comes from a k-way merge of those slices, sequential
+    /// memory all the way. Windows routinely span a large fraction of the
+    /// table, and on the serving path this query was the entire p99, so
+    /// it gets the zero-gather layout.
+    fn time_window(&self, scope: RunScope, from: Timestamp, to: Timestamp) -> Vec<R> {
+        let sections: Vec<&Section<R>> = self
+            .scoped_sections(scope)
+            .filter(|sec| sec.max_t >= from && sec.min_t < to)
+            .collect();
+        // Unsealed sections are arrival-ordered: gather their window rows
+        // into owned sorted runs first (stable sort on time keeps seq
+        // order among ties), then merge those alongside the sealed slices.
+        let mut owned: Vec<(Vec<R>, Vec<Seq>)> = Vec::new();
+        for sec in &sections {
+            if sec.index.is_none() {
+                let mut ids: Vec<u32> = (0..sec.rows.len() as u32)
+                    .filter(|&i| {
+                        let t = sec.rows[i as usize].time();
+                        t >= from && t < to
+                    })
+                    .collect();
+                ids.sort_by_key(|&i| sec.rows[i as usize].time());
+                owned.push((
+                    ids.iter().map(|&i| sec.rows[i as usize]).collect(),
+                    ids.iter().map(|&i| sec.seqs[i as usize]).collect(),
+                ));
+            }
+        }
+        let mut inputs: Vec<(&[R], &[Seq])> = Vec::with_capacity(sections.len());
+        let mut owned_it = owned.iter();
+        for sec in &sections {
+            match &sec.index {
+                Some(_) => {
+                    let lo = sec.rows.partition_point(|r| r.time() < from);
+                    let hi = sec.rows.partition_point(|r| r.time() < to);
+                    if lo < hi {
+                        inputs.push((&sec.rows[lo..hi], &sec.seqs[lo..hi]));
+                    }
+                }
+                None => {
+                    let (rows, seqs) = owned_it.next().expect("one owned run per unsealed");
+                    if !rows.is_empty() {
+                        inputs.push((&rows[..], &seqs[..]));
+                    }
+                }
+            }
+        }
+        merge_sorted_slices(inputs)
+    }
+
+    /// Rows of object `o` ordered by `(t, seq)`.
+    fn of_object(&self, scope: RunScope, o: ObjectId) -> Vec<R> {
+        let mut out: Vec<(Timestamp, Seq, R)> = Vec::new();
+        for sec in self.scoped_sections(scope) {
+            match &sec.index {
+                Some(ix) => {
+                    if let Some(ids) = ix.by_object.get(&o) {
+                        out.extend(ids.iter().map(|&i| {
+                            let r = sec.rows[i as usize];
+                            (r.time(), sec.seqs[i as usize], r)
+                        }));
+                    }
+                }
+                None => out.extend(
+                    sec.rows
+                        .iter()
+                        .zip(&sec.seqs)
+                        .filter(|(r, _)| r.object() == Some(o))
+                        .map(|(&r, &s)| (r.time(), s, r)),
+                ),
+            }
+        }
+        out.sort_unstable_by_key(|(t, s, _)| (*t, *s));
+        out.into_iter().map(|(_, _, r)| r).collect()
+    }
+
+    /// Rows through device `d` ordered by `(t, seq)`.
+    fn of_device(&self, scope: RunScope, d: DeviceId) -> Vec<R> {
+        let mut out: Vec<(Timestamp, Seq, R)> = Vec::new();
+        for sec in self.scoped_sections(scope) {
+            match &sec.index {
+                Some(ix) => {
+                    if let Some(ids) = ix.by_device.get(&d) {
+                        out.extend(ids.iter().map(|&i| {
+                            let r = sec.rows[i as usize];
+                            (r.time(), sec.seqs[i as usize], r)
+                        }));
+                    }
+                }
+                None => out.extend(
+                    sec.rows
+                        .iter()
+                        .zip(&sec.seqs)
+                        .filter(|(r, _)| r.device() == Some(d))
+                        .map(|(&r, &s)| (r.time(), s, r)),
+                ),
+            }
+        }
+        out.sort_unstable_by_key(|(t, s, _)| (*t, *s));
+        out.into_iter().map(|(_, _, r)| r).collect()
+    }
+
+    /// Latest row at or before `at` per object, sorted by object id; among
+    /// an object's rows sharing the latest timestamp the highest seq
+    /// (last arrived) wins — the single-table snapshot contract.
+    ///
+    /// Sealed sections resolve one candidate per object by binary search:
+    /// `by_object` lists are position-ascending and rows are physically
+    /// `(t, seq)`-sorted, so an object's list is its trace in trace order
+    /// and the latest row at or before `at` is the last id before the
+    /// partition point. Only that one candidate touches the cross-section
+    /// map — on big tables this query used to walk most rows.
+    fn snapshot_at(&self, scope: RunScope, at: Timestamp) -> Vec<R> {
+        fn upd<R: SegmentRow>(
+            latest: &mut HashMap<ObjectId, (Timestamp, Seq, R)>,
+            o: ObjectId,
+            t: Timestamp,
+            s: Seq,
+            r: R,
+        ) {
+            match latest.get(&o) {
+                Some((bt, bs, _)) if (*bt, *bs) > (t, s) => {}
+                _ => {
+                    latest.insert(o, (t, s, r));
+                }
+            }
+        }
+        let mut latest: HashMap<ObjectId, (Timestamp, Seq, R)> = HashMap::new();
+        for sec in self.scoped_sections(scope) {
+            if sec.min_t > at {
+                continue;
+            }
+            match &sec.index {
+                Some(ix) => {
+                    let whole = sec.max_t <= at;
+                    for (&o, ids) in &ix.by_object {
+                        let cut = if whole {
+                            ids.len()
+                        } else {
+                            ids.partition_point(|&i| sec.rows[i as usize].time() <= at)
+                        };
+                        if let Some(&i) = ids[..cut].last() {
+                            let (t, s) = (sec.rows[i as usize].time(), sec.seqs[i as usize]);
+                            upd(&mut latest, o, t, s, sec.rows[i as usize]);
+                        }
+                    }
+                }
+                None => {
+                    for (r, &s) in sec.rows.iter().zip(&sec.seqs) {
+                        if r.time() <= at {
+                            if let Some(o) = r.object() {
+                                upd(&mut latest, o, r.time(), s, *r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut v: Vec<R> = latest.into_values().map(|(_, _, r)| r).collect();
+        v.sort_unstable_by_key(|r| r.object());
+        v
+    }
+
+    /// Point rows on `floor` inside `query`, in arrival (seq) order.
+    fn range_query(&self, scope: RunScope, floor: FloorId, query: &Aabb) -> Vec<R> {
+        let mut out: Vec<(Seq, R)> = Vec::new();
+        for sec in self.scoped_sections(scope) {
+            match &sec.index {
+                Some(ix) => {
+                    if let Some(g) = ix.spatial.get(&floor) {
+                        for i in g.query_bbox(query) {
+                            let r = sec.rows[i as usize];
+                            if matches!(r.floor_point(), Some((_, p)) if query.contains_point(p)) {
+                                out.push((sec.seqs[i as usize], r));
+                            }
+                        }
+                    }
+                }
+                None => out.extend(
+                    sec.rows
+                        .iter()
+                        .zip(&sec.seqs)
+                        .filter(|(r, _)| {
+                            matches!(r.floor_point(),
+                                     Some((f, p)) if f == floor && query.contains_point(p))
+                        })
+                        .map(|(&r, &s)| (s, r)),
+                ),
+            }
+        }
+        out.sort_unstable_by_key(|(s, _)| *s);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// The k nearest point rows to `p` on `floor`, nearest first; ties by
+    /// seq. Sealed sections run the same expanding-radius grid search as
+    /// the locked tables (with the same out-of-domain radius anchor), so
+    /// the distance multiset matches the other backends exactly.
+    fn knn(&self, scope: RunScope, floor: FloorId, p: Point, k: usize) -> Vec<(R, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut scored: Vec<(f64, Seq, R)> = Vec::new();
+        for sec in self.scoped_sections(scope) {
+            match &sec.index {
+                Some(ix) => {
+                    let Some(g) = ix.spatial.get(&floor) else {
+                        continue;
+                    };
+                    let dom = g.domain();
+                    let max_radius = dom.dist_to_point(p) + dom.width() + dom.height() + 1.0;
+                    let mut radius = g.cell_size().max(f64::MIN_POSITIVE);
+                    let mut candidates: Vec<u32>;
+                    loop {
+                        candidates = g.query_radius(p, radius.min(max_radius));
+                        if candidates.len() >= k || radius >= max_radius {
+                            break;
+                        }
+                        radius *= 2.0;
+                    }
+                    // A per-section top-k is enough: the global top-k under
+                    // the (dist, seq) total order is the top-k of the
+                    // per-section top-ks.
+                    let mut local: Vec<(f64, Seq, R)> = candidates
+                        .into_iter()
+                        .filter_map(|i| {
+                            let r = sec.rows[i as usize];
+                            r.floor_point()
+                                .map(|(_, q)| (q.dist(p), sec.seqs[i as usize], r))
+                        })
+                        .collect();
+                    local.sort_unstable_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+                    local.truncate(k);
+                    scored.extend(local);
+                }
+                None => scored.extend(sec.rows.iter().zip(&sec.seqs).filter_map(|(r, &s)| {
+                    match r.floor_point() {
+                        Some((f, q)) if f == floor => Some((q.dist(p), s, *r)),
+                        _ => None,
+                    }
+                })),
+            }
+        }
+        scored.sort_unstable_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+        scored.truncate(k);
+        scored.into_iter().map(|(d, _, r)| (r, d)).collect()
+    }
+}
+
+impl TableSnapshot<ProximityRecord> {
+    /// Records whose closed detection period `[ts, te]` intersects the
+    /// half-open window `[from, to)`, in arrival (seq) order — the
+    /// [`crate::table::ProximityTable::overlapping`] contract.
+    fn overlapping(&self, scope: RunScope, from: Timestamp, to: Timestamp) -> Vec<ProximityRecord> {
+        let mut out: Vec<(Seq, ProximityRecord)> = Vec::new();
+        for sec in self.scoped_sections(scope) {
+            out.extend(
+                sec.rows
+                    .iter()
+                    .zip(&sec.seqs)
+                    .filter(|(r, _)| r.ts < to && r.te >= from)
+                    .map(|(&r, &s)| (s, r)),
+            );
+        }
+        out.sort_unstable_by_key(|(s, _)| *s);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Merge `(rows, seqs)` slice pairs — each already `(t, seq)`-sorted —
+/// into one `(t, seq)`-ordered row vector. A lone input is a straight
+/// `memcpy`. A handful of inputs (the common case: one compacted segment
+/// holds one section per run) merge by a linear min-pick over the cursors
+/// — cheaper than a heap at small k because the cursors stay in registers
+/// and there is no sift traffic. Beyond that, a min-heap gives
+/// `O(n log k)`. All access is sequential: the inputs are contiguous,
+/// there is no id-list indirection anywhere.
+fn merge_sorted_slices<R: SegmentRow>(inputs: Vec<(&[R], &[Seq])>) -> Vec<R> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    const LINEAR_MAX: usize = 8;
+    let total: usize = inputs.iter().map(|(rows, _)| rows.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    match inputs.len() {
+        0 => {}
+        1 => out.extend_from_slice(inputs[0].0),
+        k if k <= LINEAR_MAX => {
+            // (next key, cursor, input) per input; exhausted inputs drop
+            // out.
+            let mut cursors: Vec<((Timestamp, Seq), usize, usize)> = inputs
+                .iter()
+                .enumerate()
+                .map(|(li, (rows, seqs))| ((rows[0].time(), seqs[0]), 0, li))
+                .collect();
+            while let Some(win) = (0..cursors.len()).min_by_key(|&c| cursors[c].0) {
+                let (_, pos, li) = cursors[win];
+                let (rows, seqs) = inputs[li];
+                out.push(rows[pos]);
+                if pos + 1 < rows.len() {
+                    cursors[win] = ((rows[pos + 1].time(), seqs[pos + 1]), pos + 1, li);
+                } else {
+                    cursors.swap_remove(win);
+                }
+            }
+        }
+        _ => {
+            let mut heap: BinaryHeap<Reverse<(Timestamp, Seq, usize, usize)>> = inputs
+                .iter()
+                .enumerate()
+                .map(|(li, (rows, seqs))| Reverse((rows[0].time(), seqs[0], li, 0)))
+                .collect();
+            while let Some(Reverse((_, _, li, pos))) = heap.pop() {
+                let (rows, seqs) = inputs[li];
+                out.push(rows[pos]);
+                if pos + 1 < rows.len() {
+                    heap.push(Reverse((rows[pos + 1].time(), seqs[pos + 1], li, pos + 1)));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The writable table: append, seal, compact
+// ---------------------------------------------------------------------------
+
+/// One product table of the segmented backend.
+struct SegTable<R: SegmentRow> {
+    cell: SnapshotCell<TableSnapshot<R>>,
+    /// Serializes publishes (appends and seal/compact swaps) and carries
+    /// the next sequence number. Held only to clone a segment-pointer list
+    /// and swap the snapshot — never while rows are copied or indexed.
+    writer: Mutex<Seq>,
+    /// Build per-floor grids at seal time (trajectory table only — the
+    /// other tables answer no spatial queries).
+    build_spatial: bool,
+}
+
+impl<R: SegmentRow> SegTable<R> {
+    fn new(build_spatial: bool) -> Self {
+        SegTable {
+            cell: SnapshotCell::new(TableSnapshot::default()),
+            writer: Mutex::new(0),
+            build_spatial,
+        }
+    }
+
+    fn pin(&self) -> Arc<TableSnapshot<R>> {
+        self.cell.pin()
+    }
+
+    /// Accept one batch: stamp seqs, wrap it as an unsealed segment, and
+    /// publish a snapshot with it appended. O(#segments) pointer copies
+    /// plus the batch move — no index work on the ingest path. Returns the
+    /// number of unsealed rows now pending, for seal scheduling.
+    fn append(&self, run: RunId, rows: Vec<R>) -> (usize, usize) {
+        if rows.is_empty() {
+            return (0, 0);
+        }
+        let mut next_seq = self.writer.lock();
+        let base = *next_seq;
+        *next_seq += rows.len() as Seq;
+        let seqs: Vec<Seq> = (base..*next_seq).collect();
+        let len = rows.len();
+        let seg = Arc::new(Segment {
+            sections: vec![Section::unsealed(run, rows, seqs)],
+            len,
+            sealed: false,
+        });
+        let cur = self.cell.latest();
+        let mut segments = Vec::with_capacity(cur.segments.len() + 1);
+        segments.extend(cur.segments.iter().cloned());
+        segments.push(seg);
+        let minis = segments.iter().rev().take_while(|s| !s.sealed).count();
+        let pending = segments.iter().rev().take(minis).map(|s| s.len).sum();
+        self.cell.publish(Arc::new(TableSnapshot {
+            segments,
+            len: cur.len + len,
+        }));
+        (pending, minis)
+    }
+
+    /// Swap a contiguous group of segments for its merged replacement, if
+    /// the group is still present unchanged (identity-compared). Only the
+    /// sealer removes segments, so a `false` means another maintenance
+    /// pass got there first — the caller just drops its build.
+    fn try_replace(&self, consumed: &[Arc<Segment<R>>], replacement: Segment<R>) -> bool {
+        if consumed.is_empty() {
+            return false;
+        }
+        let guard = self.writer.lock();
+        let cur = self.cell.latest();
+        let Some(start) = cur
+            .segments
+            .iter()
+            .position(|s| Arc::ptr_eq(s, &consumed[0]))
+        else {
+            return false;
+        };
+        if cur.segments.len() < start + consumed.len()
+            || !cur.segments[start..start + consumed.len()]
+                .iter()
+                .zip(consumed)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
+        {
+            return false;
+        }
+        let mut segments = Vec::with_capacity(cur.segments.len() + 1 - consumed.len());
+        segments.extend(cur.segments[..start].iter().cloned());
+        segments.push(Arc::new(replacement));
+        segments.extend(cur.segments[start + consumed.len()..].iter().cloned());
+        self.cell.publish(Arc::new(TableSnapshot {
+            segments,
+            len: cur.len,
+        }));
+        drop(guard);
+        true
+    }
+
+    /// One maintenance round: seal the trailing unsealed suffix when it is
+    /// past the thresholds (always, under `force`), then compact the sealed
+    /// part. Merges are built outside the writer lock; the swap inside it
+    /// is a pointer splice.
+    ///
+    /// Background compaction is **size-tiered and budget-bounded**: one
+    /// pass folds at most one adjacent run of *small* sealed segments whose
+    /// merged size fits a row budget of `compact_segments × seal_rows`, and
+    /// leaves graduated (half-budget-or-larger) segments alone. Every row
+    /// is therefore merged O(log) times and no single pass builds more than
+    /// one budget's worth of indexes — re-merging the whole prefix on every
+    /// pass would be quadratic, and on small hosts that CPU draw evicts the
+    /// query threads and shows up directly as read tail latency. Under
+    /// `force` the whole sealed prefix folds into one segment regardless.
+    /// Seal the trailing unsealed suffix when it is past the thresholds
+    /// (always, under `force`). Called by the background sealer on its
+    /// tick and by writers whose append crossed `seal_rows` — see
+    /// [`SegInner::append_and_seal`].
+    fn seal_pass(&self, cfg: &SegmentConfig, force: bool) -> bool {
+        let snap = self.cell.latest();
+        let first_unsealed = snap
+            .segments
+            .iter()
+            .rposition(|s| s.sealed)
+            .map_or(0, |i| i + 1);
+        let minis = &snap.segments[first_unsealed..];
+        if minis.is_empty() {
+            return false;
+        }
+        let rows: usize = minis.iter().map(|s| s.len).sum();
+        if !(force || minis.len() >= cfg.seal_segments || rows >= cfg.seal_rows) {
+            return false;
+        }
+        let merged = build_sealed(minis, self.build_spatial);
+        self.try_replace(minis, merged)
+    }
+
+    /// Compact the sealed prefix: fold at most one size-tiered run of
+    /// small adjacent segments (the whole prefix under `force`).
+    fn compact_pass(&self, cfg: &SegmentConfig, force: bool) -> bool {
+        let mut compacted_now = false;
+        let snap = self.cell.latest();
+        let prefix = snap.segments.iter().take_while(|s| s.sealed).count();
+        let group: Option<Vec<Arc<Segment<R>>>> = if force {
+            (prefix >= 2).then(|| snap.segments[..prefix].to_vec())
+        } else {
+            let budget = cfg
+                .compact_segments
+                .max(2)
+                .saturating_mul(cfg.seal_rows)
+                .max(2);
+            let small = (budget / 2).max(1);
+            let min_run = cfg.compact_segments.max(2);
+            let mut found = None;
+            let mut start = 0;
+            let mut rows = 0usize;
+            for i in 0..=prefix {
+                if i < prefix && snap.segments[i].len < small {
+                    if rows + snap.segments[i].len <= budget {
+                        rows += snap.segments[i].len;
+                        continue;
+                    }
+                    // Budget-full run: its merge graduates past `small`
+                    // immediately, so any length ≥ 2 is a productive fold.
+                    if i - start >= 2 {
+                        found = Some(snap.segments[start..i].to_vec());
+                        break;
+                    }
+                    start = i;
+                    rows = snap.segments[i].len;
+                    continue;
+                }
+                // Run closed by a graduated segment or the prefix end: only
+                // fold full-length runs, otherwise the trailing few smalls
+                // would re-merge on every pass and each row would be copied
+                // O(budget / seal size) times instead of O(1).
+                if i - start >= min_run {
+                    found = Some(snap.segments[start..i].to_vec());
+                    break;
+                }
+                start = i + 1;
+                rows = 0;
+            }
+            found
+        };
+        if let Some(group) = group {
+            let merged = build_sealed(&group, self.build_spatial);
+            compacted_now = self.try_replace(&group, merged);
+        }
+        compacted_now
+    }
+
+    /// (sealed, unsealed) segment counts in the current snapshot.
+    fn segment_counts(&self) -> (usize, usize) {
+        let snap = self.cell.latest();
+        let sealed = snap.segments.iter().filter(|s| s.sealed).count();
+        (sealed, snap.segments.len() - sealed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The repository facade
+// ---------------------------------------------------------------------------
+
+/// Sealer/compactor tuning for [`SegmentedRepository`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentConfig {
+    /// Seal the pending unsealed segments once they hold this many rows.
+    /// The writer whose append crosses this seals inline, so full
+    /// backlogs seal promptly regardless of `tick` and index work is
+    /// paced by ingestion rather than bursting on the background thread.
+    pub seal_rows: usize,
+    /// … or once this many unsealed segments have accumulated. Unsealed
+    /// segments are scanned linearly but are batch-sized, so this trades a
+    /// little read work for a lot less sealing churn.
+    pub seal_segments: usize,
+    /// Sizes background compaction: one pass folds at most one run of
+    /// adjacent small sealed segments totalling `compact_segments ×
+    /// seal_rows` rows, and segments past half that row budget are left
+    /// alone until `seal_now`.
+    pub compact_segments: usize,
+    /// How long the background sealer sleeps when no writer signals it.
+    /// Count-triggered seals and compaction advance at most once per tick,
+    /// bounding the sealer's steady-state CPU draw next to query threads.
+    pub tick: Duration,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            seal_rows: 4096,
+            seal_segments: 64,
+            compact_segments: 8,
+            tick: Duration::from_millis(40),
+        }
+    }
+}
+
+/// Sealer/compactor progress counters plus the current segment inventory,
+/// summed over the four tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentStats {
+    /// Completed seal operations (unsealed suffix → one sealed segment).
+    pub seals: u64,
+    /// Completed compactions (sealed prefix → one sealed segment).
+    pub compactions: u64,
+    /// Sealed segments currently live.
+    pub sealed_segments: usize,
+    /// Unsealed (per-batch) segments currently live.
+    pub unsealed_segments: usize,
+}
+
+struct SegInner {
+    trajectories: SegTable<TrajectorySample>,
+    rssi: SegTable<RssiMeasurement>,
+    fixes: SegTable<Fix>,
+    proximity: SegTable<ProximityRecord>,
+    config: SegmentConfig,
+    seals: AtomicU64,
+    compactions: AtomicU64,
+    shutdown: AtomicBool,
+    signal: StdMutex<()>,
+    wake: Condvar,
+}
+
+impl SegInner {
+    /// Append one batch; when the unsealed backlog crosses `seal_rows`,
+    /// the *writer* seals it inline. This paces index work to ingestion —
+    /// the same place the locked backends pay it, but without a read lock
+    /// anywhere — instead of letting it burst on the background thread.
+    /// On one-core hosts a background burst evicts the query threads and
+    /// lands straight in their tail latency; writer-side sealing also
+    /// backpressures ingestion instead of letting the backlog run ahead
+    /// of the sealer. The mini-count trigger is deliberately left to the
+    /// background tick: firing it inline would seal on every 64th tiny
+    /// streamed chunk, producing far more (and far smaller) sealed
+    /// segments per second than the tick-paced sealer does, and the extra
+    /// compaction debt those small segments accrue (one more merge level
+    /// each to reach graduation) costs more CPU than the fused burst
+    /// saves. The background thread also owns all compaction, so it is
+    /// signalled either way.
+    fn append_and_seal<R: SegmentRow>(&self, table: &SegTable<R>, run: RunId, rows: Vec<R>) {
+        let (pending, _minis) = table.append(run, rows);
+        if pending >= self.config.seal_rows {
+            if table.seal_pass(&self.config, false) {
+                self.seals.fetch_add(1, Ordering::Relaxed);
+            }
+            self.wake.notify_one();
+        }
+    }
+
+    /// One maintenance round over all four tables: seal checks every
+    /// call, compaction only when `compact` is set. A compaction is the
+    /// biggest single burst of background CPU (up to a whole row budget
+    /// re-merged), so the sealer runs it on a slower cadence than the
+    /// seal check — on one-core hosts every burst event collides with a
+    /// handful of in-flight queries, and the collision count, not the
+    /// per-event cost, is what shows up at p99.
+    fn maintenance_pass(&self, force: bool, compact: bool) {
+        fn round<R: SegmentRow>(inner: &SegInner, table: &SegTable<R>, force: bool, compact: bool) {
+            if table.seal_pass(&inner.config, force) {
+                inner.seals.fetch_add(1, Ordering::Relaxed);
+            }
+            if (force || compact) && table.compact_pass(&inner.config, force) {
+                inner.compactions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        round(self, &self.trajectories, force, compact);
+        round(self, &self.rssi, force, compact);
+        round(self, &self.fixes, force, compact);
+        round(self, &self.proximity, force, compact);
+    }
+}
+
+/// Compact on every Nth sealer tick (seal checks run every tick).
+const COMPACT_EVERY: u32 = 8;
+
+fn sealer_loop(inner: &SegInner) {
+    let mut tick = 0u32;
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        tick = tick.wrapping_add(1);
+        inner.maintenance_pass(false, tick.is_multiple_of(COMPACT_EVERY));
+        let guard = inner.signal.lock().expect("sealer signal");
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Timed wait: a writer's notify (threshold crossed) wakes it early,
+        // the timeout bounds how stale an un-notified backlog can get.
+        let _ = inner
+            .wake
+            .wait_timeout(guard, inner.config.tick)
+            .expect("sealer signal");
+    }
+}
+
+/// The third storage backend: immutable, sorted, run-segmented segments
+/// published by atomic snapshot swap, with a background sealer/compactor
+/// (see the module docs for the design).
+///
+/// Readers pin a snapshot per query and never block — not on ingestion,
+/// not on sealing — while writers pay O(segment count) pointer copies per
+/// batch and no index maintenance at all. Choose it when queries must stay
+/// fast *while* `run_many` ingests; prefer the locked backends for purely
+/// offline workloads, which skip the sealer thread.
+///
+/// # Examples
+///
+/// ```
+/// use vita_storage::{ProductBatch, ProductSink, RunScope, SegmentedRepository};
+/// use vita_geometry::Point;
+/// use vita_indoor::{BuildingId, FloorId, ObjectId, Timestamp};
+/// use vita_mobility::TrajectorySample;
+///
+/// let repo = SegmentedRepository::new();
+/// repo.accept(ProductBatch::Trajectories(vec![TrajectorySample::new(
+///     ObjectId(7),
+///     BuildingId(0),
+///     FloorId(0),
+///     Point::new(1.0, 2.0),
+///     Timestamp(100),
+/// )]));
+/// // Queries answer from a pinned snapshot; sealing in the background
+/// // never changes an answer.
+/// assert_eq!(repo.counts(RunScope::All).trajectories, 1);
+/// repo.seal_now();
+/// assert_eq!(repo.object_trace(RunScope::All, ObjectId(7)).len(), 1);
+/// assert!(repo.stats().seals >= 1);
+/// ```
+pub struct SegmentedRepository {
+    inner: Arc<SegInner>,
+    sealer: StdMutex<Option<JoinHandle<()>>>,
+}
+
+impl Default for SegmentedRepository {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SegmentedRepository {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegmentedRepository")
+            .field("counts", &self.counts(RunScope::All))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Drop for SegmentedRepository {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.wake.notify_all();
+        if let Some(handle) = self.sealer.lock().expect("sealer handle").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ProductSink for SegmentedRepository {
+    fn accept_run(&self, run: RunId, batch: ProductBatch) {
+        let i = &self.inner;
+        match batch {
+            ProductBatch::Trajectories(v) => i.append_and_seal(&i.trajectories, run, v),
+            ProductBatch::Rssi(v) => i.append_and_seal(&i.rssi, run, v),
+            ProductBatch::Fixes(v) => i.append_and_seal(&i.fixes, run, v),
+            ProductBatch::Proximity(v) => i.append_and_seal(&i.proximity, run, v),
+        }
+    }
+}
+
+impl SegmentedRepository {
+    /// A segmented repository with the default [`SegmentConfig`] and the
+    /// background sealer running.
+    pub fn new() -> Self {
+        Self::with_config(SegmentConfig::default())
+    }
+
+    /// A segmented repository with explicit sealer/compactor tuning.
+    pub fn with_config(config: SegmentConfig) -> Self {
+        let inner = Arc::new(SegInner {
+            trajectories: SegTable::new(true),
+            rssi: SegTable::new(false),
+            fixes: SegTable::new(false),
+            proximity: SegTable::new(false),
+            config,
+            seals: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            signal: StdMutex::new(()),
+            wake: Condvar::new(),
+        });
+        let worker = Arc::clone(&inner);
+        let sealer = std::thread::Builder::new()
+            .name("vita-sealer".into())
+            .spawn(move || sealer_loop(&worker))
+            .expect("spawn sealer");
+        SegmentedRepository {
+            inner,
+            sealer: StdMutex::new(Some(sealer)),
+        }
+    }
+
+    /// Run one synchronous seal+compact round, regardless of thresholds:
+    /// every pending unsealed segment is sealed and the sealed prefix is
+    /// folded. Queries answer identically before and after — this exists
+    /// so tests and benches can put the repository in a known segment
+    /// state deterministically.
+    pub fn seal_now(&self) {
+        self.inner.maintenance_pass(true, true);
+    }
+
+    /// Sealer/compactor counters and the live segment inventory.
+    pub fn stats(&self) -> SegmentStats {
+        let mut stats = SegmentStats {
+            seals: self.inner.seals.load(Ordering::Relaxed),
+            compactions: self.inner.compactions.load(Ordering::Relaxed),
+            ..SegmentStats::default()
+        };
+        let i = &self.inner;
+        for (sealed, unsealed) in [
+            i.trajectories.segment_counts(),
+            i.rssi.segment_counts(),
+            i.fixes.segment_counts(),
+            i.proximity.segment_counts(),
+        ] {
+            stats.sealed_segments += sealed;
+            stats.unsealed_segments += unsealed;
+        }
+        stats
+    }
+
+    /// Row counts of the four tables under `scope`.
+    pub fn counts(&self, scope: RunScope) -> TableCounts {
+        TableCounts {
+            trajectories: self.inner.trajectories.pin().len(scope),
+            rssi: self.inner.rssi.pin().len(scope),
+            fixes: self.inner.fixes.pin().len(scope),
+            proximity: self.inner.proximity.pin().len(scope),
+        }
+    }
+
+    /// The whole-repository counts, shaped like one shard (the segmented
+    /// backend does not partition).
+    pub fn per_shard_counts(&self) -> Vec<ShardCounts> {
+        vec![self.counts(RunScope::All)]
+    }
+
+    /// Every run with at least one row in any table, ascending.
+    pub fn run_ids(&self) -> Vec<RunId> {
+        let mut runs = self.inner.trajectories.pin().run_ids();
+        runs.extend(self.inner.rssi.pin().run_ids());
+        runs.extend(self.inner.fixes.pin().run_ids());
+        runs.extend(self.inner.proximity.pin().run_ids());
+        runs.sort_unstable();
+        runs.dedup();
+        runs
+    }
+
+    /// `scope`'s trajectory rows in arrival order (the single
+    /// repository's insertion order, reconstructed from seqs).
+    pub fn trajectories_scan(&self, scope: RunScope) -> Vec<TrajectorySample> {
+        self.inner.trajectories.pin().scan(scope)
+    }
+
+    /// `scope`'s samples in the half-open window `from <= t < to`,
+    /// time-ordered with ties in arrival order.
+    pub fn trajectories_time_window(
+        &self,
+        scope: RunScope,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<TrajectorySample> {
+        self.inner.trajectories.pin().time_window(scope, from, to)
+    }
+
+    /// Latest sample at or before `t` (inclusive) per object of `scope`,
+    /// sorted by object id.
+    pub fn trajectories_snapshot_at(&self, scope: RunScope, t: Timestamp) -> Vec<TrajectorySample> {
+        self.inner.trajectories.pin().snapshot_at(scope, t)
+    }
+
+    /// `scope`'s trace of object `o`, time-ordered.
+    pub fn object_trace(&self, scope: RunScope, o: ObjectId) -> Vec<TrajectorySample> {
+        self.inner.trajectories.pin().of_object(scope, o)
+    }
+
+    /// `scope`'s samples on `floor` inside `query`, in arrival order.
+    pub fn trajectories_range_query(
+        &self,
+        scope: RunScope,
+        floor: FloorId,
+        query: &Aabb,
+    ) -> Vec<TrajectorySample> {
+        self.inner
+            .trajectories
+            .pin()
+            .range_query(scope, floor, query)
+    }
+
+    /// `scope`'s k nearest samples to `p` on `floor`, nearest first.
+    pub fn trajectories_knn(
+        &self,
+        scope: RunScope,
+        floor: FloorId,
+        p: Point,
+        k: usize,
+    ) -> Vec<(TrajectorySample, f64)> {
+        self.inner.trajectories.pin().knn(scope, floor, p, k)
+    }
+
+    /// `scope`'s RSSI rows in arrival order.
+    pub fn rssi_scan(&self, scope: RunScope) -> Vec<RssiMeasurement> {
+        self.inner.rssi.pin().scan(scope)
+    }
+
+    /// `scope`'s measurements in the half-open window `from <= t < to`.
+    pub fn rssi_time_window(
+        &self,
+        scope: RunScope,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<RssiMeasurement> {
+        self.inner.rssi.pin().time_window(scope, from, to)
+    }
+
+    /// `scope`'s measurements of object `o`, time-ordered.
+    pub fn rssi_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<RssiMeasurement> {
+        self.inner.rssi.pin().of_object(scope, o)
+    }
+
+    /// `scope`'s measurements through device `d`, time-ordered.
+    pub fn rssi_of_device(&self, scope: RunScope, d: DeviceId) -> Vec<RssiMeasurement> {
+        self.inner.rssi.pin().of_device(scope, d)
+    }
+
+    /// `scope`'s fixes in arrival order.
+    pub fn fixes_scan(&self, scope: RunScope) -> Vec<Fix> {
+        self.inner.fixes.pin().scan(scope)
+    }
+
+    /// `scope`'s fixes in the half-open window `from <= t < to`.
+    pub fn fixes_time_window(&self, scope: RunScope, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        self.inner.fixes.pin().time_window(scope, from, to)
+    }
+
+    /// `scope`'s fixes of object `o`, time-ordered.
+    pub fn fixes_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<Fix> {
+        self.inner.fixes.pin().of_object(scope, o)
+    }
+
+    /// `scope`'s proximity rows in arrival order.
+    pub fn proximity_scan(&self, scope: RunScope) -> Vec<ProximityRecord> {
+        self.inner.proximity.pin().scan(scope)
+    }
+
+    /// `scope`'s records whose detection period intersects `[from, to)`,
+    /// in arrival order.
+    pub fn proximity_overlapping(
+        &self,
+        scope: RunScope,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<ProximityRecord> {
+        self.inner.proximity.pin().overlapping(scope, from, to)
+    }
+
+    /// `scope`'s detection periods of object `o`, ordered by start time.
+    pub fn proximity_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<ProximityRecord> {
+        self.inner.proximity.pin().of_object(scope, o)
+    }
+
+    /// `scope`'s detection periods through device `d`, ordered by start
+    /// time.
+    pub fn proximity_of_device(&self, scope: RunScope, d: DeviceId) -> Vec<ProximityRecord> {
+        self.inner.proximity.pin().of_device(scope, d)
+    }
+
+    /// Serialize every table into the backend-agnostic run-segmented wire
+    /// format (scan order — arrival order — inside each run section, like
+    /// the other backends).
+    pub fn export(&self) -> RepositoryExport {
+        let t = self.inner.trajectories.pin();
+        let r = self.inner.rssi.pin();
+        let f = self.inner.fixes.pin();
+        let p = self.inner.proximity.pin();
+        let t_sections = run_sections(t.run_ids(), |run| t.scan(run.into()));
+        let r_sections = run_sections(r.run_ids(), |run| r.scan(run.into()));
+        let f_sections = run_sections(f.run_ids(), |run| f.scan(run.into()));
+        let p_sections = run_sections(p.run_ids(), |run| p.scan(run.into()));
+        RepositoryExport {
+            trajectories: encode_trajectories_runs(&borrow_sections(&t_sections)),
+            rssi: encode_rssi_runs(&borrow_sections(&r_sections)),
+            fixes: encode_fixes_runs(&borrow_sections(&f_sections)),
+            proximity: encode_proximity_runs(&borrow_sections(&p_sections)),
+        }
+    }
+
+    /// Rebuild a segmented repository from an export, run by run (the
+    /// export's own backend does not matter — the wire format is
+    /// backend-agnostic).
+    pub fn import(export: &RepositoryExport) -> Result<Self, CodecError> {
+        let repo = SegmentedRepository::new();
+        for (run, rows) in decode_trajectories_runs(export.trajectories.clone())? {
+            repo.accept_run(run, ProductBatch::Trajectories(rows));
+        }
+        for (run, rows) in decode_rssi_runs(export.rssi.clone())? {
+            repo.accept_run(run, ProductBatch::Rssi(rows));
+        }
+        for (run, rows) in decode_fixes_runs(export.fixes.clone())? {
+            repo.accept_run(run, ProductBatch::Fixes(rows));
+        }
+        for (run, rows) in decode_proximity_runs(export.proximity.clone())? {
+            repo.accept_run(run, ProductBatch::Proximity(rows));
+        }
+        Ok(repo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vita_indoor::BuildingId;
+
+    fn ts(o: u32, f: u32, x: f64, y: f64, t: u64) -> TrajectorySample {
+        TrajectorySample::new(
+            ObjectId(o),
+            BuildingId(0),
+            FloorId(f),
+            Point::new(x, y),
+            Timestamp(t),
+        )
+    }
+
+    fn filled() -> SegmentedRepository {
+        let repo = SegmentedRepository::new();
+        for b in 0..6u64 {
+            let batch: Vec<TrajectorySample> = (0..20)
+                .map(|i| {
+                    ts(
+                        (i % 4) as u32,
+                        0,
+                        (b * 20 + i) as f64,
+                        1.0,
+                        b * 200 + i * 10,
+                    )
+                })
+                .collect();
+            repo.accept_run(RunId((b % 2) as u32), ProductBatch::Trajectories(batch));
+        }
+        repo
+    }
+
+    #[test]
+    fn snapshot_cell_pins_are_monotone_and_lock_free_on_repeat() {
+        let cell = SnapshotCell::new(1u32);
+        let a = cell.pin();
+        let b = cell.pin();
+        assert!(Arc::ptr_eq(&a, &b));
+        cell.publish(Arc::new(2));
+        assert_eq!(*cell.pin(), 2);
+        // The old pin still reads the old value — that is the epoch pin.
+        assert_eq!(*a, 1);
+    }
+
+    #[test]
+    fn queries_are_invariant_under_sealing() {
+        let repo = filled();
+        let before_scan = repo.trajectories_scan(RunScope::All);
+        let before_window =
+            repo.trajectories_time_window(RunScope::All, Timestamp(100), Timestamp(900));
+        let before_snap = repo.trajectories_snapshot_at(RunScope::One(RunId(1)), Timestamp(700));
+        let before_trace = repo.object_trace(RunScope::All, ObjectId(2));
+        let before_range = repo.trajectories_range_query(
+            RunScope::All,
+            FloorId(0),
+            &Aabb::new(Point::new(10.0, 0.0), Point::new(60.0, 2.0)),
+        );
+        let before_knn = repo.trajectories_knn(RunScope::All, FloorId(0), Point::new(30.0, 1.0), 7);
+        repo.seal_now();
+        let stats = repo.stats();
+        assert!(stats.seals >= 1, "seal_now must seal: {stats:?}");
+        assert_eq!(repo.trajectories_scan(RunScope::All), before_scan);
+        assert_eq!(
+            repo.trajectories_time_window(RunScope::All, Timestamp(100), Timestamp(900)),
+            before_window
+        );
+        assert_eq!(
+            repo.trajectories_snapshot_at(RunScope::One(RunId(1)), Timestamp(700)),
+            before_snap
+        );
+        assert_eq!(repo.object_trace(RunScope::All, ObjectId(2)), before_trace);
+        assert_eq!(
+            repo.trajectories_range_query(
+                RunScope::All,
+                FloorId(0),
+                &Aabb::new(Point::new(10.0, 0.0), Point::new(60.0, 2.0)),
+            ),
+            before_range
+        );
+        let after_knn = repo.trajectories_knn(RunScope::All, FloorId(0), Point::new(30.0, 1.0), 7);
+        assert_eq!(before_knn.len(), after_knn.len());
+        for ((s1, d1), (s2, d2)) in before_knn.iter().zip(&after_knn) {
+            assert_eq!(s1, s2);
+            assert!((d1 - d2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sealing_then_appending_then_compacting_preserves_arrival_order() {
+        let repo = filled();
+        repo.seal_now();
+        // More rows on top of the sealed state, then force a second seal
+        // and a compaction.
+        repo.accept_run(
+            RunId(0),
+            ProductBatch::Trajectories((0..10).map(|i| ts(9, 0, i as f64, 5.0, 50 + i)).collect()),
+        );
+        repo.seal_now();
+        repo.seal_now();
+        let stats = repo.stats();
+        assert!(stats.compactions >= 1, "expected a compaction: {stats:?}");
+        assert_eq!(stats.unsealed_segments, 0);
+        let trace = repo.object_trace(RunScope::All, ObjectId(9));
+        assert_eq!(trace.len(), 10);
+        assert!(trace.windows(2).all(|w| w[0].t < w[1].t));
+        assert_eq!(repo.counts(RunScope::All).trajectories, 130);
+    }
+
+    #[test]
+    fn run_scoped_counts_and_isolation() {
+        let repo = filled();
+        repo.seal_now();
+        let all = repo.counts(RunScope::All);
+        let r0 = repo.counts(RunId(0).into());
+        let r1 = repo.counts(RunId(1).into());
+        assert_eq!(all.trajectories, r0.trajectories + r1.trajectories);
+        assert_eq!(repo.run_ids(), vec![RunId(0), RunId(1)]);
+        assert!(repo
+            .trajectories_scan(RunId(0).into())
+            .iter()
+            .zip(repo.trajectories_scan(RunId(0).into()))
+            .all(|(a, b)| *a == b));
+        assert!(repo.counts(RunId(7).into()).trajectories == 0);
+    }
+
+    #[test]
+    fn export_import_round_trips_runs_and_order() {
+        let repo = filled();
+        repo.accept_run(
+            RunId(1),
+            ProductBatch::Rssi(vec![RssiMeasurement {
+                object: ObjectId(1),
+                device: DeviceId(3),
+                rssi: -48.0,
+                t: Timestamp(123),
+            }]),
+        );
+        repo.seal_now();
+        let export = repo.export();
+        let restored = SegmentedRepository::import(&export).unwrap();
+        assert_eq!(restored.counts(RunScope::All), repo.counts(RunScope::All));
+        assert_eq!(restored.run_ids(), repo.run_ids());
+        assert_eq!(
+            restored.trajectories_scan(RunId(0).into()),
+            repo.trajectories_scan(RunId(0).into())
+        );
+        assert_eq!(restored.rssi_of_device(RunScope::All, DeviceId(3)).len(), 1);
+    }
+
+    #[test]
+    fn readers_pinned_mid_ingest_see_frozen_state() {
+        let repo = SegmentedRepository::new();
+        repo.accept(ProductBatch::Trajectories(
+            (0..5).map(|i| ts(0, 0, i as f64, 0.0, i * 10)).collect(),
+        ));
+        let pinned = repo.inner.trajectories.pin();
+        repo.accept(ProductBatch::Trajectories(
+            (5..12).map(|i| ts(0, 0, i as f64, 0.0, i * 10)).collect(),
+        ));
+        repo.seal_now();
+        // The pin still answers from the pre-append world.
+        assert_eq!(pinned.len(RunScope::All), 5);
+        assert_eq!(repo.counts(RunScope::All).trajectories, 12);
+    }
+
+    #[test]
+    fn proximity_overlapping_matches_contract() {
+        let repo = SegmentedRepository::new();
+        repo.accept(ProductBatch::Proximity(vec![ProximityRecord {
+            object: ObjectId(0),
+            device: DeviceId(0),
+            ts: Timestamp(100),
+            te: Timestamp(300),
+        }]));
+        repo.seal_now();
+        assert_eq!(
+            repo.proximity_overlapping(RunScope::All, Timestamp(300), Timestamp(400))
+                .len(),
+            1
+        );
+        assert_eq!(
+            repo.proximity_overlapping(RunScope::All, Timestamp(0), Timestamp(100))
+                .len(),
+            0
+        );
+    }
+}

@@ -122,14 +122,6 @@ impl ShardedRepository {
             .fold(TableCounts::default(), |acc, s| acc + s.counts(scope))
     }
 
-    /// Row counts of one run across all shards: (trajectories, rssi,
-    /// fixes, proximity).
-    #[deprecated(note = "use `counts(run.into())`, which returns `TableCounts`")]
-    pub fn counts_run(&self, run: RunId) -> (usize, usize, usize, usize) {
-        let c = self.counts(run.into());
-        (c.trajectories, c.rssi, c.fixes, c.proximity)
-    }
-
     /// Every run with at least one row in any shard, ascending.
     pub fn run_ids(&self) -> Vec<RunId> {
         let mut runs: Vec<RunId> = self.shards.iter().flat_map(|s| s.run_ids()).collect();
@@ -193,12 +185,6 @@ impl ShardedRepository {
         })
     }
 
-    /// One run's trajectory samples, in shard order.
-    #[deprecated(note = "use `trajectories_scan(run.into())`")]
-    pub fn trajectories_scan_run(&self, run: RunId) -> Vec<TrajectorySample> {
-        self.trajectories_scan(run.into())
-    }
-
     /// Shard-merge of [`crate::TrajectoryTable::time_window`]: `scope`'s
     /// samples with `from <= t < to` (half-open, like the single-table
     /// contract), time-ordered; ties keep shard order.
@@ -221,17 +207,6 @@ impl ShardedRepository {
         )
     }
 
-    /// [`Self::trajectories_time_window`] restricted to one run.
-    #[deprecated(note = "use `trajectories_time_window(run.into(), from, to)`")]
-    pub fn trajectories_time_window_run(
-        &self,
-        run: RunId,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> Vec<TrajectorySample> {
-        self.trajectories_time_window(run.into(), from, to)
-    }
-
     /// Shard-merge of [`crate::TrajectoryTable::snapshot_at`] (`t`
     /// inclusive): objects are disjoint across shards, so merging the
     /// per-shard snapshots by object id reproduces the single-table answer
@@ -250,12 +225,6 @@ impl ShardedRepository {
         )
     }
 
-    /// [`Self::trajectories_snapshot_at`] restricted to one run.
-    #[deprecated(note = "use `trajectories_snapshot_at(run.into(), t)`")]
-    pub fn trajectories_snapshot_at_run(&self, run: RunId, t: Timestamp) -> Vec<TrajectorySample> {
-        self.trajectories_snapshot_at(run.into(), t)
-    }
-
     /// `scope`'s trace of object `o`, time-ordered — answered entirely by
     /// the owning shard, identical to the single-table answer.
     pub fn object_trace(&self, scope: RunScope, o: ObjectId) -> Vec<TrajectorySample> {
@@ -266,12 +235,6 @@ impl ShardedRepository {
             .into_iter()
             .copied()
             .collect()
-    }
-
-    /// [`Self::object_trace`] restricted to one run.
-    #[deprecated(note = "use `object_trace(run.into(), o)`")]
-    pub fn object_trace_run(&self, run: RunId, o: ObjectId) -> Vec<TrajectorySample> {
-        self.object_trace(run.into(), o)
     }
 
     /// Shard-merge spatial range query: `scope`'s samples on `floor`
@@ -293,17 +256,6 @@ impl ShardedRepository {
                 .copied()
                 .collect()
         })
-    }
-
-    /// [`Self::trajectories_range_query`] restricted to one run.
-    #[deprecated(note = "use `trajectories_range_query(run.into(), floor, query)`")]
-    pub fn trajectories_range_query_run(
-        &self,
-        run: RunId,
-        floor: FloorId,
-        query: &Aabb,
-    ) -> Vec<TrajectorySample> {
-        self.trajectories_range_query(run.into(), floor, query)
     }
 
     /// Shard-merge kNN: `scope`'s k nearest per shard, merged by distance
@@ -334,18 +286,6 @@ impl ShardedRepository {
         merged
     }
 
-    /// [`Self::trajectories_knn`] restricted to one run.
-    #[deprecated(note = "use `trajectories_knn(run.into(), floor, p, k)`")]
-    pub fn trajectories_knn_run(
-        &self,
-        run: RunId,
-        floor: FloorId,
-        p: Point,
-        k: usize,
-    ) -> Vec<(TrajectorySample, f64)> {
-        self.trajectories_knn(run.into(), floor, p, k)
-    }
-
     // ---- rssi queries -------------------------------------------------
 
     /// `scope`'s RSSI measurements, in shard order.
@@ -357,12 +297,6 @@ impl ShardedRepository {
                 Some(run) => t.scan_run(run).into_iter().copied().collect(),
             }
         })
-    }
-
-    /// One run's RSSI measurements, in shard order.
-    #[deprecated(note = "use `rssi_scan(run.into())`")]
-    pub fn rssi_scan_run(&self, run: RunId) -> Vec<RssiMeasurement> {
-        self.rssi_scan(run.into())
     }
 
     /// Shard-merge of [`crate::RssiTable::time_window`] (half-open),
@@ -386,17 +320,6 @@ impl ShardedRepository {
         )
     }
 
-    /// [`Self::rssi_time_window`] restricted to one run.
-    #[deprecated(note = "use `rssi_time_window(run.into(), from, to)`")]
-    pub fn rssi_time_window_run(
-        &self,
-        run: RunId,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> Vec<RssiMeasurement> {
-        self.rssi_time_window(run.into(), from, to)
-    }
-
     /// `scope`'s measurements of object `o`, time-ordered — owning shard
     /// only.
     pub fn rssi_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<RssiMeasurement> {
@@ -407,12 +330,6 @@ impl ShardedRepository {
             .into_iter()
             .copied()
             .collect()
-    }
-
-    /// [`Self::rssi_of_object`] restricted to one run.
-    #[deprecated(note = "use `rssi_of_object(run.into(), o)`")]
-    pub fn rssi_of_object_run(&self, run: RunId, o: ObjectId) -> Vec<RssiMeasurement> {
-        self.rssi_of_object(run.into(), o)
     }
 
     /// `scope`'s measurements through device `d` across all shards,
@@ -432,12 +349,6 @@ impl ShardedRepository {
         )
     }
 
-    /// [`Self::rssi_of_device`] restricted to one run.
-    #[deprecated(note = "use `rssi_of_device(run.into(), d)`")]
-    pub fn rssi_of_device_run(&self, run: RunId, d: DeviceId) -> Vec<RssiMeasurement> {
-        self.rssi_of_device(run.into(), d)
-    }
-
     // ---- fix queries --------------------------------------------------
 
     /// `scope`'s fixes, in shard order.
@@ -449,12 +360,6 @@ impl ShardedRepository {
                 Some(run) => t.scan_run(run).into_iter().copied().collect(),
             }
         })
-    }
-
-    /// One run's fixes, in shard order.
-    #[deprecated(note = "use `fixes_scan(run.into())`")]
-    pub fn fixes_scan_run(&self, run: RunId) -> Vec<Fix> {
-        self.fixes_scan(run.into())
     }
 
     /// Shard-merge of [`crate::FixTable::time_window`] (half-open),
@@ -473,12 +378,6 @@ impl ShardedRepository {
         )
     }
 
-    /// [`Self::fixes_time_window`] restricted to one run.
-    #[deprecated(note = "use `fixes_time_window(run.into(), from, to)`")]
-    pub fn fixes_time_window_run(&self, run: RunId, from: Timestamp, to: Timestamp) -> Vec<Fix> {
-        self.fixes_time_window(run.into(), from, to)
-    }
-
     /// `scope`'s fixes of object `o`, time-ordered — owning shard only.
     pub fn fixes_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<Fix> {
         self.shards[self.shard_of(o)]
@@ -488,12 +387,6 @@ impl ShardedRepository {
             .into_iter()
             .copied()
             .collect()
-    }
-
-    /// [`Self::fixes_of_object`] restricted to one run.
-    #[deprecated(note = "use `fixes_of_object(run.into(), o)`")]
-    pub fn fixes_of_object_run(&self, run: RunId, o: ObjectId) -> Vec<Fix> {
-        self.fixes_of_object(run.into(), o)
     }
 
     // ---- proximity queries --------------------------------------------
@@ -507,12 +400,6 @@ impl ShardedRepository {
                 Some(run) => t.scan_run(run).into_iter().copied().collect(),
             }
         })
-    }
-
-    /// One run's proximity records, in shard order.
-    #[deprecated(note = "use `proximity_scan(run.into())`")]
-    pub fn proximity_scan_run(&self, run: RunId) -> Vec<ProximityRecord> {
-        self.proximity_scan(run.into())
     }
 
     /// Shard-merge of [`crate::ProximityTable::overlapping`] (closed record
@@ -537,17 +424,6 @@ impl ShardedRepository {
         )
     }
 
-    /// [`Self::proximity_overlapping`] restricted to one run.
-    #[deprecated(note = "use `proximity_overlapping(run.into(), from, to)`")]
-    pub fn proximity_overlapping_run(
-        &self,
-        run: RunId,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> Vec<ProximityRecord> {
-        self.proximity_overlapping(run.into(), from, to)
-    }
-
     /// `scope`'s detection periods of object `o`, ordered by start time —
     /// owning shard only.
     pub fn proximity_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<ProximityRecord> {
@@ -558,12 +434,6 @@ impl ShardedRepository {
             .into_iter()
             .copied()
             .collect()
-    }
-
-    /// [`Self::proximity_of_object`] restricted to one run.
-    #[deprecated(note = "use `proximity_of_object(run.into(), o)`")]
-    pub fn proximity_of_object_run(&self, run: RunId, o: ObjectId) -> Vec<ProximityRecord> {
-        self.proximity_of_object(run.into(), o)
     }
 
     /// `scope`'s detection periods through device `d` across all shards,
@@ -580,12 +450,6 @@ impl ShardedRepository {
             }),
             |r| r.ts,
         )
-    }
-
-    /// [`Self::proximity_of_device`] restricted to one run.
-    #[deprecated(note = "use `proximity_of_device(run.into(), d)`")]
-    pub fn proximity_of_device_run(&self, run: RunId, d: DeviceId) -> Vec<ProximityRecord> {
-        self.proximity_of_device(run.into(), d)
     }
 
     /// Serialize every table into one buffer per table, one wire-format

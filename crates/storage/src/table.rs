@@ -102,11 +102,15 @@ pub struct TrajectoryTable {
     by_run: BTreeMap<RunId, Vec<RowId>>,
     /// Lazily built spatial index per floor, cached behind its own lock so
     /// spatial *queries* work on `&self` — i.e. through a repository
-    /// *read* lock, concurrently with other readers. Mutations clear the
-    /// cache through `&mut self` (`get_mut`, no lock traffic), so within
-    /// one shared-borrow epoch the cache only ever goes from empty to
-    /// built (`OnceLock`-style), never stale.
-    spatial: RwLock<Option<HashMap<FloorId, GridIndex>>>,
+    /// *read* lock, concurrently with other readers. A missing key means
+    /// the floor's index has not been built; `None` records that the floor
+    /// was scanned and holds no point rows. Mutations evict **only the
+    /// floors their point rows touch** through `&mut self` (`get_mut`, no
+    /// lock traffic), so ingestion into one floor never throws away
+    /// another floor's grid — and within one shared-borrow epoch each
+    /// entry only ever goes from absent to built (`OnceLock`-style), never
+    /// stale.
+    spatial: RwLock<HashMap<FloorId, Option<GridIndex>>>,
 }
 
 impl Clone for TrajectoryTable {
@@ -146,9 +150,11 @@ impl TrajectoryTable {
         self.by_time.entry(s.t).or_default().push(id);
         self.by_object.entry(s.object).or_default().push(id);
         self.by_run.entry(run).or_default().push(id);
+        if matches!(s.loc.kind, LocKind::Point(_)) {
+            self.spatial.get_mut().remove(&s.loc.floor);
+        }
         self.rows.push(s);
         self.runs.push(run);
-        *self.spatial.get_mut() = None;
         id
     }
 
@@ -162,9 +168,10 @@ impl TrajectoryTable {
     }
 
     /// Append one owned batch tagged with `run`: rows move in wholesale,
-    /// the time index is bulk-built when the table was empty, and the
-    /// spatial index is invalidated once rather than per row. This is the
-    /// ingest hot path of the streaming pipeline (one batch per
+    /// the time index is bulk-built when the table was empty, and only the
+    /// floors the batch's point rows land on have their spatial index
+    /// evicted — cold floors keep their grids through ingestion. This is
+    /// the ingest hot path of the streaming pipeline (one batch per
     /// [`crate::ProductBatch`]).
     pub fn append_batch_run(&mut self, run: RunId, mut batch: Vec<TrajectorySample>) {
         if batch.is_empty() {
@@ -181,9 +188,16 @@ impl TrajectoryTable {
             run_ids.push(id);
         }
         index_times(&batch, base, |s| s.t, &mut self.by_time);
+        let spatial = self.spatial.get_mut();
+        if !spatial.is_empty() {
+            for s in &batch {
+                if matches!(s.loc.kind, LocKind::Point(_)) {
+                    spatial.remove(&s.loc.floor);
+                }
+            }
+        }
         self.runs.resize(self.rows.len() + batch.len(), run);
         self.rows.append(&mut batch);
-        *self.spatial.get_mut() = None;
     }
 
     pub fn get(&self, id: RowId) -> Option<&TrajectorySample> {
@@ -246,17 +260,6 @@ impl TrajectoryTable {
         out
     }
 
-    /// [`Self::time_window`] restricted to one run.
-    #[deprecated(note = "use `time_window(run.into(), from, to)`")]
-    pub fn time_window_run(
-        &self,
-        run: RunId,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> Vec<&TrajectorySample> {
-        self.time_window(run.into(), from, to)
-    }
-
     /// `scope`'s trace of object `o`, time-ordered. Distinct runs reuse
     /// the same dense object-id space, so [`RunScope::All`] interleaves
     /// unrelated runs' objects — [`RunScope::One`] is the per-tenant view.
@@ -274,12 +277,6 @@ impl TrajectoryTable {
             .unwrap_or_default();
         rows.sort_by_key(|s| s.t);
         rows
-    }
-
-    /// [`Self::object_trace`] restricted to one run.
-    #[deprecated(note = "use `object_trace(run.into(), o)`")]
-    pub fn object_trace_run(&self, run: RunId, o: ObjectId) -> Vec<&TrajectorySample> {
-        self.object_trace(run.into(), o)
     }
 
     /// Latest sample at or before `t` for every object of `scope` (the
@@ -329,29 +326,26 @@ impl TrajectoryTable {
         v
     }
 
-    /// [`Self::snapshot_at`] restricted to one run.
-    #[deprecated(note = "use `snapshot_at(run.into(), t)`")]
-    pub fn snapshot_at_run(&self, run: RunId, t: Timestamp) -> Vec<&TrajectorySample> {
-        self.snapshot_at(run.into(), t)
-    }
-
-    /// Run `f` against the per-floor spatial indexes, building them first
-    /// if no cached copy exists. Readers share the cache under the inner
-    /// read lock; the first query after a mutation pays the rebuild under
-    /// the inner write lock. Taking `&self` is what lets spatial queries
-    /// run through a repository *read* lock, concurrent with other readers
-    /// (mutation is excluded for the whole call by the `&self` borrow).
-    fn with_spatial<R>(&self, f: impl FnOnce(&HashMap<FloorId, GridIndex>) -> R) -> R {
+    /// Run `f` against `floor`'s spatial index, building it first if no
+    /// cached copy exists (`None` if the floor holds no point rows).
+    /// Readers share the cache under the inner read lock; the first query
+    /// after a mutation rebuilds **that floor only** under the inner write
+    /// lock. Taking `&self` is what lets spatial queries run through a
+    /// repository *read* lock, concurrent with other readers (mutation is
+    /// excluded for the whole call by the `&self` borrow).
+    fn with_floor_spatial<R>(&self, floor: FloorId, f: impl FnOnce(Option<&GridIndex>) -> R) -> R {
         {
             let cache = self.spatial.read();
-            if let Some(indexes) = cache.as_ref() {
-                return f(indexes);
+            if let Some(entry) = cache.get(&floor) {
+                return f(entry.as_ref());
             }
         }
         let mut cache = self.spatial.write();
-        // Another reader may have built the cache between the two locks.
-        let indexes = cache.get_or_insert_with(|| build_spatial(&self.rows));
-        f(indexes)
+        // Another reader may have built this floor between the two locks.
+        let entry = cache
+            .entry(floor)
+            .or_insert_with(|| build_floor_spatial(&self.rows, floor));
+        f(entry.as_ref())
     }
 
     /// Spatial range query: `scope`'s samples on `floor` inside `query`
@@ -366,28 +360,14 @@ impl TrajectoryTable {
         self.range_query_filtered(floor, query, scope.run())
     }
 
-    /// [`Self::range_query`] restricted to one run.
-    #[deprecated(note = "use `range_query(run.into(), floor, query)`")]
-    pub fn range_query_run(
-        &self,
-        run: RunId,
-        floor: FloorId,
-        query: &Aabb,
-    ) -> Vec<&TrajectorySample> {
-        self.range_query(run.into(), floor, query)
-    }
-
     fn range_query_filtered(
         &self,
         floor: FloorId,
         query: &Aabb,
         run: Option<RunId>,
     ) -> Vec<&TrajectorySample> {
-        let mut ids = self.with_spatial(|indexes| {
-            indexes
-                .get(&floor)
-                .map(|g| g.query_bbox(query))
-                .unwrap_or_default()
+        let mut ids = self.with_floor_spatial(floor, |g| {
+            g.map(|g| g.query_bbox(query)).unwrap_or_default()
         });
         ids.sort_unstable();
         ids.into_iter()
@@ -410,18 +390,6 @@ impl TrajectoryTable {
         self.knn_filtered(floor, p, k, scope.run())
     }
 
-    /// [`Self::knn`] restricted to one run.
-    #[deprecated(note = "use `knn(run.into(), floor, p, k)`")]
-    pub fn knn_run(
-        &self,
-        run: RunId,
-        floor: FloorId,
-        p: Point,
-        k: usize,
-    ) -> Vec<(&TrajectorySample, f64)> {
-        self.knn(run.into(), floor, p, k)
-    }
-
     fn knn_filtered(
         &self,
         floor: FloorId,
@@ -429,8 +397,8 @@ impl TrajectoryTable {
         k: usize,
         run: Option<RunId>,
     ) -> Vec<(&TrajectorySample, f64)> {
-        let candidates = self.with_spatial(|indexes| {
-            let Some(g) = indexes.get(&floor) else {
+        let candidates = self.with_floor_spatial(floor, |g| {
+            let Some(g) = g else {
                 return Vec::new();
             };
             // Expanding-radius search over the grid. The cap must reach
@@ -475,29 +443,28 @@ impl TrajectoryTable {
     }
 }
 
-/// Build the per-floor spatial indexes over point-located rows.
-fn build_spatial(rows: &[TrajectorySample]) -> HashMap<FloorId, GridIndex> {
-    let mut per_floor: HashMap<FloorId, Vec<(RowId, Point)>> = HashMap::new();
+/// Build one floor's spatial index over its point-located rows, or `None`
+/// when the floor holds no point rows (cached as a negative entry so the
+/// scan is not repeated per query).
+fn build_floor_spatial(rows: &[TrajectorySample], floor: FloorId) -> Option<GridIndex> {
+    let mut pts: Vec<(RowId, Point)> = Vec::new();
     for (i, s) in rows.iter().enumerate() {
         if let LocKind::Point(p) = s.loc.kind {
-            per_floor
-                .entry(s.loc.floor)
-                .or_default()
-                .push((checked_row_id(i), p));
+            if s.loc.floor == floor {
+                pts.push((checked_row_id(i), p));
+            }
         }
     }
-    let mut indexes = HashMap::new();
-    for (floor, pts) in per_floor {
-        let domain =
-            Aabb::from_points(&pts.iter().map(|(_, p)| *p).collect::<Vec<_>>()).inflated(1.0);
-        let cell = (domain.width().max(domain.height()) / 32.0).max(0.5);
-        let mut g = GridIndex::new(domain, cell);
-        for (id, p) in pts {
-            g.insert_point(id, p);
-        }
-        indexes.insert(floor, g);
+    if pts.is_empty() {
+        return None;
     }
-    indexes
+    let domain = Aabb::from_points(&pts.iter().map(|(_, p)| *p).collect::<Vec<_>>()).inflated(1.0);
+    let cell = (domain.width().max(domain.height()) / 32.0).max(0.5);
+    let mut g = GridIndex::new(domain, cell);
+    for (id, p) in pts {
+        g.insert_point(id, p);
+    }
+    Some(g)
 }
 
 /// A table of raw RSSI measurements `(o_id, d_id, rssi, t)`, run-tagged
@@ -615,17 +582,6 @@ impl RssiTable {
         out
     }
 
-    /// [`Self::time_window`] restricted to one run.
-    #[deprecated(note = "use `time_window(run.into(), from, to)`")]
-    pub fn time_window_run(
-        &self,
-        run: RunId,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> Vec<&RssiMeasurement> {
-        self.time_window(run.into(), from, to)
-    }
-
     /// `scope`'s measurements of object `o`, time-ordered.
     pub fn of_object(&self, scope: RunScope, o: ObjectId) -> Vec<&RssiMeasurement> {
         let run = scope.run();
@@ -643,12 +599,6 @@ impl RssiTable {
         rows
     }
 
-    /// [`Self::of_object`] restricted to one run.
-    #[deprecated(note = "use `of_object(run.into(), o)`")]
-    pub fn of_object_run(&self, run: RunId, o: ObjectId) -> Vec<&RssiMeasurement> {
-        self.of_object(run.into(), o)
-    }
-
     /// `scope`'s measurements through device `d`, time-ordered.
     pub fn of_device(&self, scope: RunScope, d: DeviceId) -> Vec<&RssiMeasurement> {
         let run = scope.run();
@@ -664,12 +614,6 @@ impl RssiTable {
             .unwrap_or_default();
         rows.sort_by_key(|m| m.t);
         rows
-    }
-
-    /// [`Self::of_device`] restricted to one run.
-    #[deprecated(note = "use `of_device(run.into(), d)`")]
-    pub fn of_device_run(&self, run: RunId, d: DeviceId) -> Vec<&RssiMeasurement> {
-        self.of_device(run.into(), d)
     }
 }
 
@@ -779,12 +723,6 @@ impl FixTable {
         out
     }
 
-    /// [`Self::time_window`] restricted to one run.
-    #[deprecated(note = "use `time_window(run.into(), from, to)`")]
-    pub fn time_window_run(&self, run: RunId, from: Timestamp, to: Timestamp) -> Vec<&Fix> {
-        self.time_window(run.into(), from, to)
-    }
-
     /// `scope`'s fixes of object `o`, time-ordered.
     pub fn of_object(&self, scope: RunScope, o: ObjectId) -> Vec<&Fix> {
         let run = scope.run();
@@ -800,12 +738,6 @@ impl FixTable {
             .unwrap_or_default();
         rows.sort_by_key(|f| f.t);
         rows
-    }
-
-    /// [`Self::of_object`] restricted to one run.
-    #[deprecated(note = "use `of_object(run.into(), o)`")]
-    pub fn of_object_run(&self, run: RunId, o: ObjectId) -> Vec<&Fix> {
-        self.of_object(run.into(), o)
     }
 }
 
@@ -939,17 +871,6 @@ impl ProximityTable {
         }
     }
 
-    /// [`Self::overlapping`] restricted to one run.
-    #[deprecated(note = "use `overlapping(run.into(), from, to)`")]
-    pub fn overlapping_run(
-        &self,
-        run: RunId,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> Vec<&ProximityRecord> {
-        self.overlapping(run.into(), from, to)
-    }
-
     /// `scope`'s detection periods of object `o`, ordered by start time.
     pub fn of_object(&self, scope: RunScope, o: ObjectId) -> Vec<&ProximityRecord> {
         let run = scope.run();
@@ -965,12 +886,6 @@ impl ProximityTable {
             .unwrap_or_default();
         rows.sort_by_key(|r| r.ts);
         rows
-    }
-
-    /// [`Self::of_object`] restricted to one run.
-    #[deprecated(note = "use `of_object(run.into(), o)`")]
-    pub fn of_object_run(&self, run: RunId, o: ObjectId) -> Vec<&ProximityRecord> {
-        self.of_object(run.into(), o)
     }
 
     /// `scope`'s detection periods through device `d`, ordered by start
@@ -989,12 +904,6 @@ impl ProximityTable {
             .unwrap_or_default();
         rows.sort_by_key(|r| r.ts);
         rows
-    }
-
-    /// [`Self::of_device`] restricted to one run.
-    #[deprecated(note = "use `of_device(run.into(), d)`")]
-    pub fn of_device_run(&self, run: RunId, d: DeviceId) -> Vec<&ProximityRecord> {
-        self.of_device(run.into(), d)
     }
 }
 
@@ -1208,6 +1117,43 @@ mod tests {
         t.insert(ts(1, 0, 10.0, 0.0, 0));
         let got = t.knn(RunScope::All, FloorId(0), Point::new(10.0, 0.0), 1);
         assert_eq!(got[0].0.object, ObjectId(1));
+    }
+
+    #[test]
+    fn spatial_invalidation_is_scoped_to_touched_floors() {
+        let mut t = TrajectoryTable::new();
+        t.insert(ts(0, 0, 1.0, 1.0, 0));
+        t.insert(ts(1, 1, 5.0, 5.0, 0));
+        // Build both floors' grids.
+        let _ = t.knn(RunScope::All, FloorId(0), Point::new(0.0, 0.0), 1);
+        let _ = t.knn(RunScope::All, FloorId(1), Point::new(0.0, 0.0), 1);
+        assert!(t.spatial.read().contains_key(&FloorId(0)));
+        assert!(t.spatial.read().contains_key(&FloorId(1)));
+        // An append that only touches floor 1 must leave floor 0's grid
+        // cached — and evict floor 1's.
+        t.append_batch(vec![ts(2, 1, 9.0, 9.0, 10)]);
+        assert!(t.spatial.read().contains_key(&FloorId(0)));
+        assert!(!t.spatial.read().contains_key(&FloorId(1)));
+        // Both floors still answer correctly (floor 1 rebuilds on demand,
+        // seeing the new row).
+        let f1 = t.knn(RunScope::All, FloorId(1), Point::new(9.0, 9.0), 1);
+        assert_eq!(f1[0].0.object, ObjectId(2));
+        let f0 = t.knn(RunScope::All, FloorId(0), Point::new(0.0, 0.0), 1);
+        assert_eq!(f0[0].0.object, ObjectId(0));
+        // A floor never seen before: missing key builds on demand too.
+        t.append_batch(vec![ts(3, 2, 4.0, 4.0, 20)]);
+        let f2 = t.range_query(
+            RunScope::All,
+            FloorId(2),
+            &Aabb::new(Point::new(0.0, 0.0), Point::new(8.0, 8.0)),
+        );
+        assert_eq!(f2.len(), 1);
+        // Queries against a floor with no point rows cache the negative
+        // answer instead of rescanning.
+        assert!(t
+            .knn(RunScope::All, FloorId(9), Point::new(0.0, 0.0), 3)
+            .is_empty());
+        assert!(matches!(t.spatial.read().get(&FloorId(9)), Some(None)));
     }
 
     #[test]

@@ -133,6 +133,7 @@ proptest! {
         for backend in [
             StorageBackend::Single,
             StorageBackend::Sharded { shards },
+            StorageBackend::Segmented,
         ] {
             let repo = Arc::new(AnyRepository::new(backend));
             for (s, run) in &rows {
@@ -297,4 +298,9 @@ fn queries_are_prefix_consistent_during_ingestion_single() {
 #[test]
 fn queries_are_prefix_consistent_during_ingestion_sharded() {
     queries_are_prefix_consistent_on(StorageBackend::Sharded { shards: 4 });
+}
+
+#[test]
+fn queries_are_prefix_consistent_during_ingestion_segmented() {
+    queries_are_prefix_consistent_on(StorageBackend::Segmented);
 }
