@@ -54,7 +54,7 @@ fn bench_serving(c: &mut Criterion) {
     let backends = [
         ("single", StorageBackend::Single),
         ("sharded_8", StorageBackend::Sharded { shards: 8 }),
-        ("segmented", StorageBackend::Segmented),
+        ("segmented", StorageBackend::segmented()),
     ];
     let mut g = c.benchmark_group("e15/query_serving");
     g.sample_size(20);

@@ -86,6 +86,9 @@ fn main() {
     if want("e16") {
         e16_read_under_ingest();
     }
+    if want("e17") {
+        e17_out_of_core();
+    }
     if want("a1") {
         a1_trilateration_ablation();
     }
@@ -254,7 +257,7 @@ fn e11_at_scale() {
             for (j, (_, backend)) in backends.iter().enumerate() {
                 let mut vita = e11::toolkit(&text);
                 let report = vita
-                    .run_streaming(&e11::scenario_with(objects, SECS, WORKERS, *backend))
+                    .run_streaming(&e11::scenario_with(objects, SECS, WORKERS, backend.clone()))
                     .unwrap();
                 wall_ms[j] = wall_ms[j].min(report.elapsed.as_secs_f64() * 1000.0);
                 let c = vita.repository().counts(RunScope::All);
@@ -314,10 +317,10 @@ fn e13_concurrent_scenarios() {
         ("sharded(8)", StorageBackend::Sharded { shards: 8 }),
     ];
     for &objects in &[250usize, 1_000] {
-        for (name, backend) in backends {
+        for (name, backend) in &backends {
             let scenarios: Vec<_> = (0..RUNS)
                 .map(|i| {
-                    let mut s = e11::scenario_with(objects, SECS, WORKERS, backend);
+                    let mut s = e11::scenario_with(objects, SECS, WORKERS, backend.clone());
                     // Distinct base seeds: four different workloads, as a
                     // multi-tenant deployment would see.
                     s.mobility.seed = e11::SEED + u64::from(i);
@@ -384,15 +387,28 @@ fn e14_persistence() {
     println!("| objects/run | backend | rows | runs | export ms | import ms | MB |");
     println!("|---|---|---|---|---|---|---|");
     let text = e11::office_text();
+    // The spill row bounds decoded sealed rows well under the corpus, so
+    // most of its export bytes come straight off already-encoded segment
+    // files (raw splice) rather than a typed re-encode of resident rows.
+    let spill = vita_storage::SpillConfig {
+        dir: std::env::temp_dir().join(format!("vita-e14-spill-{}", std::process::id())),
+        memory_budget_rows: 5_000,
+        cache_segments: 4,
+    };
     let backends = [
         ("single", StorageBackend::Single),
         ("sharded(8)", StorageBackend::Sharded { shards: 8 }),
+        (
+            "segmented(spill 5k)",
+            StorageBackend::Segmented { spill: Some(spill) },
+        ),
     ];
+    let mut splice_notes = Vec::new();
     for &objects in &[250usize, 2_500] {
-        for (name, backend) in backends {
+        for (name, backend) in &backends {
             let scenarios: Vec<_> = (0..RUNS)
                 .map(|i| {
-                    let mut s = e11::scenario_with(objects, SECS, WORKERS, backend);
+                    let mut s = e11::scenario_with(objects, SECS, WORKERS, backend.clone());
                     s.mobility.seed = e11::SEED + u64::from(i);
                     s
                 })
@@ -417,7 +433,7 @@ fn e14_persistence() {
                     + export.proximity.len();
 
                 let t0 = Instant::now();
-                let imported = AnyRepository::import(&export, backend).unwrap();
+                let imported = AnyRepository::import(&export, backend.clone()).unwrap();
                 import_ms = import_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
 
                 // The round trip must preserve every run's row counts.
@@ -435,7 +451,38 @@ fn e14_persistence() {
                 repo.run_ids().len(),
                 bytes as f64 / 1e6
             );
+
+            // The spilled repository's export splices raw bytes from its
+            // segment files; the typed re-encode of the same rows is what
+            // `save_to` would cost without that reuse.
+            if let Some(seg) = repo.as_segmented() {
+                let stats = seg.stats();
+                if stats.spilled_rows > 0 {
+                    let mut reenc_ms = f64::INFINITY;
+                    for _ in 0..5 {
+                        let t0 = Instant::now();
+                        let _ = seg.export_reencode();
+                        reenc_ms = reenc_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+                    }
+                    let spliced = seg.export();
+                    let reencoded = seg.export_reencode();
+                    assert_eq!(spliced.trajectories, reencoded.trajectories);
+                    assert_eq!(spliced.rssi, reencoded.rssi);
+                    assert_eq!(spliced.fixes, reencoded.fixes);
+                    assert_eq!(spliced.proximity, reencoded.proximity);
+                    splice_notes.push(format!(
+                        "- save_to byte reuse at {objects} obj/run: raw splice \
+                         **{export_ms:.1} ms** vs typed re-encode {reenc_ms:.1} ms \
+                         ({} of {rows} rows on disk)",
+                        stats.spilled_rows
+                    ));
+                }
+            }
         }
+    }
+    println!();
+    for note in splice_notes {
+        println!("{note}");
     }
     println!();
 }
@@ -476,15 +523,20 @@ fn e15_query_serving() {
     let backends = [
         ("single", StorageBackend::Single),
         ("sharded(8)", StorageBackend::Sharded { shards: 8 }),
-        ("segmented", StorageBackend::Segmented),
+        ("segmented", StorageBackend::segmented()),
     ];
     let mut summary = Vec::new();
-    for (name, backend) in backends {
-        let mut vita = e11::toolkit(&text).with_backend(backend);
+    for (name, backend) in &backends {
+        let mut vita = e11::toolkit(&text).with_backend(backend.clone());
         // Pre-ingest one run so the first ramp steps query real rows
         // rather than empty tables.
-        vita.run_streaming(&e11::scenario_with(OBJECTS, SECS, STAGE_WORKERS, backend))
-            .unwrap();
+        vita.run_streaming(&e11::scenario_with(
+            OBJECTS,
+            SECS,
+            STAGE_WORKERS,
+            backend.clone(),
+        ))
+        .unwrap();
         let service = vita.serve();
         let workload = WorkloadSpec {
             scopes: vec![RunScope::All, RunId(0).into(), RunId(1).into()],
@@ -515,8 +567,8 @@ fn e15_query_serving() {
                 while !done.load(Ordering::Relaxed) {
                     let reports = vita
                         .run_many(&[
-                            e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend),
-                            e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend),
+                            e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend.clone()),
+                            e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend.clone()),
                         ])
                         .unwrap();
                     runs += reports.len();
@@ -604,19 +656,19 @@ fn e16_read_under_ingest() {
     let backends = [
         ("single", StorageBackend::Single),
         ("sharded(8)", StorageBackend::Sharded { shards: 8 }),
-        ("segmented", StorageBackend::Segmented),
+        ("segmented", StorageBackend::segmented()),
     ];
     let mut summary = Vec::new();
-    for (name, backend) in backends {
+    for (name, backend) in &backends {
         // Each rep rebuilds the toolkit from scratch so every sample sees
         // the same repository size — reusing one repository across reps
         // would let the continuing ingestion grow the data set until the
         // later steps saturate and measure queue depth instead.
         let mut samples = Vec::new();
         for _ in 0..STEP_REPS {
-            let mut vita = e11::toolkit(&text).with_backend(backend);
+            let mut vita = e11::toolkit(&text).with_backend(backend.clone());
             // Pre-ingest one run so the fixed-rate step queries real rows.
-            let mut preload = e11::scenario_with(OBJECTS, SECS, STAGE_WORKERS, backend);
+            let mut preload = e11::scenario_with(OBJECTS, SECS, STAGE_WORKERS, backend.clone());
             preload.mobility.trajectory_hz = Hz(PRELOAD_HZ);
             vita.run_streaming(&preload).unwrap();
             let repo = vita.repository_handle();
@@ -662,8 +714,8 @@ fn e16_read_under_ingest() {
                     while !done.load(Ordering::Relaxed) {
                         let reports = vita
                             .run_many(&[
-                                e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend),
-                                e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend),
+                                e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend.clone()),
+                                e11::scenario_with(OBJECTS / 4, 5, STAGE_WORKERS, backend.clone()),
                             ])
                             .unwrap();
                         runs += reports.len();
@@ -704,6 +756,183 @@ fn e16_read_under_ingest() {
     println!();
     for (name, p99, p999) in summary {
         println!("- read latency under ingest, {name}: p99 **{p99} µs**, p999 **{p999} µs**");
+    }
+    println!();
+}
+
+/// E17 — out-of-core ingest under a memory budget: a trajectory corpus
+/// 4× `memory_budget_rows` streams into the spilled segmented backend
+/// while a mixed query workload (counts / window / snapshot / trace /
+/// range / kNN, all scopes reaching back into cold data) interleaves with
+/// ingestion. The table reports the query percentiles, the sampled
+/// resident-row ceiling, and the spiller/backpressure counters; the same
+/// corpus and workload run all-resident (`spill: None`) as the baseline,
+/// so the delta is the page-in cost of bounding memory at ¼ of the
+/// corpus. Asserted invariants: the sampled ceiling never exceeds the
+/// budget plus one unsealed head per table, the post-maintenance gauge
+/// fits the budget exactly, and every row survives to the final counts.
+fn e17_out_of_core() {
+    use rand::Rng;
+    use vita_geometry::Aabb;
+    use vita_indoor::{BuildingId, ObjectId, RunId};
+    use vita_mobility::TrajectorySample;
+    use vita_storage::{
+        ProductBatch, ProductSink, SegmentConfig, SegmentedRepository, SpillConfig,
+    };
+
+    const TOTAL_ROWS: usize = 128_000;
+    const BUDGET: usize = TOTAL_ROWS / 4;
+    const SEAL_ROWS: usize = BUDGET / 4;
+    const BATCH: usize = 1_000;
+    const QUERY_EVERY: usize = 8;
+    const RUNS: u32 = 3;
+    const OBJECTS: u32 = 200;
+
+    println!(
+        "## E17 — out-of-core ingest under a memory budget \
+         ({TOTAL_ROWS} trajectory rows vs a {BUDGET}-row budget (¼ corpus), \
+         seal every {SEAL_ROWS}, mixed queries every {QUERY_EVERY} batches)\n"
+    );
+    println!(
+        "| mode | budget rows | max resident | final resident | spilled rows \
+         | spills | page-ins | stalls | queries | p50 µs | p99 µs |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+
+    let batch_at = |b: usize| -> Vec<TrajectorySample> {
+        (0..BATCH)
+            .map(|i| {
+                let row = b * BATCH + i;
+                TrajectorySample::new(
+                    ObjectId((row % OBJECTS as usize) as u32),
+                    BuildingId(0),
+                    FloorId((row % 2) as u32),
+                    Point::new((row % 420) as f64 / 10.0, (row % 160) as f64 / 10.0),
+                    Timestamp(row as u64),
+                )
+            })
+            .collect()
+    };
+
+    for spilled in [true, false] {
+        let config = SegmentConfig {
+            seal_rows: SEAL_ROWS,
+            ..SegmentConfig::default()
+        };
+        let repo = if spilled {
+            SegmentedRepository::with_spill(
+                config,
+                SpillConfig {
+                    dir: std::env::temp_dir()
+                        .join(format!("vita-e17-spill-{}", std::process::id())),
+                    memory_budget_rows: BUDGET,
+                    cache_segments: 4,
+                },
+            )
+        } else {
+            SegmentedRepository::with_config(config)
+        };
+
+        let mut rng = StdRng::seed_from_u64(0xE17);
+        let mut latencies_us: Vec<u64> = Vec::new();
+        let mut max_resident = 0usize;
+        for b in 0..TOTAL_ROWS / BATCH {
+            repo.accept_run(
+                RunId((b as u32) % RUNS),
+                ProductBatch::Trajectories(batch_at(b)),
+            );
+            max_resident = max_resident.max(repo.stats().resident_rows);
+            if (b + 1) % QUERY_EVERY != 0 {
+                continue;
+            }
+            // Mixed reads reaching back across the whole ingested prefix —
+            // cold windows page spilled segments in through the clock
+            // cache; counts and pruning stay metadata-only.
+            let t_hi = ((b + 1) * BATCH) as u64;
+            let from = rng.gen_range(0..t_hi);
+            let width = rng.gen_range(1..=t_hi / 4 + 1);
+            let scope = match b % 4 {
+                0 => RunScope::All,
+                r => RunScope::from(RunId((r as u32) % RUNS)),
+            };
+            let object = ObjectId(rng.gen_range(0..OBJECTS));
+            let window = Aabb::new(Point::new(5.0, 2.0), Point::new(25.0, 12.0));
+            let mut timed = |f: &mut dyn FnMut() -> usize| {
+                let t0 = Instant::now();
+                let n = f();
+                latencies_us.push(t0.elapsed().as_micros() as u64);
+                n
+            };
+            timed(&mut || repo.counts(scope).trajectories);
+            timed(&mut || {
+                repo.trajectories_time_window(scope, Timestamp(from), Timestamp(from + width))
+                    .len()
+            });
+            timed(&mut || {
+                repo.trajectories_snapshot_at(scope, Timestamp(t_hi / 2))
+                    .len()
+            });
+            timed(&mut || repo.object_trace(scope, object).len());
+            timed(&mut || {
+                repo.trajectories_range_query(scope, FloorId(0), &window)
+                    .len()
+            });
+            timed(&mut || {
+                repo.trajectories_knn(scope, FloorId(0), Point::new(20.0, 8.0), 8)
+                    .len()
+            });
+
+            if spilled {
+                // The acceptance bound: the decoded sealed gauge may
+                // transiently carry at most one unsealed head per table
+                // past the budget before the next enforcement pass lands.
+                assert!(
+                    max_resident <= BUDGET + 4 * SEAL_ROWS,
+                    "resident ceiling {max_resident} broke budget {BUDGET} + 4 heads"
+                );
+            }
+        }
+
+        // Quiesce: a forced maintenance round must bring the gauge back
+        // under the budget with every row still accounted for.
+        repo.seal_now();
+        let stats = repo.stats();
+        let final_resident = stats.resident_rows;
+        if spilled {
+            assert!(
+                final_resident <= BUDGET,
+                "post-maintenance resident {final_resident} over budget: {stats:?}"
+            );
+            assert!(stats.spills >= 1 && stats.spilled_rows > 0, "{stats:?}");
+            assert!(
+                stats.writer_stalls >= 1,
+                "4× budget never stalled: {stats:?}"
+            );
+        }
+        assert_eq!(
+            repo.counts(RunScope::All).trajectories,
+            TOTAL_ROWS,
+            "rows lost crossing the spill tier"
+        );
+
+        latencies_us.sort_unstable();
+        let pct = |q: f64| latencies_us[((latencies_us.len() - 1) as f64 * q) as usize];
+        let (mode, budget_col) = if spilled {
+            ("spill (¼ corpus)", format!("{BUDGET}"))
+        } else {
+            ("all-resident", "—".into())
+        };
+        println!(
+            "| {mode} | {budget_col} | {max_resident} | {final_resident} | {} | {} | {} | {} \
+             | {} | {} | {} |",
+            stats.spilled_rows,
+            stats.spills,
+            stats.page_ins,
+            stats.writer_stalls,
+            latencies_us.len(),
+            pct(0.50),
+            pct(0.99),
+        );
     }
     println!();
 }

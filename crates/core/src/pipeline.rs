@@ -348,7 +348,7 @@ impl Vita {
         // a rejected scenario must leave storage exactly as it was,
         // including its backend shape.
         let contexts = build_contexts(&self.env, &self.devices, &runs)?;
-        apply_backend(&mut self.repo, scenario.options.backend);
+        apply_backend(&mut self.repo, scenario.options.backend.clone());
         let mut reports = self.stream_runs(start, &runs, &contexts)?;
         Ok(reports.pop().expect("one report per run"))
     }
@@ -450,7 +450,7 @@ impl Vita {
         // Validate + build stage contexts before touching the repository
         // (see `run_streaming_as`).
         let contexts = build_contexts(&self.env, &self.devices, &runs)?;
-        apply_backend(&mut self.repo, first.options.backend);
+        apply_backend(&mut self.repo, first.options.backend.clone());
         self.stream_runs(start, &runs, &contexts)
     }
 
@@ -866,7 +866,7 @@ pub struct ScenarioConfig {
 }
 
 /// Tuning knobs of the streaming pipeline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StreamOptions {
     /// Stage workers consuming trajectory chunks (RSSI + positioning +
     /// storage appends). `0` = half the available cores; the other half

@@ -29,6 +29,21 @@
 //! cryptographic): random corruption of a valid file decodes to a
 //! [`CodecError`], never to silently wrong data.
 //!
+//! ## Segment files (spill tier)
+//!
+//! A sealed segment spilled to disk by the segmented backend uses the
+//! same envelope with the record-type tag's high bit set
+//! (`tag | 0x80`), marking a **segment** file: each run section carries
+//! `row_count` rows followed by `row_count` little-endian `u64` arrival
+//! stamps (seqs). Sealed sections are physically `(t, seq)`-sorted, so
+//! the seqs are neither contiguous nor monotone and must travel with the
+//! rows for page-in to reproduce bit-identical answers. The flag bit
+//! keeps the two shapes mutually unreadable: feeding a segment file to a
+//! table decoder (or vice versa) is [`CodecError::WrongRecordType`],
+//! never a silent misparse. [`encode_segment`] / [`decode_segment`] are
+//! the public entry points; whole-repository export composes the same
+//! framing walker and row codecs.
+//!
 //! ## Version 1 (legacy, read-only)
 //!
 //! `magic | version=1 | tag | row_count u64 | rows` — no run sections, no
@@ -67,6 +82,9 @@ const TAG_TRAJECTORY: u8 = 1;
 const TAG_RSSI: u8 = 2;
 const TAG_FIX: u8 = 3;
 const TAG_PROXIMITY: u8 = 4;
+/// High bit of the tag byte: the file is a *segment* (rows + seqs per
+/// section), not a plain table.
+const SEQ_FLAG: u8 = 0x80;
 
 /// Fixed row widths (bytes) per record type. A `Loc` is 25 bytes for both
 /// kinds (partition payloads are padded), keeping every row fixed-width.
@@ -252,17 +270,89 @@ fn get_proximity(buf: &mut Bytes) -> Result<ProximityRecord, CodecError> {
     })
 }
 
+/// Fixed-width wire encoding for one record type — the capability the
+/// generic table and segment codecs are written against. `TAG` is the
+/// record-type byte in the file header, `ROW` the fixed row width.
+pub trait WireRecord: Copy + Send + Sync + 'static {
+    /// Record-type tag byte for this row type's files.
+    const TAG: u8;
+    /// Fixed encoded row width in bytes.
+    const ROW: usize;
+    /// Append exactly [`Self::ROW`] bytes for this row.
+    fn put_row(&self, buf: &mut BytesMut);
+    /// Read one row, checking the remaining byte budget.
+    fn get_row(buf: &mut Bytes) -> Result<Self, CodecError>;
+}
+
+impl WireRecord for TrajectorySample {
+    const TAG: u8 = TAG_TRAJECTORY;
+    const ROW: usize = TRAJECTORY_ROW;
+    fn put_row(&self, buf: &mut BytesMut) {
+        put_trajectory(self, buf)
+    }
+    fn get_row(buf: &mut Bytes) -> Result<Self, CodecError> {
+        get_trajectory(buf)
+    }
+}
+
+impl WireRecord for RssiMeasurement {
+    const TAG: u8 = TAG_RSSI;
+    const ROW: usize = RSSI_ROW;
+    fn put_row(&self, buf: &mut BytesMut) {
+        put_rssi(self, buf)
+    }
+    fn get_row(buf: &mut Bytes) -> Result<Self, CodecError> {
+        get_rssi(buf)
+    }
+}
+
+impl WireRecord for Fix {
+    const TAG: u8 = TAG_FIX;
+    const ROW: usize = FIX_ROW;
+    fn put_row(&self, buf: &mut BytesMut) {
+        put_fix(self, buf)
+    }
+    fn get_row(buf: &mut Bytes) -> Result<Self, CodecError> {
+        get_fix(buf)
+    }
+}
+
+impl WireRecord for ProximityRecord {
+    const TAG: u8 = TAG_PROXIMITY;
+    const ROW: usize = PROXIMITY_ROW;
+    fn put_row(&self, buf: &mut BytesMut) {
+        put_proximity(self, buf)
+    }
+    fn get_row(buf: &mut Bytes) -> Result<Self, CodecError> {
+        get_proximity(buf)
+    }
+}
+
+/// Write the fixed v2 header for `tag` into a buffer sized for
+/// `sections` sections of `payload` total payload bytes.
+fn v2_header(tag: u8, sections: usize, payload: usize) -> BytesMut {
+    let mut buf =
+        BytesMut::with_capacity(V2_HEADER + sections * SECTION_HEADER + payload + CHECKSUM_SIZE);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(tag);
+    buf.put_u32_le(sections as u32);
+    buf
+}
+
+/// Seal a framed body with its trailing FNV-1a checksum.
+fn v2_finish(mut buf: BytesMut) -> Bytes {
+    let checksum = fnv1a(buf.as_ref());
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
 /// Encode run sections in the v2 framing. The writer is total — it emits
 /// a canonical file for *any* input: empty sections are skipped, and
 /// sections are written in ascending run-id order with same-run sections
 /// concatenated (repository exporters already pass ascending unique ids,
 /// so this is a no-op rearrangement on the hot path).
-fn encode_runs<T>(
-    tag: u8,
-    row_size: usize,
-    sections: &[(RunId, &[T])],
-    put_row: impl Fn(&T, &mut BytesMut),
-) -> Bytes {
+fn encode_runs<T: WireRecord>(sections: &[(RunId, &[T])]) -> Bytes {
     let mut by_run: std::collections::BTreeMap<u32, Vec<&[T]>> = std::collections::BTreeMap::new();
     for (run, rows) in sections {
         if !rows.is_empty() {
@@ -273,25 +363,149 @@ fn encode_runs<T>(
         .values()
         .flat_map(|parts| parts.iter().map(|rows| rows.len()))
         .sum();
-    let mut buf = BytesMut::with_capacity(
-        V2_HEADER + by_run.len() * SECTION_HEADER + rows_total * row_size + CHECKSUM_SIZE,
-    );
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u8(tag);
-    buf.put_u32_le(by_run.len() as u32);
+    let mut buf = v2_header(T::TAG, by_run.len(), rows_total * T::ROW);
     for (run, parts) in by_run {
         buf.put_u32_le(run);
         buf.put_u64_le(parts.iter().map(|rows| rows.len() as u64).sum());
         for rows in parts {
             for r in rows {
-                put_row(r, &mut buf);
+                r.put_row(&mut buf);
             }
         }
     }
-    let checksum = fnv1a(buf.as_ref());
-    buf.put_u64_le(checksum);
-    buf.freeze()
+    v2_finish(buf)
+}
+
+/// Encode a table file from **already-encoded** row bytes — the splice
+/// path `export` uses to reuse spilled segment bytes without a typed
+/// decode/re-encode. Each chunk must hold a whole number of `T` rows;
+/// chunks are concatenated in the given order within their section.
+pub(crate) fn encode_runs_raw<T: WireRecord>(sections: &[(RunId, Vec<&[u8]>)]) -> Bytes {
+    let mut by_run: std::collections::BTreeMap<u32, Vec<&[u8]>> = std::collections::BTreeMap::new();
+    for (run, chunks) in sections {
+        for chunk in chunks {
+            debug_assert_eq!(chunk.len() % T::ROW, 0, "chunk must be whole rows");
+            if !chunk.is_empty() {
+                by_run.entry(run.0).or_default().push(chunk);
+            }
+        }
+    }
+    let bytes_total: usize = by_run.values().flatten().map(|c| c.len()).sum();
+    let mut buf = v2_header(T::TAG, by_run.len(), bytes_total);
+    for (run, chunks) in by_run {
+        buf.put_u32_le(run);
+        buf.put_u64_le(chunks.iter().map(|c| (c.len() / T::ROW) as u64).sum());
+        for chunk in chunks {
+            buf.put_slice(chunk);
+        }
+    }
+    v2_finish(buf)
+}
+
+/// One run section of a segment file: rows plus their per-table arrival
+/// stamps, parallel arrays in the stored `(t, seq)` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentSection<T> {
+    /// Run the rows belong to.
+    pub run: RunId,
+    /// Rows in stored order.
+    pub rows: Vec<T>,
+    /// Arrival stamp of each row, parallel to `rows`.
+    pub seqs: Vec<u64>,
+}
+
+/// Encode one sealed segment as a self-describing spill file: the v2
+/// envelope with the tag's segment bit set, each section carrying its
+/// rows followed by their seqs. Canonicalized like `encode_runs`
+/// (ascending run ids, same-run parts merged, empty parts dropped).
+///
+/// # Panics
+/// If any section's `rows` and `seqs` lengths differ.
+pub fn encode_segment<T: WireRecord>(sections: &[(RunId, &[T], &[u64])]) -> Bytes {
+    type Parts<'a, T> = Vec<(&'a [T], &'a [u64])>;
+    let mut by_run: std::collections::BTreeMap<u32, Parts<'_, T>> =
+        std::collections::BTreeMap::new();
+    for (run, rows, seqs) in sections {
+        assert_eq!(rows.len(), seqs.len(), "rows and seqs must be parallel");
+        if !rows.is_empty() {
+            by_run.entry(run.0).or_default().push((rows, seqs));
+        }
+    }
+    let rows_total: usize = by_run
+        .values()
+        .flat_map(|parts| parts.iter().map(|(rows, _)| rows.len()))
+        .sum();
+    let mut buf = v2_header(T::TAG | SEQ_FLAG, by_run.len(), rows_total * (T::ROW + 8));
+    for (run, parts) in by_run {
+        buf.put_u32_le(run);
+        buf.put_u64_le(parts.iter().map(|(rows, _)| rows.len() as u64).sum());
+        for (rows, _) in &parts {
+            for r in *rows {
+                r.put_row(&mut buf);
+            }
+        }
+        for (_, seqs) in &parts {
+            for &s in *seqs {
+                buf.put_u64_le(s);
+            }
+        }
+    }
+    v2_finish(buf)
+}
+
+/// Decode a segment file produced by [`encode_segment`]. Fails with
+/// [`CodecError::WrongRecordType`] on a plain table file (and table
+/// decoders fail the same way on segment files) — the two framings are
+/// mutually unreadable by construction.
+pub fn decode_segment<T: WireRecord>(data: Bytes) -> Result<Vec<SegmentSection<T>>, CodecError> {
+    walk_v2(T::TAG | SEQ_FLAG, data, |buf, run, count| {
+        let rows = read_rows(buf, count, T::ROW, &T::get_row)?;
+        let seqs = read_seqs(buf, count)?;
+        Ok((!rows.is_empty()).then_some(SegmentSection { run, rows, seqs }))
+    })
+}
+
+/// A segment section with rows left as raw bytes — zero-copy slices of
+/// the (checksum-verified) file, used to splice spilled rows straight
+/// into a table export without a typed round trip.
+#[derive(Debug, Clone)]
+pub(crate) struct RawSection {
+    pub run: RunId,
+    /// `seqs.len() × T::ROW` bytes of encoded rows in stored order.
+    pub rows: Bytes,
+    pub seqs: Vec<u64>,
+}
+
+/// Decode a segment file keeping row payloads as raw byte slices. The
+/// checksum is still verified before anything is returned; only the
+/// per-row field parse is skipped.
+pub(crate) fn decode_segment_raw<T: WireRecord>(
+    data: Bytes,
+) -> Result<Vec<RawSection>, CodecError> {
+    walk_v2(T::TAG | SEQ_FLAG, data, |buf, run, count| {
+        let needed = count
+            .checked_mul(T::ROW as u64)
+            .ok_or(CodecError::CountOverflow)?;
+        if count > usize::MAX as u64 {
+            return Err(CodecError::CountOverflow);
+        }
+        if needed > buf.remaining() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        let rows = buf.split_to(needed as usize);
+        let seqs = read_seqs(buf, count)?;
+        Ok((!seqs.is_empty()).then_some(RawSection { run, rows, seqs }))
+    })
+}
+
+/// Read one section's seq block (`count` little-endian u64s).
+fn read_seqs(buf: &mut Bytes, count: u64) -> Result<Vec<u64>, CodecError> {
+    read_rows(buf, count, 8, &|b: &mut Bytes| {
+        if b.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        Ok(b.get_u64_le())
+    })
 }
 
 /// Read one section's rows with the byte budget cross-checked up front:
@@ -319,15 +533,17 @@ fn read_rows<T>(
     Ok(out)
 }
 
-/// Decode a table file of either version into its run sections, ascending
-/// by run id. v1 files decode as one [`RunId::DEFAULT`] section (or none,
-/// when empty). Sections with zero rows are never produced.
-fn decode_runs<T>(
-    tag: u8,
-    row_size: usize,
+/// Walk the v2 envelope shared by table and segment files: validate
+/// magic/version/tag, split off the trailing checksum, hand each
+/// strictly-ascending run section's payload to `read` (which returns
+/// `None` for sections the caller drops), reject trailing bytes, and
+/// verify the checksum last — structural errors are more precise, and a
+/// file that parses but hashes wrong is plain corruption.
+fn walk_v2<S>(
+    expected_tag: u8,
     data: Bytes,
-    get_row: impl Fn(&mut Bytes) -> Result<T, CodecError>,
-) -> Result<Vec<(RunId, Vec<T>)>, CodecError> {
+    mut read: impl FnMut(&mut Bytes, RunId, u64) -> Result<Option<S>, CodecError>,
+) -> Result<Vec<S>, CodecError> {
     let mut buf = data.clone();
     if buf.remaining() < 6 {
         return Err(CodecError::Truncated);
@@ -338,74 +554,95 @@ fn decode_runs<T>(
         return Err(CodecError::BadMagic);
     }
     let version = buf.get_u8();
-    let got = buf.get_u8();
-    match version {
-        VERSION_V1 => {
-            if got != tag {
-                return Err(CodecError::WrongRecordType { expected: tag, got });
-            }
-            if buf.remaining() < 8 {
-                return Err(CodecError::Truncated);
-            }
-            let count = buf.get_u64_le();
-            let rows = read_rows(&mut buf, count, row_size, &get_row)?;
-            if buf.remaining() != 0 {
-                return Err(CodecError::TrailingBytes);
-            }
-            Ok(if rows.is_empty() {
-                Vec::new()
-            } else {
-                vec![(RunId::DEFAULT, rows)]
-            })
-        }
-        VERSION => {
-            if got != tag {
-                return Err(CodecError::WrongRecordType { expected: tag, got });
-            }
-            if data.remaining() < V2_HEADER + CHECKSUM_SIZE {
-                return Err(CodecError::Truncated);
-            }
-            let body_len = data.remaining() - CHECKSUM_SIZE;
-            let expected_checksum = data.slice(body_len..).get_u64_le();
-            let body = data.slice(..body_len);
-            let mut buf = body.clone();
-            buf.advance(6); // magic + version + tag, validated above
-            let section_count = buf.get_u32_le();
-            // Fast-fail: each section needs at least its header.
-            if u64::from(section_count) * SECTION_HEADER as u64 > buf.remaining() as u64 {
-                return Err(CodecError::Truncated);
-            }
-            let mut out: Vec<(RunId, Vec<T>)> = Vec::with_capacity(section_count as usize);
-            let mut prev: Option<u32> = None;
-            for _ in 0..section_count {
-                if buf.remaining() < SECTION_HEADER {
-                    return Err(CodecError::Truncated);
-                }
-                let run = buf.get_u32_le();
-                if let Some(p) = prev {
-                    if run <= p {
-                        return Err(CodecError::UnsortedRuns { prev: p, next: run });
-                    }
-                }
-                prev = Some(run);
-                let count = buf.get_u64_le();
-                let rows = read_rows(&mut buf, count, row_size, &get_row)?;
-                if !rows.is_empty() {
-                    out.push((RunId(run), rows));
-                }
-            }
-            if buf.remaining() != 0 {
-                return Err(CodecError::TrailingBytes);
-            }
-            // Verified last: structural errors (above) are more precise,
-            // and a file that parses but hashes wrong is plain corruption.
-            if fnv1a(body.as_ref()) != expected_checksum {
-                return Err(CodecError::ChecksumMismatch);
-            }
-            Ok(out)
-        }
-        v => Err(CodecError::UnsupportedVersion(v)),
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
     }
+    let got = buf.get_u8();
+    if got != expected_tag {
+        return Err(CodecError::WrongRecordType {
+            expected: expected_tag,
+            got,
+        });
+    }
+    if data.remaining() < V2_HEADER + CHECKSUM_SIZE {
+        return Err(CodecError::Truncated);
+    }
+    let body_len = data.remaining() - CHECKSUM_SIZE;
+    let expected_checksum = data.slice(body_len..).get_u64_le();
+    let body = data.slice(..body_len);
+    let mut buf = body.clone();
+    buf.advance(6); // magic + version + tag, validated above
+    let section_count = buf.get_u32_le();
+    // Fast-fail: each section needs at least its header.
+    if u64::from(section_count) * SECTION_HEADER as u64 > buf.remaining() as u64 {
+        return Err(CodecError::Truncated);
+    }
+    let mut out: Vec<S> = Vec::with_capacity(section_count as usize);
+    let mut prev: Option<u32> = None;
+    for _ in 0..section_count {
+        if buf.remaining() < SECTION_HEADER {
+            return Err(CodecError::Truncated);
+        }
+        let run = buf.get_u32_le();
+        if let Some(p) = prev {
+            if run <= p {
+                return Err(CodecError::UnsortedRuns { prev: p, next: run });
+            }
+        }
+        prev = Some(run);
+        let count = buf.get_u64_le();
+        if let Some(section) = read(&mut buf, RunId(run), count)? {
+            out.push(section);
+        }
+    }
+    if buf.remaining() != 0 {
+        return Err(CodecError::TrailingBytes);
+    }
+    if fnv1a(body.as_ref()) != expected_checksum {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(out)
+}
+
+/// Decode a table file of either version into its run sections, ascending
+/// by run id. v1 files decode as one [`RunId::DEFAULT`] section (or none,
+/// when empty). Sections with zero rows are never produced.
+fn decode_runs<T: WireRecord>(data: Bytes) -> Result<Vec<(RunId, Vec<T>)>, CodecError> {
+    let mut buf = data.clone();
+    if buf.remaining() < 6 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if buf.get_u8() == VERSION_V1 {
+        let got = buf.get_u8();
+        if got != T::TAG {
+            return Err(CodecError::WrongRecordType {
+                expected: T::TAG,
+                got,
+            });
+        }
+        if buf.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let count = buf.get_u64_le();
+        let rows = read_rows(&mut buf, count, T::ROW, &T::get_row)?;
+        if buf.remaining() != 0 {
+            return Err(CodecError::TrailingBytes);
+        }
+        return Ok(if rows.is_empty() {
+            Vec::new()
+        } else {
+            vec![(RunId::DEFAULT, rows)]
+        });
+    }
+    walk_v2(T::TAG, data, |buf, run, count| {
+        let rows = read_rows(buf, count, T::ROW, &T::get_row)?;
+        Ok((!rows.is_empty()).then_some((run, rows)))
+    })
 }
 
 /// Encode trajectory samples as one [`RunId::DEFAULT`] section.
@@ -416,7 +653,7 @@ pub fn encode_trajectories(samples: &[TrajectorySample]) -> Bytes {
 /// Encode per-run trajectory sections (canonicalized: ascending run
 /// ids, same-run sections merged, empty sections dropped).
 pub fn encode_trajectories_runs(sections: &[(RunId, &[TrajectorySample])]) -> Bytes {
-    encode_runs(TAG_TRAJECTORY, TRAJECTORY_ROW, sections, put_trajectory)
+    encode_runs(sections)
 }
 
 /// Decode trajectory samples, all runs concatenated in section order.
@@ -428,7 +665,7 @@ pub fn decode_trajectories(data: Bytes) -> Result<Vec<TrajectorySample>, CodecEr
 pub fn decode_trajectories_runs(
     data: Bytes,
 ) -> Result<Vec<(RunId, Vec<TrajectorySample>)>, CodecError> {
-    decode_runs(TAG_TRAJECTORY, TRAJECTORY_ROW, data, get_trajectory)
+    decode_runs(data)
 }
 
 /// Encode RSSI measurements as one [`RunId::DEFAULT`] section.
@@ -439,7 +676,7 @@ pub fn encode_rssi(ms: &[RssiMeasurement]) -> Bytes {
 /// Encode per-run RSSI sections (canonicalized; see
 /// [`encode_trajectories_runs`]).
 pub fn encode_rssi_runs(sections: &[(RunId, &[RssiMeasurement])]) -> Bytes {
-    encode_runs(TAG_RSSI, RSSI_ROW, sections, put_rssi)
+    encode_runs(sections)
 }
 
 /// Decode RSSI measurements, all runs concatenated in section order.
@@ -449,7 +686,7 @@ pub fn decode_rssi(data: Bytes) -> Result<Vec<RssiMeasurement>, CodecError> {
 
 /// Decode per-run RSSI sections (v1 files land in run 0).
 pub fn decode_rssi_runs(data: Bytes) -> Result<Vec<(RunId, Vec<RssiMeasurement>)>, CodecError> {
-    decode_runs(TAG_RSSI, RSSI_ROW, data, get_rssi)
+    decode_runs(data)
 }
 
 /// Encode deterministic fixes as one [`RunId::DEFAULT`] section.
@@ -460,7 +697,7 @@ pub fn encode_fixes(fs: &[Fix]) -> Bytes {
 /// Encode per-run fix sections (canonicalized; see
 /// [`encode_trajectories_runs`]).
 pub fn encode_fixes_runs(sections: &[(RunId, &[Fix])]) -> Bytes {
-    encode_runs(TAG_FIX, FIX_ROW, sections, put_fix)
+    encode_runs(sections)
 }
 
 /// Decode deterministic fixes, all runs concatenated in section order.
@@ -470,7 +707,7 @@ pub fn decode_fixes(data: Bytes) -> Result<Vec<Fix>, CodecError> {
 
 /// Decode per-run fix sections (v1 files land in run 0).
 pub fn decode_fixes_runs(data: Bytes) -> Result<Vec<(RunId, Vec<Fix>)>, CodecError> {
-    decode_runs(TAG_FIX, FIX_ROW, data, get_fix)
+    decode_runs(data)
 }
 
 /// Encode proximity records as one [`RunId::DEFAULT`] section.
@@ -481,7 +718,7 @@ pub fn encode_proximity(rs: &[ProximityRecord]) -> Bytes {
 /// Encode per-run proximity sections (canonicalized; see
 /// [`encode_trajectories_runs`]).
 pub fn encode_proximity_runs(sections: &[(RunId, &[ProximityRecord])]) -> Bytes {
-    encode_runs(TAG_PROXIMITY, PROXIMITY_ROW, sections, put_proximity)
+    encode_runs(sections)
 }
 
 /// Decode proximity records, all runs concatenated in section order.
@@ -493,7 +730,7 @@ pub fn decode_proximity(data: Bytes) -> Result<Vec<ProximityRecord>, CodecError>
 pub fn decode_proximity_runs(
     data: Bytes,
 ) -> Result<Vec<(RunId, Vec<ProximityRecord>)>, CodecError> {
-    decode_runs(TAG_PROXIMITY, PROXIMITY_ROW, data, get_proximity)
+    decode_runs(data)
 }
 
 fn flatten<T>(sections: Vec<(RunId, Vec<T>)>) -> Vec<T> {
@@ -833,6 +1070,133 @@ mod tests {
                 }
             );
         }
+    }
+
+    #[test]
+    fn segment_round_trip_preserves_rows_and_seqs() {
+        let rows = sample_trajectories();
+        let seqs_a = [7u64, 3];
+        let seqs_b = [11u64, 2];
+        let sections = [
+            (RunId(1), rows.as_slice(), seqs_a.as_slice()),
+            (RunId(4), rows.as_slice(), seqs_b.as_slice()),
+        ];
+        let decoded = decode_segment::<TrajectorySample>(encode_segment(&sections)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].run, RunId(1));
+        assert_eq!(decoded[0].rows, rows);
+        assert_eq!(decoded[0].seqs, seqs_a);
+        assert_eq!(decoded[1].run, RunId(4));
+        assert_eq!(decoded[1].seqs, seqs_b);
+    }
+
+    #[test]
+    fn segment_and_table_files_are_mutually_unreadable() {
+        let rows = sample_trajectories();
+        let seqs = [0u64, 1];
+        let seg = encode_segment(&[(RunId(0), rows.as_slice(), seqs.as_slice())]);
+        match decode_trajectories(seg.clone()).unwrap_err() {
+            CodecError::WrongRecordType { expected, got } => {
+                assert_eq!(expected, TAG_TRAJECTORY);
+                assert_eq!(got, TAG_TRAJECTORY | SEQ_FLAG);
+            }
+            e => panic!("wrong error {e:?}"),
+        }
+        let table = encode_trajectories(&rows);
+        match decode_segment::<TrajectorySample>(table).unwrap_err() {
+            CodecError::WrongRecordType { expected, got } => {
+                assert_eq!(expected, TAG_TRAJECTORY | SEQ_FLAG);
+                assert_eq!(got, TAG_TRAJECTORY);
+            }
+            e => panic!("wrong error {e:?}"),
+        }
+        // Cross-table segment mismatch is caught the same way.
+        match decode_segment::<RssiMeasurement>(seg).unwrap_err() {
+            CodecError::WrongRecordType { expected, got } => {
+                assert_eq!(expected, TAG_RSSI | SEQ_FLAG);
+                assert_eq!(got, TAG_TRAJECTORY | SEQ_FLAG);
+            }
+            e => panic!("wrong error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn segment_truncation_and_corruption_detected() {
+        let rows = sample_trajectories();
+        let seqs = [5u64, 9];
+        let seg = encode_segment(&[(RunId(2), rows.as_slice(), seqs.as_slice())]);
+        for cut in [seg.len() - 1, seg.len() - 9, V2_HEADER + 3, 5] {
+            assert!(
+                decode_segment::<TrajectorySample>(seg.slice(..cut)).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+        // Flip a seq byte: the structure still parses, the checksum does
+        // not — and the raw decoder fails identically.
+        let mut bytes = seg.as_ref().to_vec();
+        let seq_off = V2_HEADER + SECTION_HEADER + 2 * TRAJECTORY_ROW + 3;
+        bytes[seq_off] ^= 0x10;
+        assert_eq!(
+            decode_segment::<TrajectorySample>(Bytes::from(bytes.clone())).unwrap_err(),
+            CodecError::ChecksumMismatch
+        );
+        assert_eq!(
+            decode_segment_raw::<TrajectorySample>(Bytes::from(bytes)).unwrap_err(),
+            CodecError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn raw_segment_decode_matches_typed_decode() {
+        let rows = sample_trajectories();
+        let seqs = [1u64, 0];
+        let seg = encode_segment(&[
+            (RunId(0), rows.as_slice(), seqs.as_slice()),
+            (RunId(6), rows.as_slice(), seqs.as_slice()),
+        ]);
+        let typed = decode_segment::<TrajectorySample>(seg.clone()).unwrap();
+        let raw = decode_segment_raw::<TrajectorySample>(seg).unwrap();
+        assert_eq!(typed.len(), raw.len());
+        for (t, r) in typed.iter().zip(&raw) {
+            assert_eq!(t.run, r.run);
+            assert_eq!(t.seqs, r.seqs);
+            // Re-decoding the raw row bytes yields the typed rows.
+            let mut buf = r.rows.clone();
+            let redecoded: Vec<TrajectorySample> = (0..t.rows.len())
+                .map(|_| TrajectorySample::get_row(&mut buf).unwrap())
+                .collect();
+            assert_eq!(redecoded, t.rows);
+            assert_eq!(buf.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn raw_splice_reproduces_typed_table_encoding() {
+        let rows = sample_trajectories();
+        // Encode each row separately, then splice the raw chunks back
+        // into a table file: byte-identical to the typed encoder.
+        let mut encoded = BytesMut::new();
+        for r in &rows {
+            r.put_row(&mut encoded);
+        }
+        let encoded = encoded.freeze();
+        let chunks: Vec<&[u8]> = (0..rows.len())
+            .map(|i| &encoded[i * TRAJECTORY_ROW..(i + 1) * TRAJECTORY_ROW])
+            .collect();
+        let spliced = encode_runs_raw::<TrajectorySample>(&[(RunId(3), chunks)]);
+        let typed = encode_trajectories_runs(&[(RunId(3), rows.as_slice())]);
+        assert_eq!(spliced, typed);
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let seg = encode_segment::<TrajectorySample>(&[]);
+        assert!(decode_segment::<TrajectorySample>(seg.clone())
+            .unwrap()
+            .is_empty());
+        assert!(decode_segment_raw::<TrajectorySample>(seg)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

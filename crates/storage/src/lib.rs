@@ -115,11 +115,12 @@ pub mod table;
 
 pub use codec::{
     decode_fixes, decode_fixes_runs, decode_proximity, decode_proximity_runs, decode_rssi,
-    decode_rssi_runs, decode_trajectories, decode_trajectories_runs, encode_fixes,
+    decode_rssi_runs, decode_segment, decode_trajectories, decode_trajectories_runs, encode_fixes,
     encode_fixes_runs, encode_proximity, encode_proximity_runs, encode_rssi, encode_rssi_runs,
-    encode_trajectories, encode_trajectories_runs, CodecError,
+    encode_segment, encode_trajectories, encode_trajectories_runs, CodecError, SegmentSection,
+    WireRecord,
 };
-pub use segment::{SegmentConfig, SegmentStats, SegmentedRepository};
+pub use segment::{SegmentConfig, SegmentStats, SegmentedRepository, SpillConfig, SpillError};
 pub use sharded::{ShardedRepository, DEFAULT_SHARDS};
 pub use stream::{downsample, merge_by_time, record_rate, Timed, TumblingWindow};
 pub use table::{FixTable, ProximityTable, RowId, RssiTable, TrajectoryTable};
@@ -431,13 +432,16 @@ impl RepositoryExport {
     ];
 
     /// Write the four table buffers into `dir` (created if missing) under
-    /// [`RepositoryExport::FILE_NAMES`].
+    /// [`RepositoryExport::FILE_NAMES`]. Each file is written
+    /// crash-atomically (temp file in `dir`, then rename): a crash
+    /// mid-save can leave stale tables or `.tmp` orphans, but never a
+    /// torn table file under a final name.
     pub fn write_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let tables: [&bytes::Bytes; 4] =
             [&self.trajectories, &self.rssi, &self.fixes, &self.proximity];
         for (name, data) in Self::FILE_NAMES.iter().zip(tables) {
-            std::fs::write(dir.join(name), data.as_ref())?;
+            segment::write_atomic(&dir.join(name), data.as_ref())?;
         }
         Ok(())
     }
@@ -459,7 +463,7 @@ impl RepositoryExport {
 
 /// The storage-backend choice, for configuration surfaces (see the
 /// crate-level "Choosing a backend" docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum StorageBackend {
     /// One [`Repository`]: four tables, one `RwLock` each.
     #[default]
@@ -467,8 +471,20 @@ pub enum StorageBackend {
     /// A [`ShardedRepository`] with `shards` partitions per table.
     Sharded { shards: usize },
     /// A [`SegmentedRepository`]: immutable segments, snapshot-pinned
-    /// lock-free reads, background sealer/compactor.
-    Segmented,
+    /// lock-free reads, background sealer/compactor. With a
+    /// [`SpillConfig`], sealed segments past the memory budget are
+    /// spilled to disk and paged back on query; `None` keeps the store
+    /// all-resident (and still honors the `VITA_SPILL_*` environment —
+    /// see [`SpillConfig::from_env`]).
+    Segmented { spill: Option<SpillConfig> },
+}
+
+impl StorageBackend {
+    /// The all-resident segmented backend — [`StorageBackend::Segmented`]
+    /// without a spill tier.
+    pub fn segmented() -> Self {
+        StorageBackend::Segmented { spill: None }
+    }
 }
 
 /// Runtime dispatch between the three [`ProductSink`] backends. Queries
@@ -490,7 +506,12 @@ impl AnyRepository {
             StorageBackend::Sharded { shards } => {
                 AnyRepository::Sharded(ShardedRepository::new(shards))
             }
-            StorageBackend::Segmented => AnyRepository::Segmented(SegmentedRepository::new()),
+            StorageBackend::Segmented { spill: None } => {
+                AnyRepository::Segmented(SegmentedRepository::new())
+            }
+            StorageBackend::Segmented { spill: Some(cfg) } => AnyRepository::Segmented(
+                SegmentedRepository::with_spill(SegmentConfig::default(), cfg),
+            ),
         }
     }
 
@@ -501,7 +522,9 @@ impl AnyRepository {
             AnyRepository::Sharded(s) => StorageBackend::Sharded {
                 shards: s.shard_count(),
             },
-            AnyRepository::Segmented(_) => StorageBackend::Segmented,
+            AnyRepository::Segmented(s) => StorageBackend::Segmented {
+                spill: s.spill_config().cloned(),
+            },
         }
     }
 
@@ -740,9 +763,12 @@ impl AnyRepository {
             StorageBackend::Sharded { shards } => {
                 AnyRepository::Sharded(ShardedRepository::import(export, shards)?)
             }
-            StorageBackend::Segmented => {
+            StorageBackend::Segmented { spill: None } => {
                 AnyRepository::Segmented(SegmentedRepository::import(export)?)
             }
+            StorageBackend::Segmented { spill } => AnyRepository::Segmented(
+                SegmentedRepository::import_with(export, SegmentConfig::default(), spill)?,
+            ),
         })
     }
 }

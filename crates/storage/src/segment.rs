@@ -31,16 +31,39 @@
 //! the seqs no matter how sealing and compaction have rearranged the
 //! physical rows. The cross-backend parity suites hold all three backends
 //! to that standard.
+//!
+//! ## Tiered storage (spill)
+//!
+//! With a [`SpillConfig`], sealed segments become a two-tier store:
+//! `Resident` (decoded rows + indexes in memory) or `Spilled` (a
+//! self-describing segment file on disk, written atomically via temp
+//! file + rename). Every segment — spilled or not — keeps per-section
+//! **meta** (run, row count, time bounds, floor set) plus its seq range,
+//! so query planning (run/time/floor pruning) never touches disk; only a
+//! query that actually needs a spilled section's rows pages the segment
+//! back in, through a per-table capacity-bounded clock cache of decoded
+//! segments. `memory_budget_rows` bounds decoded sealed rows held by the
+//! repository (segment lists + caches together); maintenance evicts
+//! coldest-first by last-pinned tick, and a seal/compact output that
+//! cannot fit is spilled directly instead of being published resident.
+//! Writers that outrun the spiller stall on the
+//! [`SegmentedRepository::spill_pending_rows`] high-water mark and pay
+//! the eviction IO themselves — explicit backpressure instead of
+//! unbounded growth. Readers still pin snapshots lock-free; page-in
+//! rebuilds sections deterministically, so answers stay bit-identical
+//! to the all-resident backend.
 
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bytes::{Bytes, BytesMut};
 use parking_lot::{Mutex, RwLock};
 use vita_geometry::{Aabb, GridIndex, Point};
 use vita_indoor::{DeviceId, FloorId, LocKind, ObjectId, RunId, Timestamp};
@@ -49,8 +72,9 @@ use vita_positioning::{Fix, ProximityRecord};
 use vita_rssi::RssiMeasurement;
 
 use crate::codec::{
-    decode_fixes_runs, decode_proximity_runs, decode_rssi_runs, decode_trajectories_runs,
-    encode_fixes_runs, encode_proximity_runs, encode_rssi_runs, encode_trajectories_runs,
+    decode_fixes_runs, decode_proximity_runs, decode_rssi_runs, decode_segment, decode_segment_raw,
+    decode_trajectories_runs, encode_fixes_runs, encode_proximity_runs, encode_rssi_runs,
+    encode_runs_raw, encode_segment, encode_trajectories_runs, WireRecord,
 };
 use crate::{
     borrow_sections, run_sections, CodecError, ProductBatch, ProductSink, RepositoryExport,
@@ -67,19 +91,70 @@ type Seq = u64;
 
 static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Entries a thread keeps before it evicts its pin cache wholesale. Small:
-/// a cached entry keeps a whole table snapshot alive, and four cells per
-/// repository means even a test spawning many repositories stays bounded.
+/// Entries a thread keeps before it evicts the least-recently-pinned
+/// one. Small: a cached entry keeps a whole table snapshot alive, and
+/// four cells per repository means even a test spawning many
+/// repositories stays bounded.
 const PIN_CACHE_CAP: usize = 64;
 
-/// A pin-cache entry: the cell version seen and the snapshot pinned at it.
-type PinEntry = (u64, Arc<dyn Any + Send + Sync>);
+/// A pin-cache entry: the cell version seen, the tick of the last pin
+/// through this entry, and the snapshot pinned.
+struct PinEntry {
+    version: u64,
+    used: u64,
+    snap: Arc<dyn Any + Send + Sync>,
+}
+
+/// Per-thread pin cache with least-recently-pinned eviction. A full
+/// cache evicts exactly one cold entry per new cell — a workload
+/// rotating over more than [`PIN_CACHE_CAP`] live tables keeps its hot
+/// set cached instead of losing everything to a wholesale clear.
+#[derive(Default)]
+struct PinCache {
+    map: HashMap<u64, PinEntry>,
+    tick: u64,
+}
+
+impl PinCache {
+    fn get(&mut self, id: u64, version: u64) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(&id)?;
+        if entry.version != version {
+            return None;
+        }
+        entry.used = tick;
+        Some(Arc::clone(&entry.snap))
+    }
+
+    fn insert(&mut self, id: u64, version: u64, snap: Arc<dyn Any + Send + Sync>) {
+        self.tick += 1;
+        if self.map.len() >= PIN_CACHE_CAP && !self.map.contains_key(&id) {
+            if let Some(&coldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(id, _)| id)
+            {
+                self.map.remove(&coldest);
+            }
+        }
+        self.map.insert(
+            id,
+            PinEntry {
+                version,
+                used: self.tick,
+                snap,
+            },
+        );
+    }
+}
 
 thread_local! {
     /// Per-thread pin cache: cell id → (version seen, pinned snapshot).
     /// Keyed by a globally unique cell id, so a dropped repository's stale
     /// entries can never alias a new cell.
-    static PIN_CACHE: RefCell<HashMap<u64, PinEntry>> = RefCell::new(HashMap::new());
+    static PIN_CACHE: RefCell<PinCache> = RefCell::new(PinCache::default());
 }
 
 /// Atomically published `Arc<T>` with an epoch counter.
@@ -113,11 +188,7 @@ impl<T: Send + Sync + 'static> SnapshotCell<T> {
     /// what makes reader-side prefix-consistency assertions sound.
     fn pin(&self) -> Arc<T> {
         let version = self.version.load(Ordering::Acquire);
-        let hit = PIN_CACHE.with(|c| {
-            c.borrow()
-                .get(&self.id)
-                .and_then(|(v, arc)| (*v == version).then(|| Arc::clone(arc)))
-        });
+        let hit = PIN_CACHE.with(|c| c.borrow_mut().get(self.id, version));
         if let Some(any) = hit {
             if let Ok(arc) = any.downcast::<T>() {
                 return arc;
@@ -129,13 +200,10 @@ impl<T: Send + Sync + 'static> SnapshotCell<T> {
         // moves forward, so per-thread monotonicity holds.
         let fresh = Arc::clone(&self.slot.read());
         PIN_CACHE.with(|c| {
-            let mut cache = c.borrow_mut();
-            if cache.len() >= PIN_CACHE_CAP && !cache.contains_key(&self.id) {
-                cache.clear();
-            }
-            cache.insert(
+            c.borrow_mut().insert(
                 self.id,
-                (version, Arc::clone(&fresh) as Arc<dyn Any + Send + Sync>),
+                version,
+                Arc::clone(&fresh) as Arc<dyn Any + Send + Sync>,
             );
         });
         fresh
@@ -161,7 +229,9 @@ impl<T: Send + Sync + 'static> SnapshotCell<T> {
 // ---------------------------------------------------------------------------
 
 /// Field access the generic segmented table needs from a product row.
-trait SegmentRow: Copy + Send + Sync + 'static {
+/// [`WireRecord`] rides along so any table can spill its sealed segments
+/// through the segment codec.
+trait SegmentRow: WireRecord {
     fn time(&self) -> Timestamp;
     fn object(&self) -> Option<ObjectId>;
     fn device(&self) -> Option<DeviceId>;
@@ -383,13 +453,245 @@ fn build_spatial_grids<R: SegmentRow>(rows: &[R]) -> HashMap<FloorId, GridIndex>
     spatial
 }
 
+// ---------------------------------------------------------------------------
+// Spill tier: config, errors, segment state
+// ---------------------------------------------------------------------------
+
+/// Spill-tier configuration for the segmented backend. `None` spill on
+/// [`crate::StorageBackend::Segmented`] keeps today's all-resident
+/// behavior; with a config, sealed segments past the memory budget are
+/// evicted to `dir` and paged back on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillConfig {
+    /// Directory for segment files. Each repository instance creates a
+    /// unique subdirectory under it (removed on drop), so concurrent
+    /// repositories can share a `dir`.
+    pub dir: PathBuf,
+    /// Decoded sealed rows the repository may hold in memory — segment
+    /// lists and page-in caches together. Unsealed (head) segments are
+    /// always resident on top of this.
+    pub memory_budget_rows: usize,
+    /// Per-table capacity (in segments) of the page-in clock cache.
+    pub cache_segments: usize,
+}
+
+impl SpillConfig {
+    /// A spill config with the default budget and cache sizing.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SpillConfig {
+            dir: dir.into(),
+            memory_budget_rows: 1 << 20,
+            cache_segments: 8,
+        }
+    }
+
+    /// Spill config from the environment, for running existing suites
+    /// against the spill tier without touching their code:
+    /// `VITA_SPILL_DIR` (required), `VITA_SPILL_BUDGET_ROWS`,
+    /// `VITA_SPILL_CACHE_SEGMENTS`. Consulted by
+    /// [`SegmentedRepository::new`] / `with_config`; explicit
+    /// [`SegmentedRepository::with_spill`] ignores the environment.
+    pub fn from_env() -> Option<SpillConfig> {
+        let dir = std::env::var_os("VITA_SPILL_DIR")?;
+        let mut cfg = SpillConfig::new(PathBuf::from(dir));
+        if let Some(n) = std::env::var("VITA_SPILL_BUDGET_ROWS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.memory_budget_rows = n;
+        }
+        if let Some(n) = std::env::var("VITA_SPILL_CACHE_SEGMENTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.cache_segments = n;
+        }
+        Some(cfg)
+    }
+}
+
+/// Why a spill-tier operation failed. Queries that page in a spilled
+/// segment surface this through their `try_` variants; the infallible
+/// query methods panic on it (a corrupt or unreadable spill file is an
+/// operational failure, never silently wrong rows).
+#[derive(Debug)]
+pub enum SpillError {
+    /// Reading or writing a segment file failed.
+    Io(std::io::Error),
+    /// A segment file failed validation on page-in (truncated, bit-flipped,
+    /// or not a segment file at all).
+    Codec(CodecError),
+}
+
+impl fmt::Display for SpillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpillError::Io(e) => write!(f, "spill io: {e}"),
+            SpillError::Codec(e) => write!(f, "spill file corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpillError::Io(e) => Some(e),
+            SpillError::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for SpillError {
+    fn from(e: std::io::Error) -> Self {
+        SpillError::Io(e)
+    }
+}
+
+impl From<CodecError> for SpillError {
+    fn from(e: CodecError) -> Self {
+        SpillError::Codec(e)
+    }
+}
+
+/// Write `bytes` to `path` crash-atomically: a temp file in the same
+/// directory, then rename. A crash mid-write leaves a `.tmp` orphan,
+/// never a torn file under the final name.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("vita.tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+static NEXT_SEGMENT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Planning metadata for one section, retained on the segment whether its
+/// rows are resident or spilled — run/time/floor pruning never does IO.
+#[derive(Debug, Clone)]
+struct SectionMeta {
+    run: RunId,
+    rows: usize,
+    min_t: Timestamp,
+    max_t: Timestamp,
+    /// Floors of point-located rows, sorted. `None` on tables that never
+    /// answer spatial queries (no pruning possible or needed).
+    floors: Option<Vec<FloorId>>,
+}
+
+impl SectionMeta {
+    fn of<R: SegmentRow>(sec: &Section<R>, track_floors: bool) -> Self {
+        let floors = track_floors.then(|| {
+            let mut floors: Vec<FloorId> = sec
+                .rows
+                .iter()
+                .filter_map(|r| r.floor_point().map(|(f, _)| f))
+                .collect();
+            floors.sort_unstable();
+            floors.dedup();
+            floors
+        });
+        SectionMeta {
+            run: sec.run,
+            rows: sec.rows.len(),
+            min_t: sec.min_t,
+            max_t: sec.max_t,
+            floors,
+        }
+    }
+}
+
+/// Where a segment's rows live.
+enum SegmentState<R> {
+    /// Decoded rows (and indexes) in memory.
+    Resident(Vec<Section<R>>),
+    /// Rows in a segment file; meta stays on the [`Segment`].
+    Spilled { path: PathBuf },
+}
+
 /// An immutable group of per-run sections. Unsealed segments hold exactly
-/// one section (the accepted batch); sealed segments hold one section per
-/// run, each indexed.
+/// one section (the accepted batch) and are always resident; sealed
+/// segments hold one section per run, each indexed, and may be spilled.
+/// The `id` is stable across the resident → spilled republish, so cache
+/// entries and spill files stay keyed to the same logical segment.
 struct Segment<R> {
-    sections: Vec<Section<R>>,
+    id: u64,
     len: usize,
     sealed: bool,
+    /// One entry per section, in section order (ascending run for sealed
+    /// segments — the segment-file section order).
+    meta: Vec<SectionMeta>,
+    /// `(min, max)` seq over all rows; `(0, 0)` for an empty segment.
+    seq_range: (Seq, Seq),
+    /// Tick of the last query that touched this segment; the spiller
+    /// evicts coldest-first. Monotone ticks come from the repository's
+    /// touch counter.
+    last_touch: AtomicU64,
+    state: SegmentState<R>,
+}
+
+impl<R: SegmentRow> Segment<R> {
+    fn resident(sections: Vec<Section<R>>, sealed: bool, track_floors: bool) -> Self {
+        let len = sections.iter().map(|s| s.rows.len()).sum();
+        let meta = sections
+            .iter()
+            .map(|s| SectionMeta::of(s, track_floors))
+            .collect();
+        let seqs = sections.iter().flat_map(|s| s.seqs.iter().copied());
+        let seq_range = seqs
+            .clone()
+            .min()
+            .map_or((0, 0), |min| (min, seqs.max().expect("nonempty")));
+        Segment {
+            id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
+            len,
+            sealed,
+            meta,
+            seq_range,
+            last_touch: AtomicU64::new(0),
+            state: SegmentState::Resident(sections),
+        }
+    }
+
+    /// The spilled twin published in place of a resident segment: same
+    /// id, meta, and heat — only the rows moved to disk.
+    fn spilled_twin(&self, path: PathBuf) -> Self {
+        debug_assert!(self.sealed, "only sealed segments spill");
+        Segment {
+            id: self.id,
+            len: self.len,
+            sealed: true,
+            meta: self.meta.clone(),
+            seq_range: self.seq_range,
+            last_touch: AtomicU64::new(self.last_touch.load(Ordering::Relaxed)),
+            state: SegmentState::Spilled { path },
+        }
+    }
+
+    fn resident_sections(&self) -> Option<&[Section<R>]> {
+        match &self.state {
+            SegmentState::Resident(s) => Some(s),
+            SegmentState::Spilled { .. } => None,
+        }
+    }
+
+    fn is_spilled(&self) -> bool {
+        matches!(self.state, SegmentState::Spilled { .. })
+    }
+
+    fn spill_path(&self) -> Option<&Path> {
+        match &self.state {
+            SegmentState::Spilled { path } => Some(path),
+            SegmentState::Resident(_) => None,
+        }
+    }
+}
+
+/// The decoded rows of one spilled segment — what the page-in cache
+/// holds. Sections are rebuilt deterministically from the file
+/// (`(t, seq)` order is stored, indexes are a function of it), so a
+/// paged-in segment answers bit-identically to its resident original.
+struct SegmentData<R> {
+    sections: Vec<Section<R>>,
 }
 
 /// The frozen state a reader pins: the table's current segment list.
@@ -407,19 +709,15 @@ impl<R> Default for TableSnapshot<R> {
     }
 }
 
-/// Merge segments into one sealed segment: rows regrouped into one section
-/// per run (wire-format shape), every section indexed. Segment list order
-/// is seq order, so per-run concatenation preserves arrival order.
-fn build_sealed<R: SegmentRow>(consumed: &[Arc<Segment<R>>], build_spatial: bool) -> Segment<R> {
+/// Merge sections (in segment-list order — seq order per run) into one
+/// sealed segment's sections: rows regrouped into one section per run
+/// (wire-format shape), every section indexed.
+fn build_sealed<R: SegmentRow>(sections: Vec<&Section<R>>, build_spatial: bool) -> Vec<Section<R>> {
     let mut per_run: BTreeMap<RunId, Vec<&Section<R>>> = BTreeMap::new();
-    let mut len = 0usize;
-    for seg in consumed {
-        len += seg.len;
-        for sec in &seg.sections {
-            per_run.entry(sec.run).or_default().push(sec);
-        }
+    for sec in sections {
+        per_run.entry(sec.run).or_default().push(sec);
     }
-    let sections = per_run
+    per_run
         .into_iter()
         .map(|(run, parts)| {
             if parts.iter().all(|p| p.index.is_some()) {
@@ -439,12 +737,7 @@ fn build_sealed<R: SegmentRow>(consumed: &[Arc<Segment<R>>], build_spatial: bool
                 Section::sealed(run, rows, seqs, build_spatial)
             }
         })
-        .collect();
-    Segment {
-        sections,
-        len,
-        sealed: true,
-    }
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -452,315 +745,335 @@ fn build_sealed<R: SegmentRow>(consumed: &[Arc<Segment<R>>], build_spatial: bool
 // ---------------------------------------------------------------------------
 
 impl<R: SegmentRow> TableSnapshot<R> {
-    /// Sections belonging to `scope`, across all segments. Sections are
-    /// single-run, so run scoping is section selection — no per-row
-    /// filtering anywhere on the read path.
-    fn scoped_sections(&self, scope: RunScope) -> impl Iterator<Item = &Section<R>> {
-        let run = scope.run();
-        self.segments
-            .iter()
-            .flat_map(|seg| seg.sections.iter())
-            .filter(move |sec| run.is_none_or(|r| sec.run == r))
-    }
-
+    /// Row count under `scope`, answered from per-section meta — no row
+    /// access, so it never pages anything in.
     fn len(&self, scope: RunScope) -> usize {
         match scope.run() {
             None => self.len,
-            Some(_) => self.scoped_sections(scope).map(|s| s.rows.len()).sum(),
+            Some(r) => self
+                .segments
+                .iter()
+                .flat_map(|seg| seg.meta.iter())
+                .filter(|m| m.run == r)
+                .map(|m| m.rows)
+                .sum(),
         }
     }
 
     fn run_ids(&self) -> Vec<RunId> {
-        let mut runs: Vec<RunId> = self.scoped_sections(RunScope::All).map(|s| s.run).collect();
+        let mut runs: Vec<RunId> = self
+            .segments
+            .iter()
+            .flat_map(|seg| seg.meta.iter())
+            .map(|m| m.run)
+            .collect();
         runs.sort_unstable();
         runs.dedup();
         runs
     }
-
-    /// All rows under `scope` in arrival (seq) order — exactly the single
-    /// repository's insertion order.
-    fn scan(&self, scope: RunScope) -> Vec<R> {
-        let mut out: Vec<(Seq, R)> = Vec::with_capacity(self.len(scope));
-        for sec in self.scoped_sections(scope) {
-            out.extend(sec.seqs.iter().copied().zip(sec.rows.iter().copied()));
-        }
-        out.sort_unstable_by_key(|(s, _)| *s);
-        out.into_iter().map(|(_, r)| r).collect()
-    }
-
-    /// Rows in the half-open window `from <= t < to`, ordered by
-    /// `(t, seq)` — time order with ties in arrival order, the
-    /// single-table contract.
-    ///
-    /// Sealed sections are physically `(t, seq)`-sorted, so each one
-    /// contributes a *contiguous sub-slice* found by binary search; the
-    /// global order comes from a k-way merge of those slices, sequential
-    /// memory all the way. Windows routinely span a large fraction of the
-    /// table, and on the serving path this query was the entire p99, so
-    /// it gets the zero-gather layout.
-    fn time_window(&self, scope: RunScope, from: Timestamp, to: Timestamp) -> Vec<R> {
-        let sections: Vec<&Section<R>> = self
-            .scoped_sections(scope)
-            .filter(|sec| sec.max_t >= from && sec.min_t < to)
-            .collect();
-        // Unsealed sections are arrival-ordered: gather their window rows
-        // into owned sorted runs first (stable sort on time keeps seq
-        // order among ties), then merge those alongside the sealed slices.
-        let mut owned: Vec<(Vec<R>, Vec<Seq>)> = Vec::new();
-        for sec in &sections {
-            if sec.index.is_none() {
-                let mut ids: Vec<u32> = (0..sec.rows.len() as u32)
-                    .filter(|&i| {
-                        let t = sec.rows[i as usize].time();
-                        t >= from && t < to
-                    })
-                    .collect();
-                ids.sort_by_key(|&i| sec.rows[i as usize].time());
-                owned.push((
-                    ids.iter().map(|&i| sec.rows[i as usize]).collect(),
-                    ids.iter().map(|&i| sec.seqs[i as usize]).collect(),
-                ));
-            }
-        }
-        let mut inputs: Vec<(&[R], &[Seq])> = Vec::with_capacity(sections.len());
-        let mut owned_it = owned.iter();
-        for sec in &sections {
-            match &sec.index {
-                Some(_) => {
-                    let lo = sec.rows.partition_point(|r| r.time() < from);
-                    let hi = sec.rows.partition_point(|r| r.time() < to);
-                    if lo < hi {
-                        inputs.push((&sec.rows[lo..hi], &sec.seqs[lo..hi]));
-                    }
-                }
-                None => {
-                    let (rows, seqs) = owned_it.next().expect("one owned run per unsealed");
-                    if !rows.is_empty() {
-                        inputs.push((&rows[..], &seqs[..]));
-                    }
-                }
-            }
-        }
-        merge_sorted_slices(inputs)
-    }
-
-    /// Rows of object `o` ordered by `(t, seq)`.
-    fn of_object(&self, scope: RunScope, o: ObjectId) -> Vec<R> {
-        let mut out: Vec<(Timestamp, Seq, R)> = Vec::new();
-        for sec in self.scoped_sections(scope) {
-            match &sec.index {
-                Some(ix) => {
-                    if let Some(ids) = ix.by_object.get(&o) {
-                        out.extend(ids.iter().map(|&i| {
-                            let r = sec.rows[i as usize];
-                            (r.time(), sec.seqs[i as usize], r)
-                        }));
-                    }
-                }
-                None => out.extend(
-                    sec.rows
-                        .iter()
-                        .zip(&sec.seqs)
-                        .filter(|(r, _)| r.object() == Some(o))
-                        .map(|(&r, &s)| (r.time(), s, r)),
-                ),
-            }
-        }
-        out.sort_unstable_by_key(|(t, s, _)| (*t, *s));
-        out.into_iter().map(|(_, _, r)| r).collect()
-    }
-
-    /// Rows through device `d` ordered by `(t, seq)`.
-    fn of_device(&self, scope: RunScope, d: DeviceId) -> Vec<R> {
-        let mut out: Vec<(Timestamp, Seq, R)> = Vec::new();
-        for sec in self.scoped_sections(scope) {
-            match &sec.index {
-                Some(ix) => {
-                    if let Some(ids) = ix.by_device.get(&d) {
-                        out.extend(ids.iter().map(|&i| {
-                            let r = sec.rows[i as usize];
-                            (r.time(), sec.seqs[i as usize], r)
-                        }));
-                    }
-                }
-                None => out.extend(
-                    sec.rows
-                        .iter()
-                        .zip(&sec.seqs)
-                        .filter(|(r, _)| r.device() == Some(d))
-                        .map(|(&r, &s)| (r.time(), s, r)),
-                ),
-            }
-        }
-        out.sort_unstable_by_key(|(t, s, _)| (*t, *s));
-        out.into_iter().map(|(_, _, r)| r).collect()
-    }
-
-    /// Latest row at or before `at` per object, sorted by object id; among
-    /// an object's rows sharing the latest timestamp the highest seq
-    /// (last arrived) wins — the single-table snapshot contract.
-    ///
-    /// Sealed sections resolve one candidate per object by binary search:
-    /// `by_object` lists are position-ascending and rows are physically
-    /// `(t, seq)`-sorted, so an object's list is its trace in trace order
-    /// and the latest row at or before `at` is the last id before the
-    /// partition point. Only that one candidate touches the cross-section
-    /// map — on big tables this query used to walk most rows.
-    fn snapshot_at(&self, scope: RunScope, at: Timestamp) -> Vec<R> {
-        fn upd<R: SegmentRow>(
-            latest: &mut HashMap<ObjectId, (Timestamp, Seq, R)>,
-            o: ObjectId,
-            t: Timestamp,
-            s: Seq,
-            r: R,
-        ) {
-            match latest.get(&o) {
-                Some((bt, bs, _)) if (*bt, *bs) > (t, s) => {}
-                _ => {
-                    latest.insert(o, (t, s, r));
-                }
-            }
-        }
-        let mut latest: HashMap<ObjectId, (Timestamp, Seq, R)> = HashMap::new();
-        for sec in self.scoped_sections(scope) {
-            if sec.min_t > at {
-                continue;
-            }
-            match &sec.index {
-                Some(ix) => {
-                    let whole = sec.max_t <= at;
-                    for (&o, ids) in &ix.by_object {
-                        let cut = if whole {
-                            ids.len()
-                        } else {
-                            ids.partition_point(|&i| sec.rows[i as usize].time() <= at)
-                        };
-                        if let Some(&i) = ids[..cut].last() {
-                            let (t, s) = (sec.rows[i as usize].time(), sec.seqs[i as usize]);
-                            upd(&mut latest, o, t, s, sec.rows[i as usize]);
-                        }
-                    }
-                }
-                None => {
-                    for (r, &s) in sec.rows.iter().zip(&sec.seqs) {
-                        if r.time() <= at {
-                            if let Some(o) = r.object() {
-                                upd(&mut latest, o, r.time(), s, *r);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        let mut v: Vec<R> = latest.into_values().map(|(_, _, r)| r).collect();
-        v.sort_unstable_by_key(|r| r.object());
-        v
-    }
-
-    /// Point rows on `floor` inside `query`, in arrival (seq) order.
-    fn range_query(&self, scope: RunScope, floor: FloorId, query: &Aabb) -> Vec<R> {
-        let mut out: Vec<(Seq, R)> = Vec::new();
-        for sec in self.scoped_sections(scope) {
-            match &sec.index {
-                Some(ix) => {
-                    if let Some(g) = ix.spatial.get(&floor) {
-                        for i in g.query_bbox(query) {
-                            let r = sec.rows[i as usize];
-                            if matches!(r.floor_point(), Some((_, p)) if query.contains_point(p)) {
-                                out.push((sec.seqs[i as usize], r));
-                            }
-                        }
-                    }
-                }
-                None => out.extend(
-                    sec.rows
-                        .iter()
-                        .zip(&sec.seqs)
-                        .filter(|(r, _)| {
-                            matches!(r.floor_point(),
-                                     Some((f, p)) if f == floor && query.contains_point(p))
-                        })
-                        .map(|(&r, &s)| (s, r)),
-                ),
-            }
-        }
-        out.sort_unstable_by_key(|(s, _)| *s);
-        out.into_iter().map(|(_, r)| r).collect()
-    }
-
-    /// The k nearest point rows to `p` on `floor`, nearest first; ties by
-    /// seq. Sealed sections run the same expanding-radius grid search as
-    /// the locked tables (with the same out-of-domain radius anchor), so
-    /// the distance multiset matches the other backends exactly.
-    fn knn(&self, scope: RunScope, floor: FloorId, p: Point, k: usize) -> Vec<(R, f64)> {
-        if k == 0 {
-            return Vec::new();
-        }
-        let mut scored: Vec<(f64, Seq, R)> = Vec::new();
-        for sec in self.scoped_sections(scope) {
-            match &sec.index {
-                Some(ix) => {
-                    let Some(g) = ix.spatial.get(&floor) else {
-                        continue;
-                    };
-                    let dom = g.domain();
-                    let max_radius = dom.dist_to_point(p) + dom.width() + dom.height() + 1.0;
-                    let mut radius = g.cell_size().max(f64::MIN_POSITIVE);
-                    let mut candidates: Vec<u32>;
-                    loop {
-                        candidates = g.query_radius(p, radius.min(max_radius));
-                        if candidates.len() >= k || radius >= max_radius {
-                            break;
-                        }
-                        radius *= 2.0;
-                    }
-                    // A per-section top-k is enough: the global top-k under
-                    // the (dist, seq) total order is the top-k of the
-                    // per-section top-ks.
-                    let mut local: Vec<(f64, Seq, R)> = candidates
-                        .into_iter()
-                        .filter_map(|i| {
-                            let r = sec.rows[i as usize];
-                            r.floor_point()
-                                .map(|(_, q)| (q.dist(p), sec.seqs[i as usize], r))
-                        })
-                        .collect();
-                    local.sort_unstable_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
-                    local.truncate(k);
-                    scored.extend(local);
-                }
-                None => scored.extend(sec.rows.iter().zip(&sec.seqs).filter_map(|(r, &s)| {
-                    match r.floor_point() {
-                        Some((f, q)) if f == floor => Some((q.dist(p), s, *r)),
-                        _ => None,
-                    }
-                })),
-            }
-        }
-        scored.sort_unstable_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
-        scored.truncate(k);
-        scored.into_iter().map(|(d, _, r)| (r, d)).collect()
-    }
 }
 
-impl TableSnapshot<ProximityRecord> {
-    /// Records whose closed detection period `[ts, te]` intersects the
-    /// half-open window `[from, to)`, in arrival (seq) order — the
-    /// [`crate::table::ProximityTable::overlapping`] contract.
-    fn overlapping(&self, scope: RunScope, from: Timestamp, to: Timestamp) -> Vec<ProximityRecord> {
-        let mut out: Vec<(Seq, ProximityRecord)> = Vec::new();
-        for sec in self.scoped_sections(scope) {
-            out.extend(
+// The data queries are free functions over the sections a plan already
+// selected — resident references and paged-in decodes alike. Planning
+// happens against per-section meta in [`SegTable::try_query`], so these
+// only ever see sections that passed the run-scope and meta pruning.
+// Every output order is keyed on `(t, seq)` or seq alone, and seqs are
+// unique per table, so no answer depends on section input order.
+
+/// All rows in arrival (seq) order — exactly the single repository's
+/// insertion order.
+fn scan_sections<R: SegmentRow>(sections: &[&Section<R>]) -> Vec<R> {
+    let total: usize = sections.iter().map(|s| s.rows.len()).sum();
+    let mut out: Vec<(Seq, R)> = Vec::with_capacity(total);
+    for sec in sections {
+        out.extend(sec.seqs.iter().copied().zip(sec.rows.iter().copied()));
+    }
+    out.sort_unstable_by_key(|(s, _)| *s);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Rows in the half-open window `from <= t < to`, ordered by `(t, seq)`
+/// — time order with ties in arrival order, the single-table contract.
+///
+/// Sealed sections are physically `(t, seq)`-sorted, so each one
+/// contributes a *contiguous sub-slice* found by binary search; the
+/// global order comes from a k-way merge of those slices, sequential
+/// memory all the way. Windows routinely span a large fraction of the
+/// table, and on the serving path this query was the entire p99, so it
+/// gets the zero-gather layout.
+fn time_window_sections<R: SegmentRow>(
+    sections: &[&Section<R>],
+    from: Timestamp,
+    to: Timestamp,
+) -> Vec<R> {
+    // Unsealed sections are arrival-ordered: gather their window rows
+    // into owned sorted runs first (stable sort on time keeps seq order
+    // among ties), then merge those alongside the sealed slices.
+    let mut owned: Vec<(Vec<R>, Vec<Seq>)> = Vec::new();
+    for sec in sections {
+        if sec.index.is_none() {
+            let mut ids: Vec<u32> = (0..sec.rows.len() as u32)
+                .filter(|&i| {
+                    let t = sec.rows[i as usize].time();
+                    t >= from && t < to
+                })
+                .collect();
+            ids.sort_by_key(|&i| sec.rows[i as usize].time());
+            owned.push((
+                ids.iter().map(|&i| sec.rows[i as usize]).collect(),
+                ids.iter().map(|&i| sec.seqs[i as usize]).collect(),
+            ));
+        }
+    }
+    let mut inputs: Vec<(&[R], &[Seq])> = Vec::with_capacity(sections.len());
+    let mut owned_it = owned.iter();
+    for sec in sections {
+        match &sec.index {
+            Some(_) => {
+                let lo = sec.rows.partition_point(|r| r.time() < from);
+                let hi = sec.rows.partition_point(|r| r.time() < to);
+                if lo < hi {
+                    inputs.push((&sec.rows[lo..hi], &sec.seqs[lo..hi]));
+                }
+            }
+            None => {
+                let (rows, seqs) = owned_it.next().expect("one owned run per unsealed");
+                if !rows.is_empty() {
+                    inputs.push((&rows[..], &seqs[..]));
+                }
+            }
+        }
+    }
+    merge_sorted_slices(inputs)
+}
+
+/// Rows of object `o` ordered by `(t, seq)`.
+fn of_object_sections<R: SegmentRow>(sections: &[&Section<R>], o: ObjectId) -> Vec<R> {
+    let mut out: Vec<(Timestamp, Seq, R)> = Vec::new();
+    for sec in sections {
+        match &sec.index {
+            Some(ix) => {
+                if let Some(ids) = ix.by_object.get(&o) {
+                    out.extend(ids.iter().map(|&i| {
+                        let r = sec.rows[i as usize];
+                        (r.time(), sec.seqs[i as usize], r)
+                    }));
+                }
+            }
+            None => out.extend(
                 sec.rows
                     .iter()
                     .zip(&sec.seqs)
-                    .filter(|(r, _)| r.ts < to && r.te >= from)
-                    .map(|(&r, &s)| (s, r)),
-            );
+                    .filter(|(r, _)| r.object() == Some(o))
+                    .map(|(&r, &s)| (r.time(), s, r)),
+            ),
         }
-        out.sort_unstable_by_key(|(s, _)| *s);
-        out.into_iter().map(|(_, r)| r).collect()
     }
+    out.sort_unstable_by_key(|(t, s, _)| (*t, *s));
+    out.into_iter().map(|(_, _, r)| r).collect()
+}
+
+/// Rows through device `d` ordered by `(t, seq)`.
+fn of_device_sections<R: SegmentRow>(sections: &[&Section<R>], d: DeviceId) -> Vec<R> {
+    let mut out: Vec<(Timestamp, Seq, R)> = Vec::new();
+    for sec in sections {
+        match &sec.index {
+            Some(ix) => {
+                if let Some(ids) = ix.by_device.get(&d) {
+                    out.extend(ids.iter().map(|&i| {
+                        let r = sec.rows[i as usize];
+                        (r.time(), sec.seqs[i as usize], r)
+                    }));
+                }
+            }
+            None => out.extend(
+                sec.rows
+                    .iter()
+                    .zip(&sec.seqs)
+                    .filter(|(r, _)| r.device() == Some(d))
+                    .map(|(&r, &s)| (r.time(), s, r)),
+            ),
+        }
+    }
+    out.sort_unstable_by_key(|(t, s, _)| (*t, *s));
+    out.into_iter().map(|(_, _, r)| r).collect()
+}
+
+/// Latest row at or before `at` per object, sorted by object id; among
+/// an object's rows sharing the latest timestamp the highest seq (last
+/// arrived) wins — the single-table snapshot contract.
+///
+/// Sealed sections resolve one candidate per object by binary search:
+/// `by_object` lists are position-ascending and rows are physically
+/// `(t, seq)`-sorted, so an object's list is its trace in trace order
+/// and the latest row at or before `at` is the last id before the
+/// partition point. Only that one candidate touches the cross-section
+/// map — on big tables this query used to walk most rows.
+fn snapshot_at_sections<R: SegmentRow>(sections: &[&Section<R>], at: Timestamp) -> Vec<R> {
+    fn upd<R: SegmentRow>(
+        latest: &mut HashMap<ObjectId, (Timestamp, Seq, R)>,
+        o: ObjectId,
+        t: Timestamp,
+        s: Seq,
+        r: R,
+    ) {
+        match latest.get(&o) {
+            Some((bt, bs, _)) if (*bt, *bs) > (t, s) => {}
+            _ => {
+                latest.insert(o, (t, s, r));
+            }
+        }
+    }
+    let mut latest: HashMap<ObjectId, (Timestamp, Seq, R)> = HashMap::new();
+    for sec in sections {
+        if sec.min_t > at {
+            continue;
+        }
+        match &sec.index {
+            Some(ix) => {
+                let whole = sec.max_t <= at;
+                for (&o, ids) in &ix.by_object {
+                    let cut = if whole {
+                        ids.len()
+                    } else {
+                        ids.partition_point(|&i| sec.rows[i as usize].time() <= at)
+                    };
+                    if let Some(&i) = ids[..cut].last() {
+                        let (t, s) = (sec.rows[i as usize].time(), sec.seqs[i as usize]);
+                        upd(&mut latest, o, t, s, sec.rows[i as usize]);
+                    }
+                }
+            }
+            None => {
+                for (r, &s) in sec.rows.iter().zip(&sec.seqs) {
+                    if r.time() <= at {
+                        if let Some(o) = r.object() {
+                            upd(&mut latest, o, r.time(), s, *r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut v: Vec<R> = latest.into_values().map(|(_, _, r)| r).collect();
+    v.sort_unstable_by_key(|r| r.object());
+    v
+}
+
+/// Point rows on `floor` inside `query`, in arrival (seq) order.
+fn range_query_sections<R: SegmentRow>(
+    sections: &[&Section<R>],
+    floor: FloorId,
+    query: &Aabb,
+) -> Vec<R> {
+    let mut out: Vec<(Seq, R)> = Vec::new();
+    for sec in sections {
+        match &sec.index {
+            Some(ix) => {
+                if let Some(g) = ix.spatial.get(&floor) {
+                    for i in g.query_bbox(query) {
+                        let r = sec.rows[i as usize];
+                        if matches!(r.floor_point(), Some((_, p)) if query.contains_point(p)) {
+                            out.push((sec.seqs[i as usize], r));
+                        }
+                    }
+                }
+            }
+            None => out.extend(
+                sec.rows
+                    .iter()
+                    .zip(&sec.seqs)
+                    .filter(|(r, _)| {
+                        matches!(r.floor_point(),
+                                 Some((f, p)) if f == floor && query.contains_point(p))
+                    })
+                    .map(|(&r, &s)| (s, r)),
+            ),
+        }
+    }
+    out.sort_unstable_by_key(|(s, _)| *s);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The k nearest point rows to `p` on `floor`, nearest first; ties by
+/// seq. Sealed sections run the same expanding-radius grid search as
+/// the locked tables (with the same out-of-domain radius anchor), so
+/// the distance multiset matches the other backends exactly.
+fn knn_sections<R: SegmentRow>(
+    sections: &[&Section<R>],
+    floor: FloorId,
+    p: Point,
+    k: usize,
+) -> Vec<(R, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut scored: Vec<(f64, Seq, R)> = Vec::new();
+    for sec in sections {
+        match &sec.index {
+            Some(ix) => {
+                let Some(g) = ix.spatial.get(&floor) else {
+                    continue;
+                };
+                let dom = g.domain();
+                let max_radius = dom.dist_to_point(p) + dom.width() + dom.height() + 1.0;
+                let mut radius = g.cell_size().max(f64::MIN_POSITIVE);
+                let mut candidates: Vec<u32>;
+                loop {
+                    candidates = g.query_radius(p, radius.min(max_radius));
+                    if candidates.len() >= k || radius >= max_radius {
+                        break;
+                    }
+                    radius *= 2.0;
+                }
+                // A per-section top-k is enough: the global top-k under
+                // the (dist, seq) total order is the top-k of the
+                // per-section top-ks.
+                let mut local: Vec<(f64, Seq, R)> = candidates
+                    .into_iter()
+                    .filter_map(|i| {
+                        let r = sec.rows[i as usize];
+                        r.floor_point()
+                            .map(|(_, q)| (q.dist(p), sec.seqs[i as usize], r))
+                    })
+                    .collect();
+                local.sort_unstable_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+                local.truncate(k);
+                scored.extend(local);
+            }
+            None => scored.extend(sec.rows.iter().zip(&sec.seqs).filter_map(|(r, &s)| {
+                match r.floor_point() {
+                    Some((f, q)) if f == floor => Some((q.dist(p), s, *r)),
+                    _ => None,
+                }
+            })),
+        }
+    }
+    scored.sort_unstable_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+    scored.truncate(k);
+    scored.into_iter().map(|(d, _, r)| (r, d)).collect()
+}
+
+/// Records whose closed detection period `[ts, te]` intersects the
+/// half-open window `[from, to)`, in arrival (seq) order — the
+/// [`crate::table::ProximityTable::overlapping`] contract.
+fn overlapping_sections(
+    sections: &[&Section<ProximityRecord>],
+    from: Timestamp,
+    to: Timestamp,
+) -> Vec<ProximityRecord> {
+    let mut out: Vec<(Seq, ProximityRecord)> = Vec::new();
+    for sec in sections {
+        out.extend(
+            sec.rows
+                .iter()
+                .zip(&sec.seqs)
+                .filter(|(r, _)| r.ts < to && r.te >= from)
+                .map(|(&r, &s)| (s, r)),
+        );
+    }
+    out.sort_unstable_by_key(|(s, _)| *s);
+    out.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Merge `(rows, seqs)` slice pairs — each already `(t, seq)`-sorted —
@@ -818,8 +1131,167 @@ fn merge_sorted_slices<R: SegmentRow>(inputs: Vec<(&[R], &[Seq])>) -> Vec<R> {
 }
 
 // ---------------------------------------------------------------------------
-// The writable table: append, seal, compact
+// The writable table: append, seal, compact, spill
 // ---------------------------------------------------------------------------
+
+/// Spill state shared by the four tables and the maintenance path.
+struct SpillShared {
+    /// Effective config: `dir` is this instance's unique subdirectory
+    /// (created at build time, removed on drop).
+    cfg: SpillConfig,
+    /// The config as the caller passed it, for
+    /// [`SegmentedRepository::spill_config`].
+    original: SpillConfig,
+    /// Monotone heat clock: queries stamp the segments their plan
+    /// touches, and the spiller evicts the coldest stamp first.
+    touch: AtomicU64,
+    spills: AtomicU64,
+    page_ins: AtomicU64,
+    writer_stalls: AtomicU64,
+    /// Serializes budget enforcement (the sealer tick and stalled
+    /// writers), so concurrent enforcers never double-spill.
+    enforce_lock: Mutex<()>,
+}
+
+/// A page-in cache entry; `data` is shared with in-flight queries, so
+/// eviction never invalidates a reader.
+struct CacheEntry<R> {
+    id: u64,
+    rows: usize,
+    referenced: bool,
+    data: Arc<SegmentData<R>>,
+}
+
+/// One table's cache of decoded spilled segments: capacity-bounded,
+/// second-chance (clock) replacement. Bounded both in entries
+/// (`cache_segments`) and in rows (the room the memory budget leaves).
+struct ClockCache<R> {
+    entries: Vec<CacheEntry<R>>,
+    hand: usize,
+}
+
+impl<R> Default for ClockCache<R> {
+    fn default() -> Self {
+        ClockCache {
+            entries: Vec::new(),
+            hand: 0,
+        }
+    }
+}
+
+impl<R> ClockCache<R> {
+    fn rows(&self) -> usize {
+        self.entries.iter().map(|e| e.rows).sum()
+    }
+
+    fn get(&mut self, id: u64) -> Option<Arc<SegmentData<R>>> {
+        let e = self.entries.iter_mut().find(|e| e.id == id)?;
+        e.referenced = true;
+        Some(Arc::clone(&e.data))
+    }
+
+    /// Insert (or refresh) `id`, then evict second-chance victims while
+    /// over either cap. The entry just inserted is exempt: the cache
+    /// must hold at least the segment the current query is reading.
+    fn insert(
+        &mut self,
+        id: u64,
+        rows: usize,
+        data: Arc<SegmentData<R>>,
+        cap_segments: usize,
+        cap_rows: usize,
+    ) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.referenced = true;
+            return;
+        }
+        self.entries.push(CacheEntry {
+            id,
+            rows,
+            referenced: true,
+            data,
+        });
+        while self.entries.len() > 1
+            && (self.entries.len() > cap_segments.max(1) || self.rows() > cap_rows)
+        {
+            if self.evict_one_except(Some(id)).is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Evict one clock victim, skipping `keep`; returns the rows freed.
+    fn evict_one_except(&mut self, keep: Option<u64>) -> Option<usize> {
+        if !self.entries.iter().any(|e| Some(e.id) != keep) {
+            return None;
+        }
+        loop {
+            if self.hand >= self.entries.len() {
+                self.hand = 0;
+            }
+            if Some(self.entries[self.hand].id) == keep {
+                self.hand += 1;
+                continue;
+            }
+            if self.entries[self.hand].referenced {
+                self.entries[self.hand].referenced = false;
+                self.hand += 1;
+                continue;
+            }
+            return Some(self.entries.swap_remove(self.hand).rows);
+        }
+    }
+
+    fn remove(&mut self, id: u64) {
+        if let Some(i) = self.entries.iter().position(|e| e.id == id) {
+            self.entries.swap_remove(i);
+        }
+    }
+}
+
+/// Current segment inventory of one table, for [`SegmentStats`].
+#[derive(Default)]
+struct TableInventory {
+    sealed: usize,
+    unsealed: usize,
+    spilled_segments: usize,
+    spilled_rows: usize,
+    sealed_resident_rows: usize,
+    head_rows: usize,
+}
+
+/// Encode a sealed segment's sections into its self-describing file
+/// bytes (rows and seqs travel together — see the codec's segment
+/// framing).
+fn encode_sections<R: SegmentRow>(sections: &[Section<R>]) -> Bytes {
+    let parts: Vec<(RunId, &[R], &[Seq])> = sections
+        .iter()
+        .map(|s| (s.run, s.rows.as_slice(), s.seqs.as_slice()))
+        .collect();
+    encode_segment(&parts)
+}
+
+/// Under forced compaction with a spill cap: the first run of ≥ 2
+/// adjacent sealed segments whose merged size fits `cap`. Oversized
+/// loners are skipped — they already sit at the spill grain, and a
+/// merge beyond it could never be resident (or cached) again without
+/// blowing the memory ceiling on page-in.
+fn pick_capped_group<R>(prefix: &[Arc<Segment<R>>], cap: usize) -> Option<Vec<Arc<Segment<R>>>> {
+    let mut start = 0;
+    while start + 1 < prefix.len() {
+        let mut rows = prefix[start].len;
+        let mut end = start + 1;
+        while end < prefix.len() && rows + prefix[end].len <= cap {
+            rows += prefix[end].len;
+            end += 1;
+        }
+        if end - start >= 2 {
+            return Some(prefix[start..end].to_vec());
+        }
+        start = end;
+    }
+    None
+}
 
 /// One product table of the segmented backend.
 struct SegTable<R: SegmentRow> {
@@ -831,14 +1303,20 @@ struct SegTable<R: SegmentRow> {
     /// Build per-floor grids at seal time (trajectory table only — the
     /// other tables answer no spatial queries).
     build_spatial: bool,
+    /// Spill tier shared state; `None` keeps the table all-resident.
+    spill: Option<Arc<SpillShared>>,
+    /// Decoded spilled segments, shared with in-flight queries.
+    cache: Mutex<ClockCache<R>>,
 }
 
 impl<R: SegmentRow> SegTable<R> {
-    fn new(build_spatial: bool) -> Self {
+    fn new(build_spatial: bool, spill: Option<Arc<SpillShared>>) -> Self {
         SegTable {
             cell: SnapshotCell::new(TableSnapshot::default()),
             writer: Mutex::new(0),
             build_spatial,
+            spill,
+            cache: Mutex::new(ClockCache::default()),
         }
     }
 
@@ -859,11 +1337,13 @@ impl<R: SegmentRow> SegTable<R> {
         *next_seq += rows.len() as Seq;
         let seqs: Vec<Seq> = (base..*next_seq).collect();
         let len = rows.len();
-        let seg = Arc::new(Segment {
-            sections: vec![Section::unsealed(run, rows, seqs)],
-            len,
-            sealed: false,
-        });
+        // Heads are never pruned or spilled, so skip the floor-meta scan
+        // on the ingest path (`floors: None` means "never prune").
+        let seg = Arc::new(Segment::resident(
+            vec![Section::unsealed(run, rows, seqs)],
+            false,
+            false,
+        ));
         let cur = self.cell.latest();
         let mut segments = Vec::with_capacity(cur.segments.len() + 1);
         segments.extend(cur.segments.iter().cloned());
@@ -914,25 +1394,68 @@ impl<R: SegmentRow> SegTable<R> {
         true
     }
 
-    /// One maintenance round: seal the trailing unsealed suffix when it is
-    /// past the thresholds (always, under `force`), then compact the sealed
-    /// part. Merges are built outside the writer lock; the swap inside it
-    /// is a pointer splice.
-    ///
-    /// Background compaction is **size-tiered and budget-bounded**: one
-    /// pass folds at most one adjacent run of *small* sealed segments whose
-    /// merged size fits a row budget of `compact_segments × seal_rows`, and
-    /// leaves graduated (half-budget-or-larger) segments alone. Every row
-    /// is therefore merged O(log) times and no single pass builds more than
-    /// one budget's worth of indexes — re-merging the whole prefix on every
-    /// pass would be quadratic, and on small hosts that CPU draw evicts the
-    /// query threads and shows up directly as read tail latency. Under
-    /// `force` the whole sealed prefix folds into one segment regardless.
+    /// Publish `replacement` for `consumed`, spilling it directly when
+    /// the repository's decoded sealed rows would overshoot the budget
+    /// (`global_decoded` is the repository-wide gauge *before* the
+    /// swap). A replacement that never publishes (another pass won the
+    /// race) takes its freshly written file with it; consumed spilled
+    /// inputs drop their cache entries, but their files stay on disk
+    /// until the repository drops — an already-pinned snapshot may still
+    /// page them in.
+    fn replace_maybe_spilled(
+        &self,
+        consumed: &[Arc<Segment<R>>],
+        replacement: Segment<R>,
+        global_decoded: usize,
+    ) -> bool {
+        let spill_direct = match &self.spill {
+            Some(sh) if replacement.sealed && replacement.len > 0 => {
+                let consumed_decoded: usize = consumed
+                    .iter()
+                    .filter(|s| s.sealed && !s.is_spilled())
+                    .map(|s| s.len)
+                    .sum();
+                global_decoded.saturating_sub(consumed_decoded) + replacement.len
+                    > sh.cfg.memory_budget_rows
+            }
+            _ => false,
+        };
+        let (replacement, written) = if spill_direct {
+            let sh = self.spill.as_ref().expect("direct spill requires config");
+            let sections = replacement
+                .resident_sections()
+                .expect("fresh replacement is resident");
+            let bytes = encode_sections(sections);
+            let path = sh.cfg.dir.join(format!("seg-{}.vita", replacement.id));
+            write_atomic(&path, &bytes).expect("segment spill failed");
+            (replacement.spilled_twin(path.clone()), Some(path))
+        } else {
+            (replacement, None)
+        };
+        let ok = self.try_replace(consumed, replacement);
+        if ok {
+            if let Some(sh) = &self.spill {
+                if written.is_some() {
+                    sh.spills.fetch_add(1, Ordering::Relaxed);
+                }
+                if consumed.iter().any(|s| s.is_spilled()) {
+                    let mut cache = self.cache.lock();
+                    for seg in consumed.iter().filter(|s| s.is_spilled()) {
+                        cache.remove(seg.id);
+                    }
+                }
+            }
+        } else if let Some(path) = written {
+            let _ = std::fs::remove_file(path);
+        }
+        ok
+    }
+
     /// Seal the trailing unsealed suffix when it is past the thresholds
     /// (always, under `force`). Called by the background sealer on its
     /// tick and by writers whose append crossed `seal_rows` — see
     /// [`SegInner::append_and_seal`].
-    fn seal_pass(&self, cfg: &SegmentConfig, force: bool) -> bool {
+    fn seal_pass(&self, cfg: &SegmentConfig, force: bool, global_decoded: usize) -> bool {
         let snap = self.cell.latest();
         let first_unsealed = snap
             .segments
@@ -947,24 +1470,56 @@ impl<R: SegmentRow> SegTable<R> {
         if !(force || minis.len() >= cfg.seal_segments || rows >= cfg.seal_rows) {
             return false;
         }
-        let merged = build_sealed(minis, self.build_spatial);
-        self.try_replace(minis, merged)
+        let parts: Vec<&Section<R>> = minis
+            .iter()
+            .flat_map(|s| {
+                s.resident_sections()
+                    .expect("unsealed segments are resident")
+            })
+            .collect();
+        let merged = build_sealed(parts, self.build_spatial);
+        let replacement = Segment::resident(merged, true, self.build_spatial);
+        self.replace_maybe_spilled(minis, replacement, global_decoded)
     }
 
     /// Compact the sealed prefix: fold at most one size-tiered run of
     /// small adjacent segments (the whole prefix under `force`).
-    fn compact_pass(&self, cfg: &SegmentConfig, force: bool) -> bool {
-        let mut compacted_now = false;
+    ///
+    /// Background compaction is **size-tiered and budget-bounded**: one
+    /// pass folds at most one adjacent run of *small* sealed segments whose
+    /// merged size fits a row budget of `compact_segments × seal_rows`, and
+    /// leaves graduated (half-budget-or-larger) segments alone. Every row
+    /// is therefore merged O(log) times and no single pass builds more than
+    /// one budget's worth of indexes — re-merging the whole prefix on every
+    /// pass would be quadratic, and on small hosts that CPU draw evicts the
+    /// query threads and shows up directly as read tail latency. Under
+    /// `force` the whole sealed prefix folds into one segment — except with
+    /// a spill tier, where groups are additionally capped so no segment
+    /// outgrows the spill grain. Spilled inputs are paged in through the
+    /// table's cache; a page-in failure skips the pass (queries surface
+    /// the error, compaction never panics over it).
+    fn compact_pass(&self, cfg: &SegmentConfig, force: bool, global_decoded: usize) -> bool {
         let snap = self.cell.latest();
         let prefix = snap.segments.iter().take_while(|s| s.sealed).count();
+        let max_group = self.spill.as_ref().map(|sh| {
+            (sh.cfg.memory_budget_rows / 2)
+                .max(cfg.seal_rows.saturating_mul(2))
+                .max(2)
+        });
         let group: Option<Vec<Arc<Segment<R>>>> = if force {
-            (prefix >= 2).then(|| snap.segments[..prefix].to_vec())
+            match max_group {
+                None => (prefix >= 2).then(|| snap.segments[..prefix].to_vec()),
+                Some(cap) => pick_capped_group(&snap.segments[..prefix], cap),
+            }
         } else {
-            let budget = cfg
+            let mut budget = cfg
                 .compact_segments
                 .max(2)
                 .saturating_mul(cfg.seal_rows)
                 .max(2);
+            if let Some(cap) = max_group {
+                budget = budget.min(cap);
+            }
             let small = (budget / 2).max(1);
             let min_run = cfg.compact_segments.max(2);
             let mut found = None;
@@ -999,18 +1554,220 @@ impl<R: SegmentRow> SegTable<R> {
             }
             found
         };
-        if let Some(group) = group {
-            let merged = build_sealed(&group, self.build_spatial);
-            compacted_now = self.try_replace(&group, merged);
-        }
-        compacted_now
+        let Some(group) = group else {
+            return false;
+        };
+        self.compact_group(&group, global_decoded).unwrap_or(false)
     }
 
-    /// (sealed, unsealed) segment counts in the current snapshot.
-    fn segment_counts(&self) -> (usize, usize) {
+    /// Merge `group` (paging spilled inputs in) and publish the result.
+    fn compact_group(
+        &self,
+        group: &[Arc<Segment<R>>],
+        global_decoded: usize,
+    ) -> Result<bool, SpillError> {
+        let mut holders: Vec<Arc<SegmentData<R>>> = Vec::new();
+        for seg in group {
+            if seg.is_spilled() {
+                // Compaction page-ins bypass the row cap: the merge needs
+                // all inputs at once, and the output replaces them
+                // immediately; the enforcement pass right after the round
+                // trims any overshoot.
+                holders.push(self.page_in(seg, usize::MAX)?);
+            }
+        }
+        let mut holder_it = holders.iter();
+        let mut sections: Vec<&Section<R>> = Vec::new();
+        for seg in group {
+            match seg.resident_sections() {
+                Some(s) => sections.extend(s.iter()),
+                None => sections.extend(
+                    holder_it
+                        .next()
+                        .expect("one holder per spilled input")
+                        .sections
+                        .iter(),
+                ),
+            }
+        }
+        let merged = build_sealed(sections, self.build_spatial);
+        let replacement = Segment::resident(merged, true, self.build_spatial);
+        Ok(self.replace_maybe_spilled(group, replacement, global_decoded))
+    }
+
+    /// Answer one query against a pinned snapshot: plan from per-section
+    /// meta (`keep` plus run scoping — no IO), page in the spilled
+    /// segments the plan touches, and hand every selected section to
+    /// `f`. `cache_rows_cap` bounds this table's cache after the
+    /// page-ins — the caller computes the room the global budget leaves.
+    fn try_query<T>(
+        &self,
+        scope: RunScope,
+        cache_rows_cap: usize,
+        keep: impl Fn(&SectionMeta) -> bool,
+        f: impl FnOnce(&[&Section<R>]) -> T,
+    ) -> Result<T, SpillError> {
+        let snap = self.cell.pin();
+        let run = scope.run();
+        let mut picks: Vec<(usize, Vec<usize>, Option<usize>)> = Vec::new();
+        let mut holders: Vec<Arc<SegmentData<R>>> = Vec::new();
+        for (si, seg) in snap.segments.iter().enumerate() {
+            let wanted: Vec<usize> = seg
+                .meta
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| run.is_none_or(|r| m.run == r) && keep(m))
+                .map(|(i, _)| i)
+                .collect();
+            if wanted.is_empty() {
+                continue;
+            }
+            if let Some(sh) = &self.spill {
+                seg.last_touch.store(
+                    sh.touch.fetch_add(1, Ordering::Relaxed) + 1,
+                    Ordering::Relaxed,
+                );
+            }
+            let holder = if seg.is_spilled() {
+                holders.push(self.page_in(seg, cache_rows_cap)?);
+                Some(holders.len() - 1)
+            } else {
+                None
+            };
+            picks.push((si, wanted, holder));
+        }
+        let mut sections: Vec<&Section<R>> = Vec::new();
+        for (si, wanted, holder) in &picks {
+            let secs: &[Section<R>] = match holder {
+                Some(h) => &holders[*h].sections,
+                None => snap.segments[*si]
+                    .resident_sections()
+                    .expect("unspilled segments are resident"),
+            };
+            sections.extend(wanted.iter().map(|&w| &secs[w]));
+        }
+        Ok(f(&sections))
+    }
+
+    /// The decoded rows of a spilled segment: from the cache, or — on a
+    /// miss — read, checksum-verified, and deterministically rebuilt
+    /// from its file. The stored `(t, seq)` order and the indexes
+    /// derived from it make the paged-in copy answer bit-identically to
+    /// the resident original.
+    fn page_in(
+        &self,
+        seg: &Segment<R>,
+        cache_rows_cap: usize,
+    ) -> Result<Arc<SegmentData<R>>, SpillError> {
+        let sh = self
+            .spill
+            .as_ref()
+            .expect("spilled segment without spill config");
+        if let Some(data) = self.cache.lock().get(seg.id) {
+            return Ok(data);
+        }
+        let path = seg.spill_path().expect("page_in on resident segment");
+        let bytes = std::fs::read(path)?;
+        let decoded = decode_segment::<R>(Bytes::from(bytes))?;
+        let sections: Vec<Section<R>> = decoded
+            .into_iter()
+            .map(|s| Section::from_sorted(s.run, s.rows, s.seqs, self.build_spatial))
+            .collect();
+        debug_assert_eq!(
+            sections.len(),
+            seg.meta.len(),
+            "segment file sections must match meta"
+        );
+        let data = Arc::new(SegmentData { sections });
+        sh.page_ins.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().insert(
+            seg.id,
+            seg.len,
+            Arc::clone(&data),
+            sh.cfg.cache_segments,
+            cache_rows_cap,
+        );
+        Ok(data)
+    }
+
+    /// Spill this table's coldest sealed resident segment. Returns the
+    /// rows moved out of memory (0 when nothing is spillable or a
+    /// concurrent maintenance pass replaced the victim first).
+    fn spill_coldest(&self) -> Result<usize, SpillError> {
+        let Some(sh) = &self.spill else {
+            return Ok(0);
+        };
         let snap = self.cell.latest();
-        let sealed = snap.segments.iter().filter(|s| s.sealed).count();
-        (sealed, snap.segments.len() - sealed)
+        let Some(seg) = snap
+            .segments
+            .iter()
+            .filter(|s| s.sealed && !s.is_spilled() && s.len > 0)
+            .min_by_key(|s| s.last_touch.load(Ordering::Relaxed))
+        else {
+            return Ok(0);
+        };
+        let bytes = encode_sections(seg.resident_sections().expect("victim is resident"));
+        let path = sh.cfg.dir.join(format!("seg-{}.vita", seg.id));
+        write_atomic(&path, &bytes)?;
+        let twin = seg.spilled_twin(path.clone());
+        if self.try_replace(std::slice::from_ref(seg), twin) {
+            sh.spills.fetch_add(1, Ordering::Relaxed);
+            Ok(seg.len)
+        } else {
+            let _ = std::fs::remove_file(&path);
+            Ok(0)
+        }
+    }
+
+    /// The last-touch tick of the coldest sealed resident segment, for
+    /// picking the global eviction victim across tables.
+    fn coldest_resident_touch(&self) -> Option<u64> {
+        self.cell
+            .latest()
+            .segments
+            .iter()
+            .filter(|s| s.sealed && !s.is_spilled() && s.len > 0)
+            .map(|s| s.last_touch.load(Ordering::Relaxed))
+            .min()
+    }
+
+    /// Evict one clock victim from the page-in cache; returns rows freed.
+    fn trim_cache_one(&self) -> usize {
+        self.cache.lock().evict_one_except(None).unwrap_or(0)
+    }
+
+    fn cached_rows(&self) -> usize {
+        self.cache.lock().rows()
+    }
+
+    fn sealed_resident_rows(&self) -> usize {
+        self.cell
+            .latest()
+            .segments
+            .iter()
+            .filter(|s| s.sealed && !s.is_spilled())
+            .map(|s| s.len)
+            .sum()
+    }
+
+    fn inventory(&self) -> TableInventory {
+        let snap = self.cell.latest();
+        let mut inv = TableInventory::default();
+        for seg in &snap.segments {
+            if seg.sealed {
+                inv.sealed += 1;
+                if seg.is_spilled() {
+                    inv.spilled_segments += 1;
+                    inv.spilled_rows += seg.len;
+                } else {
+                    inv.sealed_resident_rows += seg.len;
+                }
+            } else {
+                inv.unsealed += 1;
+                inv.head_rows += seg.len;
+            }
+        }
+        inv
     }
 }
 
@@ -1052,8 +1809,8 @@ impl Default for SegmentConfig {
     }
 }
 
-/// Sealer/compactor progress counters plus the current segment inventory,
-/// summed over the four tables.
+/// Sealer/compactor/spiller progress counters plus the current segment
+/// inventory, summed over the four tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SegmentStats {
     /// Completed seal operations (unsealed suffix → one sealed segment).
@@ -1064,6 +1821,22 @@ pub struct SegmentStats {
     pub sealed_segments: usize,
     /// Unsealed (per-batch) segments currently live.
     pub unsealed_segments: usize,
+    /// Sealed segments currently evicted to disk.
+    pub spilled_segments: usize,
+    /// Rows held only on disk (in spilled segments).
+    pub spilled_rows: usize,
+    /// Decoded sealed rows in memory — sealed resident segments plus the
+    /// page-in caches. This is the gauge `memory_budget_rows` bounds.
+    pub resident_rows: usize,
+    /// Rows in unsealed heads (always resident, not counted against the
+    /// budget).
+    pub head_rows: usize,
+    /// Segment files written since the repository started.
+    pub spills: u64,
+    /// Spilled segments decoded back from disk since start.
+    pub page_ins: u64,
+    /// Appends that stalled on the spill backlog high-water mark.
+    pub writer_stalls: u64,
 }
 
 struct SegInner {
@@ -1072,6 +1845,8 @@ struct SegInner {
     fixes: SegTable<Fix>,
     proximity: SegTable<ProximityRecord>,
     config: SegmentConfig,
+    /// Spill tier shared across the four tables; `None` = all-resident.
+    spill: Option<Arc<SpillShared>>,
     seals: AtomicU64,
     compactions: AtomicU64,
     shutdown: AtomicBool,
@@ -1080,6 +1855,117 @@ struct SegInner {
 }
 
 impl SegInner {
+    /// Decoded sealed rows across all tables: sealed resident segments
+    /// plus the page-in caches. This is the gauge `memory_budget_rows`
+    /// bounds; unsealed heads ride on top. Computed from the snapshots on
+    /// demand — there is no shadow accounting to drift.
+    fn decoded_sealed_rows(&self) -> usize {
+        self.trajectories.sealed_resident_rows()
+            + self.trajectories.cached_rows()
+            + self.rssi.sealed_resident_rows()
+            + self.rssi.cached_rows()
+            + self.fixes.sealed_resident_rows()
+            + self.fixes.cached_rows()
+            + self.proximity.sealed_resident_rows()
+            + self.proximity.cached_rows()
+    }
+
+    /// Rows past the memory budget still waiting to be evicted; 0 with no
+    /// spill tier or when under budget.
+    fn spill_pending_rows(&self) -> usize {
+        match &self.spill {
+            Some(sh) => self
+                .decoded_sealed_rows()
+                .saturating_sub(sh.cfg.memory_budget_rows),
+            None => 0,
+        }
+    }
+
+    /// The page-in cache rows `table` may hold without pushing the
+    /// repository over budget: the budget minus everything decoded
+    /// *outside* this table's cache. The entry a query just inserted is
+    /// exempt (the cache must hold the segment that query reads), so one
+    /// oversized segment can overshoot transiently; the next enforcement
+    /// pass evicts it.
+    fn cache_room<R: SegmentRow>(&self, table: &SegTable<R>) -> usize {
+        match &self.spill {
+            Some(sh) => sh
+                .cfg
+                .memory_budget_rows
+                .saturating_sub(self.decoded_sealed_rows() - table.cached_rows()),
+            None => usize::MAX,
+        }
+    }
+
+    /// Evict until decoded sealed rows fit the budget: shrink the fattest
+    /// page-in cache first (those rows already have a disk copy — dropping
+    /// them is free), then spill the globally coldest sealed resident
+    /// segment. Serialized so concurrent enforcers (the sealer tick plus
+    /// stalled writers) never double-spill the same victim.
+    fn enforce_budget(&self) -> Result<(), SpillError> {
+        let Some(sh) = &self.spill else {
+            return Ok(());
+        };
+        let _guard = sh.enforce_lock.lock();
+        loop {
+            if self.decoded_sealed_rows() <= sh.cfg.memory_budget_rows {
+                return Ok(());
+            }
+            let caches = [
+                self.trajectories.cached_rows(),
+                self.rssi.cached_rows(),
+                self.fixes.cached_rows(),
+                self.proximity.cached_rows(),
+            ];
+            if let Some((i, _)) = caches
+                .iter()
+                .enumerate()
+                .filter(|(_, &r)| r > 0)
+                .max_by_key(|&(_, &r)| r)
+            {
+                let freed = match i {
+                    0 => self.trajectories.trim_cache_one(),
+                    1 => self.rssi.trim_cache_one(),
+                    2 => self.fixes.trim_cache_one(),
+                    _ => self.proximity.trim_cache_one(),
+                };
+                if freed > 0 {
+                    continue;
+                }
+            }
+            if self.spill_coldest()? == 0 {
+                // No spillable victim (everything sealed is already on
+                // disk) or a concurrent replace won the race; the next
+                // pass retries.
+                return Ok(());
+            }
+        }
+    }
+
+    /// Spill the globally coldest sealed resident segment across tables.
+    fn spill_coldest(&self) -> Result<usize, SpillError> {
+        let coldest = [
+            self.trajectories.coldest_resident_touch(),
+            self.rssi.coldest_resident_touch(),
+            self.fixes.coldest_resident_touch(),
+            self.proximity.coldest_resident_touch(),
+        ];
+        let Some((i, _)) = coldest
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (i, t)))
+            .min_by_key(|&(_, t)| t)
+        else {
+            return Ok(0);
+        };
+        match i {
+            0 => self.trajectories.spill_coldest(),
+            1 => self.rssi.spill_coldest(),
+            2 => self.fixes.spill_coldest(),
+            _ => self.proximity.spill_coldest(),
+        }
+    }
+
     /// Append one batch; when the unsealed backlog crosses `seal_rows`,
     /// the *writer* seals it inline. This paces index work to ingestion —
     /// the same place the locked backends pay it, but without a read lock
@@ -1095,29 +1981,43 @@ impl SegInner {
     /// each to reach graduation) costs more CPU than the fused burst
     /// saves. The background thread also owns all compaction, so it is
     /// signalled either way.
+    ///
+    /// With a spill tier the writer additionally stalls while the decoded
+    /// backlog sits a full seal past the budget, paying the eviction IO
+    /// itself — explicit backpressure, so an ingest burst cannot outrun
+    /// the spiller and blow the memory ceiling.
     fn append_and_seal<R: SegmentRow>(&self, table: &SegTable<R>, run: RunId, rows: Vec<R>) {
         let (pending, _minis) = table.append(run, rows);
         if pending >= self.config.seal_rows {
-            if table.seal_pass(&self.config, false) {
+            if table.seal_pass(&self.config, false, self.decoded_sealed_rows()) {
                 self.seals.fetch_add(1, Ordering::Relaxed);
             }
             self.wake.notify_one();
         }
+        if let Some(sh) = &self.spill {
+            if self.spill_pending_rows() >= self.config.seal_rows.max(1) {
+                sh.writer_stalls.fetch_add(1, Ordering::Relaxed);
+                self.enforce_budget().expect("segment spill failed");
+            }
+        }
     }
 
     /// One maintenance round over all four tables: seal checks every
-    /// call, compaction only when `compact` is set. A compaction is the
-    /// biggest single burst of background CPU (up to a whole row budget
+    /// call, compaction only when `compact` is set, then budget
+    /// enforcement (the background spiller). A compaction is the biggest
+    /// single burst of background CPU (up to a whole row budget
     /// re-merged), so the sealer runs it on a slower cadence than the
     /// seal check — on one-core hosts every burst event collides with a
     /// handful of in-flight queries, and the collision count, not the
     /// per-event cost, is what shows up at p99.
     fn maintenance_pass(&self, force: bool, compact: bool) {
         fn round<R: SegmentRow>(inner: &SegInner, table: &SegTable<R>, force: bool, compact: bool) {
-            if table.seal_pass(&inner.config, force) {
+            if table.seal_pass(&inner.config, force, inner.decoded_sealed_rows()) {
                 inner.seals.fetch_add(1, Ordering::Relaxed);
             }
-            if (force || compact) && table.compact_pass(&inner.config, force) {
+            if (force || compact)
+                && table.compact_pass(&inner.config, force, inner.decoded_sealed_rows())
+            {
                 inner.compactions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -1125,6 +2025,7 @@ impl SegInner {
         round(self, &self.rssi, force, compact);
         round(self, &self.fixes, force, compact);
         round(self, &self.proximity, force, compact);
+        self.enforce_budget().expect("segment spill failed");
     }
 }
 
@@ -1212,6 +2113,13 @@ impl Drop for SegmentedRepository {
         if let Some(handle) = self.sealer.lock().expect("sealer handle").take() {
             let _ = handle.join();
         }
+        // The spill subdirectory is per-instance, so with the sealer
+        // joined and every query handle gone nothing can page from it;
+        // consumed segments' files were deliberately kept for old pinned
+        // snapshots and are swept here with the rest.
+        if let Some(sh) = &self.inner.spill {
+            let _ = std::fs::remove_dir_all(&sh.cfg.dir);
+        }
     }
 }
 
@@ -1229,19 +2137,57 @@ impl ProductSink for SegmentedRepository {
 
 impl SegmentedRepository {
     /// A segmented repository with the default [`SegmentConfig`] and the
-    /// background sealer running.
+    /// background sealer running. Consults [`SpillConfig::from_env`], so
+    /// whole suites can be rerun against the spill tier without code
+    /// changes.
     pub fn new() -> Self {
         Self::with_config(SegmentConfig::default())
     }
 
-    /// A segmented repository with explicit sealer/compactor tuning.
+    /// A segmented repository with explicit sealer/compactor tuning (and
+    /// the spill tier if [`SpillConfig::from_env`] finds one).
     pub fn with_config(config: SegmentConfig) -> Self {
+        Self::build(config, SpillConfig::from_env())
+    }
+
+    /// A segmented repository with the spill tier on: sealed segments
+    /// past `spill.memory_budget_rows` are evicted to disk and paged
+    /// back on demand. Ignores the environment.
+    pub fn with_spill(config: SegmentConfig, spill: SpillConfig) -> Self {
+        Self::build(config, Some(spill))
+    }
+
+    fn build(config: SegmentConfig, spill: Option<SpillConfig>) -> Self {
+        // Distinguishes repositories sharing one configured dir (and one
+        // process): each instance spills into its own subdirectory and
+        // removes exactly that on drop.
+        static NEXT_SPILL_INSTANCE: AtomicU64 = AtomicU64::new(1);
+        let spill = spill.map(|original| {
+            let dir = original.dir.join(format!(
+                "vita-{}-{}",
+                std::process::id(),
+                NEXT_SPILL_INSTANCE.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("create spill directory");
+            let mut cfg = original.clone();
+            cfg.dir = dir;
+            Arc::new(SpillShared {
+                cfg,
+                original,
+                touch: AtomicU64::new(0),
+                spills: AtomicU64::new(0),
+                page_ins: AtomicU64::new(0),
+                writer_stalls: AtomicU64::new(0),
+                enforce_lock: Mutex::new(()),
+            })
+        });
         let inner = Arc::new(SegInner {
-            trajectories: SegTable::new(true),
-            rssi: SegTable::new(false),
-            fixes: SegTable::new(false),
-            proximity: SegTable::new(false),
+            trajectories: SegTable::new(true, spill.clone()),
+            rssi: SegTable::new(false, spill.clone()),
+            fixes: SegTable::new(false, spill.clone()),
+            proximity: SegTable::new(false, spill.clone()),
             config,
+            spill,
             seals: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
@@ -1268,27 +2214,54 @@ impl SegmentedRepository {
         self.inner.maintenance_pass(true, true);
     }
 
-    /// Sealer/compactor counters and the live segment inventory.
+    /// The spill config this repository was built with, as the caller
+    /// passed it; `None` when running all-resident.
+    pub fn spill_config(&self) -> Option<&SpillConfig> {
+        self.inner.spill.as_ref().map(|sh| &sh.original)
+    }
+
+    /// Decoded sealed rows past the memory budget, still waiting for
+    /// eviction — the backpressure gauge writers stall on. Always 0
+    /// without a spill tier.
+    pub fn spill_pending_rows(&self) -> usize {
+        self.inner.spill_pending_rows()
+    }
+
+    /// Sealer/compactor/spiller counters and the live segment inventory.
     pub fn stats(&self) -> SegmentStats {
+        let i = &self.inner;
         let mut stats = SegmentStats {
-            seals: self.inner.seals.load(Ordering::Relaxed),
-            compactions: self.inner.compactions.load(Ordering::Relaxed),
+            seals: i.seals.load(Ordering::Relaxed),
+            compactions: i.compactions.load(Ordering::Relaxed),
             ..SegmentStats::default()
         };
-        let i = &self.inner;
-        for (sealed, unsealed) in [
-            i.trajectories.segment_counts(),
-            i.rssi.segment_counts(),
-            i.fixes.segment_counts(),
-            i.proximity.segment_counts(),
-        ] {
-            stats.sealed_segments += sealed;
-            stats.unsealed_segments += unsealed;
+        if let Some(sh) = &i.spill {
+            stats.spills = sh.spills.load(Ordering::Relaxed);
+            stats.page_ins = sh.page_ins.load(Ordering::Relaxed);
+            stats.writer_stalls = sh.writer_stalls.load(Ordering::Relaxed);
         }
+        for inv in [
+            i.trajectories.inventory(),
+            i.rssi.inventory(),
+            i.fixes.inventory(),
+            i.proximity.inventory(),
+        ] {
+            stats.sealed_segments += inv.sealed;
+            stats.unsealed_segments += inv.unsealed;
+            stats.spilled_segments += inv.spilled_segments;
+            stats.spilled_rows += inv.spilled_rows;
+            stats.resident_rows += inv.sealed_resident_rows;
+            stats.head_rows += inv.head_rows;
+        }
+        stats.resident_rows += i.trajectories.cached_rows()
+            + i.rssi.cached_rows()
+            + i.fixes.cached_rows()
+            + i.proximity.cached_rows();
         stats
     }
 
-    /// Row counts of the four tables under `scope`.
+    /// Row counts of the four tables under `scope` — answered from
+    /// per-section meta, never paging anything in.
     pub fn counts(&self, scope: RunScope) -> TableCounts {
         TableCounts {
             trajectories: self.inner.trajectories.pin().len(scope),
@@ -1315,10 +2288,31 @@ impl SegmentedRepository {
         runs
     }
 
+    // Each query comes in an infallible flavor (panics if a spilled
+    // segment file turns out unreadable — an operational failure, never
+    // silently wrong rows) and a `try_` flavor surfacing [`SpillError`]
+    // for callers that serve queries and want to degrade gracefully.
+    // Without a spill tier the `try_` flavors cannot fail.
+
     /// `scope`'s trajectory rows in arrival order (the single
     /// repository's insertion order, reconstructed from seqs).
     pub fn trajectories_scan(&self, scope: RunScope) -> Vec<TrajectorySample> {
-        self.inner.trajectories.pin().scan(scope)
+        self.try_trajectories_scan(scope)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::trajectories_scan`].
+    pub fn try_trajectories_scan(
+        &self,
+        scope: RunScope,
+    ) -> Result<Vec<TrajectorySample>, SpillError> {
+        let i = &self.inner;
+        i.trajectories.try_query(
+            scope,
+            i.cache_room(&i.trajectories),
+            |_| true,
+            scan_sections,
+        )
     }
 
     /// `scope`'s samples in the half-open window `from <= t < to`,
@@ -1329,18 +2323,67 @@ impl SegmentedRepository {
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<TrajectorySample> {
-        self.inner.trajectories.pin().time_window(scope, from, to)
+        self.try_trajectories_time_window(scope, from, to)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::trajectories_time_window`].
+    pub fn try_trajectories_time_window(
+        &self,
+        scope: RunScope,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<TrajectorySample>, SpillError> {
+        let i = &self.inner;
+        i.trajectories.try_query(
+            scope,
+            i.cache_room(&i.trajectories),
+            |m| m.max_t >= from && m.min_t < to,
+            |s| time_window_sections(s, from, to),
+        )
     }
 
     /// Latest sample at or before `t` (inclusive) per object of `scope`,
     /// sorted by object id.
     pub fn trajectories_snapshot_at(&self, scope: RunScope, t: Timestamp) -> Vec<TrajectorySample> {
-        self.inner.trajectories.pin().snapshot_at(scope, t)
+        self.try_trajectories_snapshot_at(scope, t)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::trajectories_snapshot_at`].
+    pub fn try_trajectories_snapshot_at(
+        &self,
+        scope: RunScope,
+        t: Timestamp,
+    ) -> Result<Vec<TrajectorySample>, SpillError> {
+        let i = &self.inner;
+        i.trajectories.try_query(
+            scope,
+            i.cache_room(&i.trajectories),
+            |m| m.min_t <= t,
+            |s| snapshot_at_sections(s, t),
+        )
     }
 
     /// `scope`'s trace of object `o`, time-ordered.
     pub fn object_trace(&self, scope: RunScope, o: ObjectId) -> Vec<TrajectorySample> {
-        self.inner.trajectories.pin().of_object(scope, o)
+        self.try_object_trace(scope, o)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::object_trace`].
+    pub fn try_object_trace(
+        &self,
+        scope: RunScope,
+        o: ObjectId,
+    ) -> Result<Vec<TrajectorySample>, SpillError> {
+        let i = &self.inner;
+        i.trajectories.try_query(
+            scope,
+            i.cache_room(&i.trajectories),
+            |_| true,
+            |s| of_object_sections(s, o),
+        )
     }
 
     /// `scope`'s samples on `floor` inside `query`, in arrival order.
@@ -1350,10 +2393,28 @@ impl SegmentedRepository {
         floor: FloorId,
         query: &Aabb,
     ) -> Vec<TrajectorySample> {
-        self.inner
-            .trajectories
-            .pin()
-            .range_query(scope, floor, query)
+        self.try_trajectories_range_query(scope, floor, query)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::trajectories_range_query`].
+    pub fn try_trajectories_range_query(
+        &self,
+        scope: RunScope,
+        floor: FloorId,
+        query: &Aabb,
+    ) -> Result<Vec<TrajectorySample>, SpillError> {
+        let i = &self.inner;
+        i.trajectories.try_query(
+            scope,
+            i.cache_room(&i.trajectories),
+            |m| {
+                m.floors
+                    .as_ref()
+                    .is_none_or(|fl| fl.binary_search(&floor).is_ok())
+            },
+            |s| range_query_sections(s, floor, query),
+        )
     }
 
     /// `scope`'s k nearest samples to `p` on `floor`, nearest first.
@@ -1364,12 +2425,42 @@ impl SegmentedRepository {
         p: Point,
         k: usize,
     ) -> Vec<(TrajectorySample, f64)> {
-        self.inner.trajectories.pin().knn(scope, floor, p, k)
+        self.try_trajectories_knn(scope, floor, p, k)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::trajectories_knn`].
+    pub fn try_trajectories_knn(
+        &self,
+        scope: RunScope,
+        floor: FloorId,
+        p: Point,
+        k: usize,
+    ) -> Result<Vec<(TrajectorySample, f64)>, SpillError> {
+        let i = &self.inner;
+        i.trajectories.try_query(
+            scope,
+            i.cache_room(&i.trajectories),
+            |m| {
+                m.floors
+                    .as_ref()
+                    .is_none_or(|fl| fl.binary_search(&floor).is_ok())
+            },
+            |s| knn_sections(s, floor, p, k),
+        )
     }
 
     /// `scope`'s RSSI rows in arrival order.
     pub fn rssi_scan(&self, scope: RunScope) -> Vec<RssiMeasurement> {
-        self.inner.rssi.pin().scan(scope)
+        self.try_rssi_scan(scope)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::rssi_scan`].
+    pub fn try_rssi_scan(&self, scope: RunScope) -> Result<Vec<RssiMeasurement>, SpillError> {
+        let i = &self.inner;
+        i.rssi
+            .try_query(scope, i.cache_room(&i.rssi), |_| true, scan_sections)
     }
 
     /// `scope`'s measurements in the half-open window `from <= t < to`.
@@ -1379,37 +2470,135 @@ impl SegmentedRepository {
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<RssiMeasurement> {
-        self.inner.rssi.pin().time_window(scope, from, to)
+        self.try_rssi_time_window(scope, from, to)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::rssi_time_window`].
+    pub fn try_rssi_time_window(
+        &self,
+        scope: RunScope,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<RssiMeasurement>, SpillError> {
+        let i = &self.inner;
+        i.rssi.try_query(
+            scope,
+            i.cache_room(&i.rssi),
+            |m| m.max_t >= from && m.min_t < to,
+            |s| time_window_sections(s, from, to),
+        )
     }
 
     /// `scope`'s measurements of object `o`, time-ordered.
     pub fn rssi_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<RssiMeasurement> {
-        self.inner.rssi.pin().of_object(scope, o)
+        self.try_rssi_of_object(scope, o)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::rssi_of_object`].
+    pub fn try_rssi_of_object(
+        &self,
+        scope: RunScope,
+        o: ObjectId,
+    ) -> Result<Vec<RssiMeasurement>, SpillError> {
+        let i = &self.inner;
+        i.rssi.try_query(
+            scope,
+            i.cache_room(&i.rssi),
+            |_| true,
+            |s| of_object_sections(s, o),
+        )
     }
 
     /// `scope`'s measurements through device `d`, time-ordered.
     pub fn rssi_of_device(&self, scope: RunScope, d: DeviceId) -> Vec<RssiMeasurement> {
-        self.inner.rssi.pin().of_device(scope, d)
+        self.try_rssi_of_device(scope, d)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::rssi_of_device`].
+    pub fn try_rssi_of_device(
+        &self,
+        scope: RunScope,
+        d: DeviceId,
+    ) -> Result<Vec<RssiMeasurement>, SpillError> {
+        let i = &self.inner;
+        i.rssi.try_query(
+            scope,
+            i.cache_room(&i.rssi),
+            |_| true,
+            |s| of_device_sections(s, d),
+        )
     }
 
     /// `scope`'s fixes in arrival order.
     pub fn fixes_scan(&self, scope: RunScope) -> Vec<Fix> {
-        self.inner.fixes.pin().scan(scope)
+        self.try_fixes_scan(scope)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::fixes_scan`].
+    pub fn try_fixes_scan(&self, scope: RunScope) -> Result<Vec<Fix>, SpillError> {
+        let i = &self.inner;
+        i.fixes
+            .try_query(scope, i.cache_room(&i.fixes), |_| true, scan_sections)
     }
 
     /// `scope`'s fixes in the half-open window `from <= t < to`.
     pub fn fixes_time_window(&self, scope: RunScope, from: Timestamp, to: Timestamp) -> Vec<Fix> {
-        self.inner.fixes.pin().time_window(scope, from, to)
+        self.try_fixes_time_window(scope, from, to)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::fixes_time_window`].
+    pub fn try_fixes_time_window(
+        &self,
+        scope: RunScope,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<Fix>, SpillError> {
+        let i = &self.inner;
+        i.fixes.try_query(
+            scope,
+            i.cache_room(&i.fixes),
+            |m| m.max_t >= from && m.min_t < to,
+            |s| time_window_sections(s, from, to),
+        )
     }
 
     /// `scope`'s fixes of object `o`, time-ordered.
     pub fn fixes_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<Fix> {
-        self.inner.fixes.pin().of_object(scope, o)
+        self.try_fixes_of_object(scope, o)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::fixes_of_object`].
+    pub fn try_fixes_of_object(
+        &self,
+        scope: RunScope,
+        o: ObjectId,
+    ) -> Result<Vec<Fix>, SpillError> {
+        let i = &self.inner;
+        i.fixes.try_query(
+            scope,
+            i.cache_room(&i.fixes),
+            |_| true,
+            |s| of_object_sections(s, o),
+        )
     }
 
     /// `scope`'s proximity rows in arrival order.
     pub fn proximity_scan(&self, scope: RunScope) -> Vec<ProximityRecord> {
-        self.inner.proximity.pin().scan(scope)
+        self.try_proximity_scan(scope)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::proximity_scan`].
+    pub fn try_proximity_scan(&self, scope: RunScope) -> Result<Vec<ProximityRecord>, SpillError> {
+        let i = &self.inner;
+        i.proximity
+            .try_query(scope, i.cache_room(&i.proximity), |_| true, scan_sections)
     }
 
     /// `scope`'s records whose detection period intersects `[from, to)`,
@@ -1420,32 +2609,109 @@ impl SegmentedRepository {
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<ProximityRecord> {
-        self.inner.proximity.pin().overlapping(scope, from, to)
+        self.try_proximity_overlapping(scope, from, to)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::proximity_overlapping`].
+    pub fn try_proximity_overlapping(
+        &self,
+        scope: RunScope,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<ProximityRecord>, SpillError> {
+        let i = &self.inner;
+        // Meta time bounds are over `ts` (the section sort key), so only
+        // the `ts < to` half prunes; `te >= from` is checked per row.
+        i.proximity.try_query(
+            scope,
+            i.cache_room(&i.proximity),
+            |m| m.min_t < to,
+            |s| overlapping_sections(s, from, to),
+        )
     }
 
     /// `scope`'s detection periods of object `o`, ordered by start time.
     pub fn proximity_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<ProximityRecord> {
-        self.inner.proximity.pin().of_object(scope, o)
+        self.try_proximity_of_object(scope, o)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::proximity_of_object`].
+    pub fn try_proximity_of_object(
+        &self,
+        scope: RunScope,
+        o: ObjectId,
+    ) -> Result<Vec<ProximityRecord>, SpillError> {
+        let i = &self.inner;
+        i.proximity.try_query(
+            scope,
+            i.cache_room(&i.proximity),
+            |_| true,
+            |s| of_object_sections(s, o),
+        )
     }
 
     /// `scope`'s detection periods through device `d`, ordered by start
     /// time.
     pub fn proximity_of_device(&self, scope: RunScope, d: DeviceId) -> Vec<ProximityRecord> {
-        self.inner.proximity.pin().of_device(scope, d)
+        self.try_proximity_of_device(scope, d)
+            .expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::proximity_of_device`].
+    pub fn try_proximity_of_device(
+        &self,
+        scope: RunScope,
+        d: DeviceId,
+    ) -> Result<Vec<ProximityRecord>, SpillError> {
+        let i = &self.inner;
+        i.proximity.try_query(
+            scope,
+            i.cache_room(&i.proximity),
+            |_| true,
+            |s| of_device_sections(s, d),
+        )
     }
 
     /// Serialize every table into the backend-agnostic run-segmented wire
     /// format (scan order — arrival order — inside each run section, like
-    /// the other backends).
+    /// the other backends). Spilled segments contribute their raw on-disk
+    /// row bytes, spliced per run by seq without decoding rows to structs
+    /// and re-encoding them — the segment file and the table wire format
+    /// share the row encoding byte-for-byte.
     pub fn export(&self) -> RepositoryExport {
-        let t = self.inner.trajectories.pin();
-        let r = self.inner.rssi.pin();
-        let f = self.inner.fixes.pin();
-        let p = self.inner.proximity.pin();
-        let t_sections = run_sections(t.run_ids(), |run| t.scan(run.into()));
-        let r_sections = run_sections(r.run_ids(), |run| r.scan(run.into()));
-        let f_sections = run_sections(f.run_ids(), |run| f.scan(run.into()));
-        let p_sections = run_sections(p.run_ids(), |run| p.scan(run.into()));
+        self.try_export().expect("spilled segment unreadable")
+    }
+
+    /// Fallible twin of [`Self::export`].
+    pub fn try_export(&self) -> Result<RepositoryExport, SpillError> {
+        let i = &self.inner;
+        Ok(RepositoryExport {
+            trajectories: export_table_raw(&i.trajectories)?,
+            rssi: export_table_raw(&i.rssi)?,
+            fixes: export_table_raw(&i.fixes)?,
+            proximity: export_table_raw(&i.proximity)?,
+        })
+    }
+
+    /// The pre-spill export path: decode every row to its struct, scan in
+    /// arrival order, re-encode. Kept (hidden) as the reference the raw
+    /// splice is benchmarked and parity-tested against.
+    #[doc(hidden)]
+    pub fn export_reencode(&self) -> RepositoryExport {
+        let t_sections = run_sections(self.inner.trajectories.pin().run_ids(), |run| {
+            self.trajectories_scan(run.into())
+        });
+        let r_sections = run_sections(self.inner.rssi.pin().run_ids(), |run| {
+            self.rssi_scan(run.into())
+        });
+        let f_sections = run_sections(self.inner.fixes.pin().run_ids(), |run| {
+            self.fixes_scan(run.into())
+        });
+        let p_sections = run_sections(self.inner.proximity.pin().run_ids(), |run| {
+            self.proximity_scan(run.into())
+        });
         RepositoryExport {
             trajectories: encode_trajectories_runs(&borrow_sections(&t_sections)),
             rssi: encode_rssi_runs(&borrow_sections(&r_sections)),
@@ -1456,9 +2722,19 @@ impl SegmentedRepository {
 
     /// Rebuild a segmented repository from an export, run by run (the
     /// export's own backend does not matter — the wire format is
-    /// backend-agnostic).
+    /// backend-agnostic). Consults [`SpillConfig::from_env`] like
+    /// [`Self::new`].
     pub fn import(export: &RepositoryExport) -> Result<Self, CodecError> {
-        let repo = SegmentedRepository::new();
+        Self::import_with(export, SegmentConfig::default(), SpillConfig::from_env())
+    }
+
+    /// [`Self::import`] with explicit tuning and an optional spill tier.
+    pub fn import_with(
+        export: &RepositoryExport,
+        config: SegmentConfig,
+        spill: Option<SpillConfig>,
+    ) -> Result<Self, CodecError> {
+        let repo = Self::build(config, spill);
         for (run, rows) in decode_trajectories_runs(export.trajectories.clone())? {
             repo.accept_run(run, ProductBatch::Trajectories(rows));
         }
@@ -1473,6 +2749,57 @@ impl SegmentedRepository {
         }
         Ok(repo)
     }
+}
+
+/// One table's wire-format bytes for [`SegmentedRepository::export`],
+/// assembled from raw row bytes: resident sections re-encode rows (a
+/// straight `put_row` pass, no sorting), spilled segments contribute the
+/// row bytes already sitting in their files. Rows are regrouped per run
+/// and ordered by seq — the same splice either way, so spilled and
+/// resident state export byte-identically.
+fn export_table_raw<R: SegmentRow>(table: &SegTable<R>) -> Result<Bytes, SpillError> {
+    use crate::codec::RawSection;
+    let snap = table.pin();
+    let mut raw: Vec<RawSection> = Vec::new();
+    for seg in &snap.segments {
+        match seg.resident_sections() {
+            Some(sections) => {
+                for sec in sections {
+                    let mut buf = BytesMut::with_capacity(sec.rows.len() * R::ROW);
+                    for r in &sec.rows {
+                        r.put_row(&mut buf);
+                    }
+                    raw.push(RawSection {
+                        run: sec.run,
+                        rows: buf.freeze(),
+                        seqs: sec.seqs.clone(),
+                    });
+                }
+            }
+            None => {
+                let path = seg.spill_path().expect("non-resident segment is spilled");
+                let bytes = std::fs::read(path)?;
+                raw.extend(decode_segment_raw::<R>(Bytes::from(bytes))?);
+            }
+        }
+    }
+    let mut per_run: BTreeMap<RunId, Vec<(Seq, Bytes)>> = BTreeMap::new();
+    for sec in &raw {
+        for (i, &s) in sec.seqs.iter().enumerate() {
+            per_run
+                .entry(sec.run)
+                .or_default()
+                .push((s, sec.rows.slice(i * R::ROW..(i + 1) * R::ROW)));
+        }
+    }
+    for rows in per_run.values_mut() {
+        rows.sort_unstable_by_key(|(s, _)| *s);
+    }
+    let parts: Vec<(RunId, Vec<&[u8]>)> = per_run
+        .iter()
+        .map(|(run, rows)| (*run, rows.iter().map(|(_, b)| &b[..]).collect()))
+        .collect();
+    Ok(encode_runs_raw::<R>(&parts))
 }
 
 #[cfg(test)]
@@ -1490,8 +2817,7 @@ mod tests {
         )
     }
 
-    fn filled() -> SegmentedRepository {
-        let repo = SegmentedRepository::new();
+    fn fill(repo: &SegmentedRepository) {
         for b in 0..6u64 {
             let batch: Vec<TrajectorySample> = (0..20)
                 .map(|i| {
@@ -1506,6 +2832,11 @@ mod tests {
                 .collect();
             repo.accept_run(RunId((b % 2) as u32), ProductBatch::Trajectories(batch));
         }
+    }
+
+    fn filled() -> SegmentedRepository {
+        let repo = SegmentedRepository::new();
+        fill(&repo);
         repo
     }
 
@@ -1662,5 +2993,126 @@ mod tests {
                 .len(),
             0
         );
+    }
+
+    #[test]
+    fn pin_cache_evicts_least_recently_pinned_past_capacity() {
+        // More live cells than one thread's pin cache holds: pins taken
+        // before the cache overflowed must stay valid (they are plain
+        // Arcs), and re-pinning every cell must keep answering the right
+        // value whether it was evicted or not.
+        let cells: Vec<SnapshotCell<usize>> =
+            (0..PIN_CACHE_CAP + 8).map(SnapshotCell::new).collect();
+        let pins: Vec<Arc<usize>> = cells.iter().map(|c| c.pin()).collect();
+        for (i, p) in pins.iter().enumerate() {
+            assert_eq!(**p, i);
+        }
+        // Touch every cell in reverse so the cache churns through all of
+        // them again with a different recency order.
+        for (i, c) in cells.iter().enumerate().rev() {
+            assert_eq!(*c.pin(), i);
+        }
+        cells[0].publish(Arc::new(999));
+        assert_eq!(*cells[0].pin(), 999);
+        // The pin taken before the publish still reads the old value.
+        assert_eq!(*pins[0], 0);
+    }
+
+    fn spill_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vita-spill-test-{tag}-{}", std::process::id()))
+    }
+
+    fn tiny_spill(tag: &str, budget: usize) -> SpillConfig {
+        SpillConfig {
+            dir: spill_dir(tag),
+            memory_budget_rows: budget,
+            cache_segments: 2,
+        }
+    }
+
+    #[test]
+    fn spilled_repository_is_bit_identical_and_bounded() {
+        let cfg = SegmentConfig {
+            seal_rows: 16,
+            ..SegmentConfig::default()
+        };
+        // `build(.., None)` rather than `with_config`: the baseline must
+        // stay all-resident even when the suite runs with VITA_SPILL_DIR.
+        let baseline = SegmentedRepository::build(cfg, None);
+        fill(&baseline);
+        baseline.seal_now();
+        let repo = SegmentedRepository::with_spill(cfg, tiny_spill("parity", 30));
+        fill(&repo);
+        repo.seal_now();
+        let stats = repo.stats();
+        assert!(stats.spills >= 1, "must have spilled: {stats:?}");
+        assert!(stats.spilled_rows > 0, "{stats:?}");
+        assert!(
+            stats.resident_rows <= 30,
+            "decoded sealed rows must fit the budget: {stats:?}"
+        );
+        // Every query path answers bit-identically to the all-resident
+        // repository, paging spilled segments back in as needed.
+        assert_eq!(repo.counts(RunScope::All), baseline.counts(RunScope::All));
+        assert_eq!(
+            repo.trajectories_scan(RunScope::All),
+            baseline.trajectories_scan(RunScope::All)
+        );
+        assert_eq!(
+            repo.trajectories_time_window(RunId(0).into(), Timestamp(100), Timestamp(900)),
+            baseline.trajectories_time_window(RunId(0).into(), Timestamp(100), Timestamp(900))
+        );
+        assert_eq!(
+            repo.trajectories_snapshot_at(RunScope::All, Timestamp(700)),
+            baseline.trajectories_snapshot_at(RunScope::All, Timestamp(700))
+        );
+        assert_eq!(
+            repo.object_trace(RunScope::All, ObjectId(2)),
+            baseline.object_trace(RunScope::All, ObjectId(2))
+        );
+        let window = Aabb::new(Point::new(10.0, 0.0), Point::new(60.0, 2.0));
+        assert_eq!(
+            repo.trajectories_range_query(RunScope::All, FloorId(0), &window),
+            baseline.trajectories_range_query(RunScope::All, FloorId(0), &window)
+        );
+        assert!(repo.stats().page_ins >= 1, "{:?}", repo.stats());
+        // Queries paged segments in; the next maintenance round brings
+        // the gauge back under the budget.
+        repo.seal_now();
+        assert!(repo.stats().resident_rows <= 30, "{:?}", repo.stats());
+        // Export splices spilled raw bytes; it must equal the
+        // all-resident export and the typed re-encode path byte-for-byte.
+        let spilled_export = repo.export();
+        let resident_export = baseline.export();
+        let reencoded_export = repo.export_reencode();
+        assert_eq!(spilled_export.trajectories, resident_export.trajectories);
+        assert_eq!(spilled_export.rssi, resident_export.rssi);
+        assert_eq!(spilled_export.fixes, resident_export.fixes);
+        assert_eq!(spilled_export.proximity, resident_export.proximity);
+        assert_eq!(spilled_export.trajectories, reencoded_export.trajectories);
+        assert_eq!(spilled_export.rssi, reencoded_export.rssi);
+        assert_eq!(spilled_export.fixes, reencoded_export.fixes);
+        assert_eq!(spilled_export.proximity, reencoded_export.proximity);
+    }
+
+    #[test]
+    fn spill_directory_is_removed_on_drop() {
+        let cfg = SegmentConfig {
+            seal_rows: 8,
+            ..SegmentConfig::default()
+        };
+        let spill = tiny_spill("drop", 8);
+        let parent = spill.dir.clone();
+        {
+            let repo = SegmentedRepository::with_spill(cfg, spill);
+            fill(&repo);
+            repo.seal_now();
+            assert!(repo.stats().spills >= 1, "{:?}", repo.stats());
+            let live = std::fs::read_dir(&parent).unwrap().count();
+            assert!(live >= 1, "instance subdir must exist while alive");
+        }
+        let leftover = std::fs::read_dir(&parent).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(leftover, 0, "per-instance spill dir must be removed");
+        let _ = std::fs::remove_dir_all(&parent);
     }
 }

@@ -193,8 +193,8 @@ proptest! {
             })
             .collect();
 
-        for backend in backends {
-            let original = AnyRepository::new(backend);
+        for backend in &backends {
+            let original = AnyRepository::new(backend.clone());
             for (id, data) in run_ids.iter().zip(&runs) {
                 ingest(&original, *id, data);
             }
@@ -203,8 +203,8 @@ proptest! {
 
             // Import into every backend shape: run isolation must hold
             // regardless of where the rows land.
-            for target in backends {
-                let imported = AnyRepository::import(&export, target).unwrap();
+            for target in &backends {
+                let imported = AnyRepository::import(&export, target.clone()).unwrap();
                 assert_runs_equal(&imported, &original);
 
                 // Same-shape round trips are canonical: the re-export is

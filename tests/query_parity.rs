@@ -133,9 +133,9 @@ proptest! {
         for backend in [
             StorageBackend::Single,
             StorageBackend::Sharded { shards },
-            StorageBackend::Segmented,
+            StorageBackend::segmented(),
         ] {
-            let repo = Arc::new(AnyRepository::new(backend));
+            let repo = Arc::new(AnyRepository::new(backend.clone()));
             for (s, run) in &rows {
                 repo.accept_run(RunId(*run), ProductBatch::Trajectories(vec![*s]));
             }
@@ -200,7 +200,7 @@ fn scenario(objects: usize, seed: u64, backend: StorageBackend) -> ScenarioConfi
 /// time-ordered, and once ingestion finishes the service agrees with the
 /// repository exactly.
 fn queries_are_prefix_consistent_on(backend: StorageBackend) {
-    let mut vita = toolkit(backend);
+    let mut vita = toolkit(backend.clone());
     let service = vita.serve();
     let done = AtomicBool::new(false);
     let scopes = [
@@ -264,8 +264,8 @@ fn queries_are_prefix_consistent_on(backend: StorageBackend) {
 
         let reports = vita
             .run_many(&[
-                scenario(4, 11, backend),
-                scenario(3, 22, backend),
+                scenario(4, 11, backend.clone()),
+                scenario(3, 22, backend.clone()),
                 scenario(5, 33, backend),
             ])
             .unwrap();
@@ -302,5 +302,5 @@ fn queries_are_prefix_consistent_during_ingestion_sharded() {
 
 #[test]
 fn queries_are_prefix_consistent_during_ingestion_segmented() {
-    queries_are_prefix_consistent_on(StorageBackend::Segmented);
+    queries_are_prefix_consistent_on(StorageBackend::segmented());
 }

@@ -59,7 +59,7 @@ fn scenarios(backend: StorageBackend) -> Vec<ScenarioConfig> {
                 config: TrilaterationConfig::default(),
                 conversion_model: PathLossModel::default(),
             },
-            options,
+            options: options.clone(),
         },
         ScenarioConfig {
             mobility: mobility(7, 0xB0B),
@@ -68,13 +68,13 @@ fn scenarios(backend: StorageBackend) -> Vec<ScenarioConfig> {
                 config: TrilaterationConfig::default(),
                 conversion_model: PathLossModel::default(),
             },
-            options,
+            options: options.clone(),
         },
         ScenarioConfig {
             mobility: mobility(8, 0xCAFE),
             rssi,
             method: MethodConfig::Proximity(ProximityConfig::default()),
-            options,
+            options: options.clone(),
         },
         ScenarioConfig {
             mobility: mobility(6, 0xD00D),

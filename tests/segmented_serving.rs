@@ -50,7 +50,7 @@ fn scenario(objects: usize, seed: u64, backend: StorageBackend) -> ScenarioConfi
 }
 
 fn run_all(backend: StorageBackend, race_readers: bool) -> Vita {
-    let mut vita = toolkit(backend);
+    let mut vita = toolkit(backend.clone());
     let service = vita.serve();
     let done = AtomicBool::new(false);
     std::thread::scope(|s| {
@@ -89,8 +89,8 @@ fn run_all(backend: StorageBackend, race_readers: bool) -> Vita {
         }
         let reports = vita
             .run_many(&[
-                scenario(4, 11, backend),
-                scenario(3, 22, backend),
+                scenario(4, 11, backend.clone()),
+                scenario(3, 22, backend.clone()),
                 scenario(5, 33, backend),
             ])
             .unwrap();
@@ -127,7 +127,7 @@ fn sorted_samples(vita: &Vita, scope: RunScope) -> Vec<vita_mobility::Trajectory
 #[test]
 fn run_many_into_segmented_matches_single_reference() {
     let reference = run_all(StorageBackend::Single, false);
-    let segmented = run_all(StorageBackend::Segmented, true);
+    let segmented = run_all(StorageBackend::segmented(), true);
 
     let scopes = [
         RunScope::All,
@@ -193,8 +193,8 @@ fn migrating_through_segmented_is_lossless() {
     let counts = vita.repository().counts(RunScope::All);
     let fixes = sorted_fixes(&vita, RunScope::All);
 
-    vita.migrate_backend(StorageBackend::Segmented);
-    assert_eq!(vita.repository().backend(), StorageBackend::Segmented);
+    vita.migrate_backend(StorageBackend::segmented());
+    assert_eq!(vita.repository().backend(), StorageBackend::segmented());
     assert_eq!(vita.repository().counts(RunScope::All), counts);
     assert_eq!(sorted_fixes(&vita, RunScope::All), fixes);
     for r in 0..3 {

@@ -121,6 +121,24 @@ impl Bytes {
             pos: 0,
         }
     }
+
+    /// Split off and return the first `at` unconsumed bytes, advancing
+    /// this buffer past them. Copies (see module docs), where the real
+    /// crate refcounts.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "Bytes::split_to: out of bounds");
+        let head = self.slice(..at);
+        self.advance(at);
+        head
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
 }
 
 impl Buf for Bytes {
