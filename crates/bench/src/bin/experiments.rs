@@ -6,6 +6,12 @@
 //! (Pass experiment ids, e.g. `e3 e5`, to run a subset. Pass
 //! `--json PATH` to additionally wrap the report in a
 //! `BENCH_seed.json`-style document written to PATH.)
+//!
+//! `lab SPEC [--trials PATH] [--schema GOLDEN]` runs an arbitrary
+//! vita-lab scenario-matrix spec instead: analysis tables on stdout, one
+//! JSONL trial record per trial to PATH, and optional validation of every
+//! record's shape against a golden JSONL fixture. E11s/E13/E14 are thin
+//! front-ends over checked-in specs in `crates/bench/specs/`.
 
 use std::time::Instant;
 
@@ -36,6 +42,10 @@ fn main() {
             .expect("--json requires an output path");
         args.drain(i..=i + 1);
         write_json_report(&path, &args);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("lab") {
+        run_lab_command(&args[1..]);
         return;
     }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
@@ -158,6 +168,69 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// `lab SPEC [--trials PATH] [--schema GOLDEN]` — run a scenario-matrix
+/// spec file through vita-lab: analysis tables on stdout, one JSONL
+/// record per trial to PATH, and (with `--schema`) validation that every
+/// emitted record's shape (key set + value types) matches one of the
+/// golden fixture's lines.
+fn run_lab_command(args: &[String]) {
+    let mut spec_path = None;
+    let mut trials_path = None;
+    let mut schema_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trials" => trials_path = Some(it.next().expect("--trials needs a path").clone()),
+            "--schema" => schema_path = Some(it.next().expect("--schema needs a path").clone()),
+            other => spec_path = Some(other.to_string()),
+        }
+    }
+    let spec_path = spec_path.expect("usage: lab SPEC [--trials PATH] [--schema GOLDEN]");
+    let text = std::fs::read_to_string(&spec_path).expect("read spec");
+    let report = run_lab_text(&text, &spec_path);
+    let jsonl = report.trials_jsonl(true);
+    if let Some(path) = trials_path {
+        std::fs::write(&path, &jsonl).expect("write trials");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = schema_path {
+        let golden = std::fs::read_to_string(&path).expect("read golden schema");
+        // Canonical signatures: `bindings` keys are the spec's axis
+        // names, so they are blanked (values checked to be strings) and
+        // the rest of the shape must match a golden line exactly.
+        let allowed: std::collections::BTreeSet<String> = golden
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                vita_lab::trial_schema_signature(&vita_lab::Json::parse(l).expect("golden json"))
+                    .expect("golden record shape")
+            })
+            .collect();
+        for (i, line) in jsonl.lines().enumerate() {
+            let record = vita_lab::Json::parse(line).expect("emitted record must be valid JSON");
+            let sig = vita_lab::trial_schema_signature(&record)
+                .unwrap_or_else(|e| panic!("trial record {i}: {e}"));
+            assert!(
+                allowed.contains(&sig),
+                "trial record {i} has shape {sig}, not found in {path}"
+            );
+        }
+        eprintln!(
+            "schema ok: {} trial records match {path}",
+            jsonl.lines().count()
+        );
+    }
+}
+
+/// Parse + execute a lab spec and print its report (header, per-axis
+/// analysis tables, per-trial wall clocks).
+fn run_lab_text(text: &str, origin: &str) -> vita_lab::LabReport {
+    let spec = vita_lab::parse_spec(text).unwrap_or_else(|e| panic!("{origin}: {e}"));
+    let report = vita_lab::run_spec(&spec).unwrap_or_else(|e| panic!("{origin}: {e}"));
+    print!("{}", report.analysis_markdown());
+    report
+}
+
 /// E11 — the streaming batched dataflow vs the materialize-and-copy step
 /// path, end to end (office, Wi-Fi coverage, trilateration). "Peak
 /// products" is the largest number of trajectory samples held outside the
@@ -212,278 +285,49 @@ fn e11_streaming_pipeline() {
     println!();
 }
 
-/// E11s — E11 at ROADMAP scale: the streaming pipeline ingesting into the
-/// sharded repository vs the single repository, 1k/5k/10k objects, ≥ 4
-/// stage workers. Sharding routes each batch by object-id hash to its own
-/// per-shard locks, so the wall-clock difference isolates storage lock
-/// contention; products are deterministic, so counts are asserted
-/// identical across backends every run.
+/// E11s — E11 at ROADMAP scale, now a vita-lab matrix (`specs/e11s.lab`):
+/// the streaming pipeline ingesting 1k/5k/10k objects into the sharded vs
+/// single repository with 4 stage workers. The spec pins the historical
+/// E11 seed and carries the experiment's core guarantee as
+/// `assert.cross_axis_rows = backend` — the run aborts if the backends'
+/// products diverge. On few-core machines the backends measure at parity
+/// (storage appends are a small slice of pipeline wall-clock); the
+/// sharded win is lock contention under true parallelism — see the
+/// `e12_sharded_ingest` criterion bench on multicore hardware.
 fn e11_at_scale() {
-    use vita_bench::e11;
-    use vita_core::StorageBackend;
-
-    const WORKERS: usize = 4;
-    const SHARDS: usize = 8;
-    const SECS: u64 = 20;
-
-    println!(
-        "## E11s — E11 at scale: sharded vs single repository \
-         (office 2F, 10 APs, trilateration, {WORKERS} stage workers)\n"
-    );
-    println!(
-        "On few-core machines the backends measure at parity (storage \
-         appends are a small slice of pipeline wall-clock and the workers \
-         time-slice one core); the sharded win is lock contention under \
-         true parallelism — see the `e12_sharded_ingest` criterion bench \
-         on multicore hardware. `max shard rows` shows the hash spreading \
-         the load.\n"
-    );
-    println!("| objects | secs | backend | wall ms | rows total | max shard rows |");
-    println!("|---|---|---|---|---|---|");
-    let text = e11::office_text();
-    let backends = [
-        ("single", StorageBackend::Single),
-        ("sharded(8)", StorageBackend::Sharded { shards: SHARDS }),
-    ];
-    for &objects in &[1_000usize, 5_000, 10_000] {
-        // Paired trials, backends interleaved within each trial so
-        // scheduler/frequency drift hits both equally; best-of-7 damps the
-        // residual noise (containers pin this harness to few cores).
-        let mut wall_ms = [f64::INFINITY; 2];
-        let mut rows = [0usize; 2];
-        let mut max_shard = [0usize; 2];
-        let mut reference = None;
-        for _ in 0..7 {
-            for (j, (_, backend)) in backends.iter().enumerate() {
-                let mut vita = e11::toolkit(&text);
-                let report = vita
-                    .run_streaming(&e11::scenario_with(objects, SECS, WORKERS, backend.clone()))
-                    .unwrap();
-                wall_ms[j] = wall_ms[j].min(report.elapsed.as_secs_f64() * 1000.0);
-                let c = vita.repository().counts(RunScope::All);
-                let (t, r, f, p) = (c.trajectories, c.rssi, c.fixes, c.proximity);
-                rows[j] = t + r + f + p;
-                max_shard[j] = report
-                    .shard_rows
-                    .iter()
-                    .map(|c| c.total())
-                    .max()
-                    .unwrap_or(0);
-                match reference {
-                    None => reference = Some((t, r, f, p)),
-                    Some(want) => {
-                        assert_eq!((t, r, f, p), want, "backends diverge at {objects} objects")
-                    }
-                }
-            }
-        }
-        for (j, (name, _)) in backends.iter().enumerate() {
-            println!(
-                "| {objects} | {SECS} | {name} | {:.0} | {} | {} |",
-                wall_ms[j], rows[j], max_shard[j]
-            );
-        }
-    }
+    println!("## E11s — E11 at scale: sharded vs single repository (lab matrix)\n");
+    run_lab_text(include_str!("../../specs/e11s.lab"), "specs/e11s.lab");
     println!();
 }
 
-/// E13 — multi-scenario concurrency: four scenarios (same office world,
-/// different seeds and object counts) through one `Vita`, scheduled
-/// concurrently by `run_many` (one shared stage-worker pool, runs
-/// interleaved, batches run-tagged) vs sequentially by `run_streaming_as`
-/// (same run ids, so identical derived seeds). Per-run row counts are
-/// asserted identical between the two schedules every trial; the
-/// registered `run_many_parity` test pins the row sets bit-identical. On
-/// few-core containers the schedules measure near parity — the concurrent
-/// win is pipeline overlap (one run's simulation against another's
-/// positioning), which needs true parallelism.
+/// E13 — multi-scenario concurrency, now a vita-lab matrix
+/// (`specs/e13.lab`): four repeats per cell ingest as `RunId` 0..3,
+/// scheduled either as one `run_many` batch (`exec = batched`, one shared
+/// stage-worker pool, runs interleaved) or sequentially through
+/// `run_streaming_as` (`exec = solo`, same run ids, so identical derived
+/// seeds). The spec's `assert.cross_axis_rows = exec` is the experiment's
+/// core claim — the schedules must agree run by run; the registered
+/// `run_many_parity` test pins the row sets bit-identical. On few-core
+/// containers the schedules measure near parity — the concurrent win is
+/// pipeline overlap, which needs true parallelism.
 fn e13_concurrent_scenarios() {
-    use vita_bench::e11;
-    use vita_core::{RunId, StorageBackend};
-
-    const WORKERS: usize = 4;
-    const SECS: u64 = 15;
-    const RUNS: u32 = 4;
-
-    println!(
-        "## E13 — multi-scenario concurrency: run_many vs sequential \
-         ({RUNS} runs, office 2F, 10 APs, trilateration, {WORKERS} stage workers)\n"
-    );
-    println!("| objects/run | backend | sequential ms | concurrent ms | rows total | runs |");
-    println!("|---|---|---|---|---|---|");
-    let text = e11::office_text();
-    let backends = [
-        ("single", StorageBackend::Single),
-        ("sharded(8)", StorageBackend::Sharded { shards: 8 }),
-    ];
-    for &objects in &[250usize, 1_000] {
-        for (name, backend) in &backends {
-            let scenarios: Vec<_> = (0..RUNS)
-                .map(|i| {
-                    let mut s = e11::scenario_with(objects, SECS, WORKERS, backend.clone());
-                    // Distinct base seeds: four different workloads, as a
-                    // multi-tenant deployment would see.
-                    s.mobility.seed = e11::SEED + u64::from(i);
-                    s
-                })
-                .collect();
-            // Paired best-of-5, schedules interleaved within each trial.
-            let mut seq_ms = f64::INFINITY;
-            let mut conc_ms = f64::INFINITY;
-            let mut rows = 0usize;
-            for _ in 0..5 {
-                let mut sequential = e11::toolkit(&text);
-                let t0 = Instant::now();
-                for (i, s) in scenarios.iter().enumerate() {
-                    sequential.run_streaming_as(RunId(i as u32), s).unwrap();
-                }
-                seq_ms = seq_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
-
-                let mut concurrent = e11::toolkit(&text);
-                let t0 = Instant::now();
-                let reports = concurrent.run_many(&scenarios).unwrap();
-                conc_ms = conc_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
-                assert_eq!(reports.len(), RUNS as usize);
-
-                // The schedules must agree run by run, every trial.
-                for i in 0..RUNS {
-                    assert_eq!(
-                        concurrent.repository().counts(RunId(i).into()),
-                        sequential.repository().counts(RunId(i).into()),
-                        "schedules diverge at {objects} objects, run {i}"
-                    );
-                }
-                let c = concurrent.repository().counts(RunScope::All);
-                let (t, r, f, p) = (c.trajectories, c.rssi, c.fixes, c.proximity);
-                rows = t + r + f + p;
-            }
-            println!("| {objects} | {name} | {seq_ms:.0} | {conc_ms:.0} | {rows} | {RUNS} |");
-        }
-    }
+    println!("## E13 — multi-scenario concurrency: run_many vs sequential (lab matrix)\n");
+    run_lab_text(include_str!("../../specs/e13.lab"), "specs/e13.lab");
     println!();
 }
 
-/// E14 — run-aware persistence: export/import wall-clock of the v2
-/// run-segmented wire format. A four-run repository (built once per scale
-/// with `run_many`, 250 and 2 500 objects per run → 1k and 10k objects
-/// total) is exported and re-imported into the same backend, paired
-/// best-of-5; per-run row counts are asserted identical after every
-/// import, and the table shows the serialized size. Both backends write
-/// the identical backend-agnostic format, so the deltas isolate the
-/// backends' scan/ingest costs, not the codec.
+/// E14 — run-aware persistence, now a vita-lab matrix (`specs/e14.lab`):
+/// each cell builds a four-run repository with one `run_many` batch, and
+/// the `measure.persistence` probe exports it, times the re-import into
+/// the same backend, records the serialized size, and asserts every run's
+/// counts survive the round trip. All backends write the identical
+/// backend-agnostic v2 wire format, so the timing deltas isolate the
+/// backends' scan/ingest costs, not the codec. (The spilled backend's
+/// raw-splice vs typed re-encode comparison lives in the `e17_spill`
+/// criterion bench and the `spill_parity` test.)
 fn e14_persistence() {
-    use vita_bench::e11;
-    use vita_core::StorageBackend;
-    use vita_storage::AnyRepository;
-
-    const WORKERS: usize = 4;
-    const SECS: u64 = 15;
-    const RUNS: u32 = 4;
-
-    println!(
-        "## E14 — run-aware persistence: export/import throughput \
-         (v2 wire format, {RUNS} runs, office 2F, 10 APs, trilateration)\n"
-    );
-    println!("| objects/run | backend | rows | runs | export ms | import ms | MB |");
-    println!("|---|---|---|---|---|---|---|");
-    let text = e11::office_text();
-    // The spill row bounds decoded sealed rows well under the corpus, so
-    // most of its export bytes come straight off already-encoded segment
-    // files (raw splice) rather than a typed re-encode of resident rows.
-    let spill = vita_storage::SpillConfig {
-        dir: std::env::temp_dir().join(format!("vita-e14-spill-{}", std::process::id())),
-        memory_budget_rows: 5_000,
-        cache_segments: 4,
-    };
-    let backends = [
-        ("single", StorageBackend::Single),
-        ("sharded(8)", StorageBackend::Sharded { shards: 8 }),
-        (
-            "segmented(spill 5k)",
-            StorageBackend::Segmented { spill: Some(spill) },
-        ),
-    ];
-    let mut splice_notes = Vec::new();
-    for &objects in &[250usize, 2_500] {
-        for (name, backend) in &backends {
-            let scenarios: Vec<_> = (0..RUNS)
-                .map(|i| {
-                    let mut s = e11::scenario_with(objects, SECS, WORKERS, backend.clone());
-                    s.mobility.seed = e11::SEED + u64::from(i);
-                    s
-                })
-                .collect();
-            let mut vita = e11::toolkit(&text);
-            vita.run_many(&scenarios).unwrap();
-            let repo = vita.repository();
-            let c = repo.counts(RunScope::All);
-            let (t, r, f, p) = (c.trajectories, c.rssi, c.fixes, c.proximity);
-            let rows = t + r + f + p;
-
-            let mut export_ms = f64::INFINITY;
-            let mut import_ms = f64::INFINITY;
-            let mut bytes = 0usize;
-            for _ in 0..5 {
-                let t0 = Instant::now();
-                let export = repo.export();
-                export_ms = export_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
-                bytes = export.trajectories.len()
-                    + export.rssi.len()
-                    + export.fixes.len()
-                    + export.proximity.len();
-
-                let t0 = Instant::now();
-                let imported = AnyRepository::import(&export, backend.clone()).unwrap();
-                import_ms = import_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
-
-                // The round trip must preserve every run's row counts.
-                assert_eq!(imported.run_ids(), repo.run_ids());
-                for run in repo.run_ids() {
-                    assert_eq!(
-                        imported.counts(run.into()),
-                        repo.counts(run.into()),
-                        "round trip diverges at {objects} objects/run, run {run:?}"
-                    );
-                }
-            }
-            println!(
-                "| {objects} | {name} | {rows} | {} | {export_ms:.1} | {import_ms:.1} | {:.1} |",
-                repo.run_ids().len(),
-                bytes as f64 / 1e6
-            );
-
-            // The spilled repository's export splices raw bytes from its
-            // segment files; the typed re-encode of the same rows is what
-            // `save_to` would cost without that reuse.
-            if let Some(seg) = repo.as_segmented() {
-                let stats = seg.stats();
-                if stats.spilled_rows > 0 {
-                    let mut reenc_ms = f64::INFINITY;
-                    for _ in 0..5 {
-                        let t0 = Instant::now();
-                        let _ = seg.export_reencode();
-                        reenc_ms = reenc_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
-                    }
-                    let spliced = seg.export();
-                    let reencoded = seg.export_reencode();
-                    assert_eq!(spliced.trajectories, reencoded.trajectories);
-                    assert_eq!(spliced.rssi, reencoded.rssi);
-                    assert_eq!(spliced.fixes, reencoded.fixes);
-                    assert_eq!(spliced.proximity, reencoded.proximity);
-                    splice_notes.push(format!(
-                        "- save_to byte reuse at {objects} obj/run: raw splice \
-                         **{export_ms:.1} ms** vs typed re-encode {reenc_ms:.1} ms \
-                         ({} of {rows} rows on disk)",
-                        stats.spilled_rows
-                    ));
-                }
-            }
-        }
-    }
-    println!();
-    for note in splice_notes {
-        println!("{note}");
-    }
+    println!("## E14 — run-aware persistence: export/import round trip (lab matrix)\n");
+    run_lab_text(include_str!("../../specs/e14.lab"), "specs/e14.lab");
     println!();
 }
 

@@ -33,6 +33,10 @@
 //! fingerprint.top_candidates, fingerprint.floor
 //! proximity.rssi_threshold_dbm          (absent = no threshold)
 //! proximity.gap_grace
+//!
+//! # Streaming pipeline + Storage
+//! stream.workers, stream.channel_capacity
+//! storage.backend = single | sharded(N) | segmented | segmented-spill(BUDGET_ROWS)
 //! ```
 
 use vita_indoor::{FloorId, Hz, RoutingSchema, Timestamp};
@@ -46,7 +50,9 @@ use vita_positioning::{
 };
 use vita_rssi::{NoiseModel, PathLossModel, RssiConfig};
 
+use crate::pipeline::{ScenarioConfig, StreamOptions};
 use crate::props::{Properties, PropsError};
+use vita_storage::StorageBackend;
 
 /// Configuration errors: property-level plus enum-value problems.
 #[derive(Debug, Clone, PartialEq)]
@@ -270,6 +276,37 @@ pub fn load_method(p: &Properties) -> Result<MethodConfig, ConfigLoadError> {
     }
 }
 
+/// Load the streaming-pipeline tuning knobs and the storage backend.
+/// `storage.backend` takes the [`StorageBackend`] display grammar
+/// (`single` | `sharded(N)` | `segmented` | `segmented-spill(BUDGET_ROWS)`).
+pub fn load_stream_options(p: &Properties) -> Result<StreamOptions, ConfigLoadError> {
+    let d = StreamOptions::default();
+    let backend: StorageBackend = p.str_or("storage.backend", "single").parse().map_err(
+        |e: vita_storage::ParseBackendError| ConfigLoadError::UnknownVariant {
+            key: "storage.backend",
+            value: e.0,
+        },
+    )?;
+    Ok(StreamOptions {
+        workers: p.usize_or("stream.workers", d.workers)?,
+        channel_capacity: p.usize_or("stream.channel_capacity", d.channel_capacity)?,
+        backend,
+    })
+}
+
+/// Load a whole streamed scenario — the four configurations a
+/// [`crate::Vita::run_streaming`] / [`crate::Vita::run_many`] lane needs —
+/// from one properties set. This is the entry point the `vita-lab`
+/// experiment runner binds trial properties through.
+pub fn load_scenario(p: &Properties) -> Result<ScenarioConfig, ConfigLoadError> {
+    Ok(ScenarioConfig {
+        mobility: load_mobility(p)?,
+        rssi: load_rssi(p)?,
+        method: load_method(p)?,
+        options: load_stream_options(p)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +418,50 @@ run.seed = 42
             MethodConfig::Proximity(c) => assert_eq!(c.rssi_threshold_dbm, Some(-70.0)),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn stream_options_parse_backends() {
+        let p = Properties::new();
+        let o = load_stream_options(&p).unwrap();
+        assert_eq!(o.workers, StreamOptions::default().workers);
+        assert_eq!(o.backend, StorageBackend::Single);
+
+        let p = Properties::parse("storage.backend = sharded(4)\nstream.workers = 3\n").unwrap();
+        let o = load_stream_options(&p).unwrap();
+        assert_eq!(o.workers, 3);
+        assert_eq!(o.backend, StorageBackend::Sharded { shards: 4 });
+
+        let p = Properties::parse("storage.backend = segmented-spill(2048)\n").unwrap();
+        match load_stream_options(&p).unwrap().backend {
+            StorageBackend::Segmented { spill: Some(c) } => {
+                assert_eq!(c.memory_budget_rows, 2048)
+            }
+            b => panic!("expected spill backend, got {b:?}"),
+        }
+
+        let p = Properties::parse("storage.backend = quantum\n").unwrap();
+        assert!(matches!(
+            load_stream_options(&p),
+            Err(ConfigLoadError::UnknownVariant {
+                key: "storage.backend",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn scenario_loads_end_to_end() {
+        let p = Properties::parse(
+            "objects.count = 7\nrun.duration_s = 30\npositioning.method = proximity\n\
+             storage.backend = segmented\nstream.workers = 2\n",
+        )
+        .unwrap();
+        let s = load_scenario(&p).unwrap();
+        assert_eq!(s.mobility.object_count, 7);
+        assert!(matches!(s.method, MethodConfig::Proximity(_)));
+        assert_eq!(s.options.workers, 2);
+        assert_eq!(s.options.backend, StorageBackend::segmented());
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub mod pipeline;
 pub mod props;
 pub mod render;
 
-pub use config::{load_method, load_mobility, load_rssi, ConfigLoadError};
+pub use config::{
+    load_method, load_mobility, load_rssi, load_scenario, load_stream_options, ConfigLoadError,
+};
 pub use pipeline::{
     derive_run_seed, PipelineReport, ScenarioConfig, StreamOptions, Vita, VitaError,
 };

@@ -1,0 +1,364 @@
+//! A minimal JSON reader (the workspace carries no serde): just enough to
+//! decode trial records back for validation — the golden-schema test and
+//! the `lab` subcommand's `--schema` check parse every emitted line and
+//! compare *shapes* (key sets and value types), so schema drift fails
+//! loudly while timing values stay free to vary.
+
+/// A parsed JSON value. Object keys keep document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Where and why a document failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset into the document.
+    pub at: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse one complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                at: pos,
+                msg: "trailing characters after document".into(),
+            });
+        }
+        Ok(value)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value's type, as the schema signature names it.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "num",
+            Json::Str(_) => "str",
+            Json::Arr(_) => "arr",
+            Json::Obj(_) => "obj",
+        }
+    }
+}
+
+/// The canonical *shape* of a value: scalars collapse to their type name,
+/// arrays to the shape of their elements, objects to sorted
+/// `key:shape` members. Two records with the same keys and value types —
+/// whatever the values — share a signature; a dropped, added, or retyped
+/// field changes it.
+pub fn schema_signature(v: &Json) -> String {
+    match v {
+        Json::Arr(items) => {
+            let mut shapes: Vec<String> = items.iter().map(schema_signature).collect();
+            shapes.sort();
+            shapes.dedup();
+            format!("[{}]", shapes.join("|"))
+        }
+        Json::Obj(members) => {
+            let mut parts: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{k}:{}", schema_signature(v)))
+                .collect();
+            parts.sort();
+            format!("{{{}}}", parts.join(","))
+        }
+        scalar => scalar.type_name().to_string(),
+    }
+}
+
+/// [`schema_signature`] of a trial record with its `bindings` object
+/// canonicalized to `{}`. Binding keys are the spec's axis names — their
+/// shape is spec-dependent by design — so this checks instead that every
+/// binding value is a string, then compares the rest of the record's
+/// shape exactly. Errors on a record with no string-valued `bindings`
+/// object at the top level.
+pub fn trial_schema_signature(record: &Json) -> Result<String, String> {
+    let Json::Obj(members) = record else {
+        return Err(format!(
+            "trial record must be an object, got {}",
+            record.type_name()
+        ));
+    };
+    let mut canonical = members.clone();
+    let Some(bindings) = canonical.iter_mut().find(|(k, _)| k == "bindings") else {
+        return Err("trial record has no 'bindings' member".into());
+    };
+    let Json::Obj(pairs) = &bindings.1 else {
+        return Err(format!(
+            "'bindings' must be an object, got {}",
+            bindings.1.type_name()
+        ));
+    };
+    if let Some((axis, v)) = pairs.iter().find(|(_, v)| !matches!(v, Json::Str(_))) {
+        return Err(format!(
+            "binding '{axis}' must be a string, got {}",
+            v.type_name()
+        ));
+    }
+    bindings.1 = Json::Obj(Vec::new());
+    Ok(schema_signature(&Json::Obj(canonical)))
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError {
+            at: *pos,
+            msg: format!("expected '{}'", c as char),
+        })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError {
+            at: *pos,
+            msg: "unexpected end of document".into(),
+        }),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos,
+                            msg: "expected ',' or '}'".into(),
+                        })
+                    }
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos,
+                            msg: "expected ',' or ']'".into(),
+                        })
+                    }
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError {
+            at: *pos,
+            msg: format!("expected '{lit}'"),
+        })
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| JsonError {
+        at: start,
+        msg: "invalid utf-8 in number".into(),
+    })?;
+    text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+        at: start,
+        msg: format!("invalid number '{text}'"),
+    })
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => {
+                return Err(JsonError {
+                    at: *pos,
+                    msg: "unterminated string".into(),
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or(JsonError {
+                            at: *pos,
+                            msg: "truncated \\u escape".into(),
+                        })?;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError {
+                                at: *pos,
+                                msg: "bad \\u escape".into(),
+                            })?;
+                        // Surrogates are not paired here — trial records
+                        // never emit them; map to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos,
+                            msg: "unknown escape".into(),
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| JsonError {
+                    at: *pos,
+                    msg: "invalid utf-8 in string".into(),
+                })?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_trial_record_shapes() {
+        let doc = r#"{"trial":0,"id":"a/backend=single/r0","bindings":{"backend":"single"},"rows":{"trajectories":10,"rssi":20,"fixes":5,"proximity":0},"wall_ms":1.25,"flags":[true,false,null]}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("trial"), Some(&Json::Num(0.0)));
+        assert_eq!(
+            v.get("id"),
+            Some(&Json::Str("a/backend=single/r0".to_string()))
+        );
+        assert_eq!(
+            v.get("rows").and_then(|r| r.get("rssi")),
+            Some(&Json::Num(20.0))
+        );
+        assert_eq!(v.get("bindings").unwrap().type_name(), "obj");
+    }
+
+    #[test]
+    fn signature_ignores_values_but_not_shape() {
+        let a = Json::parse(r#"{"x":1,"y":"s","z":{"k":2}}"#).unwrap();
+        let b = Json::parse(r#"{"z":{"k":99},"y":"other","x":-7.5}"#).unwrap();
+        assert_eq!(schema_signature(&a), schema_signature(&b));
+        let missing = Json::parse(r#"{"x":1,"y":"s"}"#).unwrap();
+        assert_ne!(schema_signature(&a), schema_signature(&missing));
+        let retyped = Json::parse(r#"{"x":1,"y":2,"z":{"k":2}}"#).unwrap();
+        assert_ne!(schema_signature(&a), schema_signature(&retyped));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = Json::parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v, Json::Str("a\"b\\c\ndA".to_string()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{}extra").is_err());
+        assert!(Json::parse("{'single':1}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nope").is_err());
+    }
+}

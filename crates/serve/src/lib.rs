@@ -29,5 +29,5 @@
 pub mod load;
 pub mod query;
 
-pub use load::{run_ramp, LoadProfile, RampReport, StepReport, WorkloadSpec};
+pub use load::{run_fixed, run_ramp, LoadProfile, RampReport, StepReport, WorkloadSpec};
 pub use query::{QueryRequest, QueryResponse, QueryService};

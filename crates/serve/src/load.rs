@@ -341,7 +341,16 @@ fn run_step(
                     if next + slot * RESYNC < now {
                         next = now;
                     }
-                    if next > now && next < deadline {
+                    if next >= deadline {
+                        // No slot is scheduled before the deadline: the
+                        // worker's quota for this step is spent. Running
+                        // on would issue an unpaced back-to-back burst for
+                        // the rest of the step, overstating the offered
+                        // rate and flooding the percentiles with
+                        // zero-queue samples.
+                        break;
+                    }
+                    if next > now {
                         if next > now + SPIN {
                             std::thread::sleep(next - now - SPIN);
                         }
@@ -398,6 +407,41 @@ fn run_step(
 /// assert!(!report.steps.is_empty());
 /// assert!(report.max_sustainable_rps <= profile.max_rps);
 /// ```
+/// Run one fixed-rate step — no ramp, no stopping rule: `workers` closed-
+/// loop threads share `target_rps` for `duration` and the step report is
+/// returned as-is. This is the probe the `vita-lab` experiment runner
+/// attaches per trial (a ramp would decide its own length; a trial wants
+/// one comparable sample), equivalent to a one-step [`LoadProfile`] with
+/// `increment_rps: 0.0`.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use vita_serve::{run_fixed, QueryService, WorkloadSpec};
+/// use vita_storage::AnyRepository;
+///
+/// let service = QueryService::new(Arc::new(AnyRepository::default()));
+/// let step = run_fixed(
+///     &service,
+///     &WorkloadSpec::default(),
+///     200.0,
+///     Duration::from_millis(25),
+///     2,
+/// );
+/// assert!(step.issued > 0);
+/// ```
+pub fn run_fixed(
+    service: &QueryService,
+    workload: &WorkloadSpec,
+    target_rps: f64,
+    duration: Duration,
+    workers: usize,
+) -> StepReport {
+    run_step(service, workload, target_rps, duration, workers, 0)
+}
+
 pub fn run_ramp(
     service: &QueryService,
     workload: &WorkloadSpec,

@@ -487,6 +487,85 @@ impl StorageBackend {
     }
 }
 
+/// A backend string did not parse; carries the offending text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError(pub String);
+
+impl std::fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown storage backend '{}' (expected single | sharded(N) | \
+             segmented | segmented-spill(BUDGET_ROWS))",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+/// The textual backend names used by configuration surfaces (properties
+/// files, `vita-lab` specs, trial records): `single`, `sharded(N)`,
+/// `segmented`, and `segmented-spill(BUDGET_ROWS)`. The spill variant
+/// prints only its row budget — the directory is an operational detail
+/// (and [`std::str::FromStr`] reconstructs it from `VITA_SPILL_DIR` or the
+/// system temp dir), so a backend round-trips through its display form
+/// with the same memory budget.
+impl std::fmt::Display for StorageBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageBackend::Single => write!(f, "single"),
+            StorageBackend::Sharded { shards } => write!(f, "sharded({shards})"),
+            StorageBackend::Segmented { spill: None } => write!(f, "segmented"),
+            StorageBackend::Segmented { spill: Some(c) } => {
+                write!(f, "segmented-spill({})", c.memory_budget_rows)
+            }
+        }
+    }
+}
+
+/// Parse the [`std::fmt::Display`] form. `sharded` without a shard count
+/// uses [`DEFAULT_SHARDS`]; `segmented-spill` without a budget uses the
+/// [`SpillConfig::new`] default. The spill directory comes from
+/// `VITA_SPILL_DIR` when set, else `<temp>/vita-spill` — each repository
+/// instance creates (and removes) its own subdirectory underneath, so a
+/// shared parent is safe.
+impl std::str::FromStr for StorageBackend {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let err = || ParseBackendError(s.to_string());
+        // Split "name(arg)" into name + optional arg.
+        let (name, arg) = match s.find('(') {
+            Some(open) if s.ends_with(')') => (&s[..open], Some(s[open + 1..s.len() - 1].trim())),
+            Some(_) => return Err(err()),
+            None => (s, None),
+        };
+        match (name, arg) {
+            ("single", None) => Ok(StorageBackend::Single),
+            ("sharded", None) => Ok(StorageBackend::Sharded {
+                shards: DEFAULT_SHARDS,
+            }),
+            ("sharded", Some(n)) => Ok(StorageBackend::Sharded {
+                shards: n.parse().map_err(|_| err())?,
+            }),
+            ("segmented", None) => Ok(StorageBackend::segmented()),
+            ("segmented-spill", arg) => {
+                let dir = std::env::var_os("VITA_SPILL_DIR")
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| std::env::temp_dir().join("vita-spill"));
+                let mut spill = SpillConfig::new(dir);
+                if let Some(n) = arg {
+                    spill.memory_budget_rows = n.parse().map_err(|_| err())?;
+                }
+                Ok(StorageBackend::Segmented { spill: Some(spill) })
+            }
+            _ => Err(err()),
+        }
+    }
+}
+
 /// Runtime dispatch between the three [`ProductSink`] backends. Queries
 /// that must work on any backend return owned rows (every product row is
 /// `Copy`); backend-specific surfaces are reachable through
