@@ -1,0 +1,280 @@
+//! The checked-in audit configuration: which crates each rule applies
+//! to, and which paths are sanctioned exceptions.
+//!
+//! Hand-rolled parser for a tiny sectioned dialect (the same no-serde
+//! spirit as the `.lab` spec parser): `#` comments, `[section]` headers,
+//! `key = a, b, c` comma-separated value lists. Sections are either the
+//! global `[scan]` or one `[rule RN]` per rule. Example:
+//!
+//! ```text
+//! [scan]
+//! roots = crates
+//!
+//! [rule R1]
+//! crates = mobility, rssi
+//!
+//! [rule R2]
+//! allow = storage/src/codec.rs, bench/src
+//! ```
+//!
+//! Path entries are `crate-relative` prefixes: `storage/src/codec.rs`
+//! matches that file, `bench/src` matches the whole subtree. Rule
+//! applicability is by crate directory name (`crates = …`); rules with no
+//! `crates` key apply to every crate.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// All rule IDs the engine knows. Annotation rule-ids are validated
+/// against this list.
+pub const RULE_IDS: [&str; 6] = ["R1", "R2", "R3", "R4", "R5", "R6"];
+
+/// Per-rule applicability and sanctioned paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Crate directory names the rule applies to; empty = all crates.
+    pub crates: Vec<String>,
+    /// Crate-relative path prefixes where the rule never fires
+    /// (`storage/src/codec.rs`, `bench/src`, …).
+    pub allow: Vec<String>,
+}
+
+/// The parsed `audit.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Directories (relative to the config file) whose direct children
+    /// are crates — a crate is any child with a `src/` subdirectory.
+    pub roots: Vec<String>,
+    /// Per-rule settings keyed by rule id.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+/// Why a config failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Structurally invalid line (no `=`, bad section header, …).
+    Malformed { line: u32, msg: String },
+    /// A `[rule …]` section names an id the engine does not implement.
+    UnknownRule { line: u32, id: String },
+    /// The file could not be read.
+    Io(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Malformed { line, msg } => write!(f, "audit config line {line}: {msg}"),
+            ConfigError::UnknownRule { line, id } => {
+                write!(f, "audit config line {line}: unknown rule id '{id}'")
+            }
+            ConfigError::Io(msg) => write!(f, "audit config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl AuditConfig {
+    /// Read and parse a config file.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError::Io(format!("{}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    /// Parse config text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = AuditConfig {
+            roots: Vec::new(),
+            rules: BTreeMap::new(),
+        };
+        // Section currently being filled: None = before any header,
+        // Some(None) = [scan], Some(Some(id)) = [rule id].
+        let mut section: Option<Option<String>> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header.strip_suffix(']').ok_or(ConfigError::Malformed {
+                    line: lineno,
+                    msg: "section header missing ']'".into(),
+                })?;
+                section = Some(parse_header(header, lineno, &mut cfg)?);
+                continue;
+            }
+            let (key, values) = parse_kv(line, lineno)?;
+            match &section {
+                None => {
+                    return Err(ConfigError::Malformed {
+                        line: lineno,
+                        msg: format!("key '{key}' before any [section]"),
+                    })
+                }
+                Some(None) => match key.as_str() {
+                    "roots" => cfg.roots = values,
+                    _ => {
+                        return Err(ConfigError::Malformed {
+                            line: lineno,
+                            msg: format!("unknown [scan] key '{key}'"),
+                        })
+                    }
+                },
+                Some(Some(id)) => {
+                    let rule = cfg.rules.entry(id.clone()).or_default();
+                    match key.as_str() {
+                        "crates" => rule.crates = values,
+                        "allow" => rule.allow = values,
+                        _ => {
+                            return Err(ConfigError::Malformed {
+                                line: lineno,
+                                msg: format!("unknown [rule {id}] key '{key}'"),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        if cfg.roots.is_empty() {
+            cfg.roots.push("crates".to_string());
+        }
+        Ok(cfg)
+    }
+
+    /// Settings for a rule (default-empty if the config has no section —
+    /// the rule then applies to every crate with no allowed paths).
+    pub fn rule(&self, id: &str) -> RuleConfig {
+        self.rules.get(id).cloned().unwrap_or_default()
+    }
+
+    /// Does `rule` apply inside crate directory `crate_name`?
+    pub fn applies_to_crate(&self, rule: &str, crate_name: &str) -> bool {
+        let r = self.rule(rule);
+        r.crates.is_empty() || r.crates.iter().any(|c| c == crate_name)
+    }
+
+    /// Is the crate-relative `path` (e.g. `storage/src/codec.rs`) on the
+    /// rule's allow list? Entries match exactly or as directory prefixes.
+    pub fn path_allowed(&self, rule: &str, path: &str) -> bool {
+        self.rule(rule).allow.iter().any(|entry| {
+            path == entry || (path.starts_with(entry) && path[entry.len()..].starts_with('/'))
+        })
+    }
+}
+
+fn parse_header(
+    header: &str,
+    lineno: u32,
+    cfg: &mut AuditConfig,
+) -> Result<Option<String>, ConfigError> {
+    let header = header.trim();
+    if header == "scan" {
+        return Ok(None);
+    }
+    if let Some(id) = header.strip_prefix("rule ") {
+        let id = id.trim().to_string();
+        if !RULE_IDS.contains(&id.as_str()) {
+            return Err(ConfigError::UnknownRule { line: lineno, id });
+        }
+        cfg.rules.entry(id.clone()).or_default();
+        return Ok(Some(id));
+    }
+    Err(ConfigError::Malformed {
+        line: lineno,
+        msg: format!("unknown section '[{header}]' (expected [scan] or [rule RN])"),
+    })
+}
+
+fn parse_kv(line: &str, lineno: u32) -> Result<(String, Vec<String>), ConfigError> {
+    let (key, value) = line.split_once('=').ok_or(ConfigError::Malformed {
+        line: lineno,
+        msg: format!("expected 'key = values', got '{line}'"),
+    })?;
+    let values = value
+        .split(',')
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .collect();
+    Ok((key.trim().to_string(), values))
+}
+
+/// Strip a trailing `#` comment (the format has no quoted strings, so a
+/// bare `#` always starts a comment).
+fn strip_comment(line: &str) -> &str {
+    line.split_once('#').map_or(line, |(head, _)| head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# workspace audit config
+[scan]
+roots = crates
+
+[rule R1]  # determinism
+crates = mobility, rssi
+
+[rule R2]
+allow = storage/src/codec.rs, bench/src
+";
+
+    #[test]
+    fn parses_sections_and_lists() {
+        let cfg = AuditConfig::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.roots, ["crates"]);
+        assert_eq!(cfg.rule("R1").crates, ["mobility", "rssi"]);
+        assert_eq!(cfg.rule("R2").allow, ["storage/src/codec.rs", "bench/src"]);
+    }
+
+    #[test]
+    fn applicability_defaults_to_all_crates() {
+        let cfg = AuditConfig::parse(SAMPLE).unwrap();
+        assert!(cfg.applies_to_crate("R1", "rssi"));
+        assert!(!cfg.applies_to_crate("R1", "storage"));
+        // R3 has no section at all -> applies everywhere.
+        assert!(cfg.applies_to_crate("R3", "storage"));
+    }
+
+    #[test]
+    fn path_allow_matches_file_and_subtree() {
+        let cfg = AuditConfig::parse(SAMPLE).unwrap();
+        assert!(cfg.path_allowed("R2", "storage/src/codec.rs"));
+        assert!(cfg.path_allowed("R2", "bench/src/bin/experiments.rs"));
+        // Prefix must stop at a path boundary.
+        assert!(!cfg.path_allowed("R2", "bench/src2/x.rs"));
+        assert!(!cfg.path_allowed("R2", "storage/src/codec.rs.bak"));
+        assert!(!cfg.path_allowed("R2", "storage/src/segment.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_bad_lines() {
+        assert!(matches!(
+            AuditConfig::parse("[rule R9]\n"),
+            Err(ConfigError::UnknownRule { line: 1, .. })
+        ));
+        assert!(matches!(
+            AuditConfig::parse("[scan]\nnonsense\n"),
+            Err(ConfigError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            AuditConfig::parse("key = before section\n"),
+            Err(ConfigError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            AuditConfig::parse("[weird]\n"),
+            Err(ConfigError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_config_scans_crates_everywhere() {
+        let cfg = AuditConfig::parse("").unwrap();
+        assert_eq!(cfg.roots, ["crates"]);
+        assert!(cfg.applies_to_crate("R4", "anything"));
+        assert!(!cfg.path_allowed("R4", "anything/src/lib.rs"));
+    }
+}

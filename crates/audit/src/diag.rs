@@ -1,0 +1,75 @@
+//! Diagnostics: what the audit reports and how it prints.
+
+/// One finding: `file:line:col RID message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the scanned workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id: `R1`…`R6`, or `A1`/`A2`/`A3` for annotation errors.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    pub fn new(file: &str, line: u32, col: u32, rule: &'static str, msg: String) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            col,
+            rule,
+            msg,
+        }
+    }
+
+    /// The stable sort key: file path, then position, then rule.
+    fn key(&self) -> (&str, u32, u32, &'static str) {
+        (&self.file, self.line, self.col, self.rule)
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} {} {}",
+            self.file, self.line, self.col, self.rule, self.msg
+        )
+    }
+}
+
+/// Sort diagnostics into the canonical reporting order (by file, then
+/// position, then rule id) so output is stable across runs and platforms.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| a.key().cmp(&b.key()));
+}
+
+/// Render one diagnostic per line, canonical order assumed.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_order() {
+        let mut ds = vec![
+            Diagnostic::new("b.rs", 1, 1, "R2", "x".into()),
+            Diagnostic::new("a.rs", 9, 2, "R4", "y".into()),
+            Diagnostic::new("a.rs", 9, 1, "R1", "z".into()),
+        ];
+        sort(&mut ds);
+        assert_eq!(render(&ds), "a.rs:9:1 R1 z\na.rs:9:2 R4 y\nb.rs:1:1 R2 x\n");
+    }
+}

@@ -1,0 +1,579 @@
+//! A hand-rolled Rust lexer, just deep enough that rules match real
+//! tokens.
+//!
+//! The whole point of lexing (instead of grepping) is that rule text
+//! inside comments, string literals, raw strings, and char literals must
+//! never trigger a diagnostic: `// don't call Instant::now here` and
+//! `r#"…unwrap()…"#` are data, not code. The lexer therefore handles the
+//! token shapes where a naive scanner goes wrong:
+//!
+//! * strings with escapes (`"\""`), byte strings (`b"…"`),
+//! * raw strings with any hash depth (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * raw identifiers (`r#fn`),
+//! * char literals incl. `'"'`, `'\''`, `'\u{1F980}'`,
+//! * lifetimes (`'a`) disambiguated from char literals,
+//! * nested block comments (`/* /* */ */`) and doc comments.
+//!
+//! Comments are **kept** in the token stream — the rule engine reads them
+//! for `// SAFETY:` and `// audit: allow(..)` annotations. Whitespace is
+//! dropped. Everything else (numbers, punctuation) is tokenized loosely:
+//! the rules only ever match identifiers, comments, and single-char
+//! punctuation, so a `Punct` per symbol character is all they need.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe` and `fs` both land here).
+    Ident,
+    /// A raw identifier, `r#type` — `text` keeps the `r#` prefix.
+    RawIdent,
+    /// A lifetime, `'a` (including `'_` and `'static`).
+    Lifetime,
+    /// A char literal, `'x'`, `'\n'`, `'"'`.
+    CharLit,
+    /// A byte literal, `b'x'`.
+    ByteLit,
+    /// A normal (escaped) string literal, `"…"` or `b"…"`.
+    StrLit,
+    /// A raw string literal, `r"…"`, `r#"…"#`, `br##"…"##`.
+    RawStrLit,
+    /// A numeric literal (integer or float, any base).
+    NumLit,
+    /// A `//` line comment (incl. `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* … */` block comment (nesting handled), incl. `/** … */`.
+    BlockComment,
+    /// One punctuation / operator character: `.`, `:`, `!`, `{`, …
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    /// The exact source slice, prefix and quotes included.
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// True for the two comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// The line this token ends on (only comments and raw strings span
+    /// lines; everything else ends where it starts).
+    pub fn end_line(&self) -> u32 {
+        self.line + self.text.matches('\n').count() as u32
+    }
+}
+
+/// Lex `src` into tokens. Never fails: unterminated literals and stray
+/// characters degrade to best-effort tokens so the audit can still scan
+/// the rest of the file (rustc will reject such a file anyway).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        chars: src.char_indices().peekable(),
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while let Some(&(start, c)) = self.chars.peek() {
+            let (line, col) = (self.line, self.col);
+            let kind = self.next_kind(c);
+            let end = self.chars.peek().map_or(self.src.len(), |&(i, _)| i);
+            if let Some(kind) = kind {
+                out.push(Token {
+                    kind,
+                    text: &self.src[start..end],
+                    line,
+                    col,
+                });
+            }
+        }
+        out
+    }
+
+    /// Consume one lexeme starting with `c`; `None` means whitespace.
+    fn next_kind(&mut self, c: char) -> Option<TokenKind> {
+        match c {
+            _ if c.is_whitespace() => {
+                self.bump();
+                None
+            }
+            '/' if self.peek_second() == Some('/') => {
+                self.eat_line_comment();
+                Some(TokenKind::LineComment)
+            }
+            '/' if self.peek_second() == Some('*') => {
+                self.eat_block_comment();
+                Some(TokenKind::BlockComment)
+            }
+            'r' | 'b' => Some(self.eat_prefixed(c)),
+            '"' => {
+                self.eat_string();
+                Some(TokenKind::StrLit)
+            }
+            '\'' => Some(self.eat_quote()),
+            _ if c.is_ascii_digit() => {
+                self.eat_number();
+                Some(TokenKind::NumLit)
+            }
+            _ if is_ident_start(c) => {
+                self.eat_ident();
+                Some(TokenKind::Ident)
+            }
+            _ => {
+                self.bump();
+                Some(TokenKind::Punct)
+            }
+        }
+    }
+
+    /// `r…` / `b…`: raw string, raw ident, byte string, byte char — or
+    /// just an identifier that happens to start with `r`/`b`.
+    fn eat_prefixed(&mut self, first: char) -> TokenKind {
+        // Look at what follows without consuming: prefix detection needs
+        // up to two chars (`br`, `r#`).
+        let rest = self.rest();
+        let tail = &rest[first.len_utf8()..];
+        match first {
+            'r' if tail.starts_with('"') || tail.starts_with('#') => {
+                if let Some(k) = self.try_raw_after_r(tail) {
+                    return k;
+                }
+            }
+            'b' if tail.starts_with('"') => {
+                self.bump(); // b
+                self.eat_string();
+                return TokenKind::StrLit;
+            }
+            'b' if tail.starts_with('\'') => {
+                self.bump(); // b
+                self.bump(); // '
+                self.eat_char_body();
+                return TokenKind::ByteLit;
+            }
+            'b' if tail.starts_with("r\"") || tail.starts_with("r#") => {
+                let after_r = &tail[1..];
+                if after_r.starts_with('"') || raw_hash_quote(after_r) {
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.eat_raw_string();
+                    return TokenKind::RawStrLit;
+                }
+            }
+            _ => {}
+        }
+        self.eat_ident();
+        TokenKind::Ident
+    }
+
+    /// After an `r`, decide raw string (`r"`, `r#…#"`) vs raw ident
+    /// (`r#ident`). `tail` is the source just past the `r`.
+    fn try_raw_after_r(&mut self, tail: &str) -> Option<TokenKind> {
+        if tail.starts_with('"') || raw_hash_quote(tail) {
+            self.bump(); // r
+            self.eat_raw_string();
+            return Some(TokenKind::RawStrLit);
+        }
+        // `r#ident` — one hash, then ident chars.
+        if let Some(after) = tail.strip_prefix('#') {
+            if after.chars().next().is_some_and(is_ident_start) {
+                self.bump(); // r
+                self.bump(); // #
+                self.eat_ident();
+                return Some(TokenKind::RawIdent);
+            }
+        }
+        None
+    }
+
+    /// `'` — lifetime or char literal. A lifetime is `'` + ident run NOT
+    /// followed by a closing `'`; anything else is a char literal.
+    fn eat_quote(&mut self) -> TokenKind {
+        let tail = &self.rest()['\''.len_utf8()..];
+        let mut it = tail.chars();
+        let first = it.next();
+        if let Some(f) = first {
+            if is_ident_start(f) {
+                // Count the ident run; a `'` right after makes it a char
+                // literal ('a'), otherwise it is a lifetime ('a, 'static).
+                let run: usize = tail
+                    .chars()
+                    .take_while(|&c| c.is_alphanumeric() || c == '_')
+                    .map(char::len_utf8)
+                    .sum();
+                if !tail[run..].starts_with('\'') {
+                    self.bump(); // '
+                    self.eat_ident();
+                    return TokenKind::Lifetime;
+                }
+            }
+        }
+        self.bump(); // '
+        self.eat_char_body();
+        TokenKind::CharLit
+    }
+
+    /// The inside + closing quote of a char/byte literal; handles `'\''`,
+    /// `'\u{…}'`, `'"'`.
+    fn eat_char_body(&mut self) {
+        while let Some(&(_, c)) = self.chars.peek() {
+            self.bump();
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                '\'' => return,
+                '\n' => return, // unterminated — abandon at line end
+                _ => {}
+            }
+        }
+    }
+
+    /// The inside + closing quote of a `"…"` string (opening quote still
+    /// pending). Handles `\"` and `\\`.
+    fn eat_string(&mut self) {
+        self.bump(); // opening "
+        while let Some(&(_, c)) = self.chars.peek() {
+            self.bump();
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// A raw string starting at `#…#"` or `"` (the `r`/`br` prefix is
+    /// already consumed): count hashes, then scan to `"` + same hashes.
+    fn eat_raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.chars.peek().is_some_and(|&(_, c)| c == '#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening "
+        loop {
+            match self.chars.peek() {
+                None => return, // unterminated
+                Some(&(_, '"')) => {
+                    self.bump();
+                    let mut seen = 0usize;
+                    while seen < hashes && self.chars.peek().is_some_and(|&(_, c)| c == '#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn eat_line_comment(&mut self) {
+        self.eat_while(|c| c != '\n');
+    }
+
+    /// `/* … */` with nesting, as rustc lexes it.
+    fn eat_block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.chars.peek().map(|&(_, c)| c), self.peek_second()) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return, // unterminated
+            }
+        }
+    }
+
+    fn eat_ident(&mut self) {
+        self.eat_while(|c| c.is_alphanumeric() || c == '_');
+    }
+
+    /// A numeric literal. A `.` is part of the number only when a digit
+    /// follows — `x.0.unwrap()` must lex `0` alone so the `.unwrap(`
+    /// after a tuple-field access still surfaces as tokens.
+    fn eat_number(&mut self) {
+        loop {
+            self.eat_while(|c| c.is_alphanumeric() || c == '_');
+            let rest = self.rest();
+            let mut it = rest.chars();
+            if it.next() == Some('.') && it.next().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump(); // the '.'
+                continue;
+            }
+            return;
+        }
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.chars.peek().is_some_and(|&(_, c)| pred(c)) {
+            self.bump();
+        }
+    }
+
+    /// Advance one char, tracking line/col.
+    fn bump(&mut self) {
+        if let Some((_, c)) = self.chars.next() {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    /// The not-yet-consumed tail of the source.
+    fn rest(&mut self) -> &'a str {
+        let i = self.chars.peek().map_or(self.src.len(), |&(i, _)| i);
+        &self.src[i..]
+    }
+
+    /// The char after the current one, without consuming either.
+    fn peek_second(&mut self) -> Option<char> {
+        let rest = self.rest();
+        let mut it = rest.chars();
+        it.next();
+        it.next()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Does `s` look like `#…#"` (≥1 hash then a quote)?
+fn raw_hash_quote(s: &str) -> bool {
+    let hashes: usize = s.chars().take_while(|&c| c == '#').count();
+    hashes > 0 && s[hashes..].starts_with('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    /// Identifiers inside ordinary code are found with exact positions.
+    #[test]
+    fn idents_and_positions() {
+        let toks = lex("fn main() {\n    now();\n}\n");
+        let now = toks.iter().find(|t| t.text == "now").unwrap();
+        assert_eq!((now.line, now.col), (2, 5));
+        assert_eq!(now.kind, TokenKind::Ident);
+    }
+
+    /// A raw string containing `unwrap()` is one RawStrLit token — the
+    /// word never surfaces as an identifier.
+    #[test]
+    fn raw_string_hides_unwrap() {
+        let toks = kinds(r##"let s = r#"x.unwrap() // not code"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStrLit && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    /// Nested block comments swallow everything down to the matching
+    /// close — including rule-triggering text and inner `/* … */` pairs.
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* a /* Instant::now() */ b */ after");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "after"));
+        assert_eq!(toks.len(), 2);
+    }
+
+    /// `'"'` is a char literal; the `"` inside must not open a string.
+    #[test]
+    fn char_literal_double_quote() {
+        let toks = kinds(r#"let c = '"'; sleep();"#);
+        assert!(toks.contains(&(TokenKind::CharLit, "'\"'")));
+        assert!(toks.contains(&(TokenKind::Ident, "sleep")));
+    }
+
+    /// `'\''` and `'\u{1F980}'` terminate where they should.
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let a = '\''; let b = '\u{1F980}'; tail");
+        assert!(toks.contains(&(TokenKind::CharLit, r"'\''")));
+        assert!(toks.contains(&(TokenKind::CharLit, r"'\u{1F980}'")));
+        assert!(toks.contains(&(TokenKind::Ident, "tail")));
+    }
+
+    /// Lifetimes are not char literals: `&'a str` lexes `'a` as a
+    /// lifetime, while `'a'` right after still lexes as a char.
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(toks.contains(&(TokenKind::CharLit, "'a'")));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a")));
+    }
+
+    /// `'static` in `&'static str` is a lifetime even though it is long.
+    #[test]
+    fn static_lifetime() {
+        let toks = kinds("x: &'static str");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static")));
+    }
+
+    /// A raw string with embedded `//` does not start a comment, and the
+    /// hash-depth must match to close (`"#` inside `r##"…"##` stays in).
+    #[test]
+    fn raw_string_embedded_comment_and_hashes() {
+        let src = r###"let s = r##"a // b "# c"##; done()"###;
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter()
+                .find(|(k, _)| *k == TokenKind::RawStrLit)
+                .unwrap()
+                .1,
+            r###"r##"a // b "# c"##"###
+        );
+        assert!(toks.contains(&(TokenKind::Ident, "done")));
+    }
+
+    /// Byte strings and raw byte strings lex as string kinds.
+    #[test]
+    fn byte_strings() {
+        let toks = kinds(r###"let a = b"x"; let b = br#"y"#; let c = b'z';"###);
+        assert!(toks.contains(&(TokenKind::StrLit, "b\"x\"")));
+        assert!(toks.contains(&(TokenKind::RawStrLit, "br#\"y\"#")));
+        assert!(toks.contains(&(TokenKind::ByteLit, "b'z'")));
+    }
+
+    /// `r#type` is a raw identifier, not a raw string or `r` ident.
+    #[test]
+    fn raw_ident() {
+        let toks = kinds("let r#type = 1; rest");
+        assert!(toks.contains(&(TokenKind::RawIdent, "r#type")));
+        assert!(toks.contains(&(TokenKind::Ident, "rest")));
+    }
+
+    /// Escaped quotes inside normal strings do not terminate them.
+    #[test]
+    fn escaped_string_quote() {
+        let toks = kinds(r#"let s = "a \" b \\"; next"#);
+        assert!(toks.contains(&(TokenKind::StrLit, r#""a \" b \\""#)));
+        assert!(toks.contains(&(TokenKind::Ident, "next")));
+    }
+
+    /// Line comments keep their text (the rule engine reads them) and end
+    /// at the newline.
+    #[test]
+    fn line_comment_text() {
+        let toks = lex("code(); // SAFETY: fine\nmore();");
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LineComment)
+            .unwrap();
+        assert_eq!(c.text, "// SAFETY: fine");
+        assert_eq!(c.line, 1);
+        assert!(toks.iter().any(|t| t.text == "more"));
+    }
+
+    /// Doc comments (`///`, `//!`) are comments — rule text inside them
+    /// must not match; `/** */` is a block comment.
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = kinds("/// std::fs::write(x)\n//! thread::sleep\n/** println! */ x");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2].0, TokenKind::BlockComment);
+        assert_eq!(toks[3], (TokenKind::Ident, "x"));
+    }
+
+    /// Numbers (including float method-call ambiguity like `1.0e3` and
+    /// underscores) lex as single numeric tokens, not idents.
+    #[test]
+    fn numbers() {
+        let toks = kinds("let x = 1_000.5e3; let y = 0xFFu32;");
+        assert!(toks.contains(&(TokenKind::NumLit, "1_000.5e3")));
+        assert!(toks.contains(&(TokenKind::NumLit, "0xFFu32")));
+    }
+
+    /// Tuple-field access followed by a method call keeps the method name
+    /// as its own identifier: `x.0.unwrap()` must not lex `0.unwrap` as
+    /// one number.
+    #[test]
+    fn tuple_field_method_call() {
+        let toks = kinds("x.0.unwrap()");
+        assert!(toks.contains(&(TokenKind::NumLit, "0")));
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap")));
+    }
+
+    /// Multi-line raw strings report the right end line, and tokens after
+    /// them carry correct positions.
+    #[test]
+    fn multiline_positions() {
+        let src = "let s = r#\"a\nb\nc\"#;\nlast();";
+        let toks = lex(src);
+        let raw = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::RawStrLit)
+            .unwrap();
+        assert_eq!(raw.line, 1);
+        assert_eq!(raw.end_line(), 3);
+        let last = toks.iter().find(|t| t.text == "last").unwrap();
+        assert_eq!((last.line, last.col), (4, 1));
+    }
+
+    /// An `unwrap` spelled inside a normal string never becomes an ident.
+    #[test]
+    fn string_hides_idents() {
+        let toks = kinds(r#"let m = "call .unwrap() or thread::sleep"; ok"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).count(),
+            3 // let, m, ok
+        );
+    }
+}

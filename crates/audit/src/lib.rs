@@ -1,0 +1,191 @@
+#![forbid(unsafe_code)]
+//! # vita-audit
+//!
+//! The workspace static-analysis pass: a dependency-free lexer + rule
+//! engine that turns the ARCHITECTURE.md invariants from prose into an
+//! executable gate. `cargo run -p vita-audit -- check` walks every crate
+//! under the configured scan roots, lexes each source file with a
+//! hand-rolled Rust [`lexer`] (so rule text inside comments, strings, raw
+//! strings, and char literals never triggers), applies the [`rules`]
+//! R1–R6 under the checked-in `audit.toml` [`config`], and exits non-zero
+//! with `file:line:col rule message` [`diag`]nostics on any violation.
+//!
+//! The dynamic suites (lab matrix determinism, spill corruption fuzz)
+//! check these invariants on the paths they execute; the audit checks
+//! them on **every line**, before CI ever runs a test.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{AuditConfig, ConfigError};
+pub use diag::Diagnostic;
+
+use std::path::{Path, PathBuf};
+
+/// Scan statistics, for the CLI summary line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckSummary {
+    pub crates: usize,
+    pub files: usize,
+}
+
+/// Why a check could not run at all (distinct from "ran and found
+/// violations" — that is a non-empty diagnostics list).
+#[derive(Debug)]
+pub enum AuditError {
+    Config(ConfigError),
+    Io(String),
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Config(e) => write!(f, "{e}"),
+            AuditError::Io(msg) => write!(f, "audit: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl From<ConfigError> for AuditError {
+    fn from(e: ConfigError) -> Self {
+        AuditError::Config(e)
+    }
+}
+
+/// Run the full audit over `root` (the directory `audit.toml` paths are
+/// relative to). Returns canonically sorted diagnostics — empty means the
+/// workspace upholds every checked invariant.
+pub fn check_workspace(
+    root: &Path,
+    cfg: &AuditConfig,
+) -> Result<(Vec<Diagnostic>, CheckSummary), AuditError> {
+    let mut diags = Vec::new();
+    let mut summary = CheckSummary::default();
+    for scan_root in &cfg.roots {
+        let dir = root.join(scan_root);
+        for crate_dir in sorted_dirs(&dir)? {
+            let src = crate_dir.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            summary.crates += 1;
+            check_crate(scan_root, &crate_dir, cfg, &mut diags, &mut summary)?;
+        }
+    }
+    diag::sort(&mut diags);
+    Ok((diags, summary))
+}
+
+/// Audit one crate directory: every `.rs` under `src/`, then the
+/// crate-level half of R5 (`#![forbid(unsafe_code)]` when no file in the
+/// crate contains `unsafe`).
+fn check_crate(
+    scan_root: &str,
+    crate_dir: &Path,
+    cfg: &AuditConfig,
+    diags: &mut Vec<Diagnostic>,
+    summary: &mut CheckSummary,
+) -> Result<(), AuditError> {
+    let crate_name = file_name(crate_dir);
+    let mut files = Vec::new();
+    collect_rs_files(&crate_dir.join("src"), &mut files)?;
+    files.sort();
+
+    let mut unsafe_total = 0usize;
+    // (display path, match path, has forbid) of src/lib.rs — or of
+    // src/main.rs when the crate is a pure binary.
+    let mut root_file: Option<(String, String, bool)> = None;
+    for file in &files {
+        summary.files += 1;
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| AuditError::Io(format!("{}: {e}", file.display())))?;
+        let match_path = rel_path(crate_dir.parent().unwrap_or(crate_dir), file);
+        let display_path = display_path(scan_root, &match_path);
+        let report = rules::check_file(&crate_name, &display_path, &match_path, &text, cfg);
+        unsafe_total += report.unsafe_count;
+        let is_root =
+            file.ends_with("src/lib.rs") || (root_file.is_none() && file.ends_with("src/main.rs"));
+        if is_root {
+            root_file = Some((
+                display_path.clone(),
+                match_path.clone(),
+                report.has_forbid_unsafe,
+            ));
+        }
+        diags.extend(report.diags);
+    }
+
+    if let Some((root_path, match_root, has_forbid)) = root_file {
+        let r5_on = cfg.applies_to_crate("R5", &crate_name) && !cfg.path_allowed("R5", &match_root);
+        if unsafe_total == 0 && !has_forbid && r5_on {
+            diags.push(Diagnostic::new(
+                &root_path,
+                1,
+                1,
+                "R5",
+                "crate has no unsafe code but its root does not declare `#![forbid(unsafe_code)]`"
+                    .into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative `/`-separated path of `file`.
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// What diagnostics print: the scan root re-attached (unless it is `.`).
+fn display_path(scan_root: &str, match_path: &str) -> String {
+    if scan_root == "." {
+        match_path.to_string()
+    } else {
+        format!("{scan_root}/{match_path}")
+    }
+}
+
+fn file_name(p: &Path) -> String {
+    p.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+/// Direct child directories of `dir`, name-sorted for stable output.
+fn sorted_dirs(dir: &Path) -> Result<Vec<PathBuf>, AuditError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| AuditError::Io(format!("{}: {e}", dir.display())))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| AuditError::Io(format!("{}: {e}", dir.display())))?;
+        if entry.path().is_dir() {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Every `.rs` file under `dir`, recursively.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AuditError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| AuditError::Io(format!("{}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| AuditError::Io(format!("{}: {e}", dir.display())))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+#![forbid(unsafe_code)]
+// A CLI's diagnostics ARE its stdout/stderr contract (audit.toml's R6
+// carves out the same exemption for this file).
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+//! `vita-audit` CLI: `cargo run -p vita-audit -- check [--root DIR]
+//! [--config FILE]`.
+//!
+//! Prints one `file:line:col rule message` line per violation and exits
+//! 1; exits 0 on a clean workspace, 2 when the check itself could not run
+//! (bad config, unreadable tree).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vita_audit::{check_workspace, AuditConfig};
+
+const USAGE: &str = "usage: vita-audit check [--root DIR] [--config FILE]\n\
+     \n\
+     Walks every crate under the scan roots in the audit config\n\
+     (default: ROOT/audit.toml) and reports invariant violations as\n\
+     `file:line:col rule message` diagnostics. Exit codes: 0 clean,\n\
+     1 violations found, 2 the audit could not run.";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut args = args.into_iter();
+    match args.next().as_deref() {
+        Some("check") => {}
+        Some("--help") | Some("-h") | None => return Err(USAGE.to_string()),
+        Some(other) => return Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--root" => root = PathBuf::from(value("--root")?),
+            "--config" => config = Some(PathBuf::from(value("--config")?)),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    let config = config.unwrap_or_else(|| root.join("audit.toml"));
+    let cfg = AuditConfig::load(&config).map_err(|e| e.to_string())?;
+    let (diags, summary) = check_workspace(&root, &cfg).map_err(|e| e.to_string())?;
+    if diags.is_empty() {
+        println!(
+            "audit clean: {} crates, {} files, 0 violations",
+            summary.crates, summary.files
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    eprintln!(
+        "audit: {} violation(s) across {} crates, {} files",
+        diags.len(),
+        summary.crates,
+        summary.files
+    );
+    Ok(ExitCode::from(1))
+}

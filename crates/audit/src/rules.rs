@@ -1,0 +1,612 @@
+//! The rule engine: token-level matchers for the workspace's real
+//! contracts, plus the `// audit: allow(..)` annotation machinery.
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | R1 | no wall-clock / ambient randomness in deterministic crates |
+//! | R2 | no file I/O outside the sanctioned persistence modules |
+//! | R3 | no blocking sleeps / spin loops outside sanctioned pacing |
+//! | R4 | no `.unwrap()` / `.expect(` in non-test engine code |
+//! | R5 | `unsafe` needs `// SAFETY:`; unsafe-free crates need `#![forbid(unsafe_code)]` |
+//! | R6 | no `println!` / `eprintln!` in library code |
+//! | A1 | malformed / unknown-rule audit annotation |
+//! | A2 | unused `audit: allow` annotation |
+//! | A3 | `audit: allow` without a justification |
+//!
+//! Matchers run over the **code** token view (comments filtered out), so
+//! `thread /* paced */ ::sleep` still matches and rule text inside
+//! comments or string literals never does. Code under `#[cfg(test)]` is
+//! masked for R1–R4/R6 — tests legitimately sleep, unwrap, and touch
+//! disk. R5 looks at every `unsafe` token, test or not, because
+//! `#![forbid(unsafe_code)]` is crate-wide.
+
+use crate::config::{AuditConfig, RULE_IDS};
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Everything the per-file pass produces.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub diags: Vec<Diagnostic>,
+    /// Number of `unsafe` keyword tokens (test code included).
+    pub unsafe_count: usize,
+    /// Whether the file carries the inner `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+}
+
+/// An `// audit: allow(RN) justification` annotation mid-check.
+struct Allow {
+    rule: String,
+    /// The source line the allow suppresses (its own line when trailing,
+    /// the next line when the comment stands alone).
+    target_line: u32,
+    line: u32,
+    col: u32,
+    used: bool,
+}
+
+/// Audit one file. `display_path` is what diagnostics print (workspace
+/// relative); `match_path` is what the config allow lists match
+/// (scan-root relative, e.g. `storage/src/codec.rs`); `crate_name` keys
+/// per-crate rule applicability.
+pub fn check_file(
+    crate_name: &str,
+    display_path: &str,
+    match_path: &str,
+    src: &str,
+    cfg: &AuditConfig,
+) -> FileReport {
+    let tokens = lex(src);
+    let code: Vec<&Token<'_>> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let masked = test_mask(&code);
+    let (mut allows, annotation_diags) = collect_allows(&tokens, display_path);
+    let mut report = FileReport {
+        has_forbid_unsafe: has_forbid_unsafe(&code),
+        ..FileReport::default()
+    };
+    report.diags.extend(annotation_diags);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let rule_on =
+        |rule: &str| cfg.applies_to_crate(rule, crate_name) && !cfg.path_allowed(rule, match_path);
+
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind == TokenKind::Ident && tok.text == "unsafe" {
+            report.unsafe_count += 1;
+            if rule_on("R5") && !has_safety_comment(&tokens, tok.line) {
+                raw.push(Diagnostic::new(
+                    display_path,
+                    tok.line,
+                    tok.col,
+                    "R5",
+                    "`unsafe` without a `// SAFETY:` comment on the preceding lines".into(),
+                ));
+            }
+        }
+        if masked[i] {
+            continue; // test code: R1-R4/R6 do not apply
+        }
+        if rule_on("R1") {
+            r1_determinism(&code, i, display_path, &mut raw);
+        }
+        if rule_on("R2") {
+            r2_file_io(&code, i, display_path, &mut raw);
+        }
+        if rule_on("R3") {
+            r3_sleeps(&code, i, display_path, &mut raw);
+        }
+        if rule_on("R4") {
+            r4_unwrap(&code, i, display_path, &mut raw);
+        }
+        if rule_on("R6") {
+            r6_prints(&code, i, display_path, &mut raw);
+        }
+    }
+
+    // Apply allow annotations: a diagnostic survives unless a same-rule
+    // allow targets its line.
+    for d in raw {
+        let hit = allows
+            .iter_mut()
+            .find(|a| a.rule == d.rule && a.target_line == d.line);
+        match hit {
+            Some(a) => a.used = true,
+            None => report.diags.push(d),
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            report.diags.push(Diagnostic::new(
+                display_path,
+                a.line,
+                a.col,
+                "A2",
+                format!(
+                    "unused `audit: allow({})` — nothing to suppress on its line",
+                    a.rule
+                ),
+            ));
+        }
+    }
+    report
+}
+
+/// R1: `Instant::now`, `SystemTime::now`, `thread_rng` — wall-clock and
+/// ambient randomness break bit-identical replay; seeds and timestamps
+/// must flow in via config.
+fn r1_determinism(code: &[&Token<'_>], i: usize, path: &str, out: &mut Vec<Diagnostic>) {
+    let t = code[i];
+    if t.kind != TokenKind::Ident {
+        return;
+    }
+    if (t.text == "Instant" || t.text == "SystemTime") && path_call(code, i, "now") {
+        out.push(Diagnostic::new(
+            path,
+            t.line,
+            t.col,
+            "R1",
+            format!(
+                "`{}::now` in a deterministic crate — timestamps must flow in via config",
+                t.text
+            ),
+        ));
+    }
+    if t.text == "thread_rng" || t.text == "from_entropy" {
+        out.push(Diagnostic::new(
+            path,
+            t.line,
+            t.col,
+            "R1",
+            format!(
+                "`{}` in a deterministic crate — seeds must flow in via config",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// R2: `std::fs` paths and `fs::`-qualified calls — file I/O stays
+/// behind the sanctioned persistence modules.
+fn r2_file_io(code: &[&Token<'_>], i: usize, path: &str, out: &mut Vec<Diagnostic>) {
+    let t = code[i];
+    if t.kind != TokenKind::Ident || t.text != "fs" {
+        return;
+    }
+    // `std :: fs` (use or inline path) fires at `fs`; a bare `fs ::`
+    // after `use std::fs;` fires too. Requiring a `::` on either side
+    // keeps struct fields named `fs` out.
+    let qualified =
+        is_path_sep(code, i.wrapping_sub(2), i.wrapping_sub(1)) || is_path_sep(code, i + 1, i + 2);
+    if qualified {
+        out.push(Diagnostic::new(
+            path,
+            t.line,
+            t.col,
+            "R2",
+            "file I/O (`fs`) outside the sanctioned persistence modules".into(),
+        ));
+    }
+}
+
+/// R3: `thread::sleep` and `spin_loop` — blocking waits stay confined to
+/// the serve pacing loop and the storage background sealer.
+fn r3_sleeps(code: &[&Token<'_>], i: usize, path: &str, out: &mut Vec<Diagnostic>) {
+    let t = code[i];
+    if t.kind != TokenKind::Ident {
+        return;
+    }
+    if t.text == "thread" && path_call(code, i, "sleep") {
+        out.push(Diagnostic::new(
+            path,
+            t.line,
+            t.col,
+            "R3",
+            "`thread::sleep` outside the sanctioned pacing modules".into(),
+        ));
+    }
+    if t.text == "spin_loop" {
+        out.push(Diagnostic::new(
+            path,
+            t.line,
+            t.col,
+            "R3",
+            "spin loop outside the sanctioned pacing modules".into(),
+        ));
+    }
+}
+
+/// R4: `.unwrap()` / `.expect(` — engine code must fail through typed
+/// errors, or justify the panic with an `// audit: allow(R4)` line.
+fn r4_unwrap(code: &[&Token<'_>], i: usize, path: &str, out: &mut Vec<Diagnostic>) {
+    let t = code[i];
+    if t.kind != TokenKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+        return;
+    }
+    let after_dot = i > 0 && code[i - 1].kind == TokenKind::Punct && code[i - 1].text == ".";
+    let called = code
+        .get(i + 1)
+        .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(");
+    if after_dot && called {
+        out.push(Diagnostic::new(
+            path,
+            t.line,
+            t.col,
+            "R4",
+            format!(
+                "`.{}(` in non-test engine code — return a typed error or justify with \
+                 `// audit: allow(R4) <why>`",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// R6: `println!` / `eprintln!` (and their non-`ln` forms) — library
+/// crates return data, they do not print.
+fn r6_prints(code: &[&Token<'_>], i: usize, path: &str, out: &mut Vec<Diagnostic>) {
+    let t = code[i];
+    if t.kind != TokenKind::Ident {
+        return;
+    }
+    let printer = matches!(t.text, "println" | "eprintln" | "print" | "eprint");
+    let bang = code
+        .get(i + 1)
+        .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "!");
+    if printer && bang {
+        out.push(Diagnostic::new(
+            path,
+            t.line,
+            t.col,
+            "R6",
+            format!(
+                "`{}!` in library code — return data instead of printing",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Is `code[i]` the head of `head :: tail`? (`i` already matched `head`.)
+fn path_call(code: &[&Token<'_>], i: usize, tail: &str) -> bool {
+    is_path_sep(code, i + 1, i + 2)
+        && code
+            .get(i + 3)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == tail)
+}
+
+/// Are `code[a]`, `code[a2]` the two `:` of a `::` path separator?
+fn is_path_sep(code: &[&Token<'_>], a: usize, a2: usize) -> bool {
+    let colon = |j: usize| {
+        code.get(j)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == ":")
+    };
+    colon(a) && colon(a2)
+}
+
+/// Mark every code token inside a `#[cfg(test)]`-attributed item (its
+/// attribute through its closing brace). Char/string literals are already
+/// single tokens, so `'{'` can not unbalance the brace count.
+fn test_mask(code: &[&Token<'_>]) -> Vec<bool> {
+    let mut masked = vec![false; code.len()];
+    let text = |j: usize| code.get(j).map(|t| t.text);
+    let mut i = 0usize;
+    while i < code.len() {
+        let is_cfg_test = text(i) == Some("#")
+            && text(i + 1) == Some("[")
+            && text(i + 2) == Some("cfg")
+            && text(i + 3) == Some("(")
+            && text(i + 4) == Some("test")
+            && text(i + 5) == Some(")")
+            && text(i + 6) == Some("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 7;
+        // Scan to the item's body: a `;` first means `mod x;` (nothing to
+        // mask beyond the attribute), a `{` opens the block to skip.
+        let mut end = code.len();
+        while j < code.len() {
+            match text(j) {
+                Some(";") => {
+                    end = j + 1;
+                    break;
+                }
+                Some("{") => {
+                    let mut depth = 0usize;
+                    while j < code.len() {
+                        match text(j) {
+                            Some("{") => depth += 1,
+                            Some("}") => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    end = (j + 1).min(code.len());
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        for m in masked.iter_mut().take(end.min(code.len())).skip(start) {
+            *m = true;
+        }
+        i = end.max(start + 1);
+    }
+    masked
+}
+
+/// Does the file open with `#![forbid(unsafe_code)]`?
+fn has_forbid_unsafe(code: &[&Token<'_>]) -> bool {
+    let text = |j: usize| code.get(j).map(|t| t.text);
+    (0..code.len().saturating_sub(7)).any(|i| {
+        text(i) == Some("#")
+            && text(i + 1) == Some("!")
+            && text(i + 2) == Some("[")
+            && text(i + 3) == Some("forbid")
+            && text(i + 4) == Some("(")
+            && text(i + 5) == Some("unsafe_code")
+            && text(i + 6) == Some(")")
+            && text(i + 7) == Some("]")
+    })
+}
+
+/// Is there a `SAFETY:` comment on `unsafe`'s own line or the three lines
+/// above it?
+fn has_safety_comment(tokens: &[Token<'_>], unsafe_line: u32) -> bool {
+    tokens.iter().any(|t| {
+        t.is_comment()
+            && t.text.contains("SAFETY:")
+            && t.end_line() + 3 >= unsafe_line
+            && t.line <= unsafe_line
+    })
+}
+
+/// Pull `// audit: …` annotations out of the comment tokens. Valid
+/// allows come back in the list; malformed annotations (A1), unknown rule
+/// ids (A1) and missing justifications (A3) surface as diagnostics right
+/// away — a broken annotation must never silently suppress anything.
+fn collect_allows(tokens: &[Token<'_>], path: &str) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = tok.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("audit:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let trailing = tokens[..idx]
+            .iter()
+            .any(|t| t.end_line() == tok.line && !t.is_comment());
+        let target_line = if trailing { tok.line } else { tok.line + 1 };
+        let parsed = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split_once(')'))
+            .map(|(id, just)| (id.trim().to_string(), just.trim().to_string()));
+        match parsed {
+            None => diags.push(Diagnostic::new(
+                path,
+                tok.line,
+                tok.col,
+                "A1",
+                format!(
+                    "malformed audit annotation — expected `audit: allow(RN) <why>`, got `{rest}`"
+                ),
+            )),
+            Some((id, _)) if !RULE_IDS.contains(&id.as_str()) => diags.push(Diagnostic::new(
+                path,
+                tok.line,
+                tok.col,
+                "A1",
+                format!("audit annotation names unknown rule id '{id}'"),
+            )),
+            Some((id, just)) if just.is_empty() => diags.push(Diagnostic::new(
+                path,
+                tok.line,
+                tok.col,
+                "A3",
+                format!("`audit: allow({id})` without a justification"),
+            )),
+            Some((id, _)) => allows.push(Allow {
+                rule: id,
+                target_line,
+                line: tok.line,
+                col: tok.col,
+                used: false,
+            }),
+        }
+    }
+    (allows, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run `check_file` with an empty config (every rule on everywhere)
+    /// and summarize diagnostics as `line:col RID`.
+    fn diags(src: &str) -> Vec<String> {
+        let cfg = AuditConfig::parse("").unwrap();
+        check_file("c", "c/src/lib.rs", "c/src/lib.rs", src, &cfg)
+            .diags
+            .iter()
+            .map(|d| format!("{}:{} {}", d.line, d.col, d.rule))
+            .collect()
+    }
+
+    #[test]
+    fn r1_matches_clock_and_rng() {
+        assert_eq!(diags("fn f() { let t = Instant::now(); }"), ["1:18 R1"]);
+        assert_eq!(diags("let t = SystemTime::now();"), ["1:9 R1"]);
+        assert_eq!(diags("let mut rng = thread_rng();"), ["1:15 R1"]);
+    }
+
+    #[test]
+    fn r1_ignores_comments_and_strings() {
+        assert!(diags("// Instant::now() is forbidden here\n").is_empty());
+        assert!(diags(r#"let s = "Instant::now()";"#).is_empty());
+        assert!(diags(r##"let s = r#"SystemTime::now()"#;"##).is_empty());
+        assert!(diags("/* thread_rng() */").is_empty());
+        // `Instant::elapsed` or a local `now()` fn are not matches.
+        assert!(diags("let e = now(); let d = Instant::from(x);").is_empty());
+    }
+
+    #[test]
+    fn r2_matches_fs_paths_once() {
+        // One diagnostic per use site, not one per path segment.
+        assert_eq!(diags("use std::fs;"), ["1:10 R2"]);
+        assert_eq!(diags("std::fs::write(p, b)?;"), ["1:6 R2"]);
+        assert_eq!(diags("fs::read_to_string(p)?;"), ["1:1 R2"]);
+        // A struct field named `fs` is not file I/O.
+        assert!(diags("let x = self.fs + 1;").is_empty());
+    }
+
+    #[test]
+    fn r3_matches_sleep_and_spin() {
+        assert_eq!(diags("thread::sleep(d);"), ["1:1 R3"]);
+        assert_eq!(diags("std::thread::sleep(d);"), ["1:6 R3"]);
+        assert_eq!(diags("std::hint::spin_loop();"), ["1:12 R3"]);
+        assert!(diags("let sleep = 3; go(sleep);").is_empty());
+    }
+
+    #[test]
+    fn r4_matches_unwrap_and_expect_calls_only() {
+        assert_eq!(diags("x.unwrap();"), ["1:3 R4"]);
+        assert_eq!(diags("x.expect(\"msg\");"), ["1:3 R4"]);
+        // Not method calls on a receiver, or different methods entirely.
+        assert!(diags("x.unwrap_or(0); x.unwrap_or_else(f);").is_empty());
+        assert!(diags("let unwrap = 1;").is_empty());
+        assert!(diags(r#"let s = "don't .unwrap() me";"#).is_empty());
+        // Tuple-field receiver still caught.
+        assert_eq!(diags("pair.0.unwrap();"), ["1:8 R4"]);
+    }
+
+    #[test]
+    fn r6_matches_prints() {
+        assert_eq!(diags(r#"println!("x");"#), ["1:1 R6"]);
+        assert_eq!(diags(r#"eprintln!("x");"#), ["1:1 R6"]);
+        assert!(diags(r#"writeln!(f, "x");"#).is_empty());
+        assert!(diags("// println! in docs\n").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_masked() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); thread::sleep(d); println!(\"ok\"); }
+}
+";
+        assert!(diags(src).is_empty());
+        // …but code after the masked block is still checked.
+        let src2 = format!("{src}fn after() {{ x.unwrap(); }}\n");
+        assert_eq!(diags(&src2), ["6:16 R4"]);
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_same_line() {
+        let src = "x.unwrap(); // audit: allow(R4) startup path, cannot be poisoned\n";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_suppresses_next_line() {
+        let src = "\
+// audit: allow(R4) invariant: one report per run by construction
+x.unwrap();
+";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn allow_only_covers_its_rule_and_line() {
+        // Wrong rule id: the R4 fires AND the R3 allow is unused.
+        let src = "x.unwrap(); // audit: allow(R3) wrong rule\n";
+        let d = diags(src);
+        assert!(d.contains(&"1:3 R4".to_string()));
+        assert!(d.contains(&"1:13 A2".to_string()));
+        // Wrong line: standalone allow two lines above does not reach.
+        let src2 = "// audit: allow(R4) too far away\n\nx.unwrap();\n";
+        let d2 = diags(src2);
+        assert!(d2.contains(&"3:3 R4".to_string()));
+        assert!(d2.contains(&"1:1 A2".to_string()));
+    }
+
+    #[test]
+    fn annotation_errors() {
+        // Unknown rule id.
+        assert_eq!(diags("// audit: allow(R9) nope\nok();\n"), ["1:1 A1"]);
+        // Malformed (not allow(..) at all).
+        assert_eq!(diags("// audit: disable(R4)\nok();\n"), ["1:1 A1"]);
+        // Missing justification.
+        assert_eq!(
+            diags("x.unwrap(); // audit: allow(R4)\n"),
+            ["1:13 A3", "1:3 R4"]
+        );
+    }
+
+    #[test]
+    fn r5_unsafe_needs_safety_comment() {
+        let bad = "fn f() { unsafe { go() } }";
+        assert_eq!(diags(bad), ["1:10 R5"]);
+        let good = "// SAFETY: ffi contract upheld by construction\nfn f() { unsafe { go() } }";
+        assert!(diags(good).is_empty());
+        let trailing = "unsafe { go() } // SAFETY: checked above";
+        assert!(diags(trailing).is_empty());
+        // A SAFETY comment more than three lines up does not count.
+        let far = "// SAFETY: stale\n\n\n\nunsafe { go() }";
+        assert_eq!(diags(far), ["5:1 R5"]);
+    }
+
+    #[test]
+    fn r5_counts_unsafe_and_detects_forbid() {
+        let cfg = AuditConfig::parse("").unwrap();
+        let rep = check_file("c", "p", "p", "#![forbid(unsafe_code)]\nfn f() {}", &cfg);
+        assert!(rep.has_forbid_unsafe);
+        assert_eq!(rep.unsafe_count, 0);
+        // `unsafe` inside a string or comment is not unsafe code.
+        let rep2 = check_file("c", "p", "p", r#"let s = "unsafe"; // unsafe"#, &cfg);
+        assert_eq!(rep2.unsafe_count, 0);
+        // …but unsafe in test code still counts toward the crate total.
+        let rep3 = check_file(
+            "c",
+            "p",
+            "p",
+            "#[cfg(test)]\nmod t {\n // SAFETY: test\n fn f() { unsafe { g() } } }",
+            &cfg,
+        );
+        assert_eq!(rep3.unsafe_count, 1);
+    }
+
+    #[test]
+    fn crate_and_path_scoping() {
+        let cfg = AuditConfig::parse("[rule R4]\ncrates = storage\n").unwrap();
+        let src = "x.unwrap();";
+        assert!(check_file("serve", "p", "p", src, &cfg).diags.is_empty());
+        assert_eq!(check_file("storage", "p", "p", src, &cfg).diags.len(), 1);
+
+        let cfg2 = AuditConfig::parse("[rule R2]\nallow = storage/src/codec.rs\n").unwrap();
+        let io = "std::fs::write(p, b)?;";
+        assert!(
+            check_file("storage", "d", "storage/src/codec.rs", io, &cfg2)
+                .diags
+                .is_empty()
+        );
+        assert_eq!(
+            check_file("storage", "d", "storage/src/table.rs", io, &cfg2)
+                .diags
+                .len(),
+            1
+        );
+    }
+}

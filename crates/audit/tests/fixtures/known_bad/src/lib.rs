@@ -1,0 +1,81 @@
+// The known-bad golden fixture: every rule the audit implements fires at
+// least once in this file, at positions pinned by ../../expected.txt.
+// It is lexed by the audit, never compiled by cargo. The lexer-hardening
+// half lives in the strings and comments below: rule-triggering text
+// inside them must NOT appear in the golden output.
+
+use std::fs; // line 7: R2
+
+pub fn wall_clock_seed() -> u64 {
+    let t = Instant::now(); // line 10: R1
+    let s = SystemTime::now(); // line 11: R1
+    let mut rng = thread_rng(); // line 12: R1
+    fs::write("/tmp/x", b"y").unwrap(); // line 13: R2 + R4
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn pacing() {
+    thread::sleep(Duration::from_millis(1)); // line 18: R3
+    std::hint::spin_loop(); // line 19: R3
+    let v: Option<u32> = None;
+    v.expect("boom"); // line 21: R4
+}
+
+pub fn printing() {
+    println!("library code must not print"); // line 25: R6
+    eprintln!("nor this"); // line 26: R6
+}
+
+pub fn raw_power() {
+    unsafe { core::hint::unreachable_unchecked() } // line 30: R5 (no SAFETY)
+}
+
+// SAFETY: the pointer is valid for the lifetime of the arena.
+pub fn raw_power_justified(p: *const u8) -> u8 {
+    unsafe { *p } // fine: SAFETY comment above
+}
+
+pub fn justified() {
+    let v: Option<u32> = Some(1);
+    v.unwrap(); // audit: allow(R4) fixture: a justified allow suppresses the diagnostic
+}
+
+pub fn justified_standalone(v: Option<u32>) -> u32 {
+    // audit: allow(R4) fixture: standalone allow covering the next line
+    v.unwrap()
+}
+
+pub fn annotation_errors() {
+    // audit: allow(R9) unknown rule ids are themselves errors  <- line 49: A1
+    // audit: allow(R4)
+    let x: Option<u32> = Some(2); // (the bare allow above is line 50: A3)
+    x.unwrap(); // line 52: R4 (nothing suppresses it)
+}
+
+// audit: allow(R3) fixture: nothing sleeps on the next line  <- line 55: A2
+
+/// Lexer hardening: none of the text below may reach the golden output.
+pub fn decoys() -> String {
+    let a = "Instant::now() and thread_rng() in a string";
+    let b = r#"std::fs::write and .unwrap() in a raw string"#;
+    let c = r##"thread::sleep(d) behind "# hashes"##;
+    let d = '"'; // a char literal that must not open a string
+    let e = '\''; // escaped quote char
+    let _lifetime: &'static str = "println! in a string";
+    /* block comment: SystemTime::now()
+       /* nested: x.expect("nested comment") */
+       still inside the outer comment: eprintln!("x") */
+    // line comment: fs::remove_file("/")
+    format!("{a}{b}{c}{d}{e}")
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code: R1-R4/R6 are out of scope here.
+    fn all_the_sins() {
+        let t = Instant::now();
+        thread::sleep(Duration::from_millis(1));
+        std::fs::write("/tmp/t", b"x").unwrap().expect("twice");
+        println!("tests may print");
+    }
+}

@@ -1,0 +1,6 @@
+// A crate with zero unsafe code whose root forgets
+// `#![forbid(unsafe_code)]` — the crate-level half of R5.
+
+pub fn safe() -> u32 {
+    41 + 1
+}

@@ -1,0 +1,56 @@
+//! Golden diagnostics test: the known-bad fixture crates under
+//! `tests/fixtures/` must produce byte-for-byte the diagnostics in
+//! `tests/fixtures/expected.txt`. Regenerate with
+//! `VITA_BLESS=1 cargo test -p vita-audit --test golden`.
+
+use std::path::PathBuf;
+
+use vita_audit::{check_workspace, diag, AuditConfig};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn known_bad_fixture_matches_golden() {
+    let root = fixture_root();
+    let cfg = AuditConfig::load(&root.join("audit.toml")).expect("fixture audit.toml parses");
+    let (diags, summary) = check_workspace(&root, &cfg).expect("fixture scan runs");
+    let rendered = diag::render(&diags);
+
+    let golden_path = root.join("expected.txt");
+    if std::env::var_os("VITA_BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+    }
+    let expected = std::fs::read_to_string(&golden_path).expect("read golden");
+    assert_eq!(
+        rendered, expected,
+        "fixture diagnostics drifted from tests/fixtures/expected.txt;\n\
+         rerun with VITA_BLESS=1 to regenerate after verifying the diff"
+    );
+
+    assert_eq!(summary.crates, 2, "fixture tree holds exactly two crates");
+    assert!(!diags.is_empty(), "the known-bad fixture must not be clean");
+}
+
+/// The lexer-hardening half of the fixture: decoy text inside strings,
+/// raw strings, char literals, and comments never reaches a diagnostic.
+#[test]
+fn decoys_and_test_code_stay_silent() {
+    let root = fixture_root();
+    let cfg = AuditConfig::load(&root.join("audit.toml")).expect("fixture audit.toml parses");
+    let (diags, _) = check_workspace(&root, &cfg).expect("fixture scan runs");
+
+    let src = std::fs::read_to_string(root.join("known_bad/src/lib.rs")).expect("fixture source");
+    let decoy_start = src
+        .lines()
+        .position(|l| l.contains("fn decoys"))
+        .expect("decoys fn present")
+        + 1;
+    for d in &diags {
+        assert!(
+            (d.line as usize) < decoy_start,
+            "diagnostic fired inside the decoy/test region: {d}"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! The audit applied to the workspace that ships it: `cargo test` fails
+//! the moment anyone introduces a violation, even before CI runs the
+//! dedicated audit job.
+
+use std::path::PathBuf;
+
+use vita_audit::{check_workspace, diag, AuditConfig};
+
+#[test]
+fn workspace_passes_its_own_audit() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = AuditConfig::load(&root.join("audit.toml")).expect("workspace audit.toml parses");
+    let (diags, summary) = check_workspace(&root, &cfg).expect("workspace scan runs");
+    assert!(
+        diags.is_empty(),
+        "workspace audit found {} violation(s):\n{}",
+        diags.len(),
+        diag::render(&diags)
+    );
+    assert!(
+        summary.crates >= 13,
+        "expected every workspace crate to be scanned, saw {}",
+        summary.crates
+    );
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared workload builders for the Vita benchmark and experiment harness.
 //!
 //! Every experiment in DESIGN.md §4 (F1–F4, D5, E1–E10) builds its world

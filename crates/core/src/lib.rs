@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-core
 //!
 //! The Vita toolkit: "a generic, user-configurable toolkit for generating

@@ -223,7 +223,7 @@ impl Vita {
             result.trajectories.all_samples_time_ordered(),
         ));
         self.last_generation = Some(result);
-        Ok(self.last_generation.as_ref().unwrap())
+        Ok(self.last_generation.as_ref().unwrap()) // audit: allow(R4) invariant: assigned Some on the previous line
     }
 
     /// Step 5: generate raw RSSI measurements from devices × trajectories.
@@ -237,7 +237,7 @@ impl Vita {
         let store = generate_rssi(&self.env, &self.devices, &gen.trajectories, cfg);
         self.repo.accept(ProductBatch::Rssi(store.all().to_vec()));
         self.last_rssi = Some(store);
-        Ok(self.last_rssi.as_ref().unwrap())
+        Ok(self.last_rssi.as_ref().unwrap()) // audit: allow(R4) invariant: assigned Some on the previous line
     }
 
     /// Step 6: run the chosen positioning method over the raw RSSI data.
@@ -350,7 +350,7 @@ impl Vita {
         let contexts = build_contexts(&self.env, &self.devices, &runs)?;
         apply_backend(&mut self.repo, scenario.options.backend.clone());
         let mut reports = self.stream_runs(start, &runs, &contexts)?;
-        Ok(reports.pop().expect("one report per run"))
+        Ok(reports.pop().expect("one report per run")) // audit: allow(R4) invariant: stream_runs returns exactly one report per scheduled run
     }
 
     /// Run several scenarios concurrently through this toolkit — the
@@ -514,7 +514,7 @@ impl Vita {
                     scope.spawn(move || loop {
                         // Hold the lock only for the receive; processing
                         // runs unlocked so workers overlap.
-                        let msg = rx.lock().expect("receiver lock").recv();
+                        let msg = rx.lock().expect("receiver lock").recv(); // audit: allow(R4) operational: a poisoned receiver mutex means a stage worker already panicked
                         let Ok((idx, chunk)) = msg else {
                             return; // producers done, queue drained
                         };
@@ -560,6 +560,7 @@ impl Vita {
                             c.chunks.fetch_add(1, Ordering::Relaxed);
                             let now = c.in_flight.fetch_add(n, Ordering::Relaxed) + n;
                             c.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+                            // audit: allow(R4) invariant: stage workers outlive producers inside this scope
                             tx.send((idx, chunk)).expect("stage workers alive");
                         })
                     }));
@@ -567,7 +568,7 @@ impl Vita {
                 drop(tx);
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("producer thread"))
+                    .map(|h| h.join().expect("producer thread")) // audit: allow(R4) operational: a panicked producer thread has already poisoned the run
                     .collect()
             });
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-dbi
 //!
 //! Digital Building Information (DBI) processing for the Vita toolkit.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-devices
 //!
 //! Positioning devices and deployment models: the Positioning Device

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-geometry
 //!
 //! Planar geometry kernel for the Vita indoor mobility data generator.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-indoor
 //!
 //! The host indoor environment for the Vita toolkit: the output of the

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-lab
 //!
 //! The declarative experiment runner: "as many scenarios as you can

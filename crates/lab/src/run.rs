@@ -307,12 +307,12 @@ fn persistence_probe(
     trial_id: &str,
 ) -> Result<PersistProbe, LabError> {
     let repo = vita.repository();
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // audit: allow(R1) measured wall-clock only; stripped from the byte-reproducible JSONL projection
     let export = repo.export();
     let export_ms = t0.elapsed().as_secs_f64() * 1000.0;
     let bytes =
         export.trajectories.len() + export.rssi.len() + export.fixes.len() + export.proximity.len();
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // audit: allow(R1) measured wall-clock only; stripped from the byte-reproducible JSONL projection
     let imported =
         AnyRepository::import(&export, scenario.options.backend.clone()).map_err(|e| {
             LabError::Run {

@@ -150,6 +150,26 @@ values = single, segmented
         assert!(record.contains("\"serve\":"));
         assert!(record.contains("\"persist\":"));
     }
+    // Regression (audit R1): the lab's only wall-clock reads are the
+    // annotated timing probes in run.rs, and their output must never
+    // leak into the byte-reproducible projection. If a future change
+    // routes a measured duration into a deterministic field, the
+    // byte-identity assertion above can still pass (both runs fast
+    // enough to round alike) — this key scan cannot.
+    for record in first.trials_jsonl(false).lines() {
+        for timing_key in [
+            "\"wall_ms\":",
+            "\"serve\":",
+            "\"export_ms\":",
+            "\"import_ms\":",
+        ] {
+            assert!(
+                !record.contains(timing_key),
+                "timing key {timing_key} leaked into the reproducible projection: {record}"
+            );
+        }
+    }
+
     // Timing means differ between executions; the grouping and the
     // deterministic aggregates must not.
     for (x, y) in first.by_axis().iter().zip(&second.by_axis()) {

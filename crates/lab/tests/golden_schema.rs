@@ -71,7 +71,10 @@ fn golden_fixture_pins_the_record_schema() {
             out.push('\n');
         }
         std::fs::write(GOLDEN_PATH, out).expect("bless golden fixture");
-        eprintln!("blessed {GOLDEN_PATH}");
+        #[allow(clippy::print_stderr)] // bless-mode progress note for the operator
+        {
+            eprintln!("blessed {GOLDEN_PATH}");
+        }
         return;
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-mobility
 //!
 //! The Moving Object Layer (paper §2, §3.1): generates indoor moving objects

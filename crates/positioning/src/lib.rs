@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-positioning
 //!
 //! The second half of Vita's Positioning Layer (paper §2, §3.3): derive

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-rssi
 //!
 //! Raw RSSI measurement generation: the first half of Vita's Positioning

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-serve
 //!
 //! Online query serving over live ingestion: the front-end the VITA paper's

@@ -361,13 +361,13 @@ fn run_step(
                         }
                     }
                 }
-                latencies.lock().expect("latency sink").append(&mut mine);
+                latencies.lock().expect("latency sink").append(&mut mine); // audit: allow(R4) operational: a poisoned latency mutex means a load worker already panicked
             });
         }
     });
     let elapsed = started.elapsed().as_secs_f64();
 
-    let mut all = latencies.into_inner().expect("latency sink");
+    let mut all = latencies.into_inner().expect("latency sink"); // audit: allow(R4) operational: a poisoned latency mutex means a load worker already panicked
     all.sort_unstable();
     StepReport {
         target_rps,

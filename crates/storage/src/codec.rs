@@ -737,6 +737,40 @@ fn flatten<T>(sections: Vec<(RunId, Vec<T>)>) -> Vec<T> {
     sections.into_iter().flat_map(|(_, rows)| rows).collect()
 }
 
+/// Filesystem half of [`crate::RepositoryExport::write_dir`]: disk I/O
+/// stays confined to the persistence modules (audit rule R2), so the
+/// facade in `lib.rs` delegates the actual `fs` calls here. Each file is
+/// written crash-atomically via [`crate::segment::write_atomic`].
+pub(crate) fn write_export_dir(
+    export: &crate::RepositoryExport,
+    dir: &std::path::Path,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tables: [&Bytes; 4] = [
+        &export.trajectories,
+        &export.rssi,
+        &export.fixes,
+        &export.proximity,
+    ];
+    for (name, data) in crate::RepositoryExport::FILE_NAMES.iter().zip(tables) {
+        crate::segment::write_atomic(&dir.join(name), data.as_ref())?;
+    }
+    Ok(())
+}
+
+/// Filesystem half of [`crate::RepositoryExport::read_dir`]: purely file
+/// I/O — decode errors surface when the export is imported.
+pub(crate) fn read_export_dir(dir: &std::path::Path) -> std::io::Result<crate::RepositoryExport> {
+    let read = |name: &str| std::fs::read(dir.join(name)).map(Bytes::from);
+    let [t, r, f, p] = crate::RepositoryExport::FILE_NAMES;
+    Ok(crate::RepositoryExport {
+        trajectories: read(t)?,
+        rssi: read(r)?,
+        fixes: read(f)?,
+        proximity: read(p)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vita-storage
 //!
 //! The Storage component (paper §2, §4.2): indexed repositories for every
@@ -437,27 +438,13 @@ impl RepositoryExport {
     /// mid-save can leave stale tables or `.tmp` orphans, but never a
     /// torn table file under a final name.
     pub fn write_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        let tables: [&bytes::Bytes; 4] =
-            [&self.trajectories, &self.rssi, &self.fixes, &self.proximity];
-        for (name, data) in Self::FILE_NAMES.iter().zip(tables) {
-            segment::write_atomic(&dir.join(name), data.as_ref())?;
-        }
-        Ok(())
+        codec::write_export_dir(self, dir)
     }
 
     /// Read the four table files back from `dir`. Purely file IO — decode
     /// errors surface when the export is imported.
     pub fn read_dir(dir: &std::path::Path) -> std::io::Result<Self> {
-        let mut buffers = Self::FILE_NAMES
-            .iter()
-            .map(|name| std::fs::read(dir.join(name)).map(bytes::Bytes::from));
-        Ok(RepositoryExport {
-            trajectories: buffers.next().unwrap()?,
-            rssi: buffers.next().unwrap()?,
-            fixes: buffers.next().unwrap()?,
-            proximity: buffers.next().unwrap()?,
-        })
+        codec::read_export_dir(dir)
     }
 }
 

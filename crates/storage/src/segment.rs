@@ -553,6 +553,22 @@ impl From<CodecError> for SpillError {
     }
 }
 
+/// The single panic funnel behind the infallible query flavors: every
+/// `foo(..)` that has a `try_foo(..)` twin unwraps through
+/// [`SpillOk::spill_ok`], so the documented panic-on-unreadable-spill
+/// contract lives on exactly one audited line.
+trait SpillOk<T> {
+    /// Unwrap, panicking with the spill-contract message on `Err`.
+    fn spill_ok(self) -> T;
+}
+
+impl<T> SpillOk<T> for Result<T, SpillError> {
+    fn spill_ok(self) -> T {
+        // audit: allow(R4) documented contract: infallible query flavors panic on unreadable spill files rather than return wrong rows; use the try_ twins to degrade gracefully
+        self.expect("spilled segment unreadable")
+    }
+}
+
 /// Write `bytes` to `path` crash-atomically: a temp file in the same
 /// directory, then rename. A crash mid-write leaves a `.tmp` orphan,
 /// never a torn file under the final name.
@@ -640,7 +656,7 @@ impl<R: SegmentRow> Segment<R> {
         let seq_range = seqs
             .clone()
             .min()
-            .map_or((0, 0), |min| (min, seqs.max().expect("nonempty")));
+            .map_or((0, 0), |min| (min, seqs.max().expect("nonempty"))); // audit: allow(R4) invariant: a min implies the seq iterator is non-empty, so max exists
         Segment {
             id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
             len,
@@ -837,7 +853,7 @@ fn time_window_sections<R: SegmentRow>(
                 }
             }
             None => {
-                let (rows, seqs) = owned_it.next().expect("one owned run per unsealed");
+                let (rows, seqs) = owned_it.next().expect("one owned run per unsealed"); // audit: allow(R4) invariant: one owned-run entry was built per unsealed section just above
                 if !rows.is_empty() {
                     inputs.push((&rows[..], &seqs[..]));
                 }
@@ -1037,7 +1053,7 @@ fn knn_sections<R: SegmentRow>(
                             .map(|(_, q)| (q.dist(p), sec.seqs[i as usize], r))
                     })
                     .collect();
-                local.sort_unstable_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+                local.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 local.truncate(k);
                 scored.extend(local);
             }
@@ -1049,7 +1065,7 @@ fn knn_sections<R: SegmentRow>(
             })),
         }
     }
-    scored.sort_unstable_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+    scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     scored.truncate(k);
     scored.into_iter().map(|(d, _, r)| (r, d)).collect()
 }
@@ -1421,13 +1437,13 @@ impl<R: SegmentRow> SegTable<R> {
             _ => false,
         };
         let (replacement, written) = if spill_direct {
-            let sh = self.spill.as_ref().expect("direct spill requires config");
+            let sh = self.spill.as_ref().expect("direct spill requires config"); // audit: allow(R4) invariant: spill_direct is only called on budget-enforcing repositories
             let sections = replacement
                 .resident_sections()
-                .expect("fresh replacement is resident");
+                .expect("fresh replacement is resident"); // audit: allow(R4) invariant: the replacement segment was rebuilt resident two lines up
             let bytes = encode_sections(sections);
             let path = sh.cfg.dir.join(format!("seg-{}.vita", replacement.id));
-            write_atomic(&path, &bytes).expect("segment spill failed");
+            write_atomic(&path, &bytes).expect("segment spill failed"); // audit: allow(R4) operational: a failed spill write leaves the writer no correct continuation
             (replacement.spilled_twin(path.clone()), Some(path))
         } else {
             (replacement, None)
@@ -1474,7 +1490,7 @@ impl<R: SegmentRow> SegTable<R> {
             .iter()
             .flat_map(|s| {
                 s.resident_sections()
-                    .expect("unsealed segments are resident")
+                    .expect("unsealed segments are resident") // audit: allow(R4) invariant: unsealed segments are never spilled, so they are resident
             })
             .collect();
         let merged = build_sealed(parts, self.build_spatial);
@@ -1584,7 +1600,7 @@ impl<R: SegmentRow> SegTable<R> {
                 None => sections.extend(
                     holder_it
                         .next()
-                        .expect("one holder per spilled input")
+                        .expect("one holder per spilled input") // audit: allow(R4) invariant: compaction registered one cache holder per spilled input
                         .sections
                         .iter(),
                 ),
@@ -1642,7 +1658,7 @@ impl<R: SegmentRow> SegTable<R> {
                 Some(h) => &holders[*h].sections,
                 None => snap.segments[*si]
                     .resident_sections()
-                    .expect("unspilled segments are resident"),
+                    .expect("unspilled segments are resident"), // audit: allow(R4) invariant: segments outside the spill set are resident by definition
             };
             sections.extend(wanted.iter().map(|&w| &secs[w]));
         }
@@ -1662,11 +1678,11 @@ impl<R: SegmentRow> SegTable<R> {
         let sh = self
             .spill
             .as_ref()
-            .expect("spilled segment without spill config");
+            .expect("spilled segment without spill config"); // audit: allow(R4) invariant: a Spilled state can only be produced under a spill config
         if let Some(data) = self.cache.lock().get(seg.id) {
             return Ok(data);
         }
-        let path = seg.spill_path().expect("page_in on resident segment");
+        let path = seg.spill_path().expect("page_in on resident segment"); // audit: allow(R4) invariant: page_in is only called on segments in the Spilled state
         let bytes = std::fs::read(path)?;
         let decoded = decode_segment::<R>(Bytes::from(bytes))?;
         let sections: Vec<Section<R>> = decoded
@@ -1706,7 +1722,7 @@ impl<R: SegmentRow> SegTable<R> {
         else {
             return Ok(0);
         };
-        let bytes = encode_sections(seg.resident_sections().expect("victim is resident"));
+        let bytes = encode_sections(seg.resident_sections().expect("victim is resident")); // audit: allow(R4) invariant: the eviction victim was chosen from the resident set
         let path = sh.cfg.dir.join(format!("seg-{}.vita", seg.id));
         write_atomic(&path, &bytes)?;
         let twin = seg.spilled_twin(path.clone());
@@ -1997,7 +2013,7 @@ impl SegInner {
         if let Some(sh) = &self.spill {
             if self.spill_pending_rows() >= self.config.seal_rows.max(1) {
                 sh.writer_stalls.fetch_add(1, Ordering::Relaxed);
-                self.enforce_budget().expect("segment spill failed");
+                self.enforce_budget().expect("segment spill failed"); // audit: allow(R4) operational: a failed spill under backpressure has no correct continuation
             }
         }
     }
@@ -2025,7 +2041,7 @@ impl SegInner {
         round(self, &self.rssi, force, compact);
         round(self, &self.fixes, force, compact);
         round(self, &self.proximity, force, compact);
-        self.enforce_budget().expect("segment spill failed");
+        self.enforce_budget().expect("segment spill failed"); // audit: allow(R4) operational: a failed spill under backpressure has no correct continuation
     }
 }
 
@@ -2040,7 +2056,7 @@ fn sealer_loop(inner: &SegInner) {
         }
         tick = tick.wrapping_add(1);
         inner.maintenance_pass(false, tick.is_multiple_of(COMPACT_EVERY));
-        let guard = inner.signal.lock().expect("sealer signal");
+        let guard = inner.signal.lock().expect("sealer signal"); // audit: allow(R4) operational: a poisoned sealer mutex means a sealer thread already panicked
         if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
@@ -2049,7 +2065,7 @@ fn sealer_loop(inner: &SegInner) {
         let _ = inner
             .wake
             .wait_timeout(guard, inner.config.tick)
-            .expect("sealer signal");
+            .expect("sealer signal"); // audit: allow(R4) operational: a poisoned sealer mutex means a sealer thread already panicked
     }
 }
 
@@ -2110,6 +2126,7 @@ impl Drop for SegmentedRepository {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.wake.notify_all();
+        // audit: allow(R4) operational: a poisoned handle mutex means a sealer thread already panicked
         if let Some(handle) = self.sealer.lock().expect("sealer handle").take() {
             let _ = handle.join();
         }
@@ -2168,7 +2185,7 @@ impl SegmentedRepository {
                 std::process::id(),
                 NEXT_SPILL_INSTANCE.fetch_add(1, Ordering::Relaxed)
             ));
-            std::fs::create_dir_all(&dir).expect("create spill directory");
+            std::fs::create_dir_all(&dir).expect("create spill directory"); // audit: allow(R4) operational: an uncreatable spill directory fails construction loudly
             let mut cfg = original.clone();
             cfg.dir = dir;
             Arc::new(SpillShared {
@@ -2198,7 +2215,7 @@ impl SegmentedRepository {
         let sealer = std::thread::Builder::new()
             .name("vita-sealer".into())
             .spawn(move || sealer_loop(&worker))
-            .expect("spawn sealer");
+            .expect("spawn sealer"); // audit: allow(R4) operational: failing to spawn the sealer thread fails construction loudly
         SegmentedRepository {
             inner,
             sealer: StdMutex::new(Some(sealer)),
@@ -2297,8 +2314,7 @@ impl SegmentedRepository {
     /// `scope`'s trajectory rows in arrival order (the single
     /// repository's insertion order, reconstructed from seqs).
     pub fn trajectories_scan(&self, scope: RunScope) -> Vec<TrajectorySample> {
-        self.try_trajectories_scan(scope)
-            .expect("spilled segment unreadable")
+        self.try_trajectories_scan(scope).spill_ok()
     }
 
     /// Fallible twin of [`Self::trajectories_scan`].
@@ -2324,7 +2340,7 @@ impl SegmentedRepository {
         to: Timestamp,
     ) -> Vec<TrajectorySample> {
         self.try_trajectories_time_window(scope, from, to)
-            .expect("spilled segment unreadable")
+            .spill_ok()
     }
 
     /// Fallible twin of [`Self::trajectories_time_window`].
@@ -2346,8 +2362,7 @@ impl SegmentedRepository {
     /// Latest sample at or before `t` (inclusive) per object of `scope`,
     /// sorted by object id.
     pub fn trajectories_snapshot_at(&self, scope: RunScope, t: Timestamp) -> Vec<TrajectorySample> {
-        self.try_trajectories_snapshot_at(scope, t)
-            .expect("spilled segment unreadable")
+        self.try_trajectories_snapshot_at(scope, t).spill_ok()
     }
 
     /// Fallible twin of [`Self::trajectories_snapshot_at`].
@@ -2367,8 +2382,7 @@ impl SegmentedRepository {
 
     /// `scope`'s trace of object `o`, time-ordered.
     pub fn object_trace(&self, scope: RunScope, o: ObjectId) -> Vec<TrajectorySample> {
-        self.try_object_trace(scope, o)
-            .expect("spilled segment unreadable")
+        self.try_object_trace(scope, o).spill_ok()
     }
 
     /// Fallible twin of [`Self::object_trace`].
@@ -2394,7 +2408,7 @@ impl SegmentedRepository {
         query: &Aabb,
     ) -> Vec<TrajectorySample> {
         self.try_trajectories_range_query(scope, floor, query)
-            .expect("spilled segment unreadable")
+            .spill_ok()
     }
 
     /// Fallible twin of [`Self::trajectories_range_query`].
@@ -2425,8 +2439,7 @@ impl SegmentedRepository {
         p: Point,
         k: usize,
     ) -> Vec<(TrajectorySample, f64)> {
-        self.try_trajectories_knn(scope, floor, p, k)
-            .expect("spilled segment unreadable")
+        self.try_trajectories_knn(scope, floor, p, k).spill_ok()
     }
 
     /// Fallible twin of [`Self::trajectories_knn`].
@@ -2452,8 +2465,7 @@ impl SegmentedRepository {
 
     /// `scope`'s RSSI rows in arrival order.
     pub fn rssi_scan(&self, scope: RunScope) -> Vec<RssiMeasurement> {
-        self.try_rssi_scan(scope)
-            .expect("spilled segment unreadable")
+        self.try_rssi_scan(scope).spill_ok()
     }
 
     /// Fallible twin of [`Self::rssi_scan`].
@@ -2470,8 +2482,7 @@ impl SegmentedRepository {
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<RssiMeasurement> {
-        self.try_rssi_time_window(scope, from, to)
-            .expect("spilled segment unreadable")
+        self.try_rssi_time_window(scope, from, to).spill_ok()
     }
 
     /// Fallible twin of [`Self::rssi_time_window`].
@@ -2492,8 +2503,7 @@ impl SegmentedRepository {
 
     /// `scope`'s measurements of object `o`, time-ordered.
     pub fn rssi_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<RssiMeasurement> {
-        self.try_rssi_of_object(scope, o)
-            .expect("spilled segment unreadable")
+        self.try_rssi_of_object(scope, o).spill_ok()
     }
 
     /// Fallible twin of [`Self::rssi_of_object`].
@@ -2513,8 +2523,7 @@ impl SegmentedRepository {
 
     /// `scope`'s measurements through device `d`, time-ordered.
     pub fn rssi_of_device(&self, scope: RunScope, d: DeviceId) -> Vec<RssiMeasurement> {
-        self.try_rssi_of_device(scope, d)
-            .expect("spilled segment unreadable")
+        self.try_rssi_of_device(scope, d).spill_ok()
     }
 
     /// Fallible twin of [`Self::rssi_of_device`].
@@ -2534,8 +2543,7 @@ impl SegmentedRepository {
 
     /// `scope`'s fixes in arrival order.
     pub fn fixes_scan(&self, scope: RunScope) -> Vec<Fix> {
-        self.try_fixes_scan(scope)
-            .expect("spilled segment unreadable")
+        self.try_fixes_scan(scope).spill_ok()
     }
 
     /// Fallible twin of [`Self::fixes_scan`].
@@ -2547,8 +2555,7 @@ impl SegmentedRepository {
 
     /// `scope`'s fixes in the half-open window `from <= t < to`.
     pub fn fixes_time_window(&self, scope: RunScope, from: Timestamp, to: Timestamp) -> Vec<Fix> {
-        self.try_fixes_time_window(scope, from, to)
-            .expect("spilled segment unreadable")
+        self.try_fixes_time_window(scope, from, to).spill_ok()
     }
 
     /// Fallible twin of [`Self::fixes_time_window`].
@@ -2569,8 +2576,7 @@ impl SegmentedRepository {
 
     /// `scope`'s fixes of object `o`, time-ordered.
     pub fn fixes_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<Fix> {
-        self.try_fixes_of_object(scope, o)
-            .expect("spilled segment unreadable")
+        self.try_fixes_of_object(scope, o).spill_ok()
     }
 
     /// Fallible twin of [`Self::fixes_of_object`].
@@ -2590,8 +2596,7 @@ impl SegmentedRepository {
 
     /// `scope`'s proximity rows in arrival order.
     pub fn proximity_scan(&self, scope: RunScope) -> Vec<ProximityRecord> {
-        self.try_proximity_scan(scope)
-            .expect("spilled segment unreadable")
+        self.try_proximity_scan(scope).spill_ok()
     }
 
     /// Fallible twin of [`Self::proximity_scan`].
@@ -2609,8 +2614,7 @@ impl SegmentedRepository {
         from: Timestamp,
         to: Timestamp,
     ) -> Vec<ProximityRecord> {
-        self.try_proximity_overlapping(scope, from, to)
-            .expect("spilled segment unreadable")
+        self.try_proximity_overlapping(scope, from, to).spill_ok()
     }
 
     /// Fallible twin of [`Self::proximity_overlapping`].
@@ -2633,8 +2637,7 @@ impl SegmentedRepository {
 
     /// `scope`'s detection periods of object `o`, ordered by start time.
     pub fn proximity_of_object(&self, scope: RunScope, o: ObjectId) -> Vec<ProximityRecord> {
-        self.try_proximity_of_object(scope, o)
-            .expect("spilled segment unreadable")
+        self.try_proximity_of_object(scope, o).spill_ok()
     }
 
     /// Fallible twin of [`Self::proximity_of_object`].
@@ -2655,8 +2658,7 @@ impl SegmentedRepository {
     /// `scope`'s detection periods through device `d`, ordered by start
     /// time.
     pub fn proximity_of_device(&self, scope: RunScope, d: DeviceId) -> Vec<ProximityRecord> {
-        self.try_proximity_of_device(scope, d)
-            .expect("spilled segment unreadable")
+        self.try_proximity_of_device(scope, d).spill_ok()
     }
 
     /// Fallible twin of [`Self::proximity_of_device`].
@@ -2681,7 +2683,7 @@ impl SegmentedRepository {
     /// and re-encoding them — the segment file and the table wire format
     /// share the row encoding byte-for-byte.
     pub fn export(&self) -> RepositoryExport {
-        self.try_export().expect("spilled segment unreadable")
+        self.try_export().spill_ok()
     }
 
     /// Fallible twin of [`Self::export`].
@@ -2777,7 +2779,7 @@ fn export_table_raw<R: SegmentRow>(table: &SegTable<R>) -> Result<Bytes, SpillEr
                 }
             }
             None => {
-                let path = seg.spill_path().expect("non-resident segment is spilled");
+                let path = seg.spill_path().expect("non-resident segment is spilled"); // audit: allow(R4) invariant: a segment is either Resident or Spilled; non-resident implies a path
                 let bytes = std::fs::read(path)?;
                 raw.extend(decode_segment_raw::<R>(Bytes::from(bytes))?);
             }

@@ -88,14 +88,13 @@ pub fn downsample<T: Timed + Clone>(records: &[T], period_ms: u64) -> Vec<T> {
 
 /// Rate (records per second) over the span of the records.
 pub fn record_rate<T: Timed>(records: &[T]) -> f64 {
+    let (Some(first), Some(last)) = (records.first(), records.last()) else {
+        return 0.0;
+    };
     if records.len() < 2 {
         return 0.0;
     }
-    let span_ms = records
-        .last()
-        .unwrap()
-        .time()
-        .since(records.first().unwrap().time());
+    let span_ms = last.time().since(first.time());
     if span_ms == 0 {
         return 0.0;
     }

@@ -1,3 +1,5 @@
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 //! Method accuracy study (a preview of experiment E3): generate one shared
 //! workload, run all four positioning pipelines over the same raw RSSI
 //! data, and print the error statistics side by side.

@@ -1,3 +1,5 @@
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 //! The six-step demonstration script of paper §5 (experiment D5), run over
 //! all three building archetypes with the paper's device/method combos:
 //!

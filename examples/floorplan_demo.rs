@@ -1,3 +1,5 @@
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 //! Floor-plan demo (experiments F3 + F4): regenerates the content of paper
 //! Fig. 3 — a two-floor real-world-style building where
 //!

@@ -1,3 +1,5 @@
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 //! Quickstart (experiment F1): one full pass through the three-layer
 //! pipeline of paper Fig. 1, printing the five data products' counts.
 //!
